@@ -1,0 +1,1 @@
+bench/ablation_bench.ml: Array Assignment Bids Context Float Greedy Jra Jra_bba Lap List Metrics Printf Rrap Sdga Sgrap Sra Wgrap Wgrap_util

@@ -1,0 +1,1 @@
+bench/context.ml: Arap_ilp Array Brgg Dataset Float Format Greedy Hashtbl Instance List Sdga Sra Stable_baseline Wgrap Wgrap_util

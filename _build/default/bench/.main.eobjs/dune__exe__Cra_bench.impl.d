@@ -1,0 +1,1 @@
+bench/cra_bench.ml: Assignment Context Hashtbl Instance List Local_search Metrics Printf Sra Wgrap Wgrap_util

@@ -1,0 +1,1 @@
+bench/jra_bench.ml: Array Context Float Jra Jra_bba Jra_bfs Jra_cp Jra_ilp List Option Printf Wgrap Wgrap_util

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation_bench Arg Array Bechamel_bench Cmd Cmdliner Context Cra_bench Dataset Format Jra_bench List Misc_bench Printf Term Wgrap_util

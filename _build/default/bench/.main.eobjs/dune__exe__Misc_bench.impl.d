@@ -1,0 +1,1 @@
+bench/misc_bench.ml: Array Context Dataset Float Instance List Metrics Printf Scoring Sdga String Wgrap Wgrap_util

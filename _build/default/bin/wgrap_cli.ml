@@ -1,0 +1,236 @@
+(* wgrap: reviewer assignment from the command line.
+
+   Subcommands:
+     generate  - write a synthetic DBLP-like corpus as TSV
+     assign    - conference assignment over a TSV corpus (SDGA + SRA)
+     jra       - exact reviewer search for a single paper (BBA)
+
+   The TSV formats are documented in Dataset.Loader. *)
+
+module Rng = Wgrap_util.Rng
+module Report = Wgrap_util.Report
+open Wgrap
+open Cmdliner
+
+(* {1 generate} *)
+
+let generate ~seed ~scale ~authors_path ~papers_path =
+  let rng = Rng.create seed in
+  let config = Dataset.Synthetic.scaled Dataset.Synthetic.default_config scale in
+  let corpus, _ = Dataset.Synthetic.generate ~config ~rng () in
+  Dataset.Loader.save corpus ~authors_path ~papers_path;
+  Printf.printf "wrote %d authors to %s\nwrote %d papers to %s\n"
+    (Array.length corpus.Dataset.Corpus.authors)
+    authors_path
+    (Array.length corpus.Dataset.Corpus.papers)
+    papers_path
+
+(* {1 shared corpus loading} *)
+
+let load_corpus authors_path papers_path =
+  match Dataset.Loader.load ~authors_path ~papers_path with
+  | Ok c -> c
+  | Error e ->
+      Printf.eprintf "error loading corpus: %s\n" e;
+      exit 1
+
+(* {1 assign} *)
+
+let assign ~seed ~authors_path ~papers_path ~dataset ~delta_p ~refine ~out =
+  let corpus = load_corpus authors_path papers_path in
+  let spec =
+    match Dataset.Datasets.find dataset with
+    | Some s -> s
+    | None ->
+        Printf.eprintf "unknown dataset %S (one of %s)\n" dataset
+          (String.concat ", "
+             (List.map (fun s -> s.Dataset.Datasets.name) Dataset.Datasets.all));
+        exit 1
+  in
+  let submissions = Dataset.Datasets.submissions corpus spec in
+  let committee = Dataset.Datasets.committee corpus spec in
+  if submissions = [] || committee = [] then begin
+    Printf.eprintf "dataset %s is empty in this corpus\n" dataset;
+    exit 1
+  end;
+  Printf.printf "%s: %d submissions, %d committee members\n" dataset
+    (List.length submissions) (List.length committee);
+  let rng = Rng.create seed in
+  let extracted =
+    Dataset.Pipeline.extract ~rng ~corpus ~submissions ~committee ()
+  in
+  let n_p = Array.length extracted.Dataset.Pipeline.paper_vectors in
+  let n_r = Array.length extracted.Dataset.Pipeline.reviewer_vectors in
+  let delta_r = Instance.min_workload ~papers:n_p ~reviewers:n_r ~delta_p in
+  let coi = Dataset.Pipeline.coi_pairs corpus extracted in
+  let inst = Dataset.Pipeline.instance ~coi extracted ~delta_p ~delta_r in
+  let a = Sdga.solve inst in
+  let a = if refine then Sra.refine ~rng inst a else a in
+  (match Assignment.validate inst a with
+  | Ok () -> ()
+  | Error e ->
+      Printf.eprintf "internal error: infeasible assignment (%s)\n" e;
+      exit 1);
+  Format.printf "%a@." Summary.pp (Summary.compute inst a);
+  (match Summary.worst_papers inst a ~k:3 with
+  | [] -> ()
+  | worst ->
+      Printf.printf "weakest groups:\n";
+      List.iter
+        (fun (p, s) ->
+          let pid = extracted.Dataset.Pipeline.paper_ids.(p) in
+          Printf.printf "  %.4f  %s\n" s
+            corpus.Dataset.Corpus.papers.(pid).Dataset.Corpus.title)
+        worst);
+  let oc = match out with "-" -> stdout | path -> open_out path in
+  Array.iteri
+    (fun p group ->
+      let pid = extracted.Dataset.Pipeline.paper_ids.(p) in
+      let names =
+        List.map
+          (fun r ->
+            corpus.Dataset.Corpus.authors.(extracted
+                                             .Dataset.Pipeline.reviewer_ids.(r))
+              .Dataset.Corpus.name)
+          group
+      in
+      Printf.fprintf oc "%d\t%s\t%s\n" pid
+        corpus.Dataset.Corpus.papers.(pid).Dataset.Corpus.title
+        (String.concat "; " names))
+    a.Assignment.groups;
+  if out <> "-" then begin
+    close_out oc;
+    Printf.printf "assignment written to %s\n" out
+  end
+
+(* {1 jra} *)
+
+let jra ~seed ~authors_path ~papers_path ~paper_id ~delta_p ~top_k =
+  let corpus = load_corpus authors_path papers_path in
+  if paper_id < 0 || paper_id >= Array.length corpus.Dataset.Corpus.papers
+  then begin
+    Printf.eprintf "paper id %d out of range\n" paper_id;
+    exit 1
+  end;
+  let submission = corpus.Dataset.Corpus.papers.(paper_id) in
+  let committee = Dataset.Datasets.default_reviewer_pool corpus in
+  let committee =
+    List.filter
+      (fun a -> not (List.mem a submission.Dataset.Corpus.author_ids))
+      committee
+  in
+  if List.length committee < delta_p then begin
+    Printf.eprintf "not enough candidate reviewers (%d)\n"
+      (List.length committee);
+    exit 1
+  end;
+  Printf.printf "searching %d candidates for %d reviewers of %S\n"
+    (List.length committee) delta_p submission.Dataset.Corpus.title;
+  let rng = Rng.create seed in
+  let extracted =
+    Dataset.Pipeline.extract ~rng ~corpus ~submissions:[ submission ] ~committee ()
+  in
+  let problem =
+    Jra.make
+      ~paper:extracted.Dataset.Pipeline.paper_vectors.(0)
+      ~pool:extracted.Dataset.Pipeline.reviewer_vectors ~group_size:delta_p ()
+  in
+  let results, dt =
+    Wgrap_util.Timer.time (fun () -> Jra_bba.top_k problem ~k:top_k)
+  in
+  Printf.printf "BBA finished in %s\n" (Report.seconds_cell dt);
+  List.iteri
+    (fun i sol ->
+      let names =
+        List.map
+          (fun r ->
+            corpus.Dataset.Corpus.authors.(extracted
+                                             .Dataset.Pipeline.reviewer_ids.(r))
+              .Dataset.Corpus.name)
+          sol.Jra.group
+      in
+      Printf.printf "#%d (%.4f): %s\n" (i + 1) sol.Jra.score
+        (String.concat "; " names))
+    results
+
+(* {1 cmdliner wiring} *)
+
+let seed_arg =
+  Arg.(value & opt int 2015 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let authors_arg =
+  Arg.(
+    value
+    & opt string "authors.tsv"
+    & info [ "authors" ] ~docv:"FILE" ~doc:"Authors TSV path.")
+
+let papers_arg =
+  Arg.(
+    value
+    & opt string "papers.tsv"
+    & info [ "papers" ] ~docv:"FILE" ~doc:"Papers TSV path.")
+
+let generate_cmd =
+  let scale =
+    Arg.(
+      value & opt float 0.25
+      & info [ "scale" ] ~docv:"S" ~doc:"Size factor on the Table 3 corpus.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Write a synthetic DBLP-like corpus as TSV")
+    Term.(
+      const (fun seed scale authors_path papers_path ->
+          generate ~seed ~scale ~authors_path ~papers_path)
+      $ seed_arg $ scale $ authors_arg $ papers_arg)
+
+let assign_cmd =
+  let dataset =
+    Arg.(
+      value & opt string "DB08"
+      & info [ "dataset" ] ~docv:"NAME" ~doc:"DB08, DM08, TH08, DB09, DM09 or TH09.")
+  in
+  let delta_p =
+    Arg.(value & opt int 3 & info [ "delta-p" ] ~docv:"N" ~doc:"Reviewers per paper.")
+  in
+  let no_refine =
+    Arg.(value & flag & info [ "no-refine" ] ~doc:"Skip stochastic refinement.")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Assignment TSV output ('-' = stdout).")
+  in
+  Cmd.v
+    (Cmd.info "assign" ~doc:"Conference assignment with SDGA + SRA")
+    Term.(
+      const (fun seed authors_path papers_path dataset delta_p no_refine out ->
+          assign ~seed ~authors_path ~papers_path ~dataset ~delta_p
+            ~refine:(not no_refine) ~out)
+      $ seed_arg $ authors_arg $ papers_arg $ dataset $ delta_p $ no_refine
+      $ out)
+
+let jra_cmd =
+  let paper_id =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "paper" ] ~docv:"ID" ~doc:"Paper id to find reviewers for.")
+  in
+  let delta_p =
+    Arg.(value & opt int 3 & info [ "delta-p" ] ~docv:"N" ~doc:"Group size.")
+  in
+  let top_k =
+    Arg.(value & opt int 5 & info [ "top-k" ] ~docv:"K" ~doc:"Number of groups.")
+  in
+  Cmd.v
+    (Cmd.info "jra" ~doc:"Exact reviewer search for one paper (BBA)")
+    Term.(
+      const (fun seed authors_path papers_path paper_id delta_p top_k ->
+          jra ~seed ~authors_path ~papers_path ~paper_id ~delta_p ~top_k)
+      $ seed_arg $ authors_arg $ papers_arg $ paper_id $ delta_p $ top_k)
+
+let () =
+  let doc = "weighted-coverage reviewer assignment (SIGMOD 2015)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "wgrap" ~doc) [ generate_cmd; assign_cmd; jra_cmd ]))

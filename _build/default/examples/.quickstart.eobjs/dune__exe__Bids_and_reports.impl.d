@@ -1,0 +1,1 @@
+examples/bids_and_reports.ml: Array Assignment Bids Format Instance List Printf String Summary Wgrap Wgrap_util

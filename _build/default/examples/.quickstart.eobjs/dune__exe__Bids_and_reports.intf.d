@@ -1,0 +1,1 @@
+examples/bids_and_reports.mli:

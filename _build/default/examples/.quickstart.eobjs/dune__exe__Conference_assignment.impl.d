@@ -1,0 +1,1 @@
+examples/conference_assignment.ml: Array Assignment Dataset Instance List Metrics Option Printf Sdga Sra String Wgrap Wgrap_util

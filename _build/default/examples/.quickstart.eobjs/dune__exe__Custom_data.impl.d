@@ -1,0 +1,1 @@
+examples/custom_data.ml: Array Dataset Filename Jra Jra_bba List Printf Scoring String Sys Wgrap Wgrap_util

@@ -1,0 +1,1 @@
+examples/journal_assignment.ml: Array Dataset Float Jra Jra_bba Jra_bfs List Printf String Wgrap Wgrap_util

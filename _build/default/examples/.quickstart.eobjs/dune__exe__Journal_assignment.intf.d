@@ -1,0 +1,1 @@
+examples/journal_assignment.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Assignment Instance Jra Jra_bba List Printf Sdga Sra String Wgrap Wgrap_util

@@ -1,0 +1,1 @@
+lib/core/amend.ml: Array Assignment Instance List Result Stage

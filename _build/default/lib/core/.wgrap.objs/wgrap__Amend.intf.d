@@ -1,0 +1,1 @@
+lib/core/amend.mli: Assignment Instance

@@ -1,0 +1,1 @@
+lib/core/arap_ilp.ml: Array Assignment Instance Lap List

@@ -1,0 +1,1 @@
+lib/core/arap_ilp.mli: Assignment Instance

@@ -1,0 +1,1 @@
+lib/core/assignment.ml: Array Fun Instance List Option Printf Result Scoring String Topic_vector

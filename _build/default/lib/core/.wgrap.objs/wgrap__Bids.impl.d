@@ -1,0 +1,1 @@
+lib/core/bids.ml: Array Assignment Float Instance List Result Sra Stage Wgrap_util

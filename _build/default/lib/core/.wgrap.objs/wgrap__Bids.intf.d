@@ -1,0 +1,1 @@
+lib/core/bids.mli: Assignment Instance Sra Wgrap_util

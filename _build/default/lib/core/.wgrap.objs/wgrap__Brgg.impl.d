@@ -1,0 +1,1 @@
+lib/core/brgg.ml: Array Assignment Fun Instance Jra Jra_bba List Repair

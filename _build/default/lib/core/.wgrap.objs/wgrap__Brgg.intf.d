@@ -1,0 +1,1 @@
+lib/core/brgg.mli: Assignment Instance

@@ -1,0 +1,1 @@
+lib/core/exact.ml: Array Assignment Fun Instance List Scoring

@@ -1,0 +1,1 @@
+lib/core/greedy.ml: Array Assignment Instance List Repair Scoring Topic_vector Wgrap_util

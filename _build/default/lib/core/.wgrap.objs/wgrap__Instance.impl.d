@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array Lap List Result Scoring Topic_vector

@@ -1,0 +1,1 @@
+lib/core/jra.ml: Array Instance List Scoring Topic_vector

@@ -1,0 +1,1 @@
+lib/core/jra.mli: Instance Scoring Topic_vector

@@ -1,0 +1,1 @@
+lib/core/jra_bba.ml: Array Float Jra List Scoring Topic_vector Wgrap_util

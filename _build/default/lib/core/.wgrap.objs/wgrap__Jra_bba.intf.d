@@ -1,0 +1,1 @@
+lib/core/jra_bba.mli: Jra

@@ -1,0 +1,1 @@
+lib/core/jra_bfs.ml: Array Jra Scoring Topic_vector

@@ -1,0 +1,1 @@
+lib/core/jra_cp.ml: Array Cpsolve Fun Jra List Option Scoring Topic_vector Wgrap_util

@@ -1,0 +1,1 @@
+lib/core/jra_cp.mli: Jra Wgrap_util

@@ -1,0 +1,1 @@
+lib/core/jra_ilp.ml: Array Fun Jra List Milp Option Scoring Topic_vector Wgrap_util

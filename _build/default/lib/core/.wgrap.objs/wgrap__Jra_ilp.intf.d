@@ -1,0 +1,1 @@
+lib/core/jra_ilp.mli: Jra Wgrap_util

@@ -1,0 +1,1 @@
+lib/core/local_search.ml: Array Assignment Fun Instance List Scoring Unix Wgrap_util

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Array Assignment Float Instance Jra Jra_bba List Topic_vector

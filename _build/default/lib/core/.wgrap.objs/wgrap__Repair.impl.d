@@ -1,0 +1,1 @@
+lib/core/repair.ml: Array Assignment Instance List

@@ -1,0 +1,1 @@
+lib/core/rrap.ml: Array Assignment Fun Instance List

@@ -1,0 +1,1 @@
+lib/core/rrap.mli: Assignment Instance

@@ -1,0 +1,1 @@
+lib/core/sdga.ml: Array Assignment Instance List Stage

@@ -1,0 +1,1 @@
+lib/core/sdga.mli: Assignment Instance

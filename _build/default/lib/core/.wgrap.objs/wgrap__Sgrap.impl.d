@@ -1,0 +1,1 @@
+lib/core/sgrap.ml: Array Instance List Scoring Wgrap_util

@@ -1,0 +1,1 @@
+lib/core/sgrap.mli: Instance Topic_vector

@@ -1,0 +1,1 @@
+lib/core/sra.ml: Array Assignment Float Instance Lap List Stage Unix Wgrap_util

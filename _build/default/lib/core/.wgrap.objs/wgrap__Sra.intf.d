@@ -1,0 +1,1 @@
+lib/core/sra.mli: Assignment Instance Wgrap_util

@@ -1,0 +1,1 @@
+lib/core/stable_baseline.ml: Array Assignment Float Fun Instance Lap List Queue Repair

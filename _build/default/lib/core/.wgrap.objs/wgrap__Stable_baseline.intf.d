@@ -1,0 +1,1 @@
+lib/core/stable_baseline.mli: Assignment Instance

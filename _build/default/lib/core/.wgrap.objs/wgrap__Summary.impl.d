@@ -1,0 +1,1 @@
+lib/core/summary.ml: Array Assignment Format Instance List Wgrap_util

@@ -1,0 +1,1 @@
+lib/core/summary.mli: Assignment Format Instance

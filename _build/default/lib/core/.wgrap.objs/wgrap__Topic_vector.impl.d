@@ -1,0 +1,1 @@
+lib/core/topic_vector.ml: Array Float Format List Printf String Wgrap_util

@@ -1,0 +1,1 @@
+lib/core/topic_vector.mli: Format

@@ -1,0 +1,77 @@
+type change = {
+  assignment : Assignment.t;
+  touched_papers : int list;
+}
+
+(* Refill every short paper against [inst], with [banned] reviewers
+   excluded outright. One Stage round adds one reviewer per short paper;
+   papers that lost several reviewers take several rounds. *)
+let refill inst base ~touched ~banned =
+  let short () =
+    List.filter
+      (fun p ->
+        List.length (Assignment.group base p) < inst.Instance.delta_p)
+      touched
+  in
+  let n_r = Instance.n_reviewers inst in
+  let rec rounds () =
+    match short () with
+    | [] -> Ok { assignment = base; touched_papers = List.sort compare touched }
+    | papers -> (
+        let workload = Assignment.workloads base ~n_reviewers:n_r in
+        let capacity =
+          Array.init n_r (fun r ->
+              if banned r then 0
+              else max 0 (inst.Instance.delta_r - workload.(r)))
+        in
+        match Stage.solve ~papers inst ~current:base ~capacity with
+        | pairs ->
+            List.iter
+              (fun (p, r) -> Assignment.add base ~paper:p ~reviewer:r)
+              pairs;
+            rounds ()
+        | exception Failure _ ->
+            Error "no feasible refill: reviewer capacity exhausted")
+  in
+  rounds ()
+
+let withdraw_reviewer inst assignment ~reviewer =
+  if reviewer < 0 || reviewer >= Instance.n_reviewers inst then
+    Error "reviewer index out of range"
+  else begin
+    match Assignment.validate inst assignment with
+    | Error e -> Error ("input assignment infeasible: " ^ e)
+    | Ok () ->
+        let base = Assignment.copy assignment in
+        let affected = ref [] in
+        Array.iteri
+          (fun p group ->
+            if List.mem reviewer group then begin
+              base.Assignment.groups.(p) <-
+                List.filter (fun r -> r <> reviewer) group;
+              affected := p :: !affected
+            end)
+          base.Assignment.groups;
+        refill inst base ~touched:!affected ~banned:(fun r -> r = reviewer)
+  end
+
+let add_coi inst assignment pairs =
+  match Instance.add_coi inst pairs with
+  | Error e -> Error e
+  | Ok inst' -> (
+      match Assignment.validate inst assignment with
+      | Error e -> Error ("input assignment infeasible: " ^ e)
+      | Ok () ->
+          let base = Assignment.copy assignment in
+          let affected = ref [] in
+          List.iter
+            (fun (p, r) ->
+              if List.mem r (Assignment.group base p) then begin
+                base.Assignment.groups.(p) <-
+                  List.filter (fun r' -> r' <> r) (Assignment.group base p);
+                if not (List.mem p !affected) then affected := p :: !affected
+              end)
+            (List.sort_uniq compare pairs);
+          Result.map
+            (fun change -> (inst', change))
+            (refill inst' base ~touched:!affected ~banned:(fun _ -> false)))

@@ -1,0 +1,29 @@
+(** Minimal repairs to a running assignment when the world changes after
+    the fact — a reviewer withdraws, or a conflict of interest surfaces
+    late. Only the affected papers are touched; everyone else's
+    assignment is left exactly as announced, which is what a program
+    chair actually wants (re-running SDGA from scratch would reshuffle
+    hundreds of groups for a one-reviewer change). *)
+
+type change = {
+  assignment : Assignment.t;  (** repaired, feasible *)
+  touched_papers : int list;  (** papers whose group changed, ascending *)
+}
+
+val withdraw_reviewer :
+  Instance.t -> Assignment.t -> reviewer:int -> (change, string) result
+(** Remove every pair of [reviewer] and refill the affected papers with
+    one Stage-WGRAP assignment over the remaining spare workloads
+    (excluding the withdrawn reviewer entirely). Errors if the input is
+    infeasible, the reviewer index is out of range, or no feasible
+    refill exists (capacity genuinely exhausted). *)
+
+val add_coi :
+  Instance.t ->
+  Assignment.t ->
+  (int * int) list ->
+  (Instance.t * change, string) result
+(** Register late conflicts ([(paper, reviewer)] pairs), drop any
+    assigned pair they invalidate, and refill the affected papers under
+    the {e new} instance. Returns the updated instance alongside the
+    repair. Pairs not currently assigned just become constraints. *)

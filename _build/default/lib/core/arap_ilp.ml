@@ -1,0 +1,24 @@
+let solve inst =
+  let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
+  let score = Instance.score_matrix inst in
+  let groups =
+    Lap.Mcmf.transportation ~score
+      ~row_supply:(Array.make n_p inst.Instance.delta_p)
+      ~col_capacity:(Array.make n_r inst.Instance.delta_r)
+  in
+  let assignment = Assignment.empty ~n_papers:n_p in
+  Array.iteri
+    (fun p reviewers ->
+      List.iter (fun r -> Assignment.add assignment ~paper:p ~reviewer:r) reviewers)
+    groups;
+  assignment
+
+let pair_objective inst assignment =
+  let acc = ref 0. in
+  Array.iteri
+    (fun p group ->
+      List.iter
+        (fun r -> acc := !acc +. Instance.pair_score inst ~paper:p ~reviewer:r)
+        group)
+    assignment.Assignment.groups;
+  !acc

@@ -1,0 +1,17 @@
+(** The "ILP" baseline of Section 5.2: the assignment-based RAP
+    (Definition 5) whose objective is the {e sum of per-pair scores}
+    rather than group coverage.
+
+    Its constraint matrix is totally unimodular, so the integer optimum
+    coincides with the LP/flow optimum: we solve it exactly as a
+    transportation problem (each paper supplies [delta_p] units, each
+    reviewer absorbs at most [delta_r]) — no branch and bound needed.
+    The result is then {e evaluated} under the group-coverage objective,
+    which is where it falls short of SDGA (Figure 10). *)
+
+val solve : Instance.t -> Assignment.t
+(** Exact ARAP optimum; feasible for WGRAP by construction. *)
+
+val pair_objective : Instance.t -> Assignment.t -> float
+(** The ARAP objective (sum of per-pair scores) of an assignment, used
+    by tests to confirm optimality dominance over other methods. *)

@@ -1,0 +1,46 @@
+(** An assignment A of reviewers to papers, stored per paper. *)
+
+type t = { groups : int list array }
+(** [groups.(p)] is the (unordered, duplicate-free) list of reviewer
+    indices assigned to paper [p]. *)
+
+val empty : n_papers:int -> t
+val copy : t -> t
+
+val of_pairs : n_papers:int -> (int * int) list -> t
+(** Build from [(reviewer, paper)] pairs. *)
+
+val pairs : t -> (int * int) list
+(** All [(reviewer, paper)] pairs, paper-major order. *)
+
+val group : t -> int -> int list
+val add : t -> paper:int -> reviewer:int -> unit
+val size : t -> int
+(** Total number of assigned pairs. *)
+
+val workloads : t -> n_reviewers:int -> int array
+(** Papers currently assigned to each reviewer. *)
+
+val group_vector : Instance.t -> t -> int -> Topic_vector.t
+(** Coordinatewise-max expertise vector of paper [p]'s group (all-zero
+    for an empty group). *)
+
+val paper_score : Instance.t -> t -> int -> float
+(** c(g, p) for paper [p] under the instance scoring. *)
+
+val coverage : Instance.t -> t -> float
+(** The WGRAP objective c(A): sum of per-paper group scores. *)
+
+val save_tsv : t -> string -> unit
+(** One line per paper: [paper_id \t reviewer ids ';'-separated]. *)
+
+val load_tsv : n_papers:int -> string -> (t, string) result
+(** Inverse of {!save_tsv}; papers may appear in any order but each at
+    most once, ids must be in range. Feasibility is NOT checked — run
+    {!validate} against an instance for that. *)
+
+val validate : Instance.t -> t -> (unit, string) result
+(** Full feasibility check: exactly [delta_p] distinct reviewers per
+    paper, no reviewer above [delta_r], no COI pair used. *)
+
+val is_feasible : Instance.t -> t -> bool

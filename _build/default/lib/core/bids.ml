@@ -1,0 +1,153 @@
+module Rng = Wgrap_util.Rng
+
+type t = {
+  preferences : float array array;
+}
+
+let create preferences =
+  let p = Array.length preferences in
+  if p = 0 then Error "empty bid matrix"
+  else begin
+    let r = Array.length preferences.(0) in
+    let ok = ref (Ok ()) in
+    Array.iter
+      (fun row ->
+        if Array.length row <> r then ok := Error "ragged bid matrix"
+        else if Array.exists (fun b -> b < 0. || b > 1. || Float.is_nan b) row
+        then ok := Error "bids must lie in [0, 1]")
+      preferences;
+    Result.map (fun () -> { preferences }) !ok
+  end
+
+let create_exn preferences =
+  match create preferences with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Bids.create: " ^ e)
+
+let random ~rng ?(sparsity = 0.3) inst =
+  let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
+  let preferences =
+    Array.init n_p (fun p ->
+        Array.init n_r (fun r ->
+            if
+              Instance.forbidden inst ~paper:p ~reviewer:r
+              || Rng.uniform rng > sparsity
+            then 0.
+            else begin
+              (* Bid level tracks topical fit, jittered: reviewers like
+                 papers they can actually review, but noisily. *)
+              let fit = Instance.pair_score inst ~paper:p ~reviewer:r in
+              let noisy = fit +. (0.3 *. (Rng.uniform rng -. 0.5)) in
+              Float.min 1. (Float.max 0. noisy)
+            end))
+  in
+  { preferences }
+
+let bid t ~paper ~reviewer = t.preferences.(paper).(reviewer)
+
+let bid_satisfaction inst t assignment =
+  let total = ref 0. and count = ref 0 in
+  Array.iteri
+    (fun p group ->
+      List.iter
+        (fun r ->
+          total := !total +. bid t ~paper:p ~reviewer:r;
+          incr count)
+        group)
+    assignment.Assignment.groups;
+  ignore inst;
+  if !count = 0 then 0. else !total /. float_of_int !count
+
+let objective ?(lambda = 0.7) inst t assignment =
+  let dp = float_of_int inst.Instance.delta_p in
+  let acc = ref 0. in
+  Array.iteri
+    (fun p group ->
+      let coverage = Assignment.paper_score inst assignment p in
+      let bids = List.fold_left (fun s r -> s +. bid t ~paper:p ~reviewer:r) 0. group in
+      acc := !acc +. (lambda *. coverage) +. ((1. -. lambda) *. bids /. dp))
+    assignment.Assignment.groups;
+  !acc
+
+let pair_gain t ~lambda ~dp ~paper ~reviewer ~coverage_gain =
+  (lambda *. coverage_gain)
+  +. ((1. -. lambda) *. bid t ~paper ~reviewer /. float_of_int dp)
+
+let sdga ?(lambda = 0.7) inst t =
+  let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
+  let dp = inst.Instance.delta_p in
+  let assignment = Assignment.empty ~n_papers:n_p in
+  let used = Array.make n_r 0 in
+  let per_stage = Instance.stage_capacity inst in
+  let gain = pair_gain t ~lambda ~dp in
+  for _stage = 1 to dp do
+    let confined =
+      Array.init n_r (fun r -> min per_stage (inst.Instance.delta_r - used.(r)))
+    in
+    let pairs =
+      try Stage.solve ~pair_gain:gain inst ~current:assignment ~capacity:confined
+      with Failure _ ->
+        let relaxed = Array.init n_r (fun r -> inst.Instance.delta_r - used.(r)) in
+        Stage.solve ~pair_gain:gain inst ~current:assignment ~capacity:relaxed
+    in
+    List.iter
+      (fun (p, r) ->
+        Assignment.add assignment ~paper:p ~reviewer:r;
+        used.(r) <- used.(r) + 1)
+      pairs
+  done;
+  assignment
+
+let refine ?(lambda = 0.7) ?(params = Sra.default_params) ~rng inst t start =
+  let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
+  let dp = inst.Instance.delta_p in
+  let gain = pair_gain t ~lambda ~dp in
+  let score_matrix = Instance.score_matrix inst in
+  let best = ref (Assignment.copy start) in
+  let best_score = ref (objective ~lambda inst t start) in
+  let current = ref (Assignment.copy start) in
+  let stall = ref 0 and round = ref 0 in
+  (try
+     while !stall < params.Sra.omega && !round < params.Sra.max_rounds do
+       incr round;
+       let trimmed = Assignment.empty ~n_papers:n_p in
+       let workload = Array.make n_r 0 in
+       for p = 0 to n_p - 1 do
+         let members = Array.of_list (Assignment.group !current p) in
+         let weights =
+           Array.map
+             (fun r ->
+               1.
+               -. Sra.removal_probability inst ~score_matrix ~round:!round
+                    ~lambda:params.Sra.lambda ~paper:p ~reviewer:r)
+             members
+         in
+         let victim =
+           if Array.fold_left ( +. ) 0. weights <= 0. then
+             Rng.int rng (Array.length members)
+           else Rng.categorical rng weights
+         in
+         Array.iteri
+           (fun i r ->
+             if i <> victim then begin
+               Assignment.add trimmed ~paper:p ~reviewer:r;
+               workload.(r) <- workload.(r) + 1
+             end)
+           members
+       done;
+       let capacity =
+         Array.init n_r (fun r -> inst.Instance.delta_r - workload.(r))
+       in
+       let pairs = Stage.solve ~pair_gain:gain inst ~current:trimmed ~capacity in
+       List.iter (fun (p, r) -> Assignment.add trimmed ~paper:p ~reviewer:r) pairs;
+       current := trimmed;
+       let score = objective ~lambda inst t trimmed in
+       if score > !best_score +. 1e-12 then begin
+         best_score := score;
+         best := Assignment.copy trimmed;
+         stall := 0
+       end
+       else incr stall
+     done
+   with Failure _ -> ());
+  !best

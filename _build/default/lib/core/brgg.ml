@@ -1,0 +1,84 @@
+let solve inst =
+  let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
+  let dp = inst.Instance.delta_p and dr = inst.Instance.delta_r in
+  let assignment = Assignment.empty ~n_papers:n_p in
+  let workload = Array.make n_r 0 in
+  let best_for p =
+    let excluded =
+      Array.init n_r (fun r ->
+          workload.(r) >= dr || Instance.forbidden inst ~paper:p ~reviewer:r)
+    in
+    let problem =
+      Jra.make ~scoring:inst.Instance.scoring ~excluded
+        ~paper:inst.Instance.papers.(p) ~pool:inst.Instance.reviewers
+        ~group_size:dp ()
+    in
+    Jra_bba.solve problem
+  in
+  let available_for p =
+    let count = ref 0 in
+    for r = 0 to n_r - 1 do
+      if workload.(r) < dr && not (Instance.forbidden inst ~paper:p ~reviewer:r)
+      then incr count
+    done;
+    !count
+  in
+  let assign_group p group =
+    List.iter
+      (fun r ->
+        Assignment.add assignment ~paper:p ~reviewer:r;
+        workload.(r) <- workload.(r) + 1)
+      group
+  in
+  (* Serve a paper with everything it can still get (possibly < delta_p);
+     the repair pass completes any shortfall. *)
+  let serve_starving p =
+    let avail = available_for p in
+    if avail >= dp then assign_group p (best_for p).Jra.group
+    else begin
+      let rs = ref [] in
+      for r = n_r - 1 downto 0 do
+        if workload.(r) < dr && not (Instance.forbidden inst ~paper:p ~reviewer:r)
+        then rs := r :: !rs
+      done;
+      assign_group p !rs
+    end
+  in
+  let cache = Array.make n_p None in
+  let unassigned = ref (List.init n_p Fun.id) in
+  while !unassigned <> [] do
+    (* A paper whose remaining pool has shrunk to delta_p (or below) must
+       be served immediately or it becomes unservable. *)
+    match List.find_opt (fun p -> available_for p <= dp) !unassigned with
+    | Some p ->
+        serve_starving p;
+        unassigned := List.filter (fun q -> q <> p) !unassigned
+    | None ->
+        (* Refresh stale caches (sound: availability only shrinks, so an
+           intact cached group stays optimal), pick the best. *)
+        let best_paper = ref (-1) and best_score = ref neg_infinity in
+        List.iter
+          (fun p ->
+            let sol =
+              match cache.(p) with
+              | Some sol
+                when List.for_all (fun r -> workload.(r) < dr) sol.Jra.group ->
+                  sol
+              | _ ->
+                  let sol = best_for p in
+                  cache.(p) <- Some sol;
+                  sol
+            in
+            if sol.Jra.score > !best_score then begin
+              best_score := sol.Jra.score;
+              best_paper := p
+            end)
+          !unassigned;
+        let p = !best_paper in
+        (match cache.(p) with
+        | Some sol -> assign_group p sol.Jra.group
+        | None -> assert false);
+        unassigned := List.filter (fun q -> q <> p) !unassigned
+  done;
+  Repair.complete inst assignment;
+  assignment

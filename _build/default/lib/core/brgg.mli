@@ -1,0 +1,13 @@
+(** Best Reviewer Group Greedy (discussed at the start of Section 4.2 and
+    evaluated as BRGG in Section 5.2): at each of P iterations, find the
+    (group, paper) pair with the best coverage among unassigned papers —
+    each inner search is a JRA instance solved exactly by BBA over the
+    reviewers with remaining workload — and commit it.
+
+    Early papers get near-ideal groups; tail papers are starved, which is
+    the behaviour Figures 10-11 show. Per-paper best groups are cached
+    and recomputed only when a member's workload is exhausted (sound
+    because availability only shrinks, so an intact cached group stays
+    optimal). *)
+
+val solve : Instance.t -> Assignment.t

@@ -1,0 +1,82 @@
+let combinations n k =
+  let acc = ref 1. in
+  for i = 0 to k - 1 do
+    acc := !acc *. float_of_int (n - i) /. float_of_int (i + 1)
+  done;
+  !acc
+
+(* All delta_p-subsets of the feasible reviewers of a paper, with their
+   group scores, sorted best-first. *)
+let groups_for inst p =
+  let n_r = Instance.n_reviewers inst in
+  let dp = inst.Instance.delta_p in
+  let candidates =
+    List.filter
+      (fun r -> not (Instance.forbidden inst ~paper:p ~reviewer:r))
+      (List.init n_r Fun.id)
+    |> Array.of_list
+  in
+  let acc = ref [] in
+  let chosen = Array.make dp 0 in
+  let rec extend depth first =
+    if depth = dp then begin
+      let group = Array.to_list (Array.sub chosen 0 dp) in
+      let score =
+        Scoring.group_score inst.Instance.scoring
+          (List.map (fun r -> inst.Instance.reviewers.(r)) group)
+          inst.Instance.papers.(p)
+      in
+      acc := (score, group) :: !acc
+    end
+    else
+      for i = first to Array.length candidates - 1 do
+        chosen.(depth) <- candidates.(i);
+        extend (depth + 1) (i + 1)
+      done
+  in
+  extend 0 0;
+  List.sort (fun (a, _) (b, _) -> compare b a) !acc |> Array.of_list
+
+let solve ?(max_space = 1e8) inst =
+  let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
+  let dp = inst.Instance.delta_p and dr = inst.Instance.delta_r in
+  let per_paper = combinations n_r dp in
+  if per_paper ** float_of_int n_p > max_space then
+    invalid_arg "Exact.solve: instance too large for exhaustive search";
+  let groups = Array.init n_p (fun p -> groups_for inst p) in
+  (* best_tail.(p) = sum over papers >= p of their best unconstrained
+     group score: an admissible bound on any completion. *)
+  let best_tail = Array.make (n_p + 1) 0. in
+  for p = n_p - 1 downto 0 do
+    let best = if Array.length groups.(p) = 0 then 0. else fst groups.(p).(0) in
+    best_tail.(p) <- best_tail.(p + 1) +. best
+  done;
+  let workload = Array.make n_r 0 in
+  let chosen = Array.make n_p [] in
+  let best_value = ref neg_infinity in
+  let best_choice = ref None in
+  let rec assign p value =
+    if p = n_p then begin
+      if value > !best_value then begin
+        best_value := value;
+        best_choice := Some (Array.copy chosen)
+      end
+    end
+    else if value +. best_tail.(p) > !best_value then
+      Array.iter
+        (fun (score, group) ->
+          (* Groups are sorted, so once even this group cannot beat the
+             incumbent no later group can either — but the workload
+             constraint is group-dependent, so we only skip, not cut. *)
+          if List.for_all (fun r -> workload.(r) < dr) group then begin
+            List.iter (fun r -> workload.(r) <- workload.(r) + 1) group;
+            chosen.(p) <- group;
+            assign (p + 1) (value +. score);
+            List.iter (fun r -> workload.(r) <- workload.(r) - 1) group
+          end)
+        groups.(p)
+  in
+  assign 0 0.;
+  match !best_choice with
+  | None -> failwith "Exact.solve: no feasible assignment"
+  | Some choice -> { Assignment.groups = choice }

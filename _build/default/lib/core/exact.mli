@@ -1,0 +1,17 @@
+(** Exact WGRAP by exhaustive search over per-paper reviewer groups.
+
+    The search space is (C(R, delta_p))^P — the paper's reason for not
+    computing optima beyond toy sizes (Section 4 opening). This solver
+    exists as a ground-truth oracle: the test suite uses it to check the
+    approximation guarantees of SDGA (>= 1/2) and Greedy (>= 1/3)
+    against the {e true} optimum, not just the ideal-assignment bound.
+
+    Branch-and-bound: papers are processed in order; each paper's
+    candidate groups are pre-enumerated and sorted by unconstrained
+    score, and a prefix-sum bound (remaining papers at their best
+    unconstrained group scores) prunes the search. *)
+
+val solve : ?max_space:float -> Instance.t -> Assignment.t
+(** Optimal assignment. Raises [Invalid_argument] when
+    [C(R, delta_p)^P] exceeds [max_space] (default 1e8) — this solver
+    is for test-sized instances only. *)

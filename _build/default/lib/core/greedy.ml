@@ -1,0 +1,108 @@
+module Heap = Wgrap_util.Heap
+
+type entry = { gain : float; reviewer : int; paper : int; version : int }
+
+let solve inst =
+  let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
+  let dp = inst.Instance.delta_p and dr = inst.Instance.delta_r in
+  let assignment = Assignment.empty ~n_papers:n_p in
+  let workload = Array.make n_r 0 in
+  let group_size = Array.make n_p 0 in
+  (* Group vectors maintained incrementally; version.(p) invalidates heap
+     entries computed against an older group of p. *)
+  let dim = Instance.n_topics inst in
+  let gvec = Array.init n_p (fun _ -> Scoring.empty_group ~dim) in
+  let version = Array.make n_p 0 in
+  let gain_now ~reviewer ~paper =
+    Scoring.gain inst.Instance.scoring ~group:gvec.(paper)
+      inst.Instance.reviewers.(reviewer) inst.Instance.papers.(paper)
+  in
+  let heap =
+    Heap.create ~capacity:(n_p * n_r) ~cmp:(fun a b -> compare a.gain b.gain) ()
+  in
+  for p = 0 to n_p - 1 do
+    for r = 0 to n_r - 1 do
+      if not (Instance.forbidden inst ~paper:p ~reviewer:r) then
+        Heap.push heap { gain = gain_now ~reviewer:r ~paper:p; reviewer = r; paper = p; version = 0 }
+    done
+  done;
+  let remaining = ref (n_p * dp) in
+  let in_group r p = List.mem r (Assignment.group assignment p) in
+  let stuck = ref false in
+  while !remaining > 0 && not !stuck do
+    match Heap.pop heap with
+    | None ->
+        (* Tight workloads can strand tail papers (their remaining pool
+           is inside their own group); the repair pass completes them. *)
+        stuck := true
+    | Some e ->
+        let feasible =
+          group_size.(e.paper) < dp
+          && workload.(e.reviewer) < dr
+          && not (in_group e.reviewer e.paper)
+        in
+        if feasible then begin
+          if e.version = version.(e.paper) then begin
+            (* Fresh gain: globally maximal, commit the pair. *)
+            Assignment.add assignment ~paper:e.paper ~reviewer:e.reviewer;
+            Topic_vector.extend_max_into ~dst:gvec.(e.paper)
+              inst.Instance.reviewers.(e.reviewer);
+            workload.(e.reviewer) <- workload.(e.reviewer) + 1;
+            group_size.(e.paper) <- group_size.(e.paper) + 1;
+            version.(e.paper) <- version.(e.paper) + 1;
+            decr remaining
+          end
+          else
+            Heap.push heap
+              {
+                e with
+                gain = gain_now ~reviewer:e.reviewer ~paper:e.paper;
+                version = version.(e.paper);
+              }
+        end
+  done;
+  if !stuck then Repair.complete inst assignment;
+  assignment
+
+let solve_rescan inst =
+  let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
+  let dp = inst.Instance.delta_p and dr = inst.Instance.delta_r in
+  let assignment = Assignment.empty ~n_papers:n_p in
+  let workload = Array.make n_r 0 in
+  let group_size = Array.make n_p 0 in
+  let dim = Instance.n_topics inst in
+  let gvec = Array.init n_p (fun _ -> Scoring.empty_group ~dim) in
+  let stuck = ref false in
+  for _ = 1 to n_p * dp do
+    if not !stuck then begin
+    let best_gain = ref neg_infinity and best = ref None in
+    for p = 0 to n_p - 1 do
+      if group_size.(p) < dp then
+        for r = 0 to n_r - 1 do
+          if
+            workload.(r) < dr
+            && (not (Instance.forbidden inst ~paper:p ~reviewer:r))
+            && not (List.mem r (Assignment.group assignment p))
+          then begin
+            let g =
+              Scoring.gain inst.Instance.scoring ~group:gvec.(p)
+                inst.Instance.reviewers.(r) inst.Instance.papers.(p)
+            in
+            if g > !best_gain then begin
+              best_gain := g;
+              best := Some (r, p)
+            end
+          end
+        done
+    done;
+    (match !best with
+    | None -> stuck := true
+    | Some (r, p) ->
+        Assignment.add assignment ~paper:p ~reviewer:r;
+        Topic_vector.extend_max_into ~dst:gvec.(p) inst.Instance.reviewers.(r);
+        workload.(r) <- workload.(r) + 1;
+        group_size.(p) <- group_size.(p) + 1)
+    end
+  done;
+  if !stuck then Repair.complete inst assignment;
+  assignment

@@ -1,0 +1,18 @@
+(** The greedy algorithm of Long et al. [22] (Section 4.1): repeatedly
+    add the feasible (reviewer, paper) pair with the largest marginal
+    gain until every paper has [delta_p] reviewers. 1/3-approximation
+    for any submodular objective over the assignment 2-system — the
+    state of the art this paper improves on.
+
+    Implemented lazily: gains live in a max-heap and are re-evaluated on
+    pop. Because the objective is submodular, a stale gain only
+    over-estimates, so the first entry whose refreshed gain still tops
+    the heap is globally maximal. *)
+
+val solve : Instance.t -> Assignment.t
+
+val solve_rescan : Instance.t -> Assignment.t
+(** Ablation variant: full O(P*R) rescan per iteration instead of the
+    lazy heap. Every step picks a maximal-gain pair in both variants,
+    but gain ties may break differently and cascade, so totals agree
+    only approximately. *)

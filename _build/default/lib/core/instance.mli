@@ -1,0 +1,73 @@
+(** A WGRAP problem instance (Definition 3): papers, reviewers, the group
+    size constraint delta_p, the reviewer workload delta_r, conflicts of
+    interest, and the scoring function in force. *)
+
+type t = private {
+  papers : Topic_vector.t array;
+  reviewers : Topic_vector.t array;
+  delta_p : int;  (** reviewers per paper (exactly) *)
+  delta_r : int;  (** papers per reviewer (at most) *)
+  scoring : Scoring.kind;
+  coi : bool array array option;  (** [coi.(p).(r)] forbids pair (r, p) *)
+}
+
+val create :
+  ?scoring:Scoring.kind ->
+  ?coi:(int * int) list ->
+  papers:Topic_vector.t array ->
+  reviewers:Topic_vector.t array ->
+  delta_p:int ->
+  delta_r:int ->
+  unit ->
+  (t, string) result
+(** Validates: non-empty sides, uniform dimensions, non-negative vectors,
+    [1 <= delta_p <= R], [delta_r >= 1], capacity
+    [R * delta_r >= P * delta_p], and COI pairs in range (given as
+    [(paper, reviewer)] index pairs). *)
+
+val create_exn :
+  ?scoring:Scoring.kind ->
+  ?coi:(int * int) list ->
+  papers:Topic_vector.t array ->
+  reviewers:Topic_vector.t array ->
+  delta_p:int ->
+  delta_r:int ->
+  unit ->
+  t
+(** As {!create} but raising [Invalid_argument]. *)
+
+val n_papers : t -> int
+val n_reviewers : t -> int
+val n_topics : t -> int
+
+val forbidden : t -> paper:int -> reviewer:int -> bool
+(** Whether (reviewer, paper) is a conflict of interest. *)
+
+val pair_score : t -> paper:int -> reviewer:int -> float
+(** c(r, p) under the instance's scoring function. *)
+
+val score_matrix : t -> float array array
+(** [P x R] matrix of single-reviewer scores; COI cells hold
+    [Lap.Hungarian.forbidden]. Freshly computed — callers that need it
+    repeatedly should keep the result. *)
+
+val min_workload : papers:int -> reviewers:int -> delta_p:int -> int
+(** The paper's experimental default [delta_r = ceil (P * delta_p / R)]:
+    the minimum balanced workload. *)
+
+val stage_capacity : t -> int
+(** [ceil (delta_r / delta_p)]: the per-stage reviewer workload cap used
+    by Stage-WGRAP (Definition 9). *)
+
+val with_scoring : t -> Scoring.kind -> t
+(** Same instance under a different scoring function (cache dropped). *)
+
+val with_reviewers : t -> Topic_vector.t array -> t
+(** Same instance with rescaled reviewer vectors (e.g. the h-index
+    scaling of Eq. 15); dimensions must match. *)
+
+val coi_pairs : t -> (int * int) list
+(** The instance's conflicts as [(paper, reviewer)] pairs. *)
+
+val add_coi : t -> (int * int) list -> (t, string) result
+(** Same instance with additional conflicts (validated for range). *)

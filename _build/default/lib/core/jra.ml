@@ -1,0 +1,52 @@
+type problem = {
+  paper : Topic_vector.t;
+  pool : Topic_vector.t array;
+  group_size : int;
+  scoring : Scoring.kind;
+  excluded : bool array option;
+}
+
+type solution = {
+  group : int list;
+  score : float;
+}
+
+let available_of ~pool ~excluded =
+  match excluded with
+  | None -> Array.length pool
+  | Some mask ->
+      Array.fold_left (fun acc b -> if b then acc else acc + 1) 0 mask
+
+let make ?(scoring = Scoring.Weighted_coverage) ?excluded ~paper ~pool
+    ~group_size () =
+  let dim = Array.length paper in
+  if dim = 0 then invalid_arg "Jra.make: empty paper vector";
+  Array.iter
+    (fun r ->
+      if Array.length r <> dim then invalid_arg "Jra.make: dimension mismatch")
+    pool;
+  (match excluded with
+  | Some mask when Array.length mask <> Array.length pool ->
+      invalid_arg "Jra.make: exclusion mask length mismatch"
+  | _ -> ());
+  if group_size < 1 then invalid_arg "Jra.make: group_size must be >= 1";
+  if group_size > available_of ~pool ~excluded then
+    invalid_arg "Jra.make: not enough selectable reviewers";
+  { paper; pool; group_size; scoring; excluded }
+
+let of_instance inst ~paper =
+  let n_r = Instance.n_reviewers inst in
+  let excluded =
+    if inst.Instance.coi = None then None
+    else
+      Some (Array.init n_r (fun r -> Instance.forbidden inst ~paper ~reviewer:r))
+  in
+  make ?excluded ~scoring:inst.Instance.scoring
+    ~paper:inst.Instance.papers.(paper) ~pool:inst.Instance.reviewers
+    ~group_size:inst.Instance.delta_p ()
+
+let available t = available_of ~pool:t.pool ~excluded:t.excluded
+
+let score_group t group =
+  let vectors = List.map (fun r -> t.pool.(r)) group in
+  Scoring.group_score t.scoring vectors t.paper

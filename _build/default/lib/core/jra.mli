@@ -1,0 +1,40 @@
+(** The Journal Reviewer Assignment problem (Definition 6): pick the
+    group of [group_size] reviewers from a pool that maximizes the
+    coverage of a single paper. Shared types for the four exact solvers
+    (BFS, BBA, ILP, CP). *)
+
+type problem = {
+  paper : Topic_vector.t;
+  pool : Topic_vector.t array;  (** candidate reviewers *)
+  group_size : int;  (** delta_p *)
+  scoring : Scoring.kind;
+  excluded : bool array option;
+      (** reviewers that may not be chosen (conflicts of interest, or
+          exhausted workloads when called from CRA solvers) *)
+}
+
+type solution = {
+  group : int list;  (** reviewer indices, ascending *)
+  score : float;
+}
+
+val make :
+  ?scoring:Scoring.kind ->
+  ?excluded:bool array ->
+  paper:Topic_vector.t ->
+  pool:Topic_vector.t array ->
+  group_size:int ->
+  unit ->
+  problem
+(** Validates shapes; raises [Invalid_argument] if the pool (net of
+    exclusions) is smaller than [group_size]. *)
+
+val of_instance : Instance.t -> paper:int -> problem
+(** JRA sub-problem for one paper of a WGRAP instance (COIs become
+    exclusions). *)
+
+val available : problem -> int
+(** Number of selectable reviewers. *)
+
+val score_group : problem -> int list -> float
+(** Coverage of an explicit group (no feasibility checks). *)

@@ -1,0 +1,136 @@
+module Heap = Wgrap_util.Heap
+
+type stats = {
+  nodes : int;
+  pruned : int;
+}
+
+let last = ref { nodes = 0; pruned = 0 }
+let last_stats () = !last
+
+type candidate = { members : int array; cscore : float }
+
+let top_k ?(use_bound = true) (t : Jra.problem) ~k =
+  if k < 1 then invalid_arg "Jra_bba.top_k: k must be >= 1";
+  let n = Array.length t.pool in
+  let dim = Array.length t.paper in
+  let dp = t.group_size in
+  (* T sorted lists: order.(topic) lists reviewers by descending expertise
+     on that topic. *)
+  let order =
+    Array.init dim (fun topic ->
+        let idx = Array.init n (fun r -> r) in
+        Array.stable_sort
+          (fun a b -> compare t.pool.(b).(topic) t.pool.(a).(topic))
+          idx;
+        idx)
+  in
+  (* blocked.(r) > 0 makes r infeasible: excluded, in the running group,
+     or visited at some stage of the current path. *)
+  let blocked = Array.make n 0 in
+  (match t.excluded with
+  | Some mask -> Array.iteri (fun r b -> if b then blocked.(r) <- 1) mask
+  | None -> ());
+  let cursors = Array.make_matrix (dp + 1) dim 0 in
+  let visited = Array.make (dp + 1) [] in
+  let chosen = Array.make dp (-1) in
+  let ub_vec = Array.make dim 0. in
+  (* Min-heap of the k best candidates (worst on top). *)
+  let best =
+    Heap.create ~capacity:(k + 1)
+      ~cmp:(fun a b -> compare b.cscore a.cscore)
+      ()
+  in
+  let threshold () =
+    if Heap.length best < k then neg_infinity
+    else match Heap.peek best with Some c -> c.cscore | None -> neg_infinity
+  in
+  let record group_vec =
+    let score = Scoring.score t.scoring group_vec t.paper in
+    if score > threshold () then begin
+      let members = Array.copy chosen in
+      Array.sort compare members;
+      Heap.push best { members; cscore = score };
+      if Heap.length best > k then ignore (Heap.pop best)
+    end
+  in
+  let nodes = ref 0 and pruned = ref 0 in
+  let advance cur =
+    for topic = 0 to dim - 1 do
+      let pos = ref cur.(topic) in
+      while !pos < n && blocked.(order.(topic).(!pos)) > 0 do
+        incr pos
+      done;
+      cur.(topic) <- !pos
+    done
+  in
+  let rec stage s gvec =
+    (* Invariant: [gvec] is the group vector of chosen.(0 .. s-2); the
+       stage picks member number s. *)
+    let cur = cursors.(s) in
+    let continue = ref true in
+    while !continue do
+      advance cur;
+      (* Bound (Eq. 3): cursor heads are per-topic maxima over all still
+         feasible reviewers, so no extension can exceed ub_vec. *)
+      let any = ref false in
+      for topic = 0 to dim - 1 do
+        if cur.(topic) < n then begin
+          any := true;
+          ub_vec.(topic) <-
+            Float.max gvec.(topic) t.pool.(order.(topic).(cur.(topic))).(topic)
+        end
+        else ub_vec.(topic) <- gvec.(topic)
+      done;
+      if not !any then continue := false
+      else if
+        use_bound && Scoring.score t.scoring ub_vec t.paper <= threshold ()
+      then begin
+        incr pruned;
+        continue := false
+      end
+      else begin
+        (* Branching: expand the cursor reviewer with maximal gain. *)
+        let best_r = ref (-1) and best_gain = ref neg_infinity in
+        for topic = 0 to dim - 1 do
+          if cur.(topic) < n then begin
+            let r = order.(topic).(cur.(topic)) in
+            if r <> !best_r then begin
+              let g = Scoring.gain t.scoring ~group:gvec t.pool.(r) t.paper in
+              if g > !best_gain then begin
+                best_gain := g;
+                best_r := r
+              end
+            end
+          end
+        done;
+        let r = !best_r in
+        incr nodes;
+        blocked.(r) <- blocked.(r) + 1;
+        visited.(s) <- r :: visited.(s);
+        chosen.(s - 1) <- r;
+        if s = dp then begin
+          let gv = Topic_vector.extend_max gvec t.pool.(r) in
+          record gv
+        end
+        else begin
+          Array.blit cur 0 cursors.(s + 1) 0 dim;
+          stage (s + 1) (Topic_vector.extend_max gvec t.pool.(r))
+        end
+      end
+    done;
+    (* Reset the visited information of this stage (backtracking). *)
+    List.iter (fun r -> blocked.(r) <- blocked.(r) - 1) visited.(s);
+    visited.(s) <- []
+  in
+  stage 1 (Scoring.empty_group ~dim);
+  last := { nodes = !nodes; pruned = !pruned };
+  Heap.to_sorted_list best
+  |> List.rev
+  |> List.map (fun c ->
+         { Jra.group = Array.to_list c.members; score = c.cscore })
+
+let solve ?use_bound t =
+  match top_k ?use_bound t ~k:1 with
+  | [ s ] -> s
+  | _ -> assert false

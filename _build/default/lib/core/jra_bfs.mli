@@ -1,0 +1,12 @@
+(** Brute Force Search for JRA: enumerate all C(R, delta_p) reviewer
+    combinations. Exact; exponential; the baseline BBA is measured
+    against in Figure 9. *)
+
+val solve : Jra.problem -> Jra.solution
+(** Raises [Invalid_argument] via {!Jra.make} preconditions only; the
+    problem is always feasible by construction. Ties are broken toward
+    the lexicographically smallest group. *)
+
+val solve_counting : Jra.problem -> Jra.solution * int
+(** Also reports the number of complete groups evaluated (used by the
+    ablation bench to show BBA's pruning factor). *)

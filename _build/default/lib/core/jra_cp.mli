@@ -1,0 +1,19 @@
+(** JRA as a generic constraint program, solved by {!Cpsolve} (the
+    paper's CPLEX CP Optimizer comparison, Section 5.1).
+
+    The model has [delta_p] integer variables over the reviewer pool,
+    all-different, with strictly-increasing symmetry breaking. The only
+    bound available to a generic CP engine here is the weak "each empty
+    slot adds at most the best single-reviewer gain" estimate — far
+    looser than BBA's per-topic cursor bound, which is exactly the
+    paper's explanation for CP's poor performance on this problem. *)
+
+type outcome =
+  | Solved of Jra.solution
+  | Timed_out of Jra.solution option
+
+val solve : ?deadline:Wgrap_util.Timer.deadline -> Jra.problem -> outcome
+
+val first_solution_time : unit -> float option
+(** Seconds until the most recent call reached its first feasible leaf
+    (the paper reports 90 ms for CPLEX on R = 30). *)

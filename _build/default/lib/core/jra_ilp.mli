@@ -1,0 +1,19 @@
+(** JRA as a 0/1 integer linear program, solved by the generic {!Milp}
+    branch-and-bound (the paper's lp_solve baseline, Section 5.1).
+
+    Linearization: binaries [x_r] select the group; auxiliaries
+    [u_{r,t}] designate, per topic, the reviewer credited with covering
+    it. Objective [sum_{r,t} f(r[t], p[t]) * u_{r,t} / mass(p)] with
+    [u_{r,t} <= x_r], [sum_r u_{r,t} <= 1], [sum_r x_r = delta_p].
+    Only the [x_r] need to be branched on: with integral [x] the [u]
+    sub-LP attains an integral optimum. *)
+
+type outcome =
+  | Solved of Jra.solution
+  | Timed_out of Jra.solution option
+
+val solve : ?deadline:Wgrap_util.Timer.deadline -> Jra.problem -> outcome
+(** Exact when it finishes. Problem sizes are (R + R*T') variables and
+    (1 + R*T' + T') constraints where T' is the number of topics the
+    paper touches — the dense simplex underneath limits practical R,
+    which is the point of the comparison. *)

@@ -1,0 +1,118 @@
+module Rng = Wgrap_util.Rng
+module Timer = Wgrap_util.Timer
+
+let refine ?deadline ?(max_rounds = 1_000) ?on_round ~rng inst start =
+  let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
+  let dr = inst.Instance.delta_r in
+  let current = Assignment.copy start in
+  let workload = Assignment.workloads current ~n_reviewers:n_r in
+  let score_of_group p group =
+    let vecs = List.map (fun r -> inst.Instance.reviewers.(r)) group in
+    Scoring.group_score inst.Instance.scoring vecs inst.Instance.papers.(p)
+  in
+  let paper_score = Array.init n_p (fun p -> score_of_group p (Assignment.group current p)) in
+  let substitute group ~out ~in_ =
+    in_ :: List.filter (fun r -> r <> out) group
+  in
+  let eps = 1e-12 in
+  let start_time = Unix.gettimeofday () in
+  let round = ref 0 in
+  let improved = ref true in
+  let order = Array.init n_p Fun.id in
+  let expired () =
+    match deadline with Some d -> Timer.expired d | None -> false
+  in
+  while !improved && !round < max_rounds && not (expired ()) do
+    incr round;
+    improved := false;
+    Rng.shuffle rng order;
+    Array.iter
+      (fun p1 ->
+        if not (expired ()) then begin
+          let members = Assignment.group current p1 in
+          List.iter
+            (fun r1 ->
+              (* Replace move: r1 -> some unused reviewer with spare load. *)
+              let g1 = Assignment.group current p1 in
+              if List.mem r1 g1 then begin
+                let best_delta = ref eps and best_move = ref None in
+                for r2 = 0 to n_r - 1 do
+                  if
+                    workload.(r2) < dr
+                    && (not (List.mem r2 g1))
+                    && not (Instance.forbidden inst ~paper:p1 ~reviewer:r2)
+                  then begin
+                    let s = score_of_group p1 (substitute g1 ~out:r1 ~in_:r2) in
+                    let delta = s -. paper_score.(p1) in
+                    if delta > !best_delta then begin
+                      best_delta := delta;
+                      best_move := Some (r2, s)
+                    end
+                  end
+                done;
+                match !best_move with
+                | Some (r2, s) ->
+                    current.Assignment.groups.(p1) <-
+                      substitute g1 ~out:r1 ~in_:r2;
+                    workload.(r1) <- workload.(r1) - 1;
+                    workload.(r2) <- workload.(r2) + 1;
+                    paper_score.(p1) <- s;
+                    improved := true
+                | None ->
+                    (* Swap move: exchange r1 with a member of another group. *)
+                    let found = ref false in
+                    let p2 = ref 0 in
+                    while (not !found) && !p2 < n_p do
+                      if !p2 <> p1 then begin
+                        let g2 = Assignment.group current !p2 in
+                        let g1 = Assignment.group current p1 in
+                        if List.mem r1 g1 then
+                          List.iter
+                            (fun r2 ->
+                              if
+                                (not !found)
+                                && (not (List.mem r2 g1))
+                                && (not (List.mem r1 g2))
+                                && (not
+                                      (Instance.forbidden inst ~paper:p1
+                                         ~reviewer:r2))
+                                && not
+                                     (Instance.forbidden inst ~paper:!p2
+                                        ~reviewer:r1)
+                              then begin
+                                let s1 =
+                                  score_of_group p1 (substitute g1 ~out:r1 ~in_:r2)
+                                in
+                                let s2 =
+                                  score_of_group !p2 (substitute g2 ~out:r2 ~in_:r1)
+                                in
+                                let delta =
+                                  s1 +. s2 -. paper_score.(p1)
+                                  -. paper_score.(!p2)
+                                in
+                                if delta > eps then begin
+                                  current.Assignment.groups.(p1) <-
+                                    substitute g1 ~out:r1 ~in_:r2;
+                                  current.Assignment.groups.(!p2) <-
+                                    substitute g2 ~out:r2 ~in_:r1;
+                                  paper_score.(p1) <- s1;
+                                  paper_score.(!p2) <- s2;
+                                  improved := true;
+                                  found := true
+                                end
+                              end)
+                            g2
+                      end;
+                      incr p2
+                    done
+              end)
+            members
+        end)
+      order;
+    (match on_round with
+    | Some f ->
+        let best = Wgrap_util.Stats.sum paper_score in
+        f ~round:!round ~elapsed:(Unix.gettimeofday () -. start_time) ~best
+    | None -> ())
+  done;
+  current

@@ -1,0 +1,18 @@
+(** Plain local search (LS), the refinement baseline of Figure 12.
+
+    Hill climbing over two move types — swapping the papers of two
+    assigned pairs, and replacing a reviewer with an unused one that has
+    spare workload — accepting any improving move, scanning in random
+    order. Converges to a local maximum; the paper's point is that it
+    gets stuck there while SRA keeps improving. *)
+
+val refine :
+  ?deadline:Wgrap_util.Timer.deadline ->
+  ?max_rounds:int ->
+  ?on_round:(round:int -> elapsed:float -> best:float -> unit) ->
+  rng:Wgrap_util.Rng.t ->
+  Instance.t ->
+  Assignment.t ->
+  Assignment.t
+(** Returns a feasible assignment at least as good as the input. A
+    "round" is one full scan over papers. *)

@@ -1,0 +1,67 @@
+let ideal inst =
+  let n_p = Instance.n_papers inst in
+  let assignment = Assignment.empty ~n_papers:n_p in
+  for p = 0 to n_p - 1 do
+    (* Exact best group for p alone, ignoring workloads. The paper builds
+       A_I greedily; we use BBA so that c(A_I) >= c(O) holds exactly and
+       the reported ratio is a true lower bound on c(A)/c(O). *)
+    let sol = Jra_bba.solve (Jra.of_instance inst ~paper:p) in
+    List.iter (fun r -> Assignment.add assignment ~paper:p ~reviewer:r) sol.Jra.group
+  done;
+  assignment
+
+let optimality_ratio_against inst ~ideal assignment =
+  let denom = Assignment.coverage inst ideal in
+  if denom <= 0. then 1. else Assignment.coverage inst assignment /. denom
+
+let optimality_ratio inst assignment =
+  optimality_ratio_against inst ~ideal:(ideal inst) assignment
+
+type superiority = {
+  better : float;
+  tie : float;
+}
+
+let superiority inst x y =
+  let n_p = Instance.n_papers inst in
+  let better = ref 0 and tie = ref 0 in
+  for p = 0 to n_p - 1 do
+    let sx = Assignment.paper_score inst x p
+    and sy = Assignment.paper_score inst y p in
+    if Float.abs (sx -. sy) <= 1e-9 then incr tie
+    else if sx > sy then incr better
+  done;
+  let fp = float_of_int n_p in
+  { better = float_of_int !better /. fp; tie = float_of_int !tie /. fp }
+
+let lowest_coverage inst assignment =
+  let worst = ref infinity in
+  for p = 0 to Instance.n_papers inst - 1 do
+    let s = Assignment.paper_score inst assignment p in
+    if s < !worst then worst := s
+  done;
+  !worst
+
+type case_study = {
+  topics : int list;
+  paper_weights : float array;
+  group_weights : float array;
+  member_weights : (int * float array) list;
+  score : float;
+}
+
+let case_study inst assignment ~paper ~k =
+  let pv = inst.Instance.papers.(paper) in
+  let topics = Topic_vector.top_topics pv k in
+  let gvec = Assignment.group_vector inst assignment paper in
+  let pick v = Array.of_list (List.map (fun t -> v.(t)) topics) in
+  {
+    topics;
+    paper_weights = pick pv;
+    group_weights = pick gvec;
+    member_weights =
+      List.map
+        (fun r -> (r, pick inst.Instance.reviewers.(r)))
+        (Assignment.group assignment paper);
+    score = Assignment.paper_score inst assignment paper;
+  }

@@ -1,0 +1,38 @@
+(** The quality metrics of Section 5.2 and Appendix C. *)
+
+val ideal : Instance.t -> Assignment.t
+(** The ideal assignment A_I: each paper greedily receives its best
+    [delta_p] reviewers {e disregarding workloads} (and respecting COIs).
+    Generally infeasible; its coverage upper-bounds the optimum, so
+    [c(A)/c(A_I)] lower-bounds the true approximation ratio. *)
+
+val optimality_ratio : Instance.t -> Assignment.t -> float
+(** [c(A) / c(A_I)], the headline metric of Figures 10, 12, 16-18, 21. *)
+
+val optimality_ratio_against : Instance.t -> ideal:Assignment.t -> Assignment.t -> float
+(** Same, reusing a precomputed ideal (the per-figure sweeps share it). *)
+
+type superiority = {
+  better : float;  (** fraction of papers strictly better under X *)
+  tie : float;  (** fraction equal (within 1e-9) *)
+}
+
+val superiority : Instance.t -> Assignment.t -> Assignment.t -> superiority
+(** [superiority inst x y]: per-paper comparison of coverage scores,
+    Figure 11's metric ([better +. tie] is the paper's ratio(X, Y)). *)
+
+val lowest_coverage : Instance.t -> Assignment.t -> float
+(** [min_p c(g_p, p)] — Table 7. *)
+
+type case_study = {
+  topics : int list;  (** the paper's top-k topics, heaviest first *)
+  paper_weights : float array;  (** paper weight per listed topic *)
+  group_weights : float array;  (** group-max expertise per listed topic *)
+  member_weights : (int * float array) list;
+      (** per reviewer: its weight on each listed topic *)
+  score : float;  (** c(g, p) *)
+}
+
+val case_study : Instance.t -> Assignment.t -> paper:int -> k:int -> case_study
+(** Data behind Figures 19-20: the per-topic bars for one paper's
+    assigned group. *)

@@ -1,0 +1,57 @@
+let complete inst assignment =
+  let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
+  let dp = inst.Instance.delta_p and dr = inst.Instance.delta_r in
+  let workload = Assignment.workloads assignment ~n_reviewers:n_r in
+  let in_group r p = List.mem r (Assignment.group assignment p) in
+  let allowed r p = not (Instance.forbidden inst ~paper:p ~reviewer:r) in
+  let give p =
+    (* Direct: best-scoring spare reviewer outside p's group. *)
+    let direct = ref (-1) and direct_score = ref neg_infinity in
+    for r = 0 to n_r - 1 do
+      if workload.(r) < dr && (not (in_group r p)) && allowed r p then begin
+        let s = Instance.pair_score inst ~paper:p ~reviewer:r in
+        if s > !direct_score then begin
+          direct_score := s;
+          direct := r
+        end
+      end
+    done;
+    if !direct >= 0 then begin
+      Assignment.add assignment ~paper:p ~reviewer:!direct;
+      workload.(!direct) <- workload.(!direct) + 1
+    end
+    else begin
+      (* Chain: take r_new from some p2 that can move onto a spare
+         reviewer r_spare instead; r_new's total load is unchanged. *)
+      let applied = ref false in
+      for r_new = 0 to n_r - 1 do
+        if (not !applied) && (not (in_group r_new p)) && allowed r_new p then
+          for p2 = 0 to n_p - 1 do
+            if (not !applied) && p2 <> p && in_group r_new p2 then
+              for r_spare = 0 to n_r - 1 do
+                if
+                  (not !applied)
+                  && workload.(r_spare) < dr
+                  && (not (in_group r_spare p2))
+                  && allowed r_spare p2
+                then begin
+                  assignment.Assignment.groups.(p2) <-
+                    r_spare
+                    :: List.filter (fun r -> r <> r_new)
+                         (Assignment.group assignment p2);
+                  workload.(r_spare) <- workload.(r_spare) + 1;
+                  Assignment.add assignment ~paper:p ~reviewer:r_new;
+                  applied := true
+                end
+              done
+          done
+      done;
+      if not !applied then failwith "Repair.complete: no reassignment chain"
+    end
+  in
+  for p = 0 to n_p - 1 do
+    let short = dp - List.length (Assignment.group assignment p) in
+    for _ = 1 to short do
+      give p
+    done
+  done

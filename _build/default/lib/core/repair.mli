@@ -1,0 +1,15 @@
+(** Feasibility repair shared by the baselines that can strand papers
+    under tight workloads (stable matching, BRGG).
+
+    Papers with fewer than [delta_p] reviewers are completed greedily:
+    a spare-capacity reviewer outside the group if one exists, otherwise
+    a one-step reassignment chain — take a reviewer from another paper
+    that can itself move onto a spare reviewer. The core algorithms
+    (Greedy, SDGA, SRA) never need this. *)
+
+val complete : Instance.t -> Assignment.t -> unit
+(** Mutates the assignment until every paper has exactly [delta_p]
+    distinct, COI-free reviewers. Raises [Failure] if no chain exists
+    (an instance that tight is rejected rather than silently violated).
+    Groups already at [delta_p] are never shrunk, though one of their
+    members may be exchanged by a chain. *)

@@ -1,0 +1,47 @@
+let solve inst =
+  let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
+  let assignment = Assignment.empty ~n_papers:n_p in
+  for r = 0 to n_r - 1 do
+    (* Reviewer r retrieves its delta_r favourite papers. *)
+    let ranked =
+      List.init n_p Fun.id
+      |> List.filter (fun p -> not (Instance.forbidden inst ~paper:p ~reviewer:r))
+      |> List.sort (fun a b ->
+             compare
+               (Instance.pair_score inst ~paper:b ~reviewer:r)
+               (Instance.pair_score inst ~paper:a ~reviewer:r))
+    in
+    List.filteri (fun i _ -> i < inst.Instance.delta_r) ranked
+    |> List.iter (fun p -> Assignment.add assignment ~paper:p ~reviewer:r)
+  done;
+  assignment
+
+type stats = {
+  unreviewed : int;
+  under_reviewed : int;
+  over_reviewed : int;
+  max_group : int;
+  coverage : float;
+}
+
+let coverage_stats inst assignment =
+  let dp = inst.Instance.delta_p in
+  let unreviewed = ref 0
+  and under = ref 0
+  and over = ref 0
+  and max_group = ref 0 in
+  Array.iter
+    (fun group ->
+      let size = List.length group in
+      if size = 0 then incr unreviewed;
+      if size < dp then incr under;
+      if size > dp then incr over;
+      if size > !max_group then max_group := size)
+    assignment.Assignment.groups;
+  {
+    unreviewed = !unreviewed;
+    under_reviewed = !under;
+    over_reviewed = !over;
+    max_group = !max_group;
+    coverage = Assignment.coverage inst assignment;
+  }

@@ -1,0 +1,26 @@
+(** The Retrieval-based RAP of Dumais and Nielsen (Definition 4) — the
+    oldest baseline family, included to reproduce the drawback the
+    paper's Figure 1(a) illustrates: without a group-size constraint,
+    popular reviewers hoard related papers and some papers end up with
+    no reviewer at all.
+
+    Each reviewer retrieves its [delta_r] most relevant papers
+    (by pair score) and reviews them; nothing balances the paper side. *)
+
+val solve : Instance.t -> Assignment.t
+(** The retrieval assignment. {b Not} WGRAP-feasible in general: groups
+    can exceed or fall short of [delta_p] (use {!coverage_stats} to
+    quantify, not [Assignment.validate]). COI pairs are never
+    retrieved. *)
+
+type stats = {
+  unreviewed : int;  (** papers with no reviewer at all *)
+  under_reviewed : int;  (** papers with fewer than [delta_p] reviewers *)
+  over_reviewed : int;  (** papers with more than [delta_p] reviewers *)
+  max_group : int;
+  coverage : float;  (** WGRAP objective of the retrieval assignment *)
+}
+
+val coverage_stats : Instance.t -> Assignment.t -> stats
+(** The imbalance profile of an assignment (used by the bench to put
+    numbers on Figure 1(a)). *)

@@ -1,0 +1,48 @@
+type kind =
+  | Weighted_coverage
+  | Reviewer_coverage
+  | Paper_coverage
+  | Dot_product
+
+let all = [ Weighted_coverage; Reviewer_coverage; Paper_coverage; Dot_product ]
+
+let name = function
+  | Weighted_coverage -> "c"
+  | Reviewer_coverage -> "cR"
+  | Paper_coverage -> "cP"
+  | Dot_product -> "cD"
+
+let contribution kind v p =
+  match kind with
+  | Weighted_coverage -> Float.min v p
+  | Reviewer_coverage -> if v >= p then v else 0.
+  | Paper_coverage -> if v >= p then p else 0.
+  | Dot_product -> v *. p
+
+let score kind v paper =
+  if Array.length v <> Array.length paper then
+    invalid_arg "Scoring.score: dimension mismatch";
+  let num = ref 0. and den = ref 0. in
+  Array.iteri
+    (fun t p ->
+      num := !num +. contribution kind v.(t) p;
+      den := !den +. p)
+    paper;
+  if !den <= 0. then 0. else !num /. !den
+
+let group_score kind group paper = score kind (Topic_vector.group_max group) paper
+
+let gain kind ~group r paper =
+  if Array.length group <> Array.length paper || Array.length r <> Array.length paper
+  then invalid_arg "Scoring.gain: dimension mismatch";
+  let delta = ref 0. and den = ref 0. in
+  Array.iteri
+    (fun t p ->
+      let g = group.(t) in
+      let extended = Float.max g r.(t) in
+      delta := !delta +. contribution kind extended p -. contribution kind g p;
+      den := !den +. p)
+    paper;
+  if !den <= 0. then 0. else !delta /. !den
+
+let empty_group ~dim = Array.make dim 0.

@@ -1,0 +1,45 @@
+(** The assignment-quality scoring functions (Definition 1 and the
+    alternatives of Appendix B, Table 5).
+
+    Every function has the shape
+    [score = (sum_t f(v[t], p[t])) / (sum_t p[t])]
+    where [v] is a reviewer vector or a group vector and [f] is a
+    per-topic contribution. All four satisfy the two conditions of
+    Lemma 4 (per-topic additivity, monotonicity in the reviewer
+    coordinate), hence the induced assignment objective is submodular
+    and the SDGA guarantee applies to each. *)
+
+type kind =
+  | Weighted_coverage  (** default: min(v[t], p[t]) *)
+  | Reviewer_coverage  (** v[t] when v[t] >= p[t], else 0 *)
+  | Paper_coverage  (** p[t] when v[t] >= p[t], else 0 *)
+  | Dot_product  (** v[t] * p[t] *)
+
+val all : kind list
+(** The four kinds, default first. *)
+
+val name : kind -> string
+(** Short identifier: ["c"], ["cR"], ["cP"], ["cD"]. *)
+
+val contribution : kind -> float -> float -> float
+(** [contribution kind v p] is the unnormalized per-topic term
+    [f(v, p)]. *)
+
+val score : kind -> Topic_vector.t -> Topic_vector.t -> float
+(** [score kind v paper] is the normalized quality of reviewing [paper]
+    with expertise [v] (a single reviewer's vector or a group vector).
+    Returns 0 when the paper has zero mass. *)
+
+val group_score : kind -> Topic_vector.t list -> Topic_vector.t -> float
+(** Convenience: score of a reviewer group via its coordinatewise max. *)
+
+val gain :
+  kind -> group:Topic_vector.t -> Topic_vector.t -> Topic_vector.t -> float
+(** [gain kind ~group r paper] is the marginal gain (Definition 8) of
+    adding reviewer [r] to a group whose current vector is [group]:
+    [score (max group r) paper - score group paper]. Computed without
+    materializing the extended vector. *)
+
+val empty_group : dim:int -> Topic_vector.t
+(** All-zero group vector: the identity for group extension. It scores 0
+    under every kind, since f(0, p) = 0 for all four contributions. *)

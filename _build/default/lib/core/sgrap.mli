@@ -1,0 +1,44 @@
+(** The Set-coverage GRAP of Long et al. [22] as a special case of
+    WGRAP (Section 2.3).
+
+    SGRAP models papers and reviewers as {e topic sets}; the quality of
+    a group is [|T_g ∩ T_p| / |T_p|]. Encoding each set as a 0/1 topic
+    vector makes the weighted coverage of Definition 1 coincide with
+    the set-coverage ratio, so every WGRAP solver (BBA, SDGA, SRA, ...)
+    solves SGRAP unchanged — this module provides the encoding, the
+    native set-based score for cross-checking, and a thresholding
+    helper to coarsen real instances into set instances. *)
+
+type topic_set = int list
+(** Distinct topic ids. *)
+
+val encode : n_topics:int -> topic_set -> Topic_vector.t
+(** 0/1 indicator vector. Raises [Invalid_argument] on out-of-range
+    ids. *)
+
+val decode : Topic_vector.t -> topic_set
+(** Topics with positive weight, ascending. *)
+
+val set_coverage : group:topic_set list -> paper:topic_set -> float
+(** The native SGRAP quality [|∪ T_r ∩ T_p| / |T_p|] (0 for an empty
+    paper set). Equals [Scoring.group_score Weighted_coverage] on the
+    encoded vectors — the Section 2.3 equivalence, checked by the test
+    suite. *)
+
+val instance :
+  ?coi:(int * int) list ->
+  n_topics:int ->
+  papers:topic_set array ->
+  reviewers:topic_set array ->
+  delta_p:int ->
+  delta_r:int ->
+  unit ->
+  (Instance.t, string) result
+(** A WGRAP instance whose objective {e is} the SGRAP objective. *)
+
+val binarize : ?threshold:float -> Instance.t -> Instance.t
+(** Coarsen a weighted instance into a set instance: weight
+    [>= threshold] (default: the vector's mean positive weight) becomes
+    1, the rest 0. This is the information SGRAP discards — the
+    "topic equilibrium problem" the paper's introduction motivates; the
+    bench compares solve quality before and after. *)

@@ -1,0 +1,107 @@
+module Rng = Wgrap_util.Rng
+module Timer = Wgrap_util.Timer
+
+type params = {
+  omega : int;
+  lambda : float;
+  max_rounds : int;
+}
+
+let default_params = { omega = 10; lambda = 0.05; max_rounds = 10_000 }
+
+let removal_probability inst ~score_matrix ~round ~lambda ~paper ~reviewer =
+  let n_r = float_of_int (Instance.n_reviewers inst) in
+  let denom = ref 0. in
+  Array.iter
+    (fun row ->
+      let s = row.(reviewer) in
+      if s <> Lap.Hungarian.forbidden then denom := !denom +. s)
+    score_matrix;
+  let s = score_matrix.(paper).(reviewer) in
+  let ratio = if !denom > 0. && s <> Lap.Hungarian.forbidden then s /. !denom else 0. in
+  Float.max (1. /. n_r) (exp (-.lambda *. float_of_int round) *. ratio)
+
+let refine ?(params = default_params) ?deadline ?on_round ~rng inst start =
+  let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
+  let score_matrix = Instance.score_matrix inst in
+  (* Per-reviewer coverage mass over all papers: the Eq. 9 denominator. *)
+  let denom = Array.make n_r 0. in
+  Array.iter
+    (fun row ->
+      for r = 0 to n_r - 1 do
+        if row.(r) <> Lap.Hungarian.forbidden then denom.(r) <- denom.(r) +. row.(r)
+      done)
+    score_matrix;
+  let keep_probability ~round ~paper ~reviewer =
+    let s = score_matrix.(paper).(reviewer) in
+    let ratio =
+      if denom.(reviewer) > 0. && s <> Lap.Hungarian.forbidden then
+        s /. denom.(reviewer)
+      else 0.
+    in
+    Float.max
+      (1. /. float_of_int n_r)
+      (exp (-.params.lambda *. float_of_int round) *. ratio)
+  in
+  let best = ref (Assignment.copy start) in
+  let best_score = ref (Assignment.coverage inst start) in
+  let current = ref (Assignment.copy start) in
+  let stall = ref 0 and round = ref 0 in
+  let start_time = Unix.gettimeofday () in
+  (try
+     while
+       !stall < params.omega
+       && !round < params.max_rounds
+       && match deadline with Some d -> not (Timer.expired d) | None -> true
+     do
+       incr round;
+       (* Removal phase: drop exactly one reviewer from every group,
+          favouring pairs with low keep-probability. *)
+       let trimmed = Assignment.empty ~n_papers:n_p in
+       let workload = Array.make n_r 0 in
+       for p = 0 to n_p - 1 do
+         let members = Array.of_list (Assignment.group !current p) in
+         let weights =
+           Array.map
+             (fun r -> 1. -. keep_probability ~round:!round ~paper:p ~reviewer:r)
+             members
+         in
+         let victim =
+           if Array.fold_left ( +. ) 0. weights <= 0. then
+             Rng.int rng (Array.length members)
+           else Rng.categorical rng weights
+         in
+         Array.iteri
+           (fun i r ->
+             if i <> victim then begin
+               Assignment.add trimmed ~paper:p ~reviewer:r;
+               workload.(r) <- workload.(r) + 1
+             end)
+           members
+       done;
+       (* Refill phase: one Stage-WGRAP completes every group. *)
+       let capacity =
+         Array.init n_r (fun r -> inst.Instance.delta_r - workload.(r))
+       in
+       let pairs = Stage.solve inst ~current:trimmed ~capacity in
+       List.iter (fun (p, r) -> Assignment.add trimmed ~paper:p ~reviewer:r) pairs;
+       current := trimmed;
+       let score = Assignment.coverage inst trimmed in
+       if score > !best_score +. 1e-12 then begin
+         best_score := score;
+         best := Assignment.copy trimmed;
+         stall := 0
+       end
+       else incr stall;
+       match on_round with
+       | Some f ->
+           f ~round:!round
+             ~elapsed:(Unix.gettimeofday () -. start_time)
+             ~best:!best_score
+       | None -> ()
+     done
+   with Failure _ ->
+     (* An infeasible refill round (possible under adversarial COIs)
+        simply ends refinement; the best-so-far stands. *)
+     ());
+  !best

@@ -1,0 +1,44 @@
+(** Stochastic Refinement Algorithm (Section 4.4, Algorithm 3).
+
+    Starting from an assignment (typically SDGA's), each round removes
+    one reviewer from every paper — pair (r, p) is removed with
+    probability proportional to [1 - P(r|p)], where Eq. 10 gives
+
+    [P(r|p) = max(1/R, exp(-lambda * I) * c(r,p) / sum_p' c(r,p'))]
+
+    (the TF-IDF-like Eq. 9 damped by an exponential decay in the round
+    number I) — and refills every paper with one Stage-WGRAP linear
+    assignment. The best assignment seen is tracked; the process stops
+    when it has not improved for [omega] consecutive rounds (the paper's
+    convergence threshold, default 10). *)
+
+type params = {
+  omega : int;  (** convergence threshold; paper default 10 *)
+  lambda : float;  (** decay rate of Eq. 10; 0.05 by default *)
+  max_rounds : int;  (** hard cap, safety net *)
+}
+
+val default_params : params
+
+val refine :
+  ?params:params ->
+  ?deadline:Wgrap_util.Timer.deadline ->
+  ?on_round:(round:int -> elapsed:float -> best:float -> unit) ->
+  rng:Wgrap_util.Rng.t ->
+  Instance.t ->
+  Assignment.t ->
+  Assignment.t
+(** Returns the best assignment encountered (never worse than the
+    input). [on_round] observes each round, for the refinement-over-time
+    curves of Figures 12 and 16. *)
+
+val removal_probability :
+  Instance.t ->
+  score_matrix:float array array ->
+  round:int ->
+  lambda:float ->
+  paper:int ->
+  reviewer:int ->
+  float
+(** Eq. 10, exposed for unit tests: the probability that pair (r, p) is
+    {e correct} (high means keep). *)

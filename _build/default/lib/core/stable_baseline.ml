@@ -1,0 +1,98 @@
+let solve inst =
+  let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
+  let dp = inst.Instance.delta_p and dr = inst.Instance.delta_r in
+  let score = Instance.score_matrix inst in
+  (* Preference lists: reviewers by decreasing pair score, COIs excluded. *)
+  let prefs =
+    Array.init n_p (fun p ->
+        let order =
+          List.init n_r Fun.id
+          |> List.filter (fun r -> score.(p).(r) <> Lap.Hungarian.forbidden)
+          |> List.sort (fun a b -> compare score.(p).(b) score.(p).(a))
+        in
+        ref order)
+  in
+  let holds = Array.make n_r [] in
+  (* Queue of papers with open slots. *)
+  let queue = Queue.create () in
+  for p = 0 to n_p - 1 do
+    for _ = 1 to dp do
+      Queue.add p queue
+    done
+  done;
+  let has p r = List.exists (fun (p', _) -> p' = p) holds.(r) in
+  while not (Queue.is_empty queue) do
+    let p = Queue.take queue in
+    (* Propose down the list; skip reviewers already holding p. *)
+    let rec propose () =
+      match !(prefs.(p)) with
+      | [] -> () (* ran dry; completed later *)
+      | r :: rest ->
+          prefs.(p) := rest;
+          if has p r then propose ()
+          else begin
+            let s = score.(p).(r) in
+            if List.length holds.(r) < dr then holds.(r) <- (p, s) :: holds.(r)
+            else begin
+              (* Evict the worst hold if the new proposal beats it. *)
+              let worst =
+                List.fold_left
+                  (fun acc (p', s') ->
+                    match acc with
+                    | None -> Some (p', s')
+                    | Some (_, ws) when s' < ws -> Some (p', s')
+                    | some -> some)
+                  None holds.(r)
+              in
+              match worst with
+              | Some (wp, ws) when s > ws ->
+                  holds.(r) <-
+                    (p, s)
+                    :: List.filter (fun (p', s') -> not (p' = wp && s' = ws))
+                         holds.(r);
+                  Queue.add wp queue
+              | _ -> propose ()
+            end
+          end
+    in
+    propose ()
+  done;
+  let assignment = Assignment.empty ~n_papers:n_p in
+  Array.iteri
+    (fun r held ->
+      List.iter (fun (p, _) -> Assignment.add assignment ~paper:p ~reviewer:r) held)
+    holds;
+  (* Under tight workloads GS can strand a paper whose remaining spare
+     capacity sits entirely at reviewers it already holds; the shared
+     repair pass completes such papers with reassignment chains. *)
+  Repair.complete inst assignment;
+  assignment
+
+let is_stable inst assignment =
+  let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
+  let dr = inst.Instance.delta_r in
+  let score = Instance.score_matrix inst in
+  let workload = Assignment.workloads assignment ~n_reviewers:n_r in
+  (* Worst held score per reviewer. *)
+  let worst = Array.make n_r infinity in
+  for p = 0 to n_p - 1 do
+    List.iter
+      (fun r -> if score.(p).(r) < worst.(r) then worst.(r) <- score.(p).(r))
+      (Assignment.group assignment p)
+  done;
+  let blocking = ref false in
+  for p = 0 to n_p - 1 do
+    let g = Assignment.group assignment p in
+    let my_worst =
+      List.fold_left (fun acc r -> Float.min acc score.(p).(r)) infinity g
+    in
+    for r = 0 to n_r - 1 do
+      if
+        (not (List.mem r g))
+        && score.(p).(r) <> Lap.Hungarian.forbidden
+        && score.(p).(r) > my_worst
+        && (workload.(r) < dr || score.(p).(r) > worst.(r))
+      then blocking := true
+    done
+  done;
+  not !blocking

@@ -1,0 +1,21 @@
+(** Stable Matching baseline (SM in Section 5.2): capacitated
+    Gale-Shapley with papers proposing.
+
+    Each paper issues [delta_p] proposals down its preference list
+    (reviewers sorted by decreasing pair score); a reviewer holds at most
+    [delta_r] papers and evicts its worst hold when a better proposal
+    arrives. Stability is with respect to the {e per-pair} score, which
+    is exactly why SM under-performs group-based objectives (it cannot
+    see group diversity).
+
+    If proposals run dry before every paper is seated (possible under
+    tight workloads), the remaining slots are completed by a maximum
+    per-pair-score flow so the result is always feasible. *)
+
+val solve : Instance.t -> Assignment.t
+
+val is_stable : Instance.t -> Assignment.t -> bool
+(** No blocking pair: a reviewer r and paper p, not matched together,
+    such that p prefers r to one of its assigned reviewers and r either
+    has spare capacity or prefers p to one of its assigned papers. Used
+    by the test suite (only guaranteed when no completion pass ran). *)

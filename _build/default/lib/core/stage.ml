@@ -1,0 +1,98 @@
+let default_gain ~paper:_ ~reviewer:_ ~coverage_gain = coverage_gain
+
+(* Pair value for the stage, or [forbidden] when the pair may not be
+   used this stage. *)
+let stage_score pair_gain inst ~capacity ~group_vecs ~members p r =
+  if
+    capacity.(r) = 0
+    || List.mem r members
+    || Instance.forbidden inst ~paper:p ~reviewer:r
+  then Lap.Hungarian.forbidden
+  else begin
+    let coverage_gain =
+      Scoring.gain inst.Instance.scoring ~group:group_vecs
+        inst.Instance.reviewers.(r) inst.Instance.papers.(p)
+    in
+    pair_gain ~paper:p ~reviewer:r ~coverage_gain
+  end
+[@@inline]
+
+let paper_array ?papers inst =
+  match papers with
+  | Some l -> Array.of_list l
+  | None -> Array.init (Instance.n_papers inst) Fun.id
+
+let solve ?papers ?(pair_gain = default_gain) inst ~current ~capacity =
+  let n_r = Instance.n_reviewers inst in
+  if Array.length capacity <> n_r then
+    invalid_arg "Stage.solve: capacity length mismatch";
+  let paper_list = paper_array ?papers inst in
+  let rows = Array.length paper_list in
+  if rows = 0 then []
+  else begin
+    (* One column per remaining capacity unit; [owner] maps back. *)
+    let owner = ref [] in
+    for r = n_r - 1 downto 0 do
+      if capacity.(r) < 0 then invalid_arg "Stage.solve: negative capacity";
+      for _ = 1 to capacity.(r) do
+        owner := r :: !owner
+      done
+    done;
+    let owner = Array.of_list !owner in
+    let cols = Array.length owner in
+    if cols < rows then failwith "Stage.solve: infeasible stage";
+    let score =
+      Array.map
+        (fun p ->
+          let group_vecs = Assignment.group_vector inst current p in
+          let members = Assignment.group current p in
+          (* Replicated columns of a reviewer share one value; compute
+             each reviewer once. *)
+          let per_reviewer =
+            Array.init n_r (fun r ->
+                stage_score pair_gain inst ~capacity ~group_vecs
+                  ~members p r)
+          in
+          Array.map (fun r -> per_reviewer.(r)) owner)
+        paper_list
+    in
+    match Lap.Hungarian.maximize score with
+    | cols_of_rows, _ ->
+        Array.to_list
+          (Array.mapi (fun i c -> (paper_list.(i), owner.(c))) cols_of_rows)
+    | exception Failure _ -> failwith "Stage.solve: infeasible stage"
+  end
+
+let solve_flow ?papers ?(pair_gain = default_gain) inst ~current ~capacity =
+  let n_r = Instance.n_reviewers inst in
+  if Array.length capacity <> n_r then
+    invalid_arg "Stage.solve: capacity length mismatch";
+  let paper_list = paper_array ?papers inst in
+  let rows = Array.length paper_list in
+  if rows = 0 then []
+  else begin
+    let score =
+      Array.map
+        (fun p ->
+          let group_vecs = Assignment.group_vector inst current p in
+          let members = Assignment.group current p in
+          Array.init n_r (fun r ->
+              stage_score pair_gain inst ~capacity ~group_vecs
+                ~members p r))
+        paper_list
+    in
+    let chosen =
+      try
+        Lap.Mcmf.transportation ~score ~row_supply:(Array.make rows 1)
+          ~col_capacity:capacity
+      with Failure _ -> failwith "Stage.solve: infeasible stage"
+    in
+    let pairs = ref [] in
+    Array.iteri
+      (fun i rs ->
+        match rs with
+        | [ r ] -> pairs := (paper_list.(i), r) :: !pairs
+        | _ -> failwith "Stage.solve: infeasible stage")
+      chosen;
+    List.rev !pairs
+  end

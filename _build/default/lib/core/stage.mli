@@ -1,0 +1,43 @@
+(** Stage-WGRAP (Definition 9): add exactly one reviewer to every listed
+    paper, maximizing the total marginal gain, subject to a per-reviewer
+    capacity for this stage. A PTIME linear-assignment problem — the
+    paper names both classic solvers ("Hungarian algorithm, minimum-cost
+    flow assignment"); both are provided. Shared by SDGA (Algorithm 2),
+    the stochastic refinement (Algorithm 3, line 8), and the bid-aware
+    extension. *)
+
+val solve :
+  ?papers:int list ->
+  ?pair_gain:(paper:int -> reviewer:int -> coverage_gain:float -> float) ->
+  Instance.t ->
+  current:Assignment.t ->
+  capacity:int array ->
+  (int * int) list
+(** [solve inst ~current ~capacity] returns [(paper, reviewer)] pairs —
+    one per paper in [papers] (default: all papers). The gain of a pair
+    is the marginal gain of the reviewer w.r.t. the paper's current
+    group; pairs are excluded when the reviewer is already in the group,
+    the pair is a COI, or [capacity.(r) = 0].
+
+    [pair_gain] replaces the objective of the stage: it receives the
+    plain coverage gain and returns the value to maximize — the hook the
+    bid-aware extension ({!Bids}) uses to blend in reviewer preferences.
+    The default is the identity on [coverage_gain].
+
+    Backend: the Hungarian algorithm on a matrix with one replicated
+    column per remaining capacity unit (the faster of the two at the
+    shapes reviewer assignment produces — see the
+    [ablation_stage_solver] bench).
+
+    Raises [Failure] if no feasible completion exists. *)
+
+val solve_flow :
+  ?papers:int list ->
+  ?pair_gain:(paper:int -> reviewer:int -> coverage_gain:float -> float) ->
+  Instance.t ->
+  current:Assignment.t ->
+  capacity:int array ->
+  (int * int) list
+(** Same contract, min-cost-flow backend (unit paper supplies into
+    capacitated reviewer sinks). Identical stage optima; different
+    constants. *)

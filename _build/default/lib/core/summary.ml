@@ -1,0 +1,81 @@
+module Stats = Wgrap_util.Stats
+
+type t = {
+  n_papers : int;
+  n_reviewers : int;
+  coverage_total : float;
+  coverage_mean : float;
+  coverage_min : float;
+  coverage_p10 : float;
+  coverage_max : float;
+  workload_min : int;
+  workload_max : int;
+  workload_mean : float;
+  idle_reviewers : int;
+  coi_violations : int;
+}
+
+let per_paper_scores inst assignment =
+  Array.init (Instance.n_papers inst) (fun p ->
+      Assignment.paper_score inst assignment p)
+
+let compute inst assignment =
+  let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
+  let scores = per_paper_scores inst assignment in
+  let workloads = Assignment.workloads assignment ~n_reviewers:n_r in
+  let lo, hi = Stats.min_max scores in
+  let w_min = Array.fold_left min max_int workloads in
+  let w_max = Array.fold_left max 0 workloads in
+  let idle = Array.fold_left (fun acc w -> if w = 0 then acc + 1 else acc) 0 workloads in
+  let coi_violations = ref 0 in
+  Array.iteri
+    (fun p group ->
+      List.iter
+        (fun r -> if Instance.forbidden inst ~paper:p ~reviewer:r then incr coi_violations)
+        group)
+    assignment.Assignment.groups;
+  {
+    n_papers = n_p;
+    n_reviewers = n_r;
+    coverage_total = Stats.sum scores;
+    coverage_mean = Stats.mean scores;
+    coverage_min = lo;
+    coverage_p10 = Stats.percentile scores 0.1;
+    coverage_max = hi;
+    workload_min = w_min;
+    workload_max = w_max;
+    workload_mean = Stats.mean (Array.map float_of_int workloads);
+    idle_reviewers = idle;
+    coi_violations = !coi_violations;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>papers: %d, reviewers: %d@,\
+     coverage: total %.4f, mean %.4f, min %.4f, p10 %.4f, max %.4f@,\
+     workload: min %d, mean %.2f, max %d (%d idle reviewers)@,\
+     COI violations: %d@]"
+    t.n_papers t.n_reviewers t.coverage_total t.coverage_mean t.coverage_min
+    t.coverage_p10 t.coverage_max t.workload_min t.workload_mean t.workload_max
+    t.idle_reviewers t.coi_violations
+
+let worst_papers inst assignment ~k =
+  let scores = per_paper_scores inst assignment in
+  let indexed = Array.mapi (fun p s -> (p, s)) scores in
+  Array.sort (fun (_, a) (_, b) -> compare a b) indexed;
+  Array.to_list (Array.sub indexed 0 (min k (Array.length indexed)))
+
+let coverage_histogram ?(buckets = 10) inst assignment =
+  if buckets < 1 then invalid_arg "Summary.coverage_histogram";
+  let scores = per_paper_scores inst assignment in
+  let counts = Array.make buckets 0 in
+  let width = 1. /. float_of_int buckets in
+  Array.iter
+    (fun s ->
+      let b = min (buckets - 1) (int_of_float (s /. width)) in
+      let b = max 0 b in
+      counts.(b) <- counts.(b) + 1)
+    scores;
+  Array.mapi
+    (fun i c -> (float_of_int i *. width, float_of_int (i + 1) *. width, c))
+    counts

@@ -1,0 +1,30 @@
+(** Human-readable reports over a finished assignment — what a program
+    chair actually looks at before sign-off. *)
+
+type t = {
+  n_papers : int;
+  n_reviewers : int;
+  coverage_total : float;
+  coverage_mean : float;
+  coverage_min : float;
+  coverage_p10 : float;  (** 10th-percentile paper coverage *)
+  coverage_max : float;
+  workload_min : int;
+  workload_max : int;
+  workload_mean : float;
+  idle_reviewers : int;  (** reviewers with no papers *)
+  coi_violations : int;  (** should be 0 for any library solver *)
+}
+
+val compute : Instance.t -> Assignment.t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line textual report. *)
+
+val worst_papers : Instance.t -> Assignment.t -> k:int -> (int * float) list
+(** The [k] papers with the lowest group coverage, worst first — the
+    ones a chair would reassign by hand. *)
+
+val coverage_histogram :
+  ?buckets:int -> Instance.t -> Assignment.t -> (float * float * int) array
+(** [(lo, hi, count)] buckets over per-paper coverage in [0, 1]. *)

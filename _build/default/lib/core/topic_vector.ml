@@ -1,0 +1,42 @@
+module Stats = Wgrap_util.Stats
+
+type t = float array
+
+let dim = Array.length
+
+let validate v =
+  if Array.length v = 0 then Error "topic vector has no dimensions"
+  else if Array.exists (fun x -> x < 0. || Float.is_nan x) v then
+    Error "topic vector has a negative or NaN coordinate"
+  else Ok ()
+
+let normalize = Stats.normalize
+let mass = Stats.sum
+
+let extend_max g r =
+  if Array.length g <> Array.length r then
+    invalid_arg "Topic_vector.extend_max: dimension mismatch";
+  Array.mapi (fun t x -> Float.max x r.(t)) g
+
+let extend_max_into ~dst r =
+  if Array.length dst <> Array.length r then
+    invalid_arg "Topic_vector.extend_max_into: dimension mismatch";
+  Array.iteri (fun t x -> if x > dst.(t) then dst.(t) <- x) r
+
+let group_max = function
+  | [] -> invalid_arg "Topic_vector.group_max: empty group"
+  | first :: rest ->
+      let acc = Array.copy first in
+      List.iter (fun r -> extend_max_into ~dst:acc r) rest;
+      acc
+
+let top_topics v k =
+  let indices = Array.init (Array.length v) (fun i -> i) in
+  (* Stable sort keeps lower indices first among ties. *)
+  let sorted = Array.copy indices in
+  Array.stable_sort (fun a b -> compare v.(b) v.(a)) sorted;
+  Array.to_list (Array.sub sorted 0 (min k (Array.length v)))
+
+let pp fmt v =
+  Format.fprintf fmt "[%s]"
+    (String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%.3f") v)))

@@ -1,0 +1,39 @@
+(** T-dimensional topic vectors (Section 2.1).
+
+    Both reviewers and papers are represented this way: coordinate [t] is
+    the relevance (expertise, for a reviewer; content weight, for a
+    paper) to topic [t]. Vectors are non-negative; they need not be
+    normalized — the scoring functions divide by the paper mass — but the
+    extraction pipeline produces normalized ones. *)
+
+type t = float array
+(** Non-negative weights; owned by the caller. The library never mutates
+    vectors it is handed. *)
+
+val dim : t -> int
+
+val validate : t -> (unit, string) result
+(** Check non-negativity and at least one dimension. *)
+
+val normalize : t -> t
+(** Fresh vector scaled to sum 1 (uniform if the input is all-zero). *)
+
+val mass : t -> float
+(** Sum of coordinates. *)
+
+val group_max : t list -> t
+(** Expertise of a reviewer group (Definition 2): coordinatewise maximum.
+    Raises [Invalid_argument] on an empty list or mismatched dims. *)
+
+val extend_max : t -> t -> t
+(** [extend_max g r] is the group vector after adding reviewer [r] to a
+    group with vector [g]; fresh array. *)
+
+val extend_max_into : dst:t -> t -> unit
+(** In-place variant used by the hot loops: [dst.(t) <- max dst.(t) r.(t)]. *)
+
+val top_topics : t -> int -> int list
+(** Indices of the [k] heaviest coordinates, heaviest first (ties broken
+    by lower index). Used by the case-study reports. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/dataset/corpus.ml: Array Hashtbl List Option Printf Result

@@ -1,0 +1,1 @@
+lib/dataset/datasets.ml: Array Corpus List String Synthetic

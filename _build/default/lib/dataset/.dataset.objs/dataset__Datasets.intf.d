@@ -1,0 +1,1 @@
+lib/dataset/datasets.mli: Corpus

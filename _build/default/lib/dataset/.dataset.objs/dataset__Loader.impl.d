@@ -1,0 +1,1 @@
+lib/dataset/loader.ml: Array Corpus Fun List Option Printf Result String

@@ -1,0 +1,1 @@
+lib/dataset/loader.mli: Corpus

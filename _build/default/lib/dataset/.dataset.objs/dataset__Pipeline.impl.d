@@ -1,0 +1,1 @@
+lib/dataset/pipeline.ml: Array Corpus Hashtbl List Topics Wgrap Wgrap_util

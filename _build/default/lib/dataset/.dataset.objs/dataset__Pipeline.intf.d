@@ -1,0 +1,1 @@
+lib/dataset/pipeline.mli: Corpus Topics Wgrap Wgrap_util

@@ -1,0 +1,1 @@
+lib/dataset/seed_vocabulary.ml: Array

@@ -1,0 +1,1 @@
+lib/dataset/synthetic.ml: Array Char Corpus Float Hashtbl List Printf Seed_vocabulary String Wgrap_util

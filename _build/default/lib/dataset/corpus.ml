@@ -1,0 +1,75 @@
+type area = Databases | Data_mining | Theory
+
+let area_name = function
+  | Databases -> "DB"
+  | Data_mining -> "DM"
+  | Theory -> "TH"
+
+let area_of_name = function
+  | "DB" -> Ok Databases
+  | "DM" -> Ok Data_mining
+  | "TH" -> Ok Theory
+  | s -> Error ("unknown area: " ^ s)
+
+type author = {
+  author_id : int;
+  name : string;
+  area : area;
+  h_index : int;
+}
+
+type paper = {
+  paper_id : int;
+  title : string;
+  abstract : string;
+  author_ids : int list;
+  venue : string;
+  year : int;
+}
+
+type t = {
+  authors : author array;
+  papers : paper array;
+}
+
+let validate t =
+  let n_a = Array.length t.authors in
+  let rec check_authors i =
+    if i = n_a then Ok ()
+    else if t.authors.(i).author_id <> i then
+      Error (Printf.sprintf "author %d has id %d" i t.authors.(i).author_id)
+    else check_authors (i + 1)
+  in
+  let rec check_papers i =
+    if i = Array.length t.papers then Ok ()
+    else begin
+      let p = t.papers.(i) in
+      if p.paper_id <> i then
+        Error (Printf.sprintf "paper %d has id %d" i p.paper_id)
+      else if p.author_ids = [] then
+        Error (Printf.sprintf "paper %d has no authors" i)
+      else if List.exists (fun a -> a < 0 || a >= n_a) p.author_ids then
+        Error (Printf.sprintf "paper %d references unknown author" i)
+      else check_papers (i + 1)
+    end
+  in
+  Result.bind (check_authors 0) (fun () -> check_papers 0)
+
+let papers_of_author t author_id =
+  Array.to_list t.papers
+  |> List.filter (fun p -> List.mem author_id p.author_ids)
+
+let papers_in t ~venue ~year =
+  Array.to_list t.papers
+  |> List.filter (fun p -> p.venue = venue && p.year = year)
+
+let venues t =
+  let table = Hashtbl.create 16 in
+  Array.iter
+    (fun p ->
+      let key = (p.venue, p.year) in
+      Hashtbl.replace table key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt table key)))
+    t.papers;
+  Hashtbl.fold (fun (v, y) c acc -> ((v ^ "'" ^ string_of_int (y mod 100)), c) :: acc) table []
+  |> List.sort compare

@@ -1,0 +1,40 @@
+(** The bibliographic corpus shape (the paper's DBLP/ArnetMiner data,
+    Table 3): venues with areas and years, authors with publication
+    records and h-indices, papers with abstracts. *)
+
+type area = Databases | Data_mining | Theory
+
+val area_name : area -> string
+val area_of_name : string -> (area, string) result
+
+type author = {
+  author_id : int;
+  name : string;
+  area : area;  (** home research area *)
+  h_index : int;
+}
+
+type paper = {
+  paper_id : int;
+  title : string;
+  abstract : string;
+  author_ids : int list;  (** non-empty *)
+  venue : string;
+  year : int;
+}
+
+type t = {
+  authors : author array;  (** indexed by [author_id] *)
+  papers : paper array;  (** indexed by [paper_id] *)
+}
+
+val validate : t -> (unit, string) result
+(** Ids dense and in range, author lists non-empty. *)
+
+val papers_of_author : t -> int -> paper list
+(** Publication record, in paper-id order. *)
+
+val papers_in : t -> venue:string -> year:int -> paper list
+
+val venues : t -> (string * int) list
+(** Distinct (venue, year) pairs with their paper counts, sorted. *)

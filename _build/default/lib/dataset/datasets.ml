@@ -1,0 +1,58 @@
+type spec = {
+  name : string;
+  area : Corpus.area;
+  year : int;
+  n_reviewers : int;
+}
+
+let all =
+  [
+    { name = "DB08"; area = Corpus.Databases; year = 2008; n_reviewers = 105 };
+    { name = "DM08"; area = Corpus.Data_mining; year = 2008; n_reviewers = 203 };
+    { name = "TH08"; area = Corpus.Theory; year = 2008; n_reviewers = 228 };
+    { name = "DB09"; area = Corpus.Databases; year = 2009; n_reviewers = 90 };
+    { name = "DM09"; area = Corpus.Data_mining; year = 2009; n_reviewers = 145 };
+    { name = "TH09"; area = Corpus.Theory; year = 2009; n_reviewers = 222 };
+  ]
+
+let find name =
+  let target = String.uppercase_ascii name in
+  List.find_opt (fun s -> s.name = target) all
+
+let submissions corpus spec =
+  let venues = Synthetic.venues_of_area spec.area in
+  Array.to_list corpus.Corpus.papers
+  |> List.filter (fun p ->
+         p.Corpus.year = spec.year && List.mem p.Corpus.venue venues)
+
+let publication_counts corpus ~until_year =
+  let counts = Array.make (Array.length corpus.Corpus.authors) 0 in
+  Array.iter
+    (fun p ->
+      if p.Corpus.year <= until_year then
+        List.iter (fun a -> counts.(a) <- counts.(a) + 1) p.Corpus.author_ids)
+    corpus.Corpus.papers;
+  counts
+
+let committee corpus spec =
+  let counts = publication_counts corpus ~until_year:spec.year in
+  let candidates =
+    Array.to_list corpus.Corpus.authors
+    |> List.filter (fun a -> a.Corpus.area = spec.area && counts.(a.Corpus.author_id) > 0)
+    |> List.sort (fun a b ->
+           compare counts.(b.Corpus.author_id) counts.(a.Corpus.author_id))
+  in
+  List.filteri (fun i _ -> i < spec.n_reviewers) candidates
+  |> List.map (fun a -> a.Corpus.author_id)
+
+let default_reviewer_pool corpus =
+  let counts = Array.make (Array.length corpus.Corpus.authors) 0 in
+  Array.iter
+    (fun p ->
+      if p.Corpus.year >= 2005 && p.Corpus.year <= 2009 then
+        List.iter (fun a -> counts.(a) <- counts.(a) + 1) p.Corpus.author_ids)
+    corpus.Corpus.papers;
+  Array.to_list corpus.Corpus.authors
+  |> List.filter_map (fun a ->
+         if counts.(a.Corpus.author_id) >= 3 then Some a.Corpus.author_id
+         else None)

@@ -1,0 +1,31 @@
+(** The six evaluation datasets of Table 3: an (area, year) pair defines
+    the submissions (all papers of the area's venues in that year) and a
+    program committee (the area's most prolific authors) standing in for
+    the PC lists the paper takes from SIGMOD/SIGKDD/STOC. *)
+
+type spec = {
+  name : string;  (** "DB08", "DM09", ... *)
+  area : Corpus.area;
+  year : int;
+  n_reviewers : int;  (** PC size, from Table 3 *)
+}
+
+val all : spec list
+(** DB08(105), DM08(203), TH08(228), DB09(90), DM09(145), TH09(222). *)
+
+val find : string -> spec option
+(** Lookup by case-insensitive name. *)
+
+val submissions : Corpus.t -> spec -> Corpus.paper list
+(** All papers of the spec's venues and year, paper-id order. *)
+
+val committee : Corpus.t -> spec -> int list
+(** [n_reviewers] author ids of the spec's area, most publications
+    first (publications up to and including the spec year), requiring
+    at least one publication. *)
+
+val default_reviewer_pool : Corpus.t -> int list
+(** The JRA candidate pool of Section 5.1: authors with at least 3
+    papers in any area during 2005-2009 (the paper reports 1002 such
+    authors on DBLP; the synthetic corpus yields a similar order of
+    magnitude). *)

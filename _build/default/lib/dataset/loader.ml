@@ -1,0 +1,90 @@
+let sanitize s =
+  String.map (fun c -> if c = '\t' || c = '\n' || c = '\r' then ' ' else c) s
+
+let save corpus ~authors_path ~papers_path =
+  let oc = open_out authors_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Array.iter
+        (fun a ->
+          Printf.fprintf oc "%d\t%s\t%s\t%d\n" a.Corpus.author_id
+            (sanitize a.Corpus.name)
+            (Corpus.area_name a.Corpus.area)
+            a.Corpus.h_index)
+        corpus.Corpus.authors);
+  let oc = open_out papers_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Array.iter
+        (fun p ->
+          Printf.fprintf oc "%d\t%s\t%s\t%d\t%s\t%s\n" p.Corpus.paper_id
+            (sanitize p.Corpus.title) p.Corpus.venue p.Corpus.year
+            (String.concat ";" (List.map string_of_int p.Corpus.author_ids))
+            (sanitize p.Corpus.abstract))
+        corpus.Corpus.papers)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let ( let* ) = Result.bind
+
+let parse_author lineno line =
+  match String.split_on_char '\t' line with
+  | [ id; name; area; h ] -> (
+      match (int_of_string_opt id, Corpus.area_of_name area, int_of_string_opt h) with
+      | Some author_id, Ok area, Some h_index ->
+          Ok { Corpus.author_id; name; area; h_index }
+      | _ -> Error (Printf.sprintf "authors line %d: bad field" lineno))
+  | _ -> Error (Printf.sprintf "authors line %d: expected 4 fields" lineno)
+
+let parse_paper lineno line =
+  match String.split_on_char '\t' line with
+  | [ id; title; venue; year; author_ids; abstract ] -> (
+      let ids =
+        String.split_on_char ';' author_ids
+        |> List.filter (fun s -> s <> "")
+        |> List.map int_of_string_opt
+      in
+      match (int_of_string_opt id, int_of_string_opt year) with
+      | Some paper_id, Some year when List.for_all Option.is_some ids ->
+          Ok
+            {
+              Corpus.paper_id;
+              title;
+              venue;
+              year;
+              author_ids = List.map Option.get ids;
+              abstract;
+            }
+      | _ -> Error (Printf.sprintf "papers line %d: bad field" lineno))
+  | _ -> Error (Printf.sprintf "papers line %d: expected 6 fields" lineno)
+
+let parse_all parse lines =
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | "" :: rest -> go (lineno + 1) acc rest
+    | line :: rest ->
+        let* item = parse lineno line in
+        go (lineno + 1) (item :: acc) rest
+  in
+  go 1 [] lines
+
+let load ~authors_path ~papers_path =
+  let* authors = parse_all parse_author (read_lines authors_path) in
+  let* papers = parse_all parse_paper (read_lines papers_path) in
+  let corpus =
+    { Corpus.authors = Array.of_list authors; papers = Array.of_list papers }
+  in
+  let* () = Corpus.validate corpus in
+  Ok corpus

@@ -1,0 +1,11 @@
+(** TSV persistence so a user can bring a real corpus (or export the
+    synthetic one). Two files: authors ("id, name, area, h_index") and
+    papers ("id, title, venue, year, author ids ';'-separated,
+    abstract"). Tabs inside free text are replaced by spaces on save. *)
+
+val save : Corpus.t -> authors_path:string -> papers_path:string -> unit
+
+val load :
+  authors_path:string -> papers_path:string -> (Corpus.t, string) result
+(** Validates with {!Corpus.validate}; any parse error is reported with
+    its line number. *)

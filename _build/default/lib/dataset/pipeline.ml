@@ -1,0 +1,106 @@
+module Vocab = Topics.Vocab
+module Atm = Topics.Atm
+
+type extracted = {
+  paper_vectors : float array array;
+  reviewer_vectors : float array array;
+  paper_ids : int array;
+  reviewer_ids : int array;
+  vocab : Vocab.t;
+  model : Atm.model;
+}
+
+let extract ?(n_topics = 30) ?(gibbs_iters = 80) ~rng ~corpus ~submissions
+    ~committee () =
+  let committee = Array.of_list committee in
+  let reviewer_row = Hashtbl.create 64 in
+  Array.iteri (fun row a -> Hashtbl.replace reviewer_row a row) committee;
+  (* Publication records of the committee (each paper once, even with
+     several committee co-authors). *)
+  let publications =
+    Array.to_list corpus.Corpus.papers
+    |> List.filter (fun p ->
+           List.exists (fun a -> Hashtbl.mem reviewer_row a) p.Corpus.author_ids)
+  in
+  let pub_tokens =
+    List.map (fun p -> Topics.Tokenizer.tokenize p.Corpus.abstract) publications
+  in
+  let sub_tokens =
+    List.map (fun p -> Topics.Tokenizer.tokenize p.Corpus.abstract) submissions
+  in
+  let vocab = Vocab.build ~min_count:2 (pub_tokens @ sub_tokens) in
+  let docs =
+    List.map2
+      (fun p tokens ->
+        let authors =
+          List.filter_map (fun a -> Hashtbl.find_opt reviewer_row a)
+            p.Corpus.author_ids
+          |> Array.of_list
+        in
+        { Atm.tokens = Vocab.encode vocab tokens; authors })
+      publications pub_tokens
+    |> List.filter (fun d -> Array.length d.Atm.tokens > 0)
+    |> Array.of_list
+  in
+  let model =
+    Atm.train ~iters:gibbs_iters ~rng ~n_authors:(Array.length committee)
+      ~n_topics ~n_words:(Vocab.size vocab) docs
+  in
+  let paper_vectors =
+    List.map
+      (fun tokens ->
+        Topics.Em_inference.infer ~phi:model.Atm.phi (Vocab.encode vocab tokens))
+      sub_tokens
+    |> Array.of_list
+  in
+  {
+    paper_vectors;
+    reviewer_vectors = Array.map Array.copy model.Atm.theta;
+    paper_ids = Array.of_list (List.map (fun p -> p.Corpus.paper_id) submissions);
+    reviewer_ids = committee;
+    vocab;
+    model;
+  }
+
+let topic_keywords extracted ~k =
+  Array.map
+    (fun dist ->
+      Wgrap.Topic_vector.top_topics dist k
+      |> List.map (Vocab.word extracted.vocab))
+    extracted.model.Atm.phi
+
+let instance ?scoring ?coi extracted ~delta_p ~delta_r =
+  Wgrap.Instance.create_exn ?scoring ?coi ~papers:extracted.paper_vectors
+    ~reviewers:extracted.reviewer_vectors ~delta_p ~delta_r ()
+
+let coi_pairs corpus extracted =
+  let reviewer_row = Hashtbl.create 64 in
+  Array.iteri
+    (fun row a -> Hashtbl.replace reviewer_row a row)
+    extracted.reviewer_ids;
+  let pairs = ref [] in
+  Array.iteri
+    (fun paper_row pid ->
+      let p = corpus.Corpus.papers.(pid) in
+      List.iter
+        (fun a ->
+          match Hashtbl.find_opt reviewer_row a with
+          | Some reviewer_row' -> pairs := (paper_row, reviewer_row') :: !pairs
+          | None -> ())
+        p.Corpus.author_ids)
+    extracted.paper_ids;
+  !pairs
+
+let scale_by_h_index corpus extracted =
+  let hs =
+    Array.map
+      (fun a -> float_of_int corpus.Corpus.authors.(a).Corpus.h_index)
+      extracted.reviewer_ids
+  in
+  let h_min, h_max = Wgrap_util.Stats.min_max hs in
+  let span = h_max -. h_min in
+  Array.mapi
+    (fun row vec ->
+      let factor = if span <= 0. then 1. else 1. +. ((hs.(row) -. h_min) /. span) in
+      Array.map (fun v -> v *. factor) vec)
+    extracted.reviewer_vectors

@@ -1,0 +1,54 @@
+(** The topic-vector extraction pipeline of Section 2.4 / Appendix A:
+
+    + tokenize the committee's publication abstracts and the submitted
+      papers' abstracts, build one vocabulary;
+    + train the adapted Author-Topic Model on the publication records
+      (document authors restricted to committee members) — the author
+      mixtures are the reviewer topic vectors;
+    + infer each submission's topic vector by EM against the trained
+      topic-word distributions (Eq. 11). *)
+
+type extracted = {
+  paper_vectors : float array array;  (** per submission, sums to 1 *)
+  reviewer_vectors : float array array;  (** per committee member *)
+  paper_ids : int array;  (** submission paper ids, aligned with rows *)
+  reviewer_ids : int array;  (** committee author ids, aligned with rows *)
+  vocab : Topics.Vocab.t;
+  model : Topics.Atm.model;
+}
+
+val extract :
+  ?n_topics:int ->
+  ?gibbs_iters:int ->
+  rng:Wgrap_util.Rng.t ->
+  corpus:Corpus.t ->
+  submissions:Corpus.paper list ->
+  committee:int list ->
+  unit ->
+  extracted
+(** Defaults: [n_topics = 30] (the paper's T), [gibbs_iters = 80].
+    Committee members without usable publications get the uniform
+    vector (they stay assignable, just uninformative). *)
+
+val topic_keywords : extracted -> k:int -> string list array
+(** Top-[k] words of each trained topic — the keyword tables of the
+    case studies (Tables 8-9). *)
+
+val instance :
+  ?scoring:Wgrap.Scoring.kind ->
+  ?coi:(int * int) list ->
+  extracted ->
+  delta_p:int ->
+  delta_r:int ->
+  Wgrap.Instance.t
+(** Wrap the extracted vectors as a WGRAP instance. *)
+
+val coi_pairs : Corpus.t -> extracted -> (int * int) list
+(** Authorship conflicts: (paper row, reviewer row) pairs where the
+    committee member authored the submission. *)
+
+val scale_by_h_index :
+  Corpus.t -> extracted -> float array array
+(** Eq. 15: reviewer vectors scaled by
+    [1 + (h_r - h_min) / (h_max - h_min)] into [1x, 2x] — the
+    Figure 21(d) variant. *)

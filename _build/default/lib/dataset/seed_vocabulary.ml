@@ -1,0 +1,131 @@
+(* Keyword groups modeled on the topics the paper's case studies surface
+   (Tables 8 and 9): query processing, privacy, streams, XML, clustering,
+   and so on, extended to thirty subjects covering the three areas. *)
+
+let topics =
+  [|
+    ( "query optimization",
+      [ "query"; "optimization"; "plan"; "cost"; "cardinality"; "join";
+        "selectivity"; "optimizer"; "rewriting"; "execution"; "relational";
+        "operators" ] );
+    ( "transaction processing",
+      [ "transaction"; "concurrency"; "locking"; "serializability"; "recovery";
+        "logging"; "isolation"; "commit"; "acid"; "oltp"; "latch"; "deadlock" ] );
+    ( "data privacy",
+      [ "privacy"; "anonymization"; "sensitive"; "disclosure"; "security";
+        "access"; "control"; "secure"; "confidential"; "perturbation";
+        "anonymity"; "encryption" ] );
+    ( "spatial databases",
+      [ "spatial"; "location"; "nearest"; "neighbor"; "trajectory"; "road";
+        "geographic"; "proximity"; "moving"; "objects"; "region"; "distance" ] );
+    ( "xml querying",
+      [ "xml"; "xpath"; "xquery"; "twig"; "tree"; "semistructured"; "schema";
+        "document"; "element"; "path"; "navigation"; "tags" ] );
+    ( "data streams",
+      [ "stream"; "streaming"; "window"; "continuous"; "sketch"; "online";
+        "arrival"; "rate"; "synopsis"; "traffic"; "sensor"; "monitoring" ] );
+    ( "data integration",
+      [ "integration"; "mapping"; "heterogeneous"; "mediation"; "matching";
+        "ontology"; "alignment"; "sources"; "federation"; "wrapper";
+        "cleaning"; "deduplication" ] );
+    ( "indexing",
+      [ "index"; "indexing"; "btree"; "hashing"; "lookup"; "retrieval";
+        "partitioning"; "disk"; "storage"; "compression"; "cache"; "buffer" ] );
+    ( "distributed systems",
+      [ "distributed"; "replication"; "consistency"; "partition"; "cluster";
+        "scalability"; "fault"; "tolerance"; "consensus"; "latency";
+        "throughput"; "availability" ] );
+    ( "uncertain data",
+      [ "uncertain"; "probabilistic"; "possible"; "worlds"; "confidence";
+        "imprecise"; "lineage"; "tuple"; "probability"; "noisy"; "incomplete";
+        "estimation" ] );
+    ( "graph databases",
+      [ "graph"; "subgraph"; "reachability"; "vertices"; "edges"; "traversal";
+        "pattern"; "isomorphism"; "network"; "connectivity"; "shortest";
+        "paths" ] );
+    ( "keyword search",
+      [ "keyword"; "search"; "ranking"; "relevance"; "answers"; "scoring";
+        "effectiveness"; "semantics"; "snippets"; "exploration"; "interface";
+        "usability" ] );
+    ( "clustering",
+      [ "clustering"; "clusters"; "centroid"; "density"; "partitional";
+        "hierarchical"; "similarity"; "dimensionality"; "subspace"; "kmeans";
+        "medoids"; "outliers" ] );
+    ( "classification",
+      [ "classification"; "classifier"; "training"; "labels"; "supervised";
+        "features"; "accuracy"; "decision"; "boosting"; "ensemble"; "margin";
+        "kernel" ] );
+    ( "frequent patterns",
+      [ "frequent"; "itemsets"; "association"; "rules"; "support";
+        "transactions"; "apriori"; "sequential"; "episodes"; "lattice";
+        "closed"; "maximal" ] );
+    ( "social networks",
+      [ "social"; "community"; "influence"; "diffusion"; "users"; "friends";
+        "ties"; "centrality"; "propagation"; "viral"; "cascades"; "media" ] );
+    ( "recommender systems",
+      [ "recommendation"; "recommender"; "collaborative"; "filtering";
+        "ratings"; "preferences"; "personalization"; "items"; "matrix";
+        "factorization"; "cold"; "start" ] );
+    ( "text mining",
+      [ "text"; "topic"; "document"; "corpus"; "words"; "semantic"; "latent";
+        "dirichlet"; "allocation"; "sentiment"; "extraction"; "entities" ] );
+    ( "web mining",
+      [ "web"; "pages"; "links"; "crawling"; "hyperlink"; "pagerank"; "click";
+        "logs"; "sessions"; "behavior"; "advertising"; "engines" ] );
+    ( "anomaly detection",
+      [ "anomaly"; "outlier"; "detection"; "deviation"; "fraud"; "intrusion";
+        "abnormal"; "rare"; "events"; "alarms"; "surveillance"; "diagnosis" ] );
+    ( "time series",
+      [ "temporal"; "series"; "forecasting"; "trends"; "seasonal"; "warping";
+        "motifs"; "segmentation"; "periodicity"; "evolution"; "dynamics";
+        "history" ] );
+    ( "approximation algorithms",
+      [ "approximation"; "ratio"; "greedy"; "rounding"; "relaxation";
+        "submodular"; "combinatorial"; "hardness"; "guarantee"; "bounds";
+        "polynomial"; "heuristics" ] );
+    ( "computational complexity",
+      [ "complexity"; "hardness"; "reduction"; "npcomplete"; "circuits";
+        "lower"; "bound"; "classes"; "space"; "hierarchy"; "oracle";
+        "separation" ] );
+    ( "randomized algorithms",
+      [ "randomized"; "random"; "probability"; "expectation"; "concentration";
+        "martingale"; "sampling"; "monte"; "carlo"; "derandomization"; "tail";
+        "inequalities" ] );
+    ( "graph theory",
+      [ "coloring"; "matching"; "planar"; "cliques"; "expanders"; "spectral";
+        "eigenvalues"; "cuts"; "flows"; "minors"; "treewidth"; "degrees" ] );
+    ( "cryptography",
+      [ "cryptography"; "cryptographic"; "protocol"; "zero"; "knowledge";
+        "commitment"; "signatures"; "homomorphic"; "adversary"; "obfuscation";
+        "keys"; "hash" ] );
+    ( "game theory",
+      [ "game"; "equilibrium"; "nash"; "mechanism"; "auction"; "agents";
+        "strategies"; "incentive"; "truthful"; "welfare"; "prices"; "bidding" ] );
+    ( "online algorithms",
+      [ "competitive"; "adversarial"; "regret"; "bandit"; "sequential";
+        "decisions"; "caching"; "paging"; "scheduling"; "arrivals";
+        "irrevocable"; "ski" ] );
+    ( "coding theory",
+      [ "codes"; "coding"; "decoding"; "error"; "correcting"; "redundancy";
+        "channel"; "entropy"; "information"; "capacity"; "locally"; "testable" ] );
+    ( "machine learning theory",
+      [ "learning"; "learnability"; "generalization"; "hypothesis"; "risk";
+        "convergence"; "gradient"; "convex"; "regularization"; "dimension";
+        "sample"; "bounds" ] );
+  |]
+
+let n_topics = Array.length topics
+let topic_keywords = Array.map snd topics
+let topic_labels = Array.map fst topics
+
+let general_words =
+  [ "algorithm"; "data"; "analysis"; "efficient"; "model"; "evaluation";
+    "experimental"; "performance"; "large"; "scale"; "framework"; "technique";
+    "system"; "practical"; "theoretical"; "empirical"; "real"; "world";
+    "state"; "art"; "improve"; "quality"; "measure"; "general"; "effective" ]
+
+(* Area emphases overlap on purpose: graph, streams and text sit in two
+   areas each, privacy touches theory via cryptography, etc. *)
+let databases_topics = [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11 ]
+let data_mining_topics = [ 5; 10; 12; 13; 14; 15; 16; 17; 18; 19; 20; 2 ]
+let theory_topics = [ 21; 22; 23; 24; 25; 26; 27; 28; 29; 10; 2; 20 ]

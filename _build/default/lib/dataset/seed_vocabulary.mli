@@ -1,0 +1,24 @@
+(** The built-in research vocabulary behind the synthetic corpus: 30
+    topic keyword groups spanning Databases, Data Mining and Theory
+    (mirroring the three areas of Table 3), plus general academic filler
+    words. All words survive {!Topics.Tokenizer.tokenize}. *)
+
+val n_topics : int
+(** 30, the paper's setting for T. *)
+
+val topic_keywords : string list array
+(** [topic_keywords.(t)] is topic [t]'s seed keyword list. *)
+
+val topic_labels : string array
+(** Short human-readable topic names ("data privacy", "xml querying",
+    ...) used by the case-study reports. *)
+
+val general_words : string list
+(** Topic-neutral words mixed into every abstract. *)
+
+val databases_topics : int list
+val data_mining_topics : int list
+val theory_topics : int list
+(** Topic ids emphasized by each area; overlapping on purpose (e.g.
+    graph mining sits in both DB and DM), so interdisciplinary papers
+    arise naturally. *)

@@ -1,0 +1,256 @@
+module Rng = Wgrap_util.Rng
+module Sv = Seed_vocabulary
+
+type config = {
+  authors_per_area : int;
+  abstract_len : int;
+  history_papers_per_area_year : int;
+  eval_counts : (Corpus.area * int * int) list;
+  crossover : float;
+}
+
+let default_config =
+  {
+    authors_per_area = 320;
+    abstract_len = 60;
+    history_papers_per_area_year = 120;
+    eval_counts =
+      [
+        (Corpus.Databases, 2008, 617);
+        (Corpus.Databases, 2009, 513);
+        (Corpus.Data_mining, 2008, 545);
+        (Corpus.Data_mining, 2009, 648);
+        (Corpus.Theory, 2008, 281);
+        (Corpus.Theory, 2009, 226);
+      ];
+    crossover = 0.15;
+  }
+
+let scaled config factor =
+  if factor <= 0. || factor > 1. then invalid_arg "Synthetic.scaled";
+  let s n = max 2 (int_of_float (Float.round (float_of_int n *. factor))) in
+  {
+    config with
+    authors_per_area = s config.authors_per_area;
+    history_papers_per_area_year = s config.history_papers_per_area_year;
+    eval_counts = List.map (fun (a, y, n) -> (a, y, s n)) config.eval_counts;
+  }
+
+type ground_truth = {
+  topic_word : float array array;
+  author_mixture : float array array;
+  paper_mixture : float array array;
+  vocab_words : string array;
+}
+
+let venues_of_area = function
+  | Corpus.Databases -> [ "SIGMOD"; "VLDB"; "ICDE"; "PODS" ]
+  | Corpus.Data_mining -> [ "SIGKDD"; "ICDM"; "SDM"; "CIKM" ]
+  | Corpus.Theory -> [ "STOC"; "FOCS"; "SODA" ]
+
+let areas = [ Corpus.Databases; Corpus.Data_mining; Corpus.Theory ]
+
+let area_topics = function
+  | Corpus.Databases -> Sv.databases_topics
+  | Corpus.Data_mining -> Sv.data_mining_topics
+  | Corpus.Theory -> Sv.theory_topics
+
+(* The word universe: every topic keyword once, then the general filler
+   words. *)
+let build_vocab () =
+  let table = Hashtbl.create 512 in
+  let ordered = ref [] in
+  let add w =
+    if not (Hashtbl.mem table w) then begin
+      Hashtbl.replace table w (Hashtbl.length table);
+      ordered := w :: !ordered
+    end
+  in
+  Array.iter (List.iter add) Sv.topic_keywords;
+  List.iter add Sv.general_words;
+  let words = Array.of_list (List.rev !ordered) in
+  (table, words)
+
+(* Topic t: 75% of the mass on its own keywords (Dirichlet-jittered),
+   25% spread uniformly over the general words. *)
+let build_topic_word rng table n_words =
+  Array.map
+    (fun keywords ->
+      let dist = Array.make n_words 0. in
+      let own = Rng.dirichlet_sym rng ~alpha:0.7 ~dim:(List.length keywords) in
+      List.iteri
+        (fun i w -> dist.(Hashtbl.find table w) <- 0.75 *. own.(i))
+        keywords;
+      let share = 0.25 /. float_of_int (List.length Sv.general_words) in
+      List.iter
+        (fun w ->
+          let id = Hashtbl.find table w in
+          dist.(id) <- dist.(id) +. share)
+        Sv.general_words;
+      dist)
+    Sv.topic_keywords
+
+let author_mixture_for rng config area =
+  let home = area_topics area in
+  let topics =
+    if Rng.uniform rng < config.crossover then begin
+      (* Interdisciplinary author: blend a second area in. *)
+      let other =
+        List.filter (fun a -> a <> area) areas
+        |> fun l -> List.nth l (Rng.int rng (List.length l))
+      in
+      List.sort_uniq compare (home @ area_topics other)
+    end
+    else home
+  in
+  let weights = Rng.dirichlet_sym rng ~alpha:0.25 ~dim:(List.length topics) in
+  let mixture = Array.make Sv.n_topics 0. in
+  List.iteri (fun i t -> mixture.(t) <- weights.(i)) topics;
+  mixture
+
+let sample_abstract rng ~topic_word ~authors_mix ~len =
+  let n_authors = Array.length authors_mix in
+  let counts = Array.make Sv.n_topics 0 in
+  let words =
+    List.init len (fun _ ->
+        let mix = authors_mix.(Rng.int rng n_authors) in
+        let t = Rng.categorical rng mix in
+        counts.(t) <- counts.(t) + 1;
+        Rng.categorical rng topic_word.(t))
+  in
+  let mixture =
+    Array.map (fun c -> float_of_int c /. float_of_int len) counts
+  in
+  (words, mixture)
+
+let surname_stems =
+  [| "chen"; "kumar"; "smith"; "garcia"; "tanaka"; "mueller"; "rossi";
+     "ivanov"; "kim"; "santos"; "dubois"; "larsen"; "novak"; "silva";
+     "haddad"; "okafor"; "berg"; "costa"; "fischer"; "moreau" |]
+
+let generate ?(config = default_config) ~rng () =
+  let table, vocab_words = build_vocab () in
+  let n_words = Array.length vocab_words in
+  let topic_word = build_topic_word rng table n_words in
+  (* Authors. *)
+  let n_authors = config.authors_per_area * List.length areas in
+  let authors = Array.make n_authors None in
+  let author_mixture = Array.make n_authors [||] in
+  let idx = ref 0 in
+  List.iter
+    (fun area ->
+      for _ = 1 to config.authors_per_area do
+        let id = !idx in
+        author_mixture.(id) <- author_mixture_for rng config area;
+        let name =
+          Printf.sprintf "%c. %s-%d"
+            (Char.chr (Char.code 'a' + Rng.int rng 26))
+            surname_stems.(Rng.int rng (Array.length surname_stems))
+            id
+        in
+        authors.(id) <- Some { Corpus.author_id = id; name; area; h_index = 0 };
+        incr idx
+      done)
+    areas;
+  let authors_of_area area =
+    Array.to_list authors
+    |> List.filter_map (fun a ->
+           match a with
+           | Some a when a.Corpus.area = area -> Some a.Corpus.author_id
+           | _ -> None)
+    |> Array.of_list
+  in
+  let area_pool =
+    List.map (fun area -> (area, authors_of_area area)) areas
+  in
+  (* Papers: per (area, year) quota, venues round-robin by random pick. *)
+  let quotas =
+    List.concat_map
+      (fun area ->
+        List.concat
+          [
+            List.init 8 (fun i ->
+                (area, 2000 + i, config.history_papers_per_area_year));
+            List.filter_map
+              (fun (a, y, n) -> if a = area then Some (area, y, n) else None)
+              config.eval_counts;
+          ])
+      areas
+  in
+  let papers = ref [] and paper_mixtures = ref [] in
+  let paper_count = ref 0 in
+  List.iter
+    (fun (area, year, quota) ->
+      let pool = List.assoc area area_pool in
+      let venues = Array.of_list (venues_of_area area) in
+      for _ = 1 to quota do
+        let n_auth = 1 + Rng.int rng 3 in
+        let picked =
+          Rng.sample_without_replacement rng n_auth (Array.length pool)
+          |> Array.map (fun i -> pool.(i))
+        in
+        let mixes = Array.map (fun a -> author_mixture.(a)) picked in
+        let words, mixture =
+          sample_abstract rng ~topic_word ~authors_mix:mixes
+            ~len:config.abstract_len
+        in
+        let dominant = Wgrap_util.Stats.argmax mixture in
+        let kw = Sv.topic_keywords.(dominant) in
+        let title =
+          Printf.sprintf "On %s and %s"
+            (List.nth kw (Rng.int rng (List.length kw)))
+            (List.nth kw (Rng.int rng (List.length kw)))
+        in
+        let abstract =
+          String.concat " " (List.map (fun id -> vocab_words.(id)) words)
+        in
+        papers :=
+          {
+            Corpus.paper_id = !paper_count;
+            title;
+            abstract;
+            author_ids = Array.to_list picked;
+            venue = venues.(Rng.int rng (Array.length venues));
+            year;
+          }
+          :: !papers;
+        paper_mixtures := mixture :: !paper_mixtures;
+        incr paper_count
+      done)
+    quotas;
+  let papers = Array.of_list (List.rev !papers) in
+  let paper_mixture = Array.of_list (List.rev !paper_mixtures) in
+  (* h-indices: sublinear in publication count, jittered. *)
+  let pub_count = Array.make n_authors 0 in
+  Array.iter
+    (fun p ->
+      List.iter
+        (fun a -> pub_count.(a) <- pub_count.(a) + 1)
+        p.Corpus.author_ids)
+    papers;
+  let authors =
+    Array.mapi
+      (fun id a ->
+        match a with
+        | Some a ->
+            let pubs = float_of_int pub_count.(id) in
+            let h =
+              int_of_float (Float.round (sqrt pubs *. (1.5 +. Rng.uniform rng)))
+            in
+            { a with Corpus.h_index = min pub_count.(id) h }
+        | None -> assert false)
+      authors
+  in
+  ( { Corpus.authors; papers },
+    {
+      topic_word =
+        Array.map
+          (fun dist ->
+            (* Jitter can leave tiny normalization drift; fix it here. *)
+            Wgrap_util.Stats.normalize dist)
+          topic_word;
+      author_mixture;
+      paper_mixture;
+      vocab_words;
+    } )
+

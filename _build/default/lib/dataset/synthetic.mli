@@ -1,0 +1,43 @@
+(** Synthetic DBLP-like corpus generator.
+
+    Substitute for the ArnetMiner dump the paper evaluates on (Table 3):
+    we cannot ship that data, so we generate a corpus from the exact
+    generative model the Author-Topic Model assumes — ground-truth
+    topics built on {!Seed_vocabulary}'s keyword groups, area-skewed
+    author mixtures, and abstracts sampled author -> topic -> word. The
+    reviewer-assignment algorithms only ever see topic vectors, so this
+    preserves the code paths and the skew that makes the problem hard,
+    and it gives tests planted ground truth to check ATM recovery
+    against. *)
+
+type config = {
+  authors_per_area : int;  (** default 320 *)
+  abstract_len : int;  (** tokens per abstract; default 60 *)
+  history_papers_per_area_year : int;
+      (** papers per area for the non-evaluation years 2000-2007;
+          default 120 *)
+  eval_counts : (Corpus.area * int * int) list;
+      (** (area, year, papers) for the evaluation years; the default is
+          Table 3: DB 617/513, DM 545/648, TH 281/226 for 2008/2009 *)
+  crossover : float;  (** fraction of authors mixing two areas; 0.15 *)
+}
+
+val default_config : config
+
+val scaled : config -> float -> config
+(** Shrink every count by a factor in (0, 1] — for tests and quick runs. *)
+
+type ground_truth = {
+  topic_word : float array array;  (** T x V, rows sum to 1 *)
+  author_mixture : float array array;  (** per author, sums to 1 *)
+  paper_mixture : float array array;
+      (** per paper: the realized topic frequencies of its abstract *)
+  vocab_words : string array;  (** id -> word, the generator's universe *)
+}
+
+val generate :
+  ?config:config -> rng:Wgrap_util.Rng.t -> unit -> Corpus.t * ground_truth
+
+val venues_of_area : Corpus.area -> string list
+(** SIGMOD/VLDB/ICDE/PODS, SIGKDD/ICDM/SDM/CIKM, STOC/FOCS/SODA — the
+    venue pools of Table 3. *)

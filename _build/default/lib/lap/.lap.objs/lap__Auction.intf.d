@@ -1,0 +1,1 @@
+lib/lap/auction.mli:

@@ -1,0 +1,1 @@
+lib/lap/hungarian.mli:

@@ -1,0 +1,1 @@
+lib/lap/mcmf.ml: Array Float Hungarian List Queue Wgrap_util

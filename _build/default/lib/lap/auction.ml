@@ -1,0 +1,80 @@
+let maximize score =
+  let n = Array.length score in
+  if n = 0 then invalid_arg "Auction: empty matrix";
+  let m = Array.length score.(0) in
+  Array.iter
+    (fun row -> if Array.length row <> m then invalid_arg "Auction: ragged matrix")
+    score;
+  if n > m then invalid_arg "Auction: more rows than columns";
+  let allowed i j = score.(i).(j) <> Hungarian.forbidden in
+  (* Value scale drives the epsilon schedule. *)
+  let scale = ref 1. in
+  for i = 0 to n - 1 do
+    for j = 0 to m - 1 do
+      if allowed i j then scale := Float.max !scale (Float.abs score.(i).(j))
+    done
+  done;
+  let prices = Array.make m 0. in
+  let owner = Array.make m (-1) in
+  let assigned = Array.make n (-1) in
+  (* The optimality gap of a completed auction round is n * eps; stop
+     scaling once that is negligible at the problem's magnitude. *)
+  let eps_final = 1e-9 *. !scale /. float_of_int n in
+  let run_phase eps =
+    Array.fill owner 0 m (-1);
+    Array.fill assigned 0 n (-1);
+    let queue = Queue.create () in
+    for i = 0 to n - 1 do
+      Queue.add i queue
+    done;
+    (* Feasible auctions terminate; an infeasible sub-matching (rows
+       fighting over too few allowed columns) would bid forever, so cap
+       the bid count generously and fail past it. *)
+    let bids = ref 0 in
+    let bid_limit = 10_000 * n * m in
+    while not (Queue.is_empty queue) do
+      incr bids;
+      if !bids > bid_limit then failwith "Auction: infeasible";
+      let i = Queue.take queue in
+      (* Best and second-best net value over allowed objects. *)
+      let best_j = ref (-1) and best_v = ref neg_infinity in
+      let second_v = ref neg_infinity in
+      for j = 0 to m - 1 do
+        if allowed i j then begin
+          let v = score.(i).(j) -. prices.(j) in
+          if v > !best_v then begin
+            second_v := !best_v;
+            best_v := v;
+            best_j := j
+          end
+          else if v > !second_v then second_v := v
+        end
+      done;
+      if !best_j < 0 then failwith "Auction: infeasible";
+      let j = !best_j in
+      let increment =
+        if !second_v = neg_infinity then eps else !best_v -. !second_v +. eps
+      in
+      prices.(j) <- prices.(j) +. increment;
+      (match owner.(j) with
+      | -1 -> ()
+      | previous ->
+          assigned.(previous) <- -1;
+          Queue.add previous queue);
+      owner.(j) <- i;
+      assigned.(i) <- j
+    done
+  in
+  (* A single phase at the final epsilon: epsilon-scaling with retained
+     prices is unsound for rectangular problems (objects left unassigned
+     keep stale high prices, breaking complementary slackness), and the
+     matrices this backend sees are small enough that scaling buys
+     nothing. *)
+  run_phase eps_final;
+  let total = ref 0. in
+  Array.iteri
+    (fun i j ->
+      if not (allowed i j) then failwith "Auction: infeasible"
+      else total := !total +. score.(i).(j))
+    assigned;
+  (Array.copy assigned, !total)

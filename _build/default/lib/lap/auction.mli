@@ -1,0 +1,19 @@
+(** Bertsekas' auction algorithm for the linear assignment problem —
+    the third LAP backend (after {!Hungarian} and {!Mcmf}), included
+    because the stage solver is the inner loop of SDGA and the ablation
+    bench compares the three.
+
+    Persons (rows) bid for objects (columns); with a small enough
+    epsilon the final assignment is within [n * epsilon] of optimal.
+    A single phase at a fine epsilon is used — epsilon-scaling with
+    retained prices is unsound on rectangular instances, and the
+    matrices this backend sees are small. *)
+
+val maximize : float array array -> int array * float
+(** [maximize score] assigns each row of the [n x m] matrix ([n <= m])
+    to a distinct column maximizing the total score. Cells equal to
+    {!Hungarian.forbidden} are never chosen; raises
+    [Failure "Auction: infeasible"] if that leaves no complete
+    assignment. Optimal to within [1e-9] of {!Hungarian.maximize}
+    (exactly optimal when scores are distinct enough; ties may be
+    resolved differently). *)

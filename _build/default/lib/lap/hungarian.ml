@@ -1,0 +1,92 @@
+let forbidden = neg_infinity
+
+(* Large-but-finite penalty standing in for forbidden cells inside the
+   potentials computation; infinities would poison the dual updates. *)
+let big = 1e15
+
+let check_shape cost =
+  let n = Array.length cost in
+  if n = 0 then invalid_arg "Hungarian: empty matrix";
+  let m = Array.length cost.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> m then invalid_arg "Hungarian: ragged matrix")
+    cost;
+  if n > m then invalid_arg "Hungarian: more rows than columns";
+  (n, m)
+
+(* Shortest-augmenting-path assignment with dual potentials; 1-based
+   internal indexing as in the classic presentation. Cells holding [big]
+   are treated as (almost) unusable. *)
+let minimize cost =
+  let n, m = check_shape cost in
+  let u = Array.make (n + 1) 0. in
+  let v = Array.make (m + 1) 0. in
+  let p = Array.make (m + 1) 0 in
+  let way = Array.make (m + 1) 0 in
+  for i = 1 to n do
+    p.(0) <- i;
+    let j0 = ref 0 in
+    let minv = Array.make (m + 1) infinity in
+    let used = Array.make (m + 1) false in
+    let continue = ref true in
+    while !continue do
+      used.(!j0) <- true;
+      let i0 = p.(!j0) in
+      let delta = ref infinity in
+      let j1 = ref 0 in
+      for j = 1 to m do
+        if not used.(j) then begin
+          let cur = cost.(i0 - 1).(j - 1) -. u.(i0) -. v.(j) in
+          if cur < minv.(j) then begin
+            minv.(j) <- cur;
+            way.(j) <- !j0
+          end;
+          if minv.(j) < !delta then begin
+            delta := minv.(j);
+            j1 := j
+          end
+        end
+      done;
+      for j = 0 to m do
+        if used.(j) then begin
+          u.(p.(j)) <- u.(p.(j)) +. !delta;
+          v.(j) <- v.(j) -. !delta
+        end
+        else minv.(j) <- minv.(j) -. !delta
+      done;
+      j0 := !j1;
+      if p.(!j0) = 0 then continue := false
+    done;
+    let j0 = ref !j0 in
+    while !j0 <> 0 do
+      let j1 = way.(!j0) in
+      p.(!j0) <- p.(j1);
+      j0 := j1
+    done
+  done;
+  let assignment = Array.make n (-1) in
+  for j = 1 to m do
+    if p.(j) > 0 then assignment.(p.(j) - 1) <- j - 1
+  done;
+  let total = ref 0. in
+  Array.iteri (fun i j -> total := !total +. cost.(i).(j)) assignment;
+  (assignment, !total)
+
+let maximize score =
+  let n, m = check_shape score in
+  (* Negate into a minimization; map forbidden scores to [big]. *)
+  let cost =
+    Array.init n (fun i ->
+        Array.init m (fun j ->
+            let s = score.(i).(j) in
+            if s = forbidden then big else -.s))
+  in
+  let assignment, _ = minimize cost in
+  let total = ref 0. in
+  Array.iteri
+    (fun i j ->
+      if score.(i).(j) = forbidden then failwith "Hungarian: infeasible"
+      else total := !total +. score.(i).(j))
+    assignment;
+  (assignment, !total)

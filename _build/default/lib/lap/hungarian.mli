@@ -1,0 +1,21 @@
+(** Dense rectangular linear assignment (Kuhn-Munkres, Jonker-Volgenant
+    shortest-augmenting-path formulation, O(n^2 m)).
+
+    This is the per-stage solver the paper's SDGA algorithm (Section 4.2)
+    relies on: "we can apply a classic linear assignment algorithm (e.g.,
+    Hungarian algorithm)". *)
+
+val minimize : float array array -> int array * float
+(** [minimize cost] assigns each row of the [n*m] matrix ([n <= m]) to a
+    distinct column so that the total cost is minimal. Returns
+    [(assignment, total)] where [assignment.(i)] is the column of row [i].
+    Raises [Invalid_argument] if [n > m] or the matrix is ragged. *)
+
+val maximize : float array array -> int array * float
+(** Same but maximizing the total score. *)
+
+val forbidden : float
+(** Sentinel score for pairs that must not be matched (conflicts of
+    interest). [maximize] never selects a [forbidden] cell unless the
+    instance is otherwise infeasible, in which case it raises
+    [Failure "Hungarian: infeasible"]. *)

@@ -1,0 +1,230 @@
+(* Tiny growable-array helper local to this module. *)
+module Buffer_dyn = struct
+  type 'a t = { mutable data : 'a array; mutable len : int }
+
+  let create () = { data = [||]; len = 0 }
+
+  let push b x =
+    if b.len = Array.length b.data then begin
+      let cap = max 16 (2 * Array.length b.data) in
+      let data = Array.make cap x in
+      Array.blit b.data 0 data 0 b.len;
+      b.data <- data
+    end;
+    b.data.(b.len) <- x;
+    b.len <- b.len + 1
+
+  let get b i = b.data.(i)
+  let set b i x = b.data.(i) <- x
+  let length b = b.len
+end
+
+type t = {
+  n : int;
+  (* Edge-list representation with paired residuals: edge 2k is the forward
+     edge, 2k+1 its residual. *)
+  head : int array; (* node -> first edge index or -1 *)
+  next : int Buffer_dyn.t;
+  dst : int Buffer_dyn.t;
+  cap : int Buffer_dyn.t;
+  cost : float Buffer_dyn.t;
+  mutable forward : (int * int) list; (* (edge index, src), reverse insertion order *)
+}
+
+let create n =
+  {
+    n;
+    head = Array.make n (-1);
+    next = Buffer_dyn.create ();
+    dst = Buffer_dyn.create ();
+    cap = Buffer_dyn.create ();
+    cost = Buffer_dyn.create ();
+    forward = [];
+  }
+
+let add_half t ~src ~dst ~cap ~cost =
+  Buffer_dyn.push t.next t.head.(src);
+  Buffer_dyn.push t.dst dst;
+  Buffer_dyn.push t.cap cap;
+  Buffer_dyn.push t.cost cost;
+  t.head.(src) <- Buffer_dyn.length t.dst - 1
+
+let add_edge t ~src ~dst ~cap ~cost =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Mcmf.add_edge: node out of range";
+  if cap < 0 then invalid_arg "Mcmf.add_edge: negative capacity";
+  let idx = Buffer_dyn.length t.dst in
+  add_half t ~src ~dst ~cap ~cost;
+  add_half t ~src:dst ~dst:src ~cap:0 ~cost:(-.cost);
+  t.forward <- (idx, src) :: t.forward
+
+(* SPFA (queue-based Bellman-Ford): used once to initialize the Johnson
+   potentials, since the original costs may be negative (they are the
+   negated scores of a maximization). *)
+let spfa t ~source ~dist =
+  Array.fill dist 0 t.n infinity;
+  let in_queue = Array.make t.n false in
+  dist.(source) <- 0.;
+  let q = Queue.create () in
+  Queue.add source q;
+  in_queue.(source) <- true;
+  while not (Queue.is_empty q) do
+    let u = Queue.take q in
+    in_queue.(u) <- false;
+    let e = ref t.head.(u) in
+    while !e >= 0 do
+      let edge = !e in
+      if Buffer_dyn.get t.cap edge > 0 then begin
+        let v = Buffer_dyn.get t.dst edge in
+        let nd = dist.(u) +. Buffer_dyn.get t.cost edge in
+        if nd < dist.(v) -. 1e-12 then begin
+          dist.(v) <- nd;
+          if not in_queue.(v) then begin
+            Queue.add v q;
+            in_queue.(v) <- true
+          end
+        end
+      end;
+      e := Buffer_dyn.get t.next edge
+    done
+  done
+
+(* Dijkstra over reduced costs w + pot(u) - pot(v), which the potential
+   invariant keeps non-negative on residual edges; lazy-deletion binary
+   heap. *)
+let dijkstra t ~source ~sink ~pot ~dist ~prev_edge =
+  Array.fill dist 0 t.n infinity;
+  Array.fill prev_edge 0 t.n (-1);
+  dist.(source) <- 0.;
+  let heap =
+    Wgrap_util.Heap.create ~capacity:(2 * t.n)
+      ~cmp:(fun (a, _) (b, _) -> compare (b : float) a)
+      ()
+  in
+  Wgrap_util.Heap.push heap (0., source);
+  let finished = Array.make t.n false in
+  let continue = ref true in
+  while !continue do
+    match Wgrap_util.Heap.pop heap with
+    | None -> continue := false
+    | Some (d, u) ->
+        if not finished.(u) then begin
+          finished.(u) <- true;
+          if u = sink then continue := false
+          else begin
+            ignore d;
+            let e = ref t.head.(u) in
+            while !e >= 0 do
+              let edge = !e in
+              if Buffer_dyn.get t.cap edge > 0 then begin
+                let v = Buffer_dyn.get t.dst edge in
+                if not finished.(v) then begin
+                  let w =
+                    Buffer_dyn.get t.cost edge +. pot.(u) -. pot.(v)
+                  in
+                  (* Guard against float drift producing tiny negatives. *)
+                  let w = if w < 0. then 0. else w in
+                  let nd = dist.(u) +. w in
+                  if nd < dist.(v) -. 1e-15 then begin
+                    dist.(v) <- nd;
+                    prev_edge.(v) <- edge;
+                    Wgrap_util.Heap.push heap (nd, v)
+                  end
+                end
+              end;
+              e := Buffer_dyn.get t.next edge
+            done
+          end
+        end
+  done;
+  dist.(sink) < infinity
+
+(* Recover the source of an edge: the residual twin's destination. *)
+let edge_src t edge = Buffer_dyn.get t.dst (edge lxor 1)
+
+let min_cost_flow t ~source ~sink =
+  let dist = Array.make t.n infinity in
+  let prev_edge = Array.make t.n (-1) in
+  let pot = Array.make t.n 0. in
+  (* Initial potentials: true distances under the (possibly negative)
+     original costs. Unreachable nodes keep potential 0; they stay
+     unreachable in the residual graph as long as no flow reaches them,
+     so their reduced costs are never consulted. *)
+  spfa t ~source ~dist;
+  Array.iteri (fun v d -> if d < infinity then pot.(v) <- d) dist;
+  let flow = ref 0 and cost = ref 0. in
+  while dijkstra t ~source ~sink ~pot ~dist ~prev_edge do
+    (* Fold the new distances into the potentials, capped at the sink's
+       distance: Dijkstra exits early at the sink, so labels beyond it
+       may not be final — the capped update is the standard fix that
+       keeps reduced costs non-negative for every future path. *)
+    let d_sink = dist.(sink) in
+    for v = 0 to t.n - 1 do
+      pot.(v) <- pot.(v) +. Float.min dist.(v) d_sink
+    done;
+    (* Bottleneck along the path. *)
+    let push = ref max_int in
+    let v = ref sink in
+    while !v <> source do
+      let e = prev_edge.(!v) in
+      push := min !push (Buffer_dyn.get t.cap e);
+      v := edge_src t e
+    done;
+    let v = ref sink in
+    while !v <> source do
+      let e = prev_edge.(!v) in
+      Buffer_dyn.set t.cap e (Buffer_dyn.get t.cap e - !push);
+      Buffer_dyn.set t.cap (e lxor 1) (Buffer_dyn.get t.cap (e lxor 1) + !push);
+      cost := !cost +. (float_of_int !push *. Buffer_dyn.get t.cost e);
+      v := edge_src t e
+    done;
+    flow := !flow + !push
+  done;
+  (!flow, !cost)
+
+let edge_flows t =
+  List.rev_map
+    (fun (edge, src) ->
+      let sent = Buffer_dyn.get t.cap (edge lxor 1) in
+      (src, Buffer_dyn.get t.dst edge, sent))
+    t.forward
+  |> List.filter (fun (_, _, sent) -> sent > 0)
+
+let transportation ~score ~row_supply ~col_capacity =
+  let rows = Array.length score in
+  if rows = 0 then [||]
+  else begin
+    let cols = Array.length score.(0) in
+    if Array.length row_supply <> rows || Array.length col_capacity <> cols then
+      invalid_arg "Mcmf.transportation: shape mismatch";
+    (* Node layout: 0 = source, 1..rows = rows, rows+1..rows+cols = cols,
+       last = sink. *)
+    let source = 0 and sink = rows + cols + 1 in
+    let t = create (rows + cols + 2) in
+    let row_node i = 1 + i and col_node j = 1 + rows + j in
+    Array.iteri
+      (fun i supply -> add_edge t ~src:source ~dst:(row_node i) ~cap:supply ~cost:0.)
+      row_supply;
+    Array.iteri
+      (fun j capacity -> add_edge t ~src:(col_node j) ~dst:sink ~cap:capacity ~cost:0.)
+      col_capacity;
+    for i = 0 to rows - 1 do
+      for j = 0 to cols - 1 do
+        let s = score.(i).(j) in
+        if s <> Hungarian.forbidden then
+          add_edge t ~src:(row_node i) ~dst:(col_node j) ~cap:1 ~cost:(-.s)
+      done
+    done;
+    let flow, _ = min_cost_flow t ~source ~sink in
+    let demand = Array.fold_left ( + ) 0 row_supply in
+    if flow < demand then failwith "Mcmf: infeasible";
+    let result = Array.make rows [] in
+    List.iter
+      (fun (src, dst, sent) ->
+        if src >= 1 && src <= rows && dst > rows && dst < sink && sent > 0 then begin
+          let i = src - 1 and j = dst - rows - 1 in
+          result.(i) <- j :: result.(i)
+        end)
+      (edge_flows t);
+    Array.map List.rev result
+  end

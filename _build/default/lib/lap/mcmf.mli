@@ -1,0 +1,46 @@
+(** Min-cost max-flow with successive shortest paths (SPFA label
+    correcting, float costs, integer capacities).
+
+    This is the second linear-assignment backend the paper names
+    ("Minimum-cost flow assignment [3]") and the workhorse behind the
+    capacitated per-stage assignment of SDGA (reviewer capacity
+    ceil(delta_r/delta_p)) and the per-pair ILP/ARAP baseline, which is a
+    transportation problem. *)
+
+type t
+(** Mutable flow network. *)
+
+val create : int -> t
+(** [create n] is an empty network over nodes [0 .. n-1]. *)
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> cost:float -> unit
+(** Add a directed edge (and its zero-capacity residual twin). *)
+
+val min_cost_flow : t -> source:int -> sink:int -> int * float
+(** Push as much flow as possible from [source] to [sink] along successive
+    cheapest paths. Returns [(flow, cost)]. The network retains the flow,
+    so [edge_flows] can be inspected afterwards. *)
+
+val edge_flows : t -> (int * int * int) list
+(** [(src, dst, flow)] for every forward edge with positive flow, in
+    insertion order. *)
+
+(** {1 Transportation-problem facade} *)
+
+val transportation :
+  score:float array array ->
+  row_supply:int array ->
+  col_capacity:int array ->
+  int list array
+(** [transportation ~score ~row_supply ~col_capacity] maximizes
+    [sum score.(i).(j)] over integral shipments where row [i] ships exactly
+    [row_supply.(i)] units and column [j] receives at most
+    [col_capacity.(j)].
+
+    Each (row, column) cell may be used at most once, which matches
+    reviewer assignment: a reviewer reviews a given paper at most once.
+    Cells equal to {!Hungarian.forbidden} are excluded entirely (conflicts
+    of interest). Returns, for each row, the list of columns it was
+    matched to.
+
+    Raises [Failure "Mcmf: infeasible"] when supplies cannot be met. *)

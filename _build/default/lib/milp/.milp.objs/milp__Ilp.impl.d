@@ -1,0 +1,1 @@
+lib/milp/ilp.ml: Array Float List Lp Wgrap_util

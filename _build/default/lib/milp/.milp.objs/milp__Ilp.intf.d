@@ -1,0 +1,1 @@
+lib/milp/ilp.mli: Lp Wgrap_util

@@ -1,0 +1,90 @@
+module Timer = Wgrap_util.Timer
+
+type t = {
+  lp : Lp.problem;
+  binary : int list;
+}
+
+type outcome =
+  | Optimal of Lp.solution
+  | Infeasible
+  | Unbounded
+  | Timed_out of Lp.solution option
+
+let integrality_eps = 1e-6
+
+
+
+(* A fixing is (var, value in {0.,1.}); encoded as an equality row. *)
+let with_fixings lp binary fixings =
+  let n = Array.length lp.Lp.objective in
+  let unit_row j =
+    let row = Array.make n 0. in
+    row.(j) <- 1.;
+    row
+  in
+  let bound_rows = List.map (fun j -> (unit_row j, Lp.Le, 1.)) binary in
+  let fixing_rows =
+    List.map (fun (j, v) -> (unit_row j, Lp.Eq, v)) fixings
+  in
+  { lp with Lp.constraints = lp.Lp.constraints @ bound_rows @ fixing_rows }
+
+let most_fractional binary x =
+  let best = ref (-1) and best_frac = ref 0. in
+  List.iter
+    (fun j ->
+      let frac = Float.abs (x.(j) -. Float.round x.(j)) in
+      if frac > !best_frac +. integrality_eps then begin
+        best := j;
+        best_frac := frac
+      end)
+    binary;
+  !best
+
+exception Out_of_time
+
+let solve ?deadline { lp; binary } =
+  let incumbent = ref None in
+  let incumbent_value = ref neg_infinity in
+  let check_deadline () =
+    match deadline with
+    | Some d when Timer.expired d -> raise Out_of_time
+    | _ -> ()
+  in
+  let saw_unbounded = ref false in
+  let rec branch fixings =
+    check_deadline ();
+    match Lp.solve ?deadline (with_fixings lp binary fixings) with
+    | exception Lp.Timeout -> raise Out_of_time
+    | Lp.Infeasible -> ()
+    | Lp.Unbounded ->
+        (* An unbounded relaxation at the root makes the ILP unbounded or
+           infeasible; deeper nodes inherit the flag conservatively. *)
+        saw_unbounded := true
+    | Lp.Optimal sol ->
+        if sol.Lp.value > !incumbent_value +. 1e-9 then begin
+          match most_fractional binary sol.Lp.x with
+          | -1 ->
+              (* Integral on all binaries: new incumbent. *)
+              let x = Array.copy sol.Lp.x in
+              List.iter (fun j -> x.(j) <- Float.round x.(j)) binary;
+              incumbent := Some { sol with Lp.x };
+              incumbent_value := sol.Lp.value
+          | j ->
+              (* Explore the "selected" side first: reviewer-style
+                 instances reach good incumbents faster that way. *)
+              branch ((j, 1.) :: fixings);
+              branch ((j, 0.) :: fixings)
+        end
+  in
+  match branch [] with
+  | () ->
+      if !saw_unbounded && !incumbent = None then Unbounded
+      else begin
+        match !incumbent with
+        | Some sol -> Optimal sol
+        | None -> Infeasible
+      end
+  | exception Out_of_time -> Timed_out !incumbent
+
+

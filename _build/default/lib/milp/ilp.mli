@@ -1,0 +1,24 @@
+(** Branch-and-bound 0/1 integer programming on top of {!Lp}.
+
+    Replaces lp_solve in the paper's JRA experiments (Section 5.1): the
+    JRA instance is encoded as an ILP and handed to this generic solver,
+    which is exact but — as the paper reports for lp_solve — far slower
+    than the specialized BBA. *)
+
+type t = {
+  lp : Lp.problem;
+  binary : int list;  (** indices of variables constrained to {0,1} *)
+}
+
+type outcome =
+  | Optimal of Lp.solution
+  | Infeasible
+  | Unbounded
+  | Timed_out of Lp.solution option
+      (** Best incumbent found before the deadline, if any. *)
+
+val solve : ?deadline:Wgrap_util.Timer.deadline -> t -> outcome
+(** Depth-first branch and bound. Branches on the most fractional binary
+    variable; prunes nodes whose LP relaxation does not beat the
+    incumbent. Variables listed in [binary] are automatically given
+    [x <= 1] rows; do not add them yourself. *)

@@ -1,0 +1,236 @@
+type op = Le | Ge | Eq
+
+type problem = {
+  objective : float array;
+  constraints : (float array * op * float) list;
+}
+
+type solution = { x : float array; value : float }
+
+type result =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+
+let eps = 1e-9
+
+exception Timeout
+exception Unbounded_exn
+
+(* Gauss-Jordan pivot on (row, col); normalizes the pivot row and
+   eliminates the column from every other row. *)
+let pivot tab basis ~row ~col =
+  let m = Array.length tab in
+  let width = Array.length tab.(0) in
+  let piv = tab.(row).(col) in
+  for k = 0 to width - 1 do
+    tab.(row).(k) <- tab.(row).(k) /. piv
+  done;
+  for r = 0 to m - 1 do
+    if r <> row then begin
+      let factor = tab.(r).(col) in
+      if factor <> 0. then
+        for k = 0 to width - 1 do
+          tab.(r).(k) <- tab.(r).(k) -. (factor *. tab.(row).(k))
+        done
+    end
+  done;
+  basis.(row) <- col
+
+(* Simplex over the current tableau. Pricing is Dantzig (most positive
+   reduced cost) for speed; after a run of degenerate pivots makes
+   cycling plausible, it switches to Bland's rule (smallest eligible
+   index), which guarantees termination. The leaving row is the
+   min-ratio row with the smallest basic index. *)
+let run_simplex ?deadline tab basis ~cost ~allowed =
+  let check_deadline =
+    match deadline with
+    | None -> fun () -> ()
+    | Some d ->
+        fun () -> if Wgrap_util.Timer.expired d then raise Timeout
+  in
+  let m = Array.length tab in
+  let total = Array.length cost in
+  let reduced j =
+    let acc = ref cost.(j) in
+    for i = 0 to m - 1 do
+      let cb = cost.(basis.(i)) in
+      if cb <> 0. then acc := !acc -. (cb *. tab.(i).(j))
+    done;
+    !acc
+  in
+  (* Consecutive pivots without objective progress before falling back to
+     Bland. Any finite threshold preserves termination: once in Bland
+     mode we stay there until progress resumes. *)
+  let degenerate_limit = 2 * (m + 1) in
+  let stalled = ref 0 in
+  let rec loop () =
+    check_deadline ();
+    let bland = !stalled > degenerate_limit in
+    let entering = ref (-1) in
+    if bland then (
+      try
+        for j = 0 to total - 1 do
+          if allowed j && reduced j > eps then begin
+            entering := j;
+            raise Exit
+          end
+        done
+      with Exit -> ())
+    else begin
+      let best = ref eps in
+      for j = 0 to total - 1 do
+        if allowed j then begin
+          let r = reduced j in
+          if r > !best then begin
+            best := r;
+            entering := j
+          end
+        end
+      done
+    end;
+    if !entering >= 0 then begin
+      let col = !entering in
+      let leaving = ref (-1) in
+      let best_ratio = ref infinity in
+      for i = 0 to m - 1 do
+        if tab.(i).(col) > eps then begin
+          let ratio = tab.(i).(total) /. tab.(i).(col) in
+          if
+            ratio < !best_ratio -. eps
+            || (ratio < !best_ratio +. eps
+               && (!leaving < 0 || basis.(i) < basis.(!leaving)))
+          then begin
+            best_ratio := ratio;
+            leaving := i
+          end
+        end
+      done;
+      if !leaving < 0 then raise Unbounded_exn;
+      if !best_ratio > eps then stalled := 0 else incr stalled;
+      pivot tab basis ~row:!leaving ~col;
+      loop ()
+    end
+  in
+  loop ()
+
+let solve ?deadline { objective; constraints } =
+  let n = Array.length objective in
+  List.iter
+    (fun (coefs, _, _) ->
+      if Array.length coefs <> n then
+        invalid_arg "Lp.solve: constraint arity mismatch")
+    constraints;
+  (* Normalize to non-negative right-hand sides. *)
+  let rows =
+    List.map
+      (fun (coefs, op, b) ->
+        if b < 0. then
+          let flipped = match op with Le -> Ge | Ge -> Le | Eq -> Eq in
+          (Array.map (fun c -> -.c) coefs, flipped, -.b)
+        else (Array.copy coefs, op, b))
+      constraints
+    |> Array.of_list
+  in
+  let m = Array.length rows in
+  let n_slack =
+    Array.fold_left
+      (fun acc (_, op, _) -> match op with Le | Ge -> acc + 1 | Eq -> acc)
+      0 rows
+  in
+  let n_art =
+    Array.fold_left
+      (fun acc (_, op, _) -> match op with Ge | Eq -> acc + 1 | Le -> acc)
+      0 rows
+  in
+  let art_start = n + n_slack in
+  let total = n + n_slack + n_art in
+  let tab = ref (Array.make_matrix m (total + 1) 0.) in
+  let basis = ref (Array.make m 0) in
+  let slack = ref n and art = ref art_start in
+  Array.iteri
+    (fun i (coefs, op, b) ->
+      Array.blit coefs 0 !tab.(i) 0 n;
+      !tab.(i).(total) <- b;
+      (match op with
+      | Le ->
+          !tab.(i).(!slack) <- 1.;
+          !basis.(i) <- !slack;
+          incr slack
+      | Ge ->
+          !tab.(i).(!slack) <- -1.;
+          incr slack;
+          !tab.(i).(!art) <- 1.;
+          !basis.(i) <- !art;
+          incr art
+      | Eq ->
+          !tab.(i).(!art) <- 1.;
+          !basis.(i) <- !art;
+          incr art))
+    rows;
+  (* Phase 1: drive the artificial variables to zero. The phase-1 objective
+     is bounded above by 0, so it cannot be unbounded. *)
+  let feasible =
+    if n_art = 0 then true
+    else begin
+      let cost1 = Array.make total 0. in
+      for j = art_start to total - 1 do
+        cost1.(j) <- -1.
+      done;
+      run_simplex ?deadline !tab !basis ~cost:cost1 ~allowed:(fun _ -> true);
+      let infeas = ref 0. in
+      Array.iteri
+        (fun i b -> if b >= art_start then infeas := !infeas +. !tab.(i).(total))
+        !basis;
+      if !infeas > 1e-7 then false
+      else begin
+        (* Pivot lingering zero-level artificials out of the basis so they
+           cannot drift positive during phase 2; rows whose real-variable
+           coefficients are all zero are redundant and get dropped. *)
+        let keep = Array.make (Array.length !tab) true in
+        Array.iteri
+          (fun i b ->
+            if b >= art_start then begin
+              let col = ref (-1) in
+              (try
+                 for j = 0 to art_start - 1 do
+                   if Float.abs !tab.(i).(j) > eps then begin
+                     col := j;
+                     raise Exit
+                   end
+                 done
+               with Exit -> ());
+              if !col >= 0 then pivot !tab !basis ~row:i ~col:!col
+              else keep.(i) <- false
+            end)
+          !basis;
+        if Array.exists not keep then begin
+          let live = ref [] in
+          for i = Array.length !tab - 1 downto 0 do
+            if keep.(i) then live := (!tab.(i), !basis.(i)) :: !live
+          done;
+          tab := Array.of_list (List.map fst !live);
+          basis := Array.of_list (List.map snd !live)
+        end;
+        true
+      end
+    end
+  in
+  if not feasible then Infeasible
+  else begin
+    let cost2 = Array.make total 0. in
+    Array.blit objective 0 cost2 0 n;
+    match
+      run_simplex ?deadline !tab !basis ~cost:cost2
+        ~allowed:(fun j -> j < art_start)
+    with
+    | () ->
+        let x = Array.make n 0. in
+        Array.iteri
+          (fun i b -> if b < n then x.(b) <- !tab.(i).(Array.length cost2))
+          !basis;
+        let value = ref 0. in
+        Array.iteri (fun j c -> value := !value +. (c *. x.(j))) objective;
+        Optimal { x; value = !value }
+    | exception Unbounded_exn -> Unbounded
+  end

@@ -1,0 +1,32 @@
+(** Dense two-phase primal simplex for linear programs in the form
+
+    maximize c.x  subject to  (a_i . x) (<= | >= | =) b_i,  x >= 0.
+
+    This is the LP engine underneath the {!Ilp} branch-and-bound, which
+    together replace the paper's lp_solve dependency. It is a textbook
+    tableau implementation: adequate for the small reviewer-assignment
+    encodings it is asked to solve, deliberately not a production LP
+    solver (that mismatch is part of what the paper measures). *)
+
+type op = Le | Ge | Eq
+
+type problem = {
+  objective : float array;  (** maximized *)
+  constraints : (float array * op * float) list;
+}
+
+type solution = { x : float array; value : float }
+
+type result =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+
+exception Timeout
+(** Raised by {!solve} when its deadline expires mid-pivot. *)
+
+val solve : ?deadline:Wgrap_util.Timer.deadline -> problem -> result
+(** Raises [Invalid_argument] on shape mismatches and {!Timeout} past
+    the optional deadline (checked once per pivot). Pricing is Dantzig
+    with an automatic fallback to Bland's rule after a degenerate
+    stall, so termination is guaranteed. *)

@@ -1,0 +1,1 @@
+lib/topics/atm.ml: Array Float Wgrap_util

@@ -1,0 +1,1 @@
+lib/topics/atm.mli: Wgrap_util

@@ -1,0 +1,1 @@
+lib/topics/diagnostics.ml: Array Atm Fun List Option Wgrap_util

@@ -1,0 +1,1 @@
+lib/topics/diagnostics.mli: Atm Wgrap_util

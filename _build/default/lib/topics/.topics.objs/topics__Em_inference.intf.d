@@ -1,0 +1,1 @@
+lib/topics/em_inference.mli:

@@ -1,0 +1,1 @@
+lib/topics/plsi.ml: Array Float Hashtbl List Option Wgrap_util

@@ -1,0 +1,1 @@
+lib/topics/plsi.mli: Wgrap_util

@@ -1,0 +1,1 @@
+lib/topics/tokenizer.ml: Buffer Hashtbl List String

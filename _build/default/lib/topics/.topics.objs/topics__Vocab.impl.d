@@ -1,0 +1,1 @@
+lib/topics/vocab.ml: Array Hashtbl List Option

@@ -1,0 +1,160 @@
+module Rng = Wgrap_util.Rng
+
+type doc = {
+  tokens : int array;
+  authors : int array;
+}
+
+type model = {
+  theta : float array array;
+  phi : float array array;
+  n_topics : int;
+  n_words : int;
+  log_likelihood : float;
+}
+
+let train ?alpha ?(beta = 0.01) ?(iters = 150) ~rng ~n_authors ~n_topics
+    ~n_words docs =
+  if n_topics < 1 || n_words < 1 || n_authors < 1 then
+    invalid_arg "Atm.train: empty model dimensions";
+  Array.iter
+    (fun d ->
+      if Array.length d.authors = 0 then
+        invalid_arg "Atm.train: document without authors";
+      Array.iter
+        (fun a ->
+          if a < 0 || a >= n_authors then invalid_arg "Atm.train: bad author id")
+        d.authors;
+      Array.iter
+        (fun w ->
+          if w < 0 || w >= n_words then invalid_arg "Atm.train: bad word id")
+        d.tokens)
+    docs;
+  let alpha =
+    match alpha with Some a -> a | None -> 50. /. float_of_int n_topics
+  in
+  (* Count tables of the collapsed state. *)
+  let n_at = Array.make_matrix n_authors n_topics 0 in
+  let n_a = Array.make n_authors 0 in
+  let n_tw = Array.make_matrix n_topics n_words 0 in
+  let n_t = Array.make n_topics 0 in
+  (* Per-token latent (author, topic). *)
+  let z_author = Array.map (fun d -> Array.make (Array.length d.tokens) 0) docs in
+  let z_topic = Array.map (fun d -> Array.make (Array.length d.tokens) 0) docs in
+  Array.iteri
+    (fun di d ->
+      Array.iteri
+        (fun i w ->
+          let a = d.authors.(Rng.int rng (Array.length d.authors)) in
+          let t = Rng.int rng n_topics in
+          z_author.(di).(i) <- a;
+          z_topic.(di).(i) <- t;
+          n_at.(a).(t) <- n_at.(a).(t) + 1;
+          n_a.(a) <- n_a.(a) + 1;
+          n_tw.(t).(w) <- n_tw.(t).(w) + 1;
+          n_t.(t) <- n_t.(t) + 1)
+        d.tokens)
+    docs;
+  let t_alpha = float_of_int n_topics *. alpha in
+  let v_beta = float_of_int n_words *. beta in
+  (* Scratch weights over (author, topic) pairs of the current document. *)
+  let max_authors =
+    Array.fold_left (fun acc d -> max acc (Array.length d.authors)) 1 docs
+  in
+  let weights = Array.make (max_authors * n_topics) 0. in
+  for _sweep = 1 to iters do
+    Array.iteri
+      (fun di d ->
+        let n_doc_authors = Array.length d.authors in
+        Array.iteri
+          (fun i w ->
+            let a0 = z_author.(di).(i) and t0 = z_topic.(di).(i) in
+            (* Remove the token from the counts. *)
+            n_at.(a0).(t0) <- n_at.(a0).(t0) - 1;
+            n_a.(a0) <- n_a.(a0) - 1;
+            n_tw.(t0).(w) <- n_tw.(t0).(w) - 1;
+            n_t.(t0) <- n_t.(t0) - 1;
+            (* Resample (author, topic) jointly. *)
+            for ai = 0 to n_doc_authors - 1 do
+              let a = d.authors.(ai) in
+              let denom_a = float_of_int n_a.(a) +. t_alpha in
+              for t = 0 to n_topics - 1 do
+                let p_topic =
+                  (float_of_int n_at.(a).(t) +. alpha) /. denom_a
+                in
+                let p_word =
+                  (float_of_int n_tw.(t).(w) +. beta)
+                  /. (float_of_int n_t.(t) +. v_beta)
+                in
+                weights.((ai * n_topics) + t) <- p_topic *. p_word
+              done
+            done;
+            let active = n_doc_authors * n_topics in
+            let choice = Rng.categorical_prefix rng weights active in
+            let a1 = d.authors.(choice / n_topics) in
+            let t1 = choice mod n_topics in
+            z_author.(di).(i) <- a1;
+            z_topic.(di).(i) <- t1;
+            n_at.(a1).(t1) <- n_at.(a1).(t1) + 1;
+            n_a.(a1) <- n_a.(a1) + 1;
+            n_tw.(t1).(w) <- n_tw.(t1).(w) + 1;
+            n_t.(t1) <- n_t.(t1) + 1)
+          d.tokens)
+      docs
+  done;
+  (* Posterior point estimates. *)
+  let theta =
+    Array.init n_authors (fun a ->
+        let denom = float_of_int n_a.(a) +. t_alpha in
+        Array.init n_topics (fun t ->
+            (float_of_int n_at.(a).(t) +. alpha) /. denom))
+  in
+  let phi =
+    Array.init n_topics (fun t ->
+        let denom = float_of_int n_t.(t) +. v_beta in
+        Array.init n_words (fun w ->
+            (float_of_int n_tw.(t).(w) +. beta) /. denom))
+  in
+  (* Token log-likelihood under the point estimates. *)
+  let ll = ref 0. in
+  Array.iteri
+    (fun di d ->
+      ignore di;
+      Array.iteri
+        (fun i w ->
+          let a = z_author.(di).(i) in
+          let acc = ref 0. in
+          for t = 0 to n_topics - 1 do
+            acc := !acc +. (theta.(a).(t) *. phi.(t).(w))
+          done;
+          ll := !ll +. log (Float.max !acc 1e-300))
+        d.tokens)
+    docs;
+  { theta; phi; n_topics; n_words; log_likelihood = !ll }
+
+let perplexity model docs =
+  let total_tokens = ref 0 and ll = ref 0. in
+  Array.iter
+    (fun d ->
+      (* Average the document's author mixtures. *)
+      let mix = Array.make model.n_topics 0. in
+      Array.iter
+        (fun a ->
+          Array.iteri
+            (fun t v -> mix.(t) <- mix.(t) +. v)
+            model.theta.(a))
+        d.authors;
+      let na = float_of_int (Array.length d.authors) in
+      Array.iteri (fun t v -> mix.(t) <- v /. na) mix;
+      Array.iter
+        (fun w ->
+          incr total_tokens;
+          let acc = ref 0. in
+          for t = 0 to model.n_topics - 1 do
+            acc := !acc +. (mix.(t) *. model.phi.(t).(w))
+          done;
+          ll := !ll +. log (Float.max !acc 1e-300))
+        d.tokens)
+    docs;
+  if !total_tokens = 0 then 1.
+  else exp (-. !ll /. float_of_int !total_tokens)

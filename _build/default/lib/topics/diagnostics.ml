@@ -1,0 +1,52 @@
+module Rng = Wgrap_util.Rng
+
+let train_chains ?alpha ?beta ?iters ?(chains = 3) ~rng ~n_authors ~n_topics
+    ~n_words docs =
+  if chains < 1 then invalid_arg "Diagnostics.train_chains: chains >= 1";
+  let results =
+    List.init chains (fun _ ->
+        let chain_rng = Rng.split rng in
+        Atm.train ?alpha ?beta ?iters ~rng:chain_rng ~n_authors ~n_topics
+          ~n_words docs)
+  in
+  let lls = Array.of_list (List.map (fun m -> m.Atm.log_likelihood) results) in
+  let best =
+    List.fold_left
+      (fun acc m ->
+        match acc with
+        | None -> Some m
+        | Some b when m.Atm.log_likelihood > b.Atm.log_likelihood -> Some m
+        | some -> some)
+      None results
+  in
+  (Option.get best, lls)
+
+let choose_n_topics ?(candidates = [ 10; 20; 30; 50 ]) ?iters ?(holdout = 0.2)
+    ~rng ~n_authors ~n_words docs =
+  if candidates = [] then invalid_arg "Diagnostics.choose_n_topics: no candidates";
+  if holdout <= 0. || holdout >= 1. then
+    invalid_arg "Diagnostics.choose_n_topics: holdout in (0, 1)";
+  let n = Array.length docs in
+  let n_held = max 1 (int_of_float (holdout *. float_of_int n)) in
+  if n_held >= n then invalid_arg "Diagnostics.choose_n_topics: too few documents";
+  let order = Array.init n Fun.id in
+  Rng.shuffle rng order;
+  let held = Array.init n_held (fun i -> docs.(order.(i))) in
+  let train_docs = Array.init (n - n_held) (fun i -> docs.(order.(i + n_held))) in
+  let profile =
+    List.map
+      (fun n_topics ->
+        let chain_rng = Rng.split rng in
+        let model =
+          Atm.train ?iters ~rng:chain_rng ~n_authors ~n_topics ~n_words train_docs
+        in
+        (n_topics, Atm.perplexity model held))
+      candidates
+  in
+  let best, _ =
+    List.fold_left
+      (fun (bt, bp) (t, p) -> if p < bp then (t, p) else (bt, bp))
+      (List.hd profile |> fun (t, p) -> (t, p))
+      (List.tl profile)
+  in
+  (best, profile)

@@ -1,0 +1,33 @@
+(** Convergence tooling for the Gibbs samplers: multi-chain training
+    with model selection, and likelihood-based comparison — the checks
+    a practitioner runs before trusting extracted topic vectors. *)
+
+val train_chains :
+  ?alpha:float ->
+  ?beta:float ->
+  ?iters:int ->
+  ?chains:int ->
+  rng:Wgrap_util.Rng.t ->
+  n_authors:int ->
+  n_topics:int ->
+  n_words:int ->
+  Atm.doc array ->
+  Atm.model * float array
+(** Train [chains] (default 3) independent ATM chains from split RNG
+    streams and keep the one with the highest final token
+    log-likelihood. Returns the winner and every chain's final
+    log-likelihood (for dispersion checks). *)
+
+val choose_n_topics :
+  ?candidates:int list ->
+  ?iters:int ->
+  ?holdout:float ->
+  rng:Wgrap_util.Rng.t ->
+  n_authors:int ->
+  n_words:int ->
+  Atm.doc array ->
+  int * (int * float) list
+(** Pick T by held-out perplexity: split documents (default 20%
+    held out), train on the rest for each candidate T (default
+    [10; 20; 30; 50]), return the T with the lowest held-out
+    perplexity and the full (T, perplexity) profile. *)

@@ -1,0 +1,54 @@
+let log_likelihood ~phi p tokens =
+  let n_topics = Array.length phi in
+  let acc = ref 0. in
+  Array.iter
+    (fun w ->
+      let s = ref 0. in
+      for t = 0 to n_topics - 1 do
+        s := !s +. (phi.(t).(w) *. p.(t))
+      done;
+      acc := !acc +. log (Float.max !s 1e-300))
+    tokens;
+  !acc
+
+let infer ?(iters = 100) ?(tol = 1e-6) ~phi tokens =
+  let n_topics = Array.length phi in
+  if n_topics = 0 then invalid_arg "Em_inference.infer: no topics";
+  let n = Array.length tokens in
+  let p = Array.make n_topics (1. /. float_of_int n_topics) in
+  if n = 0 then p
+  else begin
+    let next = Array.make n_topics 0. in
+    let resp = Array.make n_topics 0. in
+    let converged = ref false in
+    let round = ref 0 in
+    while (not !converged) && !round < iters do
+      incr round;
+      Array.fill next 0 n_topics 0.;
+      Array.iter
+        (fun w ->
+          (* E-step for token w: responsibilities over topics. *)
+          let total = ref 0. in
+          for t = 0 to n_topics - 1 do
+            let v = phi.(t).(w) *. p.(t) in
+            resp.(t) <- v;
+            total := !total +. v
+          done;
+          if !total > 0. then
+            for t = 0 to n_topics - 1 do
+              next.(t) <- next.(t) +. (resp.(t) /. !total)
+            done)
+        tokens;
+      (* M-step: mixture = average responsibility. *)
+      let mass = Array.fold_left ( +. ) 0. next in
+      let delta = ref 0. in
+      if mass > 0. then
+        for t = 0 to n_topics - 1 do
+          let v = next.(t) /. mass in
+          delta := !delta +. Float.abs (v -. p.(t));
+          p.(t) <- v
+        done;
+      if !delta < tol then converged := true
+    done;
+    p
+  end

@@ -1,0 +1,20 @@
+(** Topic-vector inference for submitted papers (Eq. 11): given the
+    trained topic-word distributions, find the mixture [p] maximizing
+    [prod_i sum_j phi_j(w_i) * p_j] by Expectation-Maximization (the
+    standard mixture EM — E-step responsibilities, M-step mixture
+    re-estimation — which increases the likelihood monotonically). *)
+
+val infer :
+  ?iters:int ->
+  ?tol:float ->
+  phi:float array array ->
+  int array ->
+  float array
+(** [infer ~phi tokens] returns a topic mixture summing to 1. Starts
+    uniform; stops after [iters] (default 100) rounds or when the L1
+    change drops below [tol] (default 1e-6). An empty document gets the
+    uniform mixture. *)
+
+val log_likelihood : phi:float array array -> float array -> int array -> float
+(** The Eq. 11 objective for a candidate mixture; tests check EM
+    monotonicity with it. *)

@@ -1,0 +1,22 @@
+type model = {
+  doc_topic : float array array;
+  phi : float array array;
+  n_topics : int;
+  n_words : int;
+}
+
+let train ?alpha ?beta ?iters ~rng ~n_topics ~n_words docs =
+  (* LDA is exactly ATM where document d's sole author is d. *)
+  let atm_docs =
+    Array.mapi (fun d tokens -> { Atm.tokens; authors = [| d |] }) docs
+  in
+  let model =
+    Atm.train ?alpha ?beta ?iters ~rng ~n_authors:(Array.length docs) ~n_topics
+      ~n_words atm_docs
+  in
+  {
+    doc_topic = model.Atm.theta;
+    phi = model.Atm.phi;
+    n_topics;
+    n_words;
+  }

@@ -1,0 +1,24 @@
+(** Plain Latent Dirichlet Allocation by collapsed Gibbs sampling (Blei
+    et al., cited as the generic topic-extraction option in Section 2.1).
+    ATM with "each document is its own author"; kept separate because its
+    per-document mixtures are what a user without authorship data would
+    feed WGRAP. *)
+
+type model = {
+  doc_topic : float array array;  (** document -> topic mixture *)
+  phi : float array array;  (** topic -> word distribution *)
+  n_topics : int;
+  n_words : int;
+}
+
+val train :
+  ?alpha:float ->
+  ?beta:float ->
+  ?iters:int ->
+  rng:Wgrap_util.Rng.t ->
+  n_topics:int ->
+  n_words:int ->
+  int array array ->
+  model
+(** [train ~rng ~n_topics ~n_words docs] where each document is an array
+    of word ids. Defaults as in {!Atm.train}. *)

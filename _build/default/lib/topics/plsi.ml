@@ -1,0 +1,106 @@
+module Rng = Wgrap_util.Rng
+
+type model = {
+  doc_topic : float array array;
+  phi : float array array;
+  n_topics : int;
+  n_words : int;
+  log_likelihood : float;
+}
+
+(* Collapse each document to (word, count) pairs: EM statistics only
+   depend on counts, and abstracts repeat words. *)
+let count_docs ~n_words docs =
+  Array.map
+    (fun tokens ->
+      let table = Hashtbl.create 32 in
+      Array.iter
+        (fun w ->
+          if w < 0 || w >= n_words then invalid_arg "Plsi.train: bad word id";
+          Hashtbl.replace table w
+            (1 + Option.value ~default:0 (Hashtbl.find_opt table w)))
+        tokens;
+      Hashtbl.fold (fun w c acc -> (w, float_of_int c) :: acc) table [])
+    docs
+
+let log_likelihood_of ~doc_topic ~phi counted =
+  let n_topics = Array.length phi in
+  let acc = ref 0. in
+  Array.iteri
+    (fun d pairs ->
+      List.iter
+        (fun (w, c) ->
+          let p = ref 0. in
+          for z = 0 to n_topics - 1 do
+            p := !p +. (doc_topic.(d).(z) *. phi.(z).(w))
+          done;
+          acc := !acc +. (c *. log (Float.max !p 1e-300)))
+        pairs)
+    counted;
+  !acc
+
+let train ?(iters = 100) ?(tol = 1e-6) ~rng ~n_topics ~n_words docs =
+  if n_topics < 1 || n_words < 1 then invalid_arg "Plsi.train: empty model";
+  let n_docs = Array.length docs in
+  if n_docs = 0 then invalid_arg "Plsi.train: no documents";
+  let counted = count_docs ~n_words docs in
+  let doc_topic =
+    Array.init n_docs (fun _ -> Rng.dirichlet_sym rng ~alpha:1. ~dim:n_topics)
+  in
+  let phi =
+    Array.init n_topics (fun _ -> Rng.dirichlet_sym rng ~alpha:1. ~dim:n_words)
+  in
+  let resp = Array.make n_topics 0. in
+  let prev_ll = ref neg_infinity in
+  let converged = ref false in
+  let round = ref 0 in
+  while (not !converged) && !round < iters do
+    incr round;
+    (* Accumulators for the M-step. *)
+    let next_dt = Array.map (fun row -> Array.make (Array.length row) 0.) doc_topic in
+    let next_phi = Array.init n_topics (fun _ -> Array.make n_words 0.) in
+    Array.iteri
+      (fun d pairs ->
+        List.iter
+          (fun (w, c) ->
+            (* E-step: responsibilities P(z | d, w). *)
+            let total = ref 0. in
+            for z = 0 to n_topics - 1 do
+              let v = doc_topic.(d).(z) *. phi.(z).(w) in
+              resp.(z) <- v;
+              total := !total +. v
+            done;
+            if !total > 0. then
+              for z = 0 to n_topics - 1 do
+                let share = c *. resp.(z) /. !total in
+                next_dt.(d).(z) <- next_dt.(d).(z) +. share;
+                next_phi.(z).(w) <- next_phi.(z).(w) +. share
+              done)
+          pairs)
+      counted;
+    Array.iteri
+      (fun d row ->
+        let mass = Array.fold_left ( +. ) 0. row in
+        if mass > 0. then
+          Array.iteri (fun z v -> doc_topic.(d).(z) <- v /. mass) row)
+      next_dt;
+    Array.iteri
+      (fun z row ->
+        let mass = Array.fold_left ( +. ) 0. row in
+        if mass > 0. then
+          Array.iteri (fun w v -> phi.(z).(w) <- v /. mass) row)
+      next_phi;
+    let ll = log_likelihood_of ~doc_topic ~phi counted in
+    if
+      !prev_ll > neg_infinity
+      && ll -. !prev_ll < tol *. (1. +. Float.abs !prev_ll)
+    then converged := true;
+    prev_ll := ll
+  done;
+  {
+    doc_topic;
+    phi;
+    n_topics;
+    n_words;
+    log_likelihood = !prev_ll;
+  }

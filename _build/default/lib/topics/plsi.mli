@@ -1,0 +1,30 @@
+(** Probabilistic Latent Semantic Indexing (Hofmann, cited as [16] in
+    the paper's topic-modeling lineage), trained by EM.
+
+    The aspect model P(w|d) = sum_z P(w|z) P(z|d), fit by maximizing
+    the corpus log-likelihood. Simpler than LDA (no Dirichlet priors,
+    no sampler) and prone to overfitting on small corpora, but a useful
+    third extractor: its per-document mixtures can feed WGRAP exactly
+    like LDA's. *)
+
+type model = {
+  doc_topic : float array array;  (** P(z|d), rows sum to 1 *)
+  phi : float array array;  (** P(w|z), rows sum to 1 *)
+  n_topics : int;
+  n_words : int;
+  log_likelihood : float;  (** final training log-likelihood *)
+}
+
+val train :
+  ?iters:int ->
+  ?tol:float ->
+  rng:Wgrap_util.Rng.t ->
+  n_topics:int ->
+  n_words:int ->
+  int array array ->
+  model
+(** [train ~rng ~n_topics ~n_words docs] with documents as word-id
+    arrays. Random initialization from [rng]; stops after [iters]
+    (default 100) EM rounds or when the log-likelihood improves by less
+    than [tol] (default 1e-6) relatively. EM increases the likelihood
+    monotonically (tested). *)

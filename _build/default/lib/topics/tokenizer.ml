@@ -1,0 +1,55 @@
+let stopwords =
+  [
+    "a"; "about"; "above"; "after"; "again"; "against"; "all"; "also"; "am";
+    "an"; "and"; "any"; "are"; "as"; "at"; "be"; "because"; "been"; "before";
+    "being"; "below"; "between"; "both"; "but"; "by"; "can"; "cannot"; "could";
+    "did"; "do"; "does"; "doing"; "down"; "during"; "each"; "few"; "for";
+    "from"; "further"; "had"; "has"; "have"; "having"; "he"; "her"; "here";
+    "hers"; "him"; "his"; "how"; "i"; "if"; "in"; "into"; "is"; "it"; "its";
+    "itself"; "just"; "may"; "me"; "might"; "more"; "most"; "must"; "my";
+    "new"; "no"; "nor"; "not"; "of"; "off"; "on"; "once"; "one"; "only"; "or";
+    "other"; "our"; "ours"; "out"; "over"; "own"; "same"; "she"; "should";
+    "so"; "some"; "such"; "than"; "that"; "the"; "their"; "theirs"; "them";
+    "then"; "there"; "these"; "they"; "this"; "those"; "through"; "to"; "too";
+    "two"; "under"; "until"; "up"; "us"; "very"; "was"; "we"; "were"; "what";
+    "when"; "where"; "which"; "while"; "who"; "whom"; "why"; "will"; "with";
+    "would"; "you"; "your"; "yours";
+    (* CS-abstract boilerplate that carries no topical signal. *)
+    "paper"; "propose"; "proposed"; "approach"; "approaches"; "show"; "shows";
+    "present"; "presents"; "results"; "problem"; "problems"; "method";
+    "methods"; "using"; "based"; "study"; "work"; "novel"; "however";
+  ]
+
+let stopword_table =
+  let table = Hashtbl.create 256 in
+  List.iter (fun w -> Hashtbl.replace table w ()) stopwords;
+  table
+
+let is_stopword w = Hashtbl.mem stopword_table w
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-'
+
+let tokenize text =
+  let lower = String.lowercase_ascii text in
+  let n = String.length lower in
+  let tokens = ref [] in
+  let buf = Buffer.create 16 in
+  let flush_token () =
+    let w = Buffer.contents buf in
+    Buffer.clear buf;
+    (* Hyphen-only fragments and leading/trailing hyphens are noise. *)
+    let w = String.trim w in
+    let w =
+      if String.length w > 0 && (w.[0] = '-' || w.[String.length w - 1] = '-')
+      then String.concat "" (String.split_on_char '-' w)
+      else w
+    in
+    if String.length w >= 3 && not (is_stopword w) then tokens := w :: !tokens
+  in
+  for i = 0 to n - 1 do
+    if is_word_char lower.[i] then Buffer.add_char buf lower.[i]
+    else if Buffer.length buf > 0 then flush_token ()
+  done;
+  if Buffer.length buf > 0 then flush_token ();
+  List.rev !tokens

@@ -1,0 +1,12 @@
+(** Abstract-text tokenization for the topic-extraction pipeline
+    (Section 2.4): lowercase word tokens, punctuation stripped, English
+    stopwords and very short tokens removed. *)
+
+val tokenize : string -> string list
+(** Tokens in order of appearance. *)
+
+val is_stopword : string -> bool
+
+val stopwords : string list
+(** The embedded stopword list (a standard English list plus a few
+    terms that are noise in CS abstracts, e.g. "paper", "propose"). *)

@@ -1,0 +1,47 @@
+type t = {
+  ids : (string, int) Hashtbl.t;
+  words : string array;
+}
+
+let of_words words =
+  let ids = Hashtbl.create 256 in
+  let ordered = ref [] in
+  List.iter
+    (fun w ->
+      if not (Hashtbl.mem ids w) then begin
+        Hashtbl.replace ids w (Hashtbl.length ids);
+        ordered := w :: !ordered
+      end)
+    words;
+  { ids; words = Array.of_list (List.rev !ordered) }
+
+let build ?(min_count = 1) docs =
+  let counts = Hashtbl.create 1024 in
+  List.iter
+    (List.iter (fun w ->
+         Hashtbl.replace counts w
+           (1 + Option.value ~default:0 (Hashtbl.find_opt counts w))))
+    docs;
+  let keep = Hashtbl.create 1024 in
+  let ordered = ref [] in
+  List.iter
+    (List.iter (fun w ->
+         if
+           (not (Hashtbl.mem keep w))
+           && Option.value ~default:0 (Hashtbl.find_opt counts w) >= min_count
+         then begin
+           Hashtbl.replace keep w (Hashtbl.length keep);
+           ordered := w :: !ordered
+         end))
+    docs;
+  { ids = keep; words = Array.of_list (List.rev !ordered) }
+
+let size t = Array.length t.words
+let id t w = Hashtbl.find_opt t.ids w
+
+let word t i =
+  if i < 0 || i >= Array.length t.words then invalid_arg "Vocab.word: bad id";
+  t.words.(i)
+
+let encode t ws =
+  List.filter_map (fun w -> Hashtbl.find_opt t.ids w) ws |> Array.of_list

@@ -1,0 +1,20 @@
+(** Bidirectional word/id vocabulary, built once over a corpus. *)
+
+type t
+
+val build : ?min_count:int -> string list list -> t
+(** [build docs] assigns dense ids to every word appearing at least
+    [min_count] times (default 1), in order of first appearance. *)
+
+val size : t -> int
+
+val id : t -> string -> int option
+val word : t -> int -> string
+(** Raises [Invalid_argument] on an out-of-range id. *)
+
+val encode : t -> string list -> int array
+(** Drop out-of-vocabulary words, map the rest. *)
+
+val of_words : string list -> t
+(** Vocabulary with exactly these words, ids in list order (duplicates
+    collapse to their first occurrence). *)

@@ -1,0 +1,1 @@
+lib/util/report.ml: Array Float Format List Printf String

@@ -1,0 +1,80 @@
+type 'a t = {
+  (* [data] is zero-length until the first push so no dummy element is ever
+     fabricated (which would be unsound for unboxed float arrays). *)
+  mutable data : 'a array;
+  mutable size : int;
+  capacity_hint : int;
+  cmp : 'a -> 'a -> int;
+}
+
+let create ?(capacity = 16) ~cmp () =
+  { data = [||]; size = 0; capacity_hint = max capacity 1; cmp }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let ensure_room t x =
+  if Array.length t.data = 0 then t.data <- Array.make t.capacity_hint x
+  else if t.size = Array.length t.data then begin
+    let data = Array.make (2 * Array.length t.data) t.data.(0) in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.data.(i) t.data.(parent) > 0 then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.size && t.cmp t.data.(l) t.data.(!best) > 0 then best := l;
+  if r < t.size && t.cmp t.data.(r) t.data.(!best) > 0 then best := r;
+  if !best <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!best);
+    t.data.(!best) <- tmp;
+    sift_down t !best
+  end
+
+let push t x =
+  ensure_room t x;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    t.data.(0) <- t.data.(t.size);
+    if t.size > 0 then sift_down t 0;
+    Some top
+  end
+
+let peek t = if t.size = 0 then None else Some t.data.(0)
+
+let of_array ~cmp a =
+  let n = Array.length a in
+  if n = 0 then create ~cmp ()
+  else begin
+    let t = { data = Array.copy a; size = n; capacity_hint = n; cmp } in
+    for i = (n / 2) - 1 downto 0 do
+      sift_down t i
+    done;
+    t
+  end
+
+let to_sorted_list t =
+  let rec drain acc =
+    match pop t with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  drain []

@@ -1,0 +1,28 @@
+(** Imperative binary max-heap over ['a] with a user-supplied priority.
+
+    Used by the lazy greedy CRA solver, where stale priorities are
+    re-evaluated on pop (valid for submodular gains, which only
+    decrease). *)
+
+type 'a t
+
+val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~cmp ()] is an empty heap where [cmp a b > 0] means [a] has
+    higher priority than [b] (max-heap under [cmp]). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the maximum element, or [None] when empty. *)
+
+val peek : 'a t -> 'a option
+
+val of_array : cmp:('a -> 'a -> int) -> 'a array -> 'a t
+(** Bottom-up heapify in O(n). The array is not modified. *)
+
+val to_sorted_list : 'a t -> 'a list
+(** Drain the heap, returning elements in decreasing priority order.
+    The heap is empty afterwards. *)

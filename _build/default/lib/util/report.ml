@@ -1,0 +1,61 @@
+let table ~header ~rows fmt =
+  let all = header :: rows in
+  let arity = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> arity then invalid_arg "Report.table: ragged row")
+    rows;
+  let widths = Array.make arity 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let print_row row =
+    List.iteri
+      (fun i cell ->
+        let pad = String.make (widths.(i) - String.length cell) ' ' in
+        if i = 0 then Format.fprintf fmt "%s%s" cell pad
+        else Format.fprintf fmt "  %s%s" pad cell)
+      row;
+    Format.fprintf fmt "@."
+  in
+  print_row header;
+  let rule = Array.fold_left (fun acc w -> acc + w) (2 * (arity - 1)) widths in
+  Format.fprintf fmt "%s@." (String.make rule '-');
+  List.iter print_row rows
+
+let bar_chart ~labels ~series ?(max_width = 40) fmt =
+  let global_max =
+    List.fold_left
+      (fun acc (_, values) -> Array.fold_left Float.max acc values)
+      0. series
+  in
+  let scale v =
+    if global_max <= 0. then 0
+    else int_of_float (Float.round (v /. global_max *. float_of_int max_width))
+  in
+  let name_width =
+    List.fold_left (fun acc (name, _) -> max acc (String.length name)) 0 series
+  in
+  List.iteri
+    (fun li label ->
+      Format.fprintf fmt "%s@." label;
+      List.iter
+        (fun (name, values) ->
+          if li < Array.length values then begin
+            let v = values.(li) in
+            let pad = String.make (name_width - String.length name) ' ' in
+            Format.fprintf fmt "  %s%s |%s %.4f@." name pad
+              (String.make (scale v) '#')
+              v
+          end)
+        series)
+    labels
+
+let float_cell v = Printf.sprintf "%.4f" v
+let percent_cell v = Printf.sprintf "%.2f%%" (100. *. v)
+
+let seconds_cell v =
+  if v < 1e-3 then Printf.sprintf "%.1fus" (v *. 1e6)
+  else if v < 1. then Printf.sprintf "%.2fms" (v *. 1e3)
+  else Printf.sprintf "%.3fs" v

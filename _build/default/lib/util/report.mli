@@ -1,0 +1,27 @@
+(** Plain-text rendering of tables and bar charts for the experiment
+    harness. Everything prints through [Format] so output composes with
+    the rest of the CLI. *)
+
+val table :
+  header:string list -> rows:string list list -> Format.formatter -> unit
+(** Render an aligned ASCII table. Every row must have the same arity as
+    the header. *)
+
+val bar_chart :
+  labels:string list ->
+  series:(string * float array) list ->
+  ?max_width:int ->
+  Format.formatter ->
+  unit
+(** Horizontal grouped bar chart: one block of bars per label, one bar per
+    series. Values must be non-negative; bars are scaled to the global
+    maximum. *)
+
+val float_cell : float -> string
+(** Fixed 4-decimal rendering used across experiment tables. *)
+
+val percent_cell : float -> string
+(** Render a ratio in [0,1] as a percentage with 2 decimals. *)
+
+val seconds_cell : float -> string
+(** Adaptive time rendering (us / ms / s). *)

@@ -1,0 +1,159 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64 is used to expand the seed into the four xoshiro words; it is
+   the initialization recommended by the xoshiro authors because it avoids
+   the correlated low-entropy states that naive seeding produces. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (bits64 t) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on 62 uniform bits (the largest amount that fits a
+     non-negative OCaml int) keeps the draw exactly uniform: reject draws
+     from the incomplete top bucket, detected via overflow. *)
+  let rec draw () =
+    let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+    let r = v mod n in
+    if v - r + (n - 1) < 0 then draw () else r
+  in
+  draw ()
+
+let uniform t =
+  (* 53 significand bits, the standard double-precision trick. *)
+  let v = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float v *. 0x1p-53
+
+let float t x =
+  if x <= 0. then invalid_arg "Rng.float: bound must be positive";
+  uniform t *. x
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let gaussian t =
+  let rec draw () =
+    let u = uniform t in
+    if u = 0. then draw () else u
+  in
+  let u1 = draw () and u2 = uniform t in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let rec gamma t ~shape =
+  if shape <= 0. then invalid_arg "Rng.gamma: shape must be positive";
+  if shape < 1. then
+    (* Boost via Gamma(a+1) and a uniform power, standard augmentation. *)
+    let g = gamma t ~shape:(shape +. 1.) in
+    let u =
+      let rec draw () =
+        let u = uniform t in
+        if u = 0. then draw () else u
+      in
+      draw ()
+    in
+    g *. (u ** (1. /. shape))
+  else
+    let d = shape -. (1. /. 3.) in
+    let c = 1. /. sqrt (9. *. d) in
+    let rec try_sample () =
+      let x = gaussian t in
+      let v = 1. +. (c *. x) in
+      if v <= 0. then try_sample ()
+      else
+        let v = v *. v *. v in
+        let u = uniform t in
+        if u < 1. -. (0.0331 *. x *. x *. x *. x) then d *. v
+        else if u > 0. && log u < (0.5 *. x *. x) +. (d *. (1. -. v +. log v)) then d *. v
+        else try_sample ()
+    in
+    try_sample ()
+
+let dirichlet t ~alpha =
+  let n = Array.length alpha in
+  if n = 0 then invalid_arg "Rng.dirichlet: empty alpha";
+  let draws = Array.map (fun a -> gamma t ~shape:a) alpha in
+  let total = Array.fold_left ( +. ) 0. draws in
+  if total = 0. then (
+    (* Extremely sparse alpha can underflow every gamma draw; fall back to a
+       point mass on a uniformly chosen coordinate, which is the correct
+       limiting behaviour. *)
+    let out = Array.make n 0. in
+    out.(int t n) <- 1.;
+    out)
+  else Array.map (fun g -> g /. total) draws
+
+let dirichlet_sym t ~alpha ~dim = dirichlet t ~alpha:(Array.make dim alpha)
+
+let categorical_prefix t w n =
+  if n <= 0 || n > Array.length w then invalid_arg "Rng.categorical_prefix";
+  let total = ref 0. in
+  for i = 0 to n - 1 do
+    total := !total +. w.(i)
+  done;
+  if !total <= 0. then
+    invalid_arg "Rng.categorical: weights must have positive sum";
+  let target = uniform t *. !total in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. w.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.
+
+let categorical t w = categorical_prefix t w (Array.length w)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  (* Partial Fisher-Yates over an index array: O(n) space, O(n + k) time. *)
+  let idx = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = i + int t (n - i) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  Array.sub idx 0 k

@@ -1,0 +1,67 @@
+let sum xs =
+  let total = ref 0. and comp = ref 0. in
+  Array.iter
+    (fun x ->
+      let y = x -. !comp in
+      let t = !total +. y in
+      comp := t -. !total -. y;
+      total := t)
+    xs;
+  !total
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0. else sum xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+    acc /. float_of_int n
+
+let stddev xs = sqrt (variance xs)
+
+let percentile xs q =
+  let n = Array.length xs in
+  if n = 0 then 0.
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    let q = Float.min 1. (Float.max 0. q) in
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = int_of_float (Float.ceil pos) in
+    if lo = hi then sorted.(lo)
+    else
+      let frac = pos -. float_of_int lo in
+      (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median xs = percentile xs 0.5
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty array";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0))
+    xs
+
+let normalize xs =
+  let total = sum xs in
+  let n = Array.length xs in
+  if total <= 0. then Array.make n (1. /. float_of_int (max n 1))
+  else Array.map (fun x -> x /. total) xs
+
+let l1_distance a b =
+  if Array.length a <> Array.length b then invalid_arg "Stats.l1_distance: length mismatch";
+  let acc = ref 0. in
+  Array.iteri (fun i x -> acc := !acc +. Float.abs (x -. b.(i))) a;
+  !acc
+
+let argmax xs =
+  if Array.length xs = 0 then invalid_arg "Stats.argmax: empty array";
+  let best = ref 0 in
+  Array.iteri (fun i x -> if x > xs.(!best) then best := i) xs;
+  !best

@@ -1,0 +1,32 @@
+(** Small numeric helpers shared across the library. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on an empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0 on arrays shorter than 2. *)
+
+val stddev : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs q] for [q] in [0,1], linear interpolation between order
+    statistics. The input is not modified. 0 on an empty array. *)
+
+val median : float array -> float
+
+val min_max : float array -> float * float
+(** Raises [Invalid_argument] on an empty array. *)
+
+val sum : float array -> float
+(** Kahan-compensated summation, stable for the long accumulations used in
+    Gibbs sampling diagnostics. *)
+
+val normalize : float array -> float array
+(** Scale a non-negative vector to sum 1. A zero vector maps to the uniform
+    vector. *)
+
+val l1_distance : float array -> float array -> float
+(** Sum of absolute coordinate differences; arrays must have equal length. *)
+
+val argmax : float array -> int
+(** Index of the first maximum. Raises [Invalid_argument] on empty input. *)

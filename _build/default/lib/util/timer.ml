@@ -1,0 +1,14 @@
+let time f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. start)
+
+let time_with_budget ~budget f =
+  let result, dt = time f in
+  if dt > budget then None else Some (result, dt)
+
+type deadline = { start : float; limit : float }
+
+let deadline s = { start = Unix.gettimeofday (); limit = s }
+let elapsed d = Unix.gettimeofday () -. d.start
+let expired d = elapsed d > d.limit

@@ -1,0 +1,21 @@
+(** Wall-clock timing helpers for the experiment harness. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with the elapsed wall-clock
+    seconds. *)
+
+val time_with_budget : budget:float -> (unit -> 'a) -> ('a * float) option
+(** Run [f] and return [None] if it takes longer than [budget] seconds.
+    The computation is not interrupted (OCaml has no safe async kill); the
+    budget is checked after the fact. Use for reporting "did not finish in
+    budget" rows honestly while still bounding table generation via the
+    caller's sizing. *)
+
+type deadline
+(** Cooperative deadline that long-running solvers poll. *)
+
+val deadline : float -> deadline
+(** [deadline s] expires [s] seconds from now. *)
+
+val expired : deadline -> bool
+val elapsed : deadline -> float

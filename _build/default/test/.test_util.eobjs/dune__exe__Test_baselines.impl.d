@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Assignment Float Format Fun Instance Jra Jra_bba List Metrics QCheck QCheck_alcotest Rrap Scoring Sdga Sgrap String Summary Wgrap Wgrap_util

@@ -1,0 +1,1 @@
+test/test_cpsolve.ml: Alcotest Array Cpsolve Float QCheck QCheck_alcotest Wgrap_util

@@ -1,0 +1,1 @@
+test/test_dataset.ml: Alcotest Array Dataset Filename Lazy List Option Printf Sys Topics Unix Wgrap Wgrap_util

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Amend Array Assignment Bids Brgg Exact Filename Fun Greedy Instance Lap List Metrics Printf QCheck QCheck_alcotest Result Sdga Stable_baseline Sys Wgrap Wgrap_util

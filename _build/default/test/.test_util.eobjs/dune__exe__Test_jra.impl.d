@@ -1,0 +1,1 @@
+test/test_jra.ml: Alcotest Array Float Instance Jra Jra_bba Jra_bfs Jra_cp Jra_ilp List Printf QCheck QCheck_alcotest Scoring Wgrap Wgrap_util

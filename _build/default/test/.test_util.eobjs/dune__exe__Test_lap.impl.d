@@ -1,0 +1,1 @@
+test/test_lap.ml: Alcotest Array Float Fun Lap List QCheck QCheck_alcotest Wgrap_util

@@ -1,0 +1,1 @@
+test/test_milp.ml: Alcotest Array Float Fun List Milp QCheck QCheck_alcotest Wgrap_util

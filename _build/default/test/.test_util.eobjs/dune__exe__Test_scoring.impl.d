@@ -1,0 +1,1 @@
+test/test_scoring.ml: Alcotest Array Assignment Float Instance Lap List Printf QCheck QCheck_alcotest Result Scoring Topic_vector Wgrap Wgrap_util

@@ -1,0 +1,1 @@
+test/test_topics.ml: Alcotest Array Float List Option Printf QCheck QCheck_alcotest Topics Wgrap_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Buffer Float Format Fun List Printf QCheck QCheck_alcotest String Sys Wgrap_util

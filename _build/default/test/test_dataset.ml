@@ -1,0 +1,338 @@
+module Rng = Wgrap_util.Rng
+module Corpus = Dataset.Corpus
+module Synthetic = Dataset.Synthetic
+module Datasets = Dataset.Datasets
+module Loader = Dataset.Loader
+module Pipeline = Dataset.Pipeline
+module Sv = Dataset.Seed_vocabulary
+
+let tiny_config = Synthetic.scaled Synthetic.default_config 0.06
+
+let tiny_corpus =
+  lazy
+    (let rng = Rng.create 4242 in
+     Synthetic.generate ~config:tiny_config ~rng ())
+
+(* {1 Seed vocabulary} *)
+
+let test_seed_vocabulary_shape () =
+  Alcotest.(check int) "30 topics" 30 Sv.n_topics;
+  Alcotest.(check int) "labels" 30 (Array.length Sv.topic_labels);
+  Array.iter
+    (fun kws ->
+      Alcotest.(check bool) "enough keywords" true (List.length kws >= 10))
+    Sv.topic_keywords
+
+let test_seed_words_survive_tokenizer () =
+  Array.iter
+    (List.iter (fun w ->
+         Alcotest.(check (list string))
+           (Printf.sprintf "keyword %S survives" w)
+           [ w ]
+           (Topics.Tokenizer.tokenize w)))
+    Sv.topic_keywords;
+  List.iter
+    (fun w ->
+      Alcotest.(check (list string)) "general word survives" [ w ]
+        (Topics.Tokenizer.tokenize w))
+    Sv.general_words
+
+let test_area_topics_in_range () =
+  List.iter
+    (fun ts ->
+      List.iter
+        (fun t -> Alcotest.(check bool) "topic id" true (t >= 0 && t < Sv.n_topics))
+        ts)
+    [ Sv.databases_topics; Sv.data_mining_topics; Sv.theory_topics ]
+
+(* {1 Synthetic corpus} *)
+
+let test_corpus_valid () =
+  let corpus, _ = Lazy.force tiny_corpus in
+  match Corpus.validate corpus with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_corpus_sizes_match_config () =
+  let corpus, _ = Lazy.force tiny_corpus in
+  Alcotest.(check int) "authors"
+    (3 * tiny_config.Synthetic.authors_per_area)
+    (Array.length corpus.Corpus.authors);
+  (* Evaluation-year counts match exactly. *)
+  List.iter
+    (fun (area, year, expected) ->
+      let count =
+        Array.to_list corpus.Corpus.papers
+        |> List.filter (fun p ->
+               p.Corpus.year = year
+               && List.mem p.Corpus.venue (Synthetic.venues_of_area area))
+        |> List.length
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%s %d" (Corpus.area_name area) year)
+        expected count)
+    tiny_config.Synthetic.eval_counts
+
+let test_ground_truth_normalized () =
+  let _, truth = Lazy.force tiny_corpus in
+  Array.iter
+    (fun row ->
+      Alcotest.(check (float 1e-6)) "topic_word row" 1. (Wgrap_util.Stats.sum row))
+    truth.Synthetic.topic_word;
+  Array.iter
+    (fun row ->
+      Alcotest.(check (float 1e-6)) "author mixture" 1. (Wgrap_util.Stats.sum row))
+    truth.Synthetic.author_mixture
+
+let test_abstracts_tokenize_nonempty () =
+  let corpus, _ = Lazy.force tiny_corpus in
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "abstract has tokens" true
+        (List.length (Topics.Tokenizer.tokenize p.Corpus.abstract) > 10))
+    corpus.Corpus.papers
+
+let test_hindex_positive () =
+  let corpus, _ = Lazy.force tiny_corpus in
+  let has_pubs a = Corpus.papers_of_author corpus a.Corpus.author_id <> [] in
+  Array.iter
+    (fun a ->
+      if has_pubs a then
+        Alcotest.(check bool) "h-index >= 1" true (a.Corpus.h_index >= 1))
+    corpus.Corpus.authors
+
+let test_generation_deterministic () =
+  let g seed =
+    let rng = Rng.create seed in
+    let c, _ = Synthetic.generate ~config:tiny_config ~rng () in
+    c
+  in
+  let a = g 7 and b = g 7 in
+  Alcotest.(check int) "same paper count"
+    (Array.length a.Corpus.papers)
+    (Array.length b.Corpus.papers);
+  Alcotest.(check string) "same first abstract"
+    a.Corpus.papers.(0).Corpus.abstract b.Corpus.papers.(0).Corpus.abstract
+
+let test_scaled_rejects_bad_factor () =
+  Alcotest.check_raises "zero" (Invalid_argument "Synthetic.scaled") (fun () ->
+      ignore (Synthetic.scaled Synthetic.default_config 0.))
+
+let test_corpus_queries () =
+  let corpus, _ = Lazy.force tiny_corpus in
+  let venues = Corpus.venues corpus in
+  Alcotest.(check bool) "many venue-years" true (List.length venues > 10);
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 venues in
+  Alcotest.(check int) "venue counts partition papers"
+    (Array.length corpus.Corpus.papers) total;
+  (* papers_of_author inverts author_ids. *)
+  let author = 3 in
+  List.iter
+    (fun p -> Alcotest.(check bool) "authored" true (List.mem author p.Corpus.author_ids))
+    (Corpus.papers_of_author corpus author);
+  (* papers_in filters both venue and year. *)
+  List.iter
+    (fun p ->
+      Alcotest.(check string) "venue" "SIGMOD" p.Corpus.venue;
+      Alcotest.(check int) "year" 2008 p.Corpus.year)
+    (Corpus.papers_in corpus ~venue:"SIGMOD" ~year:2008)
+
+(* {1 Datasets} *)
+
+let test_dataset_specs () =
+  Alcotest.(check int) "six datasets" 6 (List.length Datasets.all);
+  Alcotest.(check bool) "find db08" true (Datasets.find "db08" <> None);
+  Alcotest.(check bool) "find nonsense" true (Datasets.find "XX99" = None)
+
+let test_submissions_and_committee () =
+  let corpus, _ = Lazy.force tiny_corpus in
+  let spec =
+    { (Option.get (Datasets.find "DB08")) with Datasets.n_reviewers = 10 }
+  in
+  let subs = Datasets.submissions corpus spec in
+  Alcotest.(check bool) "has submissions" true (List.length subs > 0);
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "year" 2008 p.Corpus.year;
+      Alcotest.(check bool) "venue in area" true
+        (List.mem p.Corpus.venue (Synthetic.venues_of_area Corpus.Databases)))
+    subs;
+  let committee = Datasets.committee corpus spec in
+  Alcotest.(check int) "committee size" 10 (List.length committee);
+  Alcotest.(check int) "distinct" 10 (List.length (List.sort_uniq compare committee));
+  List.iter
+    (fun a ->
+      Alcotest.(check string) "committee members from DB" "DB"
+        (Corpus.area_name corpus.Corpus.authors.(a).Corpus.area))
+    committee
+
+let test_default_reviewer_pool () =
+  let corpus, _ = Lazy.force tiny_corpus in
+  let pool = Datasets.default_reviewer_pool corpus in
+  Alcotest.(check bool) "non-trivial pool" true (List.length pool > 10);
+  (* Every pool member has >= 3 papers in 2005-2009. *)
+  List.iter
+    (fun a ->
+      let pubs =
+        Corpus.papers_of_author corpus a
+        |> List.filter (fun p -> p.Corpus.year >= 2005 && p.Corpus.year <= 2009)
+      in
+      Alcotest.(check bool) "at least 3 pubs" true (List.length pubs >= 3))
+    pool
+
+(* {1 Loader} *)
+
+let test_loader_roundtrip () =
+  let corpus, _ = Lazy.force tiny_corpus in
+  let dir = Filename.temp_file "wgrap" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let authors_path = Filename.concat dir "authors.tsv" in
+  let papers_path = Filename.concat dir "papers.tsv" in
+  Loader.save corpus ~authors_path ~papers_path;
+  (match Loader.load ~authors_path ~papers_path with
+  | Error e -> Alcotest.fail e
+  | Ok loaded ->
+      Alcotest.(check int) "authors" (Array.length corpus.Corpus.authors)
+        (Array.length loaded.Corpus.authors);
+      Alcotest.(check int) "papers" (Array.length corpus.Corpus.papers)
+        (Array.length loaded.Corpus.papers);
+      let p = corpus.Corpus.papers.(3) and q = loaded.Corpus.papers.(3) in
+      Alcotest.(check string) "abstract" p.Corpus.abstract q.Corpus.abstract;
+      Alcotest.(check (list int)) "authors of paper" p.Corpus.author_ids q.Corpus.author_ids;
+      let a = corpus.Corpus.authors.(2) and b = loaded.Corpus.authors.(2) in
+      Alcotest.(check string) "name" a.Corpus.name b.Corpus.name;
+      Alcotest.(check int) "h-index" a.Corpus.h_index b.Corpus.h_index);
+  Sys.remove authors_path;
+  Sys.remove papers_path;
+  Unix.rmdir dir
+
+let test_loader_bad_file () =
+  let path = Filename.temp_file "wgrap" ".tsv" in
+  let oc = open_out path in
+  output_string oc "not\tvalid\n";
+  close_out oc;
+  (match Loader.load ~authors_path:path ~papers_path:path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected parse error");
+  Sys.remove path
+
+(* {1 Pipeline} *)
+
+let extracted =
+  lazy
+    (let corpus, _ = Lazy.force tiny_corpus in
+     let rng = Rng.create 555 in
+     let spec =
+       { (Option.get (Datasets.find "DB08")) with Datasets.n_reviewers = 12 }
+     in
+     let submissions = Datasets.submissions corpus spec in
+     let committee = Datasets.committee corpus spec in
+     (corpus, submissions, Pipeline.extract ~gibbs_iters:40 ~rng ~corpus ~submissions ~committee ()))
+
+let test_pipeline_shapes () =
+  let _, submissions, ex = Lazy.force extracted in
+  Alcotest.(check int) "paper vectors" (List.length submissions)
+    (Array.length ex.Pipeline.paper_vectors);
+  Alcotest.(check int) "reviewer vectors" 12 (Array.length ex.Pipeline.reviewer_vectors);
+  Array.iter
+    (fun v ->
+      Alcotest.(check (float 1e-6)) "paper vec normalized" 1. (Wgrap_util.Stats.sum v))
+    ex.Pipeline.paper_vectors;
+  Array.iter
+    (fun v ->
+      Alcotest.(check (float 1e-6)) "reviewer vec normalized" 1. (Wgrap_util.Stats.sum v))
+    ex.Pipeline.reviewer_vectors
+
+let test_pipeline_instance () =
+  let _, _, ex = Lazy.force extracted in
+  let n_p = Array.length ex.Pipeline.paper_vectors in
+  let dr = Wgrap.Instance.min_workload ~papers:n_p ~reviewers:12 ~delta_p:3 in
+  let inst = Pipeline.instance ex ~delta_p:3 ~delta_r:dr in
+  Alcotest.(check int) "papers" n_p (Wgrap.Instance.n_papers inst);
+  Alcotest.(check int) "topics" 30 (Wgrap.Instance.n_topics inst)
+
+let test_pipeline_coi () =
+  let corpus, _, ex = Lazy.force extracted in
+  let coi = Pipeline.coi_pairs corpus ex in
+  (* Every COI pair is a genuine authorship link. *)
+  List.iter
+    (fun (paper_row, reviewer_row) ->
+      let pid = ex.Pipeline.paper_ids.(paper_row) in
+      let aid = ex.Pipeline.reviewer_ids.(reviewer_row) in
+      Alcotest.(check bool) "authorship" true
+        (List.mem aid corpus.Corpus.papers.(pid).Corpus.author_ids))
+    coi
+
+let test_pipeline_keywords () =
+  let _, _, ex = Lazy.force extracted in
+  let kws = Pipeline.topic_keywords ex ~k:6 in
+  Alcotest.(check int) "30 topics" 30 (Array.length kws);
+  Array.iter (fun ws -> Alcotest.(check int) "6 words" 6 (List.length ws)) kws
+
+let test_pipeline_hindex_scaling () =
+  let corpus, _, ex = Lazy.force extracted in
+  let scaled = Pipeline.scale_by_h_index corpus ex in
+  Array.iteri
+    (fun row vec ->
+      let base = ex.Pipeline.reviewer_vectors.(row) in
+      let factor = vec.(0) /. (if base.(0) = 0. then 1. else base.(0)) in
+      Alcotest.(check bool) "factor in [1,2]" true
+        (base.(0) = 0. || (factor >= 1. -. 1e-9 && factor <= 2. +. 1e-9)))
+    scaled
+
+(* The extraction must carry enough signal that reviewers score higher
+   on submissions from their own area than a topic-blind baseline. *)
+let test_pipeline_signal () =
+  let _, _, ex = Lazy.force extracted in
+  let n_p = Array.length ex.Pipeline.paper_vectors in
+  let dr = Wgrap.Instance.min_workload ~papers:n_p ~reviewers:12 ~delta_p:2 in
+  let inst = Pipeline.instance ex ~delta_p:2 ~delta_r:dr in
+  let sdga = Wgrap.Sdga.solve inst in
+  let ratio = Wgrap.Metrics.optimality_ratio inst sdga in
+  Alcotest.(check bool)
+    (Printf.sprintf "sdga ratio %.3f sensible" ratio)
+    true
+    (ratio > 0.6)
+
+let () =
+  Alcotest.run "dataset"
+    [
+      ( "seed_vocabulary",
+        [
+          Alcotest.test_case "shape" `Quick test_seed_vocabulary_shape;
+          Alcotest.test_case "survives tokenizer" `Quick test_seed_words_survive_tokenizer;
+          Alcotest.test_case "area topics in range" `Quick test_area_topics_in_range;
+        ] );
+      ( "synthetic",
+        [
+          Alcotest.test_case "corpus valid" `Quick test_corpus_valid;
+          Alcotest.test_case "sizes match config" `Quick test_corpus_sizes_match_config;
+          Alcotest.test_case "ground truth normalized" `Quick test_ground_truth_normalized;
+          Alcotest.test_case "abstracts tokenize" `Quick test_abstracts_tokenize_nonempty;
+          Alcotest.test_case "h-index positive" `Quick test_hindex_positive;
+          Alcotest.test_case "deterministic" `Quick test_generation_deterministic;
+          Alcotest.test_case "scaled rejects bad factor" `Quick test_scaled_rejects_bad_factor;
+        ] );
+      ( "datasets",
+        [
+          Alcotest.test_case "corpus queries" `Quick test_corpus_queries;
+          Alcotest.test_case "specs" `Quick test_dataset_specs;
+          Alcotest.test_case "submissions and committee" `Quick test_submissions_and_committee;
+          Alcotest.test_case "default reviewer pool" `Quick test_default_reviewer_pool;
+        ] );
+      ( "loader",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_loader_roundtrip;
+          Alcotest.test_case "bad file" `Quick test_loader_bad_file;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "shapes" `Quick test_pipeline_shapes;
+          Alcotest.test_case "instance" `Quick test_pipeline_instance;
+          Alcotest.test_case "coi" `Quick test_pipeline_coi;
+          Alcotest.test_case "keywords" `Quick test_pipeline_keywords;
+          Alcotest.test_case "h-index scaling" `Quick test_pipeline_hindex_scaling;
+          Alcotest.test_case "signal" `Quick test_pipeline_signal;
+        ] );
+    ]

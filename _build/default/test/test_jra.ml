@@ -1,0 +1,251 @@
+module Rng = Wgrap_util.Rng
+module Timer = Wgrap_util.Timer
+open Wgrap
+
+let random_problem ?scoring rng ~dim ~n ~dp =
+  let vec () = Array.init dim (fun _ -> Rng.uniform rng) in
+  Jra.make ?scoring ~paper:(vec ()) ~pool:(Array.init n (fun _ -> vec ()))
+    ~group_size:dp ()
+
+(* {1 Problem construction} *)
+
+let test_make_validation () =
+  let paper = [| 0.5; 0.5 |] in
+  let pool = [| [| 1.; 0. |]; [| 0.; 1. |] |] in
+  Alcotest.check_raises "too large group"
+    (Invalid_argument "Jra.make: not enough selectable reviewers") (fun () ->
+      ignore (Jra.make ~paper ~pool ~group_size:3 ()));
+  Alcotest.check_raises "exclusions shrink pool"
+    (Invalid_argument "Jra.make: not enough selectable reviewers") (fun () ->
+      ignore
+        (Jra.make ~excluded:[| true; false |] ~paper ~pool ~group_size:2 ()));
+  Alcotest.check_raises "dim mismatch"
+    (Invalid_argument "Jra.make: dimension mismatch") (fun () ->
+      ignore (Jra.make ~paper:[| 1. |] ~pool ~group_size:1 ()))
+
+let test_of_instance_carries_coi () =
+  let inst =
+    Instance.create_exn ~coi:[ (0, 0) ]
+      ~papers:[| [| 1.; 0. |] |]
+      ~reviewers:[| [| 1.; 0. |]; [| 0.; 1. |] |]
+      ~delta_p:1 ~delta_r:1 ()
+  in
+  let prob = Jra.of_instance inst ~paper:0 in
+  Alcotest.(check int) "one selectable" 1 (Jra.available prob);
+  let sol = Jra_bba.solve prob in
+  Alcotest.(check (list int)) "avoids coi reviewer" [ 1 ] sol.Jra.group
+
+(* {1 BFS} *)
+
+let test_bfs_trivial () =
+  let prob =
+    Jra.make ~paper:[| 1.; 0. |]
+      ~pool:[| [| 0.; 1. |]; [| 1.; 0. |] |]
+      ~group_size:1 ()
+  in
+  let sol = Jra_bfs.solve prob in
+  Alcotest.(check (list int)) "picks matching reviewer" [ 1 ] sol.Jra.group;
+  Alcotest.(check (float 1e-9)) "score" 1. sol.Jra.score
+
+let test_bfs_counts_combinations () =
+  let rng = Rng.create 1 in
+  let prob = random_problem rng ~dim:3 ~n:6 ~dp:3 in
+  let _, evaluated = Jra_bfs.solve_counting prob in
+  Alcotest.(check int) "C(6,3)" 20 evaluated
+
+let test_bfs_whole_pool () =
+  let rng = Rng.create 2 in
+  let prob = random_problem rng ~dim:3 ~n:4 ~dp:4 in
+  let sol = Jra_bfs.solve prob in
+  Alcotest.(check (list int)) "everyone" [ 0; 1; 2; 3 ] sol.Jra.group
+
+(* {1 BBA} *)
+
+let bba_matches_bfs scoring =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "bba = bfs under %s" (Scoring.name scoring))
+    ~count:150
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let dim = 1 + Rng.int rng 6 in
+      let n = 2 + Rng.int rng 8 in
+      let dp = 1 + Rng.int rng (min 4 n) in
+      let prob = random_problem ~scoring rng ~dim ~n ~dp in
+      let a = Jra_bfs.solve prob and b = Jra_bba.solve prob in
+      Float.abs (a.Jra.score -. b.Jra.score) < 1e-9)
+
+let bba_nobound_matches_bfs =
+  QCheck.Test.make ~name:"bba without bounding = bfs" ~count:80
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let prob = random_problem rng ~dim:4 ~n:7 ~dp:3 in
+      let a = Jra_bfs.solve prob in
+      let b = Jra_bba.solve ~use_bound:false prob in
+      Float.abs (a.Jra.score -. b.Jra.score) < 1e-9)
+
+let test_bba_respects_exclusions () =
+  let paper = [| 1.; 0. |] in
+  let pool = [| [| 1.; 0. |]; [| 0.9; 0.1 |]; [| 0.; 1. |] |] in
+  let prob = Jra.make ~excluded:[| true; false; false |] ~paper ~pool ~group_size:1 () in
+  let sol = Jra_bba.solve prob in
+  Alcotest.(check (list int)) "best non-excluded" [ 1 ] sol.Jra.group
+
+let test_bba_group_sorted_distinct () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 30 do
+    let prob = random_problem rng ~dim:4 ~n:8 ~dp:3 in
+    let sol = Jra_bba.solve prob in
+    Alcotest.(check int) "group size" 3 (List.length sol.Jra.group);
+    Alcotest.(check (list int)) "sorted" (List.sort compare sol.Jra.group) sol.Jra.group;
+    Alcotest.(check int) "distinct" 3
+      (List.length (List.sort_uniq compare sol.Jra.group))
+  done
+
+let test_bba_score_consistent () =
+  let rng = Rng.create 10 in
+  for _ = 1 to 30 do
+    let prob = random_problem rng ~dim:5 ~n:8 ~dp:2 in
+    let sol = Jra_bba.solve prob in
+    Alcotest.(check (float 1e-9)) "score matches group"
+      (Jra.score_group prob sol.Jra.group)
+      sol.Jra.score
+  done
+
+let test_bba_pruning_helps () =
+  let rng = Rng.create 11 in
+  let prob = random_problem rng ~dim:6 ~n:20 ~dp:3 in
+  ignore (Jra_bba.solve prob);
+  let with_bound = (Jra_bba.last_stats ()).Jra_bba.nodes in
+  ignore (Jra_bba.solve ~use_bound:false prob);
+  let without = (Jra_bba.last_stats ()).Jra_bba.nodes in
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded explores fewer nodes (%d < %d)" with_bound without)
+    true
+    (with_bound < without)
+
+(* Top-k *)
+
+let test_top_k_ordering_and_exactness () =
+  let rng = Rng.create 12 in
+  for _ = 1 to 20 do
+    let prob = random_problem rng ~dim:4 ~n:7 ~dp:2 in
+    let k = 5 in
+    let top = Jra_bba.top_k prob ~k in
+    Alcotest.(check int) "k results" k (List.length top);
+    (* Scores must be non-increasing. *)
+    let rec check_desc = function
+      | a :: (b :: _ as rest) ->
+          Alcotest.(check bool) "descending" true (a.Jra.score >= b.Jra.score -. 1e-12);
+          check_desc rest
+      | _ -> ()
+    in
+    check_desc top;
+    (* Compare score multiset against exhaustive enumeration. *)
+    let all_scores = ref [] in
+    let n = Array.length prob.Jra.pool in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        all_scores := Jra.score_group prob [ i; j ] :: !all_scores
+      done
+    done;
+    let expected =
+      List.sort (fun a b -> compare b a) !all_scores
+      |> List.filteri (fun i _ -> i < k)
+    in
+    List.iter2
+      (fun e sol -> Alcotest.(check (float 1e-9)) "top-k score" e sol.Jra.score)
+      expected top
+  done
+
+let test_top_k_k1_equals_solve () =
+  let rng = Rng.create 13 in
+  let prob = random_problem rng ~dim:5 ~n:10 ~dp:3 in
+  let s = Jra_bba.solve prob in
+  match Jra_bba.top_k prob ~k:1 with
+  | [ t ] -> Alcotest.(check (float 1e-12)) "same" s.Jra.score t.Jra.score
+  | _ -> Alcotest.fail "expected singleton"
+
+(* {1 ILP and CP solvers} *)
+
+let ilp_matches_bfs =
+  QCheck.Test.make ~name:"jra ilp = bfs" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let dim = 1 + Rng.int rng 4 in
+      let n = 2 + Rng.int rng 5 in
+      let dp = 1 + Rng.int rng (min 3 n) in
+      let prob = random_problem rng ~dim ~n ~dp in
+      let a = Jra_bfs.solve prob in
+      match Jra_ilp.solve prob with
+      | Jra_ilp.Solved b -> Float.abs (a.Jra.score -. b.Jra.score) < 1e-6
+      | Jra_ilp.Timed_out _ -> false)
+
+let cp_matches_bfs =
+  QCheck.Test.make ~name:"jra cp = bfs" ~count:60
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let dim = 1 + Rng.int rng 4 in
+      let n = 2 + Rng.int rng 6 in
+      let dp = 1 + Rng.int rng (min 3 n) in
+      let prob = random_problem rng ~dim ~n ~dp in
+      let a = Jra_bfs.solve prob in
+      match Jra_cp.solve prob with
+      | Jra_cp.Solved b -> Float.abs (a.Jra.score -. b.Jra.score) < 1e-9
+      | Jra_cp.Timed_out _ -> false)
+
+let test_ilp_respects_exclusions () =
+  let paper = [| 1.; 0. |] in
+  let pool = [| [| 1.; 0. |]; [| 0.5; 0.5 |]; [| 0.; 1. |] |] in
+  let prob = Jra.make ~excluded:[| true; false; false |] ~paper ~pool ~group_size:1 () in
+  match Jra_ilp.solve prob with
+  | Jra_ilp.Solved sol -> Alcotest.(check (list int)) "skips excluded" [ 1 ] sol.Jra.group
+  | _ -> Alcotest.fail "expected Solved"
+
+let test_cp_deadline () =
+  let rng = Rng.create 14 in
+  let prob = random_problem rng ~dim:4 ~n:30 ~dp:3 in
+  match Jra_cp.solve ~deadline:(Timer.deadline (-1.)) prob with
+  | Jra_cp.Timed_out _ -> ()
+  | Jra_cp.Solved _ -> Alcotest.fail "expected Timed_out"
+
+let () =
+  Alcotest.run "jra"
+    [
+      ( "problem",
+        [
+          Alcotest.test_case "validation" `Quick test_make_validation;
+          Alcotest.test_case "of_instance coi" `Quick test_of_instance_carries_coi;
+        ] );
+      ( "bfs",
+        [
+          Alcotest.test_case "trivial" `Quick test_bfs_trivial;
+          Alcotest.test_case "combination count" `Quick test_bfs_counts_combinations;
+          Alcotest.test_case "whole pool" `Quick test_bfs_whole_pool;
+        ] );
+      ( "bba",
+        [
+          Alcotest.test_case "respects exclusions" `Quick test_bba_respects_exclusions;
+          Alcotest.test_case "group sorted distinct" `Quick test_bba_group_sorted_distinct;
+          Alcotest.test_case "score consistent" `Quick test_bba_score_consistent;
+          Alcotest.test_case "pruning helps" `Quick test_bba_pruning_helps;
+          QCheck_alcotest.to_alcotest bba_nobound_matches_bfs;
+        ]
+        @ List.map (fun k -> QCheck_alcotest.to_alcotest (bba_matches_bfs k)) Scoring.all
+      );
+      ( "top_k",
+        [
+          Alcotest.test_case "ordering and exactness" `Quick test_top_k_ordering_and_exactness;
+          Alcotest.test_case "k=1 equals solve" `Quick test_top_k_k1_equals_solve;
+        ] );
+      ( "ilp_cp",
+        [
+          Alcotest.test_case "ilp respects exclusions" `Quick test_ilp_respects_exclusions;
+          Alcotest.test_case "cp deadline" `Quick test_cp_deadline;
+          QCheck_alcotest.to_alcotest ilp_matches_bfs;
+          QCheck_alcotest.to_alcotest cp_matches_bfs;
+        ] );
+    ]

@@ -1,0 +1,277 @@
+module Lp = Milp.Lp
+module Ilp = Milp.Ilp
+module Rng = Wgrap_util.Rng
+module Timer = Wgrap_util.Timer
+
+let check_float = Alcotest.(check (float 1e-7))
+
+let optimal = function
+  | Lp.Optimal s -> s
+  | Lp.Infeasible -> Alcotest.fail "unexpected Infeasible"
+  | Lp.Unbounded -> Alcotest.fail "unexpected Unbounded"
+
+(* {1 LP} *)
+
+let test_lp_textbook () =
+  (* max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), 36. *)
+  let problem =
+    {
+      Lp.objective = [| 3.; 5. |];
+      constraints =
+        [
+          ([| 1.; 0. |], Lp.Le, 4.);
+          ([| 0.; 2. |], Lp.Le, 12.);
+          ([| 3.; 2. |], Lp.Le, 18.);
+        ];
+    }
+  in
+  let s = optimal (Lp.solve problem) in
+  check_float "objective" 36. s.Lp.value;
+  check_float "x" 2. s.Lp.x.(0);
+  check_float "y" 6. s.Lp.x.(1)
+
+let test_lp_equality () =
+  (* max x + y s.t. x + y = 5, x <= 3 -> 5 with x <= 3. *)
+  let problem =
+    {
+      Lp.objective = [| 1.; 1. |];
+      constraints = [ ([| 1.; 1. |], Lp.Eq, 5.); ([| 1.; 0. |], Lp.Le, 3.) ];
+    }
+  in
+  let s = optimal (Lp.solve problem) in
+  check_float "objective" 5. s.Lp.value
+
+let test_lp_ge_constraint () =
+  (* max -x s.t. x >= 2  ->  x = 2. *)
+  let problem =
+    { Lp.objective = [| -1. |]; constraints = [ ([| 1. |], Lp.Ge, 2.) ] }
+  in
+  let s = optimal (Lp.solve problem) in
+  check_float "x" 2. s.Lp.x.(0);
+  check_float "objective" (-2.) s.Lp.value
+
+let test_lp_negative_rhs_normalized () =
+  (* -x <= -2 is x >= 2. *)
+  let problem =
+    { Lp.objective = [| -1. |]; constraints = [ ([| -1. |], Lp.Le, -2.) ] }
+  in
+  let s = optimal (Lp.solve problem) in
+  check_float "x" 2. s.Lp.x.(0)
+
+let test_lp_infeasible () =
+  let problem =
+    {
+      Lp.objective = [| 1. |];
+      constraints = [ ([| 1. |], Lp.Le, 1.); ([| 1. |], Lp.Ge, 2.) ];
+    }
+  in
+  match Lp.solve problem with
+  | Lp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected Infeasible"
+
+let test_lp_unbounded () =
+  let problem = { Lp.objective = [| 1. |]; constraints = [] } in
+  match Lp.solve problem with
+  | Lp.Unbounded -> ()
+  | _ -> Alcotest.fail "expected Unbounded"
+
+let test_lp_degenerate () =
+  (* Redundant constraints force degenerate pivots; Bland must survive. *)
+  let problem =
+    {
+      Lp.objective = [| 1.; 1. |];
+      constraints =
+        [
+          ([| 1.; 1. |], Lp.Le, 2.);
+          ([| 1.; 1. |], Lp.Le, 2.);
+          ([| 2.; 2. |], Lp.Le, 4.);
+          ([| 1.; 0. |], Lp.Le, 2.);
+        ];
+    }
+  in
+  let s = optimal (Lp.solve problem) in
+  check_float "objective" 2. s.Lp.value
+
+let test_lp_redundant_equalities () =
+  (* Duplicate equalities leave a zero-level artificial; phase-2 must
+     drop the redundant row rather than corrupt the basis. *)
+  let problem =
+    {
+      Lp.objective = [| 1.; 2. |];
+      constraints =
+        [
+          ([| 1.; 1. |], Lp.Eq, 3.);
+          ([| 2.; 2. |], Lp.Eq, 6.);
+          ([| 1.; 0. |], Lp.Le, 2.);
+        ];
+    }
+  in
+  let s = optimal (Lp.solve problem) in
+  check_float "objective" 6. s.Lp.value
+
+let test_lp_arity_mismatch () =
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Lp.solve: constraint arity mismatch") (fun () ->
+      ignore
+        (Lp.solve
+           { Lp.objective = [| 1. |]; constraints = [ ([| 1.; 2. |], Lp.Le, 1.) ] }))
+
+let lp_solution_feasible =
+  QCheck.Test.make ~name:"lp solutions satisfy their constraints" ~count:100
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 3 in
+      let m = 1 + Rng.int rng 4 in
+      let objective = Array.init n (fun _ -> Rng.float rng 5.) in
+      let constraints =
+        List.init m (fun _ ->
+            ( Array.init n (fun _ -> Rng.float rng 3.),
+              Lp.Le,
+              1. +. Rng.float rng 5. ))
+      in
+      match Lp.solve { Lp.objective; constraints } with
+      | Lp.Optimal s ->
+          List.for_all
+            (fun (coefs, _, b) ->
+              let lhs = ref 0. in
+              Array.iteri (fun j c -> lhs := !lhs +. (c *. s.Lp.x.(j))) coefs;
+              !lhs <= b +. 1e-6)
+            constraints
+          && Array.for_all (fun v -> v >= -1e-9) s.Lp.x
+      | Lp.Infeasible | Lp.Unbounded -> false)
+
+(* {1 ILP} *)
+
+let exhaustive_knapsack values weights capacity =
+  let n = Array.length values in
+  let best = ref 0. in
+  for mask = 0 to (1 lsl n) - 1 do
+    let v = ref 0. and w = ref 0. in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        v := !v +. values.(i);
+        w := !w +. weights.(i)
+      end
+    done;
+    if !w <= capacity && !v > !best then best := !v
+  done;
+  !best
+
+let test_ilp_knapsack () =
+  let values = [| 10.; 13.; 7.; 8. |] and weights = [| 3.; 4.; 2.; 3. |] in
+  let program =
+    {
+      Ilp.lp =
+        { Lp.objective = values; constraints = [ (weights, Lp.Le, 6.) ] };
+      binary = [ 0; 1; 2; 3 ];
+    }
+  in
+  match Ilp.solve program with
+  | Ilp.Optimal s ->
+      check_float "knapsack optimum"
+        (exhaustive_knapsack values weights 6.)
+        s.Lp.value
+  | _ -> Alcotest.fail "expected Optimal"
+
+let test_ilp_forces_integrality () =
+  (* LP relaxation of max x+y, x+y <= 1.5 gives 1.5; ILP must give 1. *)
+  let program =
+    {
+      Ilp.lp =
+        {
+          Lp.objective = [| 1.; 1. |];
+          constraints = [ ([| 1.; 1. |], Lp.Le, 1.5) ];
+        };
+      binary = [ 0; 1 ];
+    }
+  in
+  match Ilp.solve program with
+  | Ilp.Optimal s ->
+      check_float "integral optimum" 1. s.Lp.value;
+      Array.iter
+        (fun v ->
+          Alcotest.(check bool) "binary" true
+            (Float.abs v < 1e-6 || Float.abs (v -. 1.) < 1e-6))
+        s.Lp.x
+  | _ -> Alcotest.fail "expected Optimal"
+
+let test_ilp_infeasible () =
+  let program =
+    {
+      Ilp.lp =
+        {
+          Lp.objective = [| 1. |];
+          constraints = [ ([| 1. |], Lp.Ge, 2.); ([| 1. |], Lp.Le, 3.) ];
+        };
+      binary = [ 0 ];
+    }
+  in
+  match Ilp.solve program with
+  | Ilp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected Infeasible (x binary cannot reach 2)"
+
+let test_ilp_deadline () =
+  (* An already-expired deadline must yield Timed_out immediately. *)
+  let d = Timer.deadline (-1.) in
+  let program =
+    {
+      Ilp.lp =
+        { Lp.objective = [| 1. |]; constraints = [ ([| 1. |], Lp.Le, 1.) ] };
+      binary = [ 0 ];
+    }
+  in
+  match Ilp.solve ~deadline:d program with
+  | Ilp.Timed_out _ -> ()
+  | _ -> Alcotest.fail "expected Timed_out"
+
+let ilp_matches_exhaustive =
+  QCheck.Test.make ~name:"ilp = exhaustive knapsack" ~count:60
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 4 in
+      let values = Array.init n (fun _ -> 1. +. Rng.float rng 9.) in
+      let weights = Array.init n (fun _ -> 1. +. Rng.float rng 4.) in
+      let capacity = 2. +. Rng.float rng 8. in
+      let program =
+        {
+          Ilp.lp =
+            {
+              Lp.objective = values;
+              constraints = [ (weights, Lp.Le, capacity) ];
+            };
+          binary = List.init n Fun.id;
+        }
+      in
+      match Ilp.solve program with
+      | Ilp.Optimal s ->
+          Float.abs (s.Lp.value -. exhaustive_knapsack values weights capacity)
+          < 1e-6
+      | _ -> false)
+
+let () =
+  Alcotest.run "milp"
+    [
+      ( "lp",
+        [
+          Alcotest.test_case "textbook" `Quick test_lp_textbook;
+          Alcotest.test_case "equality" `Quick test_lp_equality;
+          Alcotest.test_case "ge constraint" `Quick test_lp_ge_constraint;
+          Alcotest.test_case "negative rhs" `Quick test_lp_negative_rhs_normalized;
+          Alcotest.test_case "infeasible" `Quick test_lp_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_lp_unbounded;
+          Alcotest.test_case "degenerate" `Quick test_lp_degenerate;
+          Alcotest.test_case "redundant equalities" `Quick test_lp_redundant_equalities;
+          Alcotest.test_case "arity mismatch" `Quick test_lp_arity_mismatch;
+          QCheck_alcotest.to_alcotest lp_solution_feasible;
+        ] );
+      ( "ilp",
+        [
+          Alcotest.test_case "knapsack" `Quick test_ilp_knapsack;
+          Alcotest.test_case "forces integrality" `Quick test_ilp_forces_integrality;
+          Alcotest.test_case "infeasible" `Quick test_ilp_infeasible;
+          Alcotest.test_case "deadline" `Quick test_ilp_deadline;
+          QCheck_alcotest.to_alcotest ilp_matches_exhaustive;
+        ] );
+    ]

@@ -1,0 +1,315 @@
+module Rng = Wgrap_util.Rng
+module Heap = Wgrap_util.Heap
+module Stats = Wgrap_util.Stats
+module Report = Wgrap_util.Report
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* {1 Rng} *)
+
+let test_rng_reproducible () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "different seeds diverge" true (!same < 4)
+
+let test_rng_copy_replays () =
+  let a = Rng.create 7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  let xs = List.init 10 (fun _ -> Rng.bits64 a) in
+  let ys = List.init 10 (fun _ -> Rng.bits64 b) in
+  Alcotest.(check (list int64)) "copy replays" xs ys
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "split streams differ" true (!same < 4)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 7 in
+    Alcotest.(check bool) "in [0,7)" true (v >= 0 && v < 7)
+  done
+
+let test_rng_int_rejects_bad_bound () =
+  let rng = Rng.create 5 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_uniform_range () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let v = Rng.uniform rng in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0. && v < 1.)
+  done
+
+let test_rng_uniform_mean () =
+  let rng = Rng.create 13 in
+  let xs = Array.init 20_000 (fun _ -> Rng.uniform rng) in
+  let m = Stats.mean xs in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (m -. 0.5) < 0.02)
+
+let test_gaussian_moments () =
+  let rng = Rng.create 17 in
+  let xs = Array.init 20_000 (fun _ -> Rng.gaussian rng) in
+  Alcotest.(check bool) "mean near 0" true (Float.abs (Stats.mean xs) < 0.05);
+  Alcotest.(check bool) "stddev near 1" true (Float.abs (Stats.stddev xs -. 1.) < 0.05)
+
+let test_gamma_mean () =
+  let rng = Rng.create 19 in
+  List.iter
+    (fun shape ->
+      let xs = Array.init 20_000 (fun _ -> Rng.gamma rng ~shape) in
+      let m = Stats.mean xs in
+      Alcotest.(check bool)
+        (Printf.sprintf "gamma(%.2f) mean" shape)
+        true
+        (Float.abs (m -. shape) /. shape < 0.08))
+    [ 0.3; 1.0; 4.5 ]
+
+let test_dirichlet_normalized () =
+  let rng = Rng.create 23 in
+  for _ = 1 to 100 do
+    let v = Rng.dirichlet_sym rng ~alpha:0.2 ~dim:10 in
+    check_float "sums to 1" 1. (Stats.sum v);
+    Alcotest.(check bool) "non-negative" true (Array.for_all (fun x -> x >= 0.) v)
+  done
+
+let test_categorical_distribution () =
+  let rng = Rng.create 29 in
+  let w = [| 1.; 0.; 3. |] in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 40_000 do
+    let i = Rng.categorical rng w in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero weight never drawn" 0 counts.(1);
+  let ratio = float_of_int counts.(2) /. float_of_int counts.(0) in
+  Alcotest.(check bool) "3:1 ratio" true (Float.abs (ratio -. 3.) < 0.2)
+
+let test_categorical_prefix () =
+  let rng = Rng.create 31 in
+  let w = [| 1.; 1.; 100.; 100. |] in
+  for _ = 1 to 1000 do
+    let i = Rng.categorical_prefix rng w 2 in
+    Alcotest.(check bool) "prefix only" true (i < 2)
+  done
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create 37 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let rng = Rng.create 41 in
+  for _ = 1 to 200 do
+    let s = Rng.sample_without_replacement rng 5 12 in
+    Alcotest.(check int) "size" 5 (Array.length s);
+    let sorted = Array.copy s in
+    Array.sort compare sorted;
+    for i = 1 to 4 do
+      Alcotest.(check bool) "distinct" true (sorted.(i) <> sorted.(i - 1))
+    done;
+    Array.iter (fun x -> Alcotest.(check bool) "range" true (x >= 0 && x < 12)) s
+  done
+
+(* {1 Heap} *)
+
+let test_heap_sorted_drain () =
+  let h = Heap.create ~cmp:compare () in
+  List.iter (Heap.push h) [ 3; 1; 4; 1; 5; 9; 2; 6 ];
+  Alcotest.(check (list int)) "descending" [ 9; 6; 5; 4; 3; 2; 1; 1 ]
+    (Heap.to_sorted_list h);
+  Alcotest.(check bool) "empty after drain" true (Heap.is_empty h)
+
+let test_heap_of_array () =
+  let h = Heap.of_array ~cmp:compare [| 5; 2; 8; 1 |] in
+  Alcotest.(check (option int)) "peek max" (Some 8) (Heap.peek h);
+  Alcotest.(check int) "length" 4 (Heap.length h)
+
+let test_heap_pop_empty () =
+  let h = Heap.create ~cmp:compare () in
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h)
+
+let test_heap_min_heap_via_cmp () =
+  let h = Heap.create ~cmp:(fun a b -> compare b a) () in
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  Alcotest.(check (option int)) "min on top" (Some 1) (Heap.pop h)
+
+let test_heap_floats () =
+  (* Regression: unboxed float arrays must not break the backing store. *)
+  let h = Heap.create ~cmp:compare () in
+  List.iter (Heap.push h) [ 0.3; 0.1; 0.2 ];
+  Alcotest.(check (list (float 0.))) "floats" [ 0.3; 0.2; 0.1 ] (Heap.to_sorted_list h)
+
+let heap_property =
+  QCheck.Test.make ~name:"heap drains any int list sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare () in
+      List.iter (Heap.push h) xs;
+      Heap.to_sorted_list h = List.sort (fun a b -> compare b a) xs)
+
+(* {1 Stats} *)
+
+let test_stats_mean_variance () =
+  check_float "mean" 2. (Stats.mean [| 1.; 2.; 3. |]);
+  check_float "variance" (2. /. 3.) (Stats.variance [| 1.; 2.; 3. |]);
+  check_float "empty mean" 0. (Stats.mean [||])
+
+let test_stats_percentile () =
+  let xs = [| 4.; 1.; 3.; 2. |] in
+  check_float "median" 2.5 (Stats.median xs);
+  check_float "p0" 1. (Stats.percentile xs 0.);
+  check_float "p100" 4. (Stats.percentile xs 1.);
+  (* Input untouched. *)
+  Alcotest.(check (array (float 0.))) "not mutated" [| 4.; 1.; 3.; 2. |] xs
+
+let test_stats_normalize () =
+  let v = Stats.normalize [| 2.; 2.; 0. |] in
+  Alcotest.(check (array (float 1e-12))) "normalized" [| 0.5; 0.5; 0. |] v;
+  let z = Stats.normalize [| 0.; 0. |] in
+  Alcotest.(check (array (float 1e-12))) "zero vector uniform" [| 0.5; 0.5 |] z
+
+let test_stats_argmax () =
+  Alcotest.(check int) "argmax" 2 (Stats.argmax [| 1.; 0.; 5.; 5. |])
+
+let kahan_property =
+  QCheck.Test.make ~name:"kahan sum close to sorted-order sum" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.))
+    (fun xs ->
+      let a = Stats.sum (Array.of_list xs) in
+      let b = List.fold_left ( +. ) 0. (List.sort compare xs) in
+      Float.abs (a -. b) <= 1e-6 *. (1. +. Float.abs b))
+
+(* {1 Report} *)
+
+let test_report_table () =
+  let buf = Buffer.create 64 in
+  let fmt = Format.formatter_of_buffer buf in
+  Report.table ~header:[ "a"; "bb" ] ~rows:[ [ "1"; "2" ]; [ "33"; "4" ] ] fmt;
+  Format.pp_print_flush fmt ();
+  let out = Buffer.contents buf in
+  Alcotest.(check bool) "contains rows" true
+    (String.length out > 0
+    && String.index_opt out '3' <> None
+    && String.index_opt out '-' <> None)
+
+let test_report_ragged_rejected () =
+  let fmt = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+  Alcotest.check_raises "ragged" (Invalid_argument "Report.table: ragged row")
+    (fun () -> Report.table ~header:[ "a"; "b" ] ~rows:[ [ "1" ] ] fmt)
+
+let test_report_bar_chart () =
+  let buf = Buffer.create 128 in
+  let fmt = Format.formatter_of_buffer buf in
+  Report.bar_chart ~labels:[ "t1"; "t2" ]
+    ~series:[ ("paper", [| 0.4; 0.2 |]); ("group", [| 0.1; 0.4 |]) ]
+    ~max_width:10 fmt;
+  Format.pp_print_flush fmt ();
+  let out = Buffer.contents buf in
+  Alcotest.(check bool) "labels present" true
+    (String.length out > 0
+    && String.index_opt out '#' <> None
+    && String.length (String.concat "" (String.split_on_char 't' out))
+       < String.length out)
+
+let test_report_bar_chart_zero () =
+  (* All-zero series must not divide by zero. *)
+  let buf = Buffer.create 16 in
+  let fmt = Format.formatter_of_buffer buf in
+  Report.bar_chart ~labels:[ "x" ] ~series:[ ("s", [| 0. |]) ] fmt;
+  Format.pp_print_flush fmt ();
+  Alcotest.(check bool) "renders" true (String.length (Buffer.contents buf) > 0)
+
+let test_timer_budget () =
+  (match Wgrap_util.Timer.time_with_budget ~budget:10. (fun () -> 42) with
+  | Some (42, dt) -> Alcotest.(check bool) "fast path" true (dt < 10.)
+  | _ -> Alcotest.fail "expected Some");
+  match
+    Wgrap_util.Timer.time_with_budget ~budget:0. (fun () ->
+        ignore (Sys.opaque_identity (Array.init 100_000 Fun.id)))
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected None past a zero budget"
+
+let test_timer_deadline () =
+  let d = Wgrap_util.Timer.deadline 100. in
+  Alcotest.(check bool) "not yet expired" false (Wgrap_util.Timer.expired d);
+  let d0 = Wgrap_util.Timer.deadline (-1.) in
+  Alcotest.(check bool) "already expired" true (Wgrap_util.Timer.expired d0);
+  Alcotest.(check bool) "elapsed non-negative" true (Wgrap_util.Timer.elapsed d >= 0.)
+
+let test_report_cells () =
+  Alcotest.(check string) "float" "0.1235" (Report.float_cell 0.12345);
+  Alcotest.(check string) "percent" "12.30%" (Report.percent_cell 0.123);
+  Alcotest.(check string) "us" "5.0us" (Report.seconds_cell 5e-6);
+  Alcotest.(check string) "ms" "5.00ms" (Report.seconds_cell 5e-3);
+  Alcotest.(check string) "s" "5.000s" (Report.seconds_cell 5.)
+
+let () =
+  Alcotest.run "wgrap_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "reproducible" `Quick test_rng_reproducible;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy replays" `Quick test_rng_copy_replays;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int rejects bad bound" `Quick test_rng_int_rejects_bad_bound;
+          Alcotest.test_case "uniform range" `Quick test_rng_uniform_range;
+          Alcotest.test_case "uniform mean" `Quick test_rng_uniform_mean;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          Alcotest.test_case "gamma mean" `Quick test_gamma_mean;
+          Alcotest.test_case "dirichlet normalized" `Quick test_dirichlet_normalized;
+          Alcotest.test_case "categorical distribution" `Quick test_categorical_distribution;
+          Alcotest.test_case "categorical prefix" `Quick test_categorical_prefix;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "sorted drain" `Quick test_heap_sorted_drain;
+          Alcotest.test_case "of_array" `Quick test_heap_of_array;
+          Alcotest.test_case "pop empty" `Quick test_heap_pop_empty;
+          Alcotest.test_case "min-heap via cmp" `Quick test_heap_min_heap_via_cmp;
+          Alcotest.test_case "float elements" `Quick test_heap_floats;
+          QCheck_alcotest.to_alcotest heap_property;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/variance" `Quick test_stats_mean_variance;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "normalize" `Quick test_stats_normalize;
+          Alcotest.test_case "argmax" `Quick test_stats_argmax;
+          QCheck_alcotest.to_alcotest kahan_property;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "table renders" `Quick test_report_table;
+          Alcotest.test_case "ragged rejected" `Quick test_report_ragged_rejected;
+          Alcotest.test_case "cells" `Quick test_report_cells;
+          Alcotest.test_case "bar chart" `Quick test_report_bar_chart;
+          Alcotest.test_case "bar chart zero" `Quick test_report_bar_chart_zero;
+          Alcotest.test_case "timer budget" `Quick test_timer_budget;
+          Alcotest.test_case "timer deadline" `Quick test_timer_deadline;
+        ] );
+    ]
