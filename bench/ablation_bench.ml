@@ -208,8 +208,8 @@ let ablation_lap_solvers ctx =
         let (_, v_a), t_a = Timer.time (fun () -> Lap.Auction.maximize score) in
         let flows, t_f =
           Timer.time (fun () ->
-              Lap.Mcmf.transportation ~score ~row_supply:(Array.make n 1)
-                ~col_capacity:(Array.make n 1))
+              Lap.Mcmf.transportation ~row_supply:(Array.make n 1)
+                ~col_capacity:(Array.make n 1) score)
         in
         let v_f = ref 0. in
         Array.iteri

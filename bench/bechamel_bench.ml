@@ -69,8 +69,8 @@ let tests () =
       (Staged.stage (fun () -> Lap.Hungarian.maximize matrix));
     Test.make ~name:"substrate/mcmf_40x40"
       (Staged.stage (fun () ->
-           Lap.Mcmf.transportation ~score:matrix ~row_supply:(Array.make 40 1)
-             ~col_capacity:(Array.make 40 1)));
+           Lap.Mcmf.transportation ~row_supply:(Array.make 40 1)
+             ~col_capacity:(Array.make 40 1) matrix));
     (* Tables 8-9 / Section 2.4 family: inference kernels. *)
     Test.make ~name:"pipeline/em_infer"
       (Staged.stage

@@ -2,15 +2,52 @@
 
    Subcommands:
      generate  - write a synthetic DBLP-like corpus as TSV
-     assign    - conference assignment over a TSV corpus (SDGA + SRA)
-     jra       - exact reviewer search for a single paper (BBA)
+     assign    - conference assignment over a TSV corpus (anytime harness)
+     jra       - reviewer search for a single paper
 
-   The TSV formats are documented in Dataset.Loader. *)
+   The TSV formats are documented in Dataset.Loader.
+
+   Exit codes: 0 success, 1 usage error, 2 data error (unreadable or
+   malformed corpus), 3 solver degraded past tolerance (--strict) or
+   infeasible instance. *)
 
 module Rng = Wgrap_util.Rng
+module Timer = Wgrap_util.Timer
 module Report = Wgrap_util.Report
 open Wgrap
 open Cmdliner
+
+let exit_usage = 1
+let exit_data = 2
+let exit_degraded = 3
+
+(* All fatal paths funnel through here: one format, one stream, one
+   meaningful exit code. *)
+let die code fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "wgrap: %s\n" msg;
+      exit code)
+    fmt
+
+let warn fmt = Printf.ksprintf (fun msg -> Printf.eprintf "wgrap: %s\n" msg) fmt
+
+let report_degradation outcome =
+  match Solver.reasons outcome with
+  | [] -> ()
+  | rs ->
+      warn "result is degraded:";
+      List.iter (fun r -> Printf.eprintf "  - %s\n" (Format.asprintf "%a" Solver.pp_reason r)) rs
+
+(* Degraded results are accepted by default (that is the point of an
+   anytime harness); --strict turns them into exit code 3. *)
+let enforce_tolerance ~strict outcome =
+  match outcome with
+  | Solver.Infeasible msg -> die exit_degraded "infeasible: %s" msg
+  | Solver.Degraded _ when strict ->
+      report_degradation outcome;
+      die exit_degraded "degraded result rejected (--strict)"
+  | _ -> report_degradation outcome
 
 (* {1 generate} *)
 
@@ -27,32 +64,42 @@ let generate ~seed ~scale ~authors_path ~papers_path =
 
 (* {1 shared corpus loading} *)
 
-let load_corpus authors_path papers_path =
-  match Dataset.Loader.load ~authors_path ~papers_path with
-  | Ok c -> c
-  | Error e ->
-      Printf.eprintf "error loading corpus: %s\n" e;
-      exit 1
+let load_corpus ~lenient authors_path papers_path =
+  if lenient then begin
+    match Dataset.Loader.load_lenient ~authors_path ~papers_path with
+    | Ok (c, []) -> c
+    | Ok (c, issues) ->
+        warn "corpus loaded with %d repaired row(s):" (List.length issues);
+        List.iter
+          (fun i ->
+            Printf.eprintf "  - %s\n" (Format.asprintf "%a" Dataset.Loader.pp_issue i))
+          issues;
+        c
+    | Error e -> die exit_data "error loading corpus: %s" e
+  end
+  else
+    match Dataset.Loader.load ~authors_path ~papers_path with
+    | Ok c -> c
+    | Error e ->
+        die exit_data "error loading corpus: %s (try --lenient to salvage)" e
 
 (* {1 assign} *)
 
-let assign ~seed ~authors_path ~papers_path ~dataset ~delta_p ~refine ~out =
-  let corpus = load_corpus authors_path papers_path in
+let assign ~seed ~authors_path ~papers_path ~dataset ~delta_p ~refine ~budget
+    ~lenient ~strict ~out =
+  let corpus = load_corpus ~lenient authors_path papers_path in
   let spec =
     match Dataset.Datasets.find dataset with
     | Some s -> s
     | None ->
-        Printf.eprintf "unknown dataset %S (one of %s)\n" dataset
+        die exit_usage "unknown dataset %S (one of %s)" dataset
           (String.concat ", "
-             (List.map (fun s -> s.Dataset.Datasets.name) Dataset.Datasets.all));
-        exit 1
+             (List.map (fun s -> s.Dataset.Datasets.name) Dataset.Datasets.all))
   in
   let submissions = Dataset.Datasets.submissions corpus spec in
   let committee = Dataset.Datasets.committee corpus spec in
-  if submissions = [] || committee = [] then begin
-    Printf.eprintf "dataset %s is empty in this corpus\n" dataset;
-    exit 1
-  end;
+  if submissions = [] || committee = [] then
+    die exit_data "dataset %s is empty in this corpus" dataset;
   Printf.printf "%s: %d submissions, %d committee members\n" dataset
     (List.length submissions) (List.length committee);
   let rng = Rng.create seed in
@@ -63,14 +110,31 @@ let assign ~seed ~authors_path ~papers_path ~dataset ~delta_p ~refine ~out =
   let n_r = Array.length extracted.Dataset.Pipeline.reviewer_vectors in
   let delta_r = Instance.min_workload ~papers:n_p ~reviewers:n_r ~delta_p in
   let coi = Dataset.Pipeline.coi_pairs corpus extracted in
-  let inst = Dataset.Pipeline.instance ~coi extracted ~delta_p ~delta_r in
-  let a = Sdga.solve inst in
-  let a = if refine then Sra.refine ~rng inst a else a in
+  let inst =
+    match Dataset.Pipeline.instance_checked ~coi extracted ~delta_p ~delta_r with
+    | Error e -> die exit_data "cannot build instance: %s" e
+    | Ok (inst, []) -> inst
+    | Ok (inst, quarantined) ->
+        warn "%d degenerate topic vector(s) replaced:" (List.length quarantined);
+        List.iter
+          (fun q ->
+            Printf.eprintf "  - %s\n"
+              (Format.asprintf "%a" Dataset.Pipeline.pp_quarantined q))
+          quarantined;
+        inst
+  in
+  let outcome, dt =
+    Timer.time (fun () -> Solver.cra ?budget ~seed ~refine inst)
+  in
+  enforce_tolerance ~strict outcome;
+  let a =
+    match Solver.value outcome with Some a -> a | None -> assert false
+  in
+  Printf.printf "solved in %s (%s)\n" (Report.seconds_cell dt)
+    (Solver.status outcome);
   (match Assignment.validate inst a with
   | Ok () -> ()
-  | Error e ->
-      Printf.eprintf "internal error: infeasible assignment (%s)\n" e;
-      exit 1);
+  | Error e -> die exit_degraded "internal error: infeasible assignment (%s)" e);
   Format.printf "%a@." Summary.pp (Summary.compute inst a);
   (match Summary.worst_papers inst a ~k:3 with
   | [] -> ()
@@ -105,13 +169,11 @@ let assign ~seed ~authors_path ~papers_path ~dataset ~delta_p ~refine ~out =
 
 (* {1 jra} *)
 
-let jra ~seed ~authors_path ~papers_path ~paper_id ~delta_p ~top_k =
-  let corpus = load_corpus authors_path papers_path in
-  if paper_id < 0 || paper_id >= Array.length corpus.Dataset.Corpus.papers
-  then begin
-    Printf.eprintf "paper id %d out of range\n" paper_id;
-    exit 1
-  end;
+let jra ~seed ~authors_path ~papers_path ~paper_id ~delta_p ~top_k ~budget
+    ~lenient ~strict =
+  let corpus = load_corpus ~lenient authors_path papers_path in
+  if paper_id < 0 || paper_id >= Array.length corpus.Dataset.Corpus.papers then
+    die exit_usage "paper id %d out of range" paper_id;
   let submission = corpus.Dataset.Corpus.papers.(paper_id) in
   let committee = Dataset.Datasets.default_reviewer_pool corpus in
   let committee =
@@ -119,11 +181,8 @@ let jra ~seed ~authors_path ~papers_path ~paper_id ~delta_p ~top_k =
       (fun a -> not (List.mem a submission.Dataset.Corpus.author_ids))
       committee
   in
-  if List.length committee < delta_p then begin
-    Printf.eprintf "not enough candidate reviewers (%d)\n"
-      (List.length committee);
-    exit 1
-  end;
+  if List.length committee < delta_p then
+    die exit_data "not enough candidate reviewers (%d)" (List.length committee);
   Printf.printf "searching %d candidates for %d reviewers of %S\n"
     (List.length committee) delta_p submission.Dataset.Corpus.title;
   let rng = Rng.create seed in
@@ -135,23 +194,44 @@ let jra ~seed ~authors_path ~papers_path ~paper_id ~delta_p ~top_k =
       ~paper:extracted.Dataset.Pipeline.paper_vectors.(0)
       ~pool:extracted.Dataset.Pipeline.reviewer_vectors ~group_size:delta_p ()
   in
-  let results, dt =
-    Wgrap_util.Timer.time (fun () -> Jra_bba.top_k problem ~k:top_k)
+  let names_of sol =
+    List.map
+      (fun r ->
+        corpus.Dataset.Corpus.authors.(extracted
+                                         .Dataset.Pipeline.reviewer_ids.(r))
+          .Dataset.Corpus.name)
+      sol.Jra.group
   in
-  Printf.printf "BBA finished in %s\n" (Report.seconds_cell dt);
-  List.iteri
-    (fun i sol ->
-      let names =
-        List.map
-          (fun r ->
-            corpus.Dataset.Corpus.authors.(extracted
-                                             .Dataset.Pipeline.reviewer_ids.(r))
-              .Dataset.Corpus.name)
-          sol.Jra.group
-      in
-      Printf.printf "#%d (%.4f): %s\n" (i + 1) sol.Jra.score
-        (String.concat "; " names))
-    results
+  if top_k <= 1 then begin
+    (* Single group: the anytime harness (ILP -> BBA -> greedy). *)
+    let outcome, dt = Timer.time (fun () -> Solver.jra ?budget problem) in
+    enforce_tolerance ~strict outcome;
+    let sol =
+      match Solver.value outcome with Some s -> s | None -> assert false
+    in
+    Printf.printf "solved in %s (%s)\n" (Report.seconds_cell dt)
+      (Solver.status outcome);
+    Printf.printf "#1 (%.4f): %s\n" sol.Jra.score
+      (String.concat "; " (names_of sol))
+  end
+  else begin
+    let deadline = Option.map Timer.deadline budget in
+    let results, dt =
+      Timer.time (fun () -> Jra_bba.top_k ?deadline problem ~k:top_k)
+    in
+    let truncated = Timer.expired_opt deadline in
+    if truncated then begin
+      warn "budget expired: ranking may be incomplete";
+      if strict then die exit_degraded "degraded result rejected (--strict)"
+    end;
+    Printf.printf "BBA finished in %s%s\n" (Report.seconds_cell dt)
+      (if truncated then " (degraded)" else "");
+    List.iteri
+      (fun i sol ->
+        Printf.printf "#%d (%.4f): %s\n" (i + 1) sol.Jra.score
+          (String.concat "; " (names_of sol)))
+      results
+  end
 
 (* {1 cmdliner wiring} *)
 
@@ -169,6 +249,27 @@ let papers_arg =
     value
     & opt string "papers.tsv"
     & info [ "papers" ] ~docv:"FILE" ~doc:"Papers TSV path.")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "time-budget" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget for the solver chain; degraded results are \
+           reported on stderr.")
+
+let lenient_arg =
+  Arg.(
+    value & flag
+    & info [ "lenient" ]
+        ~doc:"Salvage malformed corpus rows instead of aborting on them.")
+
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:"Exit with code 3 instead of accepting a degraded result.")
 
 let generate_cmd =
   let scale =
@@ -201,13 +302,15 @@ let assign_cmd =
       & info [ "out" ] ~docv:"FILE" ~doc:"Assignment TSV output ('-' = stdout).")
   in
   Cmd.v
-    (Cmd.info "assign" ~doc:"Conference assignment with SDGA + SRA")
+    (Cmd.info "assign" ~doc:"Conference assignment (SDGA + SRA anytime harness)")
     Term.(
-      const (fun seed authors_path papers_path dataset delta_p no_refine out ->
+      const
+        (fun seed authors_path papers_path dataset delta_p no_refine budget
+             lenient strict out ->
           assign ~seed ~authors_path ~papers_path ~dataset ~delta_p
-            ~refine:(not no_refine) ~out)
+            ~refine:(not no_refine) ~budget ~lenient ~strict ~out)
       $ seed_arg $ authors_arg $ papers_arg $ dataset $ delta_p $ no_refine
-      $ out)
+      $ budget_arg $ lenient_arg $ strict_arg $ out)
 
 let jra_cmd =
   let paper_id =
@@ -223,11 +326,15 @@ let jra_cmd =
     Arg.(value & opt int 5 & info [ "top-k" ] ~docv:"K" ~doc:"Number of groups.")
   in
   Cmd.v
-    (Cmd.info "jra" ~doc:"Exact reviewer search for one paper (BBA)")
+    (Cmd.info "jra" ~doc:"Reviewer search for one paper (anytime harness)")
     Term.(
-      const (fun seed authors_path papers_path paper_id delta_p top_k ->
-          jra ~seed ~authors_path ~papers_path ~paper_id ~delta_p ~top_k)
-      $ seed_arg $ authors_arg $ papers_arg $ paper_id $ delta_p $ top_k)
+      const
+        (fun seed authors_path papers_path paper_id delta_p top_k budget lenient
+             strict ->
+          jra ~seed ~authors_path ~papers_path ~paper_id ~delta_p ~top_k ~budget
+            ~lenient ~strict)
+      $ seed_arg $ authors_arg $ papers_arg $ paper_id $ delta_p $ top_k
+      $ budget_arg $ lenient_arg $ strict_arg)
 
 let () =
   let doc = "weighted-coverage reviewer assignment (SIGMOD 2015)" in

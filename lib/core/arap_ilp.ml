@@ -2,9 +2,10 @@ let solve inst =
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
   let score = Instance.score_matrix inst in
   let groups =
-    Lap.Mcmf.transportation ~score
+    Lap.Mcmf.transportation
       ~row_supply:(Array.make n_p inst.Instance.delta_p)
       ~col_capacity:(Array.make n_r inst.Instance.delta_r)
+      score
   in
   let assignment = Assignment.empty ~n_papers:n_p in
   Array.iteri

@@ -1,4 +1,4 @@
-let solve inst =
+let solve ?deadline inst =
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
   let dp = inst.Instance.delta_p and dr = inst.Instance.delta_r in
   let assignment = Assignment.empty ~n_papers:n_p in
@@ -13,7 +13,7 @@ let solve inst =
         ~paper:inst.Instance.papers.(p) ~pool:inst.Instance.reviewers
         ~group_size:dp ()
     in
-    Jra_bba.solve problem
+    Jra_bba.solve ?deadline problem
   in
   let available_for p =
     let count = ref 0 in
@@ -46,7 +46,9 @@ let solve inst =
   in
   let cache = Array.make n_p None in
   let unassigned = ref (List.init n_p Fun.id) in
-  while !unassigned <> [] do
+  (* On deadline expiry the remaining papers are left to the repair
+     pass below: they get plain best-pair fills instead of BBA groups. *)
+  while !unassigned <> [] && not (Wgrap_util.Timer.expired_opt deadline) do
     (* A paper whose remaining pool has shrunk to delta_p (or below) must
        be served immediately or it becomes unservable. *)
     match List.find_opt (fun p -> available_for p <= dp) !unassigned with

@@ -10,4 +10,8 @@
     because availability only shrinks, so an intact cached group stays
     optimal). *)
 
-val solve : Instance.t -> Assignment.t
+val solve : ?deadline:Wgrap_util.Timer.deadline -> Instance.t -> Assignment.t
+(** When [deadline] expires, papers not yet served keep empty groups and
+    the closing {!Repair} pass completes them with best-pair fills; the
+    per-paper BBA searches also honour the deadline, so a fired deadline
+    degrades their groups to greedy picks rather than blocking. *)

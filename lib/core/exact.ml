@@ -37,46 +37,62 @@ let groups_for inst p =
   extend 0 0;
   List.sort (fun (a, _) (b, _) -> compare b a) !acc |> Array.of_list
 
-let solve ?(max_space = 1e8) inst =
+let solve ?(max_space = 1e8) ?deadline inst =
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
   let dp = inst.Instance.delta_p and dr = inst.Instance.delta_r in
   let per_paper = combinations n_r dp in
   if per_paper ** float_of_int n_p > max_space then
     invalid_arg "Exact.solve: instance too large for exhaustive search";
-  let groups = Array.init n_p (fun p -> groups_for inst p) in
-  (* best_tail.(p) = sum over papers >= p of their best unconstrained
-     group score: an admissible bound on any completion. *)
-  let best_tail = Array.make (n_p + 1) 0. in
-  for p = n_p - 1 downto 0 do
-    let best = if Array.length groups.(p) = 0 then 0. else fst groups.(p).(0) in
-    best_tail.(p) <- best_tail.(p + 1) +. best
-  done;
-  let workload = Array.make n_r 0 in
-  let chosen = Array.make n_p [] in
   let best_value = ref neg_infinity in
   let best_choice = ref None in
-  let rec assign p value =
-    if p = n_p then begin
-      if value > !best_value then begin
-        best_value := value;
-        best_choice := Some (Array.copy chosen)
-      end
-    end
-    else if value +. best_tail.(p) > !best_value then
-      Array.iter
-        (fun (score, group) ->
-          (* Groups are sorted, so once even this group cannot beat the
-             incumbent no later group can either — but the workload
-             constraint is group-dependent, so we only skip, not cut. *)
-          if List.for_all (fun r -> workload.(r) < dr) group then begin
-            List.iter (fun r -> workload.(r) <- workload.(r) + 1) group;
-            chosen.(p) <- group;
-            assign (p + 1) (value +. score);
-            List.iter (fun r -> workload.(r) <- workload.(r) - 1) group
-          end)
-        groups.(p)
-  in
-  assign 0 0.;
+  let timed_out = ref false in
+  (try
+     (* Enumeration itself can dominate on wide instances, so it polls
+        the deadline too. *)
+     let groups =
+       Array.init n_p (fun p ->
+           Wgrap_util.Timer.check_opt deadline;
+           groups_for inst p)
+     in
+     (* best_tail.(p) = sum over papers >= p of their best unconstrained
+        group score: an admissible bound on any completion. *)
+     let best_tail = Array.make (n_p + 1) 0. in
+     for p = n_p - 1 downto 0 do
+       let best = if Array.length groups.(p) = 0 then 0. else fst groups.(p).(0) in
+       best_tail.(p) <- best_tail.(p + 1) +. best
+     done;
+     let workload = Array.make n_r 0 in
+     let chosen = Array.make n_p [] in
+     let rec assign p value =
+       Wgrap_util.Timer.check_opt deadline;
+       if p = n_p then begin
+         if value > !best_value then begin
+           best_value := value;
+           best_choice := Some (Array.copy chosen)
+         end
+       end
+       else if value +. best_tail.(p) > !best_value then
+         Array.iter
+           (fun (score, group) ->
+             (* Groups are sorted, so once even this group cannot beat the
+                incumbent no later group can either — but the workload
+                constraint is group-dependent, so we only skip, not cut. *)
+             if List.for_all (fun r -> workload.(r) < dr) group then begin
+               List.iter (fun r -> workload.(r) <- workload.(r) + 1) group;
+               chosen.(p) <- group;
+               assign (p + 1) (value +. score);
+               List.iter (fun r -> workload.(r) <- workload.(r) - 1) group
+             end)
+           groups.(p)
+     in
+     (* The first leaf is a plain greedy dive, reached almost immediately
+        after enumeration; on expiry the best complete assignment stands. *)
+     assign 0 0.
+   with Wgrap_util.Timer.Expired -> timed_out := true);
   match !best_choice with
-  | None -> failwith "Exact.solve: no feasible assignment"
   | Some choice -> { Assignment.groups = choice }
+  | None when !timed_out ->
+      (* Deadline fired before the first leaf: degrade to the greedy
+         heuristic rather than raise — the anytime contract. *)
+      Greedy.solve inst
+  | None -> failwith "Exact.solve: no feasible assignment"

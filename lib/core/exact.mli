@@ -11,7 +11,13 @@
     score, and a prefix-sum bound (remaining papers at their best
     unconstrained group scores) prunes the search. *)
 
-val solve : ?max_space:float -> Instance.t -> Assignment.t
+val solve :
+  ?max_space:float -> ?deadline:Wgrap_util.Timer.deadline -> Instance.t ->
+  Assignment.t
 (** Optimal assignment. Raises [Invalid_argument] when
     [C(R, delta_p)^P] exceeds [max_space] (default 1e8) — this solver
-    is for test-sized instances only. *)
+    is for test-sized instances only. When [deadline] expires the best
+    complete assignment found so far is returned (the result is then an
+    incumbent, not a certified optimum); if it fires before even one
+    leaf was reached, the result degrades to {!Greedy.solve}. Raises
+    [Failure] only on a genuinely infeasible COI structure. *)

@@ -2,7 +2,7 @@ module Heap = Wgrap_util.Heap
 
 type entry = { gain : float; reviewer : int; paper : int; version : int }
 
-let solve inst =
+let solve ?deadline inst =
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
   let dp = inst.Instance.delta_p and dr = inst.Instance.delta_r in
   let assignment = Assignment.empty ~n_papers:n_p in
@@ -29,7 +29,10 @@ let solve inst =
   let remaining = ref (n_p * dp) in
   let in_group r p = List.mem r (Assignment.group assignment p) in
   let stuck = ref false in
-  while !remaining > 0 && not !stuck do
+  while
+    !remaining > 0 && (not !stuck)
+    && not (Wgrap_util.Timer.expired_opt deadline)
+  do
     match Heap.pop heap with
     | None ->
         (* Tight workloads can strand tail papers (their remaining pool
@@ -61,10 +64,12 @@ let solve inst =
               }
         end
   done;
-  if !stuck then Repair.complete inst assignment;
+  (* Tail papers stranded by tight workloads, or left short by an
+     expired deadline, are completed by the repair pass. *)
+  if !remaining > 0 then Repair.complete inst assignment;
   assignment
 
-let solve_rescan inst =
+let solve_rescan ?deadline inst =
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
   let dp = inst.Instance.delta_p and dr = inst.Instance.delta_r in
   let assignment = Assignment.empty ~n_papers:n_p in
@@ -73,8 +78,9 @@ let solve_rescan inst =
   let dim = Instance.n_topics inst in
   let gvec = Array.init n_p (fun _ -> Scoring.empty_group ~dim) in
   let stuck = ref false in
+  let done_ = ref 0 in
   for _ = 1 to n_p * dp do
-    if not !stuck then begin
+    if (not !stuck) && not (Wgrap_util.Timer.expired_opt deadline) then begin
     let best_gain = ref neg_infinity and best = ref None in
     for p = 0 to n_p - 1 do
       if group_size.(p) < dp then
@@ -101,8 +107,9 @@ let solve_rescan inst =
         Assignment.add assignment ~paper:p ~reviewer:r;
         Topic_vector.extend_max_into ~dst:gvec.(p) inst.Instance.reviewers.(r);
         workload.(r) <- workload.(r) + 1;
-        group_size.(p) <- group_size.(p) + 1)
+        group_size.(p) <- group_size.(p) + 1;
+        incr done_)
     end
   done;
-  if !stuck then Repair.complete inst assignment;
+  if !done_ < n_p * dp then Repair.complete inst assignment;
   assignment

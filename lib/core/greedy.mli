@@ -9,9 +9,14 @@
     over-estimates, so the first entry whose refreshed gain still tops
     the heap is globally maximal. *)
 
-val solve : Instance.t -> Assignment.t
+val solve : ?deadline:Wgrap_util.Timer.deadline -> Instance.t -> Assignment.t
+(** When [deadline] expires mid-solve, the pairs committed so far are
+    kept and every short paper is completed by {!Repair} (plain
+    best-pair fills), so the result stays feasible on any instance where
+    repair chains exist. *)
 
-val solve_rescan : Instance.t -> Assignment.t
+val solve_rescan :
+  ?deadline:Wgrap_util.Timer.deadline -> Instance.t -> Assignment.t
 (** Ablation variant: full O(P*R) rescan per iteration instead of the
     lazy heap. Every step picks a maximal-gain pair in both variants,
     but gain ties may break differently and cascade, so totals agree

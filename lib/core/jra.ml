@@ -50,3 +50,31 @@ let available t = available_of ~pool:t.pool ~excluded:t.excluded
 let score_group t group =
   let vectors = List.map (fun r -> t.pool.(r)) group in
   Scoring.group_score t.scoring vectors t.paper
+
+let greedy t =
+  let n = Array.length t.pool in
+  let dim = Array.length t.paper in
+  let blocked = Array.make n false in
+  (match t.excluded with
+  | Some mask -> Array.iteri (fun r b -> if b then blocked.(r) <- true) mask
+  | None -> ());
+  let gvec = Scoring.empty_group ~dim in
+  let members = ref [] in
+  for _ = 1 to t.group_size do
+    let best = ref (-1) and best_gain = ref neg_infinity in
+    for r = 0 to n - 1 do
+      if not blocked.(r) then begin
+        let g = Scoring.gain t.scoring ~group:gvec t.pool.(r) t.paper in
+        if g > !best_gain then begin
+          best_gain := g;
+          best := r
+        end
+      end
+    done;
+    (* [make] guarantees at least [group_size] selectable reviewers. *)
+    blocked.(!best) <- true;
+    Topic_vector.extend_max_into ~dst:gvec t.pool.(!best);
+    members := !best :: !members
+  done;
+  let group = List.sort compare !members in
+  { group; score = score_group t group }

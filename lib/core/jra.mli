@@ -38,3 +38,9 @@ val available : problem -> int
 
 val score_group : problem -> int list -> float
 (** Coverage of an explicit group (no feasibility checks). *)
+
+val greedy : problem -> solution
+(** Single greedy pass: [group_size] picks by descending marginal gain,
+    O(group_size * R * T). Not exact — this is the last link of the
+    anytime fallback chain ({!Solver}) and the incumbent of last resort
+    when an exact solver's deadline fires before its first leaf. *)

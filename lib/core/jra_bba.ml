@@ -10,7 +10,7 @@ let last_stats () = !last
 
 type candidate = { members : int array; cscore : float }
 
-let top_k ?(use_bound = true) (t : Jra.problem) ~k =
+let top_k ?(use_bound = true) ?deadline (t : Jra.problem) ~k =
   if k < 1 then invalid_arg "Jra_bba.top_k: k must be >= 1";
   let n = Array.length t.pool in
   let dim = Array.length t.paper in
@@ -64,12 +64,19 @@ let top_k ?(use_bound = true) (t : Jra.problem) ~k =
       cur.(topic) <- !pos
     done
   in
+  let timed_out = ref false in
   let rec stage s gvec =
     (* Invariant: [gvec] is the group vector of chosen.(0 .. s-2); the
        stage picks member number s. *)
     let cur = cursors.(s) in
     let continue = ref true in
     while !continue do
+      if !timed_out || Wgrap_util.Timer.expired_opt deadline then begin
+        (* Deadline fired: unwind every stage, keeping the incumbents. *)
+        timed_out := true;
+        continue := false
+      end
+      else begin
       advance cur;
       (* Bound (Eq. 3): cursor heads are per-topic maxima over all still
          feasible reviewers, so no extension can exceed ub_vec. *)
@@ -118,6 +125,7 @@ let top_k ?(use_bound = true) (t : Jra.problem) ~k =
           stage (s + 1) (Topic_vector.extend_max gvec t.pool.(r))
         end
       end
+      end
     done;
     (* Reset the visited information of this stage (backtracking). *)
     List.iter (fun r -> blocked.(r) <- blocked.(r) - 1) visited.(s);
@@ -125,12 +133,21 @@ let top_k ?(use_bound = true) (t : Jra.problem) ~k =
   in
   stage 1 (Scoring.empty_group ~dim);
   last := { nodes = !nodes; pruned = !pruned };
-  Heap.to_sorted_list best
-  |> List.rev
-  |> List.map (fun c ->
-         { Jra.group = Array.to_list c.members; score = c.cscore })
+  match
+    Heap.to_sorted_list best
+    |> List.rev
+    |> List.map (fun c ->
+           { Jra.group = Array.to_list c.members; score = c.cscore })
+  with
+  | [] ->
+      (* Deadline fired before the first leaf (the DFS reaches one after
+         only delta_p expansions, so this needs an already-expired
+         deadline): fall back to a greedy pick so callers always get an
+         incumbent. *)
+      [ Jra.greedy t ]
+  | sols -> sols
 
-let solve ?use_bound t =
-  match top_k ?use_bound t ~k:1 with
-  | [ s ] -> s
-  | _ -> assert false
+let solve ?use_bound ?deadline t =
+  match top_k ?use_bound ?deadline t ~k:1 with
+  | s :: _ -> s
+  | [] -> assert false

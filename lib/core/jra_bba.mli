@@ -23,14 +23,22 @@ type stats = {
   pruned : int;  (** stages abandoned by the bound *)
 }
 
-val solve : ?use_bound:bool -> Jra.problem -> Jra.solution
+val solve :
+  ?use_bound:bool -> ?deadline:Wgrap_util.Timer.deadline -> Jra.problem ->
+  Jra.solution
 (** Exact optimum. [use_bound:false] keeps the branching order but
-    disables Eq. 3 pruning (ablation). *)
+    disables Eq. 3 pruning (ablation). When [deadline] expires mid
+    search, the best group found so far is returned instead (anytime
+    behaviour); a greedy pick stands in if not even one leaf was
+    reached. Never raises on expiry. *)
 
-val top_k : ?use_bound:bool -> Jra.problem -> k:int -> Jra.solution list
+val top_k :
+  ?use_bound:bool -> ?deadline:Wgrap_util.Timer.deadline -> Jra.problem ->
+  k:int -> Jra.solution list
 (** The [k] best groups, best first. With the bound enabled, groups
     tying exactly with the k-th score may be replaced by equal-scoring
-    ones. *)
+    ones. On [deadline] expiry, the (possibly fewer than [k]) incumbents
+    found so far are returned. *)
 
 val last_stats : unit -> stats
 (** Counters from the most recent call (single-threaded). *)

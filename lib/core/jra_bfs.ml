@@ -1,4 +1,4 @@
-let solve_counting (t : Jra.problem) =
+let solve_counting ?deadline (t : Jra.problem) =
   let n = Array.length t.pool in
   let dim = Array.length t.paper in
   let selectable r =
@@ -6,11 +6,14 @@ let solve_counting (t : Jra.problem) =
   in
   let best_group = ref [] and best_score = ref neg_infinity in
   let evaluated = ref 0 in
+  let timed_out = ref false in
   (* Stack of group vectors, one per depth, reused across siblings. *)
   let gvecs = Array.init (t.group_size + 1) (fun _ -> Array.make dim 0.) in
   let chosen = Array.make t.group_size 0 in
   let rec extend depth first =
-    if depth = t.group_size then begin
+    if !timed_out || Wgrap_util.Timer.expired_opt deadline then
+      timed_out := true
+    else if depth = t.group_size then begin
       incr evaluated;
       let score = Scoring.score t.scoring gvecs.(depth) t.paper in
       if score > !best_score then begin
@@ -20,7 +23,7 @@ let solve_counting (t : Jra.problem) =
     end
     else
       for r = first to n - 1 do
-        if selectable r then begin
+        if (not !timed_out) && selectable r then begin
           Array.blit gvecs.(depth) 0 gvecs.(depth + 1) 0 dim;
           Topic_vector.extend_max_into ~dst:gvecs.(depth + 1) t.pool.(r);
           chosen.(depth) <- r;
@@ -29,6 +32,12 @@ let solve_counting (t : Jra.problem) =
       done
   in
   extend 0 0;
-  ({ Jra.group = !best_group; score = !best_score }, !evaluated)
+  let solution =
+    if !best_group = [] then
+      (* Deadline expired before the very first combination. *)
+      Jra.greedy t
+    else { Jra.group = !best_group; score = !best_score }
+  in
+  (solution, !evaluated)
 
-let solve t = fst (solve_counting t)
+let solve ?deadline t = fst (solve_counting ?deadline t)

@@ -2,11 +2,14 @@
     combinations. Exact; exponential; the baseline BBA is measured
     against in Figure 9. *)
 
-val solve : Jra.problem -> Jra.solution
+val solve : ?deadline:Wgrap_util.Timer.deadline -> Jra.problem -> Jra.solution
 (** Raises [Invalid_argument] via {!Jra.make} preconditions only; the
     problem is always feasible by construction. Ties are broken toward
-    the lexicographically smallest group. *)
+    the lexicographically smallest group. When [deadline] expires, the
+    best combination seen so far is returned (a greedy pick if none was
+    completed yet); never raises on expiry. *)
 
-val solve_counting : Jra.problem -> Jra.solution * int
+val solve_counting :
+  ?deadline:Wgrap_util.Timer.deadline -> Jra.problem -> Jra.solution * int
 (** Also reports the number of complete groups evaluated (used by the
     ablation bench to show BBA's pruning factor). *)

@@ -15,7 +15,7 @@ let refine ?deadline ?(max_rounds = 1_000) ?on_round ~rng inst start =
     in_ :: List.filter (fun r -> r <> out) group
   in
   let eps = 1e-12 in
-  let start_time = Unix.gettimeofday () in
+  let start_time = Timer.now () in
   let round = ref 0 in
   let improved = ref true in
   let order = Array.init n_p Fun.id in
@@ -112,7 +112,7 @@ let refine ?deadline ?(max_rounds = 1_000) ?on_round ~rng inst start =
     (match on_round with
     | Some f ->
         let best = Wgrap_util.Stats.sum paper_score in
-        f ~round:!round ~elapsed:(Unix.gettimeofday () -. start_time) ~best
+        f ~round:!round ~elapsed:(Timer.now () -. start_time) ~best
     | None -> ())
   done;
   current

@@ -1,35 +1,58 @@
+module Timer = Wgrap_util.Timer
+
 let approximation_ratio ~delta_p ~integral =
   let dp = float_of_int delta_p in
   let exponent = if integral then dp else dp -. 1. in
   1. -. ((1. -. (1. /. dp)) ** exponent)
 
-let solve_with stage inst =
+let solve_with ?deadline stage inst =
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
   let assignment = Assignment.empty ~n_papers:n_p in
   let used = Array.make n_r 0 in
   let per_stage = Instance.stage_capacity inst in
-  for _stage = 1 to inst.Instance.delta_p do
-    let confined =
-      Array.init n_r (fun r -> min per_stage (inst.Instance.delta_r - used.(r)))
-    in
-    let pairs =
-      try stage inst ~current:assignment ~capacity:confined
-      with Failure _ ->
-        (* When delta_p does not divide delta_r, the per-stage confinement
-           can starve a late stage (cumulative workloads eat the slack the
-           ceiling assumed). The paper's general-case analysis already
-           discards the last stage's contribution, so relaxing the
-           confinement — never the total workload — is sound. *)
-        let relaxed = Array.init n_r (fun r -> inst.Instance.delta_r - used.(r)) in
-        stage inst ~current:assignment ~capacity:relaxed
-    in
-    List.iter
-      (fun (p, r) ->
-        Assignment.add assignment ~paper:p ~reviewer:r;
-        used.(r) <- used.(r) + 1)
-      pairs
-  done;
+  let truncated = ref false in
+  (try
+     for _stage = 1 to inst.Instance.delta_p do
+       Timer.check_opt deadline;
+       let confined =
+         Array.init n_r (fun r ->
+             min per_stage (inst.Instance.delta_r - used.(r)))
+       in
+       let pairs =
+         try stage ?deadline inst ~current:assignment ~capacity:confined
+         with Failure _ ->
+           (* When delta_p does not divide delta_r, the per-stage confinement
+              can starve a late stage (cumulative workloads eat the slack the
+              ceiling assumed). The paper's general-case analysis already
+              discards the last stage's contribution, so relaxing the
+              confinement — never the total workload — is sound. *)
+           let relaxed =
+             Array.init n_r (fun r -> inst.Instance.delta_r - used.(r))
+           in
+           stage ?deadline inst ~current:assignment ~capacity:relaxed
+       in
+       List.iter
+         (fun (p, r) ->
+           Assignment.add assignment ~paper:p ~reviewer:r;
+           used.(r) <- used.(r) + 1)
+         pairs
+     done
+   with Timer.Expired -> truncated := true);
+  if !truncated then begin
+    (* The deadline cut one or more stages: complete the incumbent
+       greedily so the result stays feasible. Repair itself can only
+       fail on adversarial COI structures; the partial incumbent is then
+       returned and the caller's validation reports it. *)
+    try Repair.complete inst assignment with Failure _ -> ()
+  end;
   assignment
 
-let solve inst = solve_with (Stage.solve ?papers:None ?pair_gain:None) inst
-let solve_flow inst = solve_with (Stage.solve_flow ?papers:None ?pair_gain:None) inst
+let hungarian_stage ?deadline inst ~current ~capacity =
+  Stage.solve ?papers:None ?pair_gain:None ?deadline inst ~current ~capacity
+
+let flow_stage ?deadline inst ~current ~capacity =
+  Stage.solve_flow ?papers:None ?pair_gain:None ?deadline inst ~current
+    ~capacity
+
+let solve ?deadline inst = solve_with ?deadline hungarian_stage inst
+let solve_flow ?deadline inst = solve_with ?deadline flow_stage inst

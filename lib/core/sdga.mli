@@ -10,17 +10,21 @@
     when [delta_p] divides [delta_r], and a 1/2-approximation in
     general — for any scoring function satisfying Lemma 4. *)
 
-val solve : Instance.t -> Assignment.t
+val solve : ?deadline:Wgrap_util.Timer.deadline -> Instance.t -> Assignment.t
 (** Raises [Failure] only if the instance is infeasible under its COIs
     (capacity alone is validated at instance construction). Stages are
-    solved by {!Stage.solve} (Hungarian backend). *)
+    solved by {!Stage.solve} (Hungarian backend). When [deadline]
+    expires (checked between stages and inside the stage backend), the
+    stages completed so far are kept and the remaining slots are filled
+    greedily by {!Repair}, so the result stays feasible — degraded
+    towards per-slot greedy rather than failing. *)
 
 val approximation_ratio : delta_p:int -> integral:bool -> float
 (** The analytic bound plotted in Figure 7:
     [1 - (1 - 1/delta_p)^delta_p] for integral cases ([delta_p] divides
     [delta_r]), [1 - (1 - 1/delta_p)^(delta_p - 1)] otherwise. *)
 
-val solve_flow : Instance.t -> Assignment.t
+val solve_flow : ?deadline:Wgrap_util.Timer.deadline -> Instance.t -> Assignment.t
 (** Ablation variant: stages solved by min-cost flow
     ({!Stage.solve_flow}). Same stage optima, different constants
     (compared in the ablation bench). *)

@@ -1,0 +1,155 @@
+module Timer = Wgrap_util.Timer
+
+type reason =
+  | Timeout of { link : string }
+  | Fault of { link : string; error : string }
+
+type 'a outcome =
+  | Complete of 'a
+  | Degraded of 'a * reason list
+  | Infeasible of string
+
+let value = function
+  | Complete a | Degraded (a, _) -> Some a
+  | Infeasible _ -> None
+
+let status = function
+  | Complete _ -> "complete"
+  | Degraded _ -> "degraded"
+  | Infeasible _ -> "infeasible"
+
+let reasons = function
+  | Complete _ | Infeasible _ -> []
+  | Degraded (_, rs) -> rs
+
+let pp_reason ppf = function
+  | Timeout { link } -> Format.fprintf ppf "%s: deadline expired" link
+  | Fault { link; error } -> Format.fprintf ppf "%s: %s" link error
+
+(* A fresh deadline covering [frac] of what remains of [d]. Sub-budgets
+   are real deadlines of their own so a link cannot starve its
+   successors, while the outer deadline stays the hard stop. *)
+let slice frac = function
+  | None -> None
+  | Some d -> Some (Timer.deadline (frac *. Timer.remaining d))
+
+let exn_message = function Failure m -> m | e -> Printexc.to_string e
+
+(* {1 JRA chain: ILP -> BBA -> greedy} *)
+
+let jra ?budget problem =
+  let deadline = Option.map Timer.deadline budget in
+  let rev_reasons = ref [] in
+  let push r = rev_reasons := r :: !rev_reasons in
+  let best = ref None in
+  let consider (sol : Jra.solution) =
+    match !best with
+    | Some (b : Jra.solution) when b.score >= sol.score -> ()
+    | _ -> best := Some sol
+  in
+  let ilp_exact =
+    match Jra_ilp.solve ?deadline:(slice 0.5 deadline) problem with
+    | Jra_ilp.Solved sol ->
+        consider sol;
+        true
+    | Jra_ilp.Timed_out incumbent ->
+        Option.iter consider incumbent;
+        push (Timeout { link = "jra-ilp" });
+        false
+    | exception e ->
+        push (Fault { link = "jra-ilp"; error = exn_message e });
+        false
+  in
+  let bba_exact =
+    ilp_exact
+    ||
+    match Jra_bba.solve ?deadline problem with
+    | sol ->
+        consider sol;
+        if Timer.expired_opt deadline then begin
+          push (Timeout { link = "jra-bba" });
+          false
+        end
+        else true
+    | exception e ->
+        push (Fault { link = "jra-bba"; error = exn_message e });
+        false
+  in
+  if !best = None then begin
+    match Jra.greedy problem with
+    | sol -> consider sol
+    | exception e -> push (Fault { link = "jra-greedy"; error = exn_message e })
+  end;
+  match !best with
+  | None -> Infeasible "every JRA link failed to produce a group"
+  | Some sol ->
+      if bba_exact then Complete sol
+      else Degraded (sol, List.rev !rev_reasons)
+
+(* {1 CRA chain: SDGA + SRA -> SDGA -> per-stage greedy} *)
+
+let cra ?budget ?(seed = 0) ?(refine = true) inst =
+  let deadline = Option.map Timer.deadline budget in
+  let rev_reasons = ref [] in
+  let push r = rev_reasons := r :: !rev_reasons in
+  (* Accept a candidate only if it passes full validation; a truncated
+     run that left short groups gets one shot at greedy completion. *)
+  let checked link a =
+    match Assignment.validate inst a with
+    | Ok () -> Some a
+    | Error msg -> (
+        match Repair.complete inst a with
+        | () -> (
+            match Assignment.validate inst a with
+            | Ok () ->
+                push (Fault { link; error = "repaired: " ^ msg });
+                Some a
+            | Error msg' ->
+                push (Fault { link; error = msg' });
+                None)
+        | exception e ->
+            push (Fault { link; error = exn_message e });
+            None)
+  in
+  let run link f =
+    match f () with
+    | a ->
+        let out = checked link a in
+        if Option.is_some out && Timer.expired_opt deadline then
+          push (Timeout { link });
+        out
+    | exception Timer.Expired ->
+        push (Timeout { link });
+        None
+    | exception e ->
+        push (Fault { link; error = exn_message e });
+        None
+  in
+  let primary () =
+    (* SDGA gets half the remaining budget; refinement, which improves
+       monotonically and can stop at any round, soaks up the rest. *)
+    let sdga_slice = if refine then slice 0.5 deadline else deadline in
+    let a = Sdga.solve ?deadline:sdga_slice inst in
+    if (not refine) || Timer.expired_opt deadline then a
+    else Sra.refine ?deadline ~rng:(Wgrap_util.Rng.create seed) inst a
+  in
+  let result =
+    match run "sdga+sra" primary with
+    | Some a -> Some a
+    | None -> (
+        match run "sdga" (fun () -> Sdga.solve ?deadline inst) with
+        | Some a -> Some a
+        | None -> run "greedy" (fun () -> Greedy.solve ?deadline inst))
+  in
+  match result with
+  | Some a -> (
+      match List.rev !rev_reasons with
+      | [] -> Complete a
+      | rs -> Degraded (a, rs))
+  | None ->
+      let detail =
+        match !rev_reasons with
+        | Fault { error; _ } :: _ -> ": " ^ error
+        | _ -> ""
+      in
+      Infeasible ("every CRA link failed to produce a valid assignment" ^ detail)

@@ -1,0 +1,72 @@
+(** Anytime solver harness: fallback chains under a wall-clock budget.
+
+    Every entry point here upholds one contract: given any instance (or
+    JRA problem) and any time budget, it returns within roughly the
+    budget, never raises, and — when it returns a result at all — the
+    result satisfies every hard constraint (group sizes, workloads,
+    conflicts of interest, checked with {!Assignment.validate}). Quality
+    is what degrades under pressure, never feasibility.
+
+    Each runner walks a chain of solvers from strongest to cheapest:
+
+    - JRA: ILP ({!Jra_ilp}) -> branch-and-bound ({!Jra_bba}) -> greedy
+      pick ({!Jra.greedy});
+    - CRA: SDGA + stochastic refinement ({!Sdga}, {!Sra}) -> SDGA alone
+      -> per-stage greedy ({!Greedy}), with {!Repair.complete} patching
+      any short groups left by a truncated run.
+
+    A link that finishes exhaustively yields {!Complete}. A link that is
+    cut off by the deadline, or that fails and is replaced by a weaker
+    fallback, yields {!Degraded} with machine-readable reasons. Only
+    when no link can produce a constraint-valid result — an instance so
+    tight that even greedy completion has no feasible chain — does the
+    harness answer {!Infeasible}. *)
+
+type reason =
+  | Timeout of { link : string }
+      (** [link] hit the deadline and returned (or was replaced by) a
+          possibly sub-optimal incumbent. *)
+  | Fault of { link : string; error : string }
+      (** [link] raised or produced a constraint-violating result;
+          [error] is the message. The chain moved on. *)
+
+type 'a outcome =
+  | Complete of 'a  (** strongest applicable link finished in budget *)
+  | Degraded of 'a * reason list
+      (** still constraint-valid, but truncated or from a fallback;
+          reasons are in chain order *)
+  | Infeasible of string  (** no link produced a feasible result *)
+
+val value : 'a outcome -> 'a option
+(** The payload of [Complete] or [Degraded], [None] for [Infeasible]. *)
+
+val status : 'a outcome -> string
+(** ["complete"], ["degraded"] or ["infeasible"] — for logs and the CLI
+    exit-code mapping. *)
+
+val reasons : 'a outcome -> reason list
+
+val pp_reason : Format.formatter -> reason -> unit
+
+val jra : ?budget:float -> Jra.problem -> Jra.solution outcome
+(** Best reviewer group for one paper. Without [budget] the exact chain
+    runs to completion and the outcome is [Complete]. With a budget, the
+    ILP link gets half the budget, branch-and-bound the remainder, and
+    the greedy pick backstops both; the best-scoring incumbent seen
+    anywhere in the chain is returned. Never raises. *)
+
+val cra :
+  ?budget:float ->
+  ?seed:int ->
+  ?refine:bool ->
+  Instance.t ->
+  Assignment.t outcome
+(** Full conference assignment. The primary link runs SDGA on half the
+    remaining budget and spends the rest on stochastic refinement
+    ([seed], default 0, makes the refinement reproducible;
+    [refine:false] drops the SRA half and gives SDGA the whole budget);
+    fallbacks
+    are SDGA alone, then per-stage greedy. Every candidate is checked
+    with {!Assignment.validate} and, when a truncated run left short
+    groups, completed with {!Repair.complete} before being accepted.
+    Never raises. *)

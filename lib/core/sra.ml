@@ -47,7 +47,7 @@ let refine ?(params = default_params) ?deadline ?on_round ~rng inst start =
   let best_score = ref (Assignment.coverage inst start) in
   let current = ref (Assignment.copy start) in
   let stall = ref 0 and round = ref 0 in
-  let start_time = Unix.gettimeofday () in
+  let start_time = Timer.now () in
   (try
      while
        !stall < params.omega
@@ -83,7 +83,7 @@ let refine ?(params = default_params) ?deadline ?on_round ~rng inst start =
        let capacity =
          Array.init n_r (fun r -> inst.Instance.delta_r - workload.(r))
        in
-       let pairs = Stage.solve inst ~current:trimmed ~capacity in
+       let pairs = Stage.solve ?deadline inst ~current:trimmed ~capacity in
        List.iter (fun (p, r) -> Assignment.add trimmed ~paper:p ~reviewer:r) pairs;
        current := trimmed;
        let score = Assignment.coverage inst trimmed in
@@ -96,12 +96,17 @@ let refine ?(params = default_params) ?deadline ?on_round ~rng inst start =
        match on_round with
        | Some f ->
            f ~round:!round
-             ~elapsed:(Unix.gettimeofday () -. start_time)
+             ~elapsed:(Timer.now () -. start_time)
              ~best:!best_score
        | None -> ()
      done
-   with Failure _ ->
-     (* An infeasible refill round (possible under adversarial COIs)
-        simply ends refinement; the best-so-far stands. *)
-     ());
+   with
+  | Failure _ ->
+      (* An infeasible refill round (possible under adversarial COIs)
+         simply ends refinement; the best-so-far stands. *)
+      ()
+  | Timer.Expired ->
+      (* The deadline fired inside a refill stage; the trimmed round is
+         abandoned and the best-so-far stands. *)
+      ());
   !best

@@ -22,7 +22,7 @@ let paper_array ?papers inst =
   | Some l -> Array.of_list l
   | None -> Array.init (Instance.n_papers inst) Fun.id
 
-let solve ?papers ?(pair_gain = default_gain) inst ~current ~capacity =
+let solve ?papers ?(pair_gain = default_gain) ?deadline inst ~current ~capacity =
   let n_r = Instance.n_reviewers inst in
   if Array.length capacity <> n_r then
     invalid_arg "Stage.solve: capacity length mismatch";
@@ -56,14 +56,15 @@ let solve ?papers ?(pair_gain = default_gain) inst ~current ~capacity =
           Array.map (fun r -> per_reviewer.(r)) owner)
         paper_list
     in
-    match Lap.Hungarian.maximize score with
+    match Lap.Hungarian.maximize ?deadline score with
     | cols_of_rows, _ ->
         Array.to_list
           (Array.mapi (fun i c -> (paper_list.(i), owner.(c))) cols_of_rows)
     | exception Failure _ -> failwith "Stage.solve: infeasible stage"
   end
 
-let solve_flow ?papers ?(pair_gain = default_gain) inst ~current ~capacity =
+let solve_flow ?papers ?(pair_gain = default_gain) ?deadline inst ~current
+    ~capacity =
   let n_r = Instance.n_reviewers inst in
   if Array.length capacity <> n_r then
     invalid_arg "Stage.solve: capacity length mismatch";
@@ -83,8 +84,8 @@ let solve_flow ?papers ?(pair_gain = default_gain) inst ~current ~capacity =
     in
     let chosen =
       try
-        Lap.Mcmf.transportation ~score ~row_supply:(Array.make rows 1)
-          ~col_capacity:capacity
+        Lap.Mcmf.transportation ?deadline ~row_supply:(Array.make rows 1)
+          ~col_capacity:capacity score
       with Failure _ -> failwith "Stage.solve: infeasible stage"
     in
     let pairs = ref [] in

@@ -9,6 +9,7 @@
 val solve :
   ?papers:int list ->
   ?pair_gain:(paper:int -> reviewer:int -> coverage_gain:float -> float) ->
+  ?deadline:Wgrap_util.Timer.deadline ->
   Instance.t ->
   current:Assignment.t ->
   capacity:int array ->
@@ -29,11 +30,15 @@ val solve :
     shapes reviewer assignment produces — see the
     [ablation_stage_solver] bench).
 
-    Raises [Failure] if no feasible completion exists. *)
+    Raises [Failure] if no feasible completion exists, and
+    [Wgrap_util.Timer.Expired] if [deadline] fires inside the backend (a
+    half-solved stage cannot be returned; callers catch and keep their
+    incumbent). *)
 
 val solve_flow :
   ?papers:int list ->
   ?pair_gain:(paper:int -> reviewer:int -> coverage_gain:float -> float) ->
+  ?deadline:Wgrap_util.Timer.deadline ->
   Instance.t ->
   current:Assignment.t ->
   capacity:int array ->

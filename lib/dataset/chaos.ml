@@ -1,0 +1,104 @@
+module Rng = Wgrap_util.Rng
+
+type tsv_fault =
+  | Truncate_line
+  | Duplicate_id
+  | Garbage_field
+  | Blank_line
+  | Crlf_endings
+
+let tsv_faults =
+  [ Truncate_line; Duplicate_id; Garbage_field; Blank_line; Crlf_endings ]
+
+let tsv_fault_name = function
+  | Truncate_line -> "truncate-line"
+  | Duplicate_id -> "duplicate-id"
+  | Garbage_field -> "garbage-field"
+  | Blank_line -> "blank-line"
+  | Crlf_endings -> "crlf-endings"
+
+type vector_fault = Nan_entry | Inf_entry | Negative_entry | Zero_row
+
+let vector_faults = [ Nan_entry; Inf_entry; Negative_entry; Zero_row ]
+
+let vector_fault_name = function
+  | Nan_entry -> "nan-entry"
+  | Inf_entry -> "inf-entry"
+  | Negative_entry -> "negative-entry"
+  | Zero_row -> "zero-row"
+
+let set_field line idx value =
+  String.split_on_char '\t' line
+  |> List.mapi (fun i f -> if i = idx then value else f)
+  |> String.concat "\t"
+
+let field line idx = List.nth_opt (String.split_on_char '\t' line) idx
+
+let corrupt_lines ~rng fault lines =
+  match lines with
+  | [] -> lines
+  | _ -> (
+      let arr = Array.of_list lines in
+      let n = Array.length arr in
+      let pick () = Rng.int rng n in
+      match fault with
+      | Truncate_line ->
+          let i = pick () in
+          let line = arr.(i) in
+          let len = String.length line in
+          if len > 0 then arr.(i) <- String.sub line 0 (Rng.int rng len);
+          Array.to_list arr
+      | Duplicate_id ->
+          if n < 2 then lines
+          else begin
+            let i = pick () in
+            let j = (i + 1 + Rng.int rng (n - 1)) mod n in
+            (match field arr.(i) 0 with
+            | Some id -> arr.(j) <- set_field arr.(j) 0 id
+            | None -> ());
+            Array.to_list arr
+          end
+      | Garbage_field ->
+          let i = pick () in
+          let n_fields = List.length (String.split_on_char '\t' arr.(i)) in
+          arr.(i) <- set_field arr.(i) (Rng.int rng n_fields) "#garbage#";
+          Array.to_list arr
+      | Blank_line ->
+          let i = pick () in
+          List.concat_map
+            (fun (j, line) -> if j = i then [ ""; line ] else [ line ])
+            (List.mapi (fun j line -> (j, line)) lines)
+      | Crlf_endings -> List.map (fun line -> line ^ "\r") lines)
+
+let poison ~rng fault vectors =
+  let vectors = Array.map Array.copy vectors in
+  let rows = Array.length vectors in
+  if rows = 0 then vectors
+  else begin
+    let i = Rng.int rng rows in
+    let row = vectors.(i) in
+    let dim = Array.length row in
+    if dim > 0 then begin
+      match fault with
+      | Nan_entry -> row.(Rng.int rng dim) <- Float.nan
+      | Inf_entry -> row.(Rng.int rng dim) <- Float.infinity
+      | Negative_entry -> row.(Rng.int rng dim) <- -.Rng.uniform rng -. 0.01
+      | Zero_row -> Array.fill row 0 dim 0.
+    end;
+    vectors
+  end
+
+let dense_coi ~rng ~n_papers ~n_reviewers ~density =
+  let pairs = ref [] in
+  for p = 0 to n_papers - 1 do
+    for r = 0 to n_reviewers - 1 do
+      if Rng.uniform rng < density then pairs := (p, r) :: !pairs
+    done
+  done;
+  !pairs
+
+let write_lines path lines =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> List.iter (fun line -> output_string oc (line ^ "\n")) lines)

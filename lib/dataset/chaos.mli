@@ -1,0 +1,52 @@
+(** Deterministic fault injection for the robustness suite.
+
+    Every corruption is a pure function of an explicit {!Wgrap_util.Rng}
+    stream, so a failing property test reproduces from its seed alone.
+    Three fault families match the three trust boundaries the library
+    has: TSV rows entering {!Loader}, topic-vector matrices entering
+    {!Pipeline.instance_checked} / {!Wgrap.Instance.create}, and
+    conflict structure entering the solvers. *)
+
+type tsv_fault =
+  | Truncate_line  (** cut one line short at a random byte *)
+  | Duplicate_id  (** copy one row's id field onto another row *)
+  | Garbage_field  (** replace one field with non-numeric junk *)
+  | Blank_line  (** insert an empty line mid-file *)
+  | Crlf_endings  (** terminate every line with CRLF *)
+
+val tsv_faults : tsv_fault list
+val tsv_fault_name : tsv_fault -> string
+
+type vector_fault =
+  | Nan_entry  (** one weight becomes NaN *)
+  | Inf_entry  (** one weight becomes +inf *)
+  | Negative_entry  (** one weight goes negative *)
+  | Zero_row  (** one whole vector loses all mass *)
+
+val vector_faults : vector_fault list
+val vector_fault_name : vector_fault -> string
+
+val corrupt_lines : rng:Wgrap_util.Rng.t -> tsv_fault -> string list -> string list
+(** Apply one fault to a file's lines (no trailing newlines). The
+    victim line/field is drawn from [rng]; empty input is returned
+    unchanged. *)
+
+val poison :
+  rng:Wgrap_util.Rng.t -> vector_fault -> float array array -> float array array
+(** A fresh copy of the matrix with one row degraded. *)
+
+val dense_coi :
+  rng:Wgrap_util.Rng.t ->
+  n_papers:int ->
+  n_reviewers:int ->
+  density:float ->
+  (int * int) list
+(** Each (paper, reviewer) pair independently becomes a conflict with
+    probability [density]. At high density this manufactures instances
+    where feasibility itself is in question — the {!Wgrap.Solver}
+    harness must answer [Infeasible] rather than return an invalid
+    assignment. *)
+
+val write_lines : string -> string list -> unit
+(** Write lines to a file, newline-terminated — the counterpart of
+    {!Loader}'s reader for round-tripping corrupted files. *)

@@ -73,6 +73,53 @@ let instance ?scoring ?coi extracted ~delta_p ~delta_r =
   Wgrap.Instance.create_exn ?scoring ?coi ~papers:extracted.paper_vectors
     ~reviewers:extracted.reviewer_vectors ~delta_p ~delta_r ()
 
+type quarantined = {
+  kind : [ `Paper | `Reviewer ];
+  row : int;
+  reason : string;
+}
+
+let pp_quarantined ppf q =
+  Format.fprintf ppf "%s row %d: %s"
+    (match q.kind with `Paper -> "paper" | `Reviewer -> "reviewer")
+    q.row q.reason
+
+let row_problem vec =
+  if Array.exists (fun v -> not (Float.is_finite v)) vec then
+    Some "non-finite topic weight"
+  else if Array.exists (fun v -> v < 0.) vec then Some "negative topic weight"
+  else if Array.for_all (fun v -> v = 0.) vec then Some "zero-mass topic vector"
+  else None
+
+let sanitize extracted =
+  let report = ref [] in
+  let fix kind rows =
+    Array.mapi
+      (fun row vec ->
+        match row_problem vec with
+        | None -> vec
+        | Some reason ->
+            report := { kind; row; reason } :: !report;
+            (* The uniform vector: still assignable, just uninformative
+               — the same treatment {!extract} gives publication-less
+               committee members. *)
+            let dim = Array.length vec in
+            Array.make dim (if dim = 0 then 0. else 1. /. float_of_int dim))
+      rows
+  in
+  let paper_vectors = fix `Paper extracted.paper_vectors in
+  let reviewer_vectors = fix `Reviewer extracted.reviewer_vectors in
+  ({ extracted with paper_vectors; reviewer_vectors }, List.rev !report)
+
+let instance_checked ?scoring ?coi extracted ~delta_p ~delta_r =
+  let clean, quarantined = sanitize extracted in
+  match
+    Wgrap.Instance.create ?scoring ?coi ~papers:clean.paper_vectors
+      ~reviewers:clean.reviewer_vectors ~delta_p ~delta_r ()
+  with
+  | Ok inst -> Ok (inst, quarantined)
+  | Error msg -> Error msg
+
 let coi_pairs corpus extracted =
   let reviewer_row = Hashtbl.create 64 in
   Array.iteri

@@ -41,7 +41,38 @@ val instance :
   delta_p:int ->
   delta_r:int ->
   Wgrap.Instance.t
-(** Wrap the extracted vectors as a WGRAP instance. *)
+(** Wrap the extracted vectors as a WGRAP instance. Raises
+    [Invalid_argument] on degenerate vectors — prefer
+    {!instance_checked} at an untrusted boundary. *)
+
+type quarantined = {
+  kind : [ `Paper | `Reviewer ];
+  row : int;
+  reason : string;
+}
+(** A topic vector replaced by {!sanitize}: which side, which row, and
+    what was wrong with it. *)
+
+val pp_quarantined : Format.formatter -> quarantined -> unit
+
+val sanitize : extracted -> extracted * quarantined list
+(** Replace every degenerate topic vector — non-finite entries, negative
+    weights, or all-zero mass (an inference failure, e.g. an abstract
+    with no in-vocabulary token) — with the uniform vector, keeping row
+    alignment with [paper_ids] / [reviewer_ids] intact. The report lists
+    every replaced row; an empty list means the input was clean. *)
+
+val instance_checked :
+  ?scoring:Wgrap.Scoring.kind ->
+  ?coi:(int * int) list ->
+  extracted ->
+  delta_p:int ->
+  delta_r:int ->
+  (Wgrap.Instance.t * quarantined list, string) result
+(** {!sanitize} followed by {!Wgrap.Instance.create}: the total variant
+    of {!instance}. [Error] carries the instance-level problem (e.g.
+    insufficient reviewer capacity) when one remains after vector
+    repair. *)
 
 val coi_pairs : Corpus.t -> extracted -> (int * int) list
 (** Authorship conflicts: (paper row, reviewer row) pairs where the

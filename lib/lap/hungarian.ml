@@ -18,13 +18,14 @@ let check_shape cost =
 (* Shortest-augmenting-path assignment with dual potentials; 1-based
    internal indexing as in the classic presentation. Cells holding [big]
    are treated as (almost) unusable. *)
-let minimize cost =
+let minimize ?deadline cost =
   let n, m = check_shape cost in
   let u = Array.make (n + 1) 0. in
   let v = Array.make (m + 1) 0. in
   let p = Array.make (m + 1) 0 in
   let way = Array.make (m + 1) 0 in
   for i = 1 to n do
+    Wgrap_util.Timer.check_opt deadline;
     p.(0) <- i;
     let j0 = ref 0 in
     let minv = Array.make (m + 1) infinity in
@@ -73,7 +74,7 @@ let minimize cost =
   Array.iteri (fun i j -> total := !total +. cost.(i).(j)) assignment;
   (assignment, !total)
 
-let maximize score =
+let maximize ?deadline score =
   let n, m = check_shape score in
   (* Negate into a minimization; map forbidden scores to [big]. *)
   let cost =
@@ -82,7 +83,7 @@ let maximize score =
             let s = score.(i).(j) in
             if s = forbidden then big else -.s))
   in
-  let assignment, _ = minimize cost in
+  let assignment, _ = minimize ?deadline cost in
   let total = ref 0. in
   Array.iteri
     (fun i j ->

@@ -5,13 +5,18 @@
     relies on: "we can apply a classic linear assignment algorithm (e.g.,
     Hungarian algorithm)". *)
 
-val minimize : float array array -> int array * float
+val minimize :
+  ?deadline:Wgrap_util.Timer.deadline -> float array array -> int array * float
 (** [minimize cost] assigns each row of the [n*m] matrix ([n <= m]) to a
     distinct column so that the total cost is minimal. Returns
     [(assignment, total)] where [assignment.(i)] is the column of row [i].
-    Raises [Invalid_argument] if [n > m] or the matrix is ragged. *)
+    Raises [Invalid_argument] if [n > m] or the matrix is ragged. A
+    partial matching cannot be returned meaningfully, so when [deadline]
+    expires the solver raises [Wgrap_util.Timer.Expired] (checked once
+    per augmenting row); callers treat it as "this stage was cut". *)
 
-val maximize : float array array -> int array * float
+val maximize :
+  ?deadline:Wgrap_util.Timer.deadline -> float array array -> int array * float
 (** Same but maximizing the total score. *)
 
 val forbidden : float

@@ -142,7 +142,7 @@ let dijkstra t ~source ~sink ~pot ~dist ~prev_edge =
 (* Recover the source of an edge: the residual twin's destination. *)
 let edge_src t edge = Buffer_dyn.get t.dst (edge lxor 1)
 
-let min_cost_flow t ~source ~sink =
+let min_cost_flow ?deadline t ~source ~sink =
   let dist = Array.make t.n infinity in
   let prev_edge = Array.make t.n (-1) in
   let pot = Array.make t.n 0. in
@@ -153,7 +153,10 @@ let min_cost_flow t ~source ~sink =
   spfa t ~source ~dist;
   Array.iteri (fun v d -> if d < infinity then pot.(v) <- d) dist;
   let flow = ref 0 and cost = ref 0. in
-  while dijkstra t ~source ~sink ~pot ~dist ~prev_edge do
+  while
+    Wgrap_util.Timer.check_opt deadline;
+    dijkstra t ~source ~sink ~pot ~dist ~prev_edge
+  do
     (* Fold the new distances into the potentials, capped at the sink's
        distance: Dijkstra exits early at the sink, so labels beyond it
        may not be final — the capped update is the standard fix that
@@ -190,7 +193,7 @@ let edge_flows t =
     t.forward
   |> List.filter (fun (_, _, sent) -> sent > 0)
 
-let transportation ~score ~row_supply ~col_capacity =
+let transportation ?deadline ~row_supply ~col_capacity score =
   let rows = Array.length score in
   if rows = 0 then [||]
   else begin
@@ -215,7 +218,7 @@ let transportation ~score ~row_supply ~col_capacity =
           add_edge t ~src:(row_node i) ~dst:(col_node j) ~cap:1 ~cost:(-.s)
       done
     done;
-    let flow, _ = min_cost_flow t ~source ~sink in
+    let flow, _ = min_cost_flow ?deadline t ~source ~sink in
     let demand = Array.fold_left ( + ) 0 row_supply in
     if flow < demand then failwith "Mcmf: infeasible";
     let result = Array.make rows [] in

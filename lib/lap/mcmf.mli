@@ -16,10 +16,13 @@ val create : int -> t
 val add_edge : t -> src:int -> dst:int -> cap:int -> cost:float -> unit
 (** Add a directed edge (and its zero-capacity residual twin). *)
 
-val min_cost_flow : t -> source:int -> sink:int -> int * float
+val min_cost_flow :
+  ?deadline:Wgrap_util.Timer.deadline -> t -> source:int -> sink:int -> int * float
 (** Push as much flow as possible from [source] to [sink] along successive
     cheapest paths. Returns [(flow, cost)]. The network retains the flow,
-    so [edge_flows] can be inspected afterwards. *)
+    so [edge_flows] can be inspected afterwards. When [deadline] expires,
+    raises [Wgrap_util.Timer.Expired] (checked before each augmenting
+    path); the network keeps the flow pushed so far. *)
 
 val edge_flows : t -> (int * int * int) list
 (** [(src, dst, flow)] for every forward edge with positive flow, in
@@ -28,14 +31,16 @@ val edge_flows : t -> (int * int * int) list
 (** {1 Transportation-problem facade} *)
 
 val transportation :
-  score:float array array ->
+  ?deadline:Wgrap_util.Timer.deadline ->
   row_supply:int array ->
   col_capacity:int array ->
+  float array array ->
   int list array
-(** [transportation ~score ~row_supply ~col_capacity] maximizes
+(** [transportation ~row_supply ~col_capacity score] maximizes
     [sum score.(i).(j)] over integral shipments where row [i] ships exactly
     [row_supply.(i)] units and column [j] receives at most
-    [col_capacity.(j)].
+    [col_capacity.(j)]. The score matrix is the final positional
+    argument so that [?deadline] stays erasable.
 
     Each (row, column) cell may be used at most once, which matches
     reviewer assignment: a reviewer reviews a given paper at most once.

@@ -1,7 +1,13 @@
+(* Monotonic clock: CLOCK_MONOTONIC nanoseconds via the bechamel stub.
+   Wall-clock time (gettimeofday) jumps under NTP adjustment, which
+   would make deadlines expire spuriously or never; budgets must be
+   measured against a clock that only moves forward. *)
+let now () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
 let time f =
-  let start = Unix.gettimeofday () in
+  let start = now () in
   let result = f () in
-  (result, Unix.gettimeofday () -. start)
+  (result, now () -. start)
 
 let time_with_budget ~budget f =
   let result, dt = time f in
@@ -9,6 +15,13 @@ let time_with_budget ~budget f =
 
 type deadline = { start : float; limit : float }
 
-let deadline s = { start = Unix.gettimeofday (); limit = s }
-let elapsed d = Unix.gettimeofday () -. d.start
+exception Expired
+
+let deadline s = { start = now (); limit = s }
+let elapsed d = now () -. d.start
 let expired d = elapsed d > d.limit
+let remaining d = Float.max 0. (d.limit -. elapsed d)
+let check d = if expired d then raise Expired
+let check_opt = function None -> () | Some d -> check d
+
+let expired_opt = function None -> false | Some d -> expired d

@@ -1,8 +1,17 @@
-(** Wall-clock timing helpers for the experiment harness. *)
+(** Timing helpers for the experiment harness and the anytime solvers.
+
+    All measurements use the OS monotonic clock (CLOCK_MONOTONIC), not
+    wall-clock time: wall clocks jump under NTP adjustment, which would
+    let a deadline expire spuriously (clock jumps forward) or hang a
+    budgeted solve (clock jumps back). *)
+
+val now : unit -> float
+(** Monotonic seconds from an arbitrary fixed origin. Only differences
+    are meaningful. *)
 
 val time : (unit -> 'a) -> 'a * float
-(** [time f] runs [f ()] and returns its result with the elapsed wall-clock
-    seconds. *)
+(** [time f] runs [f ()] and returns its result with the elapsed
+    monotonic seconds. *)
 
 val time_with_budget : budget:float -> (unit -> 'a) -> ('a * float) option
 (** Run [f] and return [None] if it takes longer than [budget] seconds.
@@ -14,8 +23,25 @@ val time_with_budget : budget:float -> (unit -> 'a) -> ('a * float) option
 type deadline
 (** Cooperative deadline that long-running solvers poll. *)
 
+exception Expired
+(** Raised by {!check} (and by solvers that use it) when a deadline has
+    passed. Solver entry points catch it internally and return their
+    incumbent; it never escapes a documented public API. *)
+
 val deadline : float -> deadline
 (** [deadline s] expires [s] seconds from now. *)
 
 val expired : deadline -> bool
 val elapsed : deadline -> float
+
+val remaining : deadline -> float
+(** Seconds left before expiry, clamped at 0. *)
+
+val check : deadline -> unit
+(** Raise {!Expired} if the deadline has passed. *)
+
+val check_opt : deadline option -> unit
+(** [check] on [Some d]; no-op on [None]. *)
+
+val expired_opt : deadline option -> bool
+(** [expired] on [Some d]; [false] on [None]. *)

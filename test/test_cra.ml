@@ -14,11 +14,11 @@ let solvers =
   [
     ("SM", Stable_baseline.solve);
     ("ILP", Arap_ilp.solve);
-    ("BRGG", Brgg.solve);
-    ("Greedy", Greedy.solve);
-    ("Greedy-rescan", Greedy.solve_rescan);
-    ("SDGA", Sdga.solve);
-    ("SDGA-flow", Sdga.solve_flow);
+    ("BRGG", fun inst -> Brgg.solve inst);
+    ("Greedy", fun inst -> Greedy.solve inst);
+    ("Greedy-rescan", fun inst -> Greedy.solve_rescan inst);
+    ("SDGA", fun inst -> Sdga.solve inst);
+    ("SDGA-flow", fun inst -> Sdga.solve_flow inst);
   ]
 
 (* Every solver must return a feasible assignment on random instances,
@@ -71,7 +71,7 @@ let test_arap_ilp_dominates_pair_objective () =
           (Printf.sprintf "ILP pair objective >= %s" name)
           true
           (ilp_obj >= other -. 1e-9))
-      [ ("SM", Stable_baseline.solve); ("SDGA", Sdga.solve) ]
+      [ ("SM", Stable_baseline.solve); ("SDGA", fun inst -> Sdga.solve inst) ]
   done
 
 let test_sdga_beats_its_guarantee () =

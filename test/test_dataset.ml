@@ -217,6 +217,110 @@ let test_loader_bad_file () =
   | Ok _ -> Alcotest.fail "expected parse error");
   Sys.remove path
 
+(* {1 Loader fault paths} *)
+
+let with_files authors_lines papers_lines f =
+  let write lines =
+    let path = Filename.temp_file "wgrap_fault" ".tsv" in
+    let oc = open_out path in
+    List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+    close_out oc;
+    path
+  in
+  let authors_path = write authors_lines and papers_path = write papers_lines in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove authors_path;
+      Sys.remove papers_path)
+    (fun () -> f ~authors_path ~papers_path)
+
+let good_authors = [ "0\tAda\tDB\t10"; "1\tBob\tDB\t5" ]
+let good_papers = [ "0\tT0\tSIGMOD\t2008\t0;1\tjoin index" ]
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let check_error_mentions_line ~line result =
+  match result with
+  | Ok _ -> Alcotest.fail "expected a load error"
+  | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error %S names line %d" msg line)
+        true
+        (contains ~sub:(Printf.sprintf "line %d" line) msg)
+
+let test_loader_truncated_line () =
+  (* Line 2 of the authors file lost its last two fields. *)
+  with_files [ "0\tAda\tDB\t10"; "1\tBob" ] good_papers
+    (fun ~authors_path ~papers_path ->
+      check_error_mentions_line ~line:2
+        (Loader.load ~authors_path ~papers_path))
+
+let test_loader_missing_author_ref () =
+  (* The paper on line 1 references author 7, which does not exist. *)
+  with_files good_authors
+    [ "0\tT0\tSIGMOD\t2008\t0;7\tjoin index" ]
+    (fun ~authors_path ~papers_path ->
+      check_error_mentions_line ~line:1
+        (Loader.load ~authors_path ~papers_path))
+
+let test_loader_crlf () =
+  let crlf = List.map (fun l -> l ^ "\r") in
+  with_files (crlf good_authors) (crlf good_papers)
+    (fun ~authors_path ~papers_path ->
+      match Loader.load ~authors_path ~papers_path with
+      | Error e -> Alcotest.fail ("CRLF corpus rejected: " ^ e)
+      | Ok c ->
+          Alcotest.(check int) "authors" 2 (Array.length c.Corpus.authors);
+          (* The trailing field must come back without the '\r'. *)
+          Alcotest.(check int) "h-index" 5 c.Corpus.authors.(1).Corpus.h_index;
+          Alcotest.(check string) "abstract" "join index"
+            c.Corpus.papers.(0).Corpus.abstract)
+
+let test_loader_trailing_blank_line () =
+  with_files (good_authors @ [ "" ]) (good_papers @ [ "" ])
+    (fun ~authors_path ~papers_path ->
+      match Loader.load ~authors_path ~papers_path with
+      | Error e -> Alcotest.fail ("blank trailing line rejected: " ^ e)
+      | Ok c -> Alcotest.(check int) "papers" 1 (Array.length c.Corpus.papers))
+
+let test_loader_lenient_salvage () =
+  (* One malformed author, one dangling reference: lenient mode drops
+     both, reports both with line numbers, and still yields a corpus. *)
+  with_files
+    [ "0\tAda\tDB\t10"; "1\tBob\tXX\tnope"; "2\tCyd\tDB\t7" ]
+    [ "0\tT0\tSIGMOD\t2008\t0;1\tjoin index"; "1\tT1\tSIGMOD\t2008\t2\tsort scan" ]
+    (fun ~authors_path ~papers_path ->
+      match Loader.load_lenient ~authors_path ~papers_path with
+      | Error e -> Alcotest.fail e
+      | Ok (c, issues) ->
+          Alcotest.(check int) "authors kept" 2 (Array.length c.Corpus.authors);
+          Alcotest.(check int) "papers kept" 2 (Array.length c.Corpus.papers);
+          (match Corpus.validate c with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail ("salvaged corpus invalid: " ^ e));
+          (* Author id 2 must have been remapped to dense index 1. *)
+          Alcotest.(check (list int)) "remapped refs" [ 1 ]
+            c.Corpus.papers.(1).Corpus.author_ids;
+          Alcotest.(check bool) "bad author row reported" true
+            (List.exists
+               (fun i -> i.Loader.file = "authors" && i.Loader.line = 2)
+               issues);
+          Alcotest.(check bool) "dangling ref reported" true
+            (List.exists
+               (fun i -> i.Loader.file = "papers" && i.Loader.line = 1)
+               issues))
+
+let test_loader_missing_file () =
+  match
+    Loader.load ~authors_path:"/nonexistent/a.tsv"
+      ~papers_path:"/nonexistent/p.tsv"
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an error for a missing file"
+
 (* {1 Pipeline} *)
 
 let extracted =
@@ -325,6 +429,12 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_loader_roundtrip;
           Alcotest.test_case "bad file" `Quick test_loader_bad_file;
+          Alcotest.test_case "truncated line" `Quick test_loader_truncated_line;
+          Alcotest.test_case "missing author ref" `Quick test_loader_missing_author_ref;
+          Alcotest.test_case "crlf endings" `Quick test_loader_crlf;
+          Alcotest.test_case "trailing blank line" `Quick test_loader_trailing_blank_line;
+          Alcotest.test_case "lenient salvage" `Quick test_loader_lenient_salvage;
+          Alcotest.test_case "missing file" `Quick test_loader_missing_file;
         ] );
       ( "pipeline",
         [

@@ -26,9 +26,9 @@ let test_exact_feasible_and_dominant () =
           (c_opt >= c -. 1e-9))
       [
         ("SM", Stable_baseline.solve);
-        ("Greedy", Greedy.solve);
-        ("SDGA", Sdga.solve);
-        ("BRGG", Brgg.solve);
+        ("Greedy", fun inst -> Greedy.solve inst);
+        ("SDGA", fun inst -> Sdga.solve inst);
+        ("BRGG", fun inst -> Brgg.solve inst);
       ]
   done
 
@@ -228,8 +228,8 @@ let test_bids_lambda_zero_near_transportation_optimum () =
       Array.init 10 (fun p -> Array.init 6 (fun r -> Bids.bid bids ~paper:p ~reviewer:r))
     in
     let groups =
-      Lap.Mcmf.transportation ~score:matrix ~row_supply:(Array.make 10 2)
-        ~col_capacity:(Array.make 6 4)
+      Lap.Mcmf.transportation ~row_supply:(Array.make 10 2)
+        ~col_capacity:(Array.make 6 4) matrix
     in
     let opt = ref 0. in
     Array.iteri

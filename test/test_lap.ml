@@ -125,7 +125,7 @@ let test_mcmf_disconnected () =
 let test_transportation_square () =
   let score = [| [| 5.; 1. |]; [| 1.; 5. |] |] in
   let result =
-    Mcmf.transportation ~score ~row_supply:[| 1; 1 |] ~col_capacity:[| 1; 1 |]
+    Mcmf.transportation ~row_supply:[| 1; 1 |] ~col_capacity:[| 1; 1 |] score
   in
   Alcotest.(check (list int)) "row 0" [ 0 ] result.(0);
   Alcotest.(check (list int)) "row 1" [ 1 ] result.(1)
@@ -134,7 +134,7 @@ let test_transportation_capacitated () =
   (* Both rows want column 0 but it only holds one unit. *)
   let score = [| [| 5.; 1. |]; [| 5.; 4. |] |] in
   let result =
-    Mcmf.transportation ~score ~row_supply:[| 1; 1 |] ~col_capacity:[| 1; 1 |]
+    Mcmf.transportation ~row_supply:[| 1; 1 |] ~col_capacity:[| 1; 1 |] score
   in
   Alcotest.(check (list int)) "row 0 pushed off" [ 0 ] result.(0);
   Alcotest.(check (list int)) "row 1 takes its second best" [ 1 ] result.(1)
@@ -142,7 +142,7 @@ let test_transportation_capacitated () =
 let test_transportation_multi_supply () =
   let score = [| [| 5.; 4.; 1. |] |] in
   let result =
-    Mcmf.transportation ~score ~row_supply:[| 2 |] ~col_capacity:[| 1; 1; 1 |]
+    Mcmf.transportation ~row_supply:[| 2 |] ~col_capacity:[| 1; 1; 1 |] score
   in
   Alcotest.(check (list int)) "two best columns" [ 0; 1 ] (List.sort compare result.(0))
 
@@ -150,15 +150,15 @@ let test_transportation_forbidden () =
   let f = Hungarian.forbidden in
   let score = [| [| f; 2. |] |] in
   let result =
-    Mcmf.transportation ~score ~row_supply:[| 1 |] ~col_capacity:[| 1; 1 |]
+    Mcmf.transportation ~row_supply:[| 1 |] ~col_capacity:[| 1; 1 |] score
   in
   Alcotest.(check (list int)) "skips forbidden" [ 1 ] result.(0)
 
 let test_transportation_infeasible () =
   Alcotest.check_raises "infeasible" (Failure "Mcmf: infeasible") (fun () ->
       ignore
-        (Mcmf.transportation ~score:[| [| 1. |] |] ~row_supply:[| 2 |]
-           ~col_capacity:[| 1 |]))
+        (Mcmf.transportation ~row_supply:[| 2 |] ~col_capacity:[| 1 |]
+           [| [| 1. |] |]))
 
 let transportation_matches_hungarian =
   QCheck.Test.make
@@ -171,8 +171,8 @@ let transportation_matches_hungarian =
       let score = random_matrix rng n m in
       let _, hungarian_total = Hungarian.maximize score in
       let groups =
-        Mcmf.transportation ~score ~row_supply:(Array.make n 1)
-          ~col_capacity:(Array.make m 1)
+        Mcmf.transportation ~row_supply:(Array.make n 1)
+          ~col_capacity:(Array.make m 1) score
       in
       let flow_total = ref 0. in
       Array.iteri

@@ -1,0 +1,389 @@
+(* The anytime/fault-injection suite: every solver must respect a
+   deadline without raising, and the {!Solver} harness must turn any
+   corrupted input into either a labeled error or a constraint-valid
+   assignment — never an exception, never an invalid result. *)
+
+module Rng = Wgrap_util.Rng
+module Timer = Wgrap_util.Timer
+module Corpus = Dataset.Corpus
+module Loader = Dataset.Loader
+module Pipeline = Dataset.Pipeline
+module Chaos = Dataset.Chaos
+open Wgrap
+
+let random_vec rng ~dim = Rng.dirichlet_sym rng ~alpha:0.4 ~dim
+
+let random_instance ?(dim = 6) ?coi rng ~n_p ~n_r ~dp =
+  let dr = Instance.min_workload ~papers:n_p ~reviewers:n_r ~delta_p:dp in
+  Instance.create_exn ?coi
+    ~papers:(Array.init n_p (fun _ -> random_vec rng ~dim))
+    ~reviewers:(Array.init n_r (fun _ -> random_vec rng ~dim))
+    ~delta_p:dp ~delta_r:dr ()
+
+(* {1 Deadlines cut every solver short}
+
+   Instances are sized so the exhaustive/exact solvers would need far
+   more than a second; with a 50 ms budget each must still return a
+   valid (merely degraded) result. Wall-clock assertions are generous —
+   they catch "ignored the deadline entirely", not scheduler jitter. *)
+
+let budget = 0.05
+let wall_limit = 5.0
+
+let big_jra =
+  lazy
+    (let rng = Rng.create 7 in
+     Jra.make
+       ~paper:(random_vec rng ~dim:20)
+       ~pool:(Array.init 150 (fun _ -> random_vec rng ~dim:20))
+       ~group_size:8 ())
+
+(* Smaller pool for the LP/CP formulations, whose model build alone is
+   heavy — still hours of unbudgeted work at this size. *)
+let milp_jra =
+  lazy
+    (let rng = Rng.create 11 in
+     Jra.make
+       ~paper:(random_vec rng ~dim:12)
+       ~pool:(Array.init 60 (fun _ -> random_vec rng ~dim:12))
+       ~group_size:6 ())
+
+let big_cra =
+  lazy
+    (let rng = Rng.create 13 in
+     random_instance ~dim:24 rng ~n_p:400 ~n_r:120 ~dp:3)
+
+let check_jra_solution problem (sol : Jra.solution) =
+  Alcotest.(check int)
+    "group size" problem.Jra.group_size
+    (List.length sol.Jra.group);
+  Alcotest.(check int) "distinct members"
+    (List.length sol.Jra.group)
+    (List.length (List.sort_uniq compare sol.Jra.group));
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "member in pool" true
+        (r >= 0 && r < Array.length problem.Jra.pool))
+    sol.Jra.group
+
+let jra_deadline_case name problem solve =
+  Alcotest.test_case name `Quick (fun () ->
+      let problem = Lazy.force problem in
+      let t0 = Timer.now () in
+      let sol = solve ~deadline:(Timer.deadline budget) problem in
+      Alcotest.(check bool) "returned promptly" true (Timer.now () -. t0 < wall_limit);
+      check_jra_solution problem sol)
+
+let outcome_to_solution name = function
+  | Jra_ilp.Solved sol | Jra_ilp.Timed_out (Some sol) -> Some sol
+  | Jra_ilp.Timed_out None ->
+      ignore name;
+      None
+
+let cp_outcome_to_solution = function
+  | Jra_cp.Solved sol | Jra_cp.Timed_out (Some sol) -> Some sol
+  | Jra_cp.Timed_out None -> None
+
+let jra_deadline_tests =
+  [
+    jra_deadline_case "BBA anytime" big_jra (fun ~deadline p ->
+        Jra_bba.solve ~deadline p);
+    jra_deadline_case "BFS anytime" big_jra (fun ~deadline p ->
+        Jra_bfs.solve ~deadline p);
+    Alcotest.test_case "ILP anytime" `Quick (fun () ->
+        let problem = Lazy.force milp_jra in
+        let t0 = Timer.now () in
+        let outcome = Jra_ilp.solve ~deadline:(Timer.deadline budget) problem in
+        Alcotest.(check bool) "returned promptly" true
+          (Timer.now () -. t0 < wall_limit);
+        match outcome_to_solution "ilp" outcome with
+        | Some sol -> check_jra_solution problem sol
+        | None -> () (* a labeled timeout without incumbent is allowed *));
+    Alcotest.test_case "CP anytime" `Quick (fun () ->
+        let problem = Lazy.force milp_jra in
+        let t0 = Timer.now () in
+        let outcome = Jra_cp.solve ~deadline:(Timer.deadline budget) problem in
+        Alcotest.(check bool) "returned promptly" true
+          (Timer.now () -. t0 < wall_limit);
+        match cp_outcome_to_solution outcome with
+        | Some sol -> check_jra_solution problem sol
+        | None -> ());
+    Alcotest.test_case "harness always yields a group" `Quick (fun () ->
+        let problem = Lazy.force big_jra in
+        let t0 = Timer.now () in
+        let outcome = Solver.jra ~budget problem in
+        Alcotest.(check bool) "returned promptly" true
+          (Timer.now () -. t0 < wall_limit);
+        match Solver.value outcome with
+        | Some sol -> check_jra_solution problem sol
+        | None -> Alcotest.fail "harness returned Infeasible on a feasible problem");
+  ]
+
+let cra_deadline_case name solve =
+  Alcotest.test_case name `Quick (fun () ->
+      let inst = Lazy.force big_cra in
+      let t0 = Timer.now () in
+      let a = solve ~deadline:(Timer.deadline budget) inst in
+      Alcotest.(check bool) "returned promptly" true (Timer.now () -. t0 < wall_limit);
+      match Assignment.validate inst a with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("invalid degraded assignment: " ^ e))
+
+let cra_deadline_tests =
+  [
+    cra_deadline_case "Greedy anytime" (fun ~deadline i -> Greedy.solve ~deadline i);
+    cra_deadline_case "Greedy-rescan anytime" (fun ~deadline i ->
+        Greedy.solve_rescan ~deadline i);
+    cra_deadline_case "SDGA anytime" (fun ~deadline i -> Sdga.solve ~deadline i);
+    cra_deadline_case "SDGA-flow anytime" (fun ~deadline i ->
+        Sdga.solve_flow ~deadline i);
+    cra_deadline_case "BRGG anytime" (fun ~deadline i -> Brgg.solve ~deadline i);
+    Alcotest.test_case "Exact anytime" `Quick (fun () ->
+        (* Small enough to pass the space guard is still astronomically
+           beyond 50 ms of exhaustive search. *)
+        let rng = Rng.create 17 in
+        let small = random_instance ~dim:8 rng ~n_p:8 ~n_r:20 ~dp:3 in
+        let t0 = Timer.now () in
+        let a =
+          Exact.solve ~max_space:1e30 ~deadline:(Timer.deadline budget) small
+        in
+        Alcotest.(check bool) "returned promptly" true
+          (Timer.now () -. t0 < wall_limit);
+        match Assignment.validate small a with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail ("invalid exact incumbent: " ^ e));
+    cra_deadline_case "SRA anytime" (fun ~deadline i ->
+        let start = Greedy.solve i in
+        Sra.refine ~deadline ~rng:(Rng.create 3) i start);
+  ]
+
+(* {1 The harness end to end} *)
+
+let test_harness_jra_exact_small () =
+  let rng = Rng.create 23 in
+  let problem =
+    Jra.make
+      ~paper:(random_vec rng ~dim:6)
+      ~pool:(Array.init 8 (fun _ -> random_vec rng ~dim:6))
+      ~group_size:3 ()
+  in
+  match Solver.jra problem with
+  | Solver.Complete sol ->
+      let exact = Jra_bfs.solve problem in
+      Alcotest.(check (float 1e-9)) "matches exhaustive" exact.Jra.score sol.Jra.score
+  | Solver.Degraded _ -> Alcotest.fail "unbudgeted small problem degraded"
+  | Solver.Infeasible e -> Alcotest.fail e
+
+let test_harness_cra_budgeted () =
+  let inst = Lazy.force big_cra in
+  let t0 = Timer.now () in
+  let outcome = Solver.cra ~budget:0.2 inst in
+  Alcotest.(check bool) "returned promptly" true (Timer.now () -. t0 < 2. *. wall_limit);
+  (match outcome with
+  | Solver.Complete _ | Solver.Degraded _ -> ()
+  | Solver.Infeasible e -> Alcotest.fail e);
+  match Solver.value outcome with
+  | Some a -> (
+      match Assignment.validate inst a with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("harness output invalid: " ^ e))
+  | None -> assert false
+
+let test_harness_cra_infeasible () =
+  (* Paper 0 conflicts with the whole committee: no valid assignment
+     exists, and the harness must say so instead of raising or lying. *)
+  let rng = Rng.create 29 in
+  let coi = List.init 4 (fun r -> (0, r)) in
+  let inst = random_instance ~coi rng ~n_p:4 ~n_r:4 ~dp:2 in
+  match Solver.cra ~budget:0.2 inst with
+  | Solver.Infeasible _ -> ()
+  | Solver.Complete a | Solver.Degraded (a, _) -> (
+      (* Accept only if it somehow found a valid assignment (it cannot,
+         but the invariant is "never an invalid one"). *)
+      match Assignment.validate inst a with
+      | Ok () -> Alcotest.fail "validation accepted a COI-saturated paper"
+      | Error _ -> Alcotest.fail "harness returned an invalid assignment")
+
+let test_outcome_accessors () =
+  Alcotest.(check string) "complete" "complete" (Solver.status (Solver.Complete ()));
+  Alcotest.(check string) "degraded" "degraded"
+    (Solver.status (Solver.Degraded ((), [ Solver.Timeout { link = "x" } ])));
+  Alcotest.(check string) "infeasible" "infeasible"
+    (Solver.status (Solver.Infeasible "no"));
+  Alcotest.(check bool) "value none" true
+    (Solver.value (Solver.Infeasible "no") = None);
+  Alcotest.(check int) "reasons" 1
+    (List.length (Solver.reasons (Solver.Degraded ((), [ Solver.Timeout { link = "x" } ]))))
+
+(* {1 Fault injection: the data boundary} *)
+
+let base_corpus =
+  let authors =
+    Array.init 6 (fun i ->
+        {
+          Corpus.author_id = i;
+          name = Printf.sprintf "Author %d" i;
+          area = Corpus.Databases;
+          h_index = 3 + i;
+        })
+  in
+  let papers =
+    Array.init 8 (fun i ->
+        {
+          Corpus.paper_id = i;
+          title = Printf.sprintf "Paper %d" i;
+          venue = "SIGMOD";
+          year = 2008;
+          author_ids = [ i mod 6; (i + 1) mod 6 ];
+          abstract = "query index join optimizer";
+        })
+  in
+  { Corpus.authors; papers }
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | l -> go (l :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let base_lines =
+  lazy
+    (let authors_path = Filename.temp_file "chaos_authors" ".tsv" in
+     let papers_path = Filename.temp_file "chaos_papers" ".tsv" in
+     Loader.save base_corpus ~authors_path ~papers_path;
+     let lines = (read_lines authors_path, read_lines papers_path) in
+     Sys.remove authors_path;
+     Sys.remove papers_path;
+     lines)
+
+(* Under any single TSV corruption: strict load returns Ok or Error
+   (no exception), lenient load additionally yields a corpus that
+   passes {!Corpus.validate} whenever it yields one at all. *)
+let chaos_tsv_test =
+  QCheck.Test.make ~name:"loader survives corrupted TSV" ~count:60
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let author_lines, paper_lines = Lazy.force base_lines in
+      let fault = List.nth Chaos.tsv_faults (Rng.int rng (List.length Chaos.tsv_faults)) in
+      let corrupt_authors = Rng.bool rng in
+      let author_lines =
+        if corrupt_authors then Chaos.corrupt_lines ~rng fault author_lines
+        else author_lines
+      in
+      let paper_lines =
+        if corrupt_authors then paper_lines
+        else Chaos.corrupt_lines ~rng fault paper_lines
+      in
+      let authors_path = Filename.temp_file "chaos_authors" ".tsv" in
+      let papers_path = Filename.temp_file "chaos_papers" ".tsv" in
+      Fun.protect
+        ~finally:(fun () ->
+          Sys.remove authors_path;
+          Sys.remove papers_path)
+        (fun () ->
+          Chaos.write_lines authors_path author_lines;
+          Chaos.write_lines papers_path paper_lines;
+          (match Loader.load ~authors_path ~papers_path with
+          | Ok corpus -> Corpus.validate corpus = Ok ()
+          | Error msg -> String.length msg > 0)
+          &&
+          match Loader.load_lenient ~authors_path ~papers_path with
+          | Ok (corpus, _issues) -> Corpus.validate corpus = Ok ()
+          | Error msg -> String.length msg > 0))
+
+(* Under any single vector corruption: the sanitizing pipeline yields a
+   usable instance and the harness yields a valid assignment on it. *)
+let dummy_extracted rng ~n_p ~n_r ~dim =
+  let vocab = Topics.Vocab.build ~min_count:1 [] in
+  let reviewer_vectors = Array.init n_r (fun _ -> random_vec rng ~dim) in
+  let model =
+    {
+      Topics.Atm.theta = Array.map Array.copy reviewer_vectors;
+      phi = Array.init dim (fun _ -> random_vec rng ~dim:3);
+      n_topics = dim;
+      n_words = 3;
+      log_likelihood = 0.;
+    }
+  in
+  {
+    Pipeline.paper_vectors = Array.init n_p (fun _ -> random_vec rng ~dim);
+    reviewer_vectors;
+    paper_ids = Array.init n_p Fun.id;
+    reviewer_ids = Array.init n_r Fun.id;
+    vocab;
+    model;
+  }
+
+let chaos_vector_test =
+  QCheck.Test.make ~name:"pipeline quarantines poisoned vectors" ~count:60
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n_p = 8 + Rng.int rng 8 and n_r = 6 + Rng.int rng 4 in
+      let extracted = dummy_extracted rng ~n_p ~n_r ~dim:10 in
+      let fault =
+        List.nth Chaos.vector_faults (Rng.int rng (List.length Chaos.vector_faults))
+      in
+      let extracted =
+        if Rng.bool rng then
+          { extracted with
+            Pipeline.paper_vectors =
+              Chaos.poison ~rng fault extracted.Pipeline.paper_vectors }
+        else
+          { extracted with
+            Pipeline.reviewer_vectors =
+              Chaos.poison ~rng fault extracted.Pipeline.reviewer_vectors }
+      in
+      let dr = Instance.min_workload ~papers:n_p ~reviewers:n_r ~delta_p:2 in
+      match Pipeline.instance_checked extracted ~delta_p:2 ~delta_r:dr with
+      | Error msg -> String.length msg > 0
+      | Ok (inst, quarantined) -> (
+          quarantined <> []
+          &&
+          match Solver.value (Solver.cra ~budget:0.5 inst) with
+          | Some a -> Assignment.validate inst a = Ok ()
+          | None -> true))
+
+(* Under arbitrarily dense conflict structure: a labeled [Infeasible]
+   or a valid assignment, nothing else. *)
+let chaos_coi_test =
+  QCheck.Test.make ~name:"harness survives COI-dense instances" ~count:40
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n_r = 6 + Rng.int rng 6 in
+      let n_p = n_r + Rng.int rng 10 in
+      let density = 0.3 +. Rng.float rng 0.65 in
+      let coi = Chaos.dense_coi ~rng ~n_papers:n_p ~n_reviewers:n_r ~density in
+      let inst = random_instance ~coi rng ~n_p ~n_r ~dp:2 in
+      match Solver.cra ~budget:0.3 inst with
+      | Solver.Infeasible msg -> String.length msg > 0
+      | Solver.Complete a | Solver.Degraded (a, _) ->
+          Assignment.validate inst a = Ok ())
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ("jra deadlines", jra_deadline_tests);
+      ("cra deadlines", cra_deadline_tests);
+      ( "harness",
+        [
+          Alcotest.test_case "exact on small" `Quick test_harness_jra_exact_small;
+          Alcotest.test_case "budgeted CRA" `Quick test_harness_cra_budgeted;
+          Alcotest.test_case "COI-saturated paper" `Quick test_harness_cra_infeasible;
+          Alcotest.test_case "outcome accessors" `Quick test_outcome_accessors;
+        ] );
+      ( "chaos",
+        [
+          QCheck_alcotest.to_alcotest chaos_tsv_test;
+          QCheck_alcotest.to_alcotest chaos_vector_test;
+          QCheck_alcotest.to_alcotest chaos_coi_test;
+        ] );
+    ]
