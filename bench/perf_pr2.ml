@@ -1,0 +1,252 @@
+(* PR 2 measurement baseline: sparse scoring kernel + shared gain
+   matrix vs the pre-PR dense code ([Dense_baseline]), same process,
+   same instances. Emits machine-readable BENCH_PR2.json:
+
+     dune exec bench/perf_pr2.exe -- --out BENCH_PR2.json
+     dune exec bench/perf_pr2.exe -- --quick   (CI smoke profile)
+
+   Grid: T in {25, 100, 250} x sparsity in {5%, 20%, dense}; per cell
+   ns/op for the score/gain kernels and end-to-end SDGA / SRA wall
+   time, with objective parity asserted between the two paths. *)
+
+module Rng = Wgrap_util.Rng
+module Timer = Wgrap_util.Timer
+open Wgrap
+
+type shape = {
+  n_papers : int;
+  n_reviewers : int;
+  delta_p : int;
+  micro_iters : int;
+  sra_rounds : int;
+}
+
+let full_shape =
+  { n_papers = 80; n_reviewers = 160; delta_p = 3; micro_iters = 200_000;
+    sra_rounds = 10 }
+
+let quick_shape =
+  { n_papers = 30; n_reviewers = 60; delta_p = 3; micro_iters = 20_000;
+    sra_rounds = 4 }
+
+(* A topic vector with roughly [sparsity * dim] nonzero coordinates
+   (None = dense), normalized to unit mass — the shape of an LDA
+   mixture truncated to its supported topics. *)
+let random_vector rng ~dim ~sparsity =
+  match sparsity with
+  | None -> Topic_vector.normalize (Array.init dim (fun _ -> 0.05 +. Rng.uniform rng))
+  | Some s ->
+      let k = max 1 (int_of_float (Float.round (s *. float_of_int dim))) in
+      let picked = Rng.sample_without_replacement rng k dim in
+      let v = Array.make dim 0. in
+      Array.iter (fun t -> v.(t) <- 0.05 +. Rng.uniform rng) picked;
+      Topic_vector.normalize v
+
+let make_instance ~seed ~shape ~topics ~sparsity =
+  let rng = Rng.create seed in
+  let papers =
+    Array.init shape.n_papers (fun _ -> random_vector rng ~dim:topics ~sparsity)
+  in
+  let reviewers =
+    Array.init shape.n_reviewers (fun _ ->
+        random_vector rng ~dim:topics ~sparsity)
+  in
+  let delta_r =
+    Instance.min_workload ~papers:shape.n_papers ~reviewers:shape.n_reviewers
+      ~delta_p:shape.delta_p
+  in
+  Instance.create_exn ~papers ~reviewers ~delta_p:shape.delta_p ~delta_r ()
+
+let mean_nnz inst =
+  let n_p = Instance.n_papers inst in
+  let total = ref 0 in
+  for p = 0 to n_p - 1 do
+    total :=
+      !total + Array.length (Instance.paper_support inst p).Topic_vector.idx
+  done;
+  float_of_int !total /. float_of_int n_p
+
+(* ns/op of [f] applied along a fixed cycle of (paper, reviewer) pairs;
+   the accumulated float keeps the loop from being optimized away. *)
+let ns_per_op ~iters f =
+  let acc = ref 0. in
+  let (), dt =
+    Timer.time (fun () ->
+        for i = 0 to iters - 1 do
+          acc := !acc +. f i
+        done)
+  in
+  ignore !acc;
+  dt /. float_of_int iters *. 1e9
+
+let micro inst ~iters =
+  let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
+  let kind = inst.Instance.scoring in
+  let pair i = (i mod n_p, (i * 7) mod n_r) in
+  let score_dense =
+    ns_per_op ~iters (fun i ->
+        let p, r = pair i in
+        Scoring.score kind inst.Instance.reviewers.(r) inst.Instance.papers.(p))
+  in
+  let score_sparse =
+    ns_per_op ~iters (fun i ->
+        let p, r = pair i in
+        let rs = Instance.reviewer_support inst r in
+        Scoring.score_sparse kind ~v:rs.Topic_vector.vec
+          ~v_mass:rs.Topic_vector.mass
+          (Instance.paper_support inst p))
+  in
+  (* Marginal gains against a mid-size group (two reviewers), the
+     Stage/Greedy hot call. *)
+  let group =
+    Topic_vector.extend_max inst.Instance.reviewers.(0)
+      inst.Instance.reviewers.(n_r / 2)
+  in
+  let gain_dense =
+    ns_per_op ~iters (fun i ->
+        let p, r = pair i in
+        Scoring.gain kind ~group inst.Instance.reviewers.(r)
+          inst.Instance.papers.(p))
+  in
+  let gain_sparse =
+    ns_per_op ~iters (fun i ->
+        let p, r = pair i in
+        Scoring.gain_sparse kind ~group
+          (Instance.reviewer_support inst r)
+          (Instance.paper_support inst p))
+  in
+  (score_dense, score_sparse, gain_dense, gain_sparse)
+
+let same_assignment a b = Assignment.pairs a = Assignment.pairs b
+
+let end_to_end inst ~shape =
+  let dense_sdga, t_dense_sdga = Timer.time (fun () -> Dense_baseline.sdga inst) in
+  let sparse_sdga, t_sparse_sdga = Timer.time (fun () -> Sdga.solve inst) in
+  let obj_dense = Assignment.coverage inst dense_sdga in
+  let obj_sparse = Assignment.coverage inst sparse_sdga in
+  if Float.abs (obj_dense -. obj_sparse) > 1e-9 then
+    failwith
+      (Printf.sprintf "SDGA objective parity violated: dense %.12f sparse %.12f"
+         obj_dense obj_sparse);
+  let lambda = Sra.default_params.Sra.lambda in
+  let rounds = shape.sra_rounds in
+  let dense_sra, t_dense_sra =
+    Timer.time (fun () ->
+        Dense_baseline.sra_refine ~lambda ~rounds ~rng:(Rng.create 42) inst
+          sparse_sdga)
+  in
+  let sparse_sra, t_sparse_sra =
+    Timer.time (fun () ->
+        Sra.refine
+          ~params:{ Sra.omega = max_int; lambda; max_rounds = rounds }
+          ~rng:(Rng.create 42) inst sparse_sdga)
+  in
+  let sra_obj_dense = Assignment.coverage inst dense_sra in
+  let sra_obj_sparse = Assignment.coverage inst sparse_sra in
+  if Float.abs (sra_obj_dense -. sra_obj_sparse) > 1e-9 then
+    failwith
+      (Printf.sprintf "SRA objective parity violated: dense %.12f sparse %.12f"
+         sra_obj_dense sra_obj_sparse);
+  ( (t_dense_sdga, t_sparse_sdga, obj_dense, obj_sparse,
+     same_assignment dense_sdga sparse_sdga),
+    (t_dense_sra, t_sparse_sra, sra_obj_dense, sra_obj_sparse,
+     same_assignment dense_sra sparse_sra) )
+
+let run ~quick ~seed ~out =
+  let shape = if quick then quick_shape else full_shape in
+  let grid =
+    List.concat_map
+      (fun topics ->
+        List.map (fun sparsity -> (topics, sparsity))
+          [ Some 0.05; Some 0.20; None ])
+      [ 25; 100; 250 ]
+  in
+  let buf = Buffer.create 4096 in
+  let delta_r =
+    Instance.min_workload ~papers:shape.n_papers ~reviewers:shape.n_reviewers
+      ~delta_p:shape.delta_p
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"bench\": \"BENCH_PR2\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"mode\": \"%s\",\n" (if quick then "quick" else "full"));
+  Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" seed);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"shape\": {\"n_papers\": %d, \"n_reviewers\": %d, \"delta_p\": %d, \
+        \"delta_r\": %d, \"sra_rounds\": %d},\n"
+       shape.n_papers shape.n_reviewers shape.delta_p delta_r shape.sra_rounds);
+  Buffer.add_string buf "  \"configs\": [\n";
+  List.iteri
+    (fun i (topics, sparsity) ->
+      let label =
+        match sparsity with
+        | None -> "dense"
+        | Some s -> Printf.sprintf "%.0f%%" (s *. 100.)
+      in
+      Printf.printf "T=%-4d sparsity=%-6s ... %!" topics label;
+      let inst = make_instance ~seed ~shape ~topics ~sparsity in
+      let sd, ss, gd, gs = micro inst ~iters:shape.micro_iters in
+      let ( (t_dense_sdga, t_sparse_sdga, obj_d, obj_s, sdga_same),
+            (t_dense_sra, t_sparse_sra, sra_d, sra_s, sra_same) ) =
+        end_to_end inst ~shape
+      in
+      Printf.printf
+        "score %6.0f/%6.0f ns  gain %6.0f/%6.0f ns  SDGA %.3fs/%.3fs (%.1fx)  \
+         SRA %.3fs/%.3fs (%.1fx)\n%!"
+        sd ss gd gs t_dense_sdga t_sparse_sdga
+        (t_dense_sdga /. t_sparse_sdga)
+        t_dense_sra t_sparse_sra
+        (t_dense_sra /. t_sparse_sra);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"topics\": %d, \"sparsity\": %s, \"mean_nnz\": %.1f,\n\
+           \     \"score_ns\": {\"dense\": %.1f, \"sparse\": %.1f, \"speedup\": \
+            %.2f},\n\
+           \     \"gain_ns\": {\"dense\": %.1f, \"sparse\": %.1f, \"speedup\": \
+            %.2f},\n\
+           \     \"sdga_s\": {\"dense\": %.4f, \"sparse\": %.4f, \"speedup\": \
+            %.2f, \"objective_dense\": %.9f, \"objective_sparse\": %.9f, \
+            \"assignments_identical\": %b},\n\
+           \     \"sra_s\": {\"dense\": %.4f, \"sparse\": %.4f, \"speedup\": \
+            %.2f, \"objective_dense\": %.9f, \"objective_sparse\": %.9f, \
+            \"assignments_identical\": %b}}%s\n"
+           topics
+           (match sparsity with None -> "null" | Some s -> Printf.sprintf "%.2f" s)
+           (mean_nnz inst) sd ss (sd /. ss) gd gs (gd /. gs) t_dense_sdga
+           t_sparse_sdga
+           (t_dense_sdga /. t_sparse_sdga)
+           obj_d obj_s sdga_same t_dense_sra t_sparse_sra
+           (t_dense_sra /. t_sparse_sra)
+           sra_d sra_s sra_same
+           (if i = List.length grid - 1 then "" else ",")))
+    grid;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
+open Cmdliner
+
+let quick_flag =
+  Arg.(value & flag & info [ "quick" ] ~doc:"CI smoke profile: small shapes.")
+
+let seed_arg =
+  Arg.(value & opt int 2015 & info [ "seed" ] ~docv:"SEED" ~doc:"Instance seed.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt string "BENCH_PR2.json"
+    & info [ "out" ] ~docv:"PATH" ~doc:"Output JSON path.")
+
+let cmd =
+  let doc = "Sparse-kernel vs dense-baseline benchmark (PR 2)" in
+  Cmd.v
+    (Cmd.info "perf_pr2" ~doc)
+    Term.(
+      const (fun quick seed out -> run ~quick ~seed ~out)
+      $ quick_flag $ seed_arg $ out_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -77,6 +77,7 @@ let sdga ?(lambda = 0.7) inst t =
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
   let dp = inst.Instance.delta_p in
   let assignment = Assignment.empty ~n_papers:n_p in
+  let gm = Gain_matrix.create inst in
   let used = Array.make n_r 0 in
   let per_stage = Instance.stage_capacity inst in
   let gain = pair_gain t ~lambda ~dp in
@@ -85,14 +86,18 @@ let sdga ?(lambda = 0.7) inst t =
       Array.init n_r (fun r -> min per_stage (inst.Instance.delta_r - used.(r)))
     in
     let pairs =
-      try Stage.solve ~pair_gain:gain inst ~current:assignment ~capacity:confined
+      try
+        Stage.solve ~pair_gain:gain ~gains:gm inst ~current:assignment
+          ~capacity:confined
       with Failure _ ->
         let relaxed = Array.init n_r (fun r -> inst.Instance.delta_r - used.(r)) in
-        Stage.solve ~pair_gain:gain inst ~current:assignment ~capacity:relaxed
+        Stage.solve ~pair_gain:gain ~gains:gm inst ~current:assignment
+          ~capacity:relaxed
     in
     List.iter
       (fun (p, r) ->
         Assignment.add assignment ~paper:p ~reviewer:r;
+        Gain_matrix.add gm ~paper:p ~reviewer:r;
         used.(r) <- used.(r) + 1)
       pairs
   done;
@@ -102,7 +107,9 @@ let refine ?(lambda = 0.7) ?(params = Sra.default_params) ~rng inst t start =
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
   let dp = inst.Instance.delta_p in
   let gain = pair_gain t ~lambda ~dp in
-  let score_matrix = Instance.score_matrix inst in
+  let gm = Gain_matrix.create inst in
+  let score_matrix = Gain_matrix.score_matrix gm in
+  let denom = Gain_matrix.column_denominators gm in
   let best = ref (Assignment.copy start) in
   let best_score = ref (objective ~lambda inst t start) in
   let current = ref (Assignment.copy start) in
@@ -118,8 +125,9 @@ let refine ?(lambda = 0.7) ?(params = Sra.default_params) ~rng inst t start =
            Array.map
              (fun r ->
                1.
-               -. Sra.removal_probability inst ~score_matrix ~round:!round
-                    ~lambda:params.Sra.lambda ~paper:p ~reviewer:r)
+               -. Sra.keep_probability ~n_reviewers:n_r ~denom ~score_matrix
+                    ~round:!round ~lambda:params.Sra.lambda ~paper:p
+                    ~reviewer:r)
              members
          in
          let victim =
@@ -133,13 +141,20 @@ let refine ?(lambda = 0.7) ?(params = Sra.default_params) ~rng inst t start =
                Assignment.add trimmed ~paper:p ~reviewer:r;
                workload.(r) <- workload.(r) + 1
              end)
-           members
+           members;
+         Gain_matrix.set_group gm ~paper:p (Assignment.group trimmed p)
        done;
        let capacity =
          Array.init n_r (fun r -> inst.Instance.delta_r - workload.(r))
        in
-       let pairs = Stage.solve ~pair_gain:gain inst ~current:trimmed ~capacity in
-       List.iter (fun (p, r) -> Assignment.add trimmed ~paper:p ~reviewer:r) pairs;
+       let pairs =
+         Stage.solve ~pair_gain:gain ~gains:gm inst ~current:trimmed ~capacity
+       in
+       List.iter
+         (fun (p, r) ->
+           Assignment.add trimmed ~paper:p ~reviewer:r;
+           Gain_matrix.add gm ~paper:p ~reviewer:r)
+         pairs;
        current := trimmed;
        let score = objective ~lambda inst t trimmed in
        if score > !best_score +. 1e-12 then begin

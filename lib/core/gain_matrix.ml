@@ -1,0 +1,151 @@
+(* Shared incremental gain matrix: one flat row-major [n_p * n_r] array
+   of marginal coverage gains, maintained alongside the evolving
+   assignment. Rows are versioned per paper and recomputed lazily with
+   the sparse kernels; a group update that cannot change a row (it left
+   the group vector untouched on the paper's support) does not
+   invalidate it, so SDGA stages and SRA rounds recompute only the rows
+   that actually moved. *)
+
+type t = {
+  inst : Instance.t;
+  n_p : int;
+  n_r : int;
+  dim : int;
+  data : float array;  (* row-major gains; cell (p, r) at p * n_r + r *)
+  gvec : Topic_vector.t array;  (* maintained group vector per paper *)
+  version : int array;  (* current group version per paper *)
+  row_version : int array;  (* version [data]'s row reflects; -1 = never *)
+  scratch_row : float array;  (* n_r, staging for gain_into *)
+  scratch_vec : float array;  (* dim, staging for set_group *)
+  mutable scores : float array array option;  (* cached score matrix *)
+  mutable denom : float array option;  (* cached Eq. 9 column sums *)
+}
+
+let create inst =
+  let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
+  let dim = Instance.n_topics inst in
+  {
+    inst;
+    n_p;
+    n_r;
+    dim;
+    data = Array.make (n_p * n_r) 0.;
+    gvec = Array.init n_p (fun _ -> Array.make dim 0.);
+    version = Array.make n_p 0;
+    row_version = Array.make n_p (-1);
+    scratch_row = Array.make n_r 0.;
+    scratch_vec = Array.make dim 0.;
+    scores = None;
+    denom = None;
+  }
+
+let reset t =
+  for p = 0 to t.n_p - 1 do
+    Array.fill t.gvec.(p) 0 t.dim 0.;
+    t.version.(p) <- t.version.(p) + 1
+  done
+
+(* Whether a change of the group vector at topic [tt] can move row [p].
+   For the three kinds whose contribution vanishes off the paper's
+   support, only supported topics matter; Reviewer_coverage gains read
+   the group everywhere. *)
+let relevant t ~paper tt =
+  match t.inst.Instance.scoring with
+  | Scoring.Reviewer_coverage -> true
+  | _ -> t.inst.Instance.papers.(paper).(tt) > 0.
+
+let add t ~paper ~reviewer =
+  let rs = Instance.reviewer_support t.inst reviewer in
+  let idx = rs.Topic_vector.idx and nz = rs.Topic_vector.nz in
+  let g = t.gvec.(paper) in
+  let changed = ref false in
+  for k = 0 to Array.length idx - 1 do
+    let tt = idx.(k) in
+    if nz.(k) > g.(tt) then begin
+      g.(tt) <- nz.(k);
+      if not !changed then changed := relevant t ~paper tt
+    end
+  done;
+  if !changed then t.version.(paper) <- t.version.(paper) + 1
+
+let set_group t ~paper members =
+  let nv = t.scratch_vec in
+  Array.fill nv 0 t.dim 0.;
+  List.iter
+    (fun r ->
+      let rs = Instance.reviewer_support t.inst r in
+      let idx = rs.Topic_vector.idx and nz = rs.Topic_vector.nz in
+      for k = 0 to Array.length idx - 1 do
+        if nz.(k) > nv.(idx.(k)) then nv.(idx.(k)) <- nz.(k)
+      done)
+    members;
+  let g = t.gvec.(paper) in
+  let changed = ref false in
+  (match t.inst.Instance.scoring with
+  | Scoring.Reviewer_coverage ->
+      for tt = 0 to t.dim - 1 do
+        if nv.(tt) <> g.(tt) then changed := true
+      done
+  | _ ->
+      let ps = Instance.paper_support t.inst paper in
+      let idx = ps.Topic_vector.idx in
+      for k = 0 to Array.length idx - 1 do
+        let tt = idx.(k) in
+        if nv.(tt) <> g.(tt) then changed := true
+      done);
+  Array.blit nv 0 g 0 t.dim;
+  if !changed then t.version.(paper) <- t.version.(paper) + 1
+
+let version t ~paper = t.version.(paper)
+let group_vector t ~paper = t.gvec.(paper)
+
+let gain t ~paper ~reviewer =
+  Scoring.gain_sparse t.inst.Instance.scoring ~group:t.gvec.(paper)
+    (Instance.reviewer_support t.inst reviewer)
+    (Instance.paper_support t.inst paper)
+
+let ensure_row t paper =
+  if t.row_version.(paper) <> t.version.(paper) then begin
+    Scoring.gain_into t.inst.Instance.scoring ~dst:t.scratch_row
+      ~group:t.gvec.(paper) ~reviewers:t.inst.Instance.rsupp
+      (Instance.paper_support t.inst paper);
+    Array.blit t.scratch_row 0 t.data (paper * t.n_r) t.n_r;
+    t.row_version.(paper) <- t.version.(paper)
+  end
+
+let blit_row t ~paper ~dst =
+  if Array.length dst <> t.n_r then
+    invalid_arg "Gain_matrix.blit_row: dst length mismatch";
+  ensure_row t paper;
+  Array.blit t.data (paper * t.n_r) dst 0 t.n_r
+
+let score_matrix t =
+  match t.scores with
+  | Some m -> m
+  | None ->
+      let m = Instance.score_matrix t.inst in
+      t.scores <- Some m;
+      m
+
+(* Eq. 9 denominators: per-reviewer sums of the single-reviewer score
+   matrix, COI cells (the [forbidden] sentinel) excluded. The one
+   implementation shared by {!Sra.column_denominators} and the cached
+   accessor below. *)
+let score_column_sums ~n_reviewers rows =
+  let denom = Array.make n_reviewers 0. in
+  Array.iter
+    (fun row ->
+      for r = 0 to n_reviewers - 1 do
+        if row.(r) <> Lap.Hungarian.forbidden then
+          denom.(r) <- denom.(r) +. row.(r)
+      done)
+    rows;
+  denom
+
+let column_denominators t =
+  match t.denom with
+  | Some d -> d
+  | None ->
+      let d = score_column_sums ~n_reviewers:t.n_r (score_matrix t) in
+      t.denom <- Some d;
+      d

@@ -1,0 +1,67 @@
+(** Shared incremental gain-matrix layer.
+
+    One flat row-major [n_p * n_r] array of marginal coverage gains
+    (Definition 8) w.r.t. a maintained group vector per paper, shared by
+    {!Stage.solve}, {!Stage.solve_flow}, {!Sdga}, {!Greedy} and {!Sra}
+    through their [?gains] parameters. Rows are versioned per paper,
+    like the lazy greedy heap entries: a group update bumps a paper's
+    version only when it actually moved the group vector somewhere the
+    paper's gains can see (its topic support — everywhere for
+    [Reviewer_coverage]), and stale rows are recomputed lazily with the
+    O(nnz) sparse kernels on next access.
+
+    The matrix holds {e raw} coverage gains: conflicts of interest,
+    capacities and group membership are masked by the consumers. Cells
+    of reviewers already in a paper's group may hold stale values —
+    every consumer excludes members before reading.
+
+    Consistency with an evolving {!Assignment.t} is the caller's
+    contract: call {!add} after each [Assignment.add], or {!set_group}
+    when a group is rebuilt wholesale (the SRA removal phase). *)
+
+type t
+
+val create : Instance.t -> t
+(** All groups empty; no rows computed yet. O(n_p * n_r) memory. *)
+
+val reset : t -> unit
+(** Empty every group and invalidate every row (cheap: versions bump,
+    rows recompute lazily). *)
+
+val add : t -> paper:int -> reviewer:int -> unit
+(** Extend [paper]'s group vector by the reviewer (coordinatewise max)
+    and invalidate the paper's row if the vector changed visibly.
+    O(nnz(reviewer)). *)
+
+val set_group : t -> paper:int -> int list -> unit
+(** Replace [paper]'s group wholesale; invalidates the row only if the
+    resulting vector differs visibly from the current one (an SRA
+    removal whose victim never defined the max keeps the row). *)
+
+val version : t -> paper:int -> int
+(** Monotone per-paper group version — pairs with heap-entry versioning
+    in {!Greedy}. *)
+
+val group_vector : t -> paper:int -> Topic_vector.t
+(** The maintained group vector (live; do not mutate). *)
+
+val gain : t -> paper:int -> reviewer:int -> float
+(** One fresh marginal gain against the current group vector, computed
+    directly with the sparse kernel; does not touch the row cache. *)
+
+val blit_row : t -> paper:int -> dst:float array -> unit
+(** Copy the paper's row of [n_r] raw gains into [dst], recomputing it
+    first if stale. *)
+
+val score_matrix : t -> float array array
+(** The instance's single-reviewer score matrix (COI cells hold
+    [Lap.Hungarian.forbidden]), computed once and cached. *)
+
+val column_denominators : t -> float array
+(** The Eq. 9 denominators [sum_p' c(r, p')] as maintained column sums
+    of {!score_matrix}, computed once and cached. *)
+
+val score_column_sums : n_reviewers:int -> float array array -> float array
+(** The pure computation behind {!column_denominators}, exposed as the
+    single source of truth for the Eq. 9 denominator (also used by
+    {!Sra.column_denominators}). *)

@@ -2,32 +2,50 @@ module Heap = Wgrap_util.Heap
 
 type entry = { gain : float; reviewer : int; paper : int; version : int }
 
-let solve ?deadline inst =
+let solve ?deadline ?gains inst =
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
   let dp = inst.Instance.delta_p and dr = inst.Instance.delta_r in
   let assignment = Assignment.empty ~n_papers:n_p in
   let workload = Array.make n_r 0 in
   let group_size = Array.make n_p 0 in
-  (* Group vectors maintained incrementally; version.(p) invalidates heap
-     entries computed against an older group of p. *)
-  let dim = Instance.n_topics inst in
-  let gvec = Array.init n_p (fun _ -> Scoring.empty_group ~dim) in
-  let version = Array.make n_p 0 in
-  let gain_now ~reviewer ~paper =
-    Scoring.gain inst.Instance.scoring ~group:gvec.(paper)
-      inst.Instance.reviewers.(reviewer) inst.Instance.papers.(paper)
+  (* Group vectors and versions live in the shared gain matrix: a heap
+     entry is stale when the paper's group vector has visibly changed
+     since it was pushed (commits that cannot move a row leave its
+     version alone, so those entries stay fresh for free). *)
+  let gm =
+    match gains with
+    | Some g ->
+        Gain_matrix.reset g;
+        g
+    | None -> Gain_matrix.create inst
   in
-  let heap =
-    Heap.create ~capacity:(n_p * n_r) ~cmp:(fun a b -> compare a.gain b.gain) ()
-  in
+  (* O(1) membership instead of a List.mem scan per pop. *)
+  let in_group = Array.make_matrix n_p n_r false in
+  (* Seed the heap at the true candidate count: COI pairs never enter,
+     and zero-gain seeds are dropped too — gains only shrink as groups
+     grow (submodularity), so a pair that starts at 0 stays at 0 and
+     adds nothing the repair pass would not. *)
+  let candidates = ref 0 in
   for p = 0 to n_p - 1 do
     for r = 0 to n_r - 1 do
-      if not (Instance.forbidden inst ~paper:p ~reviewer:r) then
-        Heap.push heap { gain = gain_now ~reviewer:r ~paper:p; reviewer = r; paper = p; version = 0 }
+      if not (Instance.forbidden inst ~paper:p ~reviewer:r) then incr candidates
+    done
+  done;
+  let heap =
+    Heap.create ~capacity:(max 1 !candidates)
+      ~cmp:(fun a b -> compare a.gain b.gain)
+      ()
+  in
+  let row = Array.make n_r 0. in
+  for p = 0 to n_p - 1 do
+    Gain_matrix.blit_row gm ~paper:p ~dst:row;
+    let v = Gain_matrix.version gm ~paper:p in
+    for r = 0 to n_r - 1 do
+      if row.(r) > 0. && not (Instance.forbidden inst ~paper:p ~reviewer:r)
+      then Heap.push heap { gain = row.(r); reviewer = r; paper = p; version = v }
     done
   done;
   let remaining = ref (n_p * dp) in
-  let in_group r p = List.mem r (Assignment.group assignment p) in
   let stuck = ref false in
   while
     !remaining > 0 && (not !stuck)
@@ -42,25 +60,24 @@ let solve ?deadline inst =
         let feasible =
           group_size.(e.paper) < dp
           && workload.(e.reviewer) < dr
-          && not (in_group e.reviewer e.paper)
+          && not in_group.(e.paper).(e.reviewer)
         in
         if feasible then begin
-          if e.version = version.(e.paper) then begin
+          if e.version = Gain_matrix.version gm ~paper:e.paper then begin
             (* Fresh gain: globally maximal, commit the pair. *)
             Assignment.add assignment ~paper:e.paper ~reviewer:e.reviewer;
-            Topic_vector.extend_max_into ~dst:gvec.(e.paper)
-              inst.Instance.reviewers.(e.reviewer);
+            Gain_matrix.add gm ~paper:e.paper ~reviewer:e.reviewer;
+            in_group.(e.paper).(e.reviewer) <- true;
             workload.(e.reviewer) <- workload.(e.reviewer) + 1;
             group_size.(e.paper) <- group_size.(e.paper) + 1;
-            version.(e.paper) <- version.(e.paper) + 1;
             decr remaining
           end
           else
             Heap.push heap
               {
                 e with
-                gain = gain_now ~reviewer:e.reviewer ~paper:e.paper;
-                version = version.(e.paper);
+                gain = Gain_matrix.gain gm ~paper:e.paper ~reviewer:e.reviewer;
+                version = Gain_matrix.version gm ~paper:e.paper;
               }
         end
   done;

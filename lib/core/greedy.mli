@@ -9,8 +9,18 @@
     over-estimates, so the first entry whose refreshed gain still tops
     the heap is globally maximal. *)
 
-val solve : ?deadline:Wgrap_util.Timer.deadline -> Instance.t -> Assignment.t
-(** When [deadline] expires mid-solve, the pairs committed so far are
+val solve :
+  ?deadline:Wgrap_util.Timer.deadline ->
+  ?gains:Gain_matrix.t ->
+  Instance.t ->
+  Assignment.t
+(** [gains], when given, is reset and used as the shared gain matrix
+    (group vectors, versions, sparse gain evaluation); otherwise a
+    private one is created. The heap is seeded at the true candidate
+    count — COI pairs and zero-gain seeds are skipped; the latter can
+    never beat a positive gain later (gains only shrink), so dropping
+    them changes nothing the repair pass would not fill anyway.
+    When [deadline] expires mid-solve, the pairs committed so far are
     kept and every short paper is completed by {!Repair} (plain
     best-pair fills), so the result stays feasible on any instance where
     repair chains exist. *)

@@ -5,6 +5,8 @@ type t = {
   delta_r : int;
   scoring : Scoring.kind;
   coi : bool array array option;
+  psupp : Topic_vector.support array;
+  rsupp : Topic_vector.support array;
 }
 
 let n_papers t = Array.length t.papers
@@ -60,7 +62,17 @@ let create ?(scoring = Scoring.Weighted_coverage) ?(coi = []) ~papers ~reviewers
         in
         fill pairs
   in
-  Ok { papers; reviewers; delta_p; delta_r; scoring; coi = coi_matrix }
+  Ok
+    {
+      papers;
+      reviewers;
+      delta_p;
+      delta_r;
+      scoring;
+      coi = coi_matrix;
+      psupp = Array.map Topic_vector.support papers;
+      rsupp = Array.map Topic_vector.support reviewers;
+    }
 
 let create_exn ?scoring ?coi ~papers ~reviewers ~delta_p ~delta_r () =
   match create ?scoring ?coi ~papers ~reviewers ~delta_p ~delta_r () with
@@ -70,14 +82,25 @@ let create_exn ?scoring ?coi ~papers ~reviewers ~delta_p ~delta_r () =
 let forbidden t ~paper ~reviewer =
   match t.coi with None -> false | Some m -> m.(paper).(reviewer)
 
+let paper_support t p = t.psupp.(p)
+let reviewer_support t r = t.rsupp.(r)
+
 let pair_score t ~paper ~reviewer =
-  Scoring.score t.scoring t.reviewers.(reviewer) t.papers.(paper)
+  let rs = t.rsupp.(reviewer) in
+  Scoring.score_sparse t.scoring ~v:rs.Topic_vector.vec
+    ~v_mass:rs.Topic_vector.mass t.psupp.(paper)
 
 let score_matrix t =
   Array.init (n_papers t) (fun p ->
-      Array.init (n_reviewers t) (fun r ->
-          if forbidden t ~paper:p ~reviewer:r then Lap.Hungarian.forbidden
-          else pair_score t ~paper:p ~reviewer:r))
+      let row = Array.make (n_reviewers t) 0. in
+      Scoring.score_into t.scoring ~dst:row ~reviewers:t.rsupp t.psupp.(p);
+      (match t.coi with
+      | None -> ()
+      | Some m ->
+          Array.iteri
+            (fun r bad -> if bad then row.(r) <- Lap.Hungarian.forbidden)
+            m.(p));
+      row)
 
 let min_workload ~papers ~reviewers ~delta_p =
   ((papers * delta_p) + reviewers - 1) / reviewers
@@ -94,7 +117,7 @@ let with_reviewers t reviewers =
       if Array.length v <> n_topics t then
         invalid_arg "Instance.with_reviewers: dimension mismatch")
     reviewers;
-  { t with reviewers }
+  { t with reviewers; rsupp = Array.map Topic_vector.support reviewers }
 
 let coi_pairs t =
   match t.coi with

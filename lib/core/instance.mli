@@ -9,6 +9,8 @@ type t = private {
   delta_r : int;  (** papers per reviewer (at most) *)
   scoring : Scoring.kind;
   coi : bool array array option;  (** [coi.(p).(r)] forbids pair (r, p) *)
+  psupp : Topic_vector.support array;  (** compiled paper supports *)
+  rsupp : Topic_vector.support array;  (** compiled reviewer supports *)
 }
 
 val create :
@@ -42,6 +44,11 @@ val n_topics : t -> int
 
 val forbidden : t -> paper:int -> reviewer:int -> bool
 (** Whether (reviewer, paper) is a conflict of interest. *)
+
+val paper_support : t -> int -> Topic_vector.support
+val reviewer_support : t -> int -> Topic_vector.support
+(** Compiled sparse views (nonzero topic indices, values, mass),
+    precomputed at construction for the O(nnz) scoring kernels. *)
 
 val pair_score : t -> paper:int -> reviewer:int -> float
 (** c(r, p) under the instance's scoring function. *)

@@ -8,7 +8,10 @@ let refine ?deadline ?(max_rounds = 1_000) ?on_round ~rng inst start =
   let workload = Assignment.workloads current ~n_reviewers:n_r in
   let score_of_group p group =
     let vecs = List.map (fun r -> inst.Instance.reviewers.(r)) group in
-    Scoring.group_score inst.Instance.scoring vecs inst.Instance.papers.(p)
+    (* O(|group| * nnz(p)) candidate evaluation: the move loops probe
+       hypothetical groups far more often than they commit one. *)
+    Scoring.group_score_sparse inst.Instance.scoring vecs
+      (Instance.paper_support inst p)
   in
   let paper_score = Array.init n_p (fun p -> score_of_group p (Assignment.group current p)) in
   let substitute group ~out ~in_ =

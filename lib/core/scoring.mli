@@ -43,3 +43,54 @@ val gain :
 val empty_group : dim:int -> Topic_vector.t
 (** All-zero group vector: the identity for group extension. It scores 0
     under every kind, since f(0, p) = 0 for all four contributions. *)
+
+(** {1 Sparse kernels}
+
+    O(nnz(paper)) variants of {!score} and {!gain} that iterate only
+    over a compiled {!Topic_vector.support}. For [Weighted_coverage],
+    [Paper_coverage] and [Dot_product] the per-topic contribution
+    vanishes wherever the paper is zero, so these agree with the dense
+    functions {e bitwise}; [Reviewer_coverage] needs an off-support
+    mass correction and agrees to ~1e-15 relative. The dense functions
+    above remain the reference oracle (see [test/test_kernel.ml]). *)
+
+val score_sparse :
+  kind -> v:Topic_vector.t -> v_mass:float -> Topic_vector.support -> float
+(** [score_sparse kind ~v ~v_mass support] is
+    [score kind v support.vec]. [v_mass] is the total mass of [v]; it is
+    only read for [Reviewer_coverage] (pass [0.] if the kind is known
+    not to need it, or [Topic_vector.(support v).mass]). O(nnz(paper)). *)
+
+val gain_sparse :
+  kind ->
+  group:Topic_vector.t ->
+  Topic_vector.support ->
+  Topic_vector.support ->
+  float
+(** [gain_sparse kind ~group r p] is [gain kind ~group r.vec p.vec] in
+    O(nnz(p)) (+ O(nnz(r)) for [Reviewer_coverage]). *)
+
+val score_into :
+  kind ->
+  dst:float array ->
+  reviewers:Topic_vector.support array ->
+  Topic_vector.support ->
+  unit
+(** Fill [dst.(r)] with the single-reviewer score of every reviewer
+    against one paper: one row of the score matrix, O(R * nnz(p)). *)
+
+val gain_into :
+  kind ->
+  dst:float array ->
+  group:Topic_vector.t ->
+  reviewers:Topic_vector.support array ->
+  Topic_vector.support ->
+  unit
+(** Fill [dst.(r)] with the marginal gain of every reviewer w.r.t.
+    [group] for one paper: one gain-matrix row, O(R * nnz(p)). *)
+
+val group_score_sparse :
+  kind -> Topic_vector.t list -> Topic_vector.support -> float
+(** {!group_score} of a hypothetical group against a compiled paper:
+    O(|group| * nnz(p)) for the three sparse kinds (dense fallback for
+    [Reviewer_coverage]). Used by the local-search move evaluation. *)

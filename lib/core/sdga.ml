@@ -5,9 +5,19 @@ let approximation_ratio ~delta_p ~integral =
   let exponent = if integral then dp else dp -. 1. in
   1. -. ((1. -. (1. /. dp)) ** exponent)
 
-let solve_with ?deadline stage inst =
+let solve_with ?deadline ?gains stage inst =
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
   let assignment = Assignment.empty ~n_papers:n_p in
+  (* One gain matrix for all delta_p stages: a stage invalidates only
+     the rows of papers whose group vector visibly changed when its
+     pairs are committed; the rest carry over. *)
+  let gm =
+    match gains with
+    | Some g ->
+        Gain_matrix.reset g;
+        g
+    | None -> Gain_matrix.create inst
+  in
   let used = Array.make n_r 0 in
   let per_stage = Instance.stage_capacity inst in
   let truncated = ref false in
@@ -19,7 +29,7 @@ let solve_with ?deadline stage inst =
              min per_stage (inst.Instance.delta_r - used.(r)))
        in
        let pairs =
-         try stage ?deadline inst ~current:assignment ~capacity:confined
+         try stage ?deadline ?gains:(Some gm) inst ~current:assignment ~capacity:confined
          with Failure _ ->
            (* When delta_p does not divide delta_r, the per-stage confinement
               can starve a late stage (cumulative workloads eat the slack the
@@ -29,11 +39,12 @@ let solve_with ?deadline stage inst =
            let relaxed =
              Array.init n_r (fun r -> inst.Instance.delta_r - used.(r))
            in
-           stage ?deadline inst ~current:assignment ~capacity:relaxed
+           stage ?deadline ?gains:(Some gm) inst ~current:assignment ~capacity:relaxed
        in
        List.iter
          (fun (p, r) ->
            Assignment.add assignment ~paper:p ~reviewer:r;
+           Gain_matrix.add gm ~paper:p ~reviewer:r;
            used.(r) <- used.(r) + 1)
          pairs
      done
@@ -47,12 +58,13 @@ let solve_with ?deadline stage inst =
   end;
   assignment
 
-let hungarian_stage ?deadline inst ~current ~capacity =
-  Stage.solve ?papers:None ?pair_gain:None ?deadline inst ~current ~capacity
-
-let flow_stage ?deadline inst ~current ~capacity =
-  Stage.solve_flow ?papers:None ?pair_gain:None ?deadline inst ~current
+let hungarian_stage ?deadline ?gains inst ~current ~capacity =
+  Stage.solve ?papers:None ?pair_gain:None ?gains ?deadline inst ~current
     ~capacity
 
-let solve ?deadline inst = solve_with ?deadline hungarian_stage inst
-let solve_flow ?deadline inst = solve_with ?deadline flow_stage inst
+let flow_stage ?deadline ?gains inst ~current ~capacity =
+  Stage.solve_flow ?papers:None ?pair_gain:None ?gains ?deadline inst ~current
+    ~capacity
+
+let solve ?deadline ?gains inst = solve_with ?deadline ?gains hungarian_stage inst
+let solve_flow ?deadline ?gains inst = solve_with ?deadline ?gains flow_stage inst

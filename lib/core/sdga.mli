@@ -10,8 +10,15 @@
     when [delta_p] divides [delta_r], and a 1/2-approximation in
     general — for any scoring function satisfying Lemma 4. *)
 
-val solve : ?deadline:Wgrap_util.Timer.deadline -> Instance.t -> Assignment.t
-(** Raises [Failure] only if the instance is infeasible under its COIs
+val solve :
+  ?deadline:Wgrap_util.Timer.deadline ->
+  ?gains:Gain_matrix.t ->
+  Instance.t ->
+  Assignment.t
+(** [gains], when given, is reset and used as the shared gain matrix
+    for every stage (and left holding the final groups, so a follow-up
+    {!Sra.refine} can reuse it); otherwise a private one is created.
+    Raises [Failure] only if the instance is infeasible under its COIs
     (capacity alone is validated at instance construction). Stages are
     solved by {!Stage.solve} (Hungarian backend). When [deadline]
     expires (checked between stages and inside the stage backend), the
@@ -24,7 +31,11 @@ val approximation_ratio : delta_p:int -> integral:bool -> float
     [1 - (1 - 1/delta_p)^delta_p] for integral cases ([delta_p] divides
     [delta_r]), [1 - (1 - 1/delta_p)^(delta_p - 1)] otherwise. *)
 
-val solve_flow : ?deadline:Wgrap_util.Timer.deadline -> Instance.t -> Assignment.t
+val solve_flow :
+  ?deadline:Wgrap_util.Timer.deadline ->
+  ?gains:Gain_matrix.t ->
+  Instance.t ->
+  Assignment.t
 (** Ablation variant: stages solved by min-cost flow
     ({!Stage.solve_flow}). Same stage optima, different constants
     (compared in the ablation bench). *)

@@ -125,21 +125,25 @@ let cra ?budget ?(seed = 0) ?(refine = true) inst =
         push (Fault { link; error = exn_message e });
         None
   in
+  (* One gain matrix serves the whole chain: SDGA fills it stage by
+     stage, SRA reuses its cached score matrix, Eq. 9 column sums and
+     surviving rows, and the fallback links reset it on entry. *)
+  let gm = Gain_matrix.create inst in
   let primary () =
     (* SDGA gets half the remaining budget; refinement, which improves
        monotonically and can stop at any round, soaks up the rest. *)
     let sdga_slice = if refine then slice 0.5 deadline else deadline in
-    let a = Sdga.solve ?deadline:sdga_slice inst in
+    let a = Sdga.solve ?deadline:sdga_slice ~gains:gm inst in
     if (not refine) || Timer.expired_opt deadline then a
-    else Sra.refine ?deadline ~rng:(Wgrap_util.Rng.create seed) inst a
+    else Sra.refine ?deadline ~gains:gm ~rng:(Wgrap_util.Rng.create seed) inst a
   in
   let result =
     match run "sdga+sra" primary with
     | Some a -> Some a
     | None -> (
-        match run "sdga" (fun () -> Sdga.solve ?deadline inst) with
+        match run "sdga" (fun () -> Sdga.solve ?deadline ~gains:gm inst) with
         | Some a -> Some a
-        | None -> run "greedy" (fun () -> Greedy.solve ?deadline inst))
+        | None -> run "greedy" (fun () -> Greedy.solve ?deadline ~gains:gm inst))
   in
   match result with
   | Some a -> (

@@ -9,39 +9,45 @@ type params = {
 
 let default_params = { omega = 10; lambda = 0.05; max_rounds = 10_000 }
 
-let removal_probability inst ~score_matrix ~round ~lambda ~paper ~reviewer =
-  let n_r = float_of_int (Instance.n_reviewers inst) in
-  let denom = ref 0. in
-  Array.iter
-    (fun row ->
-      let s = row.(reviewer) in
-      if s <> Lap.Hungarian.forbidden then denom := !denom +. s)
-    score_matrix;
-  let s = score_matrix.(paper).(reviewer) in
-  let ratio = if !denom > 0. && s <> Lap.Hungarian.forbidden then s /. !denom else 0. in
-  Float.max (1. /. n_r) (exp (-.lambda *. float_of_int round) *. ratio)
+(* Eq. 9 denominators — one source of truth, shared with the cached
+   column sums of {!Gain_matrix}. *)
+let column_denominators ~n_reviewers ~score_matrix =
+  Gain_matrix.score_column_sums ~n_reviewers score_matrix
 
-let refine ?(params = default_params) ?deadline ?on_round ~rng inst start =
+(* Eq. 10 with a precomputed denominator: the probability that pair
+   (r, p) is correct (high means keep). *)
+let keep_probability ~n_reviewers ~denom ~score_matrix ~round ~lambda ~paper
+    ~reviewer =
+  let s = score_matrix.(paper).(reviewer) in
+  let ratio =
+    if denom.(reviewer) > 0. && s <> Lap.Hungarian.forbidden then
+      s /. denom.(reviewer)
+    else 0.
+  in
+  Float.max
+    (1. /. float_of_int n_reviewers)
+    (exp (-.lambda *. float_of_int round) *. ratio)
+
+let removal_probability inst ~score_matrix ~round ~lambda ~paper ~reviewer =
+  let n_reviewers = Instance.n_reviewers inst in
+  let denom = column_denominators ~n_reviewers ~score_matrix in
+  keep_probability ~n_reviewers ~denom ~score_matrix ~round ~lambda ~paper
+    ~reviewer
+
+let refine ?(params = default_params) ?deadline ?on_round ?gains ~rng inst start =
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
-  let score_matrix = Instance.score_matrix inst in
-  (* Per-reviewer coverage mass over all papers: the Eq. 9 denominator. *)
-  let denom = Array.make n_r 0. in
-  Array.iter
-    (fun row ->
-      for r = 0 to n_r - 1 do
-        if row.(r) <> Lap.Hungarian.forbidden then denom.(r) <- denom.(r) +. row.(r)
-      done)
-    score_matrix;
-  let keep_probability ~round ~paper ~reviewer =
-    let s = score_matrix.(paper).(reviewer) in
-    let ratio =
-      if denom.(reviewer) > 0. && s <> Lap.Hungarian.forbidden then
-        s /. denom.(reviewer)
-      else 0.
-    in
-    Float.max
-      (1. /. float_of_int n_r)
-      (exp (-.params.lambda *. float_of_int round) *. ratio)
+  (* The shared gain matrix carries the score matrix and the Eq. 9
+     column sums (both static across rounds), and its per-paper rows
+     survive between rounds: a removal that never defined the group max
+     on the paper's support keeps the row valid for the refill stage. *)
+  let gm =
+    match gains with Some g -> g | None -> Gain_matrix.create inst
+  in
+  let score_matrix = Gain_matrix.score_matrix gm in
+  let denom = Gain_matrix.column_denominators gm in
+  let keep ~round ~paper ~reviewer =
+    keep_probability ~n_reviewers:n_r ~denom ~score_matrix ~round
+      ~lambda:params.lambda ~paper ~reviewer
   in
   let best = ref (Assignment.copy start) in
   let best_score = ref (Assignment.coverage inst start) in
@@ -63,7 +69,7 @@ let refine ?(params = default_params) ?deadline ?on_round ~rng inst start =
          let members = Array.of_list (Assignment.group !current p) in
          let weights =
            Array.map
-             (fun r -> 1. -. keep_probability ~round:!round ~paper:p ~reviewer:r)
+             (fun r -> 1. -. keep ~round:!round ~paper:p ~reviewer:r)
              members
          in
          let victim =
@@ -77,14 +83,21 @@ let refine ?(params = default_params) ?deadline ?on_round ~rng inst start =
                Assignment.add trimmed ~paper:p ~reviewer:r;
                workload.(r) <- workload.(r) + 1
              end)
-           members
+           members;
+         Gain_matrix.set_group gm ~paper:p (Assignment.group trimmed p)
        done;
        (* Refill phase: one Stage-WGRAP completes every group. *)
        let capacity =
          Array.init n_r (fun r -> inst.Instance.delta_r - workload.(r))
        in
-       let pairs = Stage.solve ?deadline inst ~current:trimmed ~capacity in
-       List.iter (fun (p, r) -> Assignment.add trimmed ~paper:p ~reviewer:r) pairs;
+       let pairs =
+         Stage.solve ?gains:(Some gm) ?deadline inst ~current:trimmed ~capacity
+       in
+       List.iter
+         (fun (p, r) ->
+           Assignment.add trimmed ~paper:p ~reviewer:r;
+           Gain_matrix.add gm ~paper:p ~reviewer:r)
+         pairs;
        current := trimmed;
        let score = Assignment.coverage inst trimmed in
        if score > !best_score +. 1e-12 then begin

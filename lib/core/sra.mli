@@ -24,13 +24,37 @@ val refine :
   ?params:params ->
   ?deadline:Wgrap_util.Timer.deadline ->
   ?on_round:(round:int -> elapsed:float -> best:float -> unit) ->
+  ?gains:Gain_matrix.t ->
   rng:Wgrap_util.Rng.t ->
   Instance.t ->
   Assignment.t ->
   Assignment.t
 (** Returns the best assignment encountered (never worse than the
     input). [on_round] observes each round, for the refinement-over-time
-    curves of Figures 12 and 16. *)
+    curves of Figures 12 and 16. [gains], when given, supplies the
+    cached score matrix and Eq. 9 column sums and carries gain rows
+    across rounds (its group state is rebuilt from scratch each round,
+    so any prior state is acceptable — e.g. the matrix {!Sdga.solve}
+    just used). *)
+
+val column_denominators :
+  n_reviewers:int -> score_matrix:float array array -> float array
+(** The Eq. 9 denominators [sum_p' c(r, p')], COI cells excluded — the
+    single source of truth (delegates to
+    {!Gain_matrix.score_column_sums}), shared by {!refine},
+    {!removal_probability} and the bid-aware refinement. *)
+
+val keep_probability :
+  n_reviewers:int ->
+  denom:float array ->
+  score_matrix:float array array ->
+  round:int ->
+  lambda:float ->
+  paper:int ->
+  reviewer:int ->
+  float
+(** Eq. 10 against a precomputed denominator array: the probability that
+    pair (r, p) is {e correct} (high means keep). *)
 
 val removal_probability :
   Instance.t ->
@@ -40,5 +64,6 @@ val removal_probability :
   paper:int ->
   reviewer:int ->
   float
-(** Eq. 10, exposed for unit tests: the probability that pair (r, p) is
-    {e correct} (high means keep). *)
+(** Eq. 10, exposed for unit tests: {!keep_probability} with the
+    denominators recomputed on the fly — hot loops should precompute
+    them once via {!column_denominators} instead. *)

@@ -1,28 +1,36 @@
 let default_gain ~paper:_ ~reviewer:_ ~coverage_gain = coverage_gain
 
-(* Pair value for the stage, or [forbidden] when the pair may not be
-   used this stage. *)
-let stage_score pair_gain inst ~capacity ~group_vecs ~members p r =
-  if
-    capacity.(r) = 0
-    || List.mem r members
-    || Instance.forbidden inst ~paper:p ~reviewer:r
-  then Lap.Hungarian.forbidden
-  else begin
-    let coverage_gain =
-      Scoring.gain inst.Instance.scoring ~group:group_vecs
-        inst.Instance.reviewers.(r) inst.Instance.papers.(p)
-    in
-    pair_gain ~paper:p ~reviewer:r ~coverage_gain
-  end
-[@@inline]
-
 let paper_array ?papers inst =
   match papers with
   | Some l -> Array.of_list l
   | None -> Array.init (Instance.n_papers inst) Fun.id
 
-let solve ?papers ?(pair_gain = default_gain) ?deadline inst ~current ~capacity =
+(* Shared row builder: raw marginal gains for paper [p] against every
+   reviewer (from the shared gain matrix when given, else computed
+   directly with the sparse kernel into [raw]), then masked in place —
+   exhausted capacity, current group members (a [bool array] mask, set
+   and cleared around the row instead of a per-cell list scan) and COI
+   pairs become [forbidden] — and passed through [pair_gain]. *)
+let fill_row pair_gain inst ~gains ~capacity ~mask ~raw ~current p =
+  let n_r = Instance.n_reviewers inst in
+  let members = Assignment.group current p in
+  (match gains with
+  | Some gm -> Gain_matrix.blit_row gm ~paper:p ~dst:raw
+  | None ->
+      let group_vec = Assignment.group_vector inst current p in
+      Scoring.gain_into inst.Instance.scoring ~dst:raw ~group:group_vec
+        ~reviewers:inst.Instance.rsupp
+        (Instance.paper_support inst p));
+  List.iter (fun r -> mask.(r) <- true) members;
+  for r = 0 to n_r - 1 do
+    if capacity.(r) = 0 || mask.(r) || Instance.forbidden inst ~paper:p ~reviewer:r
+    then raw.(r) <- Lap.Hungarian.forbidden
+    else raw.(r) <- pair_gain ~paper:p ~reviewer:r ~coverage_gain:raw.(r)
+  done;
+  List.iter (fun r -> mask.(r) <- false) members
+
+let solve ?papers ?(pair_gain = default_gain) ?gains ?deadline inst ~current
+    ~capacity =
   let n_r = Instance.n_reviewers inst in
   if Array.length capacity <> n_r then
     invalid_arg "Stage.solve: capacity length mismatch";
@@ -41,19 +49,14 @@ let solve ?papers ?(pair_gain = default_gain) ?deadline inst ~current ~capacity 
     let owner = Array.of_list !owner in
     let cols = Array.length owner in
     if cols < rows then failwith "Stage.solve: infeasible stage";
+    let mask = Array.make n_r false in
+    let raw = Array.make n_r 0. in
     let score =
       Array.map
         (fun p ->
-          let group_vecs = Assignment.group_vector inst current p in
-          let members = Assignment.group current p in
-          (* Replicated columns of a reviewer share one value; compute
-             each reviewer once. *)
-          let per_reviewer =
-            Array.init n_r (fun r ->
-                stage_score pair_gain inst ~capacity ~group_vecs
-                  ~members p r)
-          in
-          Array.map (fun r -> per_reviewer.(r)) owner)
+          fill_row pair_gain inst ~gains ~capacity ~mask ~raw ~current p;
+          (* Replicated columns of a reviewer share one value. *)
+          Array.map (fun r -> raw.(r)) owner)
         paper_list
     in
     match Lap.Hungarian.maximize ?deadline score with
@@ -63,8 +66,8 @@ let solve ?papers ?(pair_gain = default_gain) ?deadline inst ~current ~capacity 
     | exception Failure _ -> failwith "Stage.solve: infeasible stage"
   end
 
-let solve_flow ?papers ?(pair_gain = default_gain) ?deadline inst ~current
-    ~capacity =
+let solve_flow ?papers ?(pair_gain = default_gain) ?gains ?deadline inst
+    ~current ~capacity =
   let n_r = Instance.n_reviewers inst in
   if Array.length capacity <> n_r then
     invalid_arg "Stage.solve: capacity length mismatch";
@@ -72,14 +75,13 @@ let solve_flow ?papers ?(pair_gain = default_gain) ?deadline inst ~current
   let rows = Array.length paper_list in
   if rows = 0 then []
   else begin
+    let mask = Array.make n_r false in
+    let raw = Array.make n_r 0. in
     let score =
       Array.map
         (fun p ->
-          let group_vecs = Assignment.group_vector inst current p in
-          let members = Assignment.group current p in
-          Array.init n_r (fun r ->
-              stage_score pair_gain inst ~capacity ~group_vecs
-                ~members p r))
+          fill_row pair_gain inst ~gains ~capacity ~mask ~raw ~current p;
+          Array.copy raw)
         paper_list
     in
     let chosen =

@@ -9,6 +9,7 @@
 val solve :
   ?papers:int list ->
   ?pair_gain:(paper:int -> reviewer:int -> coverage_gain:float -> float) ->
+  ?gains:Gain_matrix.t ->
   ?deadline:Wgrap_util.Timer.deadline ->
   Instance.t ->
   current:Assignment.t ->
@@ -19,6 +20,13 @@ val solve :
     is the marginal gain of the reviewer w.r.t. the paper's current
     group; pairs are excluded when the reviewer is already in the group,
     the pair is a COI, or [capacity.(r) = 0].
+
+    [gains] supplies the marginal gains from a shared {!Gain_matrix}
+    whose group state the caller keeps consistent with [current]
+    (SDGA and SRA reuse one matrix across stages/rounds this way, so
+    only rows whose group vector moved are recomputed). Without it,
+    gains are computed per call with the O(nnz) sparse kernel — same
+    values either way.
 
     [pair_gain] replaces the objective of the stage: it receives the
     plain coverage gain and returns the value to maximize — the hook the
@@ -38,6 +46,7 @@ val solve :
 val solve_flow :
   ?papers:int list ->
   ?pair_gain:(paper:int -> reviewer:int -> coverage_gain:float -> float) ->
+  ?gains:Gain_matrix.t ->
   ?deadline:Wgrap_util.Timer.deadline ->
   Instance.t ->
   current:Assignment.t ->

@@ -30,6 +30,30 @@ let group_max = function
       List.iter (fun r -> extend_max_into ~dst:acc r) rest;
       acc
 
+type support = { vec : t; idx : int array; nz : float array; mass : float }
+
+let support v =
+  let n = Array.length v in
+  let count = ref 0 in
+  for t = 0 to n - 1 do
+    if v.(t) > 0. then incr count
+  done;
+  let idx = Array.make !count 0 and nz = Array.make !count 0. in
+  let k = ref 0 in
+  (* [mass] sums every coordinate left to right — the exact accumulation
+     order of the dense scoring denominator, so sparse and dense scores
+     divide by bit-identical masses. *)
+  let mass = ref 0. in
+  for t = 0 to n - 1 do
+    mass := !mass +. v.(t);
+    if v.(t) > 0. then begin
+      idx.(!k) <- t;
+      nz.(!k) <- v.(t);
+      incr k
+    end
+  done;
+  { vec = v; idx; nz; mass = !mass }
+
 let top_topics v k =
   let indices = Array.init (Array.length v) (fun i -> i) in
   (* Stable sort keeps lower indices first among ties. *)

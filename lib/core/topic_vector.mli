@@ -32,6 +32,22 @@ val extend_max : t -> t -> t
 val extend_max_into : dst:t -> t -> unit
 (** In-place variant used by the hot loops: [dst.(t) <- max dst.(t) r.(t)]. *)
 
+type support = {
+  vec : t;  (** the dense vector the support was compiled from *)
+  idx : int array;  (** indices of the strictly positive coordinates *)
+  nz : float array;  (** [nz.(k) = vec.(idx.(k))] *)
+  mass : float;  (** total mass, summed in dense coordinate order *)
+}
+(** Compiled sparse view of a vector: the nonzero coordinates plus the
+    total mass, precomputed once so the scoring kernels can iterate in
+    O(nnz) instead of O(T). [mass] is accumulated in the same
+    left-to-right order as the dense scoring denominator, so sparse and
+    dense scores agree bit-for-bit on the division. *)
+
+val support : t -> support
+(** Compile a sparse view. O(T); done once per vector at instance
+    construction. *)
+
 val top_topics : t -> int -> int list
 (** Indices of the [k] heaviest coordinates, heaviest first (ties broken
     by lower index). Used by the case-study reports. *)

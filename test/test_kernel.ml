@@ -1,0 +1,353 @@
+(* PR 2 kernel tests: the dense scoring functions are the oracle for
+   the O(nnz) sparse kernels, and a from-scratch rebuild is the oracle
+   for [Gain_matrix]'s incremental row invalidation. *)
+
+module Rng = Wgrap_util.Rng
+open Wgrap
+
+let tol = 1e-12
+
+(* A vector with exact zeros: each coordinate is kept with probability
+   [density], so supports are genuinely sparse and off-support branches
+   of the kernels are exercised. *)
+let sparse_vec rng ?(density = 0.4) dim =
+  Array.init dim (fun _ ->
+      if Rng.uniform rng < density then 0.05 +. Rng.uniform rng else 0.)
+
+let edge_papers dim =
+  [
+    Array.make dim 0.;
+    (* zero mass *)
+    (let v = Array.make dim 0. in
+     v.(dim / 2) <- 0.7;
+     v);
+    (* single topic *)
+    Array.make dim 0.25;
+    (* fully dense *)
+  ]
+
+(* {1 Sparse kernels vs the dense oracle} *)
+
+let test_score_sparse_matches_dense () =
+  let rng = Rng.create 11 in
+  let dim = 12 in
+  let papers =
+    edge_papers dim @ List.init 60 (fun _ -> sparse_vec rng dim)
+  in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun paper ->
+          let support = Topic_vector.support paper in
+          for _ = 1 to 5 do
+            let v = sparse_vec rng dim in
+            let dense = Scoring.score kind v paper in
+            let sparse =
+              Scoring.score_sparse kind ~v ~v_mass:(Topic_vector.mass v) support
+            in
+            Alcotest.(check (float tol))
+              (Scoring.name kind ^ " score") dense sparse;
+            (match kind with
+            | Scoring.Reviewer_coverage -> ()
+            | _ ->
+                (* f(v, 0) = 0 exactly: the sparse sum is the dense sum. *)
+                Alcotest.(check bool)
+                  (Scoring.name kind ^ " score bitwise") true (dense = sparse))
+          done)
+        papers)
+    Scoring.all
+
+let test_gain_sparse_matches_dense () =
+  let rng = Rng.create 13 in
+  let dim = 12 in
+  let papers =
+    edge_papers dim @ List.init 60 (fun _ -> sparse_vec rng dim)
+  in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun paper ->
+          let psupp = Topic_vector.support paper in
+          for _ = 1 to 5 do
+            let r = sparse_vec rng dim in
+            let group =
+              if Rng.uniform rng < 0.2 then Scoring.empty_group ~dim
+              else sparse_vec rng dim
+            in
+            let dense = Scoring.gain kind ~group r paper in
+            let sparse =
+              Scoring.gain_sparse kind ~group (Topic_vector.support r) psupp
+            in
+            Alcotest.(check (float tol))
+              (Scoring.name kind ^ " gain") dense sparse
+          done)
+        papers)
+    Scoring.all
+
+let test_row_kernels_match_cells () =
+  let rng = Rng.create 17 in
+  let dim = 10 and n_r = 15 in
+  let reviewers = Array.init n_r (fun _ -> sparse_vec rng dim) in
+  let supports = Array.map Topic_vector.support reviewers in
+  let dst = Array.make n_r 0. in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun paper ->
+          let psupp = Topic_vector.support paper in
+          Scoring.score_into kind ~dst ~reviewers:supports psupp;
+          Array.iteri
+            (fun r v ->
+              Alcotest.(check (float tol))
+                "score_into cell"
+                (Scoring.score kind reviewers.(r) paper)
+                v)
+            dst;
+          let group = sparse_vec rng dim in
+          Scoring.gain_into kind ~dst ~group ~reviewers:supports psupp;
+          Array.iteri
+            (fun r v ->
+              Alcotest.(check (float tol))
+                "gain_into cell"
+                (Scoring.gain kind ~group reviewers.(r) paper)
+                v)
+            dst)
+        (edge_papers dim @ List.init 20 (fun _ -> sparse_vec rng dim)))
+    Scoring.all
+
+let test_group_score_sparse () =
+  let rng = Rng.create 19 in
+  let dim = 9 in
+  List.iter
+    (fun kind ->
+      for _ = 1 to 50 do
+        let paper = sparse_vec rng dim in
+        let vecs = List.init (1 + Rng.int rng 4) (fun _ -> sparse_vec rng dim) in
+        Alcotest.(check (float tol))
+          (Scoring.name kind ^ " group score")
+          (Scoring.group_score kind vecs paper)
+          (Scoring.group_score_sparse kind vecs (Topic_vector.support paper))
+      done)
+    Scoring.all
+
+(* {1 Gain_matrix: incremental invalidation vs from-scratch rebuild} *)
+
+let random_instance ?(scoring = Scoring.Weighted_coverage) rng ~n_p ~n_r ~dim =
+  let papers = Array.init n_p (fun _ -> sparse_vec rng dim) in
+  let reviewers = Array.init n_r (fun _ -> sparse_vec rng dim) in
+  let coi = if Rng.uniform rng < 0.5 then [ (0, 0); (1, n_r - 1) ] else [] in
+  let delta_p = 3 in
+  let delta_r =
+    Instance.min_workload ~papers:n_p ~reviewers:n_r ~delta_p + 1
+  in
+  Instance.create_exn ~scoring ~coi ~papers ~reviewers ~delta_p ~delta_r ()
+
+(* Oracle for one row: dense gains against the group vector implied by
+   [members], for non-member reviewers (member cells are unspecified by
+   contract — every consumer masks them). *)
+let check_rows inst gm groups =
+  let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
+  let row = Array.make n_r 0. in
+  for p = 0 to n_p - 1 do
+    let vecs = List.map (fun r -> inst.Instance.reviewers.(r)) groups.(p) in
+    let gvec =
+      match vecs with
+      | [] -> Scoring.empty_group ~dim:(Instance.n_topics inst)
+      | _ -> Topic_vector.group_max vecs
+    in
+    Gain_matrix.blit_row gm ~paper:p ~dst:row;
+    for r = 0 to n_r - 1 do
+      if not (List.mem r groups.(p)) then begin
+        let expected =
+          Scoring.gain inst.Instance.scoring ~group:gvec
+            inst.Instance.reviewers.(r) inst.Instance.papers.(p)
+        in
+        Alcotest.(check (float tol)) "row cell" expected row.(r);
+        Alcotest.(check (float tol))
+          "point gain" expected
+          (Gain_matrix.gain gm ~paper:p ~reviewer:r)
+      end
+    done
+  done
+
+let test_gain_matrix_incremental () =
+  List.iter
+    (fun scoring ->
+      let rng = Rng.create 23 in
+      let inst = random_instance ~scoring rng ~n_p:6 ~n_r:10 ~dim:8 in
+      let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
+      let gm = Gain_matrix.create inst in
+      let groups = Array.make n_p [] in
+      check_rows inst gm groups;
+      (* Scripted interleaving of adds and wholesale rebuilds, checking
+         every row against the dense oracle after each step. *)
+      for step = 1 to 40 do
+        let p = Rng.int rng n_p in
+        if step mod 7 = 0 then begin
+          let members =
+            List.sort_uniq compare
+              (List.init (Rng.int rng 4) (fun _ -> Rng.int rng n_r))
+          in
+          groups.(p) <- members;
+          Gain_matrix.set_group gm ~paper:p members
+        end
+        else begin
+          let r = Rng.int rng n_r in
+          if not (List.mem r groups.(p)) then begin
+            groups.(p) <- r :: groups.(p);
+            Gain_matrix.add gm ~paper:p ~reviewer:r
+          end
+        end;
+        check_rows inst gm groups
+      done;
+      (* reset returns to the all-empty state. *)
+      Gain_matrix.reset gm;
+      Array.fill groups 0 n_p [];
+      check_rows inst gm groups)
+    Scoring.all
+
+let test_gain_matrix_version_monotone () =
+  let rng = Rng.create 29 in
+  let inst = random_instance rng ~n_p:4 ~n_r:8 ~dim:6 in
+  let gm = Gain_matrix.create inst in
+  let last = Array.init 4 (fun p -> Gain_matrix.version gm ~paper:p) in
+  for _ = 1 to 30 do
+    let p = Rng.int rng 4 and r = Rng.int rng 8 in
+    Gain_matrix.add gm ~paper:p ~reviewer:r;
+    let v = Gain_matrix.version gm ~paper:p in
+    Alcotest.(check bool) "version monotone" true (v >= last.(p));
+    last.(p) <- v
+  done;
+  (* Re-adding a dominated reviewer must not invalidate the row. *)
+  Gain_matrix.add gm ~paper:0 ~reviewer:0;
+  let before = Gain_matrix.version gm ~paper:0 in
+  Gain_matrix.add gm ~paper:0 ~reviewer:0;
+  Alcotest.(check int) "idempotent add keeps version" before
+    (Gain_matrix.version gm ~paper:0)
+
+(* {1 Eq. 9 denominators: one source of truth} *)
+
+let test_denominators_agree () =
+  let rng = Rng.create 31 in
+  let inst = random_instance rng ~n_p:6 ~n_r:9 ~dim:7 in
+  let n_r = Instance.n_reviewers inst in
+  let score_matrix = Instance.score_matrix inst in
+  let expected = Array.make n_r 0. in
+  Array.iter
+    (fun row ->
+      for r = 0 to n_r - 1 do
+        if row.(r) <> Lap.Hungarian.forbidden then
+          expected.(r) <- expected.(r) +. row.(r)
+      done)
+    score_matrix;
+  let via_sra = Sra.column_denominators ~n_reviewers:n_r ~score_matrix in
+  let gm = Gain_matrix.create inst in
+  let via_gm = Gain_matrix.column_denominators gm in
+  Alcotest.(check (array (float tol))) "sra denominators" expected via_sra;
+  Alcotest.(check (array (float tol))) "gm denominators" expected via_gm;
+  (* removal_probability (the test-facing wrapper) must equal
+     keep_probability against the precomputed array. *)
+  for p = 0 to Instance.n_papers inst - 1 do
+    for r = 0 to n_r - 1 do
+      Alcotest.(check (float tol))
+        "eq10 wrapper"
+        (Sra.keep_probability ~n_reviewers:n_r ~denom:via_sra ~score_matrix
+           ~round:3 ~lambda:0.05 ~paper:p ~reviewer:r)
+        (Sra.removal_probability inst ~score_matrix ~round:3 ~lambda:0.05
+           ~paper:p ~reviewer:r)
+    done
+  done
+
+(* {1 Solvers: shared gain matrix changes nothing observable} *)
+
+let sorted_pairs a = List.sort compare (Assignment.pairs a)
+
+let test_stage_with_gains_matches_without () =
+  let rng = Rng.create 37 in
+  let inst = random_instance rng ~n_p:6 ~n_r:10 ~dim:8 in
+  let n_r = Instance.n_reviewers inst in
+  let current = Assignment.empty ~n_papers:(Instance.n_papers inst) in
+  let capacity = Array.make n_r 1 in
+  let plain = Stage.solve inst ~current ~capacity in
+  let gm = Gain_matrix.create inst in
+  let shared = Stage.solve ~gains:gm inst ~current ~capacity in
+  Alcotest.(check (list (pair int int)))
+    "stage pairs" (List.sort compare plain) (List.sort compare shared);
+  let flow = Stage.solve_flow ~gains:gm inst ~current ~capacity in
+  Alcotest.(check int) "flow pair count" (List.length plain) (List.length flow)
+
+let test_sdga_with_gains_matches_without () =
+  let rng = Rng.create 41 in
+  for _trial = 0 to 4 do
+    let inst = random_instance rng ~n_p:5 ~n_r:10 ~dim:8 in
+    let plain = Sdga.solve inst in
+    let gm = Gain_matrix.create inst in
+    (* Dirty the matrix first: solvers reset their gain state on entry. *)
+    Gain_matrix.add gm ~paper:0 ~reviewer:1;
+    let shared = Sdga.solve ~gains:gm inst in
+    Alcotest.(check (list (pair int int)))
+      "sdga pairs" (sorted_pairs plain) (sorted_pairs shared)
+  done
+
+let test_greedy_with_gains_matches_without () =
+  let rng = Rng.create 43 in
+  for _ = 0 to 4 do
+    let inst = random_instance rng ~n_p:5 ~n_r:10 ~dim:8 in
+    let plain = Greedy.solve inst in
+    let gm = Gain_matrix.create inst in
+    Gain_matrix.add gm ~paper:2 ~reviewer:3;
+    let shared = Greedy.solve ~gains:gm inst in
+    Alcotest.(check (list (pair int int)))
+      "greedy pairs" (sorted_pairs plain) (sorted_pairs shared);
+    (* Lazy greedy must still match the naive rescan ablation baseline's
+       objective (ties may be broken differently). *)
+    let rescan = Greedy.solve_rescan inst in
+    Alcotest.(check (float 1e-9))
+      "greedy vs rescan objective"
+      (Assignment.coverage inst rescan)
+      (Assignment.coverage inst plain)
+  done
+
+let test_sra_with_gains_matches_without () =
+  let rng = Rng.create 47 in
+  let inst = random_instance rng ~n_p:5 ~n_r:10 ~dim:8 in
+  let start = Sdga.solve inst in
+  let params = { Sra.default_params with Sra.max_rounds = 5; omega = 100 } in
+  let plain = Sra.refine ~params ~rng:(Rng.create 7) inst start in
+  let gm = Gain_matrix.create inst in
+  Gain_matrix.add gm ~paper:1 ~reviewer:2;
+  let shared = Sra.refine ~params ~gains:gm ~rng:(Rng.create 7) inst start in
+  Alcotest.(check (list (pair int int)))
+    "sra pairs" (sorted_pairs plain) (sorted_pairs shared)
+
+let () =
+  Alcotest.run "kernel"
+    [
+      ( "sparse kernels",
+        [
+          Alcotest.test_case "score sparse = dense" `Quick
+            test_score_sparse_matches_dense;
+          Alcotest.test_case "gain sparse = dense" `Quick
+            test_gain_sparse_matches_dense;
+          Alcotest.test_case "row kernels = cells" `Quick
+            test_row_kernels_match_cells;
+          Alcotest.test_case "group score sparse" `Quick test_group_score_sparse;
+        ] );
+      ( "gain matrix",
+        [
+          Alcotest.test_case "incremental = rebuild" `Quick
+            test_gain_matrix_incremental;
+          Alcotest.test_case "versions monotone" `Quick
+            test_gain_matrix_version_monotone;
+        ] );
+      ( "denominators",
+        [ Alcotest.test_case "one source of truth" `Quick test_denominators_agree ] );
+      ( "solvers",
+        [
+          Alcotest.test_case "stage" `Quick test_stage_with_gains_matches_without;
+          Alcotest.test_case "sdga" `Quick test_sdga_with_gains_matches_without;
+          Alcotest.test_case "greedy" `Quick
+            test_greedy_with_gains_matches_without;
+          Alcotest.test_case "sra" `Quick test_sra_with_gains_matches_without;
+        ] );
+    ]
