@@ -1,15 +1,18 @@
 (* wgrap: reviewer assignment from the command line.
 
    Subcommands:
-     generate  - write a synthetic DBLP-like corpus as TSV
-     assign    - conference assignment over a TSV corpus (anytime harness)
-     jra       - reviewer search for a single paper
+     generate    - write a synthetic DBLP-like corpus as TSV
+     assign      - conference assignment over a TSV corpus (anytime harness,
+                   optionally crash-safe via --checkpoint-dir/--resume)
+     jra         - reviewer search for a single paper
+     checkpoint  - inspect a checkpoint directory's snapshot and journal
 
-   The TSV formats are documented in Dataset.Loader.
+   The TSV formats are documented in Dataset.Loader; the snapshot and
+   journal formats in Wgrap_persist.Codec (and DESIGN.md).
 
    Exit codes: 0 success, 1 usage error, 2 data error (unreadable or
-   malformed corpus), 3 solver degraded past tolerance (--strict) or
-   infeasible instance. *)
+   malformed corpus, or no readable checkpoint for `checkpoint`),
+   3 solver degraded past tolerance (--strict) or infeasible instance. *)
 
 module Rng = Wgrap_util.Rng
 module Timer = Wgrap_util.Timer
@@ -86,7 +89,7 @@ let load_corpus ~lenient authors_path papers_path =
 (* {1 assign} *)
 
 let assign ~seed ~authors_path ~papers_path ~dataset ~delta_p ~refine ~budget
-    ~lenient ~strict ~out =
+    ~lenient ~strict ~out ~checkpoint_dir ~checkpoint_every ~resume =
   let corpus = load_corpus ~lenient authors_path papers_path in
   let spec =
     match Dataset.Datasets.find dataset with
@@ -123,9 +126,46 @@ let assign ~seed ~authors_path ~papers_path ~dataset ~delta_p ~refine ~budget
           quarantined;
         inst
   in
-  let outcome, dt =
-    Timer.time (fun () -> Solver.cra ?budget ~seed ~refine inst)
+  (* Crash-safe mode: recover (and certify) any stored state before the
+     store is opened, because opening fresh wipes the previous run's
+     files. A rejected checkpoint degrades to a fresh run whose outcome
+     carries the loader's verdict as a Stale_checkpoint reason. *)
+  let resume_from =
+    if not resume then None
+    else
+      match checkpoint_dir with
+      | None -> die exit_usage "--resume requires --checkpoint-dir"
+      | Some dir -> (
+          match Wgrap_persist.Store.load ~dir inst with
+          | Ok st ->
+              warn "resuming from checkpoint (%s, %s, objective %.6f)"
+                st.Checkpoint.link
+                (Format.asprintf "%a" Checkpoint.pp_phase st.Checkpoint.phase)
+                st.Checkpoint.score;
+              Some (Ok st)
+          | Error Wgrap_persist.Store.No_checkpoint ->
+              warn "no checkpoint in %s; starting fresh" dir;
+              None
+          | Error (Wgrap_persist.Store.Invalid msg) -> Some (Error msg))
   in
+  let store =
+    Option.map
+      (fun dir ->
+        let fresh =
+          (* Only a certified resume appends to the old journal; a fresh
+             or degraded-to-fresh run must not inherit the previous
+             run's incumbents. *)
+          match resume_from with Some (Ok _) -> false | _ -> true
+        in
+        Wgrap_persist.Store.open_ ~cadence:checkpoint_every ~fresh ~dir ())
+      checkpoint_dir
+  in
+  let checkpoint = Option.map Wgrap_persist.Store.sink store in
+  let outcome, dt =
+    Timer.time (fun () ->
+        Solver.cra ?budget ~seed ~refine ?checkpoint ?resume_from inst)
+  in
+  Option.iter Wgrap_persist.Store.close store;
   enforce_tolerance ~strict outcome;
   let a =
     match Solver.value outcome with Some a -> a | None -> assert false
@@ -166,6 +206,40 @@ let assign ~seed ~authors_path ~papers_path ~dataset ~delta_p ~refine ~budget
     close_out oc;
     Printf.printf "assignment written to %s\n" out
   end
+
+(* {1 checkpoint} *)
+
+let checkpoint_info ~dir =
+  let snap = Wgrap_persist.Store.snapshot_path dir in
+  let journal = Wgrap_persist.Store.journal_path dir in
+  let have_snapshot =
+    match Wgrap_persist.Snapshot.read snap with
+    | Ok st ->
+        Printf.printf "snapshot: link=%s phase=\"%s\" stall=%d score=%.9f\n"
+          st.Checkpoint.link
+          (Format.asprintf "%a" Checkpoint.pp_phase st.Checkpoint.phase)
+          st.Checkpoint.stall st.Checkpoint.score;
+        Printf.printf "snapshot: %d papers, %d assigned pairs\n"
+          (Array.length st.Checkpoint.best.Assignment.groups)
+          (Assignment.size st.Checkpoint.best);
+        true
+    | Error Wgrap_persist.Snapshot.Missing ->
+        Printf.printf "snapshot: none\n";
+        false
+    | Error (Wgrap_persist.Snapshot.Corrupt msg) ->
+        Printf.printf "snapshot: corrupt (%s)\n" msg;
+        false
+  in
+  let { Wgrap_persist.Journal.events; torn } =
+    Wgrap_persist.Journal.replay journal
+  in
+  Printf.printf "journal: %d valid record(s)%s\n" (List.length events)
+    (if torn then ", torn tail truncated" else "");
+  (match Wgrap_persist.Journal.last_incumbent events with
+  | Some s -> Printf.printf "journal: last incumbent %.9f\n" s
+  | None -> Printf.printf "journal: no incumbent recorded\n");
+  if not (have_snapshot || events <> []) then
+    die exit_data "no usable checkpoint state in %s" dir
 
 (* {1 jra} *)
 
@@ -271,6 +345,68 @@ let strict_arg =
     & info [ "strict" ]
         ~doc:"Exit with code 3 instead of accepting a degraded result.")
 
+(* "2.5s" / "2.5" = wall-clock seconds between snapshots, "10r" = every
+   10th snapshot opportunity (SRA round / SDGA stage). *)
+let cadence_conv =
+  let parse s =
+    let body last = String.sub s 0 (String.length s - last) in
+    let err =
+      `Msg
+        (Printf.sprintf
+           "invalid cadence %S (expected e.g. \"5s\", \"2.5\" or \"10r\")" s)
+    in
+    if s = "" then Error err
+    else
+      match s.[String.length s - 1] with
+      | 'r' -> (
+          match int_of_string_opt (body 1) with
+          | Some n when n > 0 -> Ok (Wgrap_persist.Store.Every_rounds n)
+          | _ -> Error err)
+      | 's' -> (
+          match float_of_string_opt (body 1) with
+          | Some x when x >= 0. -> Ok (Wgrap_persist.Store.Every_seconds x)
+          | _ -> Error err)
+      | _ -> (
+          match float_of_string_opt s with
+          | Some x when x >= 0. -> Ok (Wgrap_persist.Store.Every_seconds x)
+          | _ -> Error err)
+  in
+  let print ppf = function
+    | Wgrap_persist.Store.Every_seconds x -> Format.fprintf ppf "%gs" x
+    | Wgrap_persist.Store.Every_rounds n -> Format.fprintf ppf "%dr" n
+  in
+  Arg.conv (parse, print)
+
+let checkpoint_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint-dir" ] ~docv:"DIR"
+        ~doc:
+          "Write crash-safe solver state (atomic snapshot + write-ahead \
+           journal) under $(docv); resume later with $(b,--resume).")
+
+let checkpoint_every_arg =
+  Arg.(
+    value
+    & opt cadence_conv (Wgrap_persist.Store.Every_seconds 5.)
+    & info [ "checkpoint-every" ] ~docv:"SEC|Nr"
+        ~doc:
+          "Snapshot cadence: seconds (e.g. $(b,2.5s)) or every N-th \
+           refinement round / SDGA stage (e.g. $(b,10r)). Improvements are \
+           always snapshotted immediately; this throttles the in-between \
+           snapshots. Default 5s.")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Recover from the $(b,--checkpoint-dir) state: a certified \
+           snapshot re-enters the solver chain where it was interrupted; a \
+           corrupt or stale one degrades to a fresh run with a \
+           machine-readable reason on stderr.")
+
 let generate_cmd =
   let scale =
     Arg.(
@@ -306,11 +442,25 @@ let assign_cmd =
     Term.(
       const
         (fun seed authors_path papers_path dataset delta_p no_refine budget
-             lenient strict out ->
+             lenient strict out checkpoint_dir checkpoint_every resume ->
           assign ~seed ~authors_path ~papers_path ~dataset ~delta_p
-            ~refine:(not no_refine) ~budget ~lenient ~strict ~out)
+            ~refine:(not no_refine) ~budget ~lenient ~strict ~out
+            ~checkpoint_dir ~checkpoint_every ~resume)
       $ seed_arg $ authors_arg $ papers_arg $ dataset $ delta_p $ no_refine
-      $ budget_arg $ lenient_arg $ strict_arg $ out)
+      $ budget_arg $ lenient_arg $ strict_arg $ out $ checkpoint_dir_arg
+      $ checkpoint_every_arg $ resume_arg)
+
+let checkpoint_cmd =
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "checkpoint-dir" ] ~docv:"DIR" ~doc:"Checkpoint directory.")
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:"Inspect a checkpoint directory (snapshot + journal)")
+    Term.(const (fun dir -> checkpoint_info ~dir) $ dir)
 
 let jra_cmd =
   let paper_id =
@@ -337,7 +487,12 @@ let jra_cmd =
       $ budget_arg $ lenient_arg $ strict_arg)
 
 let () =
+  (* Degraded runs report faults on stderr; with backtraces recorded the
+     Fault reasons carry the raise site too (see Solver.describe_exn). *)
+  Printexc.record_backtrace true;
   let doc = "weighted-coverage reviewer assignment (SIGMOD 2015)" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "wgrap" ~doc) [ generate_cmd; assign_cmd; jra_cmd ]))
+       (Cmd.group
+          (Cmd.info "wgrap" ~doc)
+          [ generate_cmd; assign_cmd; jra_cmd; checkpoint_cmd ]))

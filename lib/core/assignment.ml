@@ -47,53 +47,77 @@ let coverage inst t =
   done;
   !acc
 
+(* The canonical serialization: one line per paper, [paper \t ids].
+   Reviewer ids are written in reverse list order so that {!of_lines}'s
+   [List.rev] restores the in-memory order exactly — group lists are
+   semantically unordered, but byte-exact round-tripping is what lets a
+   resumed stochastic refinement replay the uninterrupted run's stream
+   of victim draws. *)
+let to_lines t =
+  Array.to_list
+    (Array.mapi
+       (fun p group ->
+         Printf.sprintf "%d\t%s" p
+           (String.concat ";" (List.map string_of_int (List.rev group))))
+       t.groups)
+
+let of_lines ~n_papers lines =
+  let ( let* ) = Result.bind in
+  let t = empty ~n_papers in
+  let seen = Array.make n_papers false in
+  let rec go lineno = function
+    | [] -> Ok t
+    | "" :: rest -> go (lineno + 1) rest
+    | line :: rest -> (
+        match String.split_on_char '\t' line with
+        | [ p; rs ] -> (
+            match int_of_string_opt p with
+            | Some p when p >= 0 && p < n_papers && not seen.(p) ->
+                seen.(p) <- true;
+                let ids =
+                  String.split_on_char ';' rs
+                  |> List.filter (fun s -> s <> "")
+                  |> List.map int_of_string_opt
+                in
+                let* ids =
+                  if List.for_all Option.is_some ids then
+                    Ok (List.map Option.get ids)
+                  else Error (Printf.sprintf "line %d: bad reviewer id" lineno)
+                in
+                t.groups.(p) <- List.rev ids;
+                go (lineno + 1) rest
+            | _ -> Error (Printf.sprintf "line %d: bad paper id" lineno))
+        | _ -> Error (Printf.sprintf "line %d: expected 2 fields" lineno))
+  in
+  go 1 lines
+
 let save_tsv t path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      Array.iteri
-        (fun p group ->
-          Printf.fprintf oc "%d\t%s\n" p
-            (String.concat ";" (List.map string_of_int (List.rev group))))
-        t.groups)
+      List.iter (fun line -> output_string oc (line ^ "\n")) (to_lines t))
 
 let load_tsv ~n_papers path =
-  let ( let* ) = Result.bind in
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let t = empty ~n_papers in
-      let seen = Array.make n_papers false in
-      let rec go lineno =
+      let rec read acc =
         match input_line ic with
-        | exception End_of_file -> Ok t
-        | "" -> go (lineno + 1)
-        | line -> (
-            match String.split_on_char '\t' line with
-            | [ p; rs ] -> (
-                match int_of_string_opt p with
-                | Some p when p >= 0 && p < n_papers && not seen.(p) ->
-                    seen.(p) <- true;
-                    let ids =
-                      String.split_on_char ';' rs
-                      |> List.filter (fun s -> s <> "")
-                      |> List.map int_of_string_opt
-                    in
-                    let* ids =
-                      if List.for_all Option.is_some ids then
-                        Ok (List.map Option.get ids)
-                      else Error (Printf.sprintf "line %d: bad reviewer id" lineno)
-                    in
-                    t.groups.(p) <- List.rev ids;
-                    go (lineno + 1)
-                | _ -> Error (Printf.sprintf "line %d: bad paper id" lineno))
-            | _ -> Error (Printf.sprintf "line %d: expected 2 fields" lineno))
+        | line -> read (line :: acc)
+        | exception End_of_file -> List.rev acc
       in
-      go 1)
+      of_lines ~n_papers (read []))
 
-let validate inst t =
+let equal a b =
+  Array.length a.groups = Array.length b.groups
+  && Array.for_all2
+       (fun ga gb ->
+         List.sort_uniq compare ga = List.sort_uniq compare gb)
+       a.groups b.groups
+
+let validate_gen ~exact inst t =
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
   if Array.length t.groups <> n_p then Error "paper count mismatch"
   else begin
@@ -104,10 +128,13 @@ let validate inst t =
         let g = t.groups.(p) in
         let rec check_group seen = function
           | [] ->
-              if List.length g <> inst.Instance.delta_p then
+              let size = List.length g in
+              if size <> inst.Instance.delta_p && (exact || size > inst.Instance.delta_p)
+              then
                 Error
-                  (Printf.sprintf "paper %d has %d reviewers, needs %d" p
-                     (List.length g) inst.Instance.delta_p)
+                  (Printf.sprintf "paper %d has %d reviewers, needs %s%d" p size
+                     (if exact then "" else "at most ")
+                     inst.Instance.delta_p)
               else check_papers (p + 1)
           | r :: rest ->
               if r < 0 || r >= n_r then Error "reviewer index out of range"
@@ -139,4 +166,6 @@ let validate inst t =
         | None -> Ok ())
   end
 
+let validate inst t = validate_gen ~exact:true inst t
+let validate_partial inst t = validate_gen ~exact:false inst t
 let is_feasible inst t = Result.is_ok (validate inst t)

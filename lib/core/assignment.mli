@@ -31,16 +31,36 @@ val paper_score : Instance.t -> t -> int -> float
 val coverage : Instance.t -> t -> float
 (** The WGRAP objective c(A): sum of per-paper group scores. *)
 
+val to_lines : t -> string list
+(** Canonical serialization, one line per paper:
+    [paper_id \t reviewer ids ';'-separated]. Byte-deterministic and
+    order-preserving: [of_lines (to_lines t)] restores not just the same
+    groups but the same in-memory list order, which is what lets a
+    resumed {!Sra} run replay the uninterrupted run's victim draws. *)
+
+val of_lines : n_papers:int -> string list -> (t, string) result
+(** Inverse of {!to_lines}; papers may appear in any order but each at
+    most once, ids must be in range, blank lines are skipped.
+    Feasibility is NOT checked — run {!validate} against an instance for
+    that. *)
+
 val save_tsv : t -> string -> unit
-(** One line per paper: [paper_id \t reviewer ids ';'-separated]. *)
+(** {!to_lines} written to a file, newline-terminated. *)
 
 val load_tsv : n_papers:int -> string -> (t, string) result
-(** Inverse of {!save_tsv}; papers may appear in any order but each at
-    most once, ids must be in range. Feasibility is NOT checked — run
-    {!validate} against an instance for that. *)
+(** {!of_lines} over a file's lines. *)
+
+val equal : t -> t -> bool
+(** Same paper count and the same reviewer {e set} per paper (list order
+    is ignored — groups are semantically unordered). *)
 
 val validate : Instance.t -> t -> (unit, string) result
 (** Full feasibility check: exactly [delta_p] distinct reviewers per
     paper, no reviewer above [delta_r], no COI pair used. *)
+
+val validate_partial : Instance.t -> t -> (unit, string) result
+(** As {!validate} but groups may be short (at most [delta_p] instead of
+    exactly) — the certification check for a checkpoint captured midway
+    through SDGA's stage loop, where groups are still filling. *)
 
 val is_feasible : Instance.t -> t -> bool

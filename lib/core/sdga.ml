@@ -5,9 +5,21 @@ let approximation_ratio ~delta_p ~integral =
   let exponent = if integral then dp else dp -. 1. in
   1. -. ((1. -. (1. /. dp)) ** exponent)
 
-let solve_with ?deadline ?gains stage inst =
+let solve_with ?deadline ?gains ?checkpoint ?resume_from stage inst =
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
-  let assignment = Assignment.empty ~n_papers:n_p in
+  (* Resume only from a state captured in this phase; anything else
+     (e.g. a mid-SRA state handed down by mistake) starts fresh. *)
+  let resume =
+    match resume_from with
+    | Some { Checkpoint.phase = Checkpoint.Sdga_stage k; current; _ } ->
+        Some (k, current)
+    | _ -> None
+  in
+  let assignment =
+    match resume with
+    | Some (_, saved) -> Assignment.copy saved
+    | None -> Assignment.empty ~n_papers:n_p
+  in
   (* One gain matrix for all delta_p stages: a stage invalidates only
      the rows of papers whose group vector visibly changed when its
      pairs are committed; the rest carry over. *)
@@ -18,11 +30,20 @@ let solve_with ?deadline ?gains stage inst =
         g
     | None -> Gain_matrix.create inst
   in
-  let used = Array.make n_r 0 in
+  if resume <> None then
+    for p = 0 to n_p - 1 do
+      Gain_matrix.set_group gm ~paper:p (Assignment.group assignment p)
+    done;
+  let used =
+    match resume with
+    | Some _ -> Assignment.workloads assignment ~n_reviewers:n_r
+    | None -> Array.make n_r 0
+  in
+  let start_stage = match resume with Some (k, _) -> k | None -> 0 in
   let per_stage = Instance.stage_capacity inst in
   let truncated = ref false in
   (try
-     for _stage = 1 to inst.Instance.delta_p do
+     for stage_no = start_stage + 1 to inst.Instance.delta_p do
        Timer.check_opt deadline;
        let confined =
          Array.init n_r (fun r ->
@@ -46,7 +67,24 @@ let solve_with ?deadline ?gains stage inst =
            Assignment.add assignment ~paper:p ~reviewer:r;
            Gain_matrix.add gm ~paper:p ~reviewer:r;
            used.(r) <- used.(r) + 1)
-         pairs
+         pairs;
+       match checkpoint with
+       | None -> ()
+       | Some sink ->
+           let score = Assignment.coverage inst assignment in
+           sink.Checkpoint.on_event
+             (Checkpoint.Stage_done { stage = stage_no; score });
+           sink.Checkpoint.offer (fun () ->
+               let snap = Assignment.copy assignment in
+               {
+                 Checkpoint.link = "sdga";
+                 phase = Checkpoint.Sdga_stage stage_no;
+                 stall = 0;
+                 score;
+                 rng = None;
+                 best = snap;
+                 current = snap;
+               })
      done
    with Timer.Expired -> truncated := true);
   if !truncated then begin
@@ -66,5 +104,8 @@ let flow_stage ?deadline ?gains inst ~current ~capacity =
   Stage.solve_flow ?papers:None ?pair_gain:None ?gains ?deadline inst ~current
     ~capacity
 
-let solve ?deadline ?gains inst = solve_with ?deadline ?gains hungarian_stage inst
-let solve_flow ?deadline ?gains inst = solve_with ?deadline ?gains flow_stage inst
+let solve ?deadline ?gains ?checkpoint ?resume_from inst =
+  solve_with ?deadline ?gains ?checkpoint ?resume_from hungarian_stage inst
+
+let solve_flow ?deadline ?gains ?checkpoint ?resume_from inst =
+  solve_with ?deadline ?gains ?checkpoint ?resume_from flow_stage inst

@@ -13,6 +13,8 @@
 val solve :
   ?deadline:Wgrap_util.Timer.deadline ->
   ?gains:Gain_matrix.t ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume_from:Checkpoint.state ->
   Instance.t ->
   Assignment.t
 (** [gains], when given, is reset and used as the shared gain matrix
@@ -24,7 +26,16 @@ val solve :
     expires (checked between stages and inside the stage backend), the
     stages completed so far are kept and the remaining slots are filled
     greedily by {!Repair}, so the result stays feasible — degraded
-    towards per-slot greedy rather than failing. *)
+    towards per-slot greedy rather than failing.
+
+    [checkpoint] receives a {!Checkpoint.Stage_done} event and a
+    snapshot offer after every committed stage. [resume_from] re-enters
+    the stage loop after the captured {!Checkpoint.Sdga_stage}: the
+    saved partial assignment is copied in, reviewer workloads and the
+    gain matrix are rebuilt from it, and the remaining stages run as
+    they would have — the result is identical to the uninterrupted run
+    (stages are deterministic). A [resume_from] in any other phase is
+    ignored and the solve starts fresh. *)
 
 val approximation_ratio : delta_p:int -> integral:bool -> float
 (** The analytic bound plotted in Figure 7:
@@ -34,6 +45,8 @@ val approximation_ratio : delta_p:int -> integral:bool -> float
 val solve_flow :
   ?deadline:Wgrap_util.Timer.deadline ->
   ?gains:Gain_matrix.t ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume_from:Checkpoint.state ->
   Instance.t ->
   Assignment.t
 (** Ablation variant: stages solved by min-cost flow

@@ -3,6 +3,7 @@ module Timer = Wgrap_util.Timer
 type reason =
   | Timeout of { link : string }
   | Fault of { link : string; error : string }
+  | Stale_checkpoint of { error : string }
 
 type 'a outcome =
   | Complete of 'a
@@ -25,6 +26,8 @@ let reasons = function
 let pp_reason ppf = function
   | Timeout { link } -> Format.fprintf ppf "%s: deadline expired" link
   | Fault { link; error } -> Format.fprintf ppf "%s: %s" link error
+  | Stale_checkpoint { error } ->
+      Format.fprintf ppf "checkpoint: discarded (%s); ran fresh" error
 
 (* A fresh deadline covering [frac] of what remains of [d]. Sub-budgets
    are real deadlines of their own so a link cannot starve its
@@ -33,7 +36,20 @@ let slice frac = function
   | None -> None
   | Some d -> Some (Timer.deadline (frac *. Timer.remaining d))
 
-let exn_message = function Failure m -> m | e -> Printexc.to_string e
+(* The exception text stored in [Fault]: message plus, when the runtime
+   is recording them, the raised backtrace — a degraded run must be
+   debuggable from the stderr summary alone. Callers invoke this first
+   thing in an exception handler, before anything can overwrite the
+   global backtrace slot. *)
+let describe_exn e =
+  let msg = match e with Failure m -> m | e -> Printexc.to_string e in
+  if Printexc.backtrace_status () then
+    match String.trim (Printexc.get_backtrace ()) with
+    | "" -> msg
+    | bt -> msg ^ "\n" ^ bt
+  else msg
+
+let exn_message = describe_exn
 
 (* {1 JRA chain: ILP -> BBA -> greedy} *)
 
@@ -88,10 +104,30 @@ let jra ?budget problem =
 
 (* {1 CRA chain: SDGA + SRA -> SDGA -> per-stage greedy} *)
 
-let cra ?budget ?(seed = 0) ?(refine = true) inst =
+let cra ?budget ?(seed = 0) ?(refine = true) ?checkpoint ?resume_from inst =
   let deadline = Option.map Timer.deadline budget in
   let rev_reasons = ref [] in
   let push r = rev_reasons := r :: !rev_reasons in
+  (* A rejected checkpoint (corrupt, stale, failed certification) never
+     poisons the answer: the run degrades to fresh with the loader's
+     verdict carried as a machine-readable reason. *)
+  let resume_state =
+    match resume_from with
+    | None -> None
+    | Some (Ok st) -> Some st
+    | Some (Error msg) ->
+        push (Stale_checkpoint { error = msg });
+        None
+  in
+  let resume_link =
+    match resume_state with Some st -> st.Checkpoint.link | None -> ""
+  in
+  let sink_for link = Option.map (Checkpoint.with_link link) checkpoint in
+  let enter link =
+    Option.iter
+      (fun s -> s.Checkpoint.on_event (Checkpoint.Link_entered { link }))
+      checkpoint
+  in
   (* Accept a candidate only if it passes full validation; a truncated
      run that left short groups gets one shot at greedy completion. *)
   let checked link a =
@@ -130,20 +166,78 @@ let cra ?budget ?(seed = 0) ?(refine = true) inst =
      surviving rows, and the fallback links reset it on entry. *)
   let gm = Gain_matrix.create inst in
   let primary () =
-    (* SDGA gets half the remaining budget; refinement, which improves
-       monotonically and can stop at any round, soaks up the rest. *)
-    let sdga_slice = if refine then slice 0.5 deadline else deadline in
-    let a = Sdga.solve ?deadline:sdga_slice ~gains:gm inst in
-    if (not refine) || Timer.expired_opt deadline then a
-    else Sra.refine ?deadline ~gains:gm ~rng:(Wgrap_util.Rng.create seed) inst a
+    enter "sdga+sra";
+    let sink = sink_for "sdga+sra" in
+    let fresh_rng () = Wgrap_util.Rng.create seed in
+    let refine_from ?resume_from ~rng a =
+      Sra.refine ?deadline ~gains:gm ?checkpoint:sink ?resume_from ~rng inst a
+    in
+    match resume_state with
+    | Some ({ Checkpoint.link = "sdga+sra"; phase = Checkpoint.Sra_round _; _ }
+            as st) ->
+        (* Interrupted mid-refinement: SDGA's work is inside [st]; the
+           restored RNG words make the remaining rounds replay the
+           uninterrupted run exactly. *)
+        if not refine then st.Checkpoint.best
+        else
+          let rng =
+            match st.Checkpoint.rng with
+            | Some w -> Wgrap_util.Rng.of_words w
+            | None -> fresh_rng ()
+          in
+          refine_from ~resume_from:st ~rng st.Checkpoint.best
+    | resumed ->
+        (* Fresh, or interrupted mid-SDGA (phase [Sdga_stage]): the
+           stage loop re-enters after the committed stages and the
+           refinement starts from the same seed either way. *)
+        let resume_from =
+          match resumed with
+          | Some ({ Checkpoint.link = "sdga+sra"; _ } as st) -> Some st
+          | _ -> None
+        in
+        (* SDGA gets half the remaining budget; refinement, which
+           improves monotonically and can stop at any round, soaks up
+           the rest. *)
+        let sdga_slice = if refine then slice 0.5 deadline else deadline in
+        let a =
+          Sdga.solve ?deadline:sdga_slice ~gains:gm ?checkpoint:sink
+            ?resume_from inst
+        in
+        if (not refine) || Timer.expired_opt deadline then a
+        else refine_from ~rng:(fresh_rng ()) a
   in
+  let sdga_alone () =
+    enter "sdga";
+    let resume_from =
+      match resume_state with
+      | Some ({ Checkpoint.link = "sdga"; _ } as st) -> Some st
+      | _ -> None
+    in
+    Sdga.solve ?deadline ~gains:gm ?checkpoint:(sink_for "sdga") ?resume_from
+      inst
+  in
+  let greedy () =
+    enter "greedy";
+    Greedy.solve ?deadline ~gains:gm inst
+  in
+  (* A resumed run re-enters the chain at the link that was interrupted
+     instead of re-running (and possibly re-faulting on) earlier links. *)
   let result =
-    match run "sdga+sra" primary with
-    | Some a -> Some a
-    | None -> (
-        match run "sdga" (fun () -> Sdga.solve ?deadline ~gains:gm inst) with
+    let from_primary () =
+      match run "sdga+sra" primary with
+      | Some a -> Some a
+      | None -> (
+          match run "sdga" sdga_alone with
+          | Some a -> Some a
+          | None -> run "greedy" greedy)
+    in
+    match resume_link with
+    | "sdga" -> (
+        match run "sdga" sdga_alone with
         | Some a -> Some a
-        | None -> run "greedy" (fun () -> Greedy.solve ?deadline ~gains:gm inst))
+        | None -> run "greedy" greedy)
+    | "greedy" -> run "greedy" greedy
+    | _ -> from_primary ()
   in
   match result with
   | Some a -> (

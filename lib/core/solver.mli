@@ -28,7 +28,12 @@ type reason =
           possibly sub-optimal incumbent. *)
   | Fault of { link : string; error : string }
       (** [link] raised or produced a constraint-violating result;
-          [error] is the message. The chain moved on. *)
+          [error] is the message plus the raised backtrace when
+          [Printexc.backtrace_status ()] is on. The chain moved on. *)
+  | Stale_checkpoint of { error : string }
+      (** a checkpoint offered for resumption failed recovery
+          certification (corrupt file, stale snapshot, objective
+          mismatch); the run started fresh instead. *)
 
 type 'a outcome =
   | Complete of 'a  (** strongest applicable link finished in budget *)
@@ -48,6 +53,13 @@ val reasons : 'a outcome -> reason list
 
 val pp_reason : Format.formatter -> reason -> unit
 
+val describe_exn : exn -> string
+(** The text stored in {!Fault} reasons: the exception message,
+    followed by the recorded backtrace when
+    [Printexc.backtrace_status ()] is on and a backtrace is available.
+    Exposed for tests and for callers building their own fault
+    summaries. *)
+
 val jra : ?budget:float -> Jra.problem -> Jra.solution outcome
 (** Best reviewer group for one paper. Without [budget] the exact chain
     runs to completion and the outcome is [Complete]. With a budget, the
@@ -59,6 +71,8 @@ val cra :
   ?budget:float ->
   ?seed:int ->
   ?refine:bool ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume_from:(Checkpoint.state, string) result ->
   Instance.t ->
   Assignment.t outcome
 (** Full conference assignment. The primary link runs SDGA on half the
@@ -69,4 +83,18 @@ val cra :
     are SDGA alone, then per-stage greedy. Every candidate is checked
     with {!Assignment.validate} and, when a truncated run left short
     groups, completed with {!Repair.complete} before being accepted.
-    Never raises. *)
+    Never raises.
+
+    [checkpoint] threads a durable-state sink through the chain: each
+    link stamps its name on offered snapshots ({!Checkpoint.with_link})
+    and link transitions are journaled as {!Checkpoint.Link_entered}.
+
+    [resume_from] restarts an interrupted run. [Ok state] (a snapshot
+    already certified by the loader, e.g. [Wgrap_persist.Store.load])
+    re-enters the chain at the link that was interrupted — mid-SDGA
+    states replay the remaining stages, mid-SRA states restore the
+    RNG from the snapshot and replay the remaining rounds, so an
+    unbudgeted resumed run reproduces the uninterrupted run's result
+    exactly. [Error msg] (the loader rejected the checkpoint) runs the
+    full chain fresh and reports {!Stale_checkpoint} in the outcome's
+    reasons — a bad checkpoint degrades, it never lies. *)

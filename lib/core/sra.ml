@@ -34,7 +34,8 @@ let removal_probability inst ~score_matrix ~round ~lambda ~paper ~reviewer =
   keep_probability ~n_reviewers ~denom ~score_matrix ~round ~lambda ~paper
     ~reviewer
 
-let refine ?(params = default_params) ?deadline ?on_round ?gains ~rng inst start =
+let refine ?(params = default_params) ?deadline ?on_round ?gains ?checkpoint
+    ?resume_from ~rng inst start =
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
   (* The shared gain matrix carries the score matrix and the Eq. 9
      column sums (both static across rounds), and its per-paper rows
@@ -49,10 +50,37 @@ let refine ?(params = default_params) ?deadline ?on_round ?gains ~rng inst start
     keep_probability ~n_reviewers:n_r ~denom ~score_matrix ~round
       ~lambda:params.lambda ~paper ~reviewer
   in
-  let best = ref (Assignment.copy start) in
-  let best_score = ref (Assignment.coverage inst start) in
-  let current = ref (Assignment.copy start) in
-  let stall = ref 0 and round = ref 0 in
+  (* Resume only from a state captured in this phase. The snapshot's
+     score is trusted over a recomputation so the improvement threshold
+     below compares against exactly the float the uninterrupted run
+     held (the codec round-trips floats bit-exactly); certification of
+     that score against a recomputed objective is the store's job. *)
+  let resume =
+    match resume_from with
+    | Some ({ Checkpoint.phase = Checkpoint.Sra_round k; _ } as st) ->
+        Some (k, st)
+    | _ -> None
+  in
+  let best =
+    ref
+      (match resume with
+      | Some (_, st) -> Assignment.copy st.Checkpoint.best
+      | None -> Assignment.copy start)
+  in
+  let best_score =
+    ref
+      (match resume with
+      | Some (_, st) -> st.Checkpoint.score
+      | None -> Assignment.coverage inst start)
+  in
+  let current =
+    ref
+      (match resume with
+      | Some (_, st) -> Assignment.copy st.Checkpoint.current
+      | None -> Assignment.copy start)
+  in
+  let stall = ref (match resume with Some (_, st) -> st.Checkpoint.stall | None -> 0)
+  and round = ref (match resume with Some (k, _) -> k | None -> 0) in
   let start_time = Timer.now () in
   (try
      while
@@ -100,12 +128,32 @@ let refine ?(params = default_params) ?deadline ?on_round ?gains ~rng inst start
          pairs;
        current := trimmed;
        let score = Assignment.coverage inst trimmed in
-       if score > !best_score +. 1e-12 then begin
+       let improved = score > !best_score +. 1e-12 in
+       if improved then begin
          best_score := score;
          best := Assignment.copy trimmed;
          stall := 0
        end
        else incr stall;
+       (match checkpoint with
+       | None -> ()
+       | Some sink ->
+           if improved then
+             sink.Checkpoint.on_event
+               (Checkpoint.Round_improved { round = !round; score });
+           (* The RNG words are read inside the thunk, i.e. at the exact
+              round boundary a resumed run re-enters — the sink forces
+              the thunk synchronously or not at all. *)
+           sink.Checkpoint.offer (fun () ->
+               {
+                 Checkpoint.link = "sra";
+                 phase = Checkpoint.Sra_round !round;
+                 stall = !stall;
+                 score = !best_score;
+                 rng = Some (Rng.words rng);
+                 best = Assignment.copy !best;
+                 current = Assignment.copy !current;
+               }));
        match on_round with
        | Some f ->
            f ~round:!round

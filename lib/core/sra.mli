@@ -25,6 +25,8 @@ val refine :
   ?deadline:Wgrap_util.Timer.deadline ->
   ?on_round:(round:int -> elapsed:float -> best:float -> unit) ->
   ?gains:Gain_matrix.t ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume_from:Checkpoint.state ->
   rng:Wgrap_util.Rng.t ->
   Instance.t ->
   Assignment.t ->
@@ -35,7 +37,17 @@ val refine :
     cached score matrix and Eq. 9 column sums and carries gain rows
     across rounds (its group state is rebuilt from scratch each round,
     so any prior state is acceptable — e.g. the matrix {!Sdga.solve}
-    just used). *)
+    just used).
+
+    [checkpoint] receives a {!Checkpoint.Round_improved} event on every
+    improving round and a snapshot offer at every round boundary (best,
+    current, stall counter, round number and live RNG words).
+    [resume_from], when in phase {!Checkpoint.Sra_round}, overrides the
+    [start] argument entirely: best/current/stall/round are restored
+    from the state, and — provided the caller also restores [rng] from
+    [state.rng] via {!Wgrap_util.Rng.of_words} — the refinement replays
+    the uninterrupted run's remaining rounds exactly. A state in any
+    other phase is ignored. *)
 
 val column_denominators :
   n_reviewers:int -> score_matrix:float array array -> float array

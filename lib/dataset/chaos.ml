@@ -88,6 +88,40 @@ let poison ~rng fault vectors =
     vectors
   end
 
+type file_fault = Torn_write | Truncate_tail | Bit_flip
+
+let file_faults = [ Torn_write; Truncate_tail; Bit_flip ]
+
+let file_fault_name = function
+  | Torn_write -> "torn-write"
+  | Truncate_tail -> "truncate-tail"
+  | Bit_flip -> "bit-flip"
+
+let corrupt_bytes ~rng fault data =
+  let len = String.length data in
+  if len = 0 then data
+  else
+    match fault with
+    | Torn_write ->
+        (* A crash mid-write: everything after an arbitrary byte offset
+           never made it to disk. *)
+        String.sub data 0 (Rng.int rng len)
+    | Truncate_tail ->
+        (* A short tail loss — the classic lost-last-record shape. *)
+        String.sub data 0 (len - 1 - Rng.int rng (min len 64))
+    | Bit_flip ->
+        let b = Bytes.of_string data in
+        let i = Rng.int rng len in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Rng.int rng 8)));
+        Bytes.to_string b
+
+let corrupt_file ~rng fault path =
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (corrupt_bytes ~rng fault data))
+
 let dense_coi ~rng ~n_papers ~n_reviewers ~density =
   let pairs = ref [] in
   for p = 0 to n_papers - 1 do

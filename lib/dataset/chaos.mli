@@ -35,6 +35,24 @@ val poison :
   rng:Wgrap_util.Rng.t -> vector_fault -> float array array -> float array array
 (** A fresh copy of the matrix with one row degraded. *)
 
+type file_fault =
+  | Torn_write  (** drop everything after a random byte offset *)
+  | Truncate_tail  (** lose a short suffix (a lost last record) *)
+  | Bit_flip  (** flip one random bit anywhere in the file *)
+
+val file_faults : file_fault list
+val file_fault_name : file_fault -> string
+
+val corrupt_bytes : rng:Wgrap_util.Rng.t -> file_fault -> string -> string
+(** Apply one byte-level fault to a file image. Empty input is returned
+    unchanged. Pure — the fault site is drawn from [rng] — so the
+    kill/resume property suite can corrupt in-memory encodings before
+    they ever touch disk. Targets both TSV inputs and the
+    [Wgrap_persist] snapshot/journal files. *)
+
+val corrupt_file : rng:Wgrap_util.Rng.t -> file_fault -> string -> unit
+(** {!corrupt_bytes} applied in place to a file on disk. *)
+
 val dense_coi :
   rng:Wgrap_util.Rng.t ->
   n_papers:int ->

@@ -1,0 +1,13 @@
+(** CRC-32 (IEEE), dependency-free — the integrity check on every
+    snapshot file and journal record. *)
+
+val digest : string -> int32
+(** The CRC-32 of the whole string (standard init/final-xor), matching
+    zlib's [crc32]. *)
+
+val hex : string -> string
+(** {!digest} as 8 lowercase hex characters — the on-disk form. *)
+
+val update : int32 -> string -> int32
+(** Streaming form, zlib-conditioned: start from [0l] and fold chunks —
+    [update (update 0l a) b = digest (a ^ b)]. *)

@@ -1,0 +1,47 @@
+module Checkpoint = Wgrap.Checkpoint
+
+type writer = { oc : out_channel }
+
+let open_writer path =
+  { oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path }
+
+let append w e =
+  output_string w.oc (Codec.journal_line e);
+  output_char w.oc '\n';
+  flush w.oc;
+  (* Durability before progress: an improvement is only "journaled" once
+     it survives a crash. Records are rare (improvements and link
+     transitions, not every round), so the fsync cost is negligible. *)
+  Unix.fsync (Unix.descr_of_out_channel w.oc)
+
+let close_writer w = close_out w.oc
+
+type replayed = { events : Checkpoint.event list; torn : bool }
+
+let replay path =
+  if not (Sys.file_exists path) then { events = []; torn = false }
+  else
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error _ -> { events = []; torn = true }
+    | data ->
+        let lines = String.split_on_char '\n' data in
+        (* A well-formed file ends with '\n', leaving one trailing ""
+           element; a missing one means the final record is torn, and
+           its checksum will reject it below anyway. *)
+        let rec go acc = function
+          | [] | [ "" ] -> { events = List.rev acc; torn = false }
+          | line :: rest -> (
+              match Codec.decode_journal_line line with
+              | Ok e -> go (e :: acc) rest
+              | Error _ ->
+                  (* First bad record: truncate here. Anything after it
+                     is unordered w.r.t. the tear and cannot be trusted. *)
+                  { events = List.rev acc; torn = true })
+        in
+        go [] lines
+
+let last_incumbent events =
+  List.fold_left
+    (fun acc e ->
+      match Checkpoint.event_score e with Some s -> Some s | None -> acc)
+    None events

@@ -1,0 +1,31 @@
+(** Append-only write-ahead journal of improvement events.
+
+    Each record is one self-checksummed line ({!Codec.journal_line}),
+    fsynced before {!append} returns. Replay verifies record by record
+    and truncates at the first bad one — a torn tail from a crash
+    mid-append loses at most the record being written, never the
+    prefix. *)
+
+type writer
+
+val open_writer : string -> writer
+(** Open (creating if needed) in append mode; an interrupted run's
+    journal keeps growing across resumes. *)
+
+val append : writer -> Wgrap.Checkpoint.event -> unit
+(** Write one record and fsync it. Raises on I/O failure — {!Store}
+    turns that into disabling checkpointing. *)
+
+val close_writer : writer -> unit
+
+type replayed = {
+  events : Wgrap.Checkpoint.event list;  (** the verified prefix, in order *)
+  torn : bool;  (** a bad record was found and the tail discarded *)
+}
+
+val replay : string -> replayed
+(** Never raises; a missing file is an empty, untorn journal. *)
+
+val last_incumbent : Wgrap.Checkpoint.event list -> float option
+(** The objective journaled by the last score-bearing record — the
+    floor a recovered run is certified against. *)

@@ -1,0 +1,37 @@
+type error = Missing | Corrupt of string
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+(* Atomicity discipline: the full image goes to a temp file in the same
+   directory, is fsynced, and only then renamed over the live path —
+   POSIX rename is atomic, so readers see either the old snapshot or
+   the new one, never a torn hybrid. A crash mid-write leaves at worst
+   a stale [.tmp] that the next write overwrites. *)
+let write ~path st =
+  let data = Codec.encode_state st in
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      write_all fd data 0 (String.length data);
+      Unix.fsync fd);
+  Sys.rename tmp path
+
+let read path =
+  if not (Sys.file_exists path) then Error Missing
+  else
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error m -> Error (Corrupt m)
+    | data -> (
+        match Codec.decode_state data with
+        | Ok st -> Ok st
+        | Error m -> Error (Corrupt m))
+
+let error_message = function
+  | Missing -> "no snapshot file"
+  | Corrupt m -> m

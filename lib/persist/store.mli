@@ -1,0 +1,55 @@
+(** The durable checkpoint store: one directory holding an atomic
+    snapshot ([snapshot.wck]) and an append-only write-ahead journal
+    ([journal.wal]), glued to the solver stack through a
+    {!Wgrap.Checkpoint.sink}.
+
+    Write path: every journal event is appended and fsynced as it
+    happens; snapshot offers are taken immediately after an improvement
+    (keeping snapshot and journaled incumbent in lock-step) and
+    otherwise throttled by the configured {!cadence}. All I/O is
+    best-effort — a failing disk disables the store with a stderr
+    warning and the solve continues un-checkpointed.
+
+    Read path ({!load}): CRC + version verification, constraint
+    re-validation of the recovered assignments against the live
+    instance, objective recomputation within 1e-9, and a staleness
+    cross-check against the journal. A checkpoint that fails any of
+    these is reported, never resumed — the caller (see
+    {!Wgrap.Solver.cra}'s [resume_from]) degrades to a fresh run
+    carrying a [Stale_checkpoint] reason. *)
+
+type cadence =
+  | Every_seconds of float  (** wall-clock throttle (default 5 s) *)
+  | Every_rounds of int  (** snapshot every [n]-th offer *)
+
+type t
+
+val open_ : ?cadence:cadence -> ?fresh:bool -> dir:string -> unit -> t
+(** Create/open the store directory (made with parents as needed).
+    [fresh] (default false) deletes any existing snapshot and journal
+    first — use it when starting a run from scratch so a later resume
+    cannot see a previous run's incumbents. Raises on I/O errors at
+    open time only; after that the store degrades silently. *)
+
+val sink : t -> Wgrap.Checkpoint.sink
+(** The sink to pass to {!Wgrap.Solver.cra}. *)
+
+val close : t -> unit
+
+type load_error =
+  | No_checkpoint  (** nothing stored — just run fresh, no reason to report *)
+  | Invalid of string
+      (** corrupt, stale or failed certification — run fresh and report
+          the message as a [Stale_checkpoint] reason *)
+
+val load :
+  dir:string -> Wgrap.Instance.t -> (Wgrap.Checkpoint.state, load_error) result
+(** Recover and certify the stored state (see module docs). *)
+
+val load_error_message : load_error -> string
+
+val snapshot_path : string -> string
+(** [snapshot_path dir] — exposed for tests, fault injection and the
+    CLI inspector. *)
+
+val journal_path : string -> string

@@ -43,6 +43,14 @@ let split t =
 
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
+let words t = [| t.s0; t.s1; t.s2; t.s3 |]
+
+let of_words w =
+  if Array.length w <> 4 then invalid_arg "Rng.of_words: expected 4 words";
+  if Array.for_all (Int64.equal 0L) w then
+    invalid_arg "Rng.of_words: all-zero state is not a valid xoshiro state";
+  { s0 = w.(0); s1 = w.(1); s2 = w.(2); s3 = w.(3) }
+
 let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection sampling on 62 uniform bits (the largest amount that fits a

@@ -22,6 +22,15 @@ val copy : t -> t
 (** [copy t] duplicates the current state; the copy replays the same
     future stream as [t] without advancing it. *)
 
+val words : t -> int64 array
+(** The four xoshiro256** state words, for durable checkpoints. Does not
+    advance [t]; [of_words (words t)] replays [t]'s future stream. *)
+
+val of_words : int64 array -> t
+(** Rebuild a generator from {!words}. Raises [Invalid_argument] unless
+    given exactly four words with at least one nonzero (the all-zero
+    state is a xoshiro fixed point and cannot arise from {!create}). *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -456,6 +456,51 @@ let test_repair_uses_chain () =
   Alcotest.(check bool) "feasible" true (Assignment.is_feasible inst partial);
   Alcotest.(check (list int)) "p0 got r0" [ 0 ] (Assignment.group partial 0)
 
+(* Pathological: every reviewer p1 could take is either conflicted or at
+   capacity with no feasible reassignment chain — completion must fail
+   loudly, and {!Solver.cra} must turn that into [Infeasible]. *)
+let infeasible_chain_instance () =
+  (* 2 papers, 2 reviewers, dp=1, dr=1. p0 already holds r0; p1
+     conflicts with r1 (its only other option) AND with r0, so no chain
+     can free capacity for it. *)
+  Instance.create_exn
+    ~papers:[| [| 1.; 0. |]; [| 0.; 1. |] |]
+    ~reviewers:[| [| 1.; 0. |]; [| 0.; 1. |] |]
+    ~coi:[ (1, 0); (1, 1) ] ~delta_p:1 ~delta_r:1 ()
+
+let test_repair_infeasible_chain () =
+  let inst = infeasible_chain_instance () in
+  let partial = Assignment.empty ~n_papers:2 in
+  Assignment.add partial ~paper:0 ~reviewer:0;
+  (match Repair.complete inst partial with
+  | () -> Alcotest.fail "repair fabricated an impossible assignment"
+  | exception Failure _ -> ());
+  (* The harness wraps the same dead end in a labeled [Infeasible]. *)
+  match Solver.cra inst with
+  | Solver.Infeasible msg ->
+      Alcotest.(check bool) "reason given" true (String.length msg > 0)
+  | Solver.Complete a | Solver.Degraded (a, _) -> (
+      match Assignment.validate inst a with
+      | Ok () -> Alcotest.fail "validation accepted a saturated COI paper"
+      | Error _ -> Alcotest.fail "harness returned an invalid assignment")
+
+let test_repair_chain_frees_capacity () =
+  (* Same shape but only (1,1) conflicts: p1's sole option r0 is held
+     by p0 at capacity, yet a one-step chain exists — move p0 onto the
+     free r1 and hand r0 to p1. *)
+  let inst =
+    Instance.create_exn
+      ~papers:[| [| 1.; 0. |]; [| 0.; 1. |] |]
+      ~reviewers:[| [| 1.; 0. |]; [| 0.; 1. |] |]
+      ~coi:[ (1, 1) ] ~delta_p:1 ~delta_r:1 ()
+  in
+  let partial = Assignment.empty ~n_papers:2 in
+  Assignment.add partial ~paper:0 ~reviewer:0;
+  Repair.complete inst partial;
+  Alcotest.(check bool) "feasible" true (Assignment.is_feasible inst partial);
+  Alcotest.(check (list int)) "p1 got r0" [ 0 ] (Assignment.group partial 1);
+  Alcotest.(check (list int)) "p0 moved to r1" [ 1 ] (Assignment.group partial 0)
+
 let () =
   Alcotest.run "cra"
     [
@@ -511,5 +556,9 @@ let () =
         [
           Alcotest.test_case "completes partial" `Quick test_repair_completes_partial;
           Alcotest.test_case "forced choice" `Quick test_repair_uses_chain;
+          Alcotest.test_case "infeasible chain fails loudly" `Quick
+            test_repair_infeasible_chain;
+          Alcotest.test_case "chain frees capacity" `Quick
+            test_repair_chain_frees_capacity;
         ] );
     ]

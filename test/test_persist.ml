@@ -1,0 +1,559 @@
+(* The durable-state suite: canonical encodings round-trip bit for bit,
+   snapshot/journal files survive crashes as designed (atomic replace,
+   torn-tail truncation), recovery certification rejects every corrupt
+   or stale checkpoint, and a resumed run reproduces the uninterrupted
+   run's result exactly. *)
+
+module Rng = Wgrap_util.Rng
+module Crc32 = Wgrap_persist.Crc32
+module Codec = Wgrap_persist.Codec
+module Snapshot = Wgrap_persist.Snapshot
+module Journal = Wgrap_persist.Journal
+module Store = Wgrap_persist.Store
+open Wgrap
+
+let random_vec rng ~dim = Rng.dirichlet_sym rng ~alpha:0.4 ~dim
+
+let random_instance ?(dim = 6) ?coi rng ~n_p ~n_r ~dp =
+  let dr = Instance.min_workload ~papers:n_p ~reviewers:n_r ~delta_p:dp in
+  Instance.create_exn ?coi
+    ~papers:(Array.init n_p (fun _ -> random_vec rng ~dim))
+    ~reviewers:(Array.init n_r (fun _ -> random_vec rng ~dim))
+    ~delta_p:dp ~delta_r:dr ()
+
+let temp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "wgrap_persist_%d_%d" (Unix.getpid ()) !counter)
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    dir
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let with_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* A representative state with both assignments differing, a live RNG
+   and an awkward float score. *)
+let sample_state () =
+  let best = Assignment.empty ~n_papers:3 in
+  Assignment.add best ~paper:0 ~reviewer:2;
+  Assignment.add best ~paper:0 ~reviewer:5;
+  Assignment.add best ~paper:1 ~reviewer:0;
+  Assignment.add best ~paper:2 ~reviewer:4;
+  Assignment.add best ~paper:2 ~reviewer:1;
+  let current = Assignment.copy best in
+  Assignment.add current ~paper:1 ~reviewer:3;
+  let rng = Rng.create 99 in
+  ignore (Rng.bits64 rng);
+  {
+    Checkpoint.link = "sdga+sra";
+    phase = Checkpoint.Sra_round 17;
+    stall = 4;
+    score = 0.1 +. (1. /. 3.);
+    rng = Some (Rng.words rng);
+    best;
+    current;
+  }
+
+let check_state_equal msg (a : Checkpoint.state) (b : Checkpoint.state) =
+  Alcotest.(check string) (msg ^ ": link") a.Checkpoint.link b.Checkpoint.link;
+  Alcotest.(check bool)
+    (msg ^ ": phase") true
+    (a.Checkpoint.phase = b.Checkpoint.phase);
+  Alcotest.(check int) (msg ^ ": stall") a.Checkpoint.stall b.Checkpoint.stall;
+  Alcotest.(check bool)
+    (msg ^ ": score bit-exact") true
+    (Int64.equal
+       (Int64.bits_of_float a.Checkpoint.score)
+       (Int64.bits_of_float b.Checkpoint.score));
+  Alcotest.(check bool) (msg ^ ": rng") true (a.Checkpoint.rng = b.Checkpoint.rng);
+  (* Order-preserving equality matters for replay: compare the raw
+     pair lists, not just the set-equality of [Assignment.equal]. *)
+  Alcotest.(check bool)
+    (msg ^ ": best pairs") true
+    (Assignment.to_lines a.Checkpoint.best
+    = Assignment.to_lines b.Checkpoint.best);
+  Alcotest.(check bool)
+    (msg ^ ": current pairs") true
+    (Assignment.to_lines a.Checkpoint.current
+    = Assignment.to_lines b.Checkpoint.current)
+
+(* {1 CRC32 and codec} *)
+
+let test_crc32_vector () =
+  (* The standard IEEE 802.3 check value. *)
+  Alcotest.(check int32) "check value" 0xcbf43926l (Crc32.digest "123456789");
+  Alcotest.(check string) "hex" "cbf43926" (Crc32.hex "123456789");
+  Alcotest.(check int32) "empty" 0l (Crc32.digest "");
+  Alcotest.(check bool) "incremental = one-shot" true
+    (Int32.equal
+       (Crc32.update (Crc32.update 0l "12345") "6789")
+       (Crc32.digest "123456789"))
+
+let test_state_roundtrip () =
+  let st = sample_state () in
+  match Codec.decode_state (Codec.encode_state st) with
+  | Error e -> Alcotest.fail ("decode failed: " ^ e)
+  | Ok st' -> check_state_equal "roundtrip" st st'
+
+let test_state_roundtrip_sdga () =
+  (* SDGA phase: no RNG, current == best, partial groups. *)
+  let best = Assignment.empty ~n_papers:4 in
+  Assignment.add best ~paper:0 ~reviewer:1;
+  Assignment.add best ~paper:3 ~reviewer:0;
+  let st =
+    {
+      Checkpoint.link = "sdga";
+      phase = Checkpoint.Sdga_stage 1;
+      stall = 0;
+      score = 0.25;
+      rng = None;
+      best;
+      current = Assignment.copy best;
+    }
+  in
+  match Codec.decode_state (Codec.encode_state st) with
+  | Error e -> Alcotest.fail ("decode failed: " ^ e)
+  | Ok st' -> check_state_equal "sdga roundtrip" st st'
+
+let test_decode_rejects () =
+  let good = Codec.encode_state (sample_state ()) in
+  let expect_error name data =
+    match Codec.decode_state data with
+    | Ok _ -> Alcotest.fail (name ^ ": decoder accepted corrupt input")
+    | Error msg ->
+        Alcotest.(check bool) (name ^ ": has reason") true
+          (String.length msg > 0)
+  in
+  expect_error "empty" "";
+  expect_error "no trailing newline" (String.sub good 0 (String.length good - 1));
+  expect_error "truncated" (String.sub good 0 (String.length good / 2));
+  (let b = Bytes.of_string good in
+   Bytes.set b (Bytes.length b / 3) '!';
+   expect_error "flipped byte" (Bytes.to_string b));
+  expect_error "trailing garbage" (good ^ "extra\n");
+  expect_error "wrong magic"
+    ("not-a-snapshot 1\n" ^ String.concat "\n" (List.tl (String.split_on_char '\n' good)))
+
+let test_journal_line_roundtrip () =
+  let events =
+    [
+      Checkpoint.Stage_done { stage = 2; score = 0.625 };
+      Checkpoint.Round_improved { round = 41; score = 1. /. 7. };
+      Checkpoint.Link_entered { link = "sdga+sra" };
+    ]
+  in
+  List.iter
+    (fun ev ->
+      match Codec.decode_journal_line (Codec.journal_line ev) with
+      | Ok ev' -> Alcotest.(check bool) "event roundtrip" true (ev = ev')
+      | Error e -> Alcotest.fail ("journal decode failed: " ^ e))
+    events;
+  (match Codec.decode_journal_line "00000000\tstage 1 0x1p-1" with
+  | Ok _ -> Alcotest.fail "accepted bad checksum"
+  | Error _ -> ());
+  match Codec.decode_journal_line "nonsense" with
+  | Ok _ -> Alcotest.fail "accepted junk line"
+  | Error _ -> ()
+
+(* {1 Files: atomic snapshots and torn journals} *)
+
+let test_snapshot_file_roundtrip () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "snap.wck" in
+      let st = sample_state () in
+      Snapshot.write ~path st;
+      (match Snapshot.read path with
+      | Ok st' -> check_state_equal "file roundtrip" st st'
+      | Error e -> Alcotest.fail (Snapshot.error_message e));
+      (* Overwrite is atomic-replace: the second state fully wins. *)
+      let st2 = { st with Checkpoint.score = 9.75; stall = 0 } in
+      Snapshot.write ~path st2;
+      match Snapshot.read path with
+      | Ok st' -> check_state_equal "replaced" st2 st'
+      | Error e -> Alcotest.fail (Snapshot.error_message e))
+
+let test_snapshot_missing_and_corrupt () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "snap.wck" in
+      (match Snapshot.read path with
+      | Error Snapshot.Missing -> ()
+      | Error (Snapshot.Corrupt e) -> Alcotest.fail ("expected Missing: " ^ e)
+      | Ok _ -> Alcotest.fail "read a snapshot from nothing");
+      write_file path "wgrap-snapshot 1\nlink sdga\ngarbage\n";
+      match Snapshot.read path with
+      | Error (Snapshot.Corrupt _) -> ()
+      | Error Snapshot.Missing -> Alcotest.fail "file exists"
+      | Ok _ -> Alcotest.fail "accepted corrupt snapshot")
+
+let test_journal_append_replay () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "j.wal" in
+      (* Missing file: empty and untorn. *)
+      let r = Journal.replay path in
+      Alcotest.(check bool) "missing empty" true (r.Journal.events = []);
+      Alcotest.(check bool) "missing untorn" false r.Journal.torn;
+      let events =
+        [
+          Checkpoint.Link_entered { link = "sdga+sra" };
+          Checkpoint.Stage_done { stage = 1; score = 0.5 };
+          Checkpoint.Stage_done { stage = 2; score = 0.75 };
+          Checkpoint.Round_improved { round = 3; score = 0.8 };
+        ]
+      in
+      let w = Journal.open_writer path in
+      List.iter (Journal.append w) events;
+      Journal.close_writer w;
+      let r = Journal.replay path in
+      Alcotest.(check bool) "all replayed" true (r.Journal.events = events);
+      Alcotest.(check bool) "untorn" false r.Journal.torn;
+      Alcotest.(check (option (float 0.))) "last incumbent" (Some 0.8)
+        (Journal.last_incumbent r.Journal.events);
+      (* Append across writer reopen — a resumed run keeps the log. *)
+      let w = Journal.open_writer path in
+      Journal.append w (Checkpoint.Round_improved { round = 9; score = 0.9 });
+      Journal.close_writer w;
+      let r = Journal.replay path in
+      Alcotest.(check int) "grew" 5 (List.length r.Journal.events);
+      (* Torn tail: a partial last record is truncated, prefix kept. *)
+      let data = read_file path in
+      write_file path (String.sub data 0 (String.length data - 7));
+      let r = Journal.replay path in
+      Alcotest.(check int) "prefix kept" 4 (List.length r.Journal.events);
+      Alcotest.(check bool) "torn flagged" true r.Journal.torn;
+      Alcotest.(check (option (float 0.))) "floor from prefix" (Some 0.8)
+        (Journal.last_incumbent r.Journal.events))
+
+(* {1 Store certification} *)
+
+let test_instance = lazy (random_instance (Rng.create 5) ~n_p:10 ~n_r:8 ~dp:3)
+
+(* A genuine mid-SRA state for certification tests, captured live. *)
+let captured_state =
+  lazy
+    (let inst = Lazy.force test_instance in
+     let sink, _events, states = Checkpoint.memory () in
+     ignore (Solver.cra ~seed:1 ~checkpoint:sink inst);
+     match
+       List.filter
+         (fun st ->
+           match st.Checkpoint.phase with
+           | Checkpoint.Sra_round _ -> true
+           | _ -> false)
+         (states ())
+     with
+     | [] -> Alcotest.fail "no SRA states captured"
+     | sts -> List.nth sts (List.length sts / 2))
+
+let test_store_load_ok () =
+  with_dir (fun dir ->
+      let inst = Lazy.force test_instance in
+      let st = Lazy.force captured_state in
+      Snapshot.write ~path:(Store.snapshot_path dir) st;
+      match Store.load ~dir inst with
+      | Ok st' -> check_state_equal "certified load" st st'
+      | Error e -> Alcotest.fail (Store.load_error_message e))
+
+let test_store_load_missing () =
+  with_dir (fun dir ->
+      match Store.load ~dir (Lazy.force test_instance) with
+      | Error Store.No_checkpoint -> ()
+      | Error (Store.Invalid e) -> Alcotest.fail ("expected No_checkpoint: " ^ e)
+      | Ok _ -> Alcotest.fail "loaded from empty dir")
+
+let test_store_load_corrupt () =
+  with_dir (fun dir ->
+      let st = Lazy.force captured_state in
+      let path = Store.snapshot_path dir in
+      Snapshot.write ~path st;
+      let data = read_file path in
+      let b = Bytes.of_string data in
+      Bytes.set b (Bytes.length b / 2) '#';
+      write_file path (Bytes.to_string b);
+      match Store.load ~dir (Lazy.force test_instance) with
+      | Error (Store.Invalid _) -> ()
+      | Error Store.No_checkpoint -> Alcotest.fail "file exists"
+      | Ok _ -> Alcotest.fail "certified a corrupt snapshot")
+
+let test_store_load_wrong_instance () =
+  (* Constraint re-validation: the snapshot's groups violate the other
+     instance's COI, so certification must reject it. *)
+  with_dir (fun dir ->
+      let st = Lazy.force captured_state in
+      Snapshot.write ~path:(Store.snapshot_path dir) st;
+      let rng = Rng.create 5 in
+      let coi =
+        List.concat_map
+          (fun p -> List.init 4 (fun r -> (p, r)))
+          [ 0; 1; 2; 3; 4 ]
+      in
+      let other = random_instance ~coi rng ~n_p:10 ~n_r:8 ~dp:3 in
+      match Store.load ~dir other with
+      | Error (Store.Invalid _) -> ()
+      | Error Store.No_checkpoint -> Alcotest.fail "file exists"
+      | Ok _ -> Alcotest.fail "certified against the wrong instance")
+
+let test_store_load_score_mismatch () =
+  with_dir (fun dir ->
+      let st = Lazy.force captured_state in
+      let lied = { st with Checkpoint.score = st.Checkpoint.score +. 0.5 } in
+      Snapshot.write ~path:(Store.snapshot_path dir) lied;
+      match Store.load ~dir (Lazy.force test_instance) with
+      | Error (Store.Invalid _) -> ()
+      | _ -> Alcotest.fail "certified a snapshot with a lying objective")
+
+let test_store_load_stale () =
+  (* Journal knows a better incumbent than the snapshot: the snapshot
+     is stale and must be rejected rather than silently losing work. *)
+  with_dir (fun dir ->
+      let st = Lazy.force captured_state in
+      Snapshot.write ~path:(Store.snapshot_path dir) st;
+      let w = Journal.open_writer (Store.journal_path dir) in
+      Journal.append w
+        (Checkpoint.Round_improved
+           { round = 999; score = st.Checkpoint.score +. 0.1 });
+      Journal.close_writer w;
+      match Store.load ~dir (Lazy.force test_instance) with
+      | Error (Store.Invalid msg) ->
+          Alcotest.(check bool) "mentions staleness" true
+            (String.length msg > 0)
+      | _ -> Alcotest.fail "certified a stale snapshot")
+
+let test_store_sink_writes () =
+  with_dir (fun dir ->
+      let inst = Lazy.force test_instance in
+      (* Every_rounds 1: take every offer, so the final snapshot is the
+         last round boundary. *)
+      let store = Store.open_ ~cadence:(Store.Every_rounds 1) ~fresh:true ~dir () in
+      let outcome = Solver.cra ~seed:3 ~checkpoint:(Store.sink store) inst in
+      Store.close store;
+      let a =
+        match Solver.value outcome with
+        | Some a -> a
+        | None -> Alcotest.fail "solver infeasible"
+      in
+      (match Store.load ~dir inst with
+      | Ok st ->
+          Alcotest.(check bool) "stored best is valid" true
+            (Assignment.validate inst st.Checkpoint.best = Ok ());
+          Alcotest.(check bool) "stored best <= final" true
+            (st.Checkpoint.score <= Assignment.coverage inst a +. 1e-9)
+      | Error e -> Alcotest.fail (Store.load_error_message e));
+      let r = Journal.replay (Store.journal_path dir) in
+      Alcotest.(check bool) "journal has events" true (r.Journal.events <> []);
+      Alcotest.(check bool) "journal untorn" false r.Journal.torn;
+      (* [fresh:true] wipes both files for a from-scratch run. *)
+      let store = Store.open_ ~fresh:true ~dir () in
+      Store.close store;
+      Alcotest.(check bool) "fresh wiped snapshot" true
+        (Store.load ~dir inst = Error Store.No_checkpoint))
+
+(* {1 Determinism and resume} *)
+
+let test_seeded_determinism () =
+  let inst = Lazy.force test_instance in
+  let a =
+    match Solver.value (Solver.cra ~seed:42 inst) with
+    | Some a -> a
+    | None -> Alcotest.fail "infeasible"
+  and b =
+    match Solver.value (Solver.cra ~seed:42 inst) with
+    | Some a -> a
+    | None -> Alcotest.fail "infeasible"
+  in
+  Alcotest.(check bool) "identical groups" true
+    (Assignment.to_lines a = Assignment.to_lines b);
+  let c =
+    match Solver.value (Solver.cra ~seed:43 inst) with
+    | Some a -> a
+    | None -> Alcotest.fail "infeasible"
+  in
+  (* Not a hard guarantee, but on this instance the seeds diverge —
+     guards against the seed being ignored. *)
+  Alcotest.(check bool) "seed actually used" false
+    (Assignment.to_lines a = Assignment.to_lines c
+    && Assignment.coverage inst a <> Assignment.coverage inst c)
+
+let uninterrupted_objective inst ~seed =
+  match Solver.value (Solver.cra ~seed inst) with
+  | Some a -> Assignment.coverage inst a
+  | None -> Alcotest.fail "infeasible"
+
+let resume_and_check ?(through_files = false) inst ~seed st =
+  let expected = uninterrupted_objective inst ~seed in
+  let st =
+    if not through_files then st
+    else
+      (* Round-trip the state through the real on-disk pipeline so the
+         replay equality also certifies the codec. *)
+      with_dir (fun dir ->
+          Snapshot.write ~path:(Store.snapshot_path dir) st;
+          match Store.load ~dir inst with
+          | Ok st -> st
+          | Error e -> Alcotest.fail (Store.load_error_message e))
+  in
+  let resumed =
+    match Solver.value (Solver.cra ~seed ~resume_from:(Ok st) inst) with
+    | Some a -> Assignment.coverage inst a
+    | None -> Alcotest.fail "resume infeasible"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "resumed objective bit-exact (%s)"
+       (Format.asprintf "%a" Checkpoint.pp_phase st.Checkpoint.phase))
+    true
+    (Int64.equal (Int64.bits_of_float expected) (Int64.bits_of_float resumed))
+
+let captured_states inst ~seed =
+  let sink, _events, states = Checkpoint.memory () in
+  ignore (Solver.cra ~seed ~checkpoint:sink inst);
+  states ()
+
+let test_resume_mid_sra_memory () =
+  let inst = Lazy.force test_instance in
+  let seed = 7 in
+  let sra_states =
+    List.filter
+      (fun st ->
+        match st.Checkpoint.phase with
+        | Checkpoint.Sra_round _ -> true
+        | _ -> false)
+      (captured_states inst ~seed)
+  in
+  Alcotest.(check bool) "captured SRA states" true (sra_states <> []);
+  (* Early, middle and late kill points. *)
+  let n = List.length sra_states in
+  List.iter
+    (fun i -> resume_and_check inst ~seed (List.nth sra_states i))
+    (List.sort_uniq compare [ 0; n / 2; n - 1 ])
+
+let test_resume_mid_sra_through_files () =
+  let inst = Lazy.force test_instance in
+  let seed = 7 in
+  let sra_states =
+    List.filter
+      (fun st ->
+        match st.Checkpoint.phase with
+        | Checkpoint.Sra_round _ -> true
+        | _ -> false)
+      (captured_states inst ~seed)
+  in
+  let n = List.length sra_states in
+  resume_and_check ~through_files:true inst ~seed (List.nth sra_states (n / 2))
+
+let test_resume_mid_sdga () =
+  let inst = Lazy.force test_instance in
+  let seed = 7 in
+  let sdga_states =
+    List.filter
+      (fun st ->
+        match (st.Checkpoint.link, st.Checkpoint.phase) with
+        | "sdga+sra", Checkpoint.Sdga_stage k -> k < inst.Instance.delta_p
+        | _ -> false)
+      (captured_states inst ~seed)
+  in
+  Alcotest.(check bool) "captured mid-SDGA states" true (sdga_states <> []);
+  resume_and_check ~through_files:true inst ~seed (List.hd sdga_states)
+
+let test_resume_rejected_checkpoint () =
+  let inst = Lazy.force test_instance in
+  match Solver.cra ~seed:7 ~resume_from:(Error "crc mismatch") inst with
+  | Solver.Degraded (a, reasons) ->
+      Alcotest.(check bool) "valid" true (Assignment.validate inst a = Ok ());
+      Alcotest.(check bool) "stale reason reported" true
+        (List.exists
+           (function Solver.Stale_checkpoint _ -> true | _ -> false)
+           reasons);
+      (* Fresh fallback with the same seed re-earns the incumbent. *)
+      let expected = uninterrupted_objective inst ~seed:7 in
+      Alcotest.(check (float 1e-12)) "same objective as fresh" expected
+        (Assignment.coverage inst a)
+  | Solver.Complete _ -> Alcotest.fail "stale checkpoint not reported"
+  | Solver.Infeasible e -> Alcotest.fail e
+
+let test_describe_exn_backtrace () =
+  let was = Printexc.backtrace_status () in
+  Fun.protect
+    ~finally:(fun () -> Printexc.record_backtrace was)
+    (fun () ->
+      Printexc.record_backtrace true;
+      let msg =
+        try failwith "boom" with e -> Solver.describe_exn e
+      in
+      Alcotest.(check bool) "message first" true
+        (String.length msg >= 4 && String.sub msg 0 4 = "boom"
+        || (* Failure printer may wrap it *)
+        String.length msg > 0);
+      (* With recording off, no backtrace text is appended. *)
+      Printexc.record_backtrace false;
+      let plain = try failwith "boom" with e -> Solver.describe_exn e in
+      Alcotest.(check bool) "no newline when off" false
+        (String.contains plain '\n'))
+
+let () =
+  Alcotest.run "persist"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "crc32 vectors" `Quick test_crc32_vector;
+          Alcotest.test_case "state roundtrip (sra)" `Quick test_state_roundtrip;
+          Alcotest.test_case "state roundtrip (sdga)" `Quick
+            test_state_roundtrip_sdga;
+          Alcotest.test_case "decoder rejects corruption" `Quick
+            test_decode_rejects;
+          Alcotest.test_case "journal line roundtrip" `Quick
+            test_journal_line_roundtrip;
+        ] );
+      ( "files",
+        [
+          Alcotest.test_case "snapshot roundtrip + replace" `Quick
+            test_snapshot_file_roundtrip;
+          Alcotest.test_case "snapshot missing/corrupt" `Quick
+            test_snapshot_missing_and_corrupt;
+          Alcotest.test_case "journal append/replay/torn" `Quick
+            test_journal_append_replay;
+        ] );
+      ( "certification",
+        [
+          Alcotest.test_case "certified load" `Quick test_store_load_ok;
+          Alcotest.test_case "no checkpoint" `Quick test_store_load_missing;
+          Alcotest.test_case "corrupt rejected" `Quick test_store_load_corrupt;
+          Alcotest.test_case "wrong instance rejected" `Quick
+            test_store_load_wrong_instance;
+          Alcotest.test_case "score mismatch rejected" `Quick
+            test_store_load_score_mismatch;
+          Alcotest.test_case "stale vs journal rejected" `Quick
+            test_store_load_stale;
+          Alcotest.test_case "store sink writes" `Quick test_store_sink_writes;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "seeded determinism" `Quick test_seeded_determinism;
+          Alcotest.test_case "mid-SRA resume (memory)" `Quick
+            test_resume_mid_sra_memory;
+          Alcotest.test_case "mid-SRA resume (files)" `Quick
+            test_resume_mid_sra_through_files;
+          Alcotest.test_case "mid-SDGA resume (files)" `Quick
+            test_resume_mid_sdga;
+          Alcotest.test_case "rejected checkpoint degrades" `Quick
+            test_resume_rejected_checkpoint;
+          Alcotest.test_case "describe_exn backtraces" `Quick
+            test_describe_exn_backtrace;
+        ] );
+    ]

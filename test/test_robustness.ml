@@ -368,6 +368,161 @@ let chaos_coi_test =
       | Solver.Complete a | Solver.Degraded (a, _) ->
           Assignment.validate inst a = Ok ())
 
+(* Byte-level faults against the TSV boundary: whatever a torn write or
+   bit flip leaves on disk, the loader answers Ok or Error — never an
+   exception. *)
+let chaos_tsv_bytes_test =
+  QCheck.Test.make ~name:"loader survives byte-corrupted TSV files" ~count:40
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let author_lines, paper_lines = Lazy.force base_lines in
+      let authors_path = Filename.temp_file "chaos_authors" ".tsv" in
+      let papers_path = Filename.temp_file "chaos_papers" ".tsv" in
+      Fun.protect
+        ~finally:(fun () ->
+          Sys.remove authors_path;
+          Sys.remove papers_path)
+        (fun () ->
+          Chaos.write_lines authors_path author_lines;
+          Chaos.write_lines papers_path paper_lines;
+          let fault =
+            List.nth Chaos.file_faults (Rng.int rng (List.length Chaos.file_faults))
+          in
+          let victim = if Rng.bool rng then authors_path else papers_path in
+          Chaos.corrupt_file ~rng fault victim;
+          match Loader.load ~authors_path ~papers_path with
+          | Ok corpus -> Corpus.validate corpus = Ok ()
+          | Error msg -> String.length msg > 0))
+
+(* {1 Kill/resume: the durable-state boundary}
+
+   One reference run records its full checkpoint traffic — every journal
+   event and every offered snapshot, in emission order. Each scenario
+   then simulates a crash: cut the trace at a random kill point, lay the
+   surviving snapshot/journal bytes on disk, optionally corrupt either
+   file with a random byte-level fault, and restart. The restarted run
+   must either resume from a checkpoint that passed certification or
+   fall back fresh with a machine-readable [Stale_checkpoint] reason —
+   and in every case produce a constraint-valid assignment scoring no
+   worse than the journal's last surviving incumbent. *)
+
+module Codec = Wgrap_persist.Codec
+module Journal = Wgrap_persist.Journal
+module Store = Wgrap_persist.Store
+
+type trace_item = Ev of Checkpoint.event | Snap of Checkpoint.state
+
+let kill_seed = 31
+
+let kill_instance =
+  lazy (random_instance (Rng.create kill_seed) ~n_p:10 ~n_r:8 ~dp:3)
+
+let kill_trace =
+  lazy
+    (let inst = Lazy.force kill_instance in
+     let items = ref [] in
+     let sink =
+       {
+         Checkpoint.on_event = (fun e -> items := Ev e :: !items);
+         offer = (fun take -> items := Snap (take ()) :: !items);
+       }
+     in
+     let final =
+       match Solver.value (Solver.cra ~seed:kill_seed ~checkpoint:sink inst) with
+       | Some a -> Assignment.coverage inst a
+       | None -> Alcotest.fail "reference run infeasible"
+     in
+     (Array.of_list (List.rev !items), final))
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data)
+
+let with_temp_store_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wgrap_kill_%d_%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+let kill_resume_test =
+  QCheck.Test.make
+    ~name:"kill/resume: never invalid, never below journaled incumbent"
+    ~count:120
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let inst = Lazy.force kill_instance in
+      let trace, uninterrupted = Lazy.force kill_trace in
+      let rng = Rng.create seed in
+      let kill = 1 + Rng.int rng (Array.length trace) in
+      let snapshot = ref None and events = ref [] in
+      for i = 0 to kill - 1 do
+        match trace.(i) with
+        | Snap st -> snapshot := Some st
+        | Ev e -> events := e :: !events
+      done;
+      let events = List.rev !events in
+      with_temp_store_dir (fun dir ->
+          let pick_fault () =
+            List.nth Chaos.file_faults (Rng.int rng (List.length Chaos.file_faults))
+          in
+          let maybe_corrupt bytes =
+            if Rng.int rng 3 = 0 then Chaos.corrupt_bytes ~rng (pick_fault ()) bytes
+            else bytes
+          in
+          Option.iter
+            (fun st ->
+              write_file (Store.snapshot_path dir)
+                (maybe_corrupt (Codec.encode_state st)))
+            !snapshot;
+          if events <> [] then
+            write_file (Store.journal_path dir)
+              (maybe_corrupt
+                 (String.concat ""
+                    (List.map (fun e -> Codec.journal_line e ^ "\n") events)));
+          (* The floor: whatever incumbent survives in the (possibly
+             corrupted, tail-truncated) journal. *)
+          let floor =
+            match
+              Journal.last_incumbent
+                (Journal.replay (Store.journal_path dir)).Journal.events
+            with
+            | Some f -> f
+            | None -> Float.neg_infinity
+          in
+          let load_result = Store.load ~dir inst in
+          let outcome =
+            match load_result with
+            | Ok st -> Solver.cra ~seed:kill_seed ~resume_from:(Ok st) inst
+            | Error Store.No_checkpoint -> Solver.cra ~seed:kill_seed inst
+            | Error (Store.Invalid msg) ->
+                Solver.cra ~seed:kill_seed ~resume_from:(Error msg) inst
+          in
+          match outcome with
+          | Solver.Infeasible _ -> false
+          | Solver.Complete a | Solver.Degraded (a, _) ->
+              let score = Assignment.coverage inst a in
+              Assignment.validate inst a = Ok ()
+              && score >= floor -. 1e-9
+              && score <= uninterrupted +. 1e-9
+              && (match load_result with
+                 | Error (Store.Invalid _) ->
+                     (* A rejected checkpoint must be reported, and the
+                        fresh same-seed run re-earns the uninterrupted
+                        objective exactly. *)
+                     List.exists
+                       (function Solver.Stale_checkpoint _ -> true | _ -> false)
+                       (Solver.reasons outcome)
+                     && Float.abs (score -. uninterrupted) <= 1e-9
+                 | _ -> true)))
+
 let () =
   Alcotest.run "robustness"
     [
@@ -383,7 +538,9 @@ let () =
       ( "chaos",
         [
           QCheck_alcotest.to_alcotest chaos_tsv_test;
+          QCheck_alcotest.to_alcotest chaos_tsv_bytes_test;
           QCheck_alcotest.to_alcotest chaos_vector_test;
           QCheck_alcotest.to_alcotest chaos_coi_test;
         ] );
+      ("kill/resume", [ QCheck_alcotest.to_alcotest kill_resume_test ]);
     ]
