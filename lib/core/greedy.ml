@@ -33,7 +33,7 @@ let solve ?deadline ?gains inst =
   done;
   let heap =
     Heap.create ~capacity:(max 1 !candidates)
-      ~cmp:(fun a b -> compare a.gain b.gain)
+      ~cmp:(fun a b -> Float.compare a.gain b.gain)
       ()
   in
   let row = Array.make n_r 0. in

@@ -21,7 +21,7 @@ let top_k ?(use_bound = true) ?deadline (t : Jra.problem) ~k =
     Array.init dim (fun topic ->
         let idx = Array.init n (fun r -> r) in
         Array.stable_sort
-          (fun a b -> compare t.pool.(b).(topic) t.pool.(a).(topic))
+          (fun a b -> Float.compare t.pool.(b).(topic) t.pool.(a).(topic))
           idx;
         idx)
   in
@@ -38,7 +38,7 @@ let top_k ?(use_bound = true) ?deadline (t : Jra.problem) ~k =
   (* Min-heap of the k best candidates (worst on top). *)
   let best =
     Heap.create ~capacity:(k + 1)
-      ~cmp:(fun a b -> compare b.cscore a.cscore)
+      ~cmp:(fun a b -> Float.compare b.cscore a.cscore)
       ()
   in
   let threshold () =

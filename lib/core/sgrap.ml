@@ -55,7 +55,7 @@ let binarize ?threshold inst =
      topic so scores stay well-defined. *)
   Array.iteri
     (fun p v ->
-      if Array.for_all (fun x -> x = 0.) v then begin
+      if Array.for_all (fun x -> Float.equal x 0.) v then begin
         let top = Wgrap_util.Stats.argmax inst.Instance.papers.(p) in
         v.(top) <- 1.
       end)

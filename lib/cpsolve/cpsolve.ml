@@ -30,7 +30,7 @@ let maximize ?deadline ?(bound = fun _ _ -> infinity) model ~score =
   let incumbent = ref None in
   let incumbent_value = ref neg_infinity in
   let nodes = ref 0 in
-  let start = Unix.gettimeofday () in
+  let start = Timer.now () in
   let first_solution = ref None in
   let check_deadline () =
     match deadline with
@@ -41,7 +41,7 @@ let maximize ?deadline ?(bound = fun _ _ -> infinity) model ~score =
     if depth = model.arity then begin
       let value = score partial in
       if !first_solution = None then
-        first_solution := Some (Unix.gettimeofday () -. start);
+        first_solution := Some (Timer.now () -. start);
       if value > !incumbent_value then begin
         incumbent_value := value;
         incumbent := Some (Array.copy partial)

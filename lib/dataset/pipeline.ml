@@ -88,7 +88,7 @@ let row_problem vec =
   if Array.exists (fun v -> not (Float.is_finite v)) vec then
     Some "non-finite topic weight"
   else if Array.exists (fun v -> v < 0.) vec then Some "negative topic weight"
-  else if Array.for_all (fun v -> v = 0.) vec then Some "zero-mass topic vector"
+  else if Array.for_all (fun v -> Float.equal v 0.) vec then Some "zero-mass topic vector"
   else None
 
 let sanitize extracted =

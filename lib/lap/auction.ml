@@ -53,7 +53,7 @@ let maximize score =
       if !best_j < 0 then failwith "Auction: infeasible";
       let j = !best_j in
       let increment =
-        if !second_v = neg_infinity then eps else !best_v -. !second_v +. eps
+        if Float.equal !second_v neg_infinity then eps else !best_v -. !second_v +. eps
       in
       prices.(j) <- prices.(j) +. increment;
       (match owner.(j) with

@@ -98,7 +98,7 @@ let dijkstra t ~source ~sink ~pot ~dist ~prev_edge =
   dist.(source) <- 0.;
   let heap =
     Wgrap_util.Heap.create ~capacity:(2 * t.n)
-      ~cmp:(fun (a, _) (b, _) -> compare (b : float) a)
+      ~cmp:(fun (a, _) (b, _) -> Float.compare b a)
       ()
   in
   Wgrap_util.Heap.push heap (0., source);

@@ -29,7 +29,7 @@ let pivot tab basis ~row ~col =
   for r = 0 to m - 1 do
     if r <> row then begin
       let factor = tab.(r).(col) in
-      if factor <> 0. then
+      if not (Float.equal factor 0.) then
         for k = 0 to width - 1 do
           tab.(r).(k) <- tab.(r).(k) -. (factor *. tab.(row).(k))
         done
@@ -55,7 +55,7 @@ let run_simplex ?deadline tab basis ~cost ~allowed =
     let acc = ref cost.(j) in
     for i = 0 to m - 1 do
       let cb = cost.(basis.(i)) in
-      if cb <> 0. then acc := !acc -. (cb *. tab.(i).(j))
+      if not (Float.equal cb 0.) then acc := !acc -. (cb *. tab.(i).(j))
     done;
     !acc
   in

@@ -77,7 +77,7 @@ let bool t = Int64.logand (bits64 t) 1L = 1L
 let gaussian t =
   let rec draw () =
     let u = uniform t in
-    if u = 0. then draw () else u
+    if Float.equal u 0. then draw () else u
   in
   let u1 = draw () and u2 = uniform t in
   sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
@@ -90,7 +90,7 @@ let rec gamma t ~shape =
     let u =
       let rec draw () =
         let u = uniform t in
-        if u = 0. then draw () else u
+        if Float.equal u 0. then draw () else u
       in
       draw ()
     in
@@ -116,7 +116,7 @@ let dirichlet t ~alpha =
   if n = 0 then invalid_arg "Rng.dirichlet: empty alpha";
   let draws = Array.map (fun a -> gamma t ~shape:a) alpha in
   let total = Array.fold_left ( +. ) 0. draws in
-  if total = 0. then (
+  if Float.equal total 0. then (
     (* Extremely sparse alpha can underflow every gamma draw; fall back to a
        point mass on a uniformly chosen coordinate, which is the correct
        limiting behaviour. *)

@@ -67,17 +67,17 @@ let test_binarize_shapes () =
   Array.iter
     (fun v ->
       Alcotest.(check bool) "binary paper" true
-        (Array.for_all (fun x -> x = 0. || x = 1.) v))
+        (Array.for_all (fun x -> Float.equal x 0. || Float.equal x 1.) v))
     bin.Instance.papers;
   Array.iter
     (fun v ->
       Alcotest.(check bool) "binary reviewer" true
-        (Array.for_all (fun x -> x = 0. || x = 1.) v))
+        (Array.for_all (fun x -> Float.equal x 0. || Float.equal x 1.) v))
     bin.Instance.reviewers;
   Array.iter
     (fun v ->
       Alcotest.(check bool) "paper keeps some topic" true
-        (Array.exists (fun x -> x = 1.) v))
+        (Array.exists (fun x -> Float.equal x 1.) v))
     bin.Instance.papers;
   Alcotest.(check bool) "coi survives" true
     (Instance.forbidden bin ~paper:1 ~reviewer:2);

@@ -380,9 +380,9 @@ let test_pipeline_hindex_scaling () =
   Array.iteri
     (fun row vec ->
       let base = ex.Pipeline.reviewer_vectors.(row) in
-      let factor = vec.(0) /. (if base.(0) = 0. then 1. else base.(0)) in
+      let factor = vec.(0) /. (if Float.equal base.(0) 0. then 1. else base.(0)) in
       Alcotest.(check bool) "factor in [1,2]" true
-        (base.(0) = 0. || (factor >= 1. -. 1e-9 && factor <= 2. +. 1e-9)))
+        (Float.equal base.(0) 0. || (factor >= 1. -. 1e-9 && factor <= 2. +. 1e-9)))
     scaled
 
 (* The extraction must carry enough signal that reviewers score higher

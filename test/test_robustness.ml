@@ -439,11 +439,17 @@ let write_file path data =
   let oc = open_out_bin path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data)
 
+(* Fresh per-call suffixes for temp dirs, drawn from the project Rng so
+   the suite stays free of stdlib Random (pid disambiguates processes,
+   the counter disambiguates calls within one). *)
+let temp_dir_rng = Rng.create (Unix.getpid ())
+
 let with_temp_store_dir f =
   let dir =
     Filename.concat
       (Filename.get_temp_dir_name ())
-      (Printf.sprintf "wgrap_kill_%d_%d" (Unix.getpid ()) (Random.bits ()))
+      (Printf.sprintf "wgrap_kill_%d_%d" (Unix.getpid ())
+         (Rng.int temp_dir_rng 0x3FFFFFFF))
   in
   (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   Fun.protect

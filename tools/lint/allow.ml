@@ -1,0 +1,46 @@
+(* Suppression attributes. A finding is silenced by attaching
+   [@wgrap.allow "rule"] to the offending expression (or any enclosing
+   expression / let-binding), [@@wgrap.allow "rule"] to a [val] in an
+   interface, or the floating [@@@wgrap.allow "rule"] for a whole file.
+   The payload must be a string literal naming one registered rule. *)
+
+open Ppxlib
+
+let attr_name = "wgrap.allow"
+
+let payload_rule (a : attribute) =
+  match a.attr_payload with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+let rule_names (attrs : attribute list) : string list =
+  List.filter_map
+    (fun (a : attribute) ->
+      if String.equal a.attr_name.txt attr_name then payload_rule a else None)
+    attrs
+
+(* File-wide allows: [@@@wgrap.allow "rule"] at structure level. *)
+let structure_allows (str : structure) =
+  List.concat_map
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_attribute a -> rule_names [ a ]
+      | _ -> [])
+    str
+
+let signature_allows (sg : signature) =
+  List.concat_map
+    (fun item ->
+      match item.psig_desc with
+      | Psig_attribute a -> rule_names [ a ]
+      | _ -> [])
+    sg

@@ -1,0 +1,25 @@
+(* Per-file lint context: the path being checked, the stack of
+   [@wgrap.allow] scopes currently in force, and the findings
+   accumulated so far. *)
+
+type t = {
+  file : string;
+  mutable file_allows : string list;
+  mutable allow_stack : string list list;
+  mutable findings : Finding.t list;
+}
+
+let create file = { file; file_allows = []; allow_stack = []; findings = [] }
+let push t allows = t.allow_stack <- allows :: t.allow_stack
+
+let pop t =
+  match t.allow_stack with [] -> () | _ :: rest -> t.allow_stack <- rest
+
+let allowed t rule =
+  List.mem rule t.file_allows || List.exists (List.mem rule) t.allow_stack
+
+let report t ~(loc : Ppxlib.Location.t) ~rule msg =
+  if not (allowed t rule) then
+    t.findings <-
+      { Finding.file = t.file; line = loc.loc_start.pos_lnum; rule; msg }
+      :: t.findings

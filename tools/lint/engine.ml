@@ -1,0 +1,36 @@
+(* Drives the expression rules over one parsed implementation, keeping
+   the [@wgrap.allow] scope stack in sync with the traversal. *)
+
+open Ppxlib
+
+let run (ctx : Ctx.t) (rules : Rules.t list) (str : structure) =
+  ctx.file_allows <- Allow.structure_allows str @ ctx.file_allows;
+  let visitor =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        Ctx.push ctx (Allow.rule_names e.pexp_attributes);
+        List.iter (fun (r : Rules.t) -> r.check ctx e) rules;
+        super#expression e;
+        Ctx.pop ctx
+
+      method! value_binding vb =
+        Ctx.push ctx (Allow.rule_names vb.pvb_attributes);
+        super#value_binding vb;
+        Ctx.pop ctx
+
+      method! structure_item si =
+        let allows =
+          match si.pstr_desc with
+          | Pstr_eval (_, attrs) | Pstr_primitive { pval_attributes = attrs; _ }
+            ->
+              Allow.rule_names attrs
+          | _ -> []
+        in
+        Ctx.push ctx allows;
+        super#structure_item si;
+        Ctx.pop ctx
+    end
+  in
+  visitor#structure str

@@ -1,0 +1,14 @@
+(* A single lint finding, printed as "file:line: [rule] message" so
+   editors and CI annotate it like a compiler diagnostic. *)
+
+type t = { file : string; line : int; rule : string; msg : string }
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> String.compare a.rule b.rule
+      | c -> c)
+  | c -> c
+
+let to_string f = Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.msg

@@ -1,0 +1,3 @@
+(* Fixture: [@@wgrap.allow "deadline"] blesses a deliberately
+   deadline-free entry point (e.g. a one-shot baseline). *)
+val solve : int -> int [@@wgrap.allow "deadline"]

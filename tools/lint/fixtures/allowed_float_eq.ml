@@ -1,0 +1,5 @@
+(* Fixture: the floating [@@@wgrap.allow] form silences a whole file. *)
+[@@@wgrap.allow "float-eq"]
+
+let is_zero x = x = 0.
+let not_one x = x <> 1.

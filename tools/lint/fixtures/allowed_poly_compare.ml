@@ -1,0 +1,4 @@
+(* Fixture: Float.* versions and the allow attribute keep the rule quiet. *)
+let worst a b = (min (a : float) b [@wgrap.allow "poly-compare"])
+let fine a b = Float.compare a b
+let ints a b = compare (a : int) b

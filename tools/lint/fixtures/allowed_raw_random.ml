@@ -1,0 +1,2 @@
+(* Fixture: [@wgrap.allow "raw-random"] silences the rule. *)
+let draw () = (Random.int 6 [@wgrap.allow "raw-random"])

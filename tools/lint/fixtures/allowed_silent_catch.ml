@@ -1,0 +1,7 @@
+(* Fixture: an allow attribute or a handler that surfaces the exception
+   (re-raise / Solver.describe_exn) keeps the rule quiet. *)
+let read path =
+  (try Some (open_in path) with _ -> None) [@wgrap.allow "silent-catch"]
+
+let surfaced f = try f () with e -> failwith (Solver.describe_exn e)
+let reraised f = try f () with e -> raise e

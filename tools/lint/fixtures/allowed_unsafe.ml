@@ -1,0 +1,2 @@
+(* Fixture: [@wgrap.allow "unsafe-array"] silences the rule. *)
+let get a i = (Array.unsafe_get a i [@wgrap.allow "unsafe-array"])

@@ -1,0 +1,3 @@
+(* Fixture: [@wgrap.allow "wall-clock"] silences the rule. *)
+let stamp () = (Unix.gettimeofday () [@wgrap.allow "wall-clock"])
+let cpu () = (Sys.time () [@wgrap.allow "wall-clock"])

@@ -1,0 +1,7 @@
+(* Fixture implementation: loops forever without polling Timer.check*. *)
+let solve x =
+  let acc = ref x in
+  while !acc < 100 do
+    incr acc
+  done;
+  !acc

@@ -1,0 +1,3 @@
+(* Fixture: a solver entry point without ?deadline must fire, as must an
+   implementation that never reaches the timer. *)
+val solve : int -> int

@@ -1,0 +1,4 @@
+(* Fixture: (=)/(<>) on float expressions must fire. *)
+let is_zero x = x = 0.
+let not_one x = x <> 1.
+let is_inf x = x = infinity

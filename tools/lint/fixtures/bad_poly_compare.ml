@@ -1,0 +1,4 @@
+(* Fixture: polymorphic compare/min/max on float operands must fire. *)
+let worst a b = min (a : float) b
+let order xs = List.sort (fun a b -> compare (a +. 0.) b) xs
+let heap_cmp a b = compare a.gain b.gain

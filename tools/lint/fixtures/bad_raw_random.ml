@@ -1,0 +1,3 @@
+(* Fixture: stdlib Random outside lib/util/rng.ml must fire. *)
+let draw () = Random.int 6
+let stream () = Random.State.make_self_init ()

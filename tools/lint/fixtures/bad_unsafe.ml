@@ -1,0 +1,3 @@
+(* Fixture: bounds-check elision outside the sparse kernels must fire. *)
+let get a i = Array.unsafe_get a i
+let set b i c = Bytes.unsafe_set b i c

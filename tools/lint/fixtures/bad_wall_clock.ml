@@ -1,0 +1,4 @@
+(* Fixture: wall-clock reads outside lib/util/timer.ml must fire. *)
+let stamp () = Unix.gettimeofday ()
+let cpu () = Sys.time ()
+let epoch () = Unix.time ()

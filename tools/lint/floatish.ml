@@ -1,0 +1,55 @@
+(* Syntactic "this expression is a float" evidence, shared by the
+   no-poly-compare and no-float-eq rules. The linter never typechecks, so
+   this is a deliberately conservative under-approximation: literals,
+   float operators, [Float.*] calls, explicit [(e : float)] constraints,
+   the well-known float constants, and record fields this project keeps
+   floats in (objective scores and gains, which feed heap orderings).
+   Missing a float is fine — the rule just stays silent; claiming one
+   falsely is not, so nothing here guesses. *)
+
+open Ppxlib
+
+(* Record fields that hold objective values in this codebase. Polymorphic
+   compare on these is exactly the NaN-unsound heap-ordering bug the rule
+   exists to catch. *)
+let float_fields =
+  [ "gain"; "score"; "cscore"; "mass"; "best_written"; "log_likelihood" ]
+
+let float_constants =
+  [ "infinity"; "neg_infinity"; "nan"; "epsilon_float"; "max_float";
+    "min_float" ]
+
+let float_functions =
+  [ "+."; "-."; "*."; "/."; "**"; "~-."; "sqrt"; "exp"; "log"; "log10";
+    "log1p"; "expm1"; "abs_float"; "float_of_int"; "float_of_string";
+    "ceil"; "floor"; "mod_float" ]
+
+(* Float.<m> uses that do NOT yield a float. *)
+let float_module_non_float =
+  [ "to_int"; "to_string"; "compare"; "equal"; "hash"; "sign_bit";
+    "is_nan"; "is_finite"; "is_integer"; "classify_float" ]
+
+let last_component txt =
+  match List.rev (Longident.flatten_exn txt) with c :: _ -> Some c | [] -> None
+
+let rec is (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_ident { txt = Lident id; _ } -> List.mem id float_constants
+  | Pexp_ident { txt = Ldot (Lident "Float", m); _ } ->
+      not (List.mem m float_module_non_float)
+  | Pexp_constraint
+      (_, { ptyp_desc = Ptyp_constr ({ txt = Lident "float"; _ }, []); _ }) ->
+      true
+  | Pexp_field (_, { txt; _ }) -> (
+      match last_component txt with
+      | Some f -> List.mem f float_fields
+      | None -> false)
+  | Pexp_apply (f, _) -> (
+      match f.pexp_desc with
+      | Pexp_ident { txt = Lident fn; _ } -> List.mem fn float_functions
+      | Pexp_ident { txt = Ldot (Lident "Float", m); _ } ->
+          not (List.mem m float_module_non_float)
+      | _ -> false)
+  | Pexp_ifthenelse (_, a, Some b) -> is a || is b
+  | _ -> false

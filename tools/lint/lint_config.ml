@@ -1,0 +1,45 @@
+(* Project-level lint configuration: which files legitimately own a
+   forbidden primitive, and which modules are solver links subject to the
+   deadline-discipline contract. Paths are '/'-separated suffixes matched
+   on component boundaries (see {!Lint_path}). *)
+
+(* Rule wall-clock: the monotonic Timer is the only module allowed to
+   read a clock primitive (it wraps CLOCK_MONOTONIC; everything else must
+   go through it so deadlines survive NTP jumps). *)
+let wall_clock_owners = [ "lib/util/timer.ml" ]
+
+(* Rule raw-random: all randomness flows through the splittable
+   xoshiro256** Rng so checkpoint replay is bit-exact. *)
+let random_owners = [ "lib/util/rng.ml" ]
+
+(* Rule unsafe-array: bounds-check elision is reserved for the sparse
+   scoring kernels, whose index ranges are established by construction. *)
+let unsafe_owners = [ "lib/core/scoring.ml"; "lib/core/gain_matrix.ml" ]
+
+(* Rule deadline: solver link modules. Every exported entry point (a val
+   whose name is in [solver_entry_names]) must accept [?deadline], and the
+   implementation must either poll [Timer.check*]/[Timer.expired*] or
+   forward the deadline to a callee that does. *)
+let solver_modules =
+  [
+    "lib/core/brgg.ml";
+    "lib/core/exact.ml";
+    "lib/core/greedy.ml";
+    "lib/core/jra_bba.ml";
+    "lib/core/jra_bfs.ml";
+    "lib/core/jra_cp.ml";
+    "lib/core/jra_ilp.ml";
+    "lib/core/local_search.ml";
+    "lib/core/sdga.ml";
+    "lib/core/sra.ml";
+    "lib/core/stage.ml";
+    "lib/cpsolve/cpsolve.ml";
+    "lib/lap/hungarian.ml";
+    "lib/lap/mcmf.ml";
+  ]
+
+let solver_entry_names =
+  [
+    "solve"; "solve_flow"; "solve_rescan"; "solve_counting"; "top_k";
+    "refine"; "maximize"; "minimize"; "min_cost_flow"; "transportation";
+  ]

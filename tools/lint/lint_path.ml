@@ -1,0 +1,15 @@
+(* Path matching for per-file rule exemptions. Exemptions are written as
+   '/'-separated suffixes ("lib/util/timer.ml") and must match on a path
+   component boundary, so "timer.ml" never matches "my_timer.ml". *)
+
+let normalize p = String.concat "/" (String.split_on_char '\\' p)
+
+let matches_suffix ~suffix path =
+  let path = normalize path and suffix = normalize suffix in
+  let lp = String.length path and ls = String.length suffix in
+  lp >= ls
+  && String.sub path (lp - ls) ls = suffix
+  && (lp = ls || path.[lp - ls - 1] = '/')
+
+let matches_any ~suffixes path =
+  List.exists (fun suffix -> matches_suffix ~suffix path) suffixes

@@ -1,0 +1,104 @@
+(* 7. deadline-discipline — the file-level rule. For every configured
+   solver module: each exported entry point (a [val] in the .mli whose
+   name is in {!Lint_config.solver_entry_names}) must accept [?deadline], and
+   the implementation must either poll the monotonic timer
+   ([Timer.check*] / [Timer.expired*]) or forward a [~deadline]/[?deadline]
+   argument to a callee that does — otherwise a budgeted solve can run
+   unbounded.
+
+   Suppression: [@@wgrap.allow "deadline"] on the offending [val], or the
+   floating [@@@wgrap.allow "deadline"] in either file. *)
+
+open Ppxlib
+
+let rule = "deadline"
+
+let rec accepts_deadline (ty : core_type) =
+  match ty.ptyp_desc with
+  | Ptyp_arrow (Optional "deadline", _, _) -> true
+  | Ptyp_arrow (_, _, rest) -> accepts_deadline rest
+  | Ptyp_poly (_, ty) -> accepts_deadline ty
+  | _ -> false
+
+(* Does the implementation reach the timer: any Timer.check*/Timer.expired*
+   ident (optionally behind a module alias, hence suffix matching on the
+   last two path components), or any application forwarding a [deadline]
+   labelled/optional argument. *)
+let polls_or_forwards (str : structure) =
+  let found = ref false in
+  let prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_ident { txt; _ } -> (
+            match List.rev (Longident.flatten_exn txt) with
+            | member :: "Timer" :: _
+              when prefix "check" member || prefix "expired" member ->
+                found := true
+            | _ -> ())
+        | Pexp_apply (_, args) ->
+            if
+              List.exists
+                (fun (label, _) ->
+                  match label with
+                  | Labelled "deadline" | Optional "deadline" -> true
+                  | _ -> false)
+                args
+            then found := true
+        | _ -> ());
+        super#expression e
+    end
+  in
+  it#structure str;
+  !found
+
+(* Entry points are read from the .mli: the interface is the contract the
+   anytime harness programs against. *)
+let entry_vals (sg : signature) =
+  List.filter_map
+    (fun item ->
+      match item.psig_desc with
+      | Psig_value vd when List.mem vd.pval_name.txt Lint_config.solver_entry_names
+        ->
+          Some vd
+      | _ -> None)
+    sg
+
+(* Module-level findings anchor at the first item of the implementation
+   so they print a real line number. *)
+let module_loc (str : structure) =
+  match str with [] -> Location.none | item :: _ -> item.pstr_loc
+
+let check ~(ml_ctx : Ctx.t) ~(mli_ctx : Ctx.t option) ~(str : structure)
+    ~(sg : signature option) =
+  match (sg, mli_ctx) with
+  | None, _ | _, None ->
+      Ctx.report ml_ctx ~loc:(module_loc str) ~rule
+        "solver module has no .mli; deadline-discipline needs the interface \
+         to name its entry points"
+  | Some sg, Some mli_ctx ->
+      let entries = entry_vals sg in
+      let unsuppressed =
+        List.filter
+          (fun vd ->
+            not
+              (List.mem rule (Allow.rule_names vd.pval_attributes)
+              || Ctx.allowed mli_ctx rule))
+          entries
+      in
+      List.iter
+        (fun vd ->
+          if not (accepts_deadline vd.pval_type) then
+            Ctx.report mli_ctx ~loc:vd.pval_loc ~rule
+              (Printf.sprintf
+                 "solver entry point %s must accept ?deadline (anytime \
+                  contract: every solve is budgetable)"
+                 vd.pval_name.txt))
+        unsuppressed;
+      if unsuppressed <> [] && not (polls_or_forwards str) then
+        Ctx.report ml_ctx ~loc:(module_loc str) ~rule
+          "solver implementation never polls Timer.check*/Timer.expired* nor \
+           forwards ?deadline to a callee; its loops cannot be cut off"

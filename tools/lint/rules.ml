@@ -1,0 +1,157 @@
+(* The expression-level lint rules. Each rule is a named check invoked on
+   every expression node of every checked [.ml]; findings route through
+   {!Ctx.report}, which consults the [@wgrap.allow] scopes in force.
+   The file-level deadline-discipline rule lives in {!Rule_deadline}. *)
+
+open Ppxlib
+
+type t = { name : string; check : Ctx.t -> expression -> unit }
+
+(* 1. no-wall-clock: Unix.gettimeofday/Unix.time/Sys.time jump under NTP
+   adjustment; budgets and timings must use the monotonic Timer. *)
+let wall_clock =
+  let check ctx (e : expression) =
+    if not (Lint_path.matches_any ~suffixes:Lint_config.wall_clock_owners ctx.Ctx.file)
+    then
+      match e.pexp_desc with
+      | Pexp_ident { txt = Ldot (Lident "Unix", ("gettimeofday" | "time")); loc }
+      | Pexp_ident { txt = Ldot (Lident "Sys", "time"); loc } ->
+          Ctx.report ctx ~loc ~rule:"wall-clock"
+            "wall-clock read; deadlines and timings must use the monotonic \
+             Wgrap_util.Timer (Timer.now / Timer.deadline)"
+      | _ -> ()
+  in
+  { name = "wall-clock"; check }
+
+(* 2. no-raw-random: the stdlib Random state is invisible to checkpoints;
+   bit-exact resume requires every draw to come from Wgrap_util.Rng. *)
+let raw_random =
+  let check ctx (e : expression) =
+    if not (Lint_path.matches_any ~suffixes:Lint_config.random_owners ctx.Ctx.file)
+    then
+      match e.pexp_desc with
+      | Pexp_ident { txt; loc } -> (
+          match Longident.flatten_exn txt with
+          | "Random" :: _ :: _ ->
+              Ctx.report ctx ~loc ~rule:"raw-random"
+                "stdlib Random breaks bit-exact checkpoint replay; draw from \
+                 Wgrap_util.Rng instead"
+          | _ -> ())
+      | _ -> ()
+  in
+  { name = "raw-random"; check }
+
+(* 3. no-silent-catch: a catch-all handler must re-raise or at least
+   route the exception through Solver.describe_exn so faults surface in
+   degradation reports instead of vanishing. *)
+let silent_catch =
+  let handler_surfaces body =
+    let found = ref false in
+    let it =
+      object
+        inherit Ast_traverse.iter as super
+
+        method! expression e =
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } -> (
+              match Longident.flatten_exn txt with
+              | [ ("raise" | "raise_notrace" | "reraise") ]
+              | [ "Printexc"; "raise_with_backtrace" ] ->
+                  found := true
+              | parts -> (
+                  match List.rev parts with
+                  | "describe_exn" :: _ -> found := true
+                  | _ -> ()))
+          | _ -> ());
+          super#expression e
+      end
+    in
+    it#expression body;
+    !found
+  in
+  let check ctx (e : expression) =
+    match e.pexp_desc with
+    | Pexp_try (_, cases) ->
+        List.iter
+          (fun c ->
+            let catch_all =
+              match c.pc_lhs.ppat_desc with
+              | Ppat_any | Ppat_var _ -> true
+              | Ppat_alias ({ ppat_desc = Ppat_any; _ }, _) -> true
+              | _ -> false
+            in
+            if catch_all && c.pc_guard = None && not (handler_surfaces c.pc_rhs)
+            then
+              Ctx.report ctx ~loc:c.pc_lhs.ppat_loc ~rule:"silent-catch"
+                "catch-all handler swallows the exception; re-raise it or \
+                 record it via Solver.describe_exn")
+          cases
+    | _ -> ()
+  in
+  { name = "silent-catch"; check }
+
+(* 4. no-poly-compare: polymorphic compare/min/max on floats orders NaN
+   inconsistently (compare nan x = -1 but nan < x is false), corrupting
+   heap and sort invariants. Force the monomorphic Float.* versions. *)
+let poly_compare =
+  let check ctx (e : expression) =
+    match e.pexp_desc with
+    | Pexp_apply
+        ( {
+            pexp_desc =
+              Pexp_ident { txt = Lident (("compare" | "min" | "max") as fn); loc };
+            _;
+          },
+          args )
+      when List.exists (fun (_, a) -> Floatish.is a) args ->
+        Ctx.report ctx ~loc ~rule:"poly-compare"
+          (Printf.sprintf
+             "polymorphic %s on float operands is NaN-unsound; use Float.%s"
+             fn fn)
+    | _ -> ()
+  in
+  { name = "poly-compare"; check }
+
+(* 5. no-float-eq: literal (=)/(<>) between float expressions. Exact
+   float equality is almost always a rounding bug; where exactness is
+   really meant (sentinel zeros), Float.equal states the intent and
+   survives this lint. *)
+let float_eq =
+  let check ctx (e : expression) =
+    match e.pexp_desc with
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Lident (("=" | "<>") as op); loc }; _ },
+          [ (Nolabel, a); (Nolabel, b) ] )
+      when Floatish.is a || Floatish.is b ->
+        Ctx.report ctx ~loc ~rule:"float-eq"
+          (Printf.sprintf
+             "polymorphic %s on a float expression; use Float.equal for \
+              exact sentinels or compare against a tolerance"
+             op)
+    | _ -> ()
+  in
+  { name = "float-eq"; check }
+
+(* 6. no-unsafe-outside-kernel: bounds-check elision is allowed only in
+   the allowlisted sparse kernels whose index ranges are proven by
+   construction. *)
+let unsafe_array =
+  let check ctx (e : expression) =
+    if not (Lint_path.matches_any ~suffixes:Lint_config.unsafe_owners ctx.Ctx.file)
+    then
+      match e.pexp_desc with
+      | Pexp_ident { txt; loc } -> (
+          match Longident.flatten_exn txt with
+          | [ ("Array" | "Bytes" | "String"); member ]
+            when String.length member >= 7
+                 && String.sub member 0 7 = "unsafe_" ->
+              Ctx.report ctx ~loc ~rule:"unsafe-array"
+                "bounds-check elision outside the allowlisted sparse kernels \
+                 (lib/core/scoring.ml, lib/core/gain_matrix.ml)"
+          | _ -> ())
+      | _ -> ()
+  in
+  { name = "unsafe-array"; check }
+
+let all =
+  [ wall_clock; raw_random; silent_catch; poly_compare; float_eq; unsafe_array ]

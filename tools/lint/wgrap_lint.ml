@@ -1,0 +1,142 @@
+(* wgrap_lint — static analysis for the wgrap contracts.
+
+   Usage: wgrap_lint [--solver-module PATH]... PATH...
+
+   Each PATH is an .ml/.mli file or a directory walked recursively.
+   Findings print as "file:line: [rule] message"; the exit status is 0
+   when clean, 1 when any finding (including a parse failure) is
+   reported, 2 on usage errors.
+
+   Rules (suppress per-expression with [@wgrap.allow "rule"], per-val
+   with [@@wgrap.allow "rule"], per-file with [@@@wgrap.allow "rule"]):
+     wall-clock    no Unix.gettimeofday/Unix.time/Sys.time outside Timer
+     raw-random    no stdlib Random outside Rng
+     silent-catch  no catch-all handler that neither re-raises nor
+                   records via Solver.describe_exn
+     poly-compare  no polymorphic compare/min/max on float operands
+     float-eq      no (=)/(<>) on float expressions
+     unsafe-array  no Array/Bytes/String.unsafe_* outside the kernels
+     deadline      solver entry points accept ?deadline and reach a
+                   Timer.check*/forwarded deadline
+
+   [--solver-module PATH] adds PATH to the deadline-rule targets on top
+   of the built-in project configuration (used by the fixture tests). *)
+
+let usage = "usage: wgrap_lint [--solver-module PATH]... PATH..."
+
+let rec walk path acc =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry -> walk (Filename.concat path entry) acc)
+      acc
+      (let entries = Sys.readdir path in
+       Array.sort String.compare entries;
+       entries)
+  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then path :: acc
+  else acc
+
+type parsed = {
+  structures : (string * Ppxlib.structure) list;
+  signatures : (string * Ppxlib.signature) list;
+  parse_failures : Finding.t list;
+}
+
+let parse_failure path exn =
+  let msg =
+    match Ppxlib.Location.Error.of_exn exn with
+    | Some e -> Ppxlib.Location.Error.message e
+    | None -> Printexc.to_string exn
+  in
+  { Finding.file = path; line = 1; rule = "parse"; msg }
+
+let parse_files files =
+  List.fold_left
+    (fun acc path ->
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let lexbuf = Lexing.from_channel ic in
+          Lexing.set_filename lexbuf path;
+          try
+            if Filename.check_suffix path ".mli" then
+              let sg = Ppxlib.Parse.interface lexbuf in
+              { acc with signatures = (path, sg) :: acc.signatures }
+            else
+              let str = Ppxlib.Parse.implementation lexbuf in
+              { acc with structures = (path, str) :: acc.structures }
+          with exn ->
+            {
+              acc with
+              parse_failures = parse_failure path exn :: acc.parse_failures;
+            }))
+    { structures = []; signatures = []; parse_failures = [] }
+    files
+
+let () =
+  let paths = ref [] and extra_solver_modules = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--solver-module" :: m :: rest ->
+        extra_solver_modules := m :: !extra_solver_modules;
+        parse_args rest
+    | "--solver-module" :: [] ->
+        prerr_endline usage;
+        exit 2
+    | ("--help" | "-help") :: _ ->
+        print_endline usage;
+        exit 0
+    | p :: rest ->
+        paths := p :: !paths;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  if !paths = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  let files =
+    try List.fold_left (fun acc p -> walk p acc) [] (List.rev !paths)
+    with Sys_error m ->
+      prerr_endline ("wgrap_lint: " ^ m);
+      exit 2
+  in
+  let parsed = parse_files files in
+  let findings = ref parsed.parse_failures in
+  (* Expression rules over every implementation. Keep each file's context
+     so the deadline pass can reuse its file-level allows. *)
+  let ml_ctxs =
+    List.map
+      (fun (path, str) ->
+        let ctx = Ctx.create path in
+        Engine.run ctx Rules.all str;
+        findings := ctx.findings @ !findings;
+        (path, ctx, str))
+      parsed.structures
+  in
+  (* Deadline discipline over the configured solver modules. *)
+  let targets = Lint_config.solver_modules @ !extra_solver_modules in
+  List.iter
+    (fun (path, ml_ctx, str) ->
+      if Lint_path.matches_any ~suffixes:targets path then begin
+        let mli_path = path ^ "i" in
+        let sg = List.assoc_opt mli_path parsed.signatures in
+        let mli_ctx =
+          Option.map
+            (fun sg ->
+              let c = Ctx.create mli_path in
+              c.file_allows <- Allow.signature_allows sg;
+              c)
+            sg
+        in
+        Rule_deadline.check ~ml_ctx ~mli_ctx ~str ~sg;
+        findings := ml_ctx.findings @ !findings;
+        Option.iter (fun c -> findings := c.Ctx.findings @ !findings) mli_ctx
+      end)
+    (List.map
+       (fun (path, ctx, str) -> (path, { ctx with Ctx.findings = [] }, str))
+       ml_ctxs);
+  let findings = List.sort_uniq Finding.compare !findings in
+  List.iter (fun f -> print_endline (Finding.to_string f)) findings;
+  exit (if findings = [] then 0 else 1)
