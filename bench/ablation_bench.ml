@@ -104,7 +104,9 @@ let ablation_sra_prob ctx =
         let refine lambda salt =
           let rng = Context.rng_for ctx salt in
           let a =
-            Sra.refine ~params:{ Sra.default_params with lambda } ~rng inst start
+            Sra.refine
+              ~params:{ Sra.default_params with lambda }
+              ~ctx:(Ctx.make ~rng ()) inst start
           in
           Metrics.optimality_ratio_against inst ~ideal a
         in

@@ -141,7 +141,7 @@ let cra_solvers t =
     ( "SDGA-SRA",
       fun inst ->
         let rng = rng_for t 4242 in
-        Sra.refine ~rng inst (Sdga.solve inst) );
+        Sra.refine ~ctx:(Ctx.make ~rng ()) inst (Sdga.solve inst) );
   ]
 
 let section t title =

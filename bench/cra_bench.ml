@@ -174,9 +174,9 @@ let fig12 ctx =
             let rng = Context.rng_for ctx 1212 in
             Sra.refine
               ~params:{ Sra.default_params with omega = max_int; max_rounds = max_int }
-              ~deadline:(Timer.deadline window)
               ~on_round:(fun ~round:_ ~elapsed ~best -> record ~elapsed ~best)
-              ~rng inst start)
+              ~ctx:(Ctx.make ~deadline:(Timer.deadline window) ~rng ())
+              inst start)
       in
       let ls_trace =
         collect (fun record ->
@@ -223,7 +223,7 @@ let fig16 ctx =
               Timer.time (fun () ->
                   Sra.refine
                     ~params:{ Sra.default_params with omega }
-                    ~rng inst start)
+                    ~ctx:(Ctx.make ~rng ()) inst start)
             in
             [
               string_of_int omega;

@@ -139,7 +139,7 @@ let end_to_end inst ~shape =
     Timer.time (fun () ->
         Sra.refine
           ~params:{ Sra.omega = max_int; lambda; max_rounds = rounds }
-          ~rng:(Rng.create 42) inst sparse_sdga)
+          ~ctx:(Ctx.make ~seed:42 ()) inst sparse_sdga)
   in
   let sra_obj_dense = Assignment.coverage inst dense_sra in
   let sra_obj_sparse = Assignment.coverage inst sparse_sra in

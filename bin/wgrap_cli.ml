@@ -88,8 +88,21 @@ let load_corpus ~lenient authors_path papers_path =
 
 (* {1 assign} *)
 
+(* --jobs N: 0 means "one per core" (Pool.recommended_jobs); on a
+   sequential-fallback build any request collapses to 1 with a warning,
+   so scripts carrying --jobs stay portable across OCaml versions. *)
+let pool_of_jobs jobs =
+  let requested =
+    if jobs = 0 then Wgrap_par.Pool.recommended_jobs () else jobs
+  in
+  if requested > 1 && not Wgrap_par.Pool.parallel_supported then begin
+    warn "--jobs %d ignored: this build has no multicore runtime" requested;
+    Wgrap_par.Pool.sequential
+  end
+  else Wgrap_par.Pool.create ~jobs:requested
+
 let assign ~seed ~authors_path ~papers_path ~dataset ~delta_p ~refine ~budget
-    ~lenient ~strict ~out ~checkpoint_dir ~checkpoint_every ~resume =
+    ~jobs ~lenient ~strict ~out ~checkpoint_dir ~checkpoint_every ~resume =
   let corpus = load_corpus ~lenient authors_path papers_path in
   let spec =
     match Dataset.Datasets.find dataset with
@@ -161,10 +174,11 @@ let assign ~seed ~authors_path ~papers_path ~dataset ~delta_p ~refine ~budget
       checkpoint_dir
   in
   let checkpoint = Option.map Wgrap_persist.Store.sink store in
-  let outcome, dt =
-    Timer.time (fun () ->
-        Solver.cra ?budget ~seed ~refine ?checkpoint ?resume_from inst)
+  let ctx =
+    Solver.Ctx.make ?budget ~seed ?checkpoint ?resume_from
+      ~pool:(pool_of_jobs jobs) ()
   in
+  let outcome, dt = Timer.time (fun () -> Solver.cra ~refine ~ctx inst) in
   Option.iter Wgrap_persist.Store.close store;
   enforce_tolerance ~strict outcome;
   let a =
@@ -278,7 +292,8 @@ let jra ~seed ~authors_path ~papers_path ~paper_id ~delta_p ~top_k ~budget
   in
   if top_k <= 1 then begin
     (* Single group: the anytime harness (ILP -> BBA -> greedy). *)
-    let outcome, dt = Timer.time (fun () -> Solver.jra ?budget problem) in
+    let ctx = Solver.Ctx.make ?budget () in
+    let outcome, dt = Timer.time (fun () -> Solver.jra ~ctx problem) in
     enforce_tolerance ~strict outcome;
     let sol =
       match Solver.value outcome with Some s -> s | None -> assert false
@@ -432,6 +447,17 @@ let assign_cmd =
   let no_refine =
     Arg.(value & flag & info [ "no-refine" ] ~doc:"Skip stochastic refinement.")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Solver domains: refinement runs $(docv) independent chains \
+             (best one wins, deterministic for a fixed seed and $(docv)) \
+             and gain-matrix fills are row-parallel. $(b,0) means one per \
+             core. Ignored (with a warning) on builds without the \
+             multicore runtime.")
+  in
   let out =
     Arg.(
       value & opt string "-"
@@ -442,12 +468,12 @@ let assign_cmd =
     Term.(
       const
         (fun seed authors_path papers_path dataset delta_p no_refine budget
-             lenient strict out checkpoint_dir checkpoint_every resume ->
+             jobs lenient strict out checkpoint_dir checkpoint_every resume ->
           assign ~seed ~authors_path ~papers_path ~dataset ~delta_p
-            ~refine:(not no_refine) ~budget ~lenient ~strict ~out
+            ~refine:(not no_refine) ~budget ~jobs ~lenient ~strict ~out
             ~checkpoint_dir ~checkpoint_every ~resume)
       $ seed_arg $ authors_arg $ papers_arg $ dataset $ delta_p $ no_refine
-      $ budget_arg $ lenient_arg $ strict_arg $ out $ checkpoint_dir_arg
+      $ budget_arg $ jobs $ lenient_arg $ strict_arg $ out $ checkpoint_dir_arg
       $ checkpoint_every_arg $ resume_arg)
 
 let checkpoint_cmd =

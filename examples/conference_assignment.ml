@@ -49,7 +49,7 @@ let () =
   let inst = Dataset.Pipeline.instance ~coi extracted ~delta_p ~delta_r in
 
   let sdga, t_sdga = Timer.time (fun () -> Sdga.solve inst) in
-  let refined, t_sra = Timer.time (fun () -> Sra.refine ~rng inst sdga) in
+  let refined, t_sra = Timer.time (fun () -> Sra.refine ~ctx:(Ctx.make ~rng ()) inst sdga) in
   (match Assignment.validate inst refined with
   | Ok () -> ()
   | Error e -> failwith ("infeasible result: " ^ e));

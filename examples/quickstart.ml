@@ -34,8 +34,7 @@ let () =
   (* Conference assignment: SDGA (1/2-approximation), then stochastic
      refinement. *)
   let sdga = Sdga.solve inst in
-  let rng = Wgrap_util.Rng.create 42 in
-  let refined = Sra.refine ~rng inst sdga in
+  let refined = Sra.refine ~ctx:(Ctx.make ~seed:42 ()) inst sdga in
   Printf.printf "Conference assignment (delta_p = 2, delta_r = 2)\n";
   Printf.printf "  SDGA coverage      = %.4f\n" (Assignment.coverage inst sdga);
   Printf.printf "  SDGA-SRA coverage  = %.4f\n" (Assignment.coverage inst refined);

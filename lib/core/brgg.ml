@@ -1,4 +1,4 @@
-let solve ?deadline inst =
+let solve_impl ?deadline inst =
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
   let dp = inst.Instance.delta_p and dr = inst.Instance.delta_r in
   let assignment = Assignment.empty ~n_papers:n_p in
@@ -84,3 +84,6 @@ let solve ?deadline inst =
   done;
   Repair.complete inst assignment;
   assignment
+
+let solve ?(ctx = Ctx.default) inst = solve_impl ?deadline:ctx.Ctx.deadline inst
+let solve_opts ?deadline inst = solve_impl ?deadline inst

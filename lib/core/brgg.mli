@@ -10,8 +10,14 @@
     because availability only shrinks, so an intact cached group stays
     optimal). *)
 
-val solve : ?deadline:Wgrap_util.Timer.deadline -> Instance.t -> Assignment.t
-(** When [deadline] expires, papers not yet served keep empty groups and
+val solve : ?ctx:Ctx.t -> Instance.t -> Assignment.t
+(** Only [ctx.deadline] is consulted (the greedy commit order is
+    inherently sequential, and the per-paper BBA searches keep their own
+    state). When it expires, papers not yet served keep empty groups and
     the closing {!Repair} pass completes them with best-pair fills; the
     per-paper BBA searches also honour the deadline, so a fired deadline
     degrades their groups to greedy picks rather than blocking. *)
+
+val solve_opts : ?deadline:Wgrap_util.Timer.deadline -> Instance.t -> Assignment.t
+[@@deprecated "use Brgg.solve ?ctx (see Ctx)"]
+(** Pre-[Ctx] entry point: [?deadline] is [ctx.deadline]. *)

@@ -1,0 +1,72 @@
+module Timer = Wgrap_util.Timer
+module Rng = Wgrap_util.Rng
+module Pool = Wgrap_par.Pool
+
+type degrade = { link : string; detail : string }
+
+type t = {
+  deadline : Timer.deadline option;
+  rng : Rng.t option;
+  gains : Gain_matrix.t option;
+  checkpoint : Checkpoint.sink option;
+  resume_from : (Checkpoint.state, string) result option;
+  pool : Pool.t option;
+  on_degrade : (degrade -> unit) option;
+}
+
+let default =
+  {
+    deadline = None;
+    rng = None;
+    gains = None;
+    checkpoint = None;
+    resume_from = None;
+    pool = None;
+    on_degrade = None;
+  }
+
+let with_deadline d t = { t with deadline = Some d }
+let with_budget s t = { t with deadline = Some (Timer.deadline s) }
+let with_rng rng t = { t with rng = Some rng }
+let with_seed seed t = { t with rng = Some (Rng.create seed) }
+let with_gains g t = { t with gains = Some g }
+let with_checkpoint sink t = { t with checkpoint = Some sink }
+let with_resume r t = { t with resume_from = Some r }
+let with_pool p t = { t with pool = Some p }
+let with_jobs jobs t = { t with pool = Some (Pool.create ~jobs) }
+let with_on_degrade f t = { t with on_degrade = Some f }
+
+let make ?deadline ?budget ?rng ?seed ?gains ?checkpoint ?resume_from ?pool
+    ?jobs ?on_degrade () =
+  {
+    deadline =
+      (match (deadline, budget) with
+      | (Some _ as d), _ -> d
+      | None, Some s -> Some (Timer.deadline s)
+      | None, None -> None);
+    rng =
+      (match (rng, seed) with
+      | (Some _ as r), _ -> r
+      | None, Some s -> Some (Rng.create s)
+      | None, None -> None);
+    gains;
+    checkpoint;
+    resume_from;
+    pool =
+      (match (pool, jobs) with
+      | (Some _ as p), _ -> p
+      | None, Some j -> Some (Pool.create ~jobs:j)
+      | None, None -> None);
+    on_degrade;
+  }
+
+let rng_or ~seed t = match t.rng with Some r -> r | None -> Rng.create seed
+let jobs t = match t.pool with Some p -> Pool.jobs p | None -> 1
+
+let notify_degrade t ~link ~detail =
+  match t.on_degrade with
+  | None -> ()
+  | Some f ->
+      (* An observer is telemetry; a solve must not change outcome
+         because a progress callback blew up. *)
+      (try f { link; detail } with _ -> ()) [@wgrap.allow "silent-catch"]

@@ -1,0 +1,109 @@
+(** The unified solver run context — re-exported as {!Solver.Ctx}.
+
+    PRs 1–3 grew a four-way cross-product of per-solver optional
+    arguments ([?deadline ?gains ?checkpoint ?resume_from], and the
+    multicore work would have added [?pool]). A {!t} packs all of them
+    into one record that is threaded through every entry point as a
+    single [?ctx] argument; it is also the documented extension point —
+    a new piece of run environment becomes a field here, not another
+    optional argument on fourteen signatures.
+
+    Every field is optional with a conservative default: [Ctx.default]
+    (equivalently [Ctx.make ()]) runs unbudgeted, sequentially, seeded
+    from 0, without checkpoints. Builders are pipe-friendly:
+
+    {[
+      Solver.cra ~ctx:Ctx.(default |> with_budget 30. |> with_jobs 8) inst
+    ]}
+
+    A context is one {e run}'s environment. The [rng] field is a live,
+    mutable generator: reusing one context across several solves
+    continues its stream (build a fresh context, or use {!with_seed},
+    when runs must be independently reproducible). *)
+
+type degrade = { link : string; detail : string }
+(** One degradation notice: the chain link that degraded and a
+    human-readable reason (same text as the {!Solver.reason} the outcome
+    carries). *)
+
+type t = {
+  deadline : Wgrap_util.Timer.deadline option;
+      (** wall-clock budget every link polls; [None] = unbudgeted *)
+  rng : Wgrap_util.Rng.t option;
+      (** randomness source for stochastic links (SRA); [None] = a fresh
+          seed-0 generator per solve *)
+  gains : Gain_matrix.t option;
+      (** shared incremental gain matrix; [None] = each solver builds a
+          private one *)
+  checkpoint : Checkpoint.sink option;
+      (** durable-state sink (journal events + snapshot offers) *)
+  resume_from : (Checkpoint.state, string) result option;
+      (** [Ok state]: re-enter the chain at the captured point;
+          [Error msg]: a checkpoint was offered but failed load
+          certification — run fresh and report {!Solver.Stale_checkpoint} *)
+  pool : Wgrap_par.Pool.t option;
+      (** domain pool for the parallel paths (SRA chain fan-out, JRA
+          batches, gain-matrix rebuilds); [None] = sequential *)
+  on_degrade : (degrade -> unit) option;
+      (** observer fired by {!Solver.jra}/{!Solver.cra} the moment a
+          degradation reason is recorded — for live progress reporting,
+          ahead of the outcome's aggregated reason list *)
+}
+
+val default : t
+(** All fields [None]: unbudgeted, sequential, fresh seed-0 randomness,
+    no checkpointing. *)
+
+val make :
+  ?deadline:Wgrap_util.Timer.deadline ->
+  ?budget:float ->
+  ?rng:Wgrap_util.Rng.t ->
+  ?seed:int ->
+  ?gains:Gain_matrix.t ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume_from:(Checkpoint.state, string) result ->
+  ?pool:Wgrap_par.Pool.t ->
+  ?jobs:int ->
+  ?on_degrade:(degrade -> unit) ->
+  unit ->
+  t
+(** Labelled constructor. [budget] is shorthand for a fresh deadline of
+    that many seconds ([deadline] wins when both are given); [seed] for
+    [rng:(Rng.create seed)] ([rng] wins); [jobs] for
+    [pool:(Pool.create ~jobs)] ([pool] wins). *)
+
+(** {2 Pipe-style builders}
+
+    Each returns an updated copy; none mutates its argument. *)
+
+val with_deadline : Wgrap_util.Timer.deadline -> t -> t
+
+val with_budget : float -> t -> t
+(** A fresh deadline expiring the given number of seconds from now. *)
+
+val with_rng : Wgrap_util.Rng.t -> t -> t
+
+val with_seed : int -> t -> t
+(** [with_rng (Rng.create seed)]. *)
+
+val with_gains : Gain_matrix.t -> t -> t
+val with_checkpoint : Checkpoint.sink -> t -> t
+val with_resume : (Checkpoint.state, string) result -> t -> t
+val with_pool : Wgrap_par.Pool.t -> t -> t
+
+val with_jobs : int -> t -> t
+(** [with_pool (Pool.create ~jobs)]. *)
+
+val with_on_degrade : (degrade -> unit) -> t -> t
+
+(** {2 Accessors used by the solver implementations} *)
+
+val rng_or : seed:int -> t -> Wgrap_util.Rng.t
+(** The context's generator, or a fresh [Rng.create seed]. *)
+
+val jobs : t -> int
+(** The pool's job count; 1 when no pool is set. *)
+
+val notify_degrade : t -> link:string -> detail:string -> unit
+(** Fire [on_degrade] if set; never raises (observer exceptions are
+    swallowed — reporting must not alter solver behaviour). *)

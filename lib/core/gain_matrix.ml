@@ -104,14 +104,19 @@ let gain t ~paper ~reviewer =
     (Instance.reviewer_support t.inst reviewer)
     (Instance.paper_support t.inst paper)
 
-let ensure_row t paper =
+(* Recompute row [paper] through [scratch] (any n_r buffer). The shared
+   [t.scratch_row] serves the sequential callers; {!rebuild}'s workers
+   pass their own buffer so domains never share staging memory. *)
+let ensure_row_with t ~scratch paper =
   if t.row_version.(paper) <> t.version.(paper) then begin
-    Scoring.gain_into t.inst.Instance.scoring ~dst:t.scratch_row
+    Scoring.gain_into t.inst.Instance.scoring ~dst:scratch
       ~group:t.gvec.(paper) ~reviewers:t.inst.Instance.rsupp
       (Instance.paper_support t.inst paper);
-    Array.blit t.scratch_row 0 t.data (paper * t.n_r) t.n_r;
+    Array.blit scratch 0 t.data (paper * t.n_r) t.n_r;
     t.row_version.(paper) <- t.version.(paper)
   end
+
+let ensure_row t paper = ensure_row_with t ~scratch:t.scratch_row paper
 
 let blit_row t ~paper ~dst =
   if Array.length dst <> t.n_r then
@@ -149,3 +154,46 @@ let column_denominators t =
       let d = score_column_sums ~n_reviewers:t.n_r (score_matrix t) in
       t.denom <- Some d;
       d
+
+let adopt_static t ~from =
+  if t.n_p <> from.n_p || t.n_r <> from.n_r then
+    invalid_arg "Gain_matrix.adopt_static: shape mismatch";
+  (match from.scores with Some m -> t.scores <- Some m | None -> ());
+  match from.denom with Some d -> t.denom <- Some d | None -> ()
+
+(* Row-parallel iteration shared by {!prime} and {!rebuild}: rows are
+   independent by construction ({!Instance.score_row}, one gain row per
+   paper), and every worker polls the deadline so a budgeted caller can
+   cut the pass off mid-way and fall back to lazy rows. *)
+let iter_rows ?pool t f =
+  let module Pool = Wgrap_par.Pool in
+  match pool with
+  | Some p when Pool.jobs p > 1 -> Pool.iter p ~n:t.n_p f
+  | _ ->
+      for paper = 0 to t.n_p - 1 do
+        f paper
+      done
+
+let prime ?pool ?deadline t =
+  let module Timer = Wgrap_util.Timer in
+  (match t.scores with
+  | Some _ -> ()
+  | None ->
+      let m = Array.make t.n_p [||] in
+      iter_rows ?pool t (fun paper ->
+          Timer.check_opt deadline;
+          m.(paper) <- Instance.score_row t.inst ~paper);
+      t.scores <- Some m);
+  match t.denom with
+  | Some _ -> ()
+  | None ->
+      t.denom <- Some (score_column_sums ~n_reviewers:t.n_r (score_matrix t))
+
+let rebuild ?pool ?deadline t =
+  let module Timer = Wgrap_util.Timer in
+  iter_rows ?pool t (fun paper ->
+      Timer.check_opt deadline;
+      if t.row_version.(paper) <> t.version.(paper) then
+        (* Worker-local staging: n_r floats per stale row, so domains
+           never write through the shared scratch. *)
+        ensure_row_with t ~scratch:(Array.make t.n_r 0.) paper)

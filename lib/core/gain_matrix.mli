@@ -65,3 +65,32 @@ val score_column_sums : n_reviewers:int -> float array array -> float array
 (** The pure computation behind {!column_denominators}, exposed as the
     single source of truth for the Eq. 9 denominator (also used by
     {!Sra.column_denominators}). *)
+
+val adopt_static : t -> from:t -> unit
+(** Share [from]'s cached score matrix and column sums (both immutable
+    once computed) with [t], skipping their recomputation. This is how
+    the per-chain matrices of parallel SRA reuse the coordinator's
+    static caches: the shared arrays are only ever read after adoption,
+    so handing them to matrices owned by other domains is safe. Raises
+    [Invalid_argument] on shape mismatch; caches [from] has not computed
+    yet are simply not adopted. *)
+
+val prime : ?pool:Wgrap_par.Pool.t -> ?deadline:Wgrap_util.Timer.deadline -> t -> unit
+(** Force the static caches now: the score matrix and the Eq. 9 column
+    sums. With [pool], score rows are computed across domains (each row
+    is freshly allocated by its worker, so no memory is shared) — the
+    result is bit-identical to the lazy sequential computation. Parallel
+    SRA primes the coordinator's matrix once, then shares the caches
+    with the per-chain matrices via {!adopt_static}. [deadline] is
+    polled per row; expiry raises [Wgrap_util.Timer.Expired] and leaves
+    the caches unset (safe: they compute lazily on access). *)
+
+val rebuild : ?pool:Wgrap_par.Pool.t -> ?deadline:Wgrap_util.Timer.deadline -> t -> unit
+(** Recompute all stale gain rows now. With [pool], rows are recomputed
+    across domains (each row writes a disjoint slice of the flat data
+    array; workers stage through task-local buffers) — bit-identical to
+    the lazy sequential recomputation. Consumers that blit whole rows
+    right after a reset ({!Sdga} stage 1, {!Greedy}'s heap seeding) call
+    this first to move the row fill onto the pool. [deadline] is polled
+    per row; expiry raises [Wgrap_util.Timer.Expired], leaving the
+    remaining rows stale (safe: they recompute lazily on access). *)

@@ -2,7 +2,7 @@ module Heap = Wgrap_util.Heap
 
 type entry = { gain : float; reviewer : int; paper : int; version : int }
 
-let solve ?deadline ?gains inst =
+let solve_impl ?deadline ?gains ?pool inst =
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
   let dp = inst.Instance.delta_p and dr = inst.Instance.delta_r in
   let assignment = Assignment.empty ~n_papers:n_p in
@@ -36,6 +36,14 @@ let solve ?deadline ?gains inst =
       ~cmp:(fun a b -> Float.compare a.gain b.gain)
       ()
   in
+  (* Heap seeding blits every row once; with a pool, compute them all
+     across domains first so the sequential loop below reads warm rows.
+     Same kernels and versions either way — values are bit-identical. *)
+  (match pool with
+  | Some p when Wgrap_par.Pool.jobs p > 1 ->
+      (try Gain_matrix.rebuild ~pool:p ?deadline gm
+       with Wgrap_util.Timer.Expired -> ())
+  | _ -> ());
   let row = Array.make n_r 0. in
   for p = 0 to n_p - 1 do
     Gain_matrix.blit_row gm ~paper:p ~dst:row;
@@ -85,6 +93,12 @@ let solve ?deadline ?gains inst =
      expired deadline, are completed by the repair pass. *)
   if !remaining > 0 then Repair.complete inst assignment;
   assignment
+
+let solve ?(ctx = Ctx.default) inst =
+  solve_impl ?deadline:ctx.Ctx.deadline ?gains:ctx.Ctx.gains
+    ?pool:ctx.Ctx.pool inst
+
+let solve_opts ?deadline ?gains inst = solve_impl ?deadline ?gains inst
 
 let solve_rescan ?deadline inst =
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in

@@ -9,21 +9,21 @@
     over-estimates, so the first entry whose refreshed gain still tops
     the heap is globally maximal. *)
 
-val solve :
-  ?deadline:Wgrap_util.Timer.deadline ->
-  ?gains:Gain_matrix.t ->
-  Instance.t ->
-  Assignment.t
-(** [gains], when given, is reset and used as the shared gain matrix
+val solve : ?ctx:Ctx.t -> Instance.t -> Assignment.t
+(** Run environment comes from [ctx] ({!Ctx.default} when omitted).
+    [ctx.gains], when set, is reset and used as the shared gain matrix
     (group vectors, versions, sparse gain evaluation); otherwise a
     private one is created. The heap is seeded at the true candidate
     count — COI pairs and zero-gain seeds are skipped; the latter can
     never beat a positive gain later (gains only shrink), so dropping
-    them changes nothing the repair pass would not fill anyway.
-    When [deadline] expires mid-solve, the pairs committed so far are
+    them changes nothing the repair pass would not fill anyway. When
+    [ctx.deadline] expires mid-solve, the pairs committed so far are
     kept and every short paper is completed by {!Repair} (plain
     best-pair fills), so the result stays feasible on any instance where
-    repair chains exist. *)
+    repair chains exist. [ctx.pool], when parallel, prefills the gain
+    rows the heap seeding reads across domains
+    ({!Gain_matrix.rebuild}); the pop-commit loop itself is inherently
+    sequential. Bit-identical at any job count. *)
 
 val solve_rescan :
   ?deadline:Wgrap_util.Timer.deadline -> Instance.t -> Assignment.t
@@ -31,3 +31,12 @@ val solve_rescan :
     lazy heap. Every step picks a maximal-gain pair in both variants,
     but gain ties may break differently and cascade, so totals agree
     only approximately. *)
+
+val solve_opts :
+  ?deadline:Wgrap_util.Timer.deadline ->
+  ?gains:Gain_matrix.t ->
+  Instance.t ->
+  Assignment.t
+[@@deprecated "use Greedy.solve ?ctx (see Ctx)"]
+(** Pre-[Ctx] entry point: [?deadline] is [ctx.deadline], [?gains] is
+    [ctx.gains]. *)

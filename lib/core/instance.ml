@@ -90,17 +90,18 @@ let pair_score t ~paper ~reviewer =
   Scoring.score_sparse t.scoring ~v:rs.Topic_vector.vec
     ~v_mass:rs.Topic_vector.mass t.psupp.(paper)
 
-let score_matrix t =
-  Array.init (n_papers t) (fun p ->
-      let row = Array.make (n_reviewers t) 0. in
-      Scoring.score_into t.scoring ~dst:row ~reviewers:t.rsupp t.psupp.(p);
-      (match t.coi with
-      | None -> ()
-      | Some m ->
-          Array.iteri
-            (fun r bad -> if bad then row.(r) <- Lap.Hungarian.forbidden)
-            m.(p));
-      row)
+let score_row t ~paper =
+  let row = Array.make (n_reviewers t) 0. in
+  Scoring.score_into t.scoring ~dst:row ~reviewers:t.rsupp t.psupp.(paper);
+  (match t.coi with
+  | None -> ()
+  | Some m ->
+      Array.iteri
+        (fun r bad -> if bad then row.(r) <- Lap.Hungarian.forbidden)
+        m.(paper));
+  row
+
+let score_matrix t = Array.init (n_papers t) (fun p -> score_row t ~paper:p)
 
 let min_workload ~papers ~reviewers ~delta_p =
   ((papers * delta_p) + reviewers - 1) / reviewers

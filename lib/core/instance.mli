@@ -58,6 +58,11 @@ val score_matrix : t -> float array array
     [Lap.Hungarian.forbidden]. Freshly computed — callers that need it
     repeatedly should keep the result. *)
 
+val score_row : t -> paper:int -> float array
+(** One freshly allocated row of {!score_matrix}. Rows are independent,
+    which is what lets {!Gain_matrix.rebuild} compute them from separate
+    domains. *)
+
 val min_workload : papers:int -> reviewers:int -> delta_p:int -> int
 (** The paper's experimental default [delta_r = ceil (P * delta_p / R)]:
     the minimum balanced workload. *)

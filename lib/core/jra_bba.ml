@@ -10,7 +10,12 @@ let last_stats () = !last
 
 type candidate = { members : int array; cscore : float }
 
-let top_k ?(use_bound = true) ?deadline (t : Jra.problem) ~k =
+(* The search itself, returning its counters instead of publishing them:
+   every piece of state below is local to the call, which is what lets
+   {!solve_many} run it from several domains at once. Only the
+   single-domain wrappers (and the coordinator, for batches) write the
+   [last] cell. *)
+let top_k_counted ?(use_bound = true) ?deadline (t : Jra.problem) ~k =
   if k < 1 then invalid_arg "Jra_bba.top_k: k must be >= 1";
   let n = Array.length t.pool in
   let dim = Array.length t.paper in
@@ -132,7 +137,7 @@ let top_k ?(use_bound = true) ?deadline (t : Jra.problem) ~k =
     visited.(s) <- []
   in
   stage 1 (Scoring.empty_group ~dim);
-  last := { nodes = !nodes; pruned = !pruned };
+  let counters = { nodes = !nodes; pruned = !pruned } in
   match
     Heap.to_sorted_list best
     |> List.rev
@@ -144,10 +149,35 @@ let top_k ?(use_bound = true) ?deadline (t : Jra.problem) ~k =
          only delta_p expansions, so this needs an already-expired
          deadline): fall back to a greedy pick so callers always get an
          incumbent. *)
-      [ Jra.greedy t ]
-  | sols -> sols
+      ([ Jra.greedy t ], counters)
+  | sols -> (sols, counters)
+
+let top_k ?use_bound ?deadline t ~k =
+  let sols, counters = top_k_counted ?use_bound ?deadline t ~k in
+  last := counters;
+  sols
 
 let solve ?use_bound ?deadline t =
   match top_k ?use_bound ?deadline t ~k:1 with
   | s :: _ -> s
   | [] -> assert false
+
+let solve_many ?use_bound ?deadline ?pool problems =
+  let module Pool = Wgrap_par.Pool in
+  let pool = match pool with Some p -> p | None -> Pool.sequential in
+  (* One task per problem: every search works on its own problem record
+     and its own counters, the deadline is shared read-only, and the
+     result lands in the task's own slot — nothing is written twice. *)
+  let results =
+    Pool.run pool ~n:(Array.length problems) (fun i ->
+        top_k_counted ?use_bound ?deadline problems.(i) ~k:1)
+  in
+  last :=
+    Array.fold_left
+      (fun acc (_, c) ->
+        { nodes = acc.nodes + c.nodes; pruned = acc.pruned + c.pruned })
+      { nodes = 0; pruned = 0 }
+      results;
+  Array.map
+    (fun (sols, _) -> match sols with s :: _ -> s | [] -> assert false)
+    results

@@ -40,5 +40,23 @@ val top_k :
     ones. On [deadline] expiry, the (possibly fewer than [k]) incumbents
     found so far are returned. *)
 
+val solve_many :
+  ?use_bound:bool ->
+  ?deadline:Wgrap_util.Timer.deadline ->
+  ?pool:Wgrap_par.Pool.t ->
+  Jra.problem array ->
+  Jra.solution array
+(** [solve] over a batch of independent problems, in input order. With
+    [pool], problems are solved across domains — each search's state is
+    call-local (see {!stats} aggregation below), the deadline is shared
+    read-only, and results are slot-per-problem, so the output is
+    bit-identical at any job count. A [deadline] applies to the batch as
+    a whole: late problems inherit whatever remains, exactly as a
+    sequential loop over {!solve} would behave. After the call,
+    {!last_stats} reports totals summed over the batch. *)
+
 val last_stats : unit -> stats
-(** Counters from the most recent call (single-threaded). *)
+(** Counters from the most recent {!solve}/{!top_k} call, or batch
+    totals after {!solve_many}. Written only from the calling domain
+    (workers return their counters; the coordinator aggregates), but not
+    synchronised beyond that — call it from the domain that solved. *)

@@ -5,7 +5,7 @@ let approximation_ratio ~delta_p ~integral =
   let exponent = if integral then dp else dp -. 1. in
   1. -. ((1. -. (1. /. dp)) ** exponent)
 
-let solve_with ?deadline ?gains ?checkpoint ?resume_from stage inst =
+let solve_with ?deadline ?gains ?checkpoint ?resume_from ?pool stage inst =
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
   (* Resume only from a state captured in this phase; anything else
      (e.g. a mid-SRA state handed down by mistake) starts fresh. *)
@@ -43,6 +43,14 @@ let solve_with ?deadline ?gains ?checkpoint ?resume_from stage inst =
   let per_stage = Instance.stage_capacity inst in
   let truncated = ref false in
   (try
+     (* With a pool, fill every stale row across domains up front; the
+        sequential stage loop then reads warm rows instead of computing
+        them one by one. Values are identical either way (same kernels,
+        same versions), so this cannot change the result. *)
+     (match pool with
+     | Some p when Wgrap_par.Pool.jobs p > 1 ->
+         Gain_matrix.rebuild ~pool:p ?deadline gm
+     | _ -> ());
      for stage_no = start_stage + 1 to inst.Instance.delta_p do
        Timer.check_opt deadline;
        let confined =
@@ -104,8 +112,18 @@ let flow_stage ?deadline ?gains inst ~current ~capacity =
   Stage.solve_flow ?papers:None ?pair_gain:None ?gains ?deadline inst ~current
     ~capacity
 
-let solve ?deadline ?gains ?checkpoint ?resume_from inst =
+let run_with ctx stage inst =
+  let resume_from =
+    match ctx.Ctx.resume_from with Some (Ok s) -> Some s | _ -> None
+  in
+  solve_with ?deadline:ctx.Ctx.deadline ?gains:ctx.Ctx.gains
+    ?checkpoint:ctx.Ctx.checkpoint ?resume_from ?pool:ctx.Ctx.pool stage inst
+
+let solve ?(ctx = Ctx.default) inst = run_with ctx hungarian_stage inst
+let solve_flow ?(ctx = Ctx.default) inst = run_with ctx flow_stage inst
+
+let solve_opts ?deadline ?gains ?checkpoint ?resume_from inst =
   solve_with ?deadline ?gains ?checkpoint ?resume_from hungarian_stage inst
 
-let solve_flow ?deadline ?gains ?checkpoint ?resume_from inst =
+let solve_flow_opts ?deadline ?gains ?checkpoint ?resume_from inst =
   solve_with ?deadline ?gains ?checkpoint ?resume_from flow_stage inst

@@ -10,45 +10,66 @@
     when [delta_p] divides [delta_r], and a 1/2-approximation in
     general — for any scoring function satisfying Lemma 4. *)
 
-val solve :
-  ?deadline:Wgrap_util.Timer.deadline ->
-  ?gains:Gain_matrix.t ->
-  ?checkpoint:Checkpoint.sink ->
-  ?resume_from:Checkpoint.state ->
-  Instance.t ->
-  Assignment.t
-(** [gains], when given, is reset and used as the shared gain matrix
-    for every stage (and left holding the final groups, so a follow-up
-    {!Sra.refine} can reuse it); otherwise a private one is created.
+val solve : ?ctx:Ctx.t -> Instance.t -> Assignment.t
+(** Run environment comes from [ctx] ({!Ctx.default} when omitted):
+
+    - [ctx.gains], when set, is reset and used as the shared gain matrix
+      for every stage (and left holding the final groups, so a follow-up
+      {!Sra.refine} can reuse it); otherwise a private one is created.
+    - [ctx.deadline] is checked between stages and inside the stage
+      backend; on expiry the stages completed so far are kept and the
+      remaining slots are filled greedily by {!Repair}, so the result
+      stays feasible — degraded towards per-slot greedy rather than
+      failing.
+    - [ctx.checkpoint] receives a {!Checkpoint.Stage_done} event and a
+      snapshot offer after every committed stage.
+    - [ctx.resume_from] (when [Ok state] in phase
+      {!Checkpoint.Sdga_stage}) re-enters the stage loop after the
+      captured stage: the saved partial assignment is copied in,
+      reviewer workloads and the gain matrix are rebuilt from it, and
+      the remaining stages run as they would have — the result is
+      identical to the uninterrupted run (stages are deterministic). A
+      resume in any other phase (or an [Error _]) is ignored and the
+      solve starts fresh.
+    - [ctx.pool], when parallel, prefills all stale gain rows across
+      domains ({!Gain_matrix.rebuild}) before the stage loop; the stage
+      LAPs themselves stay sequential. Bit-identical at any job count.
+
     Raises [Failure] only if the instance is infeasible under its COIs
     (capacity alone is validated at instance construction). Stages are
-    solved by {!Stage.solve} (Hungarian backend). When [deadline]
-    expires (checked between stages and inside the stage backend), the
-    stages completed so far are kept and the remaining slots are filled
-    greedily by {!Repair}, so the result stays feasible — degraded
-    towards per-slot greedy rather than failing.
-
-    [checkpoint] receives a {!Checkpoint.Stage_done} event and a
-    snapshot offer after every committed stage. [resume_from] re-enters
-    the stage loop after the captured {!Checkpoint.Sdga_stage}: the
-    saved partial assignment is copied in, reviewer workloads and the
-    gain matrix are rebuilt from it, and the remaining stages run as
-    they would have — the result is identical to the uninterrupted run
-    (stages are deterministic). A [resume_from] in any other phase is
-    ignored and the solve starts fresh. *)
+    solved by {!Stage.solve} (Hungarian backend). *)
 
 val approximation_ratio : delta_p:int -> integral:bool -> float
 (** The analytic bound plotted in Figure 7:
     [1 - (1 - 1/delta_p)^delta_p] for integral cases ([delta_p] divides
     [delta_r]), [1 - (1 - 1/delta_p)^(delta_p - 1)] otherwise. *)
 
-val solve_flow :
+val solve_flow : ?ctx:Ctx.t -> Instance.t -> Assignment.t
+(** Ablation variant: stages solved by min-cost flow
+    ({!Stage.solve_flow}). Same stage optima, different constants
+    (compared in the ablation bench). *)
+
+(** {2 Deprecated pre-[Ctx] entry points}
+
+    The optional arguments map onto {!Ctx.t} fields one-for-one:
+    [?deadline] is [ctx.deadline], [?gains] is [ctx.gains],
+    [?checkpoint] is [ctx.checkpoint], and [?resume_from state] is
+    [ctx.resume_from = Some (Ok state)]. *)
+
+val solve_opts :
   ?deadline:Wgrap_util.Timer.deadline ->
   ?gains:Gain_matrix.t ->
   ?checkpoint:Checkpoint.sink ->
   ?resume_from:Checkpoint.state ->
   Instance.t ->
   Assignment.t
-(** Ablation variant: stages solved by min-cost flow
-    ({!Stage.solve_flow}). Same stage optima, different constants
-    (compared in the ablation bench). *)
+[@@deprecated "use Sdga.solve ?ctx (see Ctx)"]
+
+val solve_flow_opts :
+  ?deadline:Wgrap_util.Timer.deadline ->
+  ?gains:Gain_matrix.t ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume_from:Checkpoint.state ->
+  Instance.t ->
+  Assignment.t
+[@@deprecated "use Sdga.solve_flow ?ctx (see Ctx)"]

@@ -1,4 +1,5 @@
 module Timer = Wgrap_util.Timer
+module Ctx = Ctx
 
 type reason =
   | Timeout of { link : string }
@@ -51,12 +52,29 @@ let describe_exn e =
 
 let exn_message = describe_exn
 
+(* The live-progress half of a [push]: every recorded reason is also
+   surfaced through the context's [on_degrade] observer. *)
+let degrade_of_reason = function
+  | Timeout { link } -> (link, "deadline expired")
+  | Fault { link; error } -> (link, error)
+  | Stale_checkpoint { error } -> ("checkpoint", error)
+
+let notify ctx r =
+  let link, detail = degrade_of_reason r in
+  Ctx.notify_degrade ctx ~link ~detail
+
 (* {1 JRA chain: ILP -> BBA -> greedy} *)
 
-let jra ?budget problem =
-  let deadline = Option.map Timer.deadline budget in
+(* [on_reason] fires the moment a reason is recorded; {!jra} wires it to
+   the context observer, {!jra_batch} keeps it silent inside workers and
+   lets the coordinator report afterwards (observers are a single-domain
+   contract). *)
+let jra_chain ?deadline ~on_reason problem =
   let rev_reasons = ref [] in
-  let push r = rev_reasons := r :: !rev_reasons in
+  let push r =
+    rev_reasons := r :: !rev_reasons;
+    on_reason r
+  in
   let best = ref None in
   let consider (sol : Jra.solution) =
     match !best with
@@ -102,12 +120,38 @@ let jra ?budget problem =
       if bba_exact then Complete sol
       else Degraded (sol, List.rev !rev_reasons)
 
+let jra ?(ctx = Ctx.default) problem =
+  jra_chain ?deadline:ctx.Ctx.deadline ~on_reason:(notify ctx) problem
+
+let jra_opts ?budget problem = jra ~ctx:(Ctx.make ?budget ()) problem
+
+let jra_batch ?(ctx = Ctx.default) problems =
+  let module Pool = Wgrap_par.Pool in
+  let pool = match ctx.Ctx.pool with Some p -> p | None -> Pool.sequential in
+  let deadline = ctx.Ctx.deadline in
+  (* Workers run the whole anytime chain on their own problem; the ILP
+     and BBA backends keep call-local state and the deadline is shared
+     read-only. Reasons are reported by the coordinator afterwards, in
+     problem order, so the observer never runs off the calling domain. *)
+  let results =
+    Pool.run pool
+      ~n:(Array.length problems)
+      (fun i -> jra_chain ?deadline ~on_reason:ignore problems.(i))
+  in
+  Array.iter (fun out -> List.iter (notify ctx) (reasons out)) results;
+  results
+
 (* {1 CRA chain: SDGA + SRA -> SDGA -> per-stage greedy} *)
 
-let cra ?budget ?(seed = 0) ?(refine = true) ?checkpoint ?resume_from inst =
-  let deadline = Option.map Timer.deadline budget in
+let cra ?(refine = true) ?(ctx = Ctx.default) inst =
+  let deadline = ctx.Ctx.deadline in
+  let checkpoint = ctx.Ctx.checkpoint in
+  let resume_from = ctx.Ctx.resume_from in
   let rev_reasons = ref [] in
-  let push r = rev_reasons := r :: !rev_reasons in
+  let push r =
+    rev_reasons := r :: !rev_reasons;
+    notify ctx r
+  in
   (* A rejected checkpoint (corrupt, stale, failed certification) never
      poisons the answer: the run degrades to fresh with the loader's
      verdict carried as a machine-readable reason. *)
@@ -164,13 +208,40 @@ let cra ?budget ?(seed = 0) ?(refine = true) ?checkpoint ?resume_from inst =
   (* One gain matrix serves the whole chain: SDGA fills it stage by
      stage, SRA reuses its cached score matrix, Eq. 9 column sums and
      surviving rows, and the fallback links reset it on entry. *)
-  let gm = Gain_matrix.create inst in
+  let gm =
+    match ctx.Ctx.gains with Some g -> g | None -> Gain_matrix.create inst
+  in
+  (* A sub-context for one link: the chain's deadline/pool plus the
+     link's own sink and resume state. Never the chain's [on_degrade]
+     (the chain itself reports via [push]) and never its [rng] (each
+     path below decides the generator explicitly). *)
+  let link_ctx ?deadline ?sink ?resume ?rng () =
+    {
+      Ctx.default with
+      Ctx.deadline;
+      rng;
+      gains = Some gm;
+      checkpoint = sink;
+      resume_from = Option.map Result.ok resume;
+      pool = ctx.Ctx.pool;
+    }
+  in
   let primary () =
     enter "sdga+sra";
     let sink = sink_for "sdga+sra" in
-    let fresh_rng () = Wgrap_util.Rng.create seed in
-    let refine_from ?resume_from ~rng a =
-      Sra.refine ?deadline ~gains:gm ?checkpoint:sink ?resume_from ~rng inst a
+    let fresh_rng () = Ctx.rng_or ~seed:0 ctx in
+    let refine_from ?resume ~rng a =
+      let sctx = link_ctx ?deadline ?sink ?resume ~rng () in
+      match resume with
+      | None when Ctx.jobs sctx > 1 ->
+          (* Fan the refinement out: independent chains, one per job,
+             best chain wins. Deterministic for a fixed (rng, jobs). *)
+          Sra.refine_parallel ~ctx:sctx inst a
+      | _ ->
+          (* Sequential — always for a mid-SRA resume: a restored round
+             sequence can only be replayed bit-exactly by the schedule
+             that produced it, the single-chain one. *)
+          Sra.refine ~ctx:sctx inst a
     in
     match resume_state with
     | Some ({ Checkpoint.link = "sdga+sra"; phase = Checkpoint.Sra_round _; _ }
@@ -185,12 +256,12 @@ let cra ?budget ?(seed = 0) ?(refine = true) ?checkpoint ?resume_from inst =
             | Some w -> Wgrap_util.Rng.of_words w
             | None -> fresh_rng ()
           in
-          refine_from ~resume_from:st ~rng st.Checkpoint.best
+          refine_from ~resume:st ~rng st.Checkpoint.best
     | resumed ->
         (* Fresh, or interrupted mid-SDGA (phase [Sdga_stage]): the
            stage loop re-enters after the committed stages and the
            refinement starts from the same seed either way. *)
-        let resume_from =
+        let resume =
           match resumed with
           | Some ({ Checkpoint.link = "sdga+sra"; _ } as st) -> Some st
           | _ -> None
@@ -200,25 +271,25 @@ let cra ?budget ?(seed = 0) ?(refine = true) ?checkpoint ?resume_from inst =
            the rest. *)
         let sdga_slice = if refine then slice 0.5 deadline else deadline in
         let a =
-          Sdga.solve ?deadline:sdga_slice ~gains:gm ?checkpoint:sink
-            ?resume_from inst
+          Sdga.solve ~ctx:(link_ctx ?deadline:sdga_slice ?sink ?resume ()) inst
         in
         if (not refine) || Timer.expired_opt deadline then a
         else refine_from ~rng:(fresh_rng ()) a
   in
   let sdga_alone () =
     enter "sdga";
-    let resume_from =
+    let resume =
       match resume_state with
       | Some ({ Checkpoint.link = "sdga"; _ } as st) -> Some st
       | _ -> None
     in
-    Sdga.solve ?deadline ~gains:gm ?checkpoint:(sink_for "sdga") ?resume_from
+    Sdga.solve
+      ~ctx:(link_ctx ?deadline ?sink:(sink_for "sdga") ?resume ())
       inst
   in
   let greedy () =
     enter "greedy";
-    Greedy.solve ?deadline ~gains:gm inst
+    Greedy.solve ~ctx:(link_ctx ?deadline ()) inst
   in
   (* A resumed run re-enters the chain at the link that was interrupted
      instead of re-running (and possibly re-faulting on) earlier links. *)
@@ -251,3 +322,6 @@ let cra ?budget ?(seed = 0) ?(refine = true) ?checkpoint ?resume_from inst =
         | _ -> ""
       in
       Infeasible ("every CRA link failed to produce a valid assignment" ^ detail)
+
+let cra_opts ?budget ?seed ?(refine = true) ?checkpoint ?resume_from inst =
+  cra ~refine ~ctx:(Ctx.make ?budget ?seed ?checkpoint ?resume_from ()) inst

@@ -22,6 +22,10 @@
     tight that even greedy completion has no feasible chain — does the
     harness answer {!Infeasible}. *)
 
+module Ctx = Ctx
+(** The unified run context every entry point takes as [?ctx]; see
+    {!Ctx.t} for the fields and builders. *)
+
 type reason =
   | Timeout of { link : string }
       (** [link] hit the deadline and returned (or was replaced by) a
@@ -60,14 +64,70 @@ val describe_exn : exn -> string
     Exposed for tests and for callers building their own fault
     summaries. *)
 
-val jra : ?budget:float -> Jra.problem -> Jra.solution outcome
-(** Best reviewer group for one paper. Without [budget] the exact chain
-    runs to completion and the outcome is [Complete]. With a budget, the
-    ILP link gets half the budget, branch-and-bound the remainder, and
-    the greedy pick backstops both; the best-scoring incumbent seen
-    anywhere in the chain is returned. Never raises. *)
+val jra : ?ctx:Ctx.t -> Jra.problem -> Jra.solution outcome
+(** Best reviewer group for one paper. Without a deadline in [ctx] the
+    exact chain runs to completion and the outcome is [Complete]. With
+    one, the ILP link gets half the remaining time, branch-and-bound the
+    remainder, and the greedy pick backstops both; the best-scoring
+    incumbent seen anywhere in the chain is returned. [ctx.on_degrade]
+    observes each reason as it is recorded. Never raises. *)
 
-val cra :
+val jra_batch : ?ctx:Ctx.t -> Jra.problem array -> Jra.solution outcome array
+(** {!jra} over a batch of independent problems, in input order. With a
+    parallel [ctx.pool] the chains run across domains (the deadline is
+    shared read-only; every other piece of chain state is per-problem),
+    and the outcomes are identical at any job count. [ctx.deadline]
+    covers the batch as a whole, exactly as a sequential loop over
+    {!jra} would behave. [ctx.on_degrade] fires on the calling domain
+    only, after the batch completes, in problem order. *)
+
+val cra : ?refine:bool -> ?ctx:Ctx.t -> Instance.t -> Assignment.t outcome
+(** Full conference assignment. The primary link runs SDGA on half the
+    remaining budget and spends the rest on stochastic refinement
+    ([ctx.rng] — or its default fresh seed-0 generator — makes the
+    refinement reproducible; [refine:false] drops the SRA half and gives
+    SDGA the whole budget); fallbacks are SDGA alone, then per-stage
+    greedy. Every candidate is checked with {!Assignment.validate} and,
+    when a truncated run left short groups, completed with
+    {!Repair.complete} before being accepted. Never raises.
+
+    [ctx.pool], when parallel, is threaded through the whole chain:
+    refinement becomes {!Sra.refine_parallel} (one chain per job, best
+    chain wins — deterministic for a fixed (rng, jobs), and a mid-SRA
+    resume still replays sequentially for bit-exactness), and the
+    SDGA/greedy links prefill their gain rows across domains.
+
+    [ctx.checkpoint] threads a durable-state sink through the chain:
+    each link stamps its name on offered snapshots
+    ({!Checkpoint.with_link}) and link transitions are journaled as
+    {!Checkpoint.Link_entered}.
+
+    [ctx.resume_from] restarts an interrupted run. [Ok state] (a
+    snapshot already certified by the loader, e.g.
+    [Wgrap_persist.Store.load]) re-enters the chain at the link that was
+    interrupted — mid-SDGA states replay the remaining stages, mid-SRA
+    states restore the RNG from the snapshot and replay the remaining
+    rounds, so an unbudgeted resumed run reproduces the uninterrupted
+    run's result exactly. [Error msg] (the loader rejected the
+    checkpoint) runs the full chain fresh and reports
+    {!Stale_checkpoint} in the outcome's reasons — a bad checkpoint
+    degrades, it never lies.
+
+    [ctx.gains], when set, is used as the chain's shared gain matrix
+    instead of a private one; [ctx.on_degrade] observes each reason as
+    it is recorded. *)
+
+(** {2 Deprecated pre-[Ctx] entry points}
+
+    The optional arguments map onto {!Ctx.t} fields one-for-one:
+    [?budget b] is [Ctx.with_budget b] (a fresh deadline), [?seed s] is
+    [Ctx.with_seed s] (a fresh generator), [?checkpoint] is
+    [ctx.checkpoint], and [?resume_from] is [ctx.resume_from]. *)
+
+val jra_opts : ?budget:float -> Jra.problem -> Jra.solution outcome
+[@@deprecated "use Solver.jra ?ctx (see Solver.Ctx)"]
+
+val cra_opts :
   ?budget:float ->
   ?seed:int ->
   ?refine:bool ->
@@ -75,26 +135,4 @@ val cra :
   ?resume_from:(Checkpoint.state, string) result ->
   Instance.t ->
   Assignment.t outcome
-(** Full conference assignment. The primary link runs SDGA on half the
-    remaining budget and spends the rest on stochastic refinement
-    ([seed], default 0, makes the refinement reproducible;
-    [refine:false] drops the SRA half and gives SDGA the whole budget);
-    fallbacks
-    are SDGA alone, then per-stage greedy. Every candidate is checked
-    with {!Assignment.validate} and, when a truncated run left short
-    groups, completed with {!Repair.complete} before being accepted.
-    Never raises.
-
-    [checkpoint] threads a durable-state sink through the chain: each
-    link stamps its name on offered snapshots ({!Checkpoint.with_link})
-    and link transitions are journaled as {!Checkpoint.Link_entered}.
-
-    [resume_from] restarts an interrupted run. [Ok state] (a snapshot
-    already certified by the loader, e.g. [Wgrap_persist.Store.load])
-    re-enters the chain at the link that was interrupted — mid-SDGA
-    states replay the remaining stages, mid-SRA states restore the
-    RNG from the snapshot and replay the remaining rounds, so an
-    unbudgeted resumed run reproduces the uninterrupted run's result
-    exactly. [Error msg] (the loader rejected the checkpoint) runs the
-    full chain fresh and reports {!Stale_checkpoint} in the outcome's
-    reasons — a bad checkpoint degrades, it never lies. *)
+[@@deprecated "use Solver.cra ?ctx (see Solver.Ctx)"]

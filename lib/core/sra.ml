@@ -34,8 +34,8 @@ let removal_probability inst ~score_matrix ~round ~lambda ~paper ~reviewer =
   keep_probability ~n_reviewers ~denom ~score_matrix ~round ~lambda ~paper
     ~reviewer
 
-let refine ?(params = default_params) ?deadline ?on_round ?gains ?checkpoint
-    ?resume_from ~rng inst start =
+let refine_impl ?(params = default_params) ?deadline ?on_round ?gains
+    ?checkpoint ?resume_from ~rng inst start =
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
   (* The shared gain matrix carries the score matrix and the Eq. 9
      column sums (both static across rounds), and its per-paper rows
@@ -171,3 +171,80 @@ let refine ?(params = default_params) ?deadline ?on_round ?gains ?checkpoint
          abandoned and the best-so-far stands. *)
       ());
   !best
+
+let refine ?params ?on_round ?(ctx = Ctx.default) inst start =
+  let resume_from =
+    match ctx.Ctx.resume_from with Some (Ok s) -> Some s | _ -> None
+  in
+  refine_impl ?params ?deadline:ctx.Ctx.deadline ?on_round ?gains:ctx.Ctx.gains
+    ?checkpoint:ctx.Ctx.checkpoint ?resume_from
+    ~rng:(Ctx.rng_or ~seed:0 ctx) inst start
+
+let refine_opts = refine_impl
+
+(* Parallel SRA: [chains] completely independent refinement chains, one
+   per task, each with its own split RNG stream and private gain matrix
+   (static score caches shared read-only via [adopt_static]). The winner
+   is the highest-scoring chain, ties to the lowest chain index, so the
+   result is a pure function of (rng state, chains) — the pool's job
+   count only changes wall-clock time. *)
+let refine_parallel ?params ?chains ?(ctx = Ctx.default) inst start =
+  let module Pool = Wgrap_par.Pool in
+  let pool =
+    match ctx.Ctx.pool with Some p -> p | None -> Pool.sequential
+  in
+  let chains =
+    match chains with Some c -> max 1 c | None -> max 1 (Pool.jobs pool)
+  in
+  let deadline = ctx.Ctx.deadline in
+  let rng = Ctx.rng_or ~seed:0 ctx in
+  let chain_rngs = Rng.split rng chains in
+  (* Coordinator-owned matrix: prime the score matrix and Eq. 9 sums
+     once (row-parallel), then hand the immutable caches to every
+     chain's private matrix. If the deadline cuts the priming short the
+     chains fall back to computing the caches lazily — they will find
+     the deadline expired and return the start assignment anyway. *)
+  let base_gm =
+    match ctx.Ctx.gains with Some g -> g | None -> Gain_matrix.create inst
+  in
+  (try Gain_matrix.prime ~pool ?deadline base_gm with Timer.Expired -> ());
+  let results =
+    Pool.run pool ~n:chains (fun c ->
+        let gm = Gain_matrix.create inst in
+        Gain_matrix.adopt_static gm ~from:base_gm;
+        (* No [checkpoint] and no [on_round] inside a worker: observers
+           run on the coordinator only (the sink contract is
+           single-domain). Workers poll the shared deadline through the
+           round loop as usual. *)
+        let a =
+          refine_impl ?params ?deadline ~gains:gm ~rng:chain_rngs.(c) inst
+            start
+        in
+        (Assignment.coverage inst a, a))
+  in
+  let best_c = ref 0 in
+  for c = 1 to chains - 1 do
+    if fst results.(c) > fst results.(!best_c) then best_c := c
+  done;
+  let best_score, best = results.(!best_c) in
+  (* One coordinator-side snapshot of the winner, saturated ([stall =
+     omega]) so that resuming it returns the winner immediately instead
+     of replaying rounds that never happened in this schedule. *)
+  (match ctx.Ctx.checkpoint with
+  | None -> ()
+  | Some sink ->
+      let omega =
+        (match params with Some p -> p | None -> default_params).omega
+      in
+      sink.Checkpoint.offer (fun () ->
+          let snap = Assignment.copy best in
+          {
+            Checkpoint.link = "sra";
+            phase = Checkpoint.Sra_round 0;
+            stall = omega;
+            score = best_score;
+            rng = Some (Rng.words rng);
+            best = snap;
+            current = snap;
+          }));
+  best

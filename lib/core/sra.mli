@@ -22,32 +22,60 @@ val default_params : params
 
 val refine :
   ?params:params ->
-  ?deadline:Wgrap_util.Timer.deadline ->
   ?on_round:(round:int -> elapsed:float -> best:float -> unit) ->
-  ?gains:Gain_matrix.t ->
-  ?checkpoint:Checkpoint.sink ->
-  ?resume_from:Checkpoint.state ->
-  rng:Wgrap_util.Rng.t ->
+  ?ctx:Ctx.t ->
   Instance.t ->
   Assignment.t ->
   Assignment.t
 (** Returns the best assignment encountered (never worse than the
     input). [on_round] observes each round, for the refinement-over-time
-    curves of Figures 12 and 16. [gains], when given, supplies the
-    cached score matrix and Eq. 9 column sums and carries gain rows
-    across rounds (its group state is rebuilt from scratch each round,
-    so any prior state is acceptable — e.g. the matrix {!Sdga.solve}
-    just used).
+    curves of Figures 12 and 16.
 
-    [checkpoint] receives a {!Checkpoint.Round_improved} event on every
-    improving round and a snapshot offer at every round boundary (best,
-    current, stall counter, round number and live RNG words).
-    [resume_from], when in phase {!Checkpoint.Sra_round}, overrides the
-    [start] argument entirely: best/current/stall/round are restored
-    from the state, and — provided the caller also restores [rng] from
-    [state.rng] via {!Wgrap_util.Rng.of_words} — the refinement replays
-    the uninterrupted run's remaining rounds exactly. A state in any
-    other phase is ignored. *)
+    Run environment comes from [ctx] ({!Ctx.default} when omitted):
+    [ctx.rng] drives the removal sampling (a fresh seed-0 generator when
+    unset); [ctx.deadline] is polled every round and inside the refill
+    stage; [ctx.gains], when set, supplies the cached score matrix and
+    Eq. 9 column sums and carries gain rows across rounds (its group
+    state is rebuilt from scratch each round, so any prior state is
+    acceptable — e.g. the matrix {!Sdga.solve} just used).
+
+    [ctx.checkpoint] receives a {!Checkpoint.Round_improved} event on
+    every improving round and a snapshot offer at every round boundary
+    (best, current, stall counter, round number and live RNG words).
+    [ctx.resume_from], when [Ok state] in phase {!Checkpoint.Sra_round},
+    overrides the [start] argument entirely: best/current/stall/round
+    are restored from the state, and — provided the caller also restores
+    the context's rng from [state.rng] via {!Wgrap_util.Rng.of_words} —
+    the refinement replays the uninterrupted run's remaining rounds
+    exactly. A state in any other phase is ignored. [ctx.pool] is {e
+    not} consulted: one refinement chain is inherently sequential; for
+    the multi-chain parallel search use {!refine_parallel}. *)
+
+val refine_parallel :
+  ?params:params ->
+  ?chains:int ->
+  ?ctx:Ctx.t ->
+  Instance.t ->
+  Assignment.t ->
+  Assignment.t
+(** [chains] (default: the pool's job count) completely independent
+    refinement chains run across [ctx.pool] (sequentially without one),
+    each seeded from its own {!Wgrap_util.Rng.split} stream of the
+    context rng and refining the same [start]; the best final score wins,
+    ties to the lowest chain index. The result is therefore a pure
+    function of (rng state, [chains]) — the pool's job count changes
+    only wall-clock time, which is what the parallel-equivalence
+    property tests pin down.
+
+    Workers poll [ctx.deadline] as usual; each returns its best-so-far
+    on expiry, so the winner degrades exactly like sequential {!refine}.
+    [ctx.checkpoint] is coordinator-only: no offers are made while
+    chains run, and one saturated snapshot of the winner ([stall =
+    omega]) is offered at the end — resuming it returns the winner
+    immediately. A mid-run {!Checkpoint.Sra_round} resume cannot be
+    replayed across an arbitrary chain schedule; callers holding one
+    ({!Solver.cra} does) replay it with sequential {!refine} instead.
+    [ctx.resume_from] is ignored here. *)
 
 val column_denominators :
   n_reviewers:int -> score_matrix:float array array -> float array
@@ -79,3 +107,20 @@ val removal_probability :
 (** Eq. 10, exposed for unit tests: {!keep_probability} with the
     denominators recomputed on the fly — hot loops should precompute
     them once via {!column_denominators} instead. *)
+
+val refine_opts :
+  ?params:params ->
+  ?deadline:Wgrap_util.Timer.deadline ->
+  ?on_round:(round:int -> elapsed:float -> best:float -> unit) ->
+  ?gains:Gain_matrix.t ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume_from:Checkpoint.state ->
+  rng:Wgrap_util.Rng.t ->
+  Instance.t ->
+  Assignment.t ->
+  Assignment.t
+[@@deprecated "use Sra.refine ?ctx (see Ctx)"]
+(** Pre-[Ctx] entry point. The optionals map onto {!Ctx.t} fields
+    one-for-one: [?deadline] is [ctx.deadline], [?gains] is [ctx.gains],
+    [?checkpoint] is [ctx.checkpoint], [?resume_from state] is
+    [ctx.resume_from = Some (Ok state)], and [~rng] is [ctx.rng]. *)

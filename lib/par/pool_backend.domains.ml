@@ -1,0 +1,66 @@
+(* Domain-backed backend, selected on OCaml >= 5.0.
+
+   Scheduling is a shared atomic index counter: workers (the caller plus
+   [jobs - 1] spawned domains) repeatedly claim the next index and write
+   its result into a slot no other worker touches. Which worker computes
+   which index is nondeterministic, but the output array is indexed, so
+   a pure task function yields a bit-identical result at any job count.
+
+   Failure: the lowest-index exception observed wins (kept up to date
+   with a CAS loop), every worker stops claiming new indices, and the
+   winning exception is re-raised in the caller with the backtrace
+   captured at the raise site. *)
+
+let parallel_supported = true
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let run ~jobs ~n f =
+  if n < 0 then invalid_arg "Pool.run: negative size";
+  let jobs = min jobs n in
+  if n = 0 then [||]
+  else if jobs <= 1 then begin
+    (* Ascending-order sequential path: the reference the parallel path
+       is pinned against (and the only path a jobs=1 pool ever takes). *)
+    let results = Array.make n (f 0) in
+    for i = 1 to n - 1 do
+      results.(i) <- f i
+    done;
+    results
+  end
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let record_failure i exn bt =
+      let rec loop () =
+        let cur = Atomic.get failure in
+        let lower = match cur with None -> true | Some (j, _, _) -> i < j in
+        if lower && not (Atomic.compare_and_set failure cur (Some (i, exn, bt)))
+        then loop ()
+      in
+      loop ()
+    in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        if Atomic.get failure <> None then continue := false
+        else begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then continue := false
+          else
+            match f i with
+            | v -> results.(i) <- Some v
+            | exception exn ->
+                record_failure i exn (Printexc.get_raw_backtrace ());
+                continue := false
+        end
+      done
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    match Atomic.get failure with
+    | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None ->
+        Array.map (function Some v -> v | None -> assert false) results
+  end

@@ -1,0 +1,28 @@
+(** Build-time selected execution backend behind {!Pool}.
+
+    Two implementations satisfy this interface (see the dune [select]):
+    [pool_backend.domains.ml] fans indices out over [Stdlib.Domain] on
+    OCaml >= 5.0, and [pool_backend.seq.ml] runs everything in the
+    calling domain on 4.14. Both apply the task function to every index
+    exactly once and return the results in index order, so a pure task
+    function makes the two backends bit-identical. *)
+
+val parallel_supported : bool
+(** [true] iff this build fans work out over [Stdlib.Domain]. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] on the domains backend, [1] on
+    the sequential fallback. *)
+
+val run : jobs:int -> n:int -> (int -> 'a) -> 'a array
+(** [run ~jobs ~n f] computes [[| f 0; ...; f (n-1) |]], using up to
+    [jobs] domains (the caller participates as one of them). Results are
+    in index order regardless of scheduling. [jobs <= 1] (and the
+    sequential backend always) applies [f] in ascending index order in
+    the calling domain.
+
+    If any application raises, every worker stops taking new indices,
+    the pool drains, and the exception of the lowest failing index that
+    was actually evaluated is re-raised in the caller with its
+    backtrace. [f] must not assume every index runs once some index has
+    raised. *)

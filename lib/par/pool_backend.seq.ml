@@ -1,0 +1,22 @@
+(* Sequential fallback backend, selected when the compiler has no
+   multicore runtime (OCaml 4.x). Same observable behaviour as the
+   domains backend for pure task functions: every index evaluated
+   exactly once, results in index order, the first failing index's
+   exception re-raised. *)
+
+let parallel_supported = false
+let recommended_jobs () = 1
+
+let run ~jobs:_ ~n f =
+  if n < 0 then invalid_arg "Pool.run: negative size";
+  if n = 0 then [||]
+  else begin
+    (* Explicit ascending loop (not [Array.init], whose evaluation order
+       is unspecified): ascending order is the contract the parallel
+       backend's jobs=1 path and the equivalence tests pin. *)
+    let results = Array.make n (f 0) in
+    for i = 1 to n - 1 do
+      results.(i) <- f i
+    done;
+    results
+  end

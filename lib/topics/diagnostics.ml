@@ -3,10 +3,10 @@ module Rng = Wgrap_util.Rng
 let train_chains ?alpha ?beta ?iters ?(chains = 3) ~rng ~n_authors ~n_topics
     ~n_words docs =
   if chains < 1 then invalid_arg "Diagnostics.train_chains: chains >= 1";
+  let chain_rngs = Rng.split rng chains in
   let results =
-    List.init chains (fun _ ->
-        let chain_rng = Rng.split rng in
-        Atm.train ?alpha ?beta ?iters ~rng:chain_rng ~n_authors ~n_topics
+    List.init chains (fun c ->
+        Atm.train ?alpha ?beta ?iters ~rng:chain_rngs.(c) ~n_authors ~n_topics
           ~n_words docs)
   in
   let lls = Array.of_list (List.map (fun m -> m.Atm.log_likelihood) results) in
@@ -33,12 +33,13 @@ let choose_n_topics ?(candidates = [ 10; 20; 30; 50 ]) ?iters ?(holdout = 0.2)
   Rng.shuffle rng order;
   let held = Array.init n_held (fun i -> docs.(order.(i))) in
   let train_docs = Array.init (n - n_held) (fun i -> docs.(order.(i + n_held))) in
+  let chain_rngs = Rng.split rng (List.length candidates) in
   let profile =
-    List.map
-      (fun n_topics ->
-        let chain_rng = Rng.split rng in
+    List.mapi
+      (fun c n_topics ->
         let model =
-          Atm.train ?iters ~rng:chain_rng ~n_authors ~n_topics ~n_words train_docs
+          Atm.train ?iters ~rng:chain_rngs.(c) ~n_authors ~n_topics ~n_words
+            train_docs
         in
         (n_topics, Atm.perplexity model held))
       candidates

@@ -33,13 +33,28 @@ let bits64 t =
   t.s3 <- rotl t.s3 45;
   result
 
-let split t =
-  let state = ref (bits64 t) in
-  let s0 = splitmix64 state in
-  let s1 = splitmix64 state in
-  let s2 = splitmix64 state in
-  let s3 = splitmix64 state in
-  { s0; s1; s2; s3 }
+(* Stream derivation for [split]: one 64-bit draw from the parent fixes
+   the whole family, then stream [i] expands its four xoshiro words from
+   a splitmix64 sequence started at [base lxor ((i+1) * phi)] (phi =
+   the splitmix64 golden-gamma increment). Distinct [i] feed distinct
+   starting states into the splitmix64 bijection, so the families are
+   pairwise distinct and each stream is seeded exactly as [create]
+   seeds from a fresh seed — no stream shares a suffix with the parent
+   or a sibling. *)
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let split t n =
+  if n < 0 then invalid_arg "Rng.split: count must be non-negative";
+  let base = bits64 t in
+  Array.init n (fun i ->
+      let state =
+        ref (Int64.logxor base (Int64.mul (Int64.of_int (i + 1)) golden_gamma))
+      in
+      let s0 = splitmix64 state in
+      let s1 = splitmix64 state in
+      let s2 = splitmix64 state in
+      let s3 = splitmix64 state in
+      { s0; s1; s2; s3 })
 
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 

@@ -13,10 +13,21 @@ val create : int -> t
 (** [create seed] builds a generator from an integer seed. Equal seeds
     yield equal streams. *)
 
-val split : t -> t
-(** [split t] derives an independent generator from [t], advancing [t].
-    Streams obtained by successive splits are pairwise independent for
-    practical purposes. *)
+val split : t -> int -> t array
+(** [split t n] derives [n] generators with pairwise independent streams
+    from [t], advancing [t] by exactly one 64-bit draw (so the same
+    parent state always yields the same family, whatever [n] is used
+    for).
+
+    Derivation scheme (stable, relied on by checkpoint replay and the
+    parallel SRA determinism contract): one output [base] is drawn from
+    [t]; stream [i] (0-based) then expands its four xoshiro256** state
+    words from a splitmix64 sequence started at
+    [base lxor ((i+1) * 0x9E3779B97F4A7C15)] — the same
+    splitmix64-expansion used by {!create}, applied to [n] distinct
+    starting states. Distinct indices therefore get distinct,
+    uncorrelated streams, and none of them shares a suffix with [t]'s
+    own future stream. Raises [Invalid_argument] if [n < 0]. *)
 
 val copy : t -> t
 (** [copy t] duplicates the current state; the copy replays the same

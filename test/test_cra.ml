@@ -204,7 +204,7 @@ let test_sra_never_worse () =
   for _ = 1 to 5 do
     let inst = random_instance rng ~n_p:20 ~n_r:8 ~dp:2 in
     let sdga = Sdga.solve inst in
-    let refined = Sra.refine ~rng inst sdga in
+    let refined = Sra.refine ~ctx:(Ctx.make ~rng ()) inst sdga in
     Alcotest.(check bool) "feasible" true (Assignment.is_feasible inst refined);
     Alcotest.(check bool) "no regression" true
       (Assignment.coverage inst refined >= Assignment.coverage inst sdga -. 1e-9)
@@ -219,7 +219,7 @@ let test_sra_trace_monotone () =
     Sra.refine
       ~params:{ Sra.default_params with omega = 5 }
       ~on_round:(fun ~round:_ ~elapsed:_ ~best -> bests := best :: !bests)
-      ~rng inst sdga
+      ~ctx:(Ctx.make ~rng ()) inst sdga
   in
   let rec monotone = function
     | a :: (b :: _ as rest) -> a >= b -. 1e-12 && monotone rest
@@ -235,9 +235,10 @@ let test_sra_deadline_respected () =
   let sdga = Sdga.solve inst in
   let _, dt =
     Timer.time (fun () ->
-        Sra.refine ~deadline:(Timer.deadline 0.05)
+        Sra.refine
           ~params:{ Sra.default_params with omega = 1_000_000 }
-          ~rng inst sdga)
+          ~ctx:(Ctx.make ~budget:0.05 ~rng ())
+          inst sdga)
   in
   Alcotest.(check bool) "stops near the deadline" true (dt < 2.)
 

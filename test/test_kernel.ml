@@ -284,7 +284,7 @@ let test_sdga_with_gains_matches_without () =
     let gm = Gain_matrix.create inst in
     (* Dirty the matrix first: solvers reset their gain state on entry. *)
     Gain_matrix.add gm ~paper:0 ~reviewer:1;
-    let shared = Sdga.solve ~gains:gm inst in
+    let shared = Sdga.solve ~ctx:(Ctx.make ~gains:gm ()) inst in
     Alcotest.(check (list (pair int int)))
       "sdga pairs" (sorted_pairs plain) (sorted_pairs shared)
   done
@@ -296,7 +296,7 @@ let test_greedy_with_gains_matches_without () =
     let plain = Greedy.solve inst in
     let gm = Gain_matrix.create inst in
     Gain_matrix.add gm ~paper:2 ~reviewer:3;
-    let shared = Greedy.solve ~gains:gm inst in
+    let shared = Greedy.solve ~ctx:(Ctx.make ~gains:gm ()) inst in
     Alcotest.(check (list (pair int int)))
       "greedy pairs" (sorted_pairs plain) (sorted_pairs shared);
     (* Lazy greedy must still match the naive rescan ablation baseline's
@@ -313,10 +313,12 @@ let test_sra_with_gains_matches_without () =
   let inst = random_instance rng ~n_p:5 ~n_r:10 ~dim:8 in
   let start = Sdga.solve inst in
   let params = { Sra.default_params with Sra.max_rounds = 5; omega = 100 } in
-  let plain = Sra.refine ~params ~rng:(Rng.create 7) inst start in
+  let plain = Sra.refine ~params ~ctx:(Ctx.make ~seed:7 ()) inst start in
   let gm = Gain_matrix.create inst in
   Gain_matrix.add gm ~paper:1 ~reviewer:2;
-  let shared = Sra.refine ~params ~gains:gm ~rng:(Rng.create 7) inst start in
+  let shared =
+    Sra.refine ~params ~ctx:(Ctx.make ~seed:7 ~gains:gm ()) inst start
+  in
   Alcotest.(check (list (pair int int)))
     "sra pairs" (sorted_pairs plain) (sorted_pairs shared)
 

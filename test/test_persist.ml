@@ -250,7 +250,7 @@ let captured_state =
   lazy
     (let inst = Lazy.force test_instance in
      let sink, _events, states = Checkpoint.memory () in
-     ignore (Solver.cra ~seed:1 ~checkpoint:sink inst);
+     ignore (Solver.cra ~ctx:(Ctx.make ~seed:1 ~checkpoint:sink ()) inst);
      match
        List.filter
          (fun st ->
@@ -342,7 +342,7 @@ let test_store_sink_writes () =
       (* Every_rounds 1: take every offer, so the final snapshot is the
          last round boundary. *)
       let store = Store.open_ ~cadence:(Store.Every_rounds 1) ~fresh:true ~dir () in
-      let outcome = Solver.cra ~seed:3 ~checkpoint:(Store.sink store) inst in
+      let outcome = Solver.cra ~ctx:(Ctx.make ~seed:3 ~checkpoint:(Store.sink store) ()) inst in
       Store.close store;
       let a =
         match Solver.value outcome with
@@ -370,18 +370,18 @@ let test_store_sink_writes () =
 let test_seeded_determinism () =
   let inst = Lazy.force test_instance in
   let a =
-    match Solver.value (Solver.cra ~seed:42 inst) with
+    match Solver.value (Solver.cra ~ctx:(Ctx.make ~seed:42 ()) inst) with
     | Some a -> a
     | None -> Alcotest.fail "infeasible"
   and b =
-    match Solver.value (Solver.cra ~seed:42 inst) with
+    match Solver.value (Solver.cra ~ctx:(Ctx.make ~seed:42 ()) inst) with
     | Some a -> a
     | None -> Alcotest.fail "infeasible"
   in
   Alcotest.(check bool) "identical groups" true
     (Assignment.to_lines a = Assignment.to_lines b);
   let c =
-    match Solver.value (Solver.cra ~seed:43 inst) with
+    match Solver.value (Solver.cra ~ctx:(Ctx.make ~seed:43 ()) inst) with
     | Some a -> a
     | None -> Alcotest.fail "infeasible"
   in
@@ -392,7 +392,7 @@ let test_seeded_determinism () =
     && Assignment.coverage inst a <> Assignment.coverage inst c)
 
 let uninterrupted_objective inst ~seed =
-  match Solver.value (Solver.cra ~seed inst) with
+  match Solver.value (Solver.cra ~ctx:(Ctx.make ~seed ()) inst) with
   | Some a -> Assignment.coverage inst a
   | None -> Alcotest.fail "infeasible"
 
@@ -410,7 +410,7 @@ let resume_and_check ?(through_files = false) inst ~seed st =
           | Error e -> Alcotest.fail (Store.load_error_message e))
   in
   let resumed =
-    match Solver.value (Solver.cra ~seed ~resume_from:(Ok st) inst) with
+    match Solver.value (Solver.cra ~ctx:(Ctx.make ~seed ~resume_from:(Ok st) ()) inst) with
     | Some a -> Assignment.coverage inst a
     | None -> Alcotest.fail "resume infeasible"
   in
@@ -422,7 +422,7 @@ let resume_and_check ?(through_files = false) inst ~seed st =
 
 let captured_states inst ~seed =
   let sink, _events, states = Checkpoint.memory () in
-  ignore (Solver.cra ~seed ~checkpoint:sink inst);
+  ignore (Solver.cra ~ctx:(Ctx.make ~seed ~checkpoint:sink ()) inst);
   states ()
 
 let test_resume_mid_sra_memory () =
@@ -473,7 +473,7 @@ let test_resume_mid_sdga () =
 
 let test_resume_rejected_checkpoint () =
   let inst = Lazy.force test_instance in
-  match Solver.cra ~seed:7 ~resume_from:(Error "crc mismatch") inst with
+  match Solver.cra ~ctx:(Ctx.make ~seed:7 ~resume_from:(Error "crc mismatch") ()) inst with
   | Solver.Degraded (a, reasons) ->
       Alcotest.(check bool) "valid" true (Assignment.validate inst a = Ok ());
       Alcotest.(check bool) "stale reason reported" true

@@ -111,7 +111,7 @@ let jra_deadline_tests =
     Alcotest.test_case "harness always yields a group" `Quick (fun () ->
         let problem = Lazy.force big_jra in
         let t0 = Timer.now () in
-        let outcome = Solver.jra ~budget problem in
+        let outcome = Solver.jra ~ctx:(Ctx.make ~budget ()) problem in
         Alcotest.(check bool) "returned promptly" true
           (Timer.now () -. t0 < wall_limit);
         match Solver.value outcome with
@@ -131,13 +131,16 @@ let cra_deadline_case name solve =
 
 let cra_deadline_tests =
   [
-    cra_deadline_case "Greedy anytime" (fun ~deadline i -> Greedy.solve ~deadline i);
+    cra_deadline_case "Greedy anytime" (fun ~deadline i ->
+        Greedy.solve ~ctx:(Ctx.make ~deadline ()) i);
     cra_deadline_case "Greedy-rescan anytime" (fun ~deadline i ->
         Greedy.solve_rescan ~deadline i);
-    cra_deadline_case "SDGA anytime" (fun ~deadline i -> Sdga.solve ~deadline i);
+    cra_deadline_case "SDGA anytime" (fun ~deadline i ->
+        Sdga.solve ~ctx:(Ctx.make ~deadline ()) i);
     cra_deadline_case "SDGA-flow anytime" (fun ~deadline i ->
-        Sdga.solve_flow ~deadline i);
-    cra_deadline_case "BRGG anytime" (fun ~deadline i -> Brgg.solve ~deadline i);
+        Sdga.solve_flow ~ctx:(Ctx.make ~deadline ()) i);
+    cra_deadline_case "BRGG anytime" (fun ~deadline i ->
+        Brgg.solve ~ctx:(Ctx.make ~deadline ()) i);
     Alcotest.test_case "Exact anytime" `Quick (fun () ->
         (* Small enough to pass the space guard is still astronomically
            beyond 50 ms of exhaustive search. *)
@@ -154,7 +157,7 @@ let cra_deadline_tests =
         | Error e -> Alcotest.fail ("invalid exact incumbent: " ^ e));
     cra_deadline_case "SRA anytime" (fun ~deadline i ->
         let start = Greedy.solve i in
-        Sra.refine ~deadline ~rng:(Rng.create 3) i start);
+        Sra.refine ~ctx:(Ctx.make ~deadline ~seed:3 ()) i start);
   ]
 
 (* {1 The harness end to end} *)
@@ -177,7 +180,7 @@ let test_harness_jra_exact_small () =
 let test_harness_cra_budgeted () =
   let inst = Lazy.force big_cra in
   let t0 = Timer.now () in
-  let outcome = Solver.cra ~budget:0.2 inst in
+  let outcome = Solver.cra ~ctx:(Ctx.make ~budget:0.2 ()) inst in
   Alcotest.(check bool) "returned promptly" true (Timer.now () -. t0 < 2. *. wall_limit);
   (match outcome with
   | Solver.Complete _ | Solver.Degraded _ -> ()
@@ -195,7 +198,7 @@ let test_harness_cra_infeasible () =
   let rng = Rng.create 29 in
   let coi = List.init 4 (fun r -> (0, r)) in
   let inst = random_instance ~coi rng ~n_p:4 ~n_r:4 ~dp:2 in
-  match Solver.cra ~budget:0.2 inst with
+  match Solver.cra ~ctx:(Ctx.make ~budget:0.2 ()) inst with
   | Solver.Infeasible _ -> ()
   | Solver.Complete a | Solver.Degraded (a, _) -> (
       (* Accept only if it somehow found a valid assignment (it cannot,
@@ -269,17 +272,26 @@ let chaos_tsv_test =
   QCheck.Test.make ~name:"loader survives corrupted TSV" ~count:60
     QCheck.(int_range 0 1_000_000)
     (fun seed ->
-      let rng = Rng.create seed in
+      (* Independent streams per concern ({!Rng.split}): the fault choice
+         and the corruption bytes no longer share one sequential stream,
+         so adding a draw to either cannot reshuffle the other across
+         the whole regression corpus. *)
+      let streams = Rng.split (Rng.create seed) 2 in
+      let pick_rng = streams.(0) and corrupt_rng = streams.(1) in
       let author_lines, paper_lines = Lazy.force base_lines in
-      let fault = List.nth Chaos.tsv_faults (Rng.int rng (List.length Chaos.tsv_faults)) in
-      let corrupt_authors = Rng.bool rng in
+      let fault =
+        List.nth Chaos.tsv_faults
+          (Rng.int pick_rng (List.length Chaos.tsv_faults))
+      in
+      let corrupt_authors = Rng.bool pick_rng in
       let author_lines =
-        if corrupt_authors then Chaos.corrupt_lines ~rng fault author_lines
+        if corrupt_authors then
+          Chaos.corrupt_lines ~rng:corrupt_rng fault author_lines
         else author_lines
       in
       let paper_lines =
         if corrupt_authors then paper_lines
-        else Chaos.corrupt_lines ~rng fault paper_lines
+        else Chaos.corrupt_lines ~rng:corrupt_rng fault paper_lines
       in
       let authors_path = Filename.temp_file "chaos_authors" ".tsv" in
       let papers_path = Filename.temp_file "chaos_papers" ".tsv" in
@@ -325,21 +337,28 @@ let chaos_vector_test =
   QCheck.Test.make ~name:"pipeline quarantines poisoned vectors" ~count:60
     QCheck.(int_range 0 1_000_000)
     (fun seed ->
-      let rng = Rng.create seed in
-      let n_p = 8 + Rng.int rng 8 and n_r = 6 + Rng.int rng 4 in
-      let extracted = dummy_extracted rng ~n_p ~n_r ~dim:10 in
+      (* Split streams: data generation, fault choice and poisoning each
+         draw independently. *)
+      let streams = Rng.split (Rng.create seed) 3 in
+      let gen_rng = streams.(0)
+      and pick_rng = streams.(1)
+      and poison_rng = streams.(2) in
+      let n_p = 8 + Rng.int gen_rng 8 and n_r = 6 + Rng.int gen_rng 4 in
+      let extracted = dummy_extracted gen_rng ~n_p ~n_r ~dim:10 in
       let fault =
-        List.nth Chaos.vector_faults (Rng.int rng (List.length Chaos.vector_faults))
+        List.nth Chaos.vector_faults
+          (Rng.int pick_rng (List.length Chaos.vector_faults))
       in
       let extracted =
-        if Rng.bool rng then
+        if Rng.bool pick_rng then
           { extracted with
             Pipeline.paper_vectors =
-              Chaos.poison ~rng fault extracted.Pipeline.paper_vectors }
+              Chaos.poison ~rng:poison_rng fault extracted.Pipeline.paper_vectors }
         else
           { extracted with
             Pipeline.reviewer_vectors =
-              Chaos.poison ~rng fault extracted.Pipeline.reviewer_vectors }
+              Chaos.poison ~rng:poison_rng fault
+                extracted.Pipeline.reviewer_vectors }
       in
       let dr = Instance.min_workload ~papers:n_p ~reviewers:n_r ~delta_p:2 in
       match Pipeline.instance_checked extracted ~delta_p:2 ~delta_r:dr with
@@ -347,7 +366,7 @@ let chaos_vector_test =
       | Ok (inst, quarantined) -> (
           quarantined <> []
           &&
-          match Solver.value (Solver.cra ~budget:0.5 inst) with
+          match Solver.value (Solver.cra ~ctx:(Ctx.make ~budget:0.5 ()) inst) with
           | Some a -> Assignment.validate inst a = Ok ()
           | None -> true))
 
@@ -357,13 +376,19 @@ let chaos_coi_test =
   QCheck.Test.make ~name:"harness survives COI-dense instances" ~count:40
     QCheck.(int_range 0 1_000_000)
     (fun seed ->
-      let rng = Rng.create seed in
-      let n_r = 6 + Rng.int rng 6 in
-      let n_p = n_r + Rng.int rng 10 in
-      let density = 0.3 +. Rng.float rng 0.65 in
-      let coi = Chaos.dense_coi ~rng ~n_papers:n_p ~n_reviewers:n_r ~density in
-      let inst = random_instance ~coi rng ~n_p ~n_r ~dp:2 in
-      match Solver.cra ~budget:0.3 inst with
+      (* Split streams: shape, conflict structure and topic vectors. *)
+      let streams = Rng.split (Rng.create seed) 3 in
+      let shape_rng = streams.(0)
+      and coi_rng = streams.(1)
+      and inst_rng = streams.(2) in
+      let n_r = 6 + Rng.int shape_rng 6 in
+      let n_p = n_r + Rng.int shape_rng 10 in
+      let density = 0.3 +. Rng.float shape_rng 0.65 in
+      let coi =
+        Chaos.dense_coi ~rng:coi_rng ~n_papers:n_p ~n_reviewers:n_r ~density
+      in
+      let inst = random_instance ~coi inst_rng ~n_p ~n_r ~dp:2 in
+      match Solver.cra ~ctx:(Ctx.make ~budget:0.3 ()) inst with
       | Solver.Infeasible msg -> String.length msg > 0
       | Solver.Complete a | Solver.Degraded (a, _) ->
           Assignment.validate inst a = Ok ())
@@ -375,7 +400,9 @@ let chaos_tsv_bytes_test =
   QCheck.Test.make ~name:"loader survives byte-corrupted TSV files" ~count:40
     QCheck.(int_range 0 1_000_000)
     (fun seed ->
-      let rng = Rng.create seed in
+      (* Split streams: fault/victim choice vs corruption bytes. *)
+      let streams = Rng.split (Rng.create seed) 2 in
+      let pick_rng = streams.(0) and corrupt_rng = streams.(1) in
       let author_lines, paper_lines = Lazy.force base_lines in
       let authors_path = Filename.temp_file "chaos_authors" ".tsv" in
       let papers_path = Filename.temp_file "chaos_papers" ".tsv" in
@@ -387,10 +414,11 @@ let chaos_tsv_bytes_test =
           Chaos.write_lines authors_path author_lines;
           Chaos.write_lines papers_path paper_lines;
           let fault =
-            List.nth Chaos.file_faults (Rng.int rng (List.length Chaos.file_faults))
+            List.nth Chaos.file_faults
+              (Rng.int pick_rng (List.length Chaos.file_faults))
           in
-          let victim = if Rng.bool rng then authors_path else papers_path in
-          Chaos.corrupt_file ~rng fault victim;
+          let victim = if Rng.bool pick_rng then authors_path else papers_path in
+          Chaos.corrupt_file ~rng:corrupt_rng fault victim;
           match Loader.load ~authors_path ~papers_path with
           | Ok corpus -> Corpus.validate corpus = Ok ()
           | Error msg -> String.length msg > 0))
@@ -429,7 +457,7 @@ let kill_trace =
        }
      in
      let final =
-       match Solver.value (Solver.cra ~seed:kill_seed ~checkpoint:sink inst) with
+       match Solver.value (Solver.cra ~ctx:(Ctx.make ~seed:kill_seed ~checkpoint:sink ()) inst) with
        | Some a -> Assignment.coverage inst a
        | None -> Alcotest.fail "reference run infeasible"
      in
@@ -466,8 +494,12 @@ let kill_resume_test =
     (fun seed ->
       let inst = Lazy.force kill_instance in
       let trace, uninterrupted = Lazy.force kill_trace in
-      let rng = Rng.create seed in
-      let kill = 1 + Rng.int rng (Array.length trace) in
+      (* Split streams: the kill point and the byte-level corruption draw
+         independently, so the kill-point distribution is stable however
+         many bytes a fault consumes. *)
+      let streams = Rng.split (Rng.create seed) 2 in
+      let kill_rng = streams.(0) and rng = streams.(1) in
+      let kill = 1 + Rng.int kill_rng (Array.length trace) in
       let snapshot = ref None and events = ref [] in
       for i = 0 to kill - 1 do
         match trace.(i) with
@@ -506,10 +538,10 @@ let kill_resume_test =
           let load_result = Store.load ~dir inst in
           let outcome =
             match load_result with
-            | Ok st -> Solver.cra ~seed:kill_seed ~resume_from:(Ok st) inst
-            | Error Store.No_checkpoint -> Solver.cra ~seed:kill_seed inst
+            | Ok st -> Solver.cra ~ctx:(Ctx.make ~seed:kill_seed ~resume_from:(Ok st) ()) inst
+            | Error Store.No_checkpoint -> Solver.cra ~ctx:(Ctx.make ~seed:kill_seed ()) inst
             | Error (Store.Invalid msg) ->
-                Solver.cra ~seed:kill_seed ~resume_from:(Error msg) inst
+                Solver.cra ~ctx:(Ctx.make ~seed:kill_seed ~resume_from:(Error msg) ()) inst
           in
           match outcome with
           | Solver.Infeasible _ -> false

@@ -31,12 +31,44 @@ let test_rng_copy_replays () =
 
 let test_rng_split_independent () =
   let a = Rng.create 7 in
-  let b = Rng.split a in
-  let same = ref 0 in
-  for _ = 1 to 64 do
-    if Rng.bits64 a = Rng.bits64 b then incr same
+  let streams = Rng.split a 4 in
+  (* Parent vs each stream, and every stream pair, must diverge. *)
+  let diverges x y =
+    let x = Rng.copy x and y = Rng.copy y in
+    let same = ref 0 in
+    for _ = 1 to 64 do
+      if Rng.bits64 x = Rng.bits64 y then incr same
+    done;
+    !same < 4
+  in
+  Array.iteri
+    (fun i s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "parent vs stream %d" i)
+        true (diverges a s);
+      Array.iteri
+        (fun j s' ->
+          if i < j then
+            Alcotest.(check bool)
+              (Printf.sprintf "stream %d vs stream %d" i j)
+              true (diverges s s'))
+        streams)
+    streams
+
+let test_rng_split_deterministic () =
+  (* Same parent state => same family, and the family does not depend on
+     how many streams are requested (prefix property). *)
+  let a = Rng.create 21 and b = Rng.create 21 in
+  let xs = Rng.split a 8 and ys = Rng.split b 3 in
+  for i = 0 to 2 do
+    Alcotest.(check (list int64))
+      (Printf.sprintf "stream %d prefix-stable" i)
+      (List.init 16 (fun _ -> Rng.bits64 xs.(i)))
+      (List.init 16 (fun _ -> Rng.bits64 ys.(i)))
   done;
-  Alcotest.(check bool) "split streams differ" true (!same < 4)
+  (* The parent advanced by exactly one draw either way. *)
+  Alcotest.(check int64) "parent advanced identically" (Rng.bits64 a)
+    (Rng.bits64 b)
 
 let test_rng_int_bounds () =
   let rng = Rng.create 5 in
@@ -273,6 +305,8 @@ let () =
           Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
           Alcotest.test_case "copy replays" `Quick test_rng_copy_replays;
           Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "split deterministic" `Quick
+            test_rng_split_deterministic;
           Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
           Alcotest.test_case "int rejects bad bound" `Quick test_rng_int_rejects_bad_bound;
           Alcotest.test_case "uniform range" `Quick test_rng_uniform_range;

@@ -1,0 +1,5 @@
+(* Fixture implementation: never touches Timer itself, but forwards the
+   ctx (which carries the deadline) to a callee — that satisfies the
+   poll-or-forward half of the contract. *)
+let inner ~ctx x = ignore ctx; x + 1
+let solve ?ctx x = inner ~ctx x

@@ -1,0 +1,5 @@
+(* Fixture: an entry point that takes ?ctx instead of ?deadline is
+   budgetable (the Ctx record carries the deadline), so the deadline
+   rule must stay quiet. *)
+val inner : ctx:'a option -> int -> int
+val solve : ?ctx:'a -> int -> int

@@ -40,6 +40,7 @@ let solver_modules =
 
 let solver_entry_names =
   [
-    "solve"; "solve_flow"; "solve_rescan"; "solve_counting"; "top_k";
-    "refine"; "maximize"; "minimize"; "min_cost_flow"; "transportation";
+    "solve"; "solve_flow"; "solve_rescan"; "solve_counting"; "solve_many";
+    "top_k"; "refine"; "refine_parallel"; "maximize"; "minimize";
+    "min_cost_flow"; "transportation";
   ]

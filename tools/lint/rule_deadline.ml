@@ -1,10 +1,11 @@
 (* 7. deadline-discipline — the file-level rule. For every configured
    solver module: each exported entry point (a [val] in the .mli whose
-   name is in {!Lint_config.solver_entry_names}) must accept [?deadline], and
+   name is in {!Lint_config.solver_entry_names}) must accept [?deadline]
+   or [?ctx] (a {!Ctx.t} carries the deadline among its fields), and
    the implementation must either poll the monotonic timer
    ([Timer.check*] / [Timer.expired*]) or forward a [~deadline]/[?deadline]
-   argument to a callee that does — otherwise a budgeted solve can run
-   unbounded.
+   (or [~ctx]/[?ctx]) argument to a callee that does — otherwise a
+   budgeted solve can run unbounded.
 
    Suppression: [@@wgrap.allow "deadline"] on the offending [val], or the
    floating [@@@wgrap.allow "deadline"] in either file. *)
@@ -15,7 +16,7 @@ let rule = "deadline"
 
 let rec accepts_deadline (ty : core_type) =
   match ty.ptyp_desc with
-  | Ptyp_arrow (Optional "deadline", _, _) -> true
+  | Ptyp_arrow (Optional ("deadline" | "ctx"), _, _) -> true
   | Ptyp_arrow (_, _, rest) -> accepts_deadline rest
   | Ptyp_poly (_, ty) -> accepts_deadline ty
   | _ -> false
@@ -23,7 +24,7 @@ let rec accepts_deadline (ty : core_type) =
 (* Does the implementation reach the timer: any Timer.check*/Timer.expired*
    ident (optionally behind a module alias, hence suffix matching on the
    last two path components), or any application forwarding a [deadline]
-   labelled/optional argument. *)
+   (or a [ctx], which carries one) labelled/optional argument. *)
 let polls_or_forwards (str : structure) =
   let found = ref false in
   let prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p in
@@ -44,7 +45,9 @@ let polls_or_forwards (str : structure) =
               List.exists
                 (fun (label, _) ->
                   match label with
-                  | Labelled "deadline" | Optional "deadline" -> true
+                  | Labelled ("deadline" | "ctx") | Optional ("deadline" | "ctx")
+                    ->
+                      true
                   | _ -> false)
                 args
             then found := true
@@ -94,11 +97,11 @@ let check ~(ml_ctx : Ctx.t) ~(mli_ctx : Ctx.t option) ~(str : structure)
           if not (accepts_deadline vd.pval_type) then
             Ctx.report mli_ctx ~loc:vd.pval_loc ~rule
               (Printf.sprintf
-                 "solver entry point %s must accept ?deadline (anytime \
-                  contract: every solve is budgetable)"
+                 "solver entry point %s must accept ?deadline or ?ctx \
+                  (anytime contract: every solve is budgetable)"
                  vd.pval_name.txt))
         unsuppressed;
       if unsuppressed <> [] && not (polls_or_forwards str) then
         Ctx.report ml_ctx ~loc:(module_loc str) ~rule
           "solver implementation never polls Timer.check*/Timer.expired* nor \
-           forwards ?deadline to a callee; its loops cannot be cut off"
+           forwards ?deadline/?ctx to a callee; its loops cannot be cut off"
