@@ -1,0 +1,290 @@
+(* PR 6 service-mode benchmark: what `wgrap serve` sustains on one
+   core. Three numbers matter for capacity planning and they go to
+   machine-readable BENCH_PR6.json:
+
+   - sustained events/sec through the full ack path (plan -> fsynced
+     journal append -> commit), and the same stream without durability
+     to show how much of the budget the fsync eats;
+   - p99 re-solve latency per mutation (the admission trip wire is
+     calibrated against this);
+   - shed rate when events arrive at 2x the measured sustained rate
+     through the real run loop (pipe transport, bounded queue).
+
+     dune exec bench/serve_bench.exe -- --out BENCH_PR6.json
+     dune exec bench/serve_bench.exe -- --quick   (CI smoke profile) *)
+
+module Rng = Wgrap_util.Rng
+module Timer = Wgrap_util.Timer
+module Event = Wgrap_serve.Event
+module Durable = Wgrap_serve.Durable
+module Server = Wgrap_serve.Server
+
+type shape = {
+  dim : int;
+  n_reviewers : int;
+  n_events : int;
+  delta_p : int;
+  delta_r : int;
+}
+
+let full_shape =
+  { dim = 16; n_reviewers = 60; n_events = 2000; delta_p = 3; delta_r = 120 }
+
+let quick_shape =
+  { dim = 8; n_reviewers = 20; n_events = 250; delta_p = 3; delta_r = 60 }
+
+(* The event mix of a live submission window: paper arrivals dominate,
+   with conflicts, bids, withdrawals and queries sprinkled in. *)
+let gen_stream rng ~shape =
+  let vec () =
+    Event.encode_vec
+      (Array.init shape.dim (fun _ -> 0.05 +. Rng.uniform rng))
+  in
+  let next_id = ref 0 and next_p = ref 0 in
+  let papers = ref [] in
+  let pick l = List.nth l (Rng.int rng (List.length l)) in
+  let lines = ref [] in
+  let emit body =
+    incr next_id;
+    lines := Printf.sprintf "%d %s" !next_id body :: !lines
+  in
+  for r = 0 to shape.n_reviewers - 1 do
+    emit (Printf.sprintf "reviewer-join %d %s" r (vec ()))
+  done;
+  for _ = 1 to shape.n_events do
+    match Rng.int rng 10 with
+    | 0 when !papers <> [] ->
+        emit
+          (Printf.sprintf "coi-add %d %d" (pick !papers)
+             (Rng.int rng shape.n_reviewers))
+    | 1 when !papers <> [] ->
+        emit
+          (Printf.sprintf "bid-update %d %d %.3f" (pick !papers)
+             (Rng.int rng shape.n_reviewers)
+             (Rng.uniform rng *. 2.))
+    | 2 when List.length !papers > 4 ->
+        let p = pick !papers in
+        emit (Printf.sprintf "paper-withdraw %d" p);
+        papers := List.filter (fun x -> x <> p) !papers
+    | 3 when !papers <> [] -> emit (Printf.sprintf "query %d" (pick !papers))
+    | _ ->
+        emit (Printf.sprintf "paper-add %d %s" !next_p (vec ()));
+        papers := !next_p :: !papers;
+        incr next_p
+  done;
+  List.rev !lines
+
+let is_mutation line =
+  not
+    (List.exists
+       (fun verb ->
+         let sub = " " ^ verb in
+         let ls = String.length line and lb = String.length sub in
+         let rec scan i =
+           i + lb <= ls && (String.sub line i lb = sub || scan (i + 1))
+         in
+         scan 0)
+       [ "query"; "health"; "stats" ])
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+type drive = {
+  events_per_sec : float;
+  p99_ms : float;
+  mean_ms : float;
+  accepted : int;
+  rejected : int;
+  degraded : int;
+}
+
+(* Phase 1/2: the straight-line ack path, timed per mutation. *)
+let drive_stream ?durable ~config lines =
+  let t =
+    match Server.create ?durable config with
+    | Ok t -> t
+    | Error e -> failwith e
+  in
+  let latencies = ref [] in
+  let accepted = ref 0 and rejected = ref 0 and degraded = ref 0 in
+  let (), total_s =
+    Timer.time (fun () ->
+        List.iter
+          (fun line ->
+            let resp, s = Timer.time (fun () -> Server.handle_line t line) in
+            if is_mutation line then latencies := (s *. 1000.) :: !latencies;
+            if String.length resp >= 3 && String.sub resp 0 3 = "ok " then begin
+              incr accepted;
+              let ls = String.length resp in
+              let sub = "status=degraded" in
+              let lb = String.length sub in
+              let rec scan i =
+                i + lb <= ls && (String.sub resp i lb = sub || scan (i + 1))
+              in
+              if scan 0 then incr degraded
+            end
+            else incr rejected)
+          lines)
+  in
+  let sorted = Array.of_list !latencies in
+  Array.sort Float.compare sorted;
+  {
+    events_per_sec = float_of_int (List.length lines) /. total_s;
+    p99_ms = percentile sorted 0.99;
+    mean_ms =
+      (if Array.length sorted = 0 then 0.
+       else Array.fold_left ( +. ) 0. sorted /. float_of_int (Array.length sorted));
+    accepted = !accepted;
+    rejected = !rejected;
+    degraded = !degraded;
+  }
+
+(* Phase 3: the real run loop fed through a pipe at [rate] lines/sec —
+   2x the sustained rate — counting busy sheds. *)
+let drive_overload ~config ~rate lines =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wgrap_serve_bench_%d" (Unix.getpid ()))
+  in
+  let durable =
+    match Durable.open_ ~dir with Ok d -> d | Error e -> failwith e
+  in
+  let t =
+    match Server.create ~durable config with Ok t -> t | Error e -> failwith e
+  in
+  let r, w = Unix.pipe () in
+  let interval = 1. /. rate in
+  (* A forked writer, not a thread: the OCaml runtime lock would let a
+     thread write only while the server blocks in a syscall, silently
+     throttling the offered load to the service rate. *)
+  let writer_pid = Unix.fork () in
+  if writer_pid = 0 then begin
+    Unix.close r;
+    let oc = Unix.out_channel_of_descr w in
+    List.iter
+      (fun l ->
+        output_string oc (l ^ "\n");
+        flush oc;
+        Unix.sleepf interval)
+      lines;
+    close_out oc;
+    Unix._exit 0
+  end;
+  Unix.close w;
+  let out_path = Filename.concat dir "responses.txt" in
+  let oc = open_out out_path in
+  (match Server.run t ~input:r ~output:oc with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  close_out oc;
+  Unix.close r;
+  ignore (Unix.waitpid [] writer_pid);
+  Durable.close durable;
+  let shed = ref 0 and total = ref 0 in
+  let ic = open_in out_path in
+  (try
+     while true do
+       let resp = input_line ic in
+       incr total;
+       if String.length resp >= 5 && String.sub resp 0 5 = "busy " then
+         incr shed
+     done
+   with End_of_file -> close_in ic);
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir;
+  (!shed, !total)
+
+let run ~quick ~seed ~out =
+  let shape = if quick then quick_shape else full_shape in
+  let lines = gen_stream (Rng.create seed) ~shape in
+  let config =
+    {
+      (Server.default ~dim:shape.dim ~delta_p:shape.delta_p
+         ~delta_r:shape.delta_r)
+      with
+      Server.snapshot_every = 256;
+      queue_limit = 32;
+    }
+  in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wgrap_serve_bench_d_%d" (Unix.getpid ()))
+  in
+  let durable =
+    match Durable.open_ ~dir with Ok d -> d | Error e -> failwith e
+  in
+  let d = drive_stream ~durable ~config lines in
+  Durable.close durable;
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir;
+  Printf.printf
+    "durable:  %.0f ev/s  p99 %.3f ms  mean %.3f ms  accepted %d  rejected %d  degraded %d\n%!"
+    d.events_per_sec d.p99_ms d.mean_ms d.accepted d.rejected d.degraded;
+  let v = drive_stream ~config lines in
+  Printf.printf "volatile: %.0f ev/s  p99 %.3f ms\n%!" v.events_per_sec v.p99_ms;
+  let offered = 2. *. d.events_per_sec in
+  let shed, total = drive_overload ~config ~rate:offered lines in
+  let shed_rate = float_of_int shed /. float_of_int (max 1 total) in
+  Printf.printf "overload: offered %.0f ev/s -> shed %d/%d (%.1f%%)\n%!" offered
+    shed total (100. *. shed_rate);
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"bench\": \"BENCH_PR6\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"mode\": \"%s\",\n" (if quick then "quick" else "full"));
+  Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" seed);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"ocaml\": \"%s\",\n" Sys.ocaml_version);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"shape\": {\"dim\": %d, \"n_reviewers\": %d, \"n_events\": %d, \
+        \"delta_p\": %d, \"delta_r\": %d},\n"
+       shape.dim shape.n_reviewers shape.n_events shape.delta_p shape.delta_r);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"durable\": {\"events_per_sec\": %.1f, \"p99_resolve_ms\": %.4f, \
+        \"mean_ms\": %.4f, \"accepted\": %d, \"rejected\": %d, \"degraded\": \
+        %d},\n"
+       d.events_per_sec d.p99_ms d.mean_ms d.accepted d.rejected d.degraded);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"volatile\": {\"events_per_sec\": %.1f, \"p99_resolve_ms\": %.4f},\n"
+       v.events_per_sec v.p99_ms);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"overload_2x\": {\"offered_events_per_sec\": %.1f, \"queue_limit\": \
+        %d, \"shed\": %d, \"total\": %d, \"shed_rate\": %.4f}\n"
+       offered config.Server.queue_limit shed total shed_rate);
+  Buffer.add_string buf "}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
+open Cmdliner
+
+let quick_flag =
+  Arg.(value & flag & info [ "quick" ] ~doc:"CI smoke profile.")
+
+let seed_arg =
+  Arg.(value & opt int 2015 & info [ "seed" ] ~docv:"SEED" ~doc:"Stream seed.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt string "BENCH_PR6.json"
+    & info [ "out" ] ~docv:"PATH" ~doc:"Output JSON path.")
+
+let cmd =
+  let doc = "Service-mode throughput/latency/shed benchmark (PR 6)" in
+  Cmd.v
+    (Cmd.info "serve_bench" ~doc)
+    Term.(
+      const (fun quick seed out -> run ~quick ~seed ~out)
+      $ quick_flag $ seed_arg $ out_arg)
+
+let () = exit (Cmd.eval cmd)

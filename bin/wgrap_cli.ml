@@ -6,6 +6,8 @@
                    optionally crash-safe via --checkpoint-dir/--resume)
      jra         - reviewer search for a single paper
      checkpoint  - inspect a checkpoint directory's snapshot and journal
+     serve       - kill-safe online assignment service (WAL-backed events,
+                   admission control, idle-time improvement)
 
    The TSV formats are documented in Dataset.Loader; the snapshot and
    journal formats in Wgrap_persist.Codec (and DESIGN.md).
@@ -422,6 +424,80 @@ let resume_arg =
            corrupt or stale one degrades to a fresh run with a \
            machine-readable reason on stderr.")
 
+(* {1 serve} *)
+
+let serve ~dim ~delta_p ~delta_r ~state_dir ~resume ~verify ~socket
+    ~event_budget_ms ~queue_limit ~p99_limit_ms ~snapshot_every ~max_clients =
+  let module Server = Wgrap_serve.Server in
+  let module State = Wgrap_serve.State in
+  let module Durable = Wgrap_serve.Durable in
+  let cfg =
+    {
+      (Server.default ~dim ~delta_p ~delta_r) with
+      event_budget =
+        (if event_budget_ms <= 0. then None else Some (event_budget_ms /. 1000.));
+      queue_limit;
+      p99_limit_ms;
+      snapshot_every;
+    }
+  in
+  if verify then begin
+    match state_dir with
+    | None -> die exit_usage "--verify requires --state-dir"
+    | Some dir -> (
+        match Server.verify cfg ~dir with
+        | Ok report -> print_endline report
+        | Error m -> die exit_data "%s" m)
+  end
+  else begin
+    let durable, st =
+      match state_dir with
+      | None ->
+          warn "no --state-dir: running volatile (events are not durable)";
+          ( None,
+            match State.create ~dim ~delta_p ~delta_r with
+            | Ok st -> st
+            | Error m -> die exit_usage "%s" m )
+      | Some dir ->
+          let open_durable () =
+            match Durable.open_ ~dir with
+            | Ok d -> Some d
+            | Error m -> die exit_data "state dir %s: %s" dir m
+          in
+          if resume then begin
+            match Server.load_state cfg ~dir with
+            | Error m -> die exit_data "resume: %s" m
+            | Ok (st, notes) ->
+                List.iter (fun n -> warn "resume: %s" n) notes;
+                (open_durable (), st)
+          end
+          else if
+            Sys.file_exists (Durable.journal_path dir)
+            || Sys.file_exists (Durable.snapshot_path dir)
+          then
+            die exit_usage
+              "state dir %s already holds service state; use --resume, or \
+               point at a fresh directory"
+              dir
+          else
+            ( open_durable (),
+              match State.create ~dim ~delta_p ~delta_r with
+              | Ok st -> st
+              | Error m -> die exit_usage "%s" m )
+    in
+    let t = Server.of_state ?durable cfg st in
+    (* survive the far end of stdout/socket closing mid-conversation:
+       the event loop turns EPIPE into a clean end-of-session *)
+    if Sys.unix then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let result =
+      match socket with
+      | Some path -> Server.serve_socket ?max_clients t ~path
+      | None -> Server.run t ~input:Unix.stdin ~output:stdout
+    in
+    (match durable with Some d -> Durable.close d | None -> ());
+    match result with Ok () -> () | Error m -> die exit_data "serve: %s" m
+  end
+
 let generate_cmd =
   let scale =
     Arg.(
@@ -512,6 +588,114 @@ let jra_cmd =
       $ seed_arg $ authors_arg $ papers_arg $ paper_id $ delta_p $ top_k
       $ budget_arg $ lenient_arg $ strict_arg)
 
+let serve_cmd =
+  let dim =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "dim" ] ~docv:"T" ~doc:"Topic-vector dimension of the instance.")
+  in
+  let delta_p =
+    Arg.(
+      value & opt int 3
+      & info [ "delta-p" ] ~docv:"N" ~doc:"Reviewers per paper.")
+  in
+  let delta_r =
+    Arg.(
+      value & opt int 6
+      & info [ "delta-r" ] ~docv:"N" ~doc:"Workload cap per reviewer.")
+  in
+  let state_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Durable service state: every accepted event is journaled \
+             (fsynced) under $(docv) before it is acknowledged, and periodic \
+             atomic snapshots bound replay time. Without it the service is \
+             volatile.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Recover the $(b,--state-dir): certified snapshot plus verified \
+             journal tail, bit-identical to a fresh fold over the \
+             acknowledged event prefix.")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Do not serve: check that snapshot + journal-tail recovery \
+             matches a from-scratch fold of the whole journal, print a \
+             report, and exit (non-zero on mismatch).")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket instead of serving stdin; \
+             clients are served sequentially against the shared state.")
+  in
+  let event_budget =
+    Arg.(
+      value & opt float 50.
+      & info [ "event-budget" ] ~docv:"MS"
+          ~doc:
+            "Per-event re-solve deadline in milliseconds (0 = unbounded). \
+             Events that overrun answer degraded and are repaired by idle \
+             improvement.")
+  in
+  let queue_limit =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:
+            "Admission queue bound; excess events are shed with $(b,busy \
+             retry-after).")
+  in
+  let p99_limit =
+    Arg.(
+      value & opt float 250.
+      & info [ "p99-limit" ] ~docv:"MS"
+          ~doc:
+            "Latency trip wire: shed when observed p99 exceeds this while \
+             the queue is half full.")
+  in
+  let snapshot_every =
+    Arg.(
+      value & opt int 64
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:"Journal entries between periodic snapshots.")
+  in
+  let max_clients =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-clients" ] ~docv:"N"
+          ~doc:
+            "With $(b,--socket): exit after serving $(docv) connections \
+             (for tests and soaks).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Kill-safe online assignment service (WAL-backed event loop)")
+    Term.(
+      const
+        (fun dim delta_p delta_r state_dir resume verify socket event_budget_ms
+             queue_limit p99_limit_ms snapshot_every max_clients ->
+          serve ~dim ~delta_p ~delta_r ~state_dir ~resume ~verify ~socket
+            ~event_budget_ms ~queue_limit ~p99_limit_ms ~snapshot_every
+            ~max_clients)
+      $ dim $ delta_p $ delta_r $ state_dir $ resume $ verify $ socket
+      $ event_budget $ queue_limit $ p99_limit $ snapshot_every $ max_clients)
+
 let () =
   (* Degraded runs report faults on stderr; with backtraces recorded the
      Fault reasons carry the raise site too (see Solver.describe_exn). *)
@@ -521,4 +705,4 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "wgrap" ~doc)
-          [ generate_cmd; assign_cmd; jra_cmd; checkpoint_cmd ]))
+          [ generate_cmd; assign_cmd; jra_cmd; checkpoint_cmd; serve_cmd ]))

@@ -43,7 +43,15 @@ let slice frac = function
    thing in an exception handler, before anything can overwrite the
    global backtrace slot. *)
 let describe_exn e =
-  let msg = match e with Failure m -> m | e -> Printexc.to_string e in
+  let msg =
+    match e with
+    | Failure m -> m
+    (* A deadline expiry that escaped a solver is a truncation, not a
+       crash; name it as such so service-mode degradation reports read
+       as the timeout they are instead of "Wgrap_util.Timer.Expired". *)
+    | Timer.Expired -> "deadline expired"
+    | e -> Printexc.to_string e
+  in
   if Printexc.backtrace_status () then
     match String.trim (Printexc.get_backtrace ()) with
     | "" -> msg
@@ -51,6 +59,30 @@ let describe_exn e =
   else msg
 
 let exn_message = describe_exn
+
+(* Service-mode degradation text: the reason, stamped with the event
+   that triggered the re-solve and how much of its deadline was left
+   when the reason was recorded — `wgrap serve` answers and quarantine
+   logs must be attributable to one event without correlating streams. *)
+let describe_reason ?event ?deadline r =
+  let base = Format.asprintf "%a" pp_reason r in
+  match (event, deadline) with
+  | None, None -> base
+  | _ ->
+      let parts =
+        (match event with
+        | Some id -> [ Printf.sprintf "event=%d" id ]
+        | None -> [])
+        @
+        match deadline with
+        | Some d ->
+            [
+              Printf.sprintf "deadline-remaining=%.0fms"
+                (1000. *. Timer.remaining d);
+            ]
+        | None -> []
+      in
+      base ^ " [" ^ String.concat " " parts ^ "]"
 
 (* The live-progress half of a [push]: every recorded reason is also
    surfaced through the context's [on_degrade] observer. *)

@@ -58,11 +58,20 @@ val reasons : 'a outcome -> reason list
 val pp_reason : Format.formatter -> reason -> unit
 
 val describe_exn : exn -> string
-(** The text stored in {!Fault} reasons: the exception message,
-    followed by the recorded backtrace when
-    [Printexc.backtrace_status ()] is on and a backtrace is available.
-    Exposed for tests and for callers building their own fault
-    summaries. *)
+(** The text stored in {!Fault} reasons: the exception message
+    ({!Wgrap_util.Timer.Expired} reads ["deadline expired"]), followed
+    by the recorded backtrace when [Printexc.backtrace_status ()] is on
+    and a backtrace is available. Exposed for tests and for callers
+    building their own fault summaries. *)
+
+val describe_reason :
+  ?event:int -> ?deadline:Wgrap_util.Timer.deadline -> reason -> string
+(** {!pp_reason} as text, optionally stamped with the service event
+    that triggered the re-solve and the milliseconds remaining on its
+    deadline — e.g. ["jra-bba: deadline expired [event=42
+    deadline-remaining=3ms]"]. This is the degradation line `wgrap
+    serve` returns and quarantines: a service answer must be
+    attributable to one event without correlating logs. *)
 
 val jra : ?ctx:Ctx.t -> Jra.problem -> Jra.solution outcome
 (** Best reviewer group for one paper. Without a deadline in [ctx] the

@@ -88,6 +88,93 @@ let poison ~rng fault vectors =
     vectors
   end
 
+type event_fault =
+  | Truncated_event
+  | Duplicated_event
+  | Out_of_order_id
+  | Corrupt_payload
+  | Mid_event_kill
+
+let event_faults =
+  [
+    Truncated_event;
+    Duplicated_event;
+    Out_of_order_id;
+    Corrupt_payload;
+    Mid_event_kill;
+  ]
+
+let event_fault_name = function
+  | Truncated_event -> "truncated-event"
+  | Duplicated_event -> "duplicated-event"
+  | Out_of_order_id -> "out-of-order-id"
+  | Corrupt_payload -> "corrupt-payload"
+  | Mid_event_kill -> "mid-event-kill"
+
+let corrupt_events ~rng fault lines =
+  match lines with
+  | [] -> lines
+  | _ -> (
+      let arr = Array.of_list lines in
+      let n = Array.length arr in
+      let pick () = Rng.int rng n in
+      match fault with
+      | Truncated_event ->
+          let i = pick () in
+          let len = String.length arr.(i) in
+          if len > 0 then arr.(i) <- String.sub arr.(i) 0 (Rng.int rng len);
+          Array.to_list arr
+      | Duplicated_event ->
+          (* the same event line shows up again later — a client retry
+             that must be rejected by the strictly-increasing-id guard,
+             or a replayed journal record skipped by its sequence *)
+          let i = pick () in
+          let j = i + Rng.int rng (n - i) in
+          List.concat
+            (List.mapi
+               (fun k line -> if k = j then [ line; arr.(i) ] else [ line ])
+               (Array.to_list arr))
+      | Out_of_order_id ->
+          if n < 2 then lines
+          else begin
+            let i = Rng.int rng (n - 1) in
+            let j = i + 1 + Rng.int rng (n - i - 1) in
+            let tmp = arr.(i) in
+            arr.(i) <- arr.(j);
+            arr.(j) <- tmp;
+            Array.to_list arr
+          end
+      | Corrupt_payload ->
+          let i = pick () in
+          let line = arr.(i) in
+          if String.length line > 0 then begin
+            let b = Bytes.of_string line in
+            let k = Rng.int rng (Bytes.length b) in
+            let flipped = Char.code (Bytes.get b k) lxor (1 lsl Rng.int rng 7) in
+            (* keep it a one-line fault: never forge a newline *)
+            Bytes.set b k
+              (Char.chr (if flipped = Char.code '\n' then flipped lxor 1 else flipped));
+            arr.(i) <- Bytes.to_string b
+          end;
+          Array.to_list arr
+      | Mid_event_kill ->
+          (* kill -9 mid-append: the victim line is torn partway through
+             and nothing after it ever reached disk *)
+          let i = pick () in
+          let keep = Array.to_list (Array.sub arr 0 i) in
+          let torn =
+            let len = String.length arr.(i) in
+            if len = 0 then [] else [ String.sub arr.(i) 0 (Rng.int rng len) ]
+          in
+          keep @ torn)
+
+let corrupt_event_stream ~rng ~faults lines =
+  let streams = Rng.split rng (List.length faults) in
+  List.fold_left
+    (fun (k, lines) fault -> (k + 1, corrupt_events ~rng:streams.(k) fault lines))
+    (0, lines) faults
+  |> snd
+
 type file_fault = Torn_write | Truncate_tail | Bit_flip
 
 let file_faults = [ Torn_write; Truncate_tail; Bit_flip ]

@@ -35,6 +35,40 @@ val poison :
   rng:Wgrap_util.Rng.t -> vector_fault -> float array array -> float array array
 (** A fresh copy of the matrix with one row degraded. *)
 
+(** {2 Event-stream faults}
+
+    The trust boundary added by [wgrap serve]: hostile or damaged event
+    streams — client protocol lines on the way in, journal records on
+    the way back. Each shape matches a real failure the service
+    contract must absorb: torn client writes, duplicate deliveries,
+    reordered ids, bit rot, and the SIGKILL-mid-append tail. *)
+
+type event_fault =
+  | Truncated_event  (** cut one event line short at a random byte *)
+  | Duplicated_event  (** replay one event line verbatim later *)
+  | Out_of_order_id  (** swap two event lines (ids arrive out of order) *)
+  | Corrupt_payload  (** flip one bit inside a line (never forging '\n') *)
+  | Mid_event_kill
+      (** kill -9 mid-append: one line torn partway, nothing after it *)
+
+val event_faults : event_fault list
+val event_fault_name : event_fault -> string
+
+val corrupt_events :
+  rng:Wgrap_util.Rng.t -> event_fault -> string list -> string list
+(** Apply one fault to an event stream's lines (no trailing newlines).
+    The victim is drawn from [rng]; empty input is returned unchanged. *)
+
+val corrupt_event_stream :
+  rng:Wgrap_util.Rng.t ->
+  faults:event_fault list ->
+  string list ->
+  string list
+(** Apply several faults in order, each drawing from its own
+    {!Wgrap_util.Rng.split} stream — adding or removing a fault from
+    [faults] does not perturb where the others strike, so a failing
+    seed stays minimal and reproducible. *)
+
 type file_fault =
   | Torn_write  (** drop everything after a random byte offset *)
   | Truncate_tail  (** lose a short suffix (a lost last record) *)

@@ -1,0 +1,70 @@
+(* Atomic, CRC-trailered text blobs: the generic half of the snapshot
+   discipline, for durable state that is not a solver checkpoint (the
+   resident service state of Wgrap_serve). Same atomicity contract as
+   {!Snapshot}: full image to a temp file, fsync, rename. *)
+
+type error = Missing | Corrupt of string
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+let with_trailer payload =
+  let payload =
+    if payload = "" || payload.[String.length payload - 1] = '\n' then payload
+    else payload ^ "\n"
+  in
+  (payload, payload ^ "crc " ^ Crc32.hex payload ^ "\n")
+
+let write ~path payload =
+  let _, image = with_trailer payload in
+  let tmp = path ^ ".tmp" in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      write_all fd image 0 (String.length image);
+      (* The fsync result is the write's verdict: if it raises, the
+         caller must treat the snapshot as not taken (serve mode turns
+         this into a degraded health report, never a silent success). *)
+      Unix.fsync fd);
+  Sys.rename tmp path
+
+let read path =
+  if not (Sys.file_exists path) then Error Missing
+  else
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error m -> Error (Corrupt m)
+    | data -> (
+        let len = String.length data in
+        if len = 0 then Error (Corrupt "empty blob")
+        else if data.[len - 1] <> '\n' then
+          Error (Corrupt "torn blob: missing final newline")
+        else
+          (* The crc line is the last line of the file; everything before
+             it (including its terminating newline) is the payload. *)
+          let before_last =
+            match String.rindex_from_opt data (len - 2) '\n' with
+            | Some i -> i + 1
+            | None -> 0
+          in
+          let trailer = String.sub data before_last (len - before_last - 1) in
+          let payload = String.sub data 0 before_last in
+          match
+            if String.length trailer >= 4 && String.sub trailer 0 4 = "crc "
+            then Some (String.sub trailer 4 (String.length trailer - 4))
+            else None
+          with
+          | None -> Error (Corrupt "torn blob: missing crc trailer")
+          | Some given ->
+              if String.lowercase_ascii given <> Crc32.hex payload then
+                Error (Corrupt "blob checksum mismatch")
+              else Ok payload)
+
+let error_message = function
+  | Missing -> "no blob file"
+  | Corrupt m -> m

@@ -1,0 +1,21 @@
+(** Atomic, CRC-trailered text blobs.
+
+    The generic half of the {!Snapshot} discipline for durable state
+    that is not a solver checkpoint: the full image goes to a temp file
+    in the same directory, is fsynced, then renamed over the live path,
+    and a trailing [crc <hex>] line covers every preceding byte. The
+    service snapshot of [Wgrap_serve] is stored this way. *)
+
+type error = Missing | Corrupt of string
+
+val write : path:string -> string -> unit
+(** Atomically replace [path] with the payload (a trailing newline is
+    added if missing) plus its CRC trailer. Raises on I/O failure —
+    including a failed fsync, which callers must surface rather than
+    treat as a taken snapshot. *)
+
+val read : string -> (string, error) result
+(** Read and checksum-verify; returns the payload (with its trailing
+    newline). Never raises. *)
+
+val error_message : error -> string

@@ -201,6 +201,20 @@ let journal_line e =
   let p = encode_event e in
   Crc32.hex p ^ "\t" ^ p
 
+let decode_event_payload payload =
+  match String.split_on_char ' ' payload with
+  | [ "stage"; k; s ] ->
+      let* stage = parse_int "stage" k in
+      let* score = parse_float "score" s in
+      Ok (Checkpoint.Stage_done { stage; score })
+  | [ "round"; k; s ] ->
+      let* round = parse_int "round" k in
+      let* score = parse_float "score" s in
+      Ok (Checkpoint.Round_improved { round; score })
+  | "link" :: rest when rest <> [] ->
+      Ok (Checkpoint.Link_entered { link = String.concat " " rest })
+  | _ -> Error (Printf.sprintf "journal record: unknown payload %S" payload)
+
 let decode_journal_line line =
   match String.index_opt line '\t' with
   | None -> Error "journal record: missing checksum field"
@@ -209,16 +223,4 @@ let decode_journal_line line =
       let payload = String.sub line (i + 1) (String.length line - i - 1) in
       if String.lowercase_ascii given <> Crc32.hex payload then
         Error "journal record: checksum mismatch"
-      else (
-        match String.split_on_char ' ' payload with
-        | [ "stage"; k; s ] ->
-            let* stage = parse_int "stage" k in
-            let* score = parse_float "score" s in
-            Ok (Checkpoint.Stage_done { stage; score })
-        | [ "round"; k; s ] ->
-            let* round = parse_int "round" k in
-            let* score = parse_float "score" s in
-            Ok (Checkpoint.Round_improved { round; score })
-        | "link" :: rest when rest <> [] ->
-            Ok (Checkpoint.Link_entered { link = String.concat " " rest })
-        | _ -> Error (Printf.sprintf "journal record: unknown payload %S" payload))
+      else decode_event_payload payload

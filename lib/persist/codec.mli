@@ -27,6 +27,12 @@ val journal_line : Wgrap.Checkpoint.event -> string
 (** One self-checksummed journal record: [crc32-hex TAB payload],
     without the trailing newline. *)
 
+val decode_event_payload :
+  string -> (Wgrap.Checkpoint.event, string) result
+(** Inverse of {!encode_event} — the payload half of
+    {!decode_journal_line}, after the checksum has been verified
+    (see {!Journal.Raw}). *)
+
 val decode_journal_line : string -> (Wgrap.Checkpoint.event, string) result
 (** Inverse of {!journal_line}; any checksum or parse failure is an
     [Error], which replay treats as a torn tail. *)

@@ -1,44 +1,89 @@
 module Checkpoint = Wgrap.Checkpoint
 
-type writer = { oc : out_channel }
+(* The raw line-record layer: everything the WAL guarantees (per-record
+   CRC, fsync-before-return, torn-tail truncation on replay) without
+   committing to a payload type. The solver-checkpoint journal below and
+   the service event log (Wgrap_serve.Durable) are both thin payload
+   codecs over this. *)
+module Raw = struct
+  type writer = { oc : out_channel }
 
-let open_writer path =
-  { oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path }
+  let open_writer path =
+    { oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path }
 
-let append w e =
-  output_string w.oc (Codec.journal_line e);
-  output_char w.oc '\n';
-  flush w.oc;
-  (* Durability before progress: an improvement is only "journaled" once
-     it survives a crash. Records are rare (improvements and link
-     transitions, not every round), so the fsync cost is negligible. *)
-  Unix.fsync (Unix.descr_of_out_channel w.oc)
+  let append w payload =
+    if String.contains payload '\n' then
+      invalid_arg "Journal.Raw.append: payload contains a newline";
+    output_string w.oc (Crc32.hex payload);
+    output_char w.oc '\t';
+    output_string w.oc payload;
+    output_char w.oc '\n';
+    flush w.oc;
+    (* Durability before progress: a record is only "journaled" once it
+       survives a crash. The fsync cost is the service's ack latency
+       floor, and it is not negotiable — an acked event must never be
+       lost. *)
+    Unix.fsync (Unix.descr_of_out_channel w.oc)
 
-let close_writer w = close_out w.oc
+  let close_writer w = close_out w.oc
+
+  type replayed = { payloads : string list; torn : bool }
+
+  let verify_line line =
+    match String.index_opt line '\t' with
+    | None -> Error "journal record: missing checksum field"
+    | Some i ->
+        let given = String.sub line 0 i in
+        let payload = String.sub line (i + 1) (String.length line - i - 1) in
+        if String.lowercase_ascii given <> Crc32.hex payload then
+          Error "journal record: checksum mismatch"
+        else Ok payload
+
+  let replay path =
+    if not (Sys.file_exists path) then { payloads = []; torn = false }
+    else
+      match In_channel.with_open_bin path In_channel.input_all with
+      | exception Sys_error _ -> { payloads = []; torn = true }
+      | data ->
+          let lines = String.split_on_char '\n' data in
+          (* A well-formed file ends with '\n', leaving one trailing ""
+             element; a missing one means the final record is torn, and
+             its checksum will reject it below anyway. *)
+          let rec go acc = function
+            | [] | [ "" ] -> { payloads = List.rev acc; torn = false }
+            | line :: rest -> (
+                match verify_line line with
+                | Ok p -> go (p :: acc) rest
+                | Error _ ->
+                    (* First bad record: truncate here. Anything after it
+                       is unordered w.r.t. the tear and cannot be
+                       trusted. *)
+                    { payloads = List.rev acc; torn = true })
+          in
+          go [] lines
+end
+
+type writer = Raw.writer
+
+let open_writer = Raw.open_writer
+let append w e = Raw.append w (Codec.encode_event e)
+let close_writer = Raw.close_writer
 
 type replayed = { events : Checkpoint.event list; torn : bool }
 
 let replay path =
-  if not (Sys.file_exists path) then { events = []; torn = false }
-  else
-    match In_channel.with_open_bin path In_channel.input_all with
-    | exception Sys_error _ -> { events = []; torn = true }
-    | data ->
-        let lines = String.split_on_char '\n' data in
-        (* A well-formed file ends with '\n', leaving one trailing ""
-           element; a missing one means the final record is torn, and
-           its checksum will reject it below anyway. *)
-        let rec go acc = function
-          | [] | [ "" ] -> { events = List.rev acc; torn = false }
-          | line :: rest -> (
-              match Codec.decode_journal_line line with
-              | Ok e -> go (e :: acc) rest
-              | Error _ ->
-                  (* First bad record: truncate here. Anything after it
-                     is unordered w.r.t. the tear and cannot be trusted. *)
-                  { events = List.rev acc; torn = true })
-        in
-        go [] lines
+  let { Raw.payloads; torn } = Raw.replay path in
+  (* A record whose checksum held but whose payload no longer parses is
+     treated exactly like a torn record: the prefix before it is the
+     trusted journal. *)
+  let rec go acc = function
+    | [] -> { events = List.rev acc; torn }
+    | p :: rest -> (
+        match Codec.decode_event_payload p with
+        | Ok e -> go (e :: acc) rest
+        | Error _ -> { events = List.rev acc; torn = true })
+  in
+  go [] payloads
 
 let last_incumbent events =
   List.fold_left

@@ -6,7 +6,39 @@
     mid-append loses at most the record being written, never the
     prefix. *)
 
-type writer
+(** The payload-agnostic record layer the typed journal is built on.
+    [Wgrap_serve.Durable] journals service events through this — same
+    CRC, same fsync-before-ack, same torn-tail semantics — with its own
+    payload codec. *)
+module Raw : sig
+  type writer
+
+  val open_writer : string -> writer
+  (** Open (creating if needed) in append mode. *)
+
+  val append : writer -> string -> unit
+  (** Write one self-checksummed record ([crc32-hex TAB payload]) and
+      fsync it. The payload must be newline-free ([Invalid_argument]
+      otherwise). Raises on I/O failure — callers decide whether that
+      disables checkpointing ({!Store}) or refuses the ack
+      ([Wgrap_serve]). *)
+
+  val close_writer : writer -> unit
+
+  type replayed = {
+    payloads : string list;  (** the verified prefix, in order *)
+    torn : bool;  (** a bad record was found and the tail discarded *)
+  }
+
+  val replay : string -> replayed
+  (** Never raises; a missing file is an empty, untorn journal. *)
+
+  val verify_line : string -> (string, string) result
+  (** Checksum-verify one record line (no trailing newline) and return
+      its payload. Exposed for tests and the CLI inspector. *)
+end
+
+type writer = Raw.writer
 
 val open_writer : string -> writer
 (** Open (creating if needed) in append mode; an interrupted run's

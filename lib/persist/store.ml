@@ -51,7 +51,11 @@ let disable t msg =
     t.disabled <- true;
     (match t.journal with
     (* best-effort: the store is being disabled because I/O already
-       failed; a second failure while closing has nothing to add *)
+       failed; a second failure while closing has nothing to add.
+       Audited for serve mode (PR 6): the original failure is recorded
+       in [t.disabled] (queryable via {!is_disabled}) before this
+       swallow runs, so the failed fsync is never re-branded a
+       success. *)
     | Some w -> ( (try Journal.close_writer w with _ -> ()) [@wgrap.allow "silent-catch"])
     | None -> ());
     t.journal <- None;
@@ -61,10 +65,18 @@ let disable t msg =
 let close t =
   (match t.journal with
   (* best-effort: checkpointing must never be the reason a run dies,
-     and on close the journal's data is already fsynced per append *)
+     and on close the journal's data is already fsynced per append.
+     Audited for serve mode (PR 6): this swallow is safe precisely
+     because append fsyncs — close never carries unflushed data — and
+     because a snapshot whose fsync failed has already flipped
+     [t.disabled] via [offer]'s handler, so a failure here cannot
+     retroactively turn into a silent success. Service-mode callers
+     must consult {!is_disabled} before trusting the store's record. *)
   | Some w -> ( (try Journal.close_writer w with _ -> ()) [@wgrap.allow "silent-catch"])
   | None -> ());
   t.journal <- None
+
+let is_disabled t = t.disabled
 
 let on_event t e =
   if not t.disabled then begin

@@ -36,6 +36,15 @@ val sink : t -> Wgrap.Checkpoint.sink
 
 val close : t -> unit
 
+val is_disabled : t -> bool
+(** Whether the store has degraded to a no-op after an I/O failure (a
+    failed journal append or snapshot fsync). Batch solves may ignore
+    this — checkpointing there is strictly best-effort — but service
+    mode must not: a disabled store means the last snapshot offer was
+    {e not} taken, and treating it as taken would violate the
+    durability contract. [Wgrap_serve] reports this through its
+    [health] response instead of trusting the sink silently. *)
+
 type load_error =
   | No_checkpoint  (** nothing stored — just run fresh, no reason to report *)
   | Invalid of string

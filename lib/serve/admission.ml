@@ -1,0 +1,62 @@
+type t = {
+  max_queue : int;
+  p99_limit_ms : float;
+  window : float array;
+  mutable filled : int;  (** samples recorded, capped at the window size *)
+  mutable next : int;  (** ring cursor *)
+  mutable shed : int;
+}
+
+let create ?(window = 256) ~max_queue ~p99_limit_ms () =
+  if window < 1 then invalid_arg "Admission.create: window must be >= 1";
+  if max_queue < 1 then invalid_arg "Admission.create: max_queue must be >= 1";
+  {
+    max_queue;
+    p99_limit_ms;
+    window = Array.make window 0.;
+    filled = 0;
+    next = 0;
+    shed = 0;
+  }
+
+let observe t ms =
+  t.window.(t.next) <- ms;
+  t.next <- (t.next + 1) mod Array.length t.window;
+  if t.filled < Array.length t.window then t.filled <- t.filled + 1
+
+let p99_ms t =
+  if t.filled = 0 then 0.
+  else begin
+    let sorted = Array.sub t.window 0 t.filled in
+    Array.sort compare sorted;
+    (* nearest-rank p99: the smallest sample >= 99% of the window *)
+    let rank = max 0 (int_of_float (ceil (0.99 *. float_of_int t.filled)) - 1) in
+    sorted.(min rank (t.filled - 1))
+  end
+
+let mean_ms t =
+  if t.filled = 0 then 0.
+  else begin
+    let s = ref 0. in
+    for i = 0 to t.filled - 1 do
+      s := !s +. t.window.(i)
+    done;
+    !s /. float_of_int t.filled
+  end
+
+type decision = Admit | Shed of int
+
+let decide t ~depth =
+  let overloaded =
+    depth >= t.max_queue
+    || (t.filled > 0 && p99_ms t > t.p99_limit_ms && depth >= (t.max_queue + 1) / 2)
+  in
+  if not overloaded then Admit
+  else begin
+    t.shed <- t.shed + 1;
+    let per_event = Float.max 1. (mean_ms t) in
+    let hint = int_of_float (ceil (float_of_int (max depth 1) *. per_event)) in
+    Shed (max 1 hint)
+  end
+
+let shed_count t = t.shed

@@ -1,0 +1,33 @@
+(** Overload protection for the event loop: a bounded admission queue
+    plus a p99-latency trip wire.
+
+    The server asks {!decide} before enqueueing each arriving event.
+    Past the queue bound — or past the latency threshold while the
+    queue is half full — the event is shed with a [busy
+    retry-after=<ms>] hint instead of growing an unbounded backlog.
+    Shedding is deliberately {e pre}-journal: a shed event was never
+    acknowledged, so it carries no durability obligation. *)
+
+type t
+
+val create : ?window:int -> max_queue:int -> p99_limit_ms:float -> unit -> t
+(** [window] (default 256) is the size of the latency ring buffer the
+    p99 estimate is computed over. *)
+
+val observe : t -> float -> unit
+(** Record one event's handling latency, in milliseconds. *)
+
+val p99_ms : t -> float
+(** Current 99th-percentile latency over the window; 0 when empty. *)
+
+val mean_ms : t -> float
+
+type decision = Admit | Shed of int  (** retry-after hint, milliseconds *)
+
+val decide : t -> depth:int -> decision
+(** [depth] is the current queue depth. The retry-after hint scales
+    with the backlog: roughly the time the present queue needs to
+    drain at the observed mean latency. *)
+
+val shed_count : t -> int
+(** Events shed so far (for [stats]). *)

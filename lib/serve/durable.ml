@@ -1,0 +1,144 @@
+module Journal = Wgrap_persist.Journal
+module Blob = Wgrap_persist.Blob
+
+let journal_path dir = Filename.concat dir "events.wal"
+let snapshot_path dir = Filename.concat dir "state.img"
+let quarantine_path dir = Filename.concat dir "quarantine.log"
+
+type t = {
+  dir : string;
+  mutable writer : Journal.Raw.writer option;
+  mutable journal_error : string option;
+  mutable snapshot_error : string option;
+  mutable quarantine_oc : out_channel option;
+  mutable quarantine_drops : int;
+}
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let describe_io = function
+  | Sys_error m -> m
+  | Unix.Unix_error (e, fn, arg) ->
+      Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e)
+  | e -> Printexc.to_string e
+
+let open_ ~dir =
+  try
+    mkdir_p dir;
+    Ok
+      {
+        dir;
+        writer = Some (Journal.Raw.open_writer (journal_path dir));
+        journal_error = None;
+        snapshot_error = None;
+        quarantine_oc = None;
+        quarantine_drops = 0;
+      }
+  with (Sys_error _ | Unix.Unix_error _) as e -> Error (describe_io e)
+
+let close_writer t =
+  match t.writer with
+  | None -> ()
+  | Some w ->
+      t.writer <- None;
+      (* best-effort: every durable record was fsynced by its append,
+         so a failing close has nothing left to lose *)
+      (try Journal.Raw.close_writer w with _ -> ())
+      [@wgrap.allow "silent-catch"]
+
+let append t payload =
+  let writer =
+    match t.writer with
+    | Some w -> Ok w
+    | None -> (
+        (* one reopen attempt per append — no retry loop; if the disk
+           is still broken the event is refused again *)
+        try
+          let w = Journal.Raw.open_writer (journal_path t.dir) in
+          t.writer <- Some w;
+          Ok w
+        with (Sys_error _ | Unix.Unix_error _) as e -> Error (describe_io e))
+  in
+  match writer with
+  | Error m ->
+      t.journal_error <- Some m;
+      Error ("journal reopen failed: " ^ m)
+  | Ok w -> (
+      try
+        Journal.Raw.append w payload;
+        t.journal_error <- None;
+        Ok ()
+      with (Sys_error _ | Unix.Unix_error _ | Invalid_argument _) as e ->
+        let m = describe_io e in
+        t.journal_error <- Some m;
+        close_writer t;
+        Error ("journal append failed: " ^ m))
+
+let snapshot t payload =
+  try
+    Blob.write ~path:(snapshot_path t.dir) payload;
+    t.snapshot_error <- None;
+    Ok ()
+  with (Sys_error _ | Unix.Unix_error _) as e ->
+    let m = describe_io e in
+    t.snapshot_error <- Some m;
+    Error m
+
+let journal_failed t = t.journal_error
+let snapshot_failed t = t.snapshot_error
+
+let quarantine t ~line ~reason raw =
+  try
+    let oc =
+      match t.quarantine_oc with
+      | Some oc -> oc
+      | None ->
+          let oc =
+            open_out_gen
+              [ Open_append; Open_creat; Open_wronly ]
+              0o644 (quarantine_path t.dir)
+          in
+          t.quarantine_oc <- Some oc;
+          oc
+    in
+    Printf.fprintf oc "line=%d reason=%S raw=%S\n" line reason raw;
+    flush oc
+  with Sys_error _ | Unix.Unix_error (_, _, _) ->
+    (* hostile input must never crash the loop, even on a dead disk;
+       the drop is still counted for [stats] *)
+    t.quarantine_drops <- t.quarantine_drops + 1;
+    (match t.quarantine_oc with
+    | Some oc ->
+        t.quarantine_oc <- None;
+        (try close_out_noerr oc with _ -> ()) [@wgrap.allow "silent-catch"]
+    | None -> ())
+
+let close t =
+  close_writer t;
+  match t.quarantine_oc with
+  | Some oc ->
+      t.quarantine_oc <- None;
+      close_out_noerr oc
+  | None -> ()
+
+type loaded = {
+  snapshot : string option;
+  snapshot_error : string option;
+  records : string list;
+  torn : bool;
+}
+
+let load ~dir =
+  let snapshot, snapshot_error =
+    match Blob.read (snapshot_path dir) with
+    | Ok payload -> (Some payload, None)
+    | Error Blob.Missing -> (None, None)
+    | Error (Blob.Corrupt m) -> (None, Some m)
+  in
+  let { Journal.Raw.payloads; torn } = Journal.Raw.replay (journal_path dir) in
+  { snapshot; snapshot_error; records = payloads; torn }

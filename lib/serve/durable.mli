@@ -1,0 +1,62 @@
+(** The service's durability layer: a {!Wgrap_persist.Journal.Raw}
+    event journal plus periodic {!Wgrap_persist.Blob} state snapshots
+    in one state directory.
+
+    Unlike the batch checkpoint {!Wgrap_persist.Store} — where I/O is
+    best-effort and a failing disk merely disables checkpointing — this
+    layer's errors are {e load-bearing}: an event whose journal append
+    fails is refused (never acknowledged), and a failed snapshot is
+    reported through [health] rather than swallowed. Both failure
+    states are sticky and queryable. *)
+
+type t
+
+val journal_path : string -> string
+(** [dir/events.wal] *)
+
+val snapshot_path : string -> string
+(** [dir/state.img] *)
+
+val quarantine_path : string -> string
+(** [dir/quarantine.log] — rejected input lines, one per line, with
+    line numbers and reasons. *)
+
+val open_ : dir:string -> (t, string) result
+(** Create the directory (with parents) and open the journal for
+    appending. *)
+
+val append : t -> string -> (unit, string) result
+(** Append one journal payload, fsynced, via {!Journal.Raw.append}.
+    [Error] means the record may not be durable — the caller must not
+    acknowledge the event. The writer is closed on failure and one
+    reopen is attempted on the next append (no retry loop). *)
+
+val snapshot : t -> string -> (unit, string) result
+(** Atomically replace the state snapshot ({!Blob.write}: temp file,
+    fsync, rename, CRC trailer). *)
+
+val journal_failed : t -> string option
+val snapshot_failed : t -> string option
+(** Last unrecovered failure of each path, for [health]. A later
+    success clears the flag. *)
+
+val quarantine : t -> line:int -> reason:string -> string -> unit
+(** Append one rejected raw line to the quarantine side file
+    (best-effort: quarantine I/O failures are counted but never fatal —
+    hostile input must not crash the loop even on a full disk). *)
+
+val close : t -> unit
+
+(** {2 Recovery} *)
+
+type loaded = {
+  snapshot : string option;  (** certified snapshot payload, if any *)
+  snapshot_error : string option;
+      (** a snapshot file existed but failed CRC/structure checks *)
+  records : string list;  (** verified journal payloads, in order *)
+  torn : bool;  (** the journal had a torn/corrupt tail, now discarded *)
+}
+
+val load : dir:string -> loaded
+(** Read back everything the directory holds. Never raises; a missing
+    directory is an empty history. *)

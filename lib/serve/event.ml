@@ -1,0 +1,290 @@
+type req =
+  | Paper_add of { paper : int; vec : float array }
+  | Paper_withdraw of { paper : int }
+  | Reviewer_join of { reviewer : int; vec : float array }
+  | Reviewer_leave of { reviewer : int }
+  | Coi_add of { paper : int; reviewer : int }
+  | Bid_update of { paper : int; reviewer : int; weight : float }
+
+type read = Query of int | Health | Stats
+
+type request = Mutate of req | Read of read
+
+type line = { id : int; request : request }
+
+let verb = function
+  | Paper_add _ -> "paper-add"
+  | Paper_withdraw _ -> "paper-withdraw"
+  | Reviewer_join _ -> "reviewer-join"
+  | Reviewer_leave _ -> "reviewer-leave"
+  | Coi_add _ -> "coi-add"
+  | Bid_update _ -> "bid-update"
+
+(* {1 Parsing} *)
+
+let ( let* ) = Result.bind
+
+(* Strict tokenizer: single spaces only. Doubled, leading or trailing
+   separators mean a malformed (possibly corrupted) line, and the
+   hostility contract says reject, not guess. *)
+let tokens s =
+  let parts = String.split_on_char ' ' s in
+  if List.exists (fun p -> p = "") parts then
+    Error "malformed field separators (empty field)"
+  else Ok parts
+
+let parse_nat what s =
+  match int_of_string_opt s with
+  | Some n when n >= 0 -> Ok n
+  | Some _ -> Error (Printf.sprintf "%s must be non-negative, got %s" what s)
+  | None -> Error (Printf.sprintf "%s is not an integer: %s" what s)
+
+let parse_weight what s =
+  match float_of_string_opt s with
+  | Some w when Float.is_finite w && w >= 0. -> Ok w
+  | Some _ -> Error (Printf.sprintf "%s must be finite and >= 0: %s" what s)
+  | None -> Error (Printf.sprintf "%s is not a number: %s" what s)
+
+let decode_vec s =
+  let parts = String.split_on_char ',' s in
+  let rec go acc i = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | p :: rest ->
+        let* w = parse_weight (Printf.sprintf "vector[%d]" i) p in
+        go (w :: acc) (i + 1) rest
+  in
+  go [] 0 parts
+
+let parse_vec ~dim s =
+  (* Length-check before element parsing so an oversized vector is
+     rejected in O(dim) regardless of payload size. *)
+  let commas = ref 0 in
+  String.iter (fun c -> if c = ',' then incr commas) s;
+  if !commas + 1 <> dim then
+    Error
+      (Printf.sprintf "vector has %d components, instance dimension is %d"
+         (!commas + 1) dim)
+  else decode_vec s
+
+let parse ~dim raw =
+  let* parts = tokens raw in
+  match parts with
+  | [] | [ _ ] -> Error "expected: <id> <verb> [args]"
+  | id :: rest -> (
+      let* id = parse_nat "event id" id in
+      let ok request = Ok { id; request } in
+      let mut r = ok (Mutate r) in
+      match rest with
+      | [ "paper-add"; p; v ] ->
+          let* paper = parse_nat "paper id" p in
+          let* vec = parse_vec ~dim v in
+          mut (Paper_add { paper; vec })
+      | [ "paper-withdraw"; p ] ->
+          let* paper = parse_nat "paper id" p in
+          mut (Paper_withdraw { paper })
+      | [ "reviewer-join"; r; v ] ->
+          let* reviewer = parse_nat "reviewer id" r in
+          let* vec = parse_vec ~dim v in
+          mut (Reviewer_join { reviewer; vec })
+      | [ "reviewer-leave"; r ] ->
+          let* reviewer = parse_nat "reviewer id" r in
+          mut (Reviewer_leave { reviewer })
+      | [ "coi-add"; p; r ] ->
+          let* paper = parse_nat "paper id" p in
+          let* reviewer = parse_nat "reviewer id" r in
+          mut (Coi_add { paper; reviewer })
+      | [ "bid-update"; p; r; w ] ->
+          let* paper = parse_nat "paper id" p in
+          let* reviewer = parse_nat "reviewer id" r in
+          let* weight = parse_weight "bid weight" w in
+          mut (Bid_update { paper; reviewer; weight })
+      | [ "query"; p ] ->
+          let* paper = parse_nat "paper id" p in
+          ok (Read (Query paper))
+      | [ "health" ] -> ok (Read Health)
+      | [ "stats" ] -> ok (Read Stats)
+      | v :: _ when int_of_string_opt v = None && String.length v <= 32 ->
+          Error (Printf.sprintf "unknown verb %S" v)
+      | _ -> Error "wrong number of arguments")
+
+let request_id raw =
+  match String.index_opt raw ' ' with
+  | Some i when i > 0 -> (
+      let tok = String.sub raw 0 i in
+      match int_of_string_opt tok with Some n when n >= 0 -> tok | _ -> "-")
+  | _ -> "-"
+
+(* {1 Journal entries} *)
+
+type op =
+  | Set_group of { paper : int; group : int list }
+  | Pend of int
+  | Unpend of int
+
+type entry =
+  | Client of { seq : int; id : int; req : req; ops : op list }
+  | Improve of { seq : int; ops : op list }
+
+let entry_seq = function Client { seq; _ } | Improve { seq; _ } -> seq
+let entry_ops = function Client { ops; _ } | Improve { ops; _ } -> ops
+
+let encode_vec v =
+  String.concat "," (List.map (Printf.sprintf "%h") (Array.to_list v))
+
+let encode_ids = function
+  | [] -> "-"
+  | ids -> String.concat "," (List.map string_of_int ids)
+
+let decode_ids what s =
+  if s = "-" then Ok []
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest ->
+          let* n = parse_nat what p in
+          go (n :: acc) rest
+    in
+    go [] (String.split_on_char ',' s)
+
+let encode_req = function
+  | Paper_add { paper; vec } ->
+      Printf.sprintf "paper-add %d %s" paper (encode_vec vec)
+  | Paper_withdraw { paper } -> Printf.sprintf "paper-withdraw %d" paper
+  | Reviewer_join { reviewer; vec } ->
+      Printf.sprintf "reviewer-join %d %s" reviewer (encode_vec vec)
+  | Reviewer_leave { reviewer } -> Printf.sprintf "reviewer-leave %d" reviewer
+  | Coi_add { paper; reviewer } ->
+      Printf.sprintf "coi-add %d %d" paper reviewer
+  | Bid_update { paper; reviewer; weight } ->
+      Printf.sprintf "bid-update %d %d %h" paper reviewer weight
+
+let encode_op = function
+  | Set_group { paper; group } ->
+      Printf.sprintf "set %d %s" paper (encode_ids group)
+  | Pend p -> Printf.sprintf "pend %d" p
+  | Unpend p -> Printf.sprintf "unpend %d" p
+
+let encode_ops ops = String.concat ";" (List.map encode_op ops)
+
+let encode_entry = function
+  | Client { seq; id; req; ops } ->
+      Printf.sprintf "s%d e%d %s => %s" seq id (encode_req req)
+        (encode_ops ops)
+  | Improve { seq; ops } ->
+      Printf.sprintf "s%d improve => %s" seq (encode_ops ops)
+
+let decode_op s =
+  match tokens s with
+  | Error _ as e -> e
+  | Ok [ "set"; p; ids ] ->
+      let* paper = parse_nat "op paper id" p in
+      let* group = decode_ids "op reviewer id" ids in
+      Ok (Set_group { paper; group })
+  | Ok [ "pend"; p ] ->
+      let* paper = parse_nat "op paper id" p in
+      Ok (Pend paper)
+  | Ok [ "unpend"; p ] ->
+      let* paper = parse_nat "op paper id" p in
+      Ok (Unpend paper)
+  | Ok _ -> Error (Printf.sprintf "unknown op %S" s)
+
+let decode_ops s =
+  if s = "" then Ok []
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest ->
+          let* op = decode_op p in
+          go (op :: acc) rest
+    in
+    go [] (String.split_on_char ';' s)
+
+let decode_req s =
+  (* Entry payloads passed the journal checksum, so [dim] consistency
+     is the state layer's concern: accept any well-formed vector. *)
+  match tokens s with
+  | Error _ as e -> e
+  | Ok parts -> (
+      match parts with
+      | [ "paper-add"; p; v ] ->
+          let* paper = parse_nat "paper id" p in
+          let* vec = decode_vec v in
+          Ok (Paper_add { paper; vec })
+      | [ "paper-withdraw"; p ] ->
+          let* paper = parse_nat "paper id" p in
+          Ok (Paper_withdraw { paper })
+      | [ "reviewer-join"; r; v ] ->
+          let* reviewer = parse_nat "reviewer id" r in
+          let* vec = decode_vec v in
+          Ok (Reviewer_join { reviewer; vec })
+      | [ "reviewer-leave"; r ] ->
+          let* reviewer = parse_nat "reviewer id" r in
+          Ok (Reviewer_leave { reviewer })
+      | [ "coi-add"; p; r ] ->
+          let* paper = parse_nat "paper id" p in
+          let* reviewer = parse_nat "reviewer id" r in
+          Ok (Coi_add { paper; reviewer })
+      | [ "bid-update"; p; r; w ] ->
+          let* paper = parse_nat "paper id" p in
+          let* reviewer = parse_nat "reviewer id" r in
+          let* weight = parse_weight "bid weight" w in
+          Ok (Bid_update { paper; reviewer; weight })
+      | _ -> Error (Printf.sprintf "unparseable journal request %S" s))
+
+let decode_entry payload =
+  let fail msg = Error (Printf.sprintf "journal entry: %s" msg) in
+  match String.index_opt payload ' ' with
+  | None -> fail "missing sequence field"
+  | Some sp -> (
+      let head = String.sub payload 0 sp in
+      let rest = String.sub payload (sp + 1) (String.length payload - sp - 1) in
+      if String.length head < 2 || head.[0] <> 's' then
+        fail "expected s<seq> prefix"
+      else
+        match
+          parse_nat "sequence" (String.sub head 1 (String.length head - 1))
+        with
+        | Error m -> fail m
+        | Ok seq -> (
+            (* split "<body> => <ops>" on the first " => " *)
+            let marker = " => " in
+            let mlen = String.length marker in
+            let rec find i =
+              if i + mlen > String.length rest then None
+              else if String.sub rest i mlen = marker then Some i
+              else find (i + 1)
+            in
+            match find 0 with
+            | None -> fail "missing => ops separator"
+            | Some i -> (
+                let body = String.sub rest 0 i in
+                let ops_s =
+                  String.sub rest (i + mlen) (String.length rest - i - mlen)
+                in
+                match decode_ops ops_s with
+                | Error m -> fail m
+                | Ok ops ->
+                    if body = "improve" then Ok (Improve { seq; ops })
+                    else
+                      match String.index_opt body ' ' with
+                      | None -> fail "missing event id"
+                      | Some j ->
+                          let ehead = String.sub body 0 j in
+                          let req_s =
+                            String.sub body (j + 1) (String.length body - j - 1)
+                          in
+                          if String.length ehead < 2 || ehead.[0] <> 'e' then
+                            fail "expected e<id> event field"
+                          else
+                            let* id =
+                              Result.map_error
+                                (fun m -> "journal entry: " ^ m)
+                                (parse_nat "event id"
+                                   (String.sub ehead 1 (String.length ehead - 1)))
+                            in
+                            let* req =
+                              Result.map_error
+                                (fun m -> "journal entry: " ^ m)
+                                (decode_req req_s)
+                            in
+                            Ok (Client { seq; id; req; ops }))))

@@ -1,0 +1,92 @@
+(** The `wgrap serve` line protocol and its journal-entry codec.
+
+    {2 Request grammar}
+
+    One event per line, space-separated, no empty fields:
+
+    {v
+    <id> paper-add <paper> <w0,w1,...,wD-1>
+    <id> paper-withdraw <paper>
+    <id> reviewer-join <reviewer> <w0,...,wD-1>
+    <id> reviewer-leave <reviewer>
+    <id> coi-add <paper> <reviewer>
+    <id> bid-update <paper> <reviewer> <weight>
+    <id> query <paper>
+    <id> health
+    <id> stats
+    v}
+
+    [<id>] is a client-chosen non-negative integer; mutating events must
+    carry strictly increasing ids (the duplicate/out-of-order guard).
+    Weights are non-negative finite decimals (hex float literals are
+    also accepted). Queries ([query]/[health]/[stats]) are reads: they
+    are answered from the resident state and never journaled.
+
+    {2 Journal entries}
+
+    The WAL records each accepted mutation {e together with the ops the
+    re-solve decided} ("log the decision, not the computation"): a
+    per-event re-solve runs under a wall-clock deadline, so replaying
+    the computation after a crash could diverge — replaying the
+    recorded ops cannot. Idle-time improvement passes journal their
+    deltas the same way, as [Improve] entries. Replay is therefore a
+    pure, deterministic fold of {!apply}ing entries in sequence. *)
+
+type req =
+  | Paper_add of { paper : int; vec : float array }
+  | Paper_withdraw of { paper : int }
+  | Reviewer_join of { reviewer : int; vec : float array }
+  | Reviewer_leave of { reviewer : int }
+  | Coi_add of { paper : int; reviewer : int }
+  | Bid_update of { paper : int; reviewer : int; weight : float }
+
+type read = Query of int | Health | Stats
+
+type request = Mutate of req | Read of read
+
+type line = { id : int; request : request }
+
+val parse : dim:int -> string -> (line, string) result
+(** Parse one request line. [dim] bounds and checks vector lengths —
+    an oversized or short vector is a protocol error, reported with a
+    human-readable reason (the caller prefixes the line number). Never
+    raises. *)
+
+val request_id : string -> string
+(** Best-effort extraction of the leading event id of a raw line, for
+    error/shed responses to lines that failed parsing ("-" when there
+    is none). *)
+
+val verb : req -> string
+(** The wire verb, e.g. ["paper-add"] — for logs and quarantine rows. *)
+
+(** {2 Outcome ops and journal entries} *)
+
+type op =
+  | Set_group of { paper : int; group : int list }
+      (** replace the paper's reviewer group (sorted ids) *)
+  | Pend of int  (** mark a paper as needing improvement attention *)
+  | Unpend of int  (** clear the mark *)
+
+type entry =
+  | Client of { seq : int; id : int; req : req; ops : op list }
+      (** an accepted client mutation and the ops its re-solve chose *)
+  | Improve of { seq : int; ops : op list }
+      (** an idle-time improvement delta *)
+
+val entry_seq : entry -> int
+val entry_ops : entry -> op list
+
+val encode_entry : entry -> string
+(** Canonical single-line journal payload. Floats are written as [%h]
+    hex literals so a replayed fold reproduces the resident state bit
+    for bit. Newline- and tab-free. *)
+
+val decode_entry : string -> (entry, string) result
+(** Inverse of {!encode_entry}. *)
+
+val encode_vec : float array -> string
+(** The [%h] comma-separated vector form shared with the state
+    snapshot codec. *)
+
+val decode_vec : string -> (float array, string) result

@@ -1,0 +1,118 @@
+(** The resident assignment state behind [wgrap serve], and the
+    plan/commit split that makes the WAL deterministic.
+
+    The state holds the live conference — papers, reviewers, conflicts,
+    bid weights, the current reviewer group of every paper, and the set
+    of papers {e pending} improvement attention — keyed by the client's
+    external ids.
+
+    Mutations go through two phases:
+
+    - {!plan} is {e pure}: it computes, under an optional wall-clock
+      deadline, the ops (group changes, pending marks) the event should
+      cause, running a minimal re-solve — {!Wgrap.Amend} when the dense
+      assignment is amendable, a single-paper {!Wgrap.Solver.jra}
+      otherwise, and a greedy hole-fill as the degraded backstop. The
+      result may depend on the wall clock; that is fine, because
+    - {!commit} applies a journal {e entry} (event + planned ops) and is
+      strictly deterministic: the same entry sequence folded over the
+      same initial state yields a bit-identical {!encode}. The server
+      journals the entry before committing it, so crash replay is a
+      pure fold.
+
+    {!commit} also re-checks the hard constraints (group sizes ≤
+    delta_p, workloads ≤ delta_r, no COI member, members exist) and
+    refuses an entry that violates them — a planner bug or a corrupted
+    journal fails loudly instead of silently breaking feasibility. *)
+
+type t
+
+val create : dim:int -> delta_p:int -> delta_r:int -> (t, string) result
+(** Empty state; validates [dim >= 1], [delta_p >= 1], [delta_r >= 1]. *)
+
+(** {2 Accessors} *)
+
+val dim : t -> int
+val delta_p : t -> int
+val delta_r : t -> int
+
+val applied : t -> int
+(** Sequence number of the last committed journal entry (0 = none). *)
+
+val last_client : t -> int
+(** Id of the last accepted client mutation (-1 = none); the
+    strictly-increasing-id guard compares against this. *)
+
+val n_papers : t -> int
+val n_reviewers : t -> int
+
+val pending : t -> int list
+(** Papers marked for improvement attention, ascending. *)
+
+val group : t -> int -> int list option
+(** Current reviewer group of a paper (ascending ids). *)
+
+type answer = {
+  group : int list;
+  score : float;  (** unweighted coverage of the group, for reporting *)
+  short : bool;  (** the group is below [delta_p] *)
+  is_pending : bool;
+}
+
+val query : t -> int -> answer option
+
+(** {2 Plan} *)
+
+val validate_req : t -> Event.req -> (unit, string) result
+(** Admission-time semantic validation (unknown/duplicate ids, vector
+    dimension, conflicted bid, ...). {!plan} assumes its input passed. *)
+
+type planned = { ops : Event.op list; reasons : Wgrap.Solver.reason list }
+(** [reasons] non-empty means the answer is degraded (deadline cut a
+    re-solve short, or an [Amend] repair fell back to greedy). *)
+
+val plan :
+  ?deadline:Wgrap_util.Timer.deadline -> t -> Event.req -> planned
+(** Pure; does not mutate [t]. Never raises. *)
+
+type improvement =
+  | Improved of Event.op list  (** journal these ops as an [Improve] entry *)
+  | Exhausted of int
+      (** nothing more can be done for this pending paper right now;
+          the caller should memoize it and ask again (memos reset on
+          the next mutation) *)
+  | Idle  (** no pending paper left unskipped *)
+
+val plan_improve :
+  ?deadline:Wgrap_util.Timer.deadline ->
+  skip:(int -> bool) ->
+  t ->
+  improvement
+(** One bounded improvement step for the first non-skipped pending
+    paper (ascending): refill a short group greedily, or re-solve a
+    degraded one and keep the better result. Pure; never raises. *)
+
+(** {2 Commit} *)
+
+val commit : t -> Event.entry -> (unit, string) result
+(** Apply one journal entry. The entry's sequence must be exactly
+    [applied t + 1] (else [Error], detecting journal gaps), client ids
+    must be strictly increasing, and the resulting state must satisfy
+    the hard constraints. On [Error] the state is unchanged. *)
+
+(** {2 Snapshot codec} *)
+
+val encode : t -> string
+(** Canonical, sorted, [%h]-float text image. Two states reached by the
+    same entry fold are byte-identical under [encode] — this is the
+    bit-exactness oracle the kill/resume tests diff. *)
+
+val decode : string -> (t, string) result
+(** Inverse of {!encode}, with full self-certification: structural
+    parse, then constraint re-validation (the same checks {!commit}
+    enforces). A snapshot that fails certification is rejected, never
+    resumed. *)
+
+val crc : t -> string
+(** CRC-32 hex of {!encode} — the short state digest used by soak
+    reports and the [--verify] oracle. *)

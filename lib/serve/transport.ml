@@ -1,0 +1,102 @@
+module Timer = Wgrap_util.Timer
+
+type t = {
+  fd : Unix.file_descr;
+  max_line : int;
+  buf : Buffer.t;  (** bytes read but not yet returned *)
+  mutable discarding : bool;  (** inside an oversized line, eating to '\n' *)
+  mutable eof : bool;
+}
+
+let of_fd ?(max_line = 65536) fd =
+  { fd; max_line; buf = Buffer.create 512; discarding = false; eof = false }
+
+type read = Line of string | Oversized | Timeout | Eof
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+(* Pull the first complete line out of the buffer, honouring the
+   oversized-discard state machine. *)
+let rec take_buffered t =
+  let data = Buffer.contents t.buf in
+  match String.index_opt data '\n' with
+  | Some i ->
+      Buffer.clear t.buf;
+      Buffer.add_substring t.buf data (i + 1) (String.length data - i - 1);
+      if t.discarding then begin
+        (* the tail of an oversized line: drop it and report once *)
+        t.discarding <- false;
+        Some Oversized
+      end
+      else if i > t.max_line then Some Oversized
+      else Some (Line (strip_cr (String.sub data 0 i)))
+  | None ->
+      if t.discarding then begin
+        (* still no newline: keep eating, bound the buffer *)
+        Buffer.clear t.buf;
+        None
+      end
+      else if Buffer.length t.buf > t.max_line then begin
+        t.discarding <- true;
+        take_buffered t
+      end
+      else None
+
+let read_line t ~timeout =
+  let deadline = Timer.deadline (Float.max 0. timeout) in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match take_buffered t with
+    | Some r -> r
+    | None ->
+        if t.eof then Eof
+        else begin
+          let wait = Timer.remaining deadline in
+          match Unix.select [ t.fd ] [] [] wait with
+          | [], _, _ -> Timeout
+          | _ -> (
+              match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+              | 0 ->
+                  t.eof <- true;
+                  (* a partial line at EOF is torn framing, not an event *)
+                  if t.discarding then begin
+                    t.discarding <- false;
+                    Oversized
+                  end
+                  else Eof
+              | n ->
+                  Buffer.add_subbytes t.buf chunk 0 n;
+                  go ()
+              | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                  if Timer.expired deadline then Timeout else go ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+              if Timer.expired deadline then Timeout else go ()
+        end
+  in
+  go ()
+
+let pending t =
+  (not t.discarding) && String.contains (Buffer.contents t.buf) '\n'
+
+let listen_unix ~path =
+  try
+    if Sys.file_exists path then Unix.unlink path;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 8;
+    Ok fd
+  with
+  | Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "socket %s: %s: %s" path fn (Unix.error_message e))
+  | Sys_error m -> Error (Printf.sprintf "socket %s: %s" path m)
+
+let accept lfd ~timeout =
+  match Unix.select [ lfd ] [] [] (Float.max 0. timeout) with
+  | [], _, _ -> None
+  | _ -> (
+      match Unix.accept lfd with
+      | fd, _ -> Some fd
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> None)
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> None

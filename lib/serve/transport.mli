@@ -1,0 +1,43 @@
+(** Deadline-aware line transport over a file descriptor.
+
+    This module owns every blocking read the service performs — the
+    event loop only ever calls {!read_line} with an explicit [timeout],
+    so a stuck peer can never wedge the loop past its next idle slice
+    (this ownership is enforced by the [unbounded-retry] lint rule:
+    blocking-read primitives in [lib/serve] outside this file are
+    findings).
+
+    Lines longer than [max_line] are discarded up to the next newline
+    and reported as [`Oversized] — an oversized event is rejected, it
+    is never truncated into a shorter, wrong event. A trailing ['\r']
+    is stripped (CRLF peers are tolerated); any other framing noise is
+    left for the protocol parser to reject. *)
+
+type t
+
+val of_fd : ?max_line:int -> Unix.file_descr -> t
+(** Wrap a descriptor (default [max_line] 65536 bytes). The descriptor
+    is owned by the caller. *)
+
+type read =
+  | Line of string  (** one complete line, newline stripped *)
+  | Oversized  (** a line exceeded [max_line] and was discarded *)
+  | Timeout  (** no complete line within [timeout] seconds *)
+  | Eof  (** peer closed; buffered partial data (if any) is dropped *)
+
+val read_line : t -> timeout:float -> read
+(** Wait at most [timeout] seconds (0 = poll) for the next line.
+    Buffered data is served without touching the descriptor. *)
+
+val pending : t -> bool
+(** Whether a complete line is already buffered (a {!read_line} with
+    any timeout would return it without blocking). *)
+
+(** {2 Unix-socket listener} *)
+
+val listen_unix : path:string -> (Unix.file_descr, string) result
+(** Bind and listen on a Unix-domain socket, replacing any stale socket
+    file at [path]. Returns the listening descriptor. *)
+
+val accept : Unix.file_descr -> timeout:float -> Unix.file_descr option
+(** Accept one client with a timeout; [None] on timeout. *)

@@ -1,0 +1,19 @@
+(* Fixture: a retry loop with a visible bound (attempt counter and
+   backoff) passes, and an allow attribute quiets the blocking-read arm
+   for code that owns its deadline some other way. Passed via
+   --serve-module like its bad twin. *)
+
+let read_one ic =
+  let rec retry attempts backoff =
+    if attempts = 0 then None
+    else
+      match (input_line [@wgrap.allow "unbounded-retry"]) ic with
+      | line -> Some line
+      | exception End_of_file ->
+          ignore backoff;
+          retry (attempts - 1) (backoff *. 2.)
+  in
+  retry 3 0.05
+
+let pump fd buf =
+  (Unix.read [@wgrap.allow "unbounded-retry"]) fd buf 0 (Bytes.length buf)

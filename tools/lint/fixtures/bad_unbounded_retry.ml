@@ -1,0 +1,19 @@
+(* Fixture: the unbounded-retry rule must flag (a) recursive retry loops
+   with no visible bound and (b) raw blocking reads in service code —
+   this file is passed via --serve-module to stand in for lib/serve. *)
+
+let read_one ic =
+  let rec retry () =
+    match input_line ic with
+    | line -> line
+    | exception End_of_file -> retry ()
+  in
+  retry ()
+
+let pump fd buf =
+  let rec reconnect () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> reconnect ()
+    | n -> n
+  in
+  reconnect ()

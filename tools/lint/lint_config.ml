@@ -38,6 +38,19 @@ let solver_modules =
     "lib/lap/mcmf.ml";
   ]
 
+(* Rule unbounded-retry: the service event loop must never block without
+   a deadline and never retry without a cap. Transport owns every
+   blocking read in lib/serve (it threads Timer deadlines through
+   Unix.select); anything else under [serve_dirs] reaching for a raw
+   blocking read is a hang waiting to happen. *)
+let serve_dirs = [ "lib/serve" ]
+let serve_transport_owners = [ "lib/serve/transport.ml" ]
+
+(* Extra files treated as serve modules for the unbounded-retry blocking
+   read check — set from the --serve-module flag so fixtures outside
+   lib/serve can exercise the rule. *)
+let extra_serve_modules : string list ref = ref []
+
 let solver_entry_names =
   [
     "solve"; "solve_flow"; "solve_rescan"; "solve_counting"; "solve_many";

@@ -13,3 +13,14 @@ let matches_suffix ~suffix path =
 
 let matches_any ~suffixes path =
   List.exists (fun suffix -> matches_suffix ~suffix path) suffixes
+
+(* Directory containment on component boundaries: "lib/serve" matches
+   "lib/serve/server.ml" and "repo/lib/serve/x.ml" but never
+   "lib/serves/x.ml" or "mylib/serve/x.ml". *)
+let contains_dir ~dir path =
+  let path = "/" ^ normalize path and dir = "/" ^ normalize dir ^ "/" in
+  let lp = String.length path and ld = String.length dir in
+  let rec scan i =
+    i + ld <= lp && (String.sub path i ld = dir || scan (i + 1))
+  in
+  scan 0

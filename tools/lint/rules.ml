@@ -153,5 +153,102 @@ let unsafe_array =
   in
   { name = "unsafe-array"; check }
 
+(* 7. unbounded-retry: two shapes that turn a transient fault into a
+   hang. (a) A recursive retry loop with no visible bound — a [let rec]
+   whose name says retry/reconnect/reopen/resend but whose body never
+   mentions an attempt counter, backoff, cap, or deadline. (b) A raw
+   blocking read inside the service event loop: everything under
+   lib/serve must take input through Transport, which threads a
+   Timer deadline through Unix.select; input_line / Unix.read / accept
+   anywhere else in serve code can block forever and stall the loop. *)
+let unbounded_retry =
+  let contains ~sub s =
+    let ls = String.length s and lb = String.length sub in
+    let rec scan i = i + lb <= ls && (String.sub s i lb = sub || scan (i + 1)) in
+    scan 0
+  in
+  let retryish name =
+    let name = String.lowercase_ascii name in
+    List.exists (fun sub -> contains ~sub name)
+      [ "retry"; "reconnect"; "reopen"; "resend" ]
+  in
+  let bound_words =
+    [ "attempt"; "backoff"; "cap"; "deadline"; "budget"; "tries"; "remaining";
+      "max"; "limit"; "restarts" ]
+  in
+  let mentions_bound body =
+    let found = ref false in
+    let it =
+      object
+        inherit Ast_traverse.iter as super
+
+        method! expression e =
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } ->
+              let last = List.hd (List.rev (Longident.flatten_exn txt)) in
+              let last = String.lowercase_ascii last in
+              if List.exists (fun sub -> contains ~sub last) bound_words then
+                found := true
+          | _ -> ());
+          super#expression e
+
+        method! pattern p =
+          (match p.ppat_desc with
+          | Ppat_var { txt; _ } ->
+              let txt = String.lowercase_ascii txt in
+              if List.exists (fun sub -> contains ~sub txt) bound_words then
+                found := true
+          | _ -> ());
+          super#pattern p
+      end
+    in
+    it#expression body;
+    !found
+  in
+  let is_serve_file file =
+    (List.exists (fun dir -> Lint_path.contains_dir ~dir file)
+       Lint_config.serve_dirs
+    || Lint_path.matches_any ~suffixes:!Lint_config.extra_serve_modules file)
+    && not
+         (Lint_path.matches_any ~suffixes:Lint_config.serve_transport_owners
+            file)
+  in
+  let check ctx (e : expression) =
+    (match e.pexp_desc with
+    | Pexp_let (Recursive, bindings, _) ->
+        List.iter
+          (fun vb ->
+            match vb.pvb_pat.ppat_desc with
+            | Ppat_var { txt; loc } when retryish txt ->
+                if not (mentions_bound vb.pvb_expr) then
+                  Ctx.report ctx ~loc ~rule:"unbounded-retry"
+                    (Printf.sprintf
+                       "recursive retry loop '%s' has no visible bound; cap \
+                        the attempts or thread a Timer deadline, and back off \
+                        between tries"
+                       txt)
+            | _ -> ())
+          bindings
+    | _ -> ());
+    if is_serve_file ctx.Ctx.file then
+      match e.pexp_desc with
+      | Pexp_ident { txt; loc } -> (
+          match Longident.flatten_exn txt with
+          | [ ("input_line" | "read_line") ]
+          | [ "Stdlib"; ("input_line" | "read_line") ]
+          | [ "Unix"; ("read" | "accept") ]
+          | [ "In_channel"; ("input_line" | "input_all" | "input_char") ] ->
+              Ctx.report ctx ~loc ~rule:"unbounded-retry"
+                "raw blocking read in service code; route input through \
+                 Wgrap_serve.Transport, which bounds every read with a Timer \
+                 deadline"
+          | _ -> ())
+      | _ -> ()
+  in
+  { name = "unbounded-retry"; check }
+
 let all =
-  [ wall_clock; raw_random; silent_catch; poly_compare; float_eq; unsafe_array ]
+  [
+    wall_clock; raw_random; silent_catch; poly_compare; float_eq; unsafe_array;
+    unbounded_retry;
+  ]

@@ -1,6 +1,6 @@
 (* wgrap_lint — static analysis for the wgrap contracts.
 
-   Usage: wgrap_lint [--solver-module PATH]... PATH...
+   Usage: wgrap_lint [--solver-module PATH]... [--serve-module PATH]... PATH...
 
    Each PATH is an .ml/.mli file or a directory walked recursively.
    Findings print as "file:line: [rule] message"; the exit status is 0
@@ -16,13 +16,18 @@
      poly-compare  no polymorphic compare/min/max on float operands
      float-eq      no (=)/(<>) on float expressions
      unsafe-array  no Array/Bytes/String.unsafe_* outside the kernels
+     unbounded-retry
+                   no recursive retry loop without a visible bound, and
+                   no raw blocking read in lib/serve outside Transport
      deadline      solver entry points accept ?deadline and reach a
                    Timer.check*/forwarded deadline
 
-   [--solver-module PATH] adds PATH to the deadline-rule targets on top
-   of the built-in project configuration (used by the fixture tests). *)
+   [--solver-module PATH] adds PATH to the deadline-rule targets and
+   [--serve-module PATH] to the unbounded-retry blocking-read targets,
+   on top of the built-in project configuration (used by fixtures). *)
 
-let usage = "usage: wgrap_lint [--solver-module PATH]... PATH..."
+let usage =
+  "usage: wgrap_lint [--solver-module PATH]... [--serve-module PATH]... PATH..."
 
 let rec walk path acc =
   if Sys.is_directory path then
@@ -81,7 +86,10 @@ let () =
     | "--solver-module" :: m :: rest ->
         extra_solver_modules := m :: !extra_solver_modules;
         parse_args rest
-    | "--solver-module" :: [] ->
+    | "--serve-module" :: m :: rest ->
+        Lint_config.extra_serve_modules := m :: !Lint_config.extra_serve_modules;
+        parse_args rest
+    | ("--solver-module" | "--serve-module") :: [] ->
         prerr_endline usage;
         exit 2
     | ("--help" | "-help") :: _ ->
