@@ -11,6 +11,21 @@ let rec write_all fd s off len =
     write_all fd s (off + n) (len - n)
   end
 
+(* A rename is only durable once the directory entry itself is on disk:
+   fsync the containing directory after renaming, or a power loss can
+   silently revert the path to the previous image. *)
+let fsync_dir path =
+  let fd = Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      try Unix.fsync fd
+      with Unix.Unix_error ((Unix.EINVAL | Unix.EBADF | Unix.EOPNOTSUPP), _, _) ->
+        (* some filesystems cannot fsync a directory; the rename is
+           still atomic there, the crash window just stays at its
+           pre-fsync width *)
+        ())
+
 let with_trailer payload =
   let payload =
     if payload = "" || payload.[String.length payload - 1] = '\n' then payload
@@ -32,7 +47,8 @@ let write ~path payload =
          caller must treat the snapshot as not taken (serve mode turns
          this into a degraded health report, never a silent success). *)
       Unix.fsync fd);
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  fsync_dir path
 
 let read path =
   if not (Sys.file_exists path) then Error Missing

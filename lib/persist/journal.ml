@@ -11,6 +11,10 @@ module Raw = struct
   let open_writer path =
     { oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path }
 
+  let record_bytes payload =
+    (* crc hex + '\t' + payload + '\n', exactly as [append] lays it out *)
+    String.length (Crc32.hex payload) + String.length payload + 2
+
   let append w payload =
     if String.contains payload '\n' then
       invalid_arg "Journal.Raw.append: payload contains a newline";
@@ -27,7 +31,7 @@ module Raw = struct
 
   let close_writer w = close_out w.oc
 
-  type replayed = { payloads : string list; torn : bool }
+  type replayed = { payloads : string list; torn : bool; valid_bytes : int }
 
   let verify_line line =
     match String.index_opt line '\t' with
@@ -40,27 +44,46 @@ module Raw = struct
         else Ok payload
 
   let replay path =
-    if not (Sys.file_exists path) then { payloads = []; torn = false }
+    if not (Sys.file_exists path) then
+      { payloads = []; torn = false; valid_bytes = 0 }
     else
       match In_channel.with_open_bin path In_channel.input_all with
-      | exception Sys_error _ -> { payloads = []; torn = true }
+      | exception Sys_error _ -> { payloads = []; torn = true; valid_bytes = 0 }
       | data ->
-          let lines = String.split_on_char '\n' data in
-          (* A well-formed file ends with '\n', leaving one trailing ""
-             element; a missing one means the final record is torn, and
-             its checksum will reject it below anyway. *)
-          let rec go acc = function
-            | [] | [ "" ] -> { payloads = List.rev acc; torn = false }
-            | line :: rest -> (
-                match verify_line line with
-                | Ok p -> go (p :: acc) rest
-                | Error _ ->
-                    (* First bad record: truncate here. Anything after it
-                       is unordered w.r.t. the tear and cannot be
-                       trusted. *)
-                    { payloads = List.rev acc; torn = true })
+          let n = String.length data in
+          (* [off] tracks the byte offset of the verified prefix's end —
+             the exact position a writer must be cut back to before it
+             may append after a tear. *)
+          let rec go acc off =
+            if off >= n then
+              { payloads = List.rev acc; torn = false; valid_bytes = off }
+            else
+              match String.index_from_opt data off '\n' with
+              | None ->
+                  (* Unterminated final line. Even when its checksum
+                     happens to verify, the record was never acked —
+                     the '\n' is part of what [append] fsyncs before
+                     returning — and a record appended after it would
+                     merge into this line and corrupt both. Torn. *)
+                  { payloads = List.rev acc; torn = true; valid_bytes = off }
+              | Some nl -> (
+                  match verify_line (String.sub data off (nl - off)) with
+                  | Ok p -> go (p :: acc) (nl + 1)
+                  | Error _ ->
+                      (* First bad record: stop here. Anything after it
+                         is unordered w.r.t. the tear and cannot be
+                         trusted. *)
+                      { payloads = List.rev acc; torn = true; valid_bytes = off })
           in
-          go [] lines
+          go [] 0
+
+  let truncate path bytes =
+    let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.ftruncate fd bytes;
+        Unix.fsync fd)
 end
 
 type writer = Raw.writer
@@ -72,7 +95,7 @@ let close_writer = Raw.close_writer
 type replayed = { events : Checkpoint.event list; torn : bool }
 
 let replay path =
-  let { Raw.payloads; torn } = Raw.replay path in
+  let { Raw.payloads; torn; valid_bytes = _ } = Raw.replay path in
   (* A record whose checksum held but whose payload no longer parses is
      treated exactly like a torn record: the prefix before it is the
      trusted journal. *)

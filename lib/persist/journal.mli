@@ -25,13 +25,33 @@ module Raw : sig
 
   val close_writer : writer -> unit
 
+  val record_bytes : string -> int
+  (** On-disk size of the record {!append} writes for a payload
+      (checksum, tab, payload, newline) — lets a caller account for the
+      durable byte offset without re-reading the file. *)
+
   type replayed = {
     payloads : string list;  (** the verified prefix, in order *)
     torn : bool;  (** a bad record was found and the tail discarded *)
+    valid_bytes : int;
+        (** byte length of the verified prefix — the offset a writer
+            must be truncated to before appending after a tear. An
+            unterminated final line is torn even when its checksum
+            verifies: its newline (part of what {!append} fsyncs before
+            returning) never reached disk, so it was never acked, and
+            appending after it would merge two records. *)
   }
 
   val replay : string -> replayed
   (** Never raises; a missing file is an empty, untorn journal. *)
+
+  val truncate : string -> int -> unit
+  (** [truncate path bytes]: ftruncate to [bytes] and fsync. Physically
+      discards a torn tail. Replay stops at the first bad record, so a
+      writer that appended {e after} one would strand every later
+      record — fsynced and acked or not — beyond any future replay's
+      reach; cutting back to the verified prefix first is what keeps
+      the acked-events-are-durable contract. Raises on I/O failure. *)
 
   val verify_line : string -> (string, string) result
   (** Checksum-verify one record line (no trailing newline) and return

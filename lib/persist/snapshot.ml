@@ -20,7 +20,9 @@ let write ~path st =
     (fun () ->
       write_all fd data 0 (String.length data);
       Unix.fsync fd);
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  (* the rename is durable only once the directory entry is on disk *)
+  Blob.fsync_dir path
 
 let read path =
   if not (Sys.file_exists path) then Error Missing

@@ -4,10 +4,15 @@ module Blob = Wgrap_persist.Blob
 let journal_path dir = Filename.concat dir "events.wal"
 let snapshot_path dir = Filename.concat dir "state.img"
 let quarantine_path dir = Filename.concat dir "quarantine.log"
+let torn_tail_path dir = Filename.concat dir "events.wal.torn"
 
 type t = {
   dir : string;
   mutable writer : Journal.Raw.writer option;
+  mutable durable_bytes : int;
+      (** byte length of the journal's verified record prefix — every
+          append lands exactly here, so a torn or half-written tail can
+          be cut back to this offset before the next write *)
   mutable journal_error : string option;
   mutable snapshot_error : string option;
   mutable quarantine_oc : out_channel option;
@@ -27,13 +32,54 @@ let describe_io = function
       Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e)
   | e -> Printexc.to_string e
 
+let file_size path =
+  if Sys.file_exists path then (Unix.stat path).Unix.st_size else 0
+
+(* Replay stops at the first bad record, so appending after a torn tail
+   would strand every later record — fsynced, acked, it does not
+   matter — beyond any future replay's reach (and a tail with no final
+   newline would merge the next record into the partial line). Cut the
+   file back to the verified prefix before the writer opens; the cut
+   bytes were never acked, but keep them in a side file for the
+   operator anyway. *)
+let cut_torn_tail ~dir ~valid_bytes =
+  let path = journal_path dir in
+  let size = file_size path in
+  if size > valid_bytes then begin
+    let tail =
+      (* one-shot recovery-time read of a local file, not a client
+         stream — a deadline would add nothing here *)
+      (In_channel.with_open_bin path (fun ic ->
+           In_channel.seek ic (Int64.of_int valid_bytes);
+           In_channel.input_all ic)
+       [@wgrap.allow "unbounded-retry"])
+    in
+    let oc =
+      open_out_gen
+        [ Open_append; Open_creat; Open_wronly ]
+        0o644 (torn_tail_path dir)
+    in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        Printf.fprintf oc "-- torn tail: %d bytes cut at offset %d --\n"
+          (String.length tail) valid_bytes;
+        output_string oc tail;
+        if tail <> "" && tail.[String.length tail - 1] <> '\n' then
+          output_char oc '\n');
+    Journal.Raw.truncate path valid_bytes
+  end
+
 let open_ ~dir =
   try
     mkdir_p dir;
+    let { Journal.Raw.valid_bytes; _ } = Journal.Raw.replay (journal_path dir) in
+    cut_torn_tail ~dir ~valid_bytes;
     Ok
       {
         dir;
         writer = Some (Journal.Raw.open_writer (journal_path dir));
+        durable_bytes = valid_bytes;
         journal_error = None;
         snapshot_error = None;
         quarantine_oc = None;
@@ -57,9 +103,14 @@ let append t payload =
     | Some w -> Ok w
     | None -> (
         (* one reopen attempt per append — no retry loop; if the disk
-           is still broken the event is refused again *)
+           is still broken the event is refused again. The failed
+           append may have left a partial record behind: cut back to
+           the durable prefix so the retry cannot land after it. *)
         try
-          let w = Journal.Raw.open_writer (journal_path t.dir) in
+          let path = journal_path t.dir in
+          if file_size path > t.durable_bytes then
+            Journal.Raw.truncate path t.durable_bytes;
+          let w = Journal.Raw.open_writer path in
           t.writer <- Some w;
           Ok w
         with (Sys_error _ | Unix.Unix_error _) as e -> Error (describe_io e))
@@ -71,6 +122,7 @@ let append t payload =
   | Ok w -> (
       try
         Journal.Raw.append w payload;
+        t.durable_bytes <- t.durable_bytes + Journal.Raw.record_bytes payload;
         t.journal_error <- None;
         Ok ()
       with (Sys_error _ | Unix.Unix_error _ | Invalid_argument _) as e ->
@@ -140,5 +192,7 @@ let load ~dir =
     | Error Blob.Missing -> (None, None)
     | Error (Blob.Corrupt m) -> (None, Some m)
   in
-  let { Journal.Raw.payloads; torn } = Journal.Raw.replay (journal_path dir) in
+  let { Journal.Raw.payloads; torn; valid_bytes = _ } =
+    Journal.Raw.replay (journal_path dir)
+  in
   { snapshot; snapshot_error; records = payloads; torn }

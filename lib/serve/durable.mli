@@ -21,15 +21,26 @@ val quarantine_path : string -> string
 (** [dir/quarantine.log] — rejected input lines, one per line, with
     line numbers and reasons. *)
 
+val torn_tail_path : string -> string
+(** [dir/events.wal.torn] — forensic copy of every torn/corrupt journal
+    tail that {!open_} physically cut off. *)
+
 val open_ : dir:string -> (t, string) result
 (** Create the directory (with parents) and open the journal for
-    appending. *)
+    appending. A torn or corrupt tail is physically truncated first
+    (the cut bytes are preserved in {!torn_tail_path}): replay stops at
+    the first bad record, so appending after one would strand every
+    later record — even fsynced, acked ones — beyond any future
+    replay's reach. The writer therefore always resumes exactly at the
+    end of the verified record prefix. *)
 
 val append : t -> string -> (unit, string) result
 (** Append one journal payload, fsynced, via {!Journal.Raw.append}.
     [Error] means the record may not be durable — the caller must not
     acknowledge the event. The writer is closed on failure and one
-    reopen is attempted on the next append (no retry loop). *)
+    reopen is attempted on the next append (no retry loop); the reopen
+    truncates any half-written record from the failed append back to
+    the durable prefix before writing. *)
 
 val snapshot : t -> string -> (unit, string) result
 (** Atomically replace the state snapshot ({!Blob.write}: temp file,
@@ -54,7 +65,9 @@ type loaded = {
   snapshot_error : string option;
       (** a snapshot file existed but failed CRC/structure checks *)
   records : string list;  (** verified journal payloads, in order *)
-  torn : bool;  (** the journal had a torn/corrupt tail, now discarded *)
+  torn : bool;
+      (** the journal has a torn/corrupt tail, excluded from [records].
+          [load] is read-only; the next {!open_} cuts it physically. *)
 }
 
 val load : dir:string -> loaded

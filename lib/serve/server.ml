@@ -406,24 +406,31 @@ let serve_socket ?max_clients t ~path =
 (* {1 Recovery} *)
 
 let fold_entries state records =
-  (* Replay verified journal payloads onto [state]; stop (don't fail)
-     at the first undecodable or uncommittable entry — everything past
-     it was never acknowledged with a successful commit. *)
-  let rec go n notes = function
-    | [] -> (n, notes)
+  (* Replay verified journal payloads onto [state]. A CRC-valid record
+     the fold cannot decode or commit poisons the journal: replay stops
+     there forever, so anything appended after it — fsynced, acked, it
+     does not matter — is unreachable by every future replay. The stop
+     is reported (reason + how many records are stranded behind it),
+     and callers must refuse to append past it rather than serve on.
+     [last_seq] is the highest entry seq the journal holds, committed
+     or snapshot-covered. *)
+  let rec go n last = function
+    | [] -> (n, last, None)
     | payload :: rest -> (
         match Event.decode_entry payload with
-        | Error m -> (n, notes @ [ Printf.sprintf "replay stopped: %s" m ])
+        | Error m ->
+            (n, last, Some (Printf.sprintf "an undecodable entry (%s)" m, rest))
         | Ok entry ->
             let seq = Event.entry_seq entry in
-            if seq <= State.applied state then go n notes rest
+            let last = max last seq in
+            if seq <= State.applied state then go n last rest
             else
               match State.commit state entry with
-              | Ok () -> go (n + 1) notes rest
+              | Ok () -> go (n + 1) last rest
               | Error m ->
-                  (n, notes @ [ Printf.sprintf "replay stopped at seq %d: %s" seq m ]))
+                  (n, last, Some (Printf.sprintf "seq %d (%s)" seq m, rest)))
   in
-  go 0 [] records
+  go 0 0 records
 
 let load_state cfg ~dir =
   let ( let* ) = Result.bind in
@@ -455,10 +462,38 @@ let load_state cfg ~dir =
             note "snapshot failed certification (%s); refolding journal" m;
             State.create ~dim:cfg.dim ~delta_p:cfg.delta_p ~delta_r:cfg.delta_r)
   in
-  let replayed, fold_notes = fold_entries base loaded.Durable.records in
-  note "replayed %d journal entries (state at seq %d)" replayed
-    (State.applied base);
-  Ok (base, !notes @ fold_notes)
+  let snap_seq = State.applied base in
+  let replayed, last_seq, stopped = fold_entries base loaded.Durable.records in
+  match stopped with
+  | Some (what, stranded) ->
+      (* serving on would append entries with seqs colliding with the
+         stranded records — fsynced, acked, and lost on the next
+         restart. Operator intervention, not silent loss. *)
+      Error
+        (Printf.sprintf
+           "journal replay stopped at %s with %d record(s) stranded after \
+            it; refusing to serve — events accepted now would be \
+            unreachable by every future replay. Repair or archive %s and \
+            restart"
+           what
+           (List.length stranded)
+           (Durable.journal_path dir))
+  | None ->
+      if snap_seq > last_seq then
+        (* the snapshot certifies events the journal no longer holds —
+           the signature of a lost acked prefix (deleted or truncated
+           journal). The fold oracle can never reach this state. *)
+        Error
+          (Printf.sprintf
+             "snapshot is at seq %d but the journal only reaches seq %d: \
+              acknowledged events are missing from the journal; refusing \
+              to serve on a history that cannot be replayed"
+             snap_seq last_seq)
+      else begin
+        note "replayed %d journal entries (state at seq %d)" replayed
+          (State.applied base);
+        Ok (base, !notes)
+      end
 
 let verify cfg ~dir =
   let ( let* ) = Result.bind in
@@ -466,19 +501,29 @@ let verify cfg ~dir =
   let* folded =
     State.create ~dim:cfg.dim ~delta_p:cfg.delta_p ~delta_r:cfg.delta_r
   in
-  let _, fold_notes = fold_entries folded loaded.Durable.records in
+  let _, _, fold_stop = fold_entries folded loaded.Durable.records in
+  let* () =
+    match fold_stop with
+    | Some (what, stranded) ->
+        Error
+          (Printf.sprintf
+             "verify: POISONED journal — fold stopped at %s with %d \
+              record(s) stranded after it"
+             what (List.length stranded))
+    | None -> Ok ()
+  in
   let* resumed, notes = load_state cfg ~dir in
   if State.applied folded < State.applied resumed then
-    (* a certified snapshot ahead of the verifiable journal prefix:
-       the fold oracle cannot reach it, so equality is not expected —
-       report instead of asserting *)
-    Ok
+    (* the recovered state certifies events the journal can no longer
+       replay — the exact signature of acked events lost past a tear,
+       the one scenario this oracle exists to flag. [load_state] already
+       refuses the common cases; this is the defensive backstop. *)
+    Error
       (Printf.sprintf
-         "verify: snapshot (seq %d) ahead of journal fold (seq %d); prefix \
-          check skipped%s"
-         (State.applied resumed) (State.applied folded)
-         (String.concat ""
-            (List.map (fun n -> "\n  note: " ^ n) (notes @ fold_notes))))
+         "verify: LOST PREFIX — snapshot state (seq %d) is ahead of the \
+          journal fold (seq %d); acknowledged events are unreachable \
+          (torn=%b)"
+         (State.applied resumed) (State.applied folded) loaded.Durable.torn)
   else if State.encode folded = State.encode resumed then
     Ok
       (Printf.sprintf
@@ -486,7 +531,7 @@ let verify cfg ~dir =
          (List.length loaded.Durable.records)
          (State.applied resumed) (State.crc resumed) loaded.Durable.torn
          (String.concat ""
-            (List.map (fun n -> "\n  note: " ^ n) (notes @ fold_notes))))
+            (List.map (fun n -> "\n  note: " ^ n) notes)))
   else
     Error
       (Printf.sprintf

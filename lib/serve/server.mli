@@ -107,9 +107,18 @@ val load_state : config -> dir:string -> (State.t * string list, string) result
 (** Recover state from a durable directory: certified snapshot (if
     any) plus replay of the verified journal tail. The string list
     carries human-readable recovery notes (torn tail truncated,
-    corrupt snapshot ignored and journal refolded, ...). *)
+    corrupt snapshot ignored and journal refolded, ...).
+
+    Refuses ([Error]) when serving on would lose acknowledged events:
+    a CRC-valid journal record the fold cannot decode or commit with
+    records stranded behind it (new appends would collide with the
+    stranded seqs and be unreachable by every future replay), or a
+    snapshot ahead of everything the journal holds (the acked prefix
+    is missing). Both need operator intervention, not silent loss. *)
 
 val verify : config -> dir:string -> (string, string) result
 (** The soak oracle: fold the whole journal from an empty state and
     independently recover via snapshot + tail replay; [Ok report] iff
-    both states are byte-identical under {!State.encode}. *)
+    both states are byte-identical under {!State.encode}. A poisoned
+    journal or a recovered state ahead of the journal fold (acked
+    events lost past a tear) is an [Error], never a skipped check. *)

@@ -812,6 +812,33 @@ let decode s =
                       else Ok ())
                     t.pending (Ok ())
                 in
+                (* pair state is purged on withdraw/leave and only ever
+                   admitted against live ids, so an orphaned coi/bid is
+                   unreachable by any legal fold — and a stale conflict
+                   smuggled in here would spring back to life if its
+                   paper id were later re-added *)
+                let* () =
+                  Hashtbl.fold
+                    (fun (p, r) () acc ->
+                      let* () = acc in
+                      if not (Hashtbl.mem t.papers p) then
+                        fail "coi (%d, %d) references unknown paper" p r
+                      else if not (Hashtbl.mem t.reviewers r) then
+                        fail "coi (%d, %d) references unknown reviewer" p r
+                      else Ok ())
+                    t.coi (Ok ())
+                in
+                let* () =
+                  Hashtbl.fold
+                    (fun (p, r) _ acc ->
+                      let* () = acc in
+                      if not (Hashtbl.mem t.papers p) then
+                        fail "bid (%d, %d) references unknown paper" p r
+                      else if not (Hashtbl.mem t.reviewers r) then
+                        fail "bid (%d, %d) references unknown reviewer" p r
+                      else Ok ())
+                    t.bids (Ok ())
+                in
                 Ok t
               end)
   | _ :: _ -> fail "bad magic line"

@@ -597,6 +597,152 @@ let test_socket_client_disconnect () =
       Alcotest.(check bool) "state verifies after disconnect" true
         (has_prefix ~prefix:"verify: ok" report))
 
+(* {1 Durability: torn tails, poisoned journals, lost prefixes} *)
+
+let append_bytes path s =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let serve_cfg () = Server.default ~dim:3 ~delta_p:2 ~delta_r:3
+
+(* The acked-events-are-durable regression: a torn tail must be
+   physically cut before the writer reopens. Without the cut, records
+   fsynced-and-acked after a --resume sit behind a record replay
+   refuses, and silently vanish on the *next* restart. *)
+let test_torn_tail_physically_truncated () =
+  with_dir (fun dir ->
+      let d = get_ok ~msg:"open" (Durable.open_ ~dir) in
+      get_ok ~msg:"append one" (Durable.append d "one");
+      get_ok ~msg:"append two" (Durable.append d "two");
+      Durable.close d;
+      (* kill -9 mid-append: a partial record, no trailing newline *)
+      append_bytes (Durable.journal_path dir) "deadbeef\thalf-a-rec";
+      let d2 = get_ok ~msg:"reopen" (Durable.open_ ~dir) in
+      get_ok ~msg:"append three" (Durable.append d2 "three");
+      Durable.close d2;
+      let loaded = Durable.load ~dir in
+      Alcotest.(check (list string))
+        "events acked after the tear survive the next replay"
+        [ "one"; "two"; "three" ] loaded.Durable.records;
+      Alcotest.(check bool) "journal is whole again" false loaded.Durable.torn;
+      Alcotest.(check bool) "cut bytes kept for the operator" true
+        (Sys.file_exists (Durable.torn_tail_path dir)))
+
+(* A tail that lost only its final newline still checksums — but the
+   newline is part of what append fsyncs before the ack, so the record
+   was never acknowledged, and appending after it would merge two
+   records into one corrupt line. *)
+let test_unterminated_tail_is_torn () =
+  with_dir (fun dir ->
+      let d = get_ok ~msg:"open" (Durable.open_ ~dir) in
+      get_ok ~msg:"append one" (Durable.append d "one");
+      Durable.close d;
+      append_bytes (Durable.journal_path dir)
+        (Wgrap_persist.Crc32.hex "two" ^ "\ttwo");
+      let loaded = Durable.load ~dir in
+      Alcotest.(check (list string)) "unterminated record not trusted"
+        [ "one" ] loaded.Durable.records;
+      Alcotest.(check bool) "flagged torn" true loaded.Durable.torn;
+      let d2 = get_ok ~msg:"reopen" (Durable.open_ ~dir) in
+      get_ok ~msg:"append three" (Durable.append d2 "three");
+      Durable.close d2;
+      Alcotest.(check (list string)) "no record merge after the cut"
+        [ "one"; "three" ] (Durable.load ~dir).Durable.records)
+
+(* A CRC-valid record the fold cannot decode poisons the journal:
+   records behind it are unreachable by every replay, so resuming (and
+   appending colliding seqs after it) must be refused, not papered
+   over. *)
+let test_resume_refuses_poisoned_journal () =
+  with_dir (fun dir ->
+      let config = serve_cfg () in
+      let d = get_ok ~msg:"open" (Durable.open_ ~dir) in
+      let t = get_ok ~msg:"create" (Server.create ~durable:d config) in
+      ignore (Server.handle_line t "1 reviewer-join 0 0.5,0.3,0.2" : string);
+      ignore (Server.handle_line t "2 paper-add 0 0.6,0.2,0.2" : string);
+      Durable.close d;
+      let w =
+        Wgrap_persist.Journal.Raw.open_writer (Durable.journal_path dir)
+      in
+      Wgrap_persist.Journal.Raw.append w "not-a-service-entry";
+      Wgrap_persist.Journal.Raw.append w
+        (Event.encode_entry (Event.Improve { seq = 3; ops = [] }));
+      Wgrap_persist.Journal.Raw.close_writer w;
+      (match Server.load_state config ~dir with
+      | Ok _ -> Alcotest.fail "resume served past a poisoned journal record"
+      | Error m ->
+          Alcotest.(check bool) "error counts the stranded records" true
+            (contains ~sub:"stranded" m));
+      match Server.verify config ~dir with
+      | Ok r -> Alcotest.failf "verify certified a poisoned journal: %s" r
+      | Error _ -> ())
+
+(* A snapshot ahead of everything the journal can replay is the
+   signature of a lost acked prefix — the integrity oracle must flag
+   it, and resume must refuse to build on it. *)
+let test_lost_prefix_refused () =
+  with_dir (fun dir ->
+      let config = { (serve_cfg ()) with Server.snapshot_every = 2 } in
+      let d = get_ok ~msg:"open" (Durable.open_ ~dir) in
+      let t = get_ok ~msg:"create" (Server.create ~durable:d config) in
+      List.iter
+        (fun l -> ignore (Server.handle_line t l : string))
+        [
+          "1 reviewer-join 0 0.5,0.3,0.2";
+          "2 reviewer-join 1 0.2,0.5,0.3";
+          "3 paper-add 0 0.6,0.2,0.2";
+          "4 paper-add 1 0.1,0.8,0.1";
+        ];
+      Durable.close d;
+      Alcotest.(check bool) "snapshot taken" true
+        (Sys.file_exists (Durable.snapshot_path dir));
+      (* the acked prefix vanishes wholesale (lost volume, zeroed file):
+         the snapshot now certifies events no replay can reach *)
+      Sys.remove (Durable.journal_path dir);
+      (match Server.verify config ~dir with
+      | Ok r -> Alcotest.failf "verify certified lost acked events: %s" r
+      | Error _ -> ());
+      match Server.load_state config ~dir with
+      | Ok _ ->
+          Alcotest.fail "resume built on a journal missing its acked prefix"
+      | Error m ->
+          Alcotest.(check bool) "names the missing events" true
+            (contains ~sub:"missing" m))
+
+(* Snapshot certification must also reject coi/bid pairs no legal fold
+   could hold: pair state is purged on withdraw/leave, so an orphan is
+   smuggled state (a stale conflict could spring back to life if its
+   paper id were re-added). *)
+let test_decode_rejects_orphan_pairs () =
+  let st = get_ok ~msg:"create" (State.create ~dim:3 ~delta_p:2 ~delta_r:3) in
+  let commit e = get_ok ~msg:"commit" (State.commit st e) in
+  commit
+    (Event.Client
+       {
+         seq = 1;
+         id = 1;
+         req = Event.Reviewer_join { reviewer = 0; vec = [| 0.5; 0.3; 0.2 |] };
+         ops = [];
+       });
+  commit
+    (Event.Client
+       {
+         seq = 2;
+         id = 2;
+         req = Event.Paper_add { paper = 0; vec = [| 0.6; 0.2; 0.2 |] };
+         ops = [ Event.Set_group { paper = 0; group = [ 0 ] } ];
+       });
+  let img = State.encode st in
+  (match State.decode img with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "clean image rejected: %s" m);
+  List.iter
+    (fun extra ->
+      match State.decode (img ^ extra ^ "\n") with
+      | Ok _ -> Alcotest.failf "image smuggling %S passed certification" extra
+      | Error _ -> ())
+    [ "coi 9 0"; "coi 0 9"; "bid 9 0 0x1p-1"; "bid 0 9 0x1p-1" ]
+
 (* {1 Kill/resume bit-exactness} *)
 
 (* Generate a plausible session as raw protocol lines. *)
@@ -709,10 +855,16 @@ let kill_resume_test =
                 true
             | _ -> false
           in
-          (* The soak oracle must hold under every fault. *)
+          (* The soak oracle must hold after a clean kill. An injected
+             file corruption may instead be *detected* (e.g. LOST
+             PREFIX when the snapshot is ahead of what the mangled
+             journal can still replay) — what it must never be is
+             silently certified. *)
           (match Server.verify config ~dir with
           | Ok _ -> ()
-          | Error e -> QCheck.Test.fail_reportf "verify after kill: %s" e);
+          | Error e ->
+              if not corrupted then
+                QCheck.Test.fail_reportf "verify after kill: %s" e);
           (* Without file corruption the resume is exactly the fold of
              the acknowledged prefix. *)
           if not corrupted then begin
@@ -777,6 +929,19 @@ let () =
           Alcotest.test_case "oversized line" `Quick test_run_loop_oversized;
           Alcotest.test_case "socket client disconnect survives" `Quick
             test_socket_client_disconnect;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "torn tail physically truncated" `Quick
+            test_torn_tail_physically_truncated;
+          Alcotest.test_case "unterminated tail never trusted" `Quick
+            test_unterminated_tail_is_torn;
+          Alcotest.test_case "poisoned journal refuses resume" `Quick
+            test_resume_refuses_poisoned_journal;
+          Alcotest.test_case "lost acked prefix refused" `Quick
+            test_lost_prefix_refused;
+          Alcotest.test_case "orphan coi/bid fail certification" `Quick
+            test_decode_rejects_orphan_pairs;
         ] );
       ("kill/resume", [ QCheck_alcotest.to_alcotest kill_resume_test ]);
     ]
