@@ -1,0 +1,285 @@
+(* PR 7 memory-wall bench: candidate-pruned SDGA against the dense
+   oracle. Emits machine-readable BENCH_PR7.json:
+
+     dune exec bench/prune_bench.exe -- --out BENCH_PR7.json
+     dune exec bench/prune_bench.exe -- --quick   (CI smoke profile)
+
+   Two parts:
+
+   - A k sweep over a synthetic conference preset (xl: 50k reviewers x
+     5k papers; quick: 3k x 300). Each pruned leg records SDGA
+     wall-clock, objective, allocated gain-matrix bytes, and the
+     process peak RSS (VmHWM). The dense leg runs last — on xl it is
+     the memory wall itself, so it runs under a wall-clock budget and
+     is reported with [timed_out] when the budget cut it short: its
+     wall-clock is then an honest *lower bound*, and the speedup ratio
+     an "at least" figure. The quick preset is small enough that the
+     dense leg completes genuinely.
+
+   - An in-process parity gate on the PR 2 T=250 workload (80 x 160,
+     20% sparsity), where dense and pruned both complete exactly:
+     pruned coverage must stay >= 0.99x dense, and k >= n_r must
+     reproduce the dense assignment bit-identically. The bench exits 1
+     if either fails, so CI catches a pruning-quality regression. *)
+
+module Rng = Wgrap_util.Rng
+module Timer = Wgrap_util.Timer
+module Pool = Wgrap_par.Pool
+module Synthetic = Dataset.Synthetic
+open Wgrap
+
+(* Peak/current RSS in kB from /proc/self/status ([None] off-Linux:
+   the JSON then reports -1 and the memory acceptance rests on
+   [matrix_bytes], which is portable). *)
+let proc_status_kb key =
+  let prefix = key ^ ":" in
+  let plen = String.length prefix in
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec scan () =
+            match input_line ic with
+            | exception End_of_file -> None
+            | line
+              when String.length line >= plen
+                   && String.equal (String.sub line 0 plen) prefix -> (
+                let body =
+                  String.sub line plen (String.length line - plen)
+                in
+                match
+                  List.filter
+                    (fun s -> String.length s > 0)
+                    (String.split_on_char ' ' (String.trim body))
+                with
+                | n :: _ -> int_of_string_opt n
+                | [] -> None)
+            | _ -> scan ()
+          in
+          scan ())
+
+let vm_hwm_kb () = Option.value (proc_status_kb "VmHWM") ~default:(-1)
+
+type leg = {
+  label : string;
+  k : int;  (** 0 = dense oracle *)
+  wall_s : float;
+  timed_out : bool;
+  coverage : float;
+  matrix_bytes : int;  (** gain rows actually allocated *)
+  vm_hwm_kb : int;  (** process-lifetime peak RSS after this leg *)
+}
+
+let run_leg ~inst ~seed ~budget_s ~k label =
+  let gm = Gain_matrix.create ~candidates:k inst in
+  let dl = Option.map Timer.deadline budget_s in
+  let ctx = Ctx.make ~seed ~gains:gm ?deadline:dl () in
+  let a, wall_s = Timer.time (fun () -> Sdga.solve ~ctx inst) in
+  let leg =
+    {
+      label;
+      k;
+      wall_s;
+      timed_out = Timer.expired_opt dl;
+      coverage = Assignment.coverage inst a;
+      matrix_bytes = Gain_matrix.matrix_bytes gm;
+      vm_hwm_kb = vm_hwm_kb ();
+    }
+  in
+  Printf.printf
+    "%-6s  k=%-5d  %8.2fs%s  coverage %.4f  matrix %.1f MB  VmHWM %d kB\n%!"
+    leg.label leg.k leg.wall_s
+    (if leg.timed_out then " (budget hit)" else "")
+    leg.coverage
+    (float_of_int leg.matrix_bytes /. 1e6)
+    leg.vm_hwm_kb;
+  leg
+
+(* The PR 2 T=250 parity workload (see bench/perf_pr2.ml): both paths
+   complete exactly here, so the objective ratio is a real measurement
+   rather than a budget artifact. Cheap enough (160 reviewers) that the
+   quick profile runs the same gate as the full one. *)
+let parity_shape = (80, 160, 3, 250)
+
+let parity_instance ~seed =
+  let n_p, n_r, delta_p, topics = parity_shape in
+  let rng = Rng.create seed in
+  let vec () =
+    let nnz =
+      max 1 (int_of_float (Float.round (0.20 *. float_of_int topics)))
+    in
+    let picked = Rng.sample_without_replacement rng nnz topics in
+    let v = Array.make topics 0. in
+    Array.iter (fun t -> v.(t) <- 0.05 +. Rng.uniform rng) picked;
+    Topic_vector.normalize v
+  in
+  let delta_r =
+    Instance.min_workload ~papers:n_p ~reviewers:n_r ~delta_p
+  in
+  Instance.create_exn
+    ~papers:(Array.init n_p (fun _ -> vec ()))
+    ~reviewers:(Array.init n_r (fun _ -> vec ()))
+    ~delta_p ~delta_r ()
+
+type parity = { pk : int; ratio : float }
+
+let run_parity ~seed =
+  let inst = parity_instance ~seed in
+  let n_r = Instance.n_reviewers inst in
+  let dense = Sdga.solve ~ctx:(Ctx.make ~seed ()) inst in
+  let dense_cov = Assignment.coverage inst dense in
+  let ks = [ 16; 32 ] in
+  let ratios =
+    List.map
+      (fun pk ->
+        let a = Sdga.solve ~ctx:(Ctx.make ~seed ~candidates:pk ()) inst in
+        let ratio = Assignment.coverage inst a /. dense_cov in
+        Printf.printf "parity  k=%-5d  coverage ratio %.6f\n%!" pk ratio;
+        { pk; ratio })
+      ks
+  in
+  let identical =
+    Assignment.equal dense
+      (Sdga.solve ~ctx:(Ctx.make ~seed ~candidates:n_r ()) inst)
+  in
+  Printf.printf "parity  k=n_r   bit-identical to dense: %b\n%!" identical;
+  (dense_cov, ratios, identical)
+
+let emit ~out ~quick ~seed ~budget_s ~preset ~legs ~dense_required
+    ~parity:(dense_cov, ratios, identical) =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"bench\": \"BENCH_PR7\",\n";
+  add "  \"mode\": \"%s\",\n" (if quick then "quick" else "full");
+  add "  \"seed\": %d,\n" seed;
+  add "  \"ocaml\": \"%s\",\n" Sys.ocaml_version;
+  add "  \"host_cores\": %d,\n" (Pool.recommended_jobs ());
+  add
+    "  \"preset\": {\"name\": \"%s\", \"n_reviewers\": %d, \"n_papers\": %d, \
+     \"n_topics\": %d, \"delta_p\": %d, \"delta_r\": %d},\n"
+    preset.Synthetic.preset_name preset.Synthetic.n_reviewers
+    preset.Synthetic.n_papers preset.Synthetic.n_topics
+    preset.Synthetic.delta_p preset.Synthetic.delta_r;
+  (match budget_s with
+  | Some b -> add "  \"dense_budget_s\": %.1f,\n" b
+  | None -> add "  \"dense_budget_s\": null,\n");
+  add "  \"dense_matrix_bytes_required\": %d,\n" dense_required;
+  add "  \"legs\": [\n";
+  List.iteri
+    (fun i l ->
+      add
+        "    {\"label\": \"%s\", \"k\": %d, \"wall_s\": %.4f, \"timed_out\": \
+         %b, \"coverage\": %.9f, \"matrix_bytes\": %d, \"vm_hwm_kb\": %d}%s\n"
+        l.label l.k l.wall_s l.timed_out l.coverage l.matrix_bytes l.vm_hwm_kb
+        (if i = List.length legs - 1 then "" else ","))
+    legs;
+  add "  ],\n";
+  (* Acceptance summary against the widest pruned leg: dense memory is
+     what the dense backing *requires*; dense time is a lower bound
+     whenever the budget cut it short. *)
+  let dense_leg = List.find (fun l -> l.k = 0) legs in
+  let widest =
+    List.fold_left
+      (fun acc l -> if l.k > 0 && l.k >= acc.k then l else acc)
+      (List.hd legs)
+      (List.tl legs)
+  in
+  add "  \"summary\": {\"widest_pruned_k\": %d,\n" widest.k;
+  add "    \"memory_ratio_vs_dense\": %.1f,\n"
+    (float_of_int dense_required /. float_of_int (max 1 widest.matrix_bytes));
+  add "    \"wall_ratio_vs_dense\": %.1f,\n" (dense_leg.wall_s /. widest.wall_s);
+  add "    \"wall_ratio_is_lower_bound\": %b},\n" dense_leg.timed_out;
+  (let p, r, _, t = parity_shape in
+   add "  \"parity\": {\"workload\": \"perf_pr2 T=%d %dx%d sparsity 0.20\",\n" t
+     p r);
+  add "    \"dense_coverage\": %.9f,\n" dense_cov;
+  add "    \"ratios\": [%s],\n"
+    (String.concat ", "
+       (List.map
+          (fun p -> Printf.sprintf "{\"k\": %d, \"ratio\": %.6f}" p.pk p.ratio)
+          ratios));
+  add "    \"k_ge_nr_identical\": %b}\n" identical;
+  add "}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
+let run ~quick ~seed ~budget ~out =
+  let preset = if quick then Synthetic.quick_preset else Synthetic.xl_preset in
+  Printf.printf "preset %s: %d reviewers x %d papers, %d topics\n%!"
+    preset.Synthetic.preset_name preset.Synthetic.n_reviewers
+    preset.Synthetic.n_papers preset.Synthetic.n_topics;
+  let inst, build_s =
+    Timer.time (fun () -> Synthetic.instance_of_preset ~seed preset)
+  in
+  Printf.printf "instance + inverted index built in %.2fs\n%!" build_s;
+  let ks = if quick then [ 8 ] else [ 8; 16; 32 ] in
+  let pruned_legs =
+    List.map
+      (fun k ->
+        run_leg ~inst ~seed ~budget_s:None ~k (Printf.sprintf "k%d" k))
+      ks
+  in
+  (* Dense last so each pruned leg's VmHWM is untouched by the dense
+     allocation spike. *)
+  let budget_s = if quick then None else Some budget in
+  let dense_leg = run_leg ~inst ~seed ~budget_s ~k:0 "dense" in
+  let legs = pruned_legs @ [ dense_leg ] in
+  let dense_required =
+    8 * preset.Synthetic.n_papers * preset.Synthetic.n_reviewers
+  in
+  let parity = run_parity ~seed in
+  emit ~out ~quick ~seed ~budget_s ~preset ~legs ~dense_required ~parity;
+  let _, ratios, identical = parity in
+  let bad = List.filter (fun p -> p.ratio < 0.99) ratios in
+  if bad <> [] then begin
+    List.iter
+      (fun p ->
+        Printf.eprintf "PARITY FAILURE: k=%d coverage ratio %.6f < 0.99\n" p.pk
+          p.ratio)
+      bad;
+    exit 1
+  end;
+  if not identical then begin
+    prerr_endline "PARITY FAILURE: k >= n_r is not bit-identical to dense";
+    exit 1
+  end
+
+open Cmdliner
+
+let quick_flag =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:"CI smoke profile: quick preset, k=8 vs a genuine dense run.")
+
+let seed_arg =
+  Arg.(value & opt int 2015 & info [ "seed" ] ~docv:"SEED" ~doc:"Instance seed.")
+
+let budget_arg =
+  Arg.(
+    value & opt float 300.
+    & info [ "dense-budget" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget for the dense leg of the full profile (its \
+           wall-clock becomes a lower bound when hit).")
+
+let out_arg =
+  Arg.(
+    value
+    & opt string "BENCH_PR7.json"
+    & info [ "out" ] ~docv:"PATH" ~doc:"Output JSON path.")
+
+let cmd =
+  let doc = "Candidate-pruning benchmark: memory wall and parity (PR 7)" in
+  Cmd.v
+    (Cmd.info "prune_bench" ~doc)
+    Term.(
+      const (fun quick seed budget out -> run ~quick ~seed ~budget ~out)
+      $ quick_flag $ seed_arg $ budget_arg $ out_arg)
+
+let () = exit (Cmd.eval cmd)

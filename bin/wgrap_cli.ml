@@ -104,7 +104,8 @@ let pool_of_jobs jobs =
   else Wgrap_par.Pool.create ~jobs:requested
 
 let assign ~seed ~authors_path ~papers_path ~dataset ~delta_p ~refine ~budget
-    ~jobs ~lenient ~strict ~out ~checkpoint_dir ~checkpoint_every ~resume =
+    ~jobs ~candidates ~lenient ~strict ~out ~checkpoint_dir ~checkpoint_every
+    ~resume =
   let corpus = load_corpus ~lenient authors_path papers_path in
   let spec =
     match Dataset.Datasets.find dataset with
@@ -177,7 +178,7 @@ let assign ~seed ~authors_path ~papers_path ~dataset ~delta_p ~refine ~budget
   in
   let checkpoint = Option.map Wgrap_persist.Store.sink store in
   let ctx =
-    Solver.Ctx.make ?budget ~seed ?checkpoint ?resume_from
+    Solver.Ctx.make ?budget ~seed ?checkpoint ?resume_from ~candidates
       ~pool:(pool_of_jobs jobs) ()
   in
   let outcome, dt = Timer.time (fun () -> Solver.cra ~refine ~ctx inst) in
@@ -534,6 +535,17 @@ let assign_cmd =
              core. Ignored (with a warning) on builds without the \
              multicore runtime.")
   in
+  let candidates =
+    Arg.(
+      value & opt int 0
+      & info [ "candidates" ] ~docv:"K"
+          ~doc:
+            "Candidate pruning: solve over the top-$(docv) reviewers per \
+             paper from the inverted topic index, allocating gain rows \
+             lazily (O(papers x $(docv)) bytes) instead of the full papers \
+             x reviewers matrix. $(b,0) (the default) keeps the exact dense \
+             path.")
+  in
   let out =
     Arg.(
       value & opt string "-"
@@ -544,13 +556,14 @@ let assign_cmd =
     Term.(
       const
         (fun seed authors_path papers_path dataset delta_p no_refine budget
-             jobs lenient strict out checkpoint_dir checkpoint_every resume ->
+             jobs candidates lenient strict out checkpoint_dir checkpoint_every
+             resume ->
           assign ~seed ~authors_path ~papers_path ~dataset ~delta_p
-            ~refine:(not no_refine) ~budget ~jobs ~lenient ~strict ~out
-            ~checkpoint_dir ~checkpoint_every ~resume)
+            ~refine:(not no_refine) ~budget ~jobs ~candidates ~lenient ~strict
+            ~out ~checkpoint_dir ~checkpoint_every ~resume)
       $ seed_arg $ authors_arg $ papers_arg $ dataset $ delta_p $ no_refine
-      $ budget_arg $ jobs $ lenient_arg $ strict_arg $ out $ checkpoint_dir_arg
-      $ checkpoint_every_arg $ resume_arg)
+      $ budget_arg $ jobs $ candidates $ lenient_arg $ strict_arg $ out
+      $ checkpoint_dir_arg $ checkpoint_every_arg $ resume_arg)
 
 let checkpoint_cmd =
   let dir =

@@ -5,14 +5,26 @@ type change = {
 
 (* Refill every short paper against [inst], with [banned] reviewers
    excluded outright. One Stage round adds one reviewer per short paper;
-   papers that lost several reviewers take several rounds. *)
-let refill inst base ~touched ~banned =
+   papers that lost several reviewers take several rounds. When a shared
+   [gains] matrix rides along (the resident serve state passes one so
+   consecutive events reuse warm rows), its group state is synced to
+   [base] for the touched papers up front — rows of papers whose group
+   did not actually change keep their version and are never recomputed
+   — and maintained pair by pair as the refill commits. *)
+let refill ?gains inst base ~touched ~banned =
   let short () =
     List.filter
       (fun p ->
         List.length (Assignment.group base p) < inst.Instance.delta_p)
       touched
   in
+  (match gains with
+  | None -> ()
+  | Some gm ->
+      Gain_matrix.rebind gm inst;
+      List.iter
+        (fun p -> Gain_matrix.set_group gm ~paper:p (Assignment.group base p))
+        touched);
   let n_r = Instance.n_reviewers inst in
   let rec rounds () =
     match short () with
@@ -24,10 +36,14 @@ let refill inst base ~touched ~banned =
               if banned r then 0
               else max 0 (inst.Instance.delta_r - workload.(r)))
         in
-        match Stage.solve ~papers inst ~current:base ~capacity with
+        match Stage.solve ?gains ~papers inst ~current:base ~capacity with
         | pairs ->
             List.iter
-              (fun (p, r) -> Assignment.add base ~paper:p ~reviewer:r)
+              (fun (p, r) ->
+                Assignment.add base ~paper:p ~reviewer:r;
+                match gains with
+                | Some gm -> Gain_matrix.add gm ~paper:p ~reviewer:r
+                | None -> ())
               pairs;
             rounds ()
         | exception Failure _ ->
@@ -35,7 +51,7 @@ let refill inst base ~touched ~banned =
   in
   rounds ()
 
-let withdraw_reviewer inst assignment ~reviewer =
+let withdraw_reviewer ?gains inst assignment ~reviewer =
   if reviewer < 0 || reviewer >= Instance.n_reviewers inst then
     Error "reviewer index out of range"
   else begin
@@ -52,10 +68,11 @@ let withdraw_reviewer inst assignment ~reviewer =
               affected := p :: !affected
             end)
           base.Assignment.groups;
-        refill inst base ~touched:!affected ~banned:(fun r -> r = reviewer)
+        refill ?gains inst base ~touched:!affected
+          ~banned:(fun r -> r = reviewer)
   end
 
-let add_coi inst assignment pairs =
+let add_coi ?gains inst assignment pairs =
   match Instance.add_coi inst pairs with
   | Error e -> Error e
   | Ok inst' -> (
@@ -74,4 +91,8 @@ let add_coi inst assignment pairs =
             (List.sort_uniq compare pairs);
           Result.map
             (fun change -> (inst', change))
-            (refill inst' base ~touched:!affected ~banned:(fun _ -> false)))
+            (* [refill] rebinds [gains] onto the constrained instance —
+               shape-identical, so every warm row survives (raw gains
+               never read the COI mask). *)
+            (refill ?gains inst' base ~touched:!affected
+               ~banned:(fun _ -> false)))

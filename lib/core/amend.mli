@@ -11,14 +11,26 @@ type change = {
 }
 
 val withdraw_reviewer :
-  Instance.t -> Assignment.t -> reviewer:int -> (change, string) result
+  ?gains:Gain_matrix.t ->
+  Instance.t ->
+  Assignment.t ->
+  reviewer:int ->
+  (change, string) result
 (** Remove every pair of [reviewer] and refill the affected papers with
     one Stage-WGRAP assignment over the remaining spare workloads
     (excluding the withdrawn reviewer entirely). Errors if the input is
     infeasible, the reviewer index is out of range, or no feasible
-    refill exists (capacity genuinely exhausted). *)
+    refill exists (capacity genuinely exhausted).
+
+    [gains], when given, must be shaped for [inst] (same paper/reviewer
+    counts); it is rebound onto the instance, its group state synced to
+    the post-removal groups of the affected papers, and maintained
+    through the refill — so a resident caller ([wgrap serve]) amortizes
+    gain rows across consecutive events instead of recomputing them per
+    event. *)
 
 val add_coi :
+  ?gains:Gain_matrix.t ->
   Instance.t ->
   Assignment.t ->
   (int * int) list ->
@@ -26,4 +38,7 @@ val add_coi :
 (** Register late conflicts ([(paper, reviewer)] pairs), drop any
     assigned pair they invalidate, and refill the affected papers under
     the {e new} instance. Returns the updated instance alongside the
-    repair. Pairs not currently assigned just become constraints. *)
+    repair. Pairs not currently assigned just become constraints.
+    [gains] as in {!withdraw_reviewer}; it is rebound onto the {e new}
+    instance (same shape, so warm rows survive — gain rows never read
+    the COI mask). *)

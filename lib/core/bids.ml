@@ -73,11 +73,11 @@ let pair_gain t ~lambda ~dp ~paper ~reviewer ~coverage_gain =
   (lambda *. coverage_gain)
   +. ((1. -. lambda) *. bid t ~paper ~reviewer /. float_of_int dp)
 
-let sdga ?(lambda = 0.7) inst t =
+let sdga ?(lambda = 0.7) ?(candidates = 0) inst t =
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
   let dp = inst.Instance.delta_p in
   let assignment = Assignment.empty ~n_papers:n_p in
-  let gm = Gain_matrix.create inst in
+  let gm = Gain_matrix.create ~candidates inst in
   let used = Array.make n_r 0 in
   let per_stage = Instance.stage_capacity inst in
   let gain = pair_gain t ~lambda ~dp in
@@ -103,13 +103,42 @@ let sdga ?(lambda = 0.7) inst t =
   done;
   assignment
 
-let refine ?(lambda = 0.7) ?(params = Sra.default_params) ~rng inst t start =
+let refine ?(lambda = 0.7) ?(params = Sra.default_params) ?(candidates = 0)
+    ~rng inst t start =
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
   let dp = inst.Instance.delta_p in
   let gain = pair_gain t ~lambda ~dp in
-  let gm = Gain_matrix.create inst in
-  let score_matrix = Gain_matrix.score_matrix gm in
-  let denom = Gain_matrix.column_denominators gm in
+  let gm = Gain_matrix.create ~candidates inst in
+  (* Same split as {!Sra.refine_impl}: the dense backing caches the
+     score matrix once; the pruned backing recomputes member scores on
+     demand (bit-identical sparse kernel) and streams the Eq. 9
+     denominators, so no O(n_p * n_r) cache exists. *)
+  let keep =
+    if Gain_matrix.pruned gm then begin
+      let denom = Gain_matrix.column_denominators gm in
+      fun ~round ~paper ~reviewer ->
+        let s =
+          if Instance.forbidden inst ~paper ~reviewer then
+            Lap.Hungarian.forbidden
+          else Instance.pair_score inst ~paper ~reviewer
+        in
+        let ratio =
+          if denom.(reviewer) > 0. && s <> Lap.Hungarian.forbidden then
+            s /. denom.(reviewer)
+          else 0.
+        in
+        Float.max
+          (1. /. float_of_int n_r)
+          (exp (-.params.Sra.lambda *. float_of_int round) *. ratio)
+    end
+    else begin
+      let score_matrix = Gain_matrix.score_matrix gm in
+      let denom = Gain_matrix.column_denominators gm in
+      fun ~round ~paper ~reviewer ->
+        Sra.keep_probability ~n_reviewers:n_r ~denom ~score_matrix ~round
+          ~lambda:params.Sra.lambda ~paper ~reviewer
+    end
+  in
   let best = ref (Assignment.copy start) in
   let best_score = ref (objective ~lambda inst t start) in
   let current = ref (Assignment.copy start) in
@@ -123,11 +152,7 @@ let refine ?(lambda = 0.7) ?(params = Sra.default_params) ~rng inst t start =
          let members = Array.of_list (Assignment.group !current p) in
          let weights =
            Array.map
-             (fun r ->
-               1.
-               -. Sra.keep_probability ~n_reviewers:n_r ~denom ~score_matrix
-                    ~round:!round ~lambda:params.Sra.lambda ~paper:p
-                    ~reviewer:r)
+             (fun r -> 1. -. keep ~round:!round ~paper:p ~reviewer:r)
              members
          in
          let victim =

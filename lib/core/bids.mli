@@ -38,14 +38,17 @@ val objective : ?lambda:float -> Instance.t -> t -> Assignment.t -> float
 val bid_satisfaction : Instance.t -> t -> Assignment.t -> float
 (** Mean assigned-pair bid: how happy reviewers are with what they got. *)
 
-val sdga : ?lambda:float -> Instance.t -> t -> Assignment.t
+val sdga : ?lambda:float -> ?candidates:int -> Instance.t -> t -> Assignment.t
 (** Stage-deepening greedy under the blended objective (the Stage-WGRAP
     pair gain becomes [lambda * coverage_gain + (1-lambda) * bid/delta_p]).
-    Feasibility constraints are unchanged. *)
+    Feasibility constraints are unchanged. [candidates], when positive,
+    selects the candidate-pruned {!Gain_matrix} backing (and with it the
+    pruned {!Stage.solve} backend); [0] (the default) is dense. *)
 
 val refine :
   ?lambda:float ->
   ?params:Sra.params ->
+  ?candidates:int ->
   rng:Wgrap_util.Rng.t ->
   Instance.t ->
   t ->
@@ -53,4 +56,6 @@ val refine :
   Assignment.t
 (** Stochastic refinement of the blended objective: identical removal
     model, refill stages use the blended gain, best-so-far tracked under
-    {!objective}. *)
+    {!objective}. [candidates] selects the pruned matrix backing exactly
+    as in {!sdga}; the pruned path recomputes member keep-probabilities
+    on demand instead of caching an O(n_p * n_r) score matrix. *)

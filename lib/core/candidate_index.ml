@@ -1,0 +1,157 @@
+(* Inverted topic -> reviewer index over the compiled supports.
+
+   Compiled once per instance from the [Topic_vector.support] posting
+   data: for every topic, the reviewers with positive expertise there,
+   sorted by descending weight (ties toward the lower id) so bounded
+   traversals see the strongest postings first. [top_k] walks the
+   postings of a paper's support topics, accumulating the exact
+   per-reviewer score with the same sparse arithmetic as
+   [Scoring.score_sparse], and keeps the k best in a score-bounded heap
+   (worst candidate on top; a posting hit that cannot beat it is never
+   pushed). Candidates therefore rank by the true c(r, p), not an
+   approximation — for the three kinds with [f(v, 0) = 0] the untouched
+   reviewers score exactly 0, so the selection is exact. *)
+
+module Heap = Wgrap_util.Heap
+
+type t = {
+  n_reviewers : int;
+  posting_ids : int array array;  (* per topic: reviewer ids, weight desc *)
+  posting_ws : float array array;  (* matching weights *)
+  masses : float array;  (* reviewer masses, Reviewer_coverage correction *)
+  by_mass : int array;  (* reviewer ids by descending mass, ties id asc *)
+}
+
+let n_reviewers t = t.n_reviewers
+
+let create ~n_topics ~reviewers =
+  let n_r = Array.length reviewers in
+  let count = Array.make n_topics 0 in
+  Array.iter
+    (fun rs ->
+      Array.iter (fun tt -> count.(tt) <- count.(tt) + 1) rs.Topic_vector.idx)
+    reviewers;
+  let posting_ids = Array.init n_topics (fun tt -> Array.make count.(tt) 0) in
+  let posting_ws = Array.init n_topics (fun tt -> Array.make count.(tt) 0.) in
+  let fill = Array.make n_topics 0 in
+  Array.iteri
+    (fun r rs ->
+      let idx = rs.Topic_vector.idx and nz = rs.Topic_vector.nz in
+      for j = 0 to Array.length idx - 1 do
+        let tt = idx.(j) in
+        let i = fill.(tt) in
+        posting_ids.(tt).(i) <- r;
+        posting_ws.(tt).(i) <- nz.(j);
+        fill.(tt) <- i + 1
+      done)
+    reviewers;
+  (* Postings are filled in ascending reviewer id; a stable sort on the
+     weight alone keeps lower ids first among equal weights. *)
+  Array.iteri
+    (fun tt ids ->
+      let ws = posting_ws.(tt) in
+      let ord = Array.init (Array.length ids) Fun.id in
+      Array.stable_sort (fun a b -> Float.compare ws.(b) ws.(a)) ord;
+      posting_ids.(tt) <- Array.map (fun i -> ids.(i)) ord;
+      posting_ws.(tt) <- Array.map (fun i -> ws.(i)) ord)
+    posting_ids;
+  let masses = Array.map (fun rs -> rs.Topic_vector.mass) reviewers in
+  let by_mass = Array.init n_r Fun.id in
+  Array.stable_sort (fun a b -> Float.compare masses.(b) masses.(a)) by_mass;
+  { n_reviewers = n_r; posting_ids; posting_ws; masses; by_mass }
+
+type entry = { score : float; id : int }
+
+(* Worst candidate on top: lower score pops first; among equal scores
+   the higher id pops first, so the kept set prefers lower ids. The kept
+   set is uniquely determined by the (score, id) total order, so the
+   result does not depend on heap internals. *)
+let worst_first a b =
+  match Float.compare b.score a.score with
+  | 0 -> Int.compare a.id b.id
+  | c -> c
+
+let beats ~score ~id worst =
+  match Float.compare score worst.score with
+  | 0 -> id < worst.id
+  | c -> c > 0
+
+let top_k t ~scoring ~k ?(forbidden = fun _ -> false)
+    (paper : Topic_vector.support) =
+  if k < 1 then invalid_arg "Candidate_index.top_k: k must be >= 1";
+  let n_r = t.n_reviewers in
+  let acc = Array.make n_r 0. in
+  let touched = Array.make n_r false in
+  let order = ref [] in
+  let touch r =
+    if not touched.(r) then begin
+      touched.(r) <- true;
+      order := r :: !order
+    end
+  in
+  let idx = paper.Topic_vector.idx and nz = paper.Topic_vector.nz in
+  let is_cr =
+    match scoring with Scoring.Reviewer_coverage -> true | _ -> false
+  in
+  (* Reviewer_coverage scores off-support reviewer mass in full, so a
+     high-mass reviewer with zero overlap can still rank: seed the
+     candidate set with the globally heaviest reviewers (their exact
+     score needs no posting hits), then let posting hits refine it. *)
+  let inside = if is_cr then Array.make n_r 0. else [||] in
+  if is_cr then begin
+    let seeds = min n_r ((4 * k) + 16) in
+    for i = 0 to seeds - 1 do
+      touch t.by_mass.(i)
+    done
+  end;
+  for j = 0 to Array.length idx - 1 do
+    let tt = idx.(j) in
+    let pv = nz.(j) in
+    let ids = t.posting_ids.(tt) and ws = t.posting_ws.(tt) in
+    for i = 0 to Array.length ids - 1 do
+      let r = ids.(i) in
+      let v = ws.(i) in
+      acc.(r) <- acc.(r) +. Scoring.contribution scoring v pv;
+      if is_cr then inside.(r) <- inside.(r) +. v;
+      touch r
+    done
+  done;
+  let pmass = paper.Topic_vector.mass in
+  let score_of r =
+    if pmass <= 0. then 0.
+    else if is_cr then
+      (* Associate exactly as [Scoring.score_sparse] does —
+         [acc + (mass - inside)] — so the ranking score is bit-identical
+         to [Instance.pair_score] and near-ties cannot flip. *)
+      (acc.(r) +. (t.masses.(r) -. inside.(r))) /. pmass
+    else acc.(r) /. pmass
+  in
+  let heap = Heap.create ~capacity:(k + 1) ~cmp:worst_first () in
+  (* Candidates are offered in ascending id ([order] is reversed below),
+     purely cosmetic: the kept set is order-independent. *)
+  List.iter
+    (fun r ->
+      if not (forbidden r) then begin
+        let score = score_of r in
+        if Heap.length heap < k then Heap.push heap { score; id = r }
+        else
+          match Heap.peek heap with
+          | Some worst when beats ~score ~id:r worst ->
+              ignore (Heap.pop heap);
+              Heap.push heap { score; id = r }
+          | _ -> ()
+      end)
+    (List.rev !order);
+  let kept = Array.make (Heap.length heap) 0 in
+  let i = ref 0 in
+  let rec drain () =
+    match Heap.pop heap with
+    | Some e ->
+        kept.(!i) <- e.id;
+        incr i;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Array.sort Int.compare kept;
+  kept

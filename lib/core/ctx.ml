@@ -8,6 +8,7 @@ type t = {
   deadline : Timer.deadline option;
   rng : Rng.t option;
   gains : Gain_matrix.t option;
+  candidates : int;
   checkpoint : Checkpoint.sink option;
   resume_from : (Checkpoint.state, string) result option;
   pool : Pool.t option;
@@ -19,6 +20,7 @@ let default =
     deadline = None;
     rng = None;
     gains = None;
+    candidates = 0;
     checkpoint = None;
     resume_from = None;
     pool = None;
@@ -30,14 +32,19 @@ let with_budget s t = { t with deadline = Some (Timer.deadline s) }
 let with_rng rng t = { t with rng = Some rng }
 let with_seed seed t = { t with rng = Some (Rng.create seed) }
 let with_gains g t = { t with gains = Some g }
+
+let with_candidates k t =
+  if k < 0 then invalid_arg "Ctx.with_candidates: k must be >= 0";
+  { t with candidates = k }
 let with_checkpoint sink t = { t with checkpoint = Some sink }
 let with_resume r t = { t with resume_from = Some r }
 let with_pool p t = { t with pool = Some p }
 let with_jobs jobs t = { t with pool = Some (Pool.create ~jobs) }
 let with_on_degrade f t = { t with on_degrade = Some f }
 
-let make ?deadline ?budget ?rng ?seed ?gains ?checkpoint ?resume_from ?pool
-    ?jobs ?on_degrade () =
+let make ?deadline ?budget ?rng ?seed ?gains ?(candidates = 0) ?checkpoint
+    ?resume_from ?pool ?jobs ?on_degrade () =
+  if candidates < 0 then invalid_arg "Ctx.make: candidates must be >= 0";
   {
     deadline =
       (match (deadline, budget) with
@@ -50,6 +57,7 @@ let make ?deadline ?budget ?rng ?seed ?gains ?checkpoint ?resume_from ?pool
       | None, Some s -> Some (Rng.create s)
       | None, None -> None);
     gains;
+    candidates;
     checkpoint;
     resume_from;
     pool =

@@ -35,6 +35,13 @@ type t = {
   gains : Gain_matrix.t option;
       (** shared incremental gain matrix; [None] = each solver builds a
           private one *)
+  candidates : int;
+      (** per-paper candidate width k for the matrices solvers build
+          themselves ([gains = None]): [0] = dense (the default, the
+          parity oracle), [k > 0] = candidate-pruned rows over the
+          instance's inverted topic index ([k >= n_r] normalizes to
+          dense). Ignored when [gains] is set — a supplied matrix
+          carries its own backing. *)
   checkpoint : Checkpoint.sink option;
       (** durable-state sink (journal events + snapshot offers) *)
   resume_from : (Checkpoint.state, string) result option;
@@ -60,6 +67,7 @@ val make :
   ?rng:Wgrap_util.Rng.t ->
   ?seed:int ->
   ?gains:Gain_matrix.t ->
+  ?candidates:int ->
   ?checkpoint:Checkpoint.sink ->
   ?resume_from:(Checkpoint.state, string) result ->
   ?pool:Wgrap_par.Pool.t ->
@@ -87,6 +95,11 @@ val with_seed : int -> t -> t
 (** [with_rng (Rng.create seed)]. *)
 
 val with_gains : Gain_matrix.t -> t -> t
+
+val with_candidates : int -> t -> t
+(** Set the candidate width k for solver-built matrices (0 = dense).
+    Raises [Invalid_argument] on a negative width. *)
+
 val with_checkpoint : Checkpoint.sink -> t -> t
 val with_resume : (Checkpoint.state, string) result -> t -> t
 val with_pool : Wgrap_par.Pool.t -> t -> t

@@ -1,47 +1,117 @@
-(* Shared incremental gain matrix: one flat row-major [n_p * n_r] array
-   of marginal coverage gains, maintained alongside the evolving
-   assignment. Rows are versioned per paper and recomputed lazily with
-   the sparse kernels; a group update that cannot change a row (it left
-   the group vector untouched on the paper's support) does not
-   invalidate it, so SDGA stages and SRA rounds recompute only the rows
-   that actually moved. *)
+(* Shared incremental gain matrix: per-paper rows of marginal coverage
+   gains, maintained alongside the evolving assignment. Rows live in
+   lazily-allocated Bigarray (Float64, C-layout) buffers — off the OCaml
+   heap, so pool domains read them without GC traffic — and are
+   versioned per paper and recomputed with the sparse kernels; a group
+   update that cannot change a row (it left the group vector untouched
+   on the paper's support) does not invalidate it, so SDGA stages and
+   SRA rounds recompute only the rows that actually moved.
+
+   Two backings share the interface. Dense (k = 0): each row covers all
+   n_r reviewers, bit-identical to the historical flat-array matrix.
+   Candidate-pruned (k > 0): each row covers only the paper's top-k
+   candidate reviewers from the instance's inverted topic index, so the
+   whole matrix is O(n_p * k) instead of O(n_p * n_r) — the memory-wall
+   fix. Nothing n_p * n_r-sized is ever allocated in pruned mode; the
+   cached score matrix is refused and the Eq. 9 column sums stream. *)
+
+type row = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 type t = {
-  inst : Instance.t;
+  mutable inst : Instance.t;  (* rebindable: serve swaps in new COI *)
   n_p : int;
   n_r : int;
   dim : int;
-  data : float array;  (* row-major gains; cell (p, r) at p * n_r + r *)
-  gvec : Topic_vector.t array;  (* maintained group vector per paper *)
+  k : int;  (* candidates per paper; 0 = dense *)
+  cands : int array option array;  (* pruned: per-paper ids, ascending *)
+  rows : row option array;  (* lazy gain rows; length n_r or |cands| *)
+  gvec : Topic_vector.t option array;  (* lazy group vector per paper *)
   version : int array;  (* current group version per paper *)
-  row_version : int array;  (* version [data]'s row reflects; -1 = never *)
-  scratch_row : float array;  (* n_r, staging for gain_into *)
-  scratch_vec : float array;  (* dim, staging for set_group *)
+  row_version : int array;  (* version the row reflects; -1 = never *)
+  mutable scratch_row : float array;  (* n_r staging, dense mode only *)
+  mutable scratch_vec : float array;  (* dim, staging for set_group *)
   mutable scores : float array array option;  (* cached score matrix *)
   mutable denom : float array option;  (* cached Eq. 9 column sums *)
 }
 
-let create inst =
+let create ?(candidates = 0) inst =
+  if candidates < 0 then
+    invalid_arg "Gain_matrix.create: candidates must be >= 0";
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
   let dim = Instance.n_topics inst in
+  (* k >= n_r prunes nothing: normalize to the dense backing so the
+     dense bit-identity guarantee holds by construction. *)
+  let k = if candidates >= n_r then 0 else candidates in
   {
     inst;
     n_p;
     n_r;
     dim;
-    data = Array.make (n_p * n_r) 0.;
-    gvec = Array.init n_p (fun _ -> Array.make dim 0.);
+    k;
+    cands = Array.make n_p None;
+    rows = Array.make n_p None;
+    gvec = Array.make n_p None;
     version = Array.make n_p 0;
     row_version = Array.make n_p (-1);
-    scratch_row = Array.make n_r 0.;
-    scratch_vec = Array.make dim 0.;
+    scratch_row = [||];
+    scratch_vec = [||];
     scores = None;
     denom = None;
   }
 
+let pruned t = t.k > 0
+let candidate_count t = t.k
+
+(* Computed by scanning the row slots rather than kept as a shared
+   counter: pool workers allocate rows concurrently during {!rebuild},
+   and a lost increment would corrupt a counter where a scan cannot
+   be wrong. O(n_p); telemetry, not a hot path. *)
+let matrix_bytes t =
+  let bytes = ref 0 in
+  Array.iter
+    (function
+      | Some row -> bytes := !bytes + (8 * Bigarray.Array1.dim row)
+      | None -> ())
+    t.rows;
+  !bytes
+
+let group_vec t paper =
+  match t.gvec.(paper) with
+  | Some g -> g
+  | None ->
+      let g = Array.make t.dim 0. in
+      t.gvec.(paper) <- Some g;
+      g
+
+let candidate_list t paper =
+  match t.cands.(paper) with
+  | Some c -> c
+  | None ->
+      let c = Instance.candidates t.inst ~k:t.k ~paper in
+      t.cands.(paper) <- Some c;
+      c
+
+let candidates t ~paper =
+  if t.k = 0 then invalid_arg "Gain_matrix.candidates: dense matrix";
+  candidate_list t paper
+
+let row_length t paper =
+  if t.k = 0 then t.n_r else Array.length (candidate_list t paper)
+
+let row_buffer t paper =
+  match t.rows.(paper) with
+  | Some row -> row
+  | None ->
+      let len = row_length t paper in
+      let row = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout len in
+      t.rows.(paper) <- Some row;
+      row
+
 let reset t =
   for p = 0 to t.n_p - 1 do
-    Array.fill t.gvec.(p) 0 t.dim 0.;
+    (match t.gvec.(p) with
+    | Some g -> Array.fill g 0 t.dim 0.
+    | None -> ());
     t.version.(p) <- t.version.(p) + 1
   done
 
@@ -57,7 +127,7 @@ let relevant t ~paper tt =
 let add t ~paper ~reviewer =
   let rs = Instance.reviewer_support t.inst reviewer in
   let idx = rs.Topic_vector.idx and nz = rs.Topic_vector.nz in
-  let g = t.gvec.(paper) in
+  let g = group_vec t paper in
   let changed = ref false in
   for k = 0 to Array.length idx - 1 do
     let tt = idx.(k) in
@@ -69,6 +139,7 @@ let add t ~paper ~reviewer =
   if !changed then t.version.(paper) <- t.version.(paper) + 1
 
 let set_group t ~paper members =
+  if Array.length t.scratch_vec = 0 then t.scratch_vec <- Array.make t.dim 0.;
   let nv = t.scratch_vec in
   Array.fill nv 0 t.dim 0.;
   List.iter
@@ -79,7 +150,7 @@ let set_group t ~paper members =
         if nz.(k) > nv.(idx.(k)) then nv.(idx.(k)) <- nz.(k)
       done)
     members;
-  let g = t.gvec.(paper) in
+  let g = group_vec t paper in
   let changed = ref false in
   (match t.inst.Instance.scoring with
   | Scoring.Reviewer_coverage ->
@@ -97,34 +168,82 @@ let set_group t ~paper members =
   if !changed then t.version.(paper) <- t.version.(paper) + 1
 
 let version t ~paper = t.version.(paper)
-let group_vector t ~paper = t.gvec.(paper)
+let group_vector t ~paper = group_vec t paper
 
 let gain t ~paper ~reviewer =
-  Scoring.gain_sparse t.inst.Instance.scoring ~group:t.gvec.(paper)
+  Scoring.gain_sparse t.inst.Instance.scoring ~group:(group_vec t paper)
     (Instance.reviewer_support t.inst reviewer)
     (Instance.paper_support t.inst paper)
 
-(* Recompute row [paper] through [scratch] (any n_r buffer). The shared
-   [t.scratch_row] serves the sequential callers; {!rebuild}'s workers
-   pass their own buffer so domains never share staging memory. *)
+(* Recompute a stale dense row [paper] through [scratch] (any n_r float
+   buffer — the kernels write OCaml arrays). The shared [t.scratch_row]
+   serves the sequential callers; {!rebuild}'s workers pass their own
+   buffer so domains never share staging memory. *)
 let ensure_row_with t ~scratch paper =
   if t.row_version.(paper) <> t.version.(paper) then begin
     Scoring.gain_into t.inst.Instance.scoring ~dst:scratch
-      ~group:t.gvec.(paper) ~reviewers:t.inst.Instance.rsupp
+      ~group:(group_vec t paper) ~reviewers:t.inst.Instance.rsupp
       (Instance.paper_support t.inst paper);
-    Array.blit scratch 0 t.data (paper * t.n_r) t.n_r;
+    let row = row_buffer t paper in
+    for r = 0 to t.n_r - 1 do
+      Bigarray.Array1.set row r scratch.(r)
+    done;
     t.row_version.(paper) <- t.version.(paper)
   end
 
-let ensure_row t paper = ensure_row_with t ~scratch:t.scratch_row paper
+(* Pruned rows skip the staging entirely: one O(nnz) sparse gain per
+   candidate, written straight into the Bigarray row. The arithmetic is
+   the per-reviewer body of [Scoring.gain_into], so a candidate's cell
+   is bit-identical to its dense counterpart. *)
+let ensure_row_pruned t paper =
+  if t.row_version.(paper) <> t.version.(paper) then begin
+    let cands = candidate_list t paper in
+    let row = row_buffer t paper in
+    let group = group_vec t paper in
+    let ps = Instance.paper_support t.inst paper in
+    for i = 0 to Array.length cands - 1 do
+      Bigarray.Array1.set row i
+        (Scoring.gain_sparse t.inst.Instance.scoring ~group
+           (Instance.reviewer_support t.inst cands.(i))
+           ps)
+    done;
+    t.row_version.(paper) <- t.version.(paper)
+  end
+
+let ensure_row t paper =
+  if t.k > 0 then ensure_row_pruned t paper
+  else begin
+    if Array.length t.scratch_row = 0 then t.scratch_row <- Array.make t.n_r 0.;
+    ensure_row_with t ~scratch:t.scratch_row paper
+  end
 
 let blit_row t ~paper ~dst =
+  if t.k > 0 then invalid_arg "Gain_matrix.blit_row: pruned matrix";
   if Array.length dst <> t.n_r then
     invalid_arg "Gain_matrix.blit_row: dst length mismatch";
   ensure_row t paper;
-  Array.blit t.data (paper * t.n_r) dst 0 t.n_r
+  let row = row_buffer t paper in
+  for r = 0 to t.n_r - 1 do
+    dst.(r) <- Bigarray.Array1.get row r
+  done
+
+let iter_row t ~paper f =
+  ensure_row t paper;
+  let row = row_buffer t paper in
+  if t.k > 0 then begin
+    let cands = candidate_list t paper in
+    for i = 0 to Array.length cands - 1 do
+      f ~reviewer:cands.(i) ~gain:(Bigarray.Array1.get row i)
+    done
+  end
+  else
+    for r = 0 to t.n_r - 1 do
+      f ~reviewer:r ~gain:(Bigarray.Array1.get row r)
+    done
 
 let score_matrix t =
+  if t.k > 0 then
+    invalid_arg "Gain_matrix.score_matrix: pruned matrix (O(n_p * n_r) cache)";
   match t.scores with
   | Some m -> m
   | None ->
@@ -147,11 +266,31 @@ let score_column_sums ~n_reviewers rows =
     rows;
   denom
 
+(* The same sums without materializing the matrix: rows stream through
+   one transient buffer in paper order, so the accumulation order — and
+   hence every float — matches the cached dense computation exactly.
+   O(n_r) live memory against the dense cache's O(n_p * n_r). *)
+let streamed_column_sums ?deadline t =
+  let module Timer = Wgrap_util.Timer in
+  let denom = Array.make t.n_r 0. in
+  for p = 0 to t.n_p - 1 do
+    Timer.check_opt deadline;
+    let row = Instance.score_row t.inst ~paper:p in
+    for r = 0 to t.n_r - 1 do
+      if row.(r) <> Lap.Hungarian.forbidden then
+        denom.(r) <- denom.(r) +. row.(r)
+    done
+  done;
+  denom
+
 let column_denominators t =
   match t.denom with
   | Some d -> d
   | None ->
-      let d = score_column_sums ~n_reviewers:t.n_r (score_matrix t) in
+      let d =
+        if t.k > 0 then streamed_column_sums t
+        else score_column_sums ~n_reviewers:t.n_r (score_matrix t)
+      in
       t.denom <- Some d;
       d
 
@@ -160,6 +299,59 @@ let adopt_static t ~from =
     invalid_arg "Gain_matrix.adopt_static: shape mismatch";
   (match from.scores with Some m -> t.scores <- Some m | None -> ());
   match from.denom with Some d -> t.denom <- Some d | None -> ()
+
+let spawn t =
+  let s =
+    {
+      inst = t.inst;
+      n_p = t.n_p;
+      n_r = t.n_r;
+      dim = t.dim;
+      k = t.k;
+      (* Candidate lists are immutable once retrieved: share the entries
+         computed so far, but give the spawn its own slot array so
+         domains never write into a shared one. *)
+      cands = Array.copy t.cands;
+      rows = Array.make t.n_p None;
+      gvec = Array.make t.n_p None;
+      version = Array.make t.n_p 0;
+      row_version = Array.make t.n_p (-1);
+      scratch_row = [||];
+      scratch_vec = [||];
+      scores = None;
+      denom = None;
+    }
+  in
+  adopt_static s ~from:t;
+  s
+
+let rebind t inst =
+  if
+    Instance.n_papers inst <> t.n_p
+    || Instance.n_reviewers inst <> t.n_r
+    || Instance.n_topics inst <> t.dim
+  then invalid_arg "Gain_matrix.rebind: shape mismatch";
+  let scoring_changed =
+    not
+      (String.equal
+         (Scoring.name inst.Instance.scoring)
+         (Scoring.name t.inst.Instance.scoring))
+  in
+  t.inst <- inst;
+  (* Raw gain rows read only papers, reviewers and the scoring kind —
+     never the COI mask (consumers mask conflicts) — so a constraint
+     change keeps every row. A scoring change invalidates them (and the
+     candidate rankings); reviewer-vector changes are the caller's
+     contract to avoid ({!Instance.with_reviewers} needs a fresh
+     matrix). *)
+  if scoring_changed then
+    for p = 0 to t.n_p - 1 do
+      t.version.(p) <- t.version.(p) + 1;
+      t.cands.(p) <- None;
+      t.rows.(p) <- None
+    done;
+  t.scores <- None;
+  t.denom <- None
 
 (* Row-parallel iteration shared by {!prime} and {!rebuild}: rows are
    independent by construction ({!Instance.score_row}, one gain row per
@@ -176,24 +368,42 @@ let iter_rows ?pool t f =
 
 let prime ?pool ?deadline t =
   let module Timer = Wgrap_util.Timer in
-  (match t.scores with
-  | Some _ -> ()
-  | None ->
-      let m = Array.make t.n_p [||] in
-      iter_rows ?pool t (fun paper ->
-          Timer.check_opt deadline;
-          m.(paper) <- Instance.score_row t.inst ~paper);
-      t.scores <- Some m);
-  match t.denom with
-  | Some _ -> ()
-  | None ->
-      t.denom <- Some (score_column_sums ~n_reviewers:t.n_r (score_matrix t))
+  if t.k > 0 then begin
+    (* Pruned static state: every candidate list (slots are disjoint, so
+       pool workers may fill them concurrently) and the streamed Eq. 9
+       sums; the O(n_p * n_r) score matrix is never materialized. *)
+    iter_rows ?pool t (fun paper ->
+        Timer.check_opt deadline;
+        match t.cands.(paper) with
+        | Some _ -> ()
+        | None ->
+            t.cands.(paper) <- Some (Instance.candidates t.inst ~k:t.k ~paper));
+    match t.denom with
+    | Some _ -> ()
+    | None -> t.denom <- Some (streamed_column_sums ?deadline t)
+  end
+  else begin
+    (match t.scores with
+    | Some _ -> ()
+    | None ->
+        let m = Array.make t.n_p [||] in
+        iter_rows ?pool t (fun paper ->
+            Timer.check_opt deadline;
+            m.(paper) <- Instance.score_row t.inst ~paper);
+        t.scores <- Some m);
+    match t.denom with
+    | Some _ -> ()
+    | None ->
+        t.denom <- Some (score_column_sums ~n_reviewers:t.n_r (score_matrix t))
+  end
 
 let rebuild ?pool ?deadline t =
   let module Timer = Wgrap_util.Timer in
   iter_rows ?pool t (fun paper ->
       Timer.check_opt deadline;
       if t.row_version.(paper) <> t.version.(paper) then
-        (* Worker-local staging: n_r floats per stale row, so domains
-           never write through the shared scratch. *)
-        ensure_row_with t ~scratch:(Array.make t.n_r 0.) paper)
+        if t.k > 0 then ensure_row_pruned t paper
+        else
+          (* Worker-local staging: n_r floats per stale row, so domains
+             never write through the shared scratch. *)
+          ensure_row_with t ~scratch:(Array.make t.n_r 0.) paper)

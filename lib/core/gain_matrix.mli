@@ -1,14 +1,33 @@
 (** Shared incremental gain-matrix layer.
 
-    One flat row-major [n_p * n_r] array of marginal coverage gains
-    (Definition 8) w.r.t. a maintained group vector per paper, shared by
-    {!Stage.solve}, {!Stage.solve_flow}, {!Sdga}, {!Greedy} and {!Sra}
-    through their [?gains] parameters. Rows are versioned per paper,
-    like the lazy greedy heap entries: a group update bumps a paper's
-    version only when it actually moved the group vector somewhere the
-    paper's gains can see (its topic support — everywhere for
-    [Reviewer_coverage]), and stale rows are recomputed lazily with the
-    O(nnz) sparse kernels on next access.
+    Per-paper rows of marginal coverage gains (Definition 8) w.r.t. a
+    maintained group vector per paper, shared by {!Stage.solve},
+    {!Stage.solve_flow}, {!Sdga}, {!Greedy} and {!Sra} through their
+    [?gains] parameters. Rows live in Bigarray (Float64, C-layout)
+    buffers allocated lazily on first touch — outside the OCaml heap,
+    so pool domains read them without GC traffic — and are versioned
+    per paper, like the lazy greedy heap entries: a group update bumps
+    a paper's version only when it actually moved the group vector
+    somewhere the paper's gains can see (its topic support — everywhere
+    for [Reviewer_coverage]), and stale rows are recomputed lazily with
+    the O(nnz) sparse kernels on next access.
+
+    Two backings share this interface, chosen at {!create}:
+
+    {ul
+    {- {e Dense} ([candidates = 0], or [candidates >= n_r]): each row
+       covers every reviewer — bit-identical values and behaviour to
+       the historical flat [n_p * n_r] matrix, kept as the parity
+       oracle.}
+    {- {e Candidate-pruned} ([0 < candidates < n_r]): each row covers
+       only the paper's top-k candidates from {!Instance.candidates}
+       (inverted topic index, exact pair-score ranking, COI filtered),
+       retrieved lazily per paper. Total row storage is O(n_p * k);
+       nothing [n_p * n_r]-sized is ever allocated — {!score_matrix} is
+       refused and the Eq. 9 sums stream through one transient row.
+       Candidate cells hold the same floats as their dense
+       counterparts; reviewers outside the candidate set simply have no
+       cell, and consumers fall back to {!gain} for them.}}
 
     The matrix holds {e raw} coverage gains: conflicts of interest,
     capacities and group membership are masked by the consumers. Cells
@@ -21,8 +40,29 @@
 
 type t
 
-val create : Instance.t -> t
-(** All groups empty; no rows computed yet. O(n_p * n_r) memory. *)
+val create : ?candidates:int -> Instance.t -> t
+(** All groups empty; no rows computed yet. [candidates] is the per-
+    paper top-k width, [0] (the default) for the dense backing; a width
+    [>= n_r] prunes nothing and normalizes to dense. O(n_p) until rows
+    are touched — an xl-scale instance costs three option/int slots per
+    paper here, nothing more. Raises [Invalid_argument] on a negative
+    width. *)
+
+val pruned : t -> bool
+(** Whether the candidate-pruned backing is in force. *)
+
+val candidate_count : t -> int
+(** The normalized per-paper candidate width; [0] for dense. *)
+
+val candidates : t -> paper:int -> int array
+(** The paper's candidate reviewer ids (ascending; retrieved and then
+    memoized on first call — possibly shorter than the width for papers
+    with narrow supports). Raises [Invalid_argument] on a dense matrix:
+    dense consumers iterate all reviewers and should not pay retrieval. *)
+
+val matrix_bytes : t -> int
+(** Bytes of Bigarray row storage allocated so far — the "peak matrix
+    memory" a pruning bench reports. O(n_p) scan; telemetry only. *)
 
 val reset : t -> unit
 (** Empty every group and invalidate every row (cheap: versions bump,
@@ -36,7 +76,9 @@ val add : t -> paper:int -> reviewer:int -> unit
 val set_group : t -> paper:int -> int list -> unit
 (** Replace [paper]'s group wholesale; invalidates the row only if the
     resulting vector differs visibly from the current one (an SRA
-    removal whose victim never defined the max keeps the row). *)
+    removal whose victim never defined the max keeps the row — the same
+    visibility rule lets the resident serve state keep a matrix across
+    events whose decided ops touched few groups). *)
 
 val version : t -> paper:int -> int
 (** Monotone per-paper group version — pairs with heap-entry versioning
@@ -47,19 +89,33 @@ val group_vector : t -> paper:int -> Topic_vector.t
 
 val gain : t -> paper:int -> reviewer:int -> float
 (** One fresh marginal gain against the current group vector, computed
-    directly with the sparse kernel; does not touch the row cache. *)
+    directly with the sparse kernel; does not touch the row cache.
+    Works for any reviewer, candidate or not. *)
 
 val blit_row : t -> paper:int -> dst:float array -> unit
 (** Copy the paper's row of [n_r] raw gains into [dst], recomputing it
-    first if stale. *)
+    first if stale. Dense matrices only — raises [Invalid_argument] on
+    a pruned one (there is no full row to copy; use {!iter_row}). *)
+
+val iter_row : t -> paper:int -> (reviewer:int -> gain:float -> unit) -> unit
+(** Visit the paper's row, recomputing it first if stale: every
+    reviewer in ascending order on a dense matrix, the candidate set in
+    ascending order on a pruned one. The one row accessor consumers can
+    use without knowing the backing. *)
 
 val score_matrix : t -> float array array
 (** The instance's single-reviewer score matrix (COI cells hold
-    [Lap.Hungarian.forbidden]), computed once and cached. *)
+    [Lap.Hungarian.forbidden]), computed once and cached. Dense
+    matrices only — raises [Invalid_argument] on a pruned one, whose
+    whole point is never to materialize an [n_p * n_r] cache; pruned
+    consumers combine {!column_denominators} with
+    {!Instance.pair_score}. *)
 
 val column_denominators : t -> float array
 (** The Eq. 9 denominators [sum_p' c(r, p')] as maintained column sums
-    of {!score_matrix}, computed once and cached. *)
+    of the score matrix, computed once and cached. On a pruned matrix
+    the sums stream through one transient row per paper — O(n_r) live
+    memory, bit-identical result (same accumulation order). *)
 
 val score_column_sums : n_reviewers:int -> float array array -> float array
 (** The pure computation behind {!column_denominators}, exposed as the
@@ -68,29 +124,48 @@ val score_column_sums : n_reviewers:int -> float array array -> float array
 
 val adopt_static : t -> from:t -> unit
 (** Share [from]'s cached score matrix and column sums (both immutable
-    once computed) with [t], skipping their recomputation. This is how
-    the per-chain matrices of parallel SRA reuse the coordinator's
-    static caches: the shared arrays are only ever read after adoption,
-    so handing them to matrices owned by other domains is safe. Raises
-    [Invalid_argument] on shape mismatch; caches [from] has not computed
-    yet are simply not adopted. *)
+    once computed) with [t], skipping their recomputation. Raises
+    [Invalid_argument] on shape mismatch; caches [from] has not
+    computed yet are simply not adopted. *)
+
+val spawn : t -> t
+(** A fresh matrix over the same instance and candidate width: empty
+    groups, no rows, but sharing [from]'s static caches (score matrix /
+    column sums, via {!adopt_static}) and every candidate list
+    retrieved so far (immutable once computed; the spawn gets its own
+    slot array, so later lazy retrievals never write shared memory).
+    This is how parallel SRA gives each chain a private matrix without
+    the per-chain full-matrix copies the dense design paid for: chain
+    state is O(n_p) at spawn, rows materialize lazily per domain, and
+    the heavy static state is shared read-only. *)
+
+val rebind : t -> Instance.t -> unit
+(** Point the matrix at a same-shaped instance — the resident serve
+    state swaps in an instance with extended COI this way. Raw gain
+    rows never read the COI mask, so all rows (and group state)
+    survive; the cached score matrix and column sums are dropped (they
+    do mask COI). A scoring-kind change invalidates rows and candidate
+    lists instead. The caller's contract: paper and reviewer vectors
+    are unchanged (build a fresh matrix otherwise). Raises
+    [Invalid_argument] on shape mismatch. *)
 
 val prime : ?pool:Wgrap_par.Pool.t -> ?deadline:Wgrap_util.Timer.deadline -> t -> unit
-(** Force the static caches now: the score matrix and the Eq. 9 column
-    sums. With [pool], score rows are computed across domains (each row
-    is freshly allocated by its worker, so no memory is shared) — the
-    result is bit-identical to the lazy sequential computation. Parallel
-    SRA primes the coordinator's matrix once, then shares the caches
-    with the per-chain matrices via {!adopt_static}. [deadline] is
-    polled per row; expiry raises [Wgrap_util.Timer.Expired] and leaves
-    the caches unset (safe: they compute lazily on access). *)
+(** Force the static state now. Dense: the score matrix and the Eq. 9
+    column sums, row-parallel with [pool] — bit-identical to the lazy
+    sequential computation. Pruned: every candidate list (slots are
+    per-paper, so workers fill them concurrently) and the streamed
+    column sums; no [n_p * n_r] cache. Parallel SRA primes the
+    coordinator's matrix once, then hands chains {!spawn}s of it.
+    [deadline] is polled per row; expiry raises
+    [Wgrap_util.Timer.Expired] and leaves the remaining state unset
+    (safe: it computes lazily on access). *)
 
 val rebuild : ?pool:Wgrap_par.Pool.t -> ?deadline:Wgrap_util.Timer.deadline -> t -> unit
 (** Recompute all stale gain rows now. With [pool], rows are recomputed
-    across domains (each row writes a disjoint slice of the flat data
-    array; workers stage through task-local buffers) — bit-identical to
-    the lazy sequential recomputation. Consumers that blit whole rows
-    right after a reset ({!Sdga} stage 1, {!Greedy}'s heap seeding) call
-    this first to move the row fill onto the pool. [deadline] is polled
-    per row; expiry raises [Wgrap_util.Timer.Expired], leaving the
+    across domains (each row is a private Bigarray buffer; dense
+    workers stage through task-local scratch) — bit-identical to the
+    lazy sequential recomputation. Consumers that read whole rows right
+    after a reset ({!Sdga} stage 1, {!Greedy}'s heap seeding) call this
+    first to move the row fill onto the pool. [deadline] is polled per
+    row; expiry raises [Wgrap_util.Timer.Expired], leaving the
     remaining rows stale (safe: they recompute lazily on access). *)

@@ -2,7 +2,7 @@ module Heap = Wgrap_util.Heap
 
 type entry = { gain : float; reviewer : int; paper : int; version : int }
 
-let solve_impl ?deadline ?gains ?pool inst =
+let solve_impl ?deadline ?gains ?(candidates = 0) ?pool inst =
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
   let dp = inst.Instance.delta_p and dr = inst.Instance.delta_r in
   let assignment = Assignment.empty ~n_papers:n_p in
@@ -17,26 +17,31 @@ let solve_impl ?deadline ?gains ?pool inst =
     | Some g ->
         Gain_matrix.reset g;
         g
-    | None -> Gain_matrix.create inst
+    | None -> Gain_matrix.create ~candidates inst
   in
-  (* O(1) membership instead of a List.mem scan per pop. *)
-  let in_group = Array.make_matrix n_p n_r false in
+  let is_pruned = Gain_matrix.pruned gm in
   (* Seed the heap at the true candidate count: COI pairs never enter,
      and zero-gain seeds are dropped too — gains only shrink as groups
      grow (submodularity), so a pair that starts at 0 stays at 0 and
      adds nothing the repair pass would not. *)
-  let candidates = ref 0 in
-  for p = 0 to n_p - 1 do
-    for r = 0 to n_r - 1 do
-      if not (Instance.forbidden inst ~paper:p ~reviewer:r) then incr candidates
-    done
-  done;
+  let seed_hint =
+    if is_pruned then max 1 (n_p * Gain_matrix.candidate_count gm)
+    else begin
+      let c = ref 0 in
+      for p = 0 to n_p - 1 do
+        for r = 0 to n_r - 1 do
+          if not (Instance.forbidden inst ~paper:p ~reviewer:r) then incr c
+        done
+      done;
+      max 1 !c
+    end
+  in
   let heap =
-    Heap.create ~capacity:(max 1 !candidates)
+    Heap.create ~capacity:seed_hint
       ~cmp:(fun a b -> Float.compare a.gain b.gain)
       ()
   in
-  (* Heap seeding blits every row once; with a pool, compute them all
+  (* Heap seeding reads every row once; with a pool, compute them all
      across domains first so the sequential loop below reads warm rows.
      Same kernels and versions either way — values are bit-identical. *)
   (match pool with
@@ -44,15 +49,29 @@ let solve_impl ?deadline ?gains ?pool inst =
       (try Gain_matrix.rebuild ~pool:p ?deadline gm
        with Wgrap_util.Timer.Expired -> ())
   | _ -> ());
-  let row = Array.make n_r 0. in
-  for p = 0 to n_p - 1 do
-    Gain_matrix.blit_row gm ~paper:p ~dst:row;
-    let v = Gain_matrix.version gm ~paper:p in
-    for r = 0 to n_r - 1 do
-      if row.(r) > 0. && not (Instance.forbidden inst ~paper:p ~reviewer:r)
-      then Heap.push heap { gain = row.(r); reviewer = r; paper = p; version = v }
+  (* Pruned matrices seed only candidate pairs (positive-gain ones —
+     the same filter the dense path applies cell by cell); reviewers
+     outside every candidate list reach papers only through the repair
+     pass, exactly like zero-gain dense pairs do. *)
+  if is_pruned then
+    for p = 0 to n_p - 1 do
+      let v = Gain_matrix.version gm ~paper:p in
+      Gain_matrix.iter_row gm ~paper:p (fun ~reviewer:r ~gain ->
+          if gain > 0. && not (Instance.forbidden inst ~paper:p ~reviewer:r)
+          then Heap.push heap { gain; reviewer = r; paper = p; version = v })
     done
-  done;
+  else begin
+    let row = Array.make n_r 0. in
+    for p = 0 to n_p - 1 do
+      Gain_matrix.blit_row gm ~paper:p ~dst:row;
+      let v = Gain_matrix.version gm ~paper:p in
+      for r = 0 to n_r - 1 do
+        if row.(r) > 0. && not (Instance.forbidden inst ~paper:p ~reviewer:r)
+        then
+          Heap.push heap { gain = row.(r); reviewer = r; paper = p; version = v }
+      done
+    done
+  end;
   let remaining = ref (n_p * dp) in
   let stuck = ref false in
   while
@@ -68,14 +87,15 @@ let solve_impl ?deadline ?gains ?pool inst =
         let feasible =
           group_size.(e.paper) < dp
           && workload.(e.reviewer) < dr
-          && not in_group.(e.paper).(e.reviewer)
+          (* Groups hold at most delta_p reviewers, so the list scan is
+             O(delta_p) — no n_p * n_r membership matrix needed. *)
+          && not (List.mem e.reviewer (Assignment.group assignment e.paper))
         in
         if feasible then begin
           if e.version = Gain_matrix.version gm ~paper:e.paper then begin
             (* Fresh gain: globally maximal, commit the pair. *)
             Assignment.add assignment ~paper:e.paper ~reviewer:e.reviewer;
             Gain_matrix.add gm ~paper:e.paper ~reviewer:e.reviewer;
-            in_group.(e.paper).(e.reviewer) <- true;
             workload.(e.reviewer) <- workload.(e.reviewer) + 1;
             group_size.(e.paper) <- group_size.(e.paper) + 1;
             decr remaining
@@ -96,7 +116,7 @@ let solve_impl ?deadline ?gains ?pool inst =
 
 let solve ?(ctx = Ctx.default) inst =
   solve_impl ?deadline:ctx.Ctx.deadline ?gains:ctx.Ctx.gains
-    ?pool:ctx.Ctx.pool inst
+    ~candidates:ctx.Ctx.candidates ?pool:ctx.Ctx.pool inst
 
 let solve_opts ?deadline ?gains inst = solve_impl ?deadline ?gains inst
 

@@ -13,7 +13,11 @@ val solve : ?ctx:Ctx.t -> Instance.t -> Assignment.t
 (** Run environment comes from [ctx] ({!Ctx.default} when omitted).
     [ctx.gains], when set, is reset and used as the shared gain matrix
     (group vectors, versions, sparse gain evaluation); otherwise a
-    private one is created. The heap is seeded at the true candidate
+    private one is created with [ctx.candidates] as its width — on a
+    candidate-pruned matrix the heap seeds only candidate pairs, so
+    seeding is O(n_p * k) instead of O(n_p * n_r), and non-candidate
+    reviewers reach papers only through the repair pass (like zero-gain
+    dense pairs). The heap is seeded at the true candidate
     count — COI pairs and zero-gain seeds are skipped; the latter can
     never beat a positive gain later (gains only shrink), so dropping
     them changes nothing the repair pass would not fill anyway. When

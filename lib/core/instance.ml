@@ -7,6 +7,7 @@ type t = {
   coi : bool array array option;
   psupp : Topic_vector.support array;
   rsupp : Topic_vector.support array;
+  cindex : Candidate_index.t;
 }
 
 let n_papers t = Array.length t.papers
@@ -62,6 +63,7 @@ let create ?(scoring = Scoring.Weighted_coverage) ?(coi = []) ~papers ~reviewers
         in
         fill pairs
   in
+  let rsupp = Array.map Topic_vector.support reviewers in
   Ok
     {
       papers;
@@ -71,7 +73,8 @@ let create ?(scoring = Scoring.Weighted_coverage) ?(coi = []) ~papers ~reviewers
       scoring;
       coi = coi_matrix;
       psupp = Array.map Topic_vector.support papers;
-      rsupp = Array.map Topic_vector.support reviewers;
+      rsupp;
+      cindex = Candidate_index.create ~n_topics:dim ~reviewers:rsupp;
     }
 
 let create_exn ?scoring ?coi ~papers ~reviewers ~delta_p ~delta_r () =
@@ -118,7 +121,18 @@ let with_reviewers t reviewers =
       if Array.length v <> n_topics t then
         invalid_arg "Instance.with_reviewers: dimension mismatch")
     reviewers;
-  { t with reviewers; rsupp = Array.map Topic_vector.support reviewers }
+  let rsupp = Array.map Topic_vector.support reviewers in
+  {
+    t with
+    reviewers;
+    rsupp;
+    cindex = Candidate_index.create ~n_topics:(n_topics t) ~reviewers:rsupp;
+  }
+
+let candidates t ~k ~paper =
+  Candidate_index.top_k t.cindex ~scoring:t.scoring ~k
+    ~forbidden:(fun r -> forbidden t ~paper ~reviewer:r)
+    t.psupp.(paper)
 
 let coi_pairs t =
   match t.coi with

@@ -11,6 +11,7 @@ type t = private {
   coi : bool array array option;  (** [coi.(p).(r)] forbids pair (r, p) *)
   psupp : Topic_vector.support array;  (** compiled paper supports *)
   rsupp : Topic_vector.support array;  (** compiled reviewer supports *)
+  cindex : Candidate_index.t;  (** inverted topic → reviewer index *)
 }
 
 val create :
@@ -77,6 +78,14 @@ val with_scoring : t -> Scoring.kind -> t
 val with_reviewers : t -> Topic_vector.t array -> t
 (** Same instance with rescaled reviewer vectors (e.g. the h-index
     scaling of Eq. 15); dimensions must match. *)
+
+val candidates : t -> k:int -> paper:int -> int array
+(** The paper's top-k candidate reviewers by exact pair score, from the
+    inverted topic index compiled at construction
+    ({!Candidate_index.top_k} under the instance's scoring kind, with
+    the paper's COI filtered out so conflicts never burn a candidate
+    slot). Ascending reviewer ids; may be shorter than [k] for papers
+    whose support touches few reviewers. *)
 
 val coi_pairs : t -> (int * int) list
 (** The instance's conflicts as [(paper, reviewer)] pairs. *)

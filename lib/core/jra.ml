@@ -34,12 +34,34 @@ let make ?(scoring = Scoring.Weighted_coverage) ?excluded ~paper ~pool
     invalid_arg "Jra.make: not enough selectable reviewers";
   { paper; pool; group_size; scoring; excluded }
 
-let of_instance inst ~paper =
+let of_instance ?(candidates = 0) inst ~paper =
   let n_r = Instance.n_reviewers inst in
-  let excluded =
+  let coi_mask =
     if inst.Instance.coi = None then None
     else
       Some (Array.init n_r (fun r -> Instance.forbidden inst ~paper ~reviewer:r))
+  in
+  let excluded =
+    if candidates <= 0 || candidates >= n_r then coi_mask
+    else begin
+      let cands = Instance.candidates inst ~k:candidates ~paper in
+      if Array.length cands < inst.Instance.delta_p then
+        (* Too few candidates to form a group (tiny k or heavy COIs):
+           fall back to the dense pool rather than make an infeasible
+           problem. *)
+        coi_mask
+      else begin
+        let mask = Array.make n_r true in
+        Array.iter (fun r -> mask.(r) <- false) cands;
+        (* Candidate retrieval already filters COIs, but keep the COI
+           mask authoritative in case the two ever diverge. *)
+        (match coi_mask with
+        | Some coi ->
+            Array.iteri (fun r b -> if b then mask.(r) <- true) coi
+        | None -> ());
+        Some mask
+      end
+    end
   in
   make ?excluded ~scoring:inst.Instance.scoring
     ~paper:inst.Instance.papers.(paper) ~pool:inst.Instance.reviewers

@@ -29,9 +29,14 @@ val make :
 (** Validates shapes; raises [Invalid_argument] if the pool (net of
     exclusions) is smaller than [group_size]. *)
 
-val of_instance : Instance.t -> paper:int -> problem
+val of_instance : ?candidates:int -> Instance.t -> paper:int -> problem
 (** JRA sub-problem for one paper of a WGRAP instance (COIs become
-    exclusions). *)
+    exclusions). [candidates], when positive and below the pool size,
+    additionally excludes every reviewer outside the paper's
+    {!Instance.candidates} top-[k] list, so the exact solvers explore a
+    pruned pool; if fewer than [group_size] candidates survive, the
+    pruning is dropped (COI-only exclusions) rather than making the
+    problem infeasible. [0] (the default) keeps the dense pool. *)
 
 val available : problem -> int
 (** Number of selectable reviewers. *)

@@ -5,7 +5,8 @@ let approximation_ratio ~delta_p ~integral =
   let exponent = if integral then dp else dp -. 1. in
   1. -. ((1. -. (1. /. dp)) ** exponent)
 
-let solve_with ?deadline ?gains ?checkpoint ?resume_from ?pool stage inst =
+let solve_with ?deadline ?gains ?(candidates = 0) ?checkpoint ?resume_from
+    ?pool stage inst =
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
   (* Resume only from a state captured in this phase; anything else
      (e.g. a mid-SRA state handed down by mistake) starts fresh. *)
@@ -22,13 +23,14 @@ let solve_with ?deadline ?gains ?checkpoint ?resume_from ?pool stage inst =
   in
   (* One gain matrix for all delta_p stages: a stage invalidates only
      the rows of papers whose group vector visibly changed when its
-     pairs are committed; the rest carry over. *)
+     pairs are committed; the rest carry over. A supplied matrix keeps
+     its own backing; [candidates] only shapes the private one. *)
   let gm =
     match gains with
     | Some g ->
         Gain_matrix.reset g;
         g
-    | None -> Gain_matrix.create inst
+    | None -> Gain_matrix.create ~candidates inst
   in
   if resume <> None then
     for p = 0 to n_p - 1 do
@@ -117,7 +119,8 @@ let run_with ctx stage inst =
     match ctx.Ctx.resume_from with Some (Ok s) -> Some s | _ -> None
   in
   solve_with ?deadline:ctx.Ctx.deadline ?gains:ctx.Ctx.gains
-    ?checkpoint:ctx.Ctx.checkpoint ?resume_from ?pool:ctx.Ctx.pool stage inst
+    ~candidates:ctx.Ctx.candidates ?checkpoint:ctx.Ctx.checkpoint ?resume_from
+    ?pool:ctx.Ctx.pool stage inst
 
 let solve ?(ctx = Ctx.default) inst = run_with ctx hungarian_stage inst
 let solve_flow ?(ctx = Ctx.default) inst = run_with ctx flow_stage inst

@@ -15,7 +15,11 @@ val solve : ?ctx:Ctx.t -> Instance.t -> Assignment.t
 
     - [ctx.gains], when set, is reset and used as the shared gain matrix
       for every stage (and left holding the final groups, so a follow-up
-      {!Sra.refine} can reuse it); otherwise a private one is created.
+      {!Sra.refine} can reuse it); otherwise a private one is created
+      with [ctx.candidates] as its width — [k > 0] selects the
+      candidate-pruned backing, switching every stage to the pruned
+      {!Stage.solve} backend with O(n_p * k) matrix memory; [0] (the
+      default) is the dense parity oracle.
     - [ctx.deadline] is checked between stages and inside the stage
       backend; on expiry the stages completed so far are kept and the
       remaining slots are filled greedily by {!Repair}, so the result

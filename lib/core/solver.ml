@@ -241,7 +241,9 @@ let cra ?(refine = true) ?(ctx = Ctx.default) inst =
      stage, SRA reuses its cached score matrix, Eq. 9 column sums and
      surviving rows, and the fallback links reset it on entry. *)
   let gm =
-    match ctx.Ctx.gains with Some g -> g | None -> Gain_matrix.create inst
+    match ctx.Ctx.gains with
+    | Some g -> g
+    | None -> Gain_matrix.create ~candidates:ctx.Ctx.candidates inst
   in
   (* A sub-context for one link: the chain's deadline/pool plus the
      link's own sink and resume state. Never the chain's [on_degrade]
@@ -253,6 +255,10 @@ let cra ?(refine = true) ?(ctx = Ctx.default) inst =
       Ctx.deadline;
       rng;
       gains = Some gm;
+      (* Redundant while [gains] is set, but links that spawn private
+         matrices from a context (future ones included) should inherit
+         the chain's pruning width rather than silently go dense. *)
+      candidates = ctx.Ctx.candidates;
       checkpoint = sink;
       resume_from = Option.map Result.ok resume;
       pool = ctx.Ctx.pool;

@@ -35,20 +35,47 @@ let removal_probability inst ~score_matrix ~round ~lambda ~paper ~reviewer =
     ~reviewer
 
 let refine_impl ?(params = default_params) ?deadline ?on_round ?gains
-    ?checkpoint ?resume_from ~rng inst start =
+    ?(candidates = 0) ?checkpoint ?resume_from ~rng inst start =
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
-  (* The shared gain matrix carries the score matrix and the Eq. 9
-     column sums (both static across rounds), and its per-paper rows
-     survive between rounds: a removal that never defined the group max
-     on the paper's support keeps the row valid for the refill stage. *)
+  (* The shared gain matrix carries the Eq. 9 column sums (static across
+     rounds), and its per-paper rows survive between rounds: a removal
+     that never defined the group max on the paper's support keeps the
+     row valid for the refill stage. *)
   let gm =
-    match gains with Some g -> g | None -> Gain_matrix.create inst
+    match gains with Some g -> g | None -> Gain_matrix.create ~candidates inst
   in
-  let score_matrix = Gain_matrix.score_matrix gm in
-  let denom = Gain_matrix.column_denominators gm in
-  let keep ~round ~paper ~reviewer =
-    keep_probability ~n_reviewers:n_r ~denom ~score_matrix ~round
-      ~lambda:params.lambda ~paper ~reviewer
+  let keep =
+    if Gain_matrix.pruned gm then begin
+      (* Pruned: no O(n_p * n_r) score cache. Keep-probabilities are
+         only ever read for current group members — delta_p pairs per
+         paper per round — so each score is recomputed on demand with
+         the same sparse kernel (and the same COI sentinel) the cached
+         matrix was built from: bit-identical keep values. The Eq. 9
+         denominators stream through one transient row inside
+         {!Gain_matrix.column_denominators}. *)
+      let denom = Gain_matrix.column_denominators gm in
+      fun ~round ~paper ~reviewer ->
+        let s =
+          if Instance.forbidden inst ~paper ~reviewer then
+            Lap.Hungarian.forbidden
+          else Instance.pair_score inst ~paper ~reviewer
+        in
+        let ratio =
+          if denom.(reviewer) > 0. && s <> Lap.Hungarian.forbidden then
+            s /. denom.(reviewer)
+          else 0.
+        in
+        Float.max
+          (1. /. float_of_int n_r)
+          (exp (-.params.lambda *. float_of_int round) *. ratio)
+    end
+    else begin
+      let score_matrix = Gain_matrix.score_matrix gm in
+      let denom = Gain_matrix.column_denominators gm in
+      fun ~round ~paper ~reviewer ->
+        keep_probability ~n_reviewers:n_r ~denom ~score_matrix ~round
+          ~lambda:params.lambda ~paper ~reviewer
+    end
   in
   (* Resume only from a state captured in this phase. The snapshot's
      score is trusted over a recomputation so the improvement threshold
@@ -177,14 +204,15 @@ let refine ?params ?on_round ?(ctx = Ctx.default) inst start =
     match ctx.Ctx.resume_from with Some (Ok s) -> Some s | _ -> None
   in
   refine_impl ?params ?deadline:ctx.Ctx.deadline ?on_round ?gains:ctx.Ctx.gains
-    ?checkpoint:ctx.Ctx.checkpoint ?resume_from
+    ~candidates:ctx.Ctx.candidates ?checkpoint:ctx.Ctx.checkpoint ?resume_from
     ~rng:(Ctx.rng_or ~seed:0 ctx) inst start
 
 let refine_opts = refine_impl
 
 (* Parallel SRA: [chains] completely independent refinement chains, one
    per task, each with its own split RNG stream and private gain matrix
-   (static score caches shared read-only via [adopt_static]). The winner
+   ({!Gain_matrix.spawn}: static caches and candidate lists shared
+   read-only, rows lazy and worker-private). The winner
    is the highest-scoring chain, ties to the lowest chain index, so the
    result is a pure function of (rng state, chains) — the pool's job
    count only changes wall-clock time. *)
@@ -205,13 +233,18 @@ let refine_parallel ?params ?chains ?(ctx = Ctx.default) inst start =
      chains fall back to computing the caches lazily — they will find
      the deadline expired and return the start assignment anyway. *)
   let base_gm =
-    match ctx.Ctx.gains with Some g -> g | None -> Gain_matrix.create inst
+    match ctx.Ctx.gains with
+    | Some g -> g
+    | None -> Gain_matrix.create ~candidates:ctx.Ctx.candidates inst
   in
   (try Gain_matrix.prime ~pool ?deadline base_gm with Timer.Expired -> ());
   let results =
     Pool.run pool ~n:chains (fun c ->
-        let gm = Gain_matrix.create inst in
-        Gain_matrix.adopt_static gm ~from:base_gm;
+        (* A spawn, not a full-matrix copy: O(n_p) chain state sharing
+           the coordinator's static caches and candidate lists
+           read-only; rows materialize lazily inside the worker's own
+           Bigarray buffers. *)
+        let gm = Gain_matrix.spawn base_gm in
         (* No [checkpoint] and no [on_round] inside a worker: observers
            run on the coordinator only (the sink contract is
            single-domain). Workers poll the shared deadline through the

@@ -37,7 +37,12 @@ val refine :
     stage; [ctx.gains], when set, supplies the cached score matrix and
     Eq. 9 column sums and carries gain rows across rounds (its group
     state is rebuilt from scratch each round, so any prior state is
-    acceptable — e.g. the matrix {!Sdga.solve} just used).
+    acceptable — e.g. the matrix {!Sdga.solve} just used); otherwise a
+    private matrix is created with [ctx.candidates] as its width. On a
+    candidate-pruned matrix no score cache is materialized: member
+    keep-probabilities recompute their scores on demand (bit-identical
+    values), the Eq. 9 denominators stream, and refill stages run the
+    pruned {!Stage.solve} backend.
 
     [ctx.checkpoint] receives a {!Checkpoint.Round_improved} event on
     every improving round and a snapshot offer at every round boundary
@@ -61,7 +66,11 @@ val refine_parallel :
 (** [chains] (default: the pool's job count) completely independent
     refinement chains run across [ctx.pool] (sequentially without one),
     each seeded from its own {!Wgrap_util.Rng.split} stream of the
-    context rng and refining the same [start]; the best final score wins,
+    context rng and refining the same [start] with its own
+    {!Gain_matrix.spawn} of the coordinator matrix — O(n_p) chain state
+    sharing the static caches read-only, not a full-matrix copy — so
+    chain memory no longer scales with [n_p * n_r]. The best final score
+    wins,
     ties to the lowest chain index. The result is therefore a pure
     function of (rng state, [chains]) — the pool's job count changes
     only wall-clock time, which is what the parallel-equivalence
@@ -113,6 +122,7 @@ val refine_opts :
   ?deadline:Wgrap_util.Timer.deadline ->
   ?on_round:(round:int -> elapsed:float -> best:float -> unit) ->
   ?gains:Gain_matrix.t ->
+  ?candidates:int ->
   ?checkpoint:Checkpoint.sink ->
   ?resume_from:Checkpoint.state ->
   rng:Wgrap_util.Rng.t ->

@@ -1,3 +1,5 @@
+module Timer = Wgrap_util.Timer
+
 let default_gain ~paper:_ ~reviewer:_ ~coverage_gain = coverage_gain
 
 let paper_array ?papers inst =
@@ -29,6 +31,177 @@ let fill_row pair_gain inst ~gains ~capacity ~mask ~raw ~current p =
   done;
   List.iter (fun r -> mask.(r) <- false) members
 
+(* {1 Candidate-pruned backend}
+
+   When the shared matrix is candidate-pruned, the stage never
+   materializes an [rows x n_r] score matrix: the edge set is each
+   paper's candidate list, masked exactly like [fill_row] masks a dense
+   row. Small stages still solve exactly — the Hungarian algorithm on a
+   compact matrix over just the reviewers the edges touch — so at the
+   paper's evaluation scale the pruned stage is stage-optimal within
+   the candidate set. Past a work gate (where a Hungarian run would
+   dwarf edge collection) the stage falls back to greedy descending-
+   gain matching, with a per-paper full scan ({!Gain_matrix.gain}, any
+   reviewer) only for papers the candidate edges could not place, and
+   [Failure] only when no reviewer at all has capacity left. *)
+
+type edge = { value : float; row : int; reviewer : int }
+
+(* Deterministic matching preference: higher value first, then the
+   earlier paper, then the lower reviewer id. *)
+let edge_compare a b =
+  match Float.compare b.value a.value with
+  | 0 -> (
+      match Int.compare a.row b.row with
+      | 0 -> Int.compare a.reviewer b.reviewer
+      | c -> c)
+  | c -> c
+
+(* A compact Hungarian run costs ~rows^2 * cols; keep it under the gate
+   so a pruned stage is never slower than its own edge collection. *)
+let hungarian_work_gate = 100_000_000
+
+let collect_edges pair_gain gm ?deadline inst ~paper_list ~current ~capacity =
+  let n_r = Instance.n_reviewers inst in
+  let mask = Array.make n_r false in
+  let edges = ref [] in
+  Array.iteri
+    (fun i p ->
+      Timer.check_opt deadline;
+      let members = Assignment.group current p in
+      List.iter (fun r -> mask.(r) <- true) members;
+      Gain_matrix.iter_row gm ~paper:p (fun ~reviewer:r ~gain ->
+          if
+            capacity.(r) > 0 && (not mask.(r))
+            && not (Instance.forbidden inst ~paper:p ~reviewer:r)
+          then
+            edges :=
+              { value = pair_gain ~paper:p ~reviewer:r ~coverage_gain:gain;
+                row = i;
+                reviewer = r }
+              :: !edges);
+      List.iter (fun r -> mask.(r) <- false) members)
+    paper_list;
+  Array.of_list !edges
+
+(* Exact assignment over the candidate edges: Hungarian on a matrix
+   whose columns are the capacity units of just the reviewers any edge
+   touches. Returns [None] when the edge set cannot cover every paper
+   (the greedy path then tries its full-scan completion). *)
+let compact_hungarian ?deadline ~rows ~capacity edges =
+  let module IM = Map.Make (Int) in
+  let touched =
+    Array.fold_left (fun m e -> IM.add e.reviewer () m) IM.empty edges
+  in
+  let owner = ref [] in
+  IM.iter
+    (fun r () ->
+      for _ = 1 to min capacity.(r) rows do
+        owner := r :: !owner
+      done)
+    touched;
+  let owner = Array.of_list (List.rev !owner) in
+  let cols = Array.length owner in
+  if cols < rows then None
+  else begin
+    let col_of = Hashtbl.create (Array.length owner) in
+    Array.iteri
+      (fun c r -> if not (Hashtbl.mem col_of r) then Hashtbl.add col_of r c)
+      owner;
+    let score =
+      Array.init rows (fun _ -> Array.make cols Lap.Hungarian.forbidden)
+    in
+    Array.iter
+      (fun e ->
+        let c0 = Hashtbl.find col_of e.reviewer in
+        let c = ref c0 in
+        while !c < cols && owner.(!c) = e.reviewer do
+          score.(e.row).(!c) <- e.value;
+          incr c
+        done)
+      edges;
+    match Lap.Hungarian.maximize ?deadline score with
+    | cols_of_rows, _ -> Some (Array.map (fun c -> owner.(c)) cols_of_rows)
+    | exception Failure _ -> None
+  end
+
+(* Greedy descending-gain matching over the candidate edges, then a
+   full scan for any paper left over. *)
+let greedy_matching ?deadline ~pair_gain ~gm ~paper_list ~capacity inst
+    ~current edges =
+  let rows = Array.length paper_list in
+  let n_r = Instance.n_reviewers inst in
+  Array.sort edge_compare edges;
+  let chosen = Array.make rows (-1) in
+  let left = Array.copy capacity in
+  let unmatched = ref rows in
+  Array.iter
+    (fun e ->
+      if !unmatched > 0 && chosen.(e.row) < 0 && left.(e.reviewer) > 0 then begin
+        chosen.(e.row) <- e.reviewer;
+        left.(e.reviewer) <- left.(e.reviewer) - 1;
+        decr unmatched
+      end)
+    edges;
+  if !unmatched > 0 then
+    (* Completion: candidates could not place these papers (narrow
+       support, or their candidates' capacity went to earlier papers).
+       One full scan per leftover paper, exactly what {!Repair} would
+       do later but stage-capacity-aware. *)
+    Array.iteri
+      (fun i p ->
+        if chosen.(i) < 0 then begin
+          Timer.check_opt deadline;
+          let members = Assignment.group current p in
+          let best = ref (-1) and best_value = ref neg_infinity in
+          for r = 0 to n_r - 1 do
+            if
+              left.(r) > 0
+              && (not (List.mem r members))
+              && not (Instance.forbidden inst ~paper:p ~reviewer:r)
+            then begin
+              let value =
+                pair_gain ~paper:p ~reviewer:r
+                  ~coverage_gain:(Gain_matrix.gain gm ~paper:p ~reviewer:r)
+              in
+              if value > !best_value then begin
+                best_value := value;
+                best := r
+              end
+            end
+          done;
+          if !best < 0 then failwith "Stage.solve: infeasible stage";
+          chosen.(i) <- !best;
+          left.(!best) <- left.(!best) - 1
+        end)
+      paper_list;
+  chosen
+
+let solve_pruned ?(pair_gain = default_gain) ~gm ?deadline inst ~paper_list
+    ~current ~capacity =
+  let rows = Array.length paper_list in
+  let edges =
+    collect_edges pair_gain gm ?deadline inst ~paper_list ~current ~capacity
+  in
+  let units =
+    (* Upper bound on compact columns without building them. *)
+    Array.fold_left (fun acc c -> acc + min c rows) 0 capacity
+  in
+  let exact =
+    rows * rows <= hungarian_work_gate / max 1 (min units (Array.length edges))
+  in
+  let chosen =
+    let from_hungarian =
+      if exact then compact_hungarian ?deadline ~rows ~capacity edges else None
+    in
+    match from_hungarian with
+    | Some chosen -> chosen
+    | None ->
+        greedy_matching ?deadline ~pair_gain ~gm ~paper_list ~capacity inst
+          ~current edges
+  in
+  Array.to_list (Array.mapi (fun i r -> (paper_list.(i), r)) chosen)
+
 let solve ?papers ?(pair_gain = default_gain) ?gains ?deadline inst ~current
     ~capacity =
   let n_r = Instance.n_reviewers inst in
@@ -37,34 +210,39 @@ let solve ?papers ?(pair_gain = default_gain) ?gains ?deadline inst ~current
   let paper_list = paper_array ?papers inst in
   let rows = Array.length paper_list in
   if rows = 0 then []
-  else begin
-    (* One column per remaining capacity unit; [owner] maps back. *)
-    let owner = ref [] in
-    for r = n_r - 1 downto 0 do
-      if capacity.(r) < 0 then invalid_arg "Stage.solve: negative capacity";
-      for _ = 1 to capacity.(r) do
-        owner := r :: !owner
-      done
-    done;
-    let owner = Array.of_list !owner in
-    let cols = Array.length owner in
-    if cols < rows then failwith "Stage.solve: infeasible stage";
-    let mask = Array.make n_r false in
-    let raw = Array.make n_r 0. in
-    let score =
-      Array.map
-        (fun p ->
-          fill_row pair_gain inst ~gains ~capacity ~mask ~raw ~current p;
-          (* Replicated columns of a reviewer share one value. *)
-          Array.map (fun r -> raw.(r)) owner)
-        paper_list
-    in
-    match Lap.Hungarian.maximize ?deadline score with
-    | cols_of_rows, _ ->
-        Array.to_list
-          (Array.mapi (fun i c -> (paper_list.(i), owner.(c))) cols_of_rows)
-    | exception Failure _ -> failwith "Stage.solve: infeasible stage"
-  end
+  else
+    match gains with
+    | Some gm when Gain_matrix.pruned gm ->
+        solve_pruned ~pair_gain ~gm ?deadline inst ~paper_list ~current
+          ~capacity
+    | _ ->
+        (* One column per remaining capacity unit; [owner] maps back. *)
+        let owner = ref [] in
+        for r = n_r - 1 downto 0 do
+          if capacity.(r) < 0 then invalid_arg "Stage.solve: negative capacity";
+          for _ = 1 to capacity.(r) do
+            owner := r :: !owner
+          done
+        done;
+        let owner = Array.of_list !owner in
+        let cols = Array.length owner in
+        if cols < rows then failwith "Stage.solve: infeasible stage";
+        let mask = Array.make n_r false in
+        let raw = Array.make n_r 0. in
+        let score =
+          Array.map
+            (fun p ->
+              Timer.check_opt deadline;
+              fill_row pair_gain inst ~gains ~capacity ~mask ~raw ~current p;
+              (* Replicated columns of a reviewer share one value. *)
+              Array.map (fun r -> raw.(r)) owner)
+            paper_list
+        in
+        (match Lap.Hungarian.maximize ?deadline score with
+        | cols_of_rows, _ ->
+            Array.to_list
+              (Array.mapi (fun i c -> (paper_list.(i), owner.(c))) cols_of_rows)
+        | exception Failure _ -> failwith "Stage.solve: infeasible stage")
 
 let solve_flow ?papers ?(pair_gain = default_gain) ?gains ?deadline inst
     ~current ~capacity =
@@ -74,28 +252,35 @@ let solve_flow ?papers ?(pair_gain = default_gain) ?gains ?deadline inst
   let paper_list = paper_array ?papers inst in
   let rows = Array.length paper_list in
   if rows = 0 then []
-  else begin
-    let mask = Array.make n_r false in
-    let raw = Array.make n_r 0. in
-    let score =
-      Array.map
-        (fun p ->
-          fill_row pair_gain inst ~gains ~capacity ~mask ~raw ~current p;
-          Array.copy raw)
-        paper_list
-    in
-    let chosen =
-      try
-        Lap.Mcmf.transportation ?deadline ~row_supply:(Array.make rows 1)
-          ~col_capacity:capacity score
-      with Failure _ -> failwith "Stage.solve: infeasible stage"
-    in
-    let pairs = ref [] in
-    Array.iteri
-      (fun i rs ->
-        match rs with
-        | [ r ] -> pairs := (paper_list.(i), r) :: !pairs
-        | _ -> failwith "Stage.solve: infeasible stage")
-      chosen;
-    List.rev !pairs
-  end
+  else
+    match gains with
+    | Some gm when Gain_matrix.pruned gm ->
+        (* Both backends share the candidate-pruned solver: the flow
+           formulation's whole cost model assumes the dense matrix. *)
+        solve_pruned ~pair_gain ~gm ?deadline inst ~paper_list ~current
+          ~capacity
+    | _ ->
+        let mask = Array.make n_r false in
+        let raw = Array.make n_r 0. in
+        let score =
+          Array.map
+            (fun p ->
+              Timer.check_opt deadline;
+              fill_row pair_gain inst ~gains ~capacity ~mask ~raw ~current p;
+              Array.copy raw)
+            paper_list
+        in
+        let chosen =
+          try
+            Lap.Mcmf.transportation ?deadline ~row_supply:(Array.make rows 1)
+              ~col_capacity:capacity score
+          with Failure _ -> failwith "Stage.solve: infeasible stage"
+        in
+        let pairs = ref [] in
+        Array.iteri
+          (fun i rs ->
+            match rs with
+            | [ r ] -> pairs := (paper_list.(i), r) :: !pairs
+            | _ -> failwith "Stage.solve: infeasible stage")
+          chosen;
+        List.rev !pairs

@@ -28,6 +28,15 @@ val solve :
     gains are computed per call with the O(nnz) sparse kernel — same
     values either way.
 
+    A {e candidate-pruned} matrix ({!Gain_matrix.pruned}) switches the
+    whole stage to the pruned backend: the edge set is each paper's
+    candidate list under the same masks, solved exactly (Hungarian on a
+    compact matrix over just the touched reviewers' capacity units)
+    while the work fits a gate, and by deterministic descending-gain
+    matching past it — with a per-paper full scan only for papers the
+    candidate edges could not place. Nothing [rows x n_r]-sized is
+    built. [Failure] then means no reviewer at all had capacity left.
+
     [pair_gain] replaces the objective of the stage: it receives the
     plain coverage gain and returns the value to maximize — the hook the
     bid-aware extension ({!Bids}) uses to blend in reviewer preferences.
@@ -54,4 +63,6 @@ val solve_flow :
   (int * int) list
 (** Same contract, min-cost-flow backend (unit paper supplies into
     capacitated reviewer sinks). Identical stage optima; different
-    constants. *)
+    constants. A candidate-pruned [gains] routes to the same pruned
+    backend as {!solve} — the flow formulation's cost model assumes the
+    dense matrix. *)

@@ -254,3 +254,91 @@ let generate ?(config = default_config) ~rng () =
       vocab_words;
     } )
 
+(* {1 Raw-instance presets}
+
+   The corpus generator above exercises the whole ATM pipeline but tops
+   out around 10^3 authors; the scale benchmarks need raw topic-vector
+   instances two orders of magnitude larger. These presets skip the
+   corpus entirely: topic popularity is Zipf-skewed (a handful of hot
+   topics shared by thousands of reviewers, a long tail nobody works
+   on — the regime where an inverted index prunes well and where dense
+   matrices drown), and every vector is a normalized sparse mixture of
+   a few sampled topics, the shape the topic models emit. *)
+
+type instance_preset = {
+  preset_name : string;
+  n_reviewers : int;
+  n_papers : int;
+  n_topics : int;
+  delta_p : int;
+  delta_r : int;
+  reviewer_nnz : int;
+  paper_nnz : int;
+  zipf_s : float;
+}
+
+let xl_preset =
+  {
+    preset_name = "xl";
+    n_reviewers = 50_000;
+    n_papers = 5_000;
+    n_topics = 500;
+    delta_p = 3;
+    delta_r = 3;
+    reviewer_nnz = 8;
+    paper_nnz = 6;
+    zipf_s = 1.1;
+  }
+
+let quick_preset =
+  {
+    xl_preset with
+    preset_name = "quick";
+    n_reviewers = 3_000;
+    n_papers = 300;
+    n_topics = 120;
+  }
+
+let instance_presets = [ quick_preset; xl_preset ]
+
+let preset_of_name name =
+  List.find_opt
+    (fun p -> String.equal p.preset_name name)
+    instance_presets
+
+(* Unnormalized Zipf popularity: topic t drawn with weight 1/(t+1)^s. *)
+let zipf_weights ~s ~dim =
+  Array.init dim (fun t -> float_of_int (t + 1) ** -.s)
+
+(* A sparse mixture over [nnz] distinct Zipf-sampled topics. Rejection
+   on collisions terminates fast: even the hottest topic holds well
+   under half the total mass at the preset skews. *)
+let skewed_vector rng ~weights ~dim ~nnz =
+  let v = Array.make dim 0. in
+  let picked = ref 0 in
+  while !picked < nnz do
+    let t = Rng.categorical rng weights in
+    if Float.equal v.(t) 0. then begin
+      v.(t) <- 0.5 +. Rng.uniform rng;
+      incr picked
+    end
+  done;
+  Wgrap_util.Stats.normalize v
+
+let instance_of_preset ?(scoring = Wgrap.Scoring.Weighted_coverage) ?(seed = 7)
+    p =
+  let rng = Rng.create seed in
+  let weights = zipf_weights ~s:p.zipf_s ~dim:p.n_topics in
+  let nnz_cap = min p.n_topics in
+  let papers =
+    Array.init p.n_papers (fun _ ->
+        skewed_vector rng ~weights ~dim:p.n_topics ~nnz:(nnz_cap p.paper_nnz))
+  in
+  let reviewers =
+    Array.init p.n_reviewers (fun _ ->
+        skewed_vector rng ~weights ~dim:p.n_topics
+          ~nnz:(nnz_cap p.reviewer_nnz))
+  in
+  Wgrap.Instance.create_exn ~scoring ~papers ~reviewers ~delta_p:p.delta_p
+    ~delta_r:p.delta_r ()
+

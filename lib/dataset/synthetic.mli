@@ -41,3 +41,42 @@ val generate :
 val venues_of_area : Corpus.area -> string list
 (** SIGMOD/VLDB/ICDE/PODS, SIGKDD/ICDM/SDM/CIKM, STOC/FOCS/SODA — the
     venue pools of Table 3. *)
+
+(** {1 Raw-instance presets}
+
+    Large WGRAP instances generated directly as topic vectors, skipping
+    the corpus/ATM pipeline — the standard inputs of the scale
+    benchmarks ({!val-instance_of_preset} is what
+    [prune_bench --preset xl] builds). Topic popularity is Zipf-skewed
+    with exponent [zipf_s]; every paper/reviewer vector is a normalized
+    mixture over a few sampled topics. *)
+
+type instance_preset = {
+  preset_name : string;
+  n_reviewers : int;
+  n_papers : int;
+  n_topics : int;
+  delta_p : int;
+  delta_r : int;
+  reviewer_nnz : int;  (** topics per reviewer vector *)
+  paper_nnz : int;  (** topics per paper vector *)
+  zipf_s : float;  (** topic-popularity skew exponent *)
+}
+
+val xl_preset : instance_preset
+(** ~50k reviewers x 5k papers over 500 topics — the memory-wall scale
+    the candidate-pruned solvers target (a dense gain matrix here is
+    2 GB; the k=16 pruned one is ~640 KB). *)
+
+val quick_preset : instance_preset
+(** 3k reviewers x 300 papers over 120 topics: same skew, small enough
+    for the dense oracle to finish in CI smoke runs. *)
+
+val instance_presets : instance_preset list
+
+val preset_of_name : string -> instance_preset option
+(** Lookup by [preset_name] ("xl", "quick"). *)
+
+val instance_of_preset :
+  ?scoring:Wgrap.Scoring.kind -> ?seed:int -> instance_preset -> Wgrap.Instance.t
+(** Deterministic in [seed] (default 7). *)

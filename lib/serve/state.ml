@@ -6,10 +6,27 @@ module Ctx = Wgrap.Ctx
 module Amend = Wgrap.Amend
 module Instance = Wgrap.Instance
 module Assignment = Wgrap.Assignment
+module Gain_matrix = Wgrap.Gain_matrix
 module Timer = Wgrap_util.Timer
 module Crc32 = Wgrap_persist.Crc32
 
 let scoring = Scoring.Weighted_coverage
+
+(* The resident dense view: the [Instance.t] (with its compiled supports
+   and candidate index) and the shared [Gain_matrix.t] survive across
+   events, so consecutive Amend repairs reuse warm gain rows instead of
+   rebuilding the whole mapping per event. The view is keyed by the
+   roster: any membership change drops it; a late conflict rebinds it in
+   place (same shape, rows survive). Planner-only — nothing here is in
+   {!encode}, so cache state can never leak into replay determinism. *)
+type dense_view = {
+  d_inst : Instance.t;
+  d_pids : int array;
+  d_rids : int array;
+  d_pidx : (int, int) Hashtbl.t;
+  d_ridx : (int, int) Hashtbl.t;
+  d_gm : Gain_matrix.t;
+}
 
 type t = {
   dim : int;
@@ -24,6 +41,7 @@ type t = {
   pending : (int, unit) Hashtbl.t;
   mutable last_client : int;
   mutable applied : int;
+  mutable dense : dense_view option;
 }
 
 let create ~dim ~delta_p ~delta_r =
@@ -45,6 +63,7 @@ let create ~dim ~delta_p ~delta_r =
         pending = Hashtbl.create 16;
         last_client = -1;
         applied = 0;
+        dense = None;
       }
 
 let dim t = t.dim
@@ -256,7 +275,7 @@ type planned = { ops : Event.op list; reasons : Solver.reason list }
    there (Amend maximizes unweighted coverage); that is acceptable for
    repair ops — bids are soft preferences, feasibility is not. *)
 
-let to_dense t =
+let build_dense_view t =
   let pids = Array.of_list (sorted_keys t.papers) in
   let rids = Array.of_list (sorted_keys t.reviewers) in
   if Array.length pids = 0 || Array.length rids = 0 then None
@@ -278,14 +297,45 @@ let to_dense t =
     with
     | Error _ -> None
     | Ok inst ->
-        let a = Assignment.empty ~n_papers:(Array.length pids) in
-        Array.iteri
-          (fun i p ->
-            a.Assignment.groups.(i) <-
-              List.map (Hashtbl.find ridx) (Hashtbl.find t.groups p))
-          pids;
-        Some (inst, pids, rids, a)
+        Some
+          {
+            d_inst = inst;
+            d_pids = pids;
+            d_rids = rids;
+            d_pidx = pidx;
+            d_ridx = ridx;
+            d_gm = Gain_matrix.create inst;
+          }
   end
+
+(* The assignment itself is rebuilt from [t.groups] on every call (it is
+   O(n_p) and must reflect committed state exactly); the instance and
+   the gain matrix come from the resident view. The per-paper
+   [set_group] sync below bumps a row version only where the group
+   vector actually moved, so rows of papers untouched since the last
+   event stay warm — this is the incremental maintenance PR 6 deferred. *)
+let to_dense t =
+  let view =
+    match t.dense with
+    | Some d -> Some d
+    | None ->
+        let d = build_dense_view t in
+        t.dense <- d;
+        d
+  in
+  match view with
+  | None -> None
+  | Some d ->
+      let a = Assignment.empty ~n_papers:(Array.length d.d_pids) in
+      Array.iteri
+        (fun i p ->
+          let g =
+            List.map (Hashtbl.find d.d_ridx) (Hashtbl.find t.groups p)
+          in
+          a.Assignment.groups.(i) <- g;
+          Gain_matrix.set_group d.d_gm ~paper:i g)
+        d.d_pids;
+      Some (d.d_inst, d.d_pids, d.d_rids, a, d.d_gm)
 
 let amendable t = Hashtbl.length t.pending = 0
 
@@ -351,11 +401,11 @@ let plan_reviewer_leave ?deadline t ~reviewer =
     else
       match to_dense t with
       | None -> manual []
-      | Some (inst, pids, rids, a) -> (
+      | Some (inst, pids, rids, a, gm) -> (
           match ridx_of rids reviewer with
           | None -> manual []
           | Some ri -> (
-              match Amend.withdraw_reviewer inst a ~reviewer:ri with
+              match Amend.withdraw_reviewer ~gains:gm inst a ~reviewer:ri with
               | Ok change -> { ops = ops_of_change rids pids change; reasons = [] }
               | Error e ->
                   manual [ Solver.Fault { link = "amend-withdraw"; error = e } ]))
@@ -382,13 +432,13 @@ let plan_coi_add ?deadline t ~paper ~reviewer =
     else
       match to_dense t with
       | None -> manual []
-      | Some (inst, pids, rids, a) -> (
+      | Some (inst, pids, rids, a, gm) -> (
           let pi = ref (-1) in
           Array.iteri (fun i p -> if p = paper then pi := i) pids;
           match ridx_of rids reviewer with
           | None -> manual []
           | Some ri -> (
-              match Amend.add_coi inst a [ (!pi, ri) ] with
+              match Amend.add_coi ~gains:gm inst a [ (!pi, ri) ] with
               | Ok (_inst', change) ->
                   { ops = ops_of_change rids pids change; reasons = [] }
               | Error e ->
@@ -497,7 +547,36 @@ let purge_pairs tbl which id =
   in
   List.iter (Hashtbl.remove tbl) doomed
 
+(* Keep the resident dense view in step with a membership change: any
+   roster mutation changes the index mapping and drops the view; a late
+   conflict keeps it — the instance is rebuilt with the extra COI and
+   the gain matrix rebound in place, which preserves every warm row
+   (gain rows never read the COI mask). *)
+let sync_dense t (req : Event.req) =
+  match req with
+  | Event.Paper_add _ | Event.Paper_withdraw _ | Event.Reviewer_join _
+  | Event.Reviewer_leave _ ->
+      t.dense <- None
+  | Event.Bid_update _ ->
+      (* bids are not represented in the dense view *)
+      ()
+  | Event.Coi_add { paper; reviewer } -> (
+      match t.dense with
+      | None -> ()
+      | Some d -> (
+          match
+            (Hashtbl.find_opt d.d_pidx paper, Hashtbl.find_opt d.d_ridx reviewer)
+          with
+          | Some pi, Some ri -> (
+              match Instance.add_coi d.d_inst [ (pi, ri) ] with
+              | Ok inst' ->
+                  Gain_matrix.rebind d.d_gm inst';
+                  t.dense <- Some { d with d_inst = inst' }
+              | Error _ -> t.dense <- None)
+          | _ -> t.dense <- None))
+
 let apply_membership t (req : Event.req) =
+  sync_dense t req;
   match req with
   | Event.Paper_add { paper; vec } ->
       if Hashtbl.mem t.papers paper then failc "duplicate paper %d" paper;
@@ -622,6 +701,9 @@ let commit t entry =
       Ok ()
     with Commit_error m ->
       restore t saved;
+      (* The rolled-back fold may have already rebound or relied on the
+         dense view; dropping it is always safe, keeping it is not. *)
+      t.dense <- None;
       Error m
   end
 

@@ -73,7 +73,11 @@ type planned = { ops : Event.op list; reasons : Wgrap.Solver.reason list }
 
 val plan :
   ?deadline:Wgrap_util.Timer.deadline -> t -> Event.req -> planned
-(** Pure; does not mutate [t]. Never raises. *)
+(** Pure with respect to observable state ({!encode} is unchanged, so
+    replay determinism is unaffected); internally it fills and reuses a
+    resident dense view — one {!Wgrap.Instance.t} plus one shared
+    {!Wgrap.Gain_matrix.t} maintained incrementally across events
+    instead of rebuilt per event. Never raises. *)
 
 type improvement =
   | Improved of Event.op list  (** journal these ops as an [Improve] entry *)

@@ -1,0 +1,7 @@
+(* Fixture: the allow attribute keeps a deliberate dense block quiet —
+   the shape a validation oracle needs. *)
+let oracle ~n_p ~n_r = (Array.make (n_p * n_r) 0. [@wgrap.allow "dense-alloc"])
+
+[@@@wgrap.allow "dense-alloc"]
+
+let whole_file_scope t = Array.make_matrix t.n_papers t.n_reviewers 0.

@@ -1,0 +1,20 @@
+(* Fixture: O(papers x reviewers) allocations must fire, whichever way
+   the dimensions are spelled. *)
+type t = { n_papers : int; n_reviewers : int }
+
+let flat ~n_p ~n_r = Array.make (n_p * n_r) 0.
+let matrix t = Array.make_matrix t.n_papers t.n_reviewers 0.
+let scores n_reviewers n_papers = Array.create_float (n_reviewers * n_papers)
+
+let via_accessor inst =
+  Array.init (Instance.n_papers inst * Instance.n_reviewers inst) (fun _ -> 0.)
+
+let big t =
+  Bigarray.Array2.create Bigarray.float64 Bigarray.c_layout t.n_papers
+    t.n_reviewers
+
+(* Legitimate shapes stay quiet: per-paper rows, square blocks, and
+   paper-only or reviewer-only vectors. *)
+let row ~n_r = Array.make n_r 0.
+let per_paper ~n_p = Array.make n_p []
+let square n = Array.make_matrix n n 0.

@@ -16,6 +16,13 @@ let random_owners = [ "lib/util/rng.ml" ]
    scoring kernels, whose index ranges are established by construction. *)
 let unsafe_owners = [ "lib/core/scoring.ml"; "lib/core/gain_matrix.ml" ]
 
+(* Rule dense-alloc: the only modules allowed to materialize an
+   O(papers x reviewers) block are the Gain_matrix dense backing itself
+   (it is the k = 0 oracle the pruned path is validated against) and
+   the bench baseline that measures exactly what the dense wall costs. *)
+let dense_alloc_owners =
+  [ "lib/core/gain_matrix.ml"; "bench/dense_baseline.ml" ]
+
 (* Rule deadline: solver link modules. Every exported entry point (a val
    whose name is in [solver_entry_names]) must accept [?deadline], and the
    implementation must either poll [Timer.check*]/[Timer.expired*] or

@@ -247,8 +247,99 @@ let unbounded_retry =
   in
   { name = "unbounded-retry"; check }
 
+(* 8. dense-alloc: an O(papers x reviewers) allocation is the memory
+   wall the candidate-pruned Gain_matrix exists to avoid — one flat
+   matrix for a 50k-reviewer pool is gigabytes before the solver does
+   any work. Heuristic: an [Array.make]/[Array.create_float]/
+   [Array.init] whose size is a product of a paperish and a reviewerish
+   count, or an [Array.make_matrix]/[Bigarray.*.create] dimensioned by
+   one of each. Names count as paperish when they mention "paper" (or
+   are the conventional [n_p]) and reviewerish via "reviewer" / [n_r];
+   the name is taken from the identifier, record field, or accessor
+   call supplying the dimension. *)
+let dense_alloc =
+  let contains ~sub s =
+    let ls = String.length s and lb = String.length sub in
+    let rec scan i = i + lb <= ls && (String.sub s i lb = sub || scan (i + 1)) in
+    scan 0
+  in
+  (* The name behind a dimension expression: identifier, field access,
+     or the accessor being applied ([Instance.n_papers inst]). *)
+  let rec dim_name (e : expression) =
+    match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> Some (List.rev (Longident.flatten_exn txt))
+    | Pexp_field (_, { txt; _ }) -> Some (List.rev (Longident.flatten_exn txt))
+    | Pexp_apply (f, _) -> dim_name f
+    | Pexp_constraint (e, _) -> dim_name e
+    | _ -> None
+  in
+  let nameish kind e =
+    match dim_name e with
+    | Some (last :: _) ->
+        let last = String.lowercase_ascii last in
+        (match kind with
+        | `Paper -> contains ~sub:"paper" last || String.equal last "n_p"
+        | `Reviewer -> contains ~sub:"reviewer" last || String.equal last "n_r")
+    | _ -> false
+  in
+  let paper_by_reviewer a b =
+    (nameish `Paper a && nameish `Reviewer b)
+    || (nameish `Reviewer a && nameish `Paper b)
+  in
+  (* [a * b] (any nesting side), for Array.make (n_p * n_r). *)
+  let rec product_dims (e : expression) =
+    match e.pexp_desc with
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Lident "*"; _ }; _ },
+          [ (Nolabel, a); (Nolabel, b) ] ) ->
+        Some (a, b)
+    | Pexp_constraint (e, _) -> product_dims e
+    | _ -> None
+  in
+  let report ctx ~loc =
+    Ctx.report ctx ~loc ~rule:"dense-alloc"
+      "O(papers x reviewers) dense allocation; stream per-paper \
+       candidate-pruned Gain_matrix rows (Ctx.candidates) instead of \
+       materializing the full matrix"
+  in
+  let check ctx (e : expression) =
+    if
+      not
+        (Lint_path.matches_any ~suffixes:Lint_config.dense_alloc_owners
+           ctx.Ctx.file)
+    then
+      match e.pexp_desc with
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) -> (
+          let nolabel =
+            List.filter_map
+              (fun (l, a) -> if l = Nolabel then Some a else None)
+              args
+          in
+          match (Longident.flatten_exn txt, nolabel) with
+          | [ "Array"; ("make" | "create_float" | "init") ], size :: _ -> (
+              match product_dims size with
+              | Some (a, b) when paper_by_reviewer a b -> report ctx ~loc
+              | _ -> ())
+          | [ "Array"; "make_matrix" ], a :: b :: _
+            when paper_by_reviewer a b ->
+              report ctx ~loc
+          | parts, _ :: _ :: _
+            when (match List.rev parts with
+                 (* Bigarray.Array2.create kind layout dim1 dim2:
+                    the dimensions are the last two arguments. *)
+                 | "create" :: "Array2" :: _ -> (
+                     match List.rev nolabel with
+                     | b :: a :: _ -> paper_by_reviewer a b
+                     | _ -> false)
+                 | _ -> false) ->
+              report ctx ~loc
+          | _ -> ())
+      | _ -> ()
+  in
+  { name = "dense-alloc"; check }
+
 let all =
   [
     wall_clock; raw_random; silent_catch; poly_compare; float_eq; unsafe_array;
-    unbounded_retry;
+    unbounded_retry; dense_alloc;
   ]

@@ -19,6 +19,8 @@
      unbounded-retry
                    no recursive retry loop without a visible bound, and
                    no raw blocking read in lib/serve outside Transport
+     dense-alloc   no O(papers x reviewers) allocation outside the
+                   Gain_matrix dense backing and the bench baseline
      deadline      solver entry points accept ?deadline and reach a
                    Timer.check*/forwarded deadline
 
