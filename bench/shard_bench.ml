@@ -1,0 +1,191 @@
+(* PR 8 sharding bench: the supervised sharded solve against its own
+   unsharded baseline. Emits machine-readable BENCH_PR8.json:
+
+     dune exec bench/shard_bench.exe -- --out BENCH_PR8.json
+     dune exec bench/shard_bench.exe -- --quick   (CI smoke profile)
+
+   Every leg runs through Shard.Supervisor.solve — shards=1 is the
+   unsharded baseline on the identical code path, so the ratio isolates
+   what partitioning costs (boundary quality) and buys (per-shard gain
+   matrices, fan-out) rather than comparing two different solvers. Legs
+   record wall clock, merged coverage, outcome status, the shard count
+   the partition actually produced, and peak RSS.
+
+   Acceptance gate: shards=4 coverage must stay >= 0.97x the unsharded
+   leg. The bench exits 1 when the gate fails, so CI catches a
+   partition-quality regression. Refinement is disabled on every leg
+   (the xl preset's full SRA pass dwarfs the partition signal being
+   measured); the supervisor's round-capped boundary repair still runs,
+   exactly as `wgrap assign --shards` ships it. *)
+
+module Rng = Wgrap_util.Rng
+module Timer = Wgrap_util.Timer
+module Synthetic = Dataset.Synthetic
+module Sup = Shard.Supervisor
+open Wgrap
+
+let proc_status_kb key =
+  let prefix = key ^ ":" in
+  let plen = String.length prefix in
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec scan () =
+            match input_line ic with
+            | exception End_of_file -> None
+            | line
+              when String.length line >= plen
+                   && String.equal (String.sub line 0 plen) prefix -> (
+                let body = String.sub line plen (String.length line - plen) in
+                match
+                  List.filter
+                    (fun s -> String.length s > 0)
+                    (String.split_on_char ' ' (String.trim body))
+                with
+                | n :: _ -> int_of_string_opt n
+                | [] -> None)
+            | _ -> scan ()
+          in
+          scan ())
+
+let vm_hwm_kb () = Option.value (proc_status_kb "VmHWM") ~default:(-1)
+
+type leg = {
+  label : string;
+  shards_requested : int;
+  shards_actual : int;
+  wall_s : float;
+  coverage : float;
+  status : string;
+  vm_hwm_kb : int;
+}
+
+let run_leg ~inst ~seed ~candidates ~shards =
+  let config = { Sup.default_config with Sup.refine = false } in
+  let ctx = Solver.Ctx.make ~seed ~candidates () in
+  let (outcome, prov), wall_s =
+    Timer.time (fun () -> Sup.solve ~config ~ctx ~shards inst)
+  in
+  let a =
+    match Solver.value outcome with
+    | Some a -> a
+    | None ->
+        Printf.eprintf "leg shards=%d produced no assignment\n" shards;
+        exit 1
+  in
+  (match Assignment.validate inst a with
+  | Ok () -> ()
+  | Error e ->
+      Printf.eprintf "leg shards=%d invalid: %s\n" shards e;
+      exit 1);
+  let leg =
+    {
+      label = Printf.sprintf "shards%d" shards;
+      shards_requested = shards;
+      shards_actual = List.length prov;
+      wall_s;
+      coverage = Assignment.coverage inst a;
+      status = Solver.status outcome;
+      vm_hwm_kb = vm_hwm_kb ();
+    }
+  in
+  Printf.printf
+    "%-8s  %8.2fs  coverage %.4f  %s  (%d shard(s))  VmHWM %d kB\n%!"
+    leg.label leg.wall_s leg.coverage leg.status leg.shards_actual
+    leg.vm_hwm_kb;
+  leg
+
+let emit ~out ~quick ~seed ~candidates ~preset ~legs ~ratio ~gate =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"bench\": \"BENCH_PR8\",\n";
+  add "  \"mode\": \"%s\",\n" (if quick then "quick" else "full");
+  add "  \"seed\": %d,\n" seed;
+  add "  \"candidates\": %d,\n" candidates;
+  add "  \"ocaml\": \"%s\",\n" Sys.ocaml_version;
+  add
+    "  \"preset\": {\"name\": \"%s\", \"n_reviewers\": %d, \"n_papers\": %d, \
+     \"n_topics\": %d, \"delta_p\": %d, \"delta_r\": %d},\n"
+    preset.Synthetic.preset_name preset.Synthetic.n_reviewers
+    preset.Synthetic.n_papers preset.Synthetic.n_topics
+    preset.Synthetic.delta_p preset.Synthetic.delta_r;
+  add "  \"legs\": [\n";
+  List.iteri
+    (fun i l ->
+      add
+        "    {\"label\": \"%s\", \"shards_requested\": %d, \"shards_actual\": \
+         %d, \"wall_s\": %.4f, \"coverage\": %.9f, \"status\": \"%s\", \
+         \"vm_hwm_kb\": %d}%s\n"
+        l.label l.shards_requested l.shards_actual l.wall_s l.coverage l.status
+        l.vm_hwm_kb
+        (if i = List.length legs - 1 then "" else ","))
+    legs;
+  add "  ],\n";
+  add "  \"parity\": {\"ratio_shards4_vs_unsharded\": %.6f,\n" ratio;
+  add "    \"gate\": %.2f,\n" gate;
+  add "    \"pass\": %b}\n" (ratio >= gate);
+  add "}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
+let gate = 0.97
+
+let run ~quick ~seed ~out =
+  let preset = if quick then Synthetic.quick_preset else Synthetic.xl_preset in
+  let candidates = 16 in
+  Printf.printf "preset %s: %d reviewers x %d papers, %d topics\n%!"
+    preset.Synthetic.preset_name preset.Synthetic.n_reviewers
+    preset.Synthetic.n_papers preset.Synthetic.n_topics;
+  let inst, build_s =
+    Timer.time (fun () -> Synthetic.instance_of_preset ~seed preset)
+  in
+  Printf.printf "instance built in %.2fs\n%!" build_s;
+  let shard_counts = if quick then [ 1; 4 ] else [ 1; 4; 8 ] in
+  let legs =
+    List.map (fun shards -> run_leg ~inst ~seed ~candidates ~shards)
+      shard_counts
+  in
+  let coverage_of n =
+    (List.find (fun l -> l.shards_requested = n) legs).coverage
+  in
+  let ratio = coverage_of 4 /. coverage_of 1 in
+  Printf.printf "shards=4 / unsharded coverage ratio: %.6f (gate %.2f)\n%!"
+    ratio gate;
+  emit ~out ~quick ~seed ~candidates ~preset ~legs ~ratio ~gate;
+  if ratio < gate then begin
+    Printf.eprintf "PARITY FAILURE: shards=4 ratio %.6f < %.2f\n" ratio gate;
+    exit 1
+  end
+
+open Cmdliner
+
+let quick_flag =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:"CI smoke profile: quick preset, shards 1 and 4 only.")
+
+let seed_arg =
+  Arg.(value & opt int 2015 & info [ "seed" ] ~docv:"N" ~doc:"Instance seed.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt string "BENCH_PR8.json"
+    & info [ "out" ] ~docv:"PATH" ~doc:"Where to write the JSON report.")
+
+let cmd =
+  let doc = "sharded-vs-unsharded solve bench (PR 8)" in
+  Cmd.v
+    (Cmd.info "shard_bench" ~doc)
+    Term.(
+      const (fun quick seed out -> run ~quick ~seed ~out)
+      $ quick_flag $ seed_arg $ out_arg)
+
+let () = exit (Cmd.eval cmd)

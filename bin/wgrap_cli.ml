@@ -103,9 +103,120 @@ let pool_of_jobs jobs =
   end
   else Wgrap_par.Pool.create ~jobs:requested
 
+(* {2 sharded assign}
+
+   --shards N routes the solve through the supervised sharded path
+   (Shard.Supervisor): topic-clustered paper shards, per-shard deadline
+   slicing / bounded retry / checkpoint-resume, greedy backstop, merge +
+   boundary SRA. --preset builds a synthetic raw instance directly
+   (the soak and bench inputs); --chaos-shards injects the deterministic
+   shard fault plan. *)
+
+let write_assignment_lines ~out a =
+  let oc = match out with "-" -> stdout | path -> open_out path in
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    (Assignment.to_lines a);
+  if out <> "-" then begin
+    close_out oc;
+    Printf.printf "assignment written to %s\n" out
+  end
+
+let instance_of_preset_name ~seed name =
+  match Dataset.Synthetic.preset_of_name name with
+  | None ->
+      die exit_usage "unknown preset %S (one of %s)" name
+        (String.concat ", "
+           (List.map
+              (fun p -> p.Dataset.Synthetic.preset_name)
+              Dataset.Synthetic.instance_presets))
+  | Some p ->
+      if p.Dataset.Synthetic.n_reviewers > 200_000 then
+        die exit_usage
+          "preset %s is disk-streamed only (Dataset.Synthetic.write_preset_tsv \
+           / fold_preset_tsv); it is too large to materialize for assign"
+          name
+      else Dataset.Synthetic.instance_of_preset ~seed p
+
+let shard_fault_injector ~seed ~shards spec =
+  let faults =
+    if String.equal spec "all" then Dataset.Chaos.shard_faults
+    else
+      String.split_on_char ',' spec
+      |> List.filter (fun s -> not (String.equal s ""))
+      |> List.map (fun s ->
+             match Dataset.Chaos.shard_fault_of_name s with
+             | Some f -> f
+             | None ->
+                 die exit_usage
+                   "unknown shard fault %S (one of %s, or \"all\")" s
+                   (String.concat ", "
+                      (List.map Dataset.Chaos.shard_fault_name
+                         Dataset.Chaos.shard_faults)))
+  in
+  (* the plan rides its own seed-derived stream, so a resumed process
+     rebuilds the identical chaos schedule *)
+  let plan =
+    Dataset.Chaos.shard_plan ~rng:(Rng.create (seed lxor 0x5eed)) ~shards
+      ~faults
+  in
+  fun ~shard ~attempt ->
+    match plan ~shard ~attempt with
+    | None -> None
+    | Some Dataset.Chaos.Shard_crash -> Some Shard.Supervisor.Crash
+    | Some Dataset.Chaos.Shard_hang -> Some Shard.Supervisor.Hang
+    | Some Dataset.Chaos.Shard_invalid -> Some Shard.Supervisor.Invalid_result
+
+let assign_sharded ~seed ~shards ~chaos_shards ~refine ~budget ~jobs
+    ~candidates ~strict ~out ~checkpoint_dir ~checkpoint_every ~resume inst =
+  if resume && Option.is_none checkpoint_dir then
+    die exit_usage "--resume requires --checkpoint-dir";
+  let inject = Option.map (shard_fault_injector ~seed ~shards) chaos_shards in
+  let config =
+    {
+      Shard.Supervisor.default_config with
+      Shard.Supervisor.cadence = Some checkpoint_every;
+      store_dir = checkpoint_dir;
+      resume;
+      refine;
+      inject;
+    }
+  in
+  let ctx =
+    Solver.Ctx.make ?budget ~seed ~candidates ~pool:(pool_of_jobs jobs) ()
+  in
+  let (outcome, prov), dt =
+    Timer.time (fun () -> Shard.Supervisor.solve ~config ~ctx ~shards inst)
+  in
+  enforce_tolerance ~strict outcome;
+  let a =
+    match Solver.value outcome with Some a -> a | None -> assert false
+  in
+  Printf.printf "solved in %s (%s, %d shard(s))\n" (Report.seconds_cell dt)
+    (Solver.status outcome) shards;
+  Format.printf "%a@." Summary.pp_shard_provenances prov;
+  (match Assignment.validate inst a with
+  | Ok () -> ()
+  | Error e -> die exit_degraded "internal error: infeasible assignment (%s)" e);
+  Format.printf "%a@." Summary.pp (Summary.compute inst a);
+  write_assignment_lines ~out a
+
 let assign ~seed ~authors_path ~papers_path ~dataset ~delta_p ~refine ~budget
     ~jobs ~candidates ~lenient ~strict ~out ~checkpoint_dir ~checkpoint_every
-    ~resume =
+    ~resume ~shards ~preset ~chaos_shards =
+  if Option.is_some chaos_shards && shards <= 0 then
+    die exit_usage "--chaos-shards requires --shards N";
+  match preset with
+  | Some name ->
+      if shards <= 0 then die exit_usage "--preset requires --shards N";
+      let inst = instance_of_preset_name ~seed name in
+      Printf.printf "preset %s: %d papers, %d reviewers\n" name
+        (Instance.n_papers inst) (Instance.n_reviewers inst);
+      assign_sharded ~seed ~shards ~chaos_shards ~refine ~budget ~jobs
+        ~candidates ~strict ~out ~checkpoint_dir ~checkpoint_every ~resume inst
+  | None ->
   let corpus = load_corpus ~lenient authors_path papers_path in
   let spec =
     match Dataset.Datasets.find dataset with
@@ -142,6 +253,10 @@ let assign ~seed ~authors_path ~papers_path ~dataset ~delta_p ~refine ~budget
           quarantined;
         inst
   in
+  if shards > 0 then
+    assign_sharded ~seed ~shards ~chaos_shards ~refine ~budget ~jobs
+      ~candidates ~strict ~out ~checkpoint_dir ~checkpoint_every ~resume inst
+  else begin
   (* Crash-safe mode: recover (and certify) any stored state before the
      store is opened, because opening fresh wipes the previous run's
      files. A rejected checkpoint degrades to a fresh run whose outcome
@@ -222,6 +337,7 @@ let assign ~seed ~authors_path ~papers_path ~dataset ~delta_p ~refine ~budget
   if out <> "-" then begin
     close_out oc;
     Printf.printf "assignment written to %s\n" out
+  end
   end
 
 (* {1 checkpoint} *)
@@ -551,19 +667,55 @@ let assign_cmd =
       value & opt string "-"
       & info [ "out" ] ~docv:"FILE" ~doc:"Assignment TSV output ('-' = stdout).")
   in
+  let shards =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Supervised sharded solve: partition the papers into $(docv) \
+             topic-clustered shards, solve each as an independent supervised \
+             task (deadline slicing, bounded retry with backoff, per-shard \
+             checkpoint/resume under $(b,--checkpoint-dir), greedy backstop \
+             on exhaustion), then merge and repair the shard boundaries. \
+             $(b,0) (the default) keeps the unsharded CRA chain.")
+  in
+  let preset =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "preset" ] ~docv:"NAME"
+          ~doc:
+            "Solve a synthetic raw-instance preset (quick, xl) instead of a \
+             TSV corpus. Requires $(b,--shards). The huge preset is \
+             disk-streamed only and refused here.")
+  in
+  let chaos_shards =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos-shards" ] ~docv:"FAULTS"
+          ~doc:
+            "Inject the deterministic shard fault plan: a comma-separated \
+             subset of crash, hang, invalid — or $(b,all). Faults strike at \
+             attempt entry per the seed-derived plan; the supervisor must \
+             still deliver a valid (possibly degraded) assignment. Requires \
+             $(b,--shards).")
+  in
   Cmd.v
     (Cmd.info "assign" ~doc:"Conference assignment (SDGA + SRA anytime harness)")
     Term.(
       const
         (fun seed authors_path papers_path dataset delta_p no_refine budget
              jobs candidates lenient strict out checkpoint_dir checkpoint_every
-             resume ->
+             resume shards preset chaos_shards ->
           assign ~seed ~authors_path ~papers_path ~dataset ~delta_p
             ~refine:(not no_refine) ~budget ~jobs ~candidates ~lenient ~strict
-            ~out ~checkpoint_dir ~checkpoint_every ~resume)
+            ~out ~checkpoint_dir ~checkpoint_every ~resume ~shards ~preset
+            ~chaos_shards)
       $ seed_arg $ authors_arg $ papers_arg $ dataset $ delta_p $ no_refine
       $ budget_arg $ jobs $ candidates $ lenient_arg $ strict_arg $ out
-      $ checkpoint_dir_arg $ checkpoint_every_arg $ resume_arg)
+      $ checkpoint_dir_arg $ checkpoint_every_arg $ resume_arg $ shards
+      $ preset $ chaos_shards)
 
 let checkpoint_cmd =
   let dir =

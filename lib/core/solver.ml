@@ -175,6 +175,84 @@ let jra_batch ?(ctx = Ctx.default) problems =
 
 (* {1 CRA chain: SDGA + SRA -> SDGA -> per-stage greedy} *)
 
+(* The bare primary CRA link, exposed so supervisors (lib/shard) can run
+   it under their own retry/fallback policy. Unlike [cra] this *raises*
+   on failure — Timer.Expired on expiry, the solver's exception on a
+   fault — and performs no validation or repair; the caller owns the
+   degradation ladder. *)
+let sdga_sra ?(refine = true) ?(ctx = Ctx.default) inst =
+  let deadline = ctx.Ctx.deadline in
+  let checkpoint = ctx.Ctx.checkpoint in
+  Option.iter
+    (fun s ->
+      s.Checkpoint.on_event (Checkpoint.Link_entered { link = "sdga+sra" }))
+    checkpoint;
+  let sink = Option.map (Checkpoint.with_link "sdga+sra") checkpoint in
+  (* One gain matrix serves SDGA and the refinement; callers running the
+     link repeatedly (retries) pass [ctx.gains] to reuse theirs. *)
+  let gm =
+    match ctx.Ctx.gains with
+    | Some g -> g
+    | None -> Gain_matrix.create ~candidates:ctx.Ctx.candidates inst
+  in
+  let link_ctx ?deadline ?resume ?rng () =
+    {
+      Ctx.default with
+      Ctx.deadline;
+      rng;
+      gains = Some gm;
+      candidates = ctx.Ctx.candidates;
+      checkpoint = sink;
+      resume_from = Option.map Result.ok resume;
+      pool = ctx.Ctx.pool;
+    }
+  in
+  let fresh_rng () = Ctx.rng_or ~seed:0 ctx in
+  (* Only a certified state stamped with this link resumes it; anything
+     else (another link's state, a loader rejection) means fresh. *)
+  let resume_state =
+    match ctx.Ctx.resume_from with
+    | Some (Ok ({ Checkpoint.link = "sdga+sra"; _ } as st)) -> Some st
+    | _ -> None
+  in
+  let refine_from ?resume ~rng a =
+    let sctx = link_ctx ?deadline ?resume ~rng () in
+    match resume with
+    | None when Ctx.jobs sctx > 1 ->
+        (* Fan the refinement out: independent chains, one per job,
+           best chain wins. Deterministic for a fixed (rng, jobs). *)
+        Sra.refine_parallel ~ctx:sctx inst a
+    | _ ->
+        (* Sequential — always for a mid-SRA resume: a restored round
+           sequence can only be replayed bit-exactly by the schedule
+           that produced it, the single-chain one. *)
+        Sra.refine ~ctx:sctx inst a
+  in
+  match resume_state with
+  | Some ({ Checkpoint.phase = Checkpoint.Sra_round _; _ } as st) ->
+      (* Interrupted mid-refinement: SDGA's work is inside [st]; the
+         restored RNG words make the remaining rounds replay the
+         uninterrupted run exactly. *)
+      if not refine then st.Checkpoint.best
+      else
+        let rng =
+          match st.Checkpoint.rng with
+          | Some w -> Wgrap_util.Rng.of_words w
+          | None -> fresh_rng ()
+        in
+        refine_from ~resume:st ~rng st.Checkpoint.best
+  | resume ->
+      (* Fresh, or interrupted mid-SDGA (phase [Sdga_stage]): the
+         stage loop re-enters after the committed stages and the
+         refinement starts from the same seed either way. *)
+      (* SDGA gets half the remaining budget; refinement, which
+         improves monotonically and can stop at any round, soaks up
+         the rest. *)
+      let sdga_slice = if refine then slice 0.5 deadline else deadline in
+      let a = Sdga.solve ~ctx:(link_ctx ?deadline:sdga_slice ?resume ()) inst in
+      if (not refine) || Timer.expired_opt deadline then a
+      else refine_from ~rng:(fresh_rng ()) a
+
 let cra ?(refine = true) ?(ctx = Ctx.default) inst =
   let deadline = ctx.Ctx.deadline in
   let checkpoint = ctx.Ctx.checkpoint in
@@ -264,55 +342,23 @@ let cra ?(refine = true) ?(ctx = Ctx.default) inst =
       pool = ctx.Ctx.pool;
     }
   in
+  (* The primary link is the shared [sdga_sra], handed the chain's gain
+     matrix, raw sink and (already Error-stripped) resume state; it
+     re-emits Link_entered and stamps its own sink link. *)
   let primary () =
-    enter "sdga+sra";
-    let sink = sink_for "sdga+sra" in
-    let fresh_rng () = Ctx.rng_or ~seed:0 ctx in
-    let refine_from ?resume ~rng a =
-      let sctx = link_ctx ?deadline ?sink ?resume ~rng () in
-      match resume with
-      | None when Ctx.jobs sctx > 1 ->
-          (* Fan the refinement out: independent chains, one per job,
-             best chain wins. Deterministic for a fixed (rng, jobs). *)
-          Sra.refine_parallel ~ctx:sctx inst a
-      | _ ->
-          (* Sequential — always for a mid-SRA resume: a restored round
-             sequence can only be replayed bit-exactly by the schedule
-             that produced it, the single-chain one. *)
-          Sra.refine ~ctx:sctx inst a
-    in
-    match resume_state with
-    | Some ({ Checkpoint.link = "sdga+sra"; phase = Checkpoint.Sra_round _; _ }
-            as st) ->
-        (* Interrupted mid-refinement: SDGA's work is inside [st]; the
-           restored RNG words make the remaining rounds replay the
-           uninterrupted run exactly. *)
-        if not refine then st.Checkpoint.best
-        else
-          let rng =
-            match st.Checkpoint.rng with
-            | Some w -> Wgrap_util.Rng.of_words w
-            | None -> fresh_rng ()
-          in
-          refine_from ~resume:st ~rng st.Checkpoint.best
-    | resumed ->
-        (* Fresh, or interrupted mid-SDGA (phase [Sdga_stage]): the
-           stage loop re-enters after the committed stages and the
-           refinement starts from the same seed either way. *)
-        let resume =
-          match resumed with
-          | Some ({ Checkpoint.link = "sdga+sra"; _ } as st) -> Some st
-          | _ -> None
-        in
-        (* SDGA gets half the remaining budget; refinement, which
-           improves monotonically and can stop at any round, soaks up
-           the rest. *)
-        let sdga_slice = if refine then slice 0.5 deadline else deadline in
-        let a =
-          Sdga.solve ~ctx:(link_ctx ?deadline:sdga_slice ?sink ?resume ()) inst
-        in
-        if (not refine) || Timer.expired_opt deadline then a
-        else refine_from ~rng:(fresh_rng ()) a
+    sdga_sra ~refine
+      ~ctx:
+        {
+          Ctx.default with
+          Ctx.deadline;
+          rng = ctx.Ctx.rng;
+          gains = Some gm;
+          candidates = ctx.Ctx.candidates;
+          checkpoint;
+          resume_from = Option.map Result.ok resume_state;
+          pool = ctx.Ctx.pool;
+        }
+      inst
   in
   let sdga_alone () =
     enter "sdga";

@@ -90,6 +90,26 @@ val jra_batch : ?ctx:Ctx.t -> Jra.problem array -> Jra.solution outcome array
     {!jra} would behave. [ctx.on_degrade] fires on the calling domain
     only, after the batch completes, in problem order. *)
 
+val sdga_sra : ?refine:bool -> ?ctx:Ctx.t -> Instance.t -> Assignment.t
+(** The bare primary CRA link: SDGA on half the remaining budget (all of
+    it with [refine:false]), then stochastic refinement on the rest.
+    This is what {!cra} runs first; it is exposed so a supervisor (e.g.
+    [Shard.Supervisor]) can drive it under its own retry, checkpoint and
+    fallback policy instead of {!cra}'s built-in chain.
+
+    Contract differences from {!cra}: the result is {e not} validated or
+    repaired, and failures {e raise} — {!Wgrap_util.Timer.Expired} when
+    the deadline cuts the run short, the solver's own exception on a
+    fault — rather than degrade. [ctx.checkpoint] receives a
+    [Link_entered "sdga+sra"] event and link-stamped snapshots exactly
+    as under {!cra}; [ctx.resume_from] resumes when it carries [Ok
+    state] stamped with this link (mid-SDGA replays remaining stages,
+    mid-SRA restores the snapshot RNG and replays remaining rounds
+    sequentially) and is ignored otherwise. [ctx.gains] supplies the
+    gain matrix (a private one is built when absent), [ctx.rng] seeds
+    the refinement (fresh seed-0 generator by default), and a parallel
+    [ctx.pool] fans fresh refinement out via {!Sra.refine_parallel}. *)
+
 val cra : ?refine:bool -> ?ctx:Ctx.t -> Instance.t -> Assignment.t outcome
 (** Full conference assignment. The primary link runs SDGA on half the
     remaining budget and spends the rest on stochastic refinement

@@ -79,3 +79,42 @@ let coverage_histogram ?(buckets = 10) inst assignment =
   Array.mapi
     (fun i c -> (float_of_int i *. width, float_of_int (i + 1) *. width, c))
     counts
+
+type shard_status =
+  | Shard_complete
+  | Shard_degraded of string list
+  | Shard_fallback of string
+  | Shard_cached
+
+type shard_provenance = {
+  shard : int;
+  shard_papers : int;
+  attempts : int;
+  shard_status : shard_status;
+  shard_elapsed : float;
+}
+
+(* Reason texts can carry backtraces; keep the table one line per shard. *)
+let first_line s =
+  match String.index_opt s '\n' with
+  | None -> s
+  | Some i -> String.sub s 0 i
+
+let pp_shard_status fmt = function
+  | Shard_complete -> Format.pp_print_string fmt "complete"
+  | Shard_degraded reasons ->
+      Format.fprintf fmt "degraded (%s)"
+        (String.concat "; " (List.map first_line reasons))
+  | Shard_fallback why -> Format.fprintf fmt "fallback (%s)" (first_line why)
+  | Shard_cached -> Format.pp_print_string fmt "cached"
+
+let pp_shard_provenance fmt p =
+  Format.fprintf fmt "shard %d: %d papers, %d attempt%s, %.2fs, %a" p.shard
+    p.shard_papers p.attempts
+    (if p.attempts = 1 then "" else "s")
+    p.shard_elapsed pp_shard_status p.shard_status
+
+let pp_shard_provenances fmt ps =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_shard_provenance)
+    ps

@@ -175,14 +175,15 @@ let corrupt_event_stream ~rng ~faults lines =
     (0, lines) faults
   |> snd
 
-type file_fault = Torn_write | Truncate_tail | Bit_flip
+type file_fault = Torn_write | Truncate_tail | Bit_flip | Disk_full
 
-let file_faults = [ Torn_write; Truncate_tail; Bit_flip ]
+let file_faults = [ Torn_write; Truncate_tail; Bit_flip; Disk_full ]
 
 let file_fault_name = function
   | Torn_write -> "torn-write"
   | Truncate_tail -> "truncate-tail"
   | Bit_flip -> "bit-flip"
+  | Disk_full -> "disk-full"
 
 let corrupt_bytes ~rng fault data =
   let len = String.length data in
@@ -201,6 +202,18 @@ let corrupt_bytes ~rng fault data =
         let i = Rng.int rng len in
         Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Rng.int rng 8)));
         Bytes.to_string b
+    | Disk_full ->
+        (* What ENOSPC leaves behind: the final append ran out of space
+           partway through, so the last record is cut mid-line and
+           nothing after it exists. Unlike [Torn_write], the committed
+           prefix stays byte-intact — replay must keep every earlier
+           record and refuse only the torn tail. *)
+        let last_start =
+          match String.rindex_opt (String.sub data 0 (len - 1)) '\n' with
+          | Some i -> i + 1
+          | None -> 0
+        in
+        String.sub data 0 (last_start + Rng.int rng (len - last_start))
 
 let corrupt_file ~rng fault path =
   let data = In_channel.with_open_bin path In_channel.input_all in
@@ -208,6 +221,46 @@ let corrupt_file ~rng fault path =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (corrupt_bytes ~rng fault data))
+
+type shard_fault = Shard_crash | Shard_hang | Shard_invalid
+
+let shard_faults = [ Shard_crash; Shard_hang; Shard_invalid ]
+
+let shard_fault_name = function
+  | Shard_crash -> "shard-crash"
+  | Shard_hang -> "shard-hang"
+  | Shard_invalid -> "shard-invalid"
+
+let shard_fault_of_name = function
+  | "shard-crash" | "crash" -> Some Shard_crash
+  | "shard-hang" | "hang" -> Some Shard_hang
+  | "shard-invalid" | "invalid" -> Some Shard_invalid
+  | _ -> None
+
+let shard_plan ~rng ~shards ~faults =
+  (* One split stream per shard, drawn eagerly: the plan is a pure
+     lookup table, so the supervisor can re-query it from any domain —
+     and a resumed process rebuilds the identical plan from the seed. *)
+  let streams = Rng.split rng shards in
+  let plan =
+    Array.init shards (fun s ->
+        let rng = streams.(s) in
+        let pick () =
+          match faults with
+          | [] -> None
+          | fs -> Some (List.nth fs (Rng.int rng (List.length fs)))
+        in
+        let first = if Rng.uniform rng < 0.6 then pick () else None in
+        let second =
+          if Option.is_some first && Rng.uniform rng < 0.4 then pick () else None
+        in
+        (first, second))
+  in
+  fun ~shard ~attempt ->
+    if shard < 0 || shard >= shards then None
+    else
+      let first, second = plan.(shard) in
+      match attempt with 0 -> first | 1 -> second | _ -> None
 
 let dense_coi ~rng ~n_papers ~n_reviewers ~density =
   let pairs = ref [] in

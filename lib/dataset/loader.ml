@@ -31,17 +31,47 @@ let strip_cr line =
   let n = String.length line in
   if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
 
+(* Chunked streaming reader: one fixed 64 KiB buffer plus the current
+   (partial) line — never the whole file. This is what lets the ~10^6
+   reviewer synthetic preset flow through without ever fitting anything
+   proportional to the file in memory. *)
+let chunk_bytes = 65536
+
+let fold_lines path ~init ~f =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  let buf = Bytes.create chunk_bytes in
+  let partial = Buffer.create 256 in
+  let acc = ref init in
+  let flush_line () =
+    let line = strip_cr (Buffer.contents partial) in
+    Buffer.clear partial;
+    acc := f !acc line
+  in
+  let rec pump () =
+    let n = input ic buf 0 chunk_bytes in
+    if n > 0 then begin
+      let start = ref 0 in
+      for i = 0 to n - 1 do
+        if Bytes.get buf i = '\n' then begin
+          Buffer.add_subbytes partial buf !start (i - !start);
+          flush_line ();
+          start := i + 1
+        end
+      done;
+      Buffer.add_subbytes partial buf !start (n - !start);
+      pump ()
+    end
+  in
+  pump ();
+  (* an unterminated final line still counts, as input_line would *)
+  if Buffer.length partial > 0 then flush_line ();
+  !acc
+
+let iter_lines path ~f = fold_lines path ~init:() ~f:(fun () line -> f line)
+
 let read_lines path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let rec go acc =
-        match input_line ic with
-        | line -> go (strip_cr line :: acc)
-        | exception End_of_file -> List.rev acc
-      in
-      go [])
+  List.rev (fold_lines path ~init:[] ~f:(fun acc line -> line :: acc))
 
 let ( let* ) = Result.bind
 

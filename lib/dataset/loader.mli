@@ -14,6 +14,19 @@
 
 val save : Corpus.t -> authors_path:string -> papers_path:string -> unit
 
+val fold_lines : string -> init:'a -> f:('a -> string -> 'a) -> 'a
+(** Fold [f] over a file's lines in order, reading through one fixed
+    64 KiB buffer — memory is bounded by the chunk plus the longest
+    single line, never the file. CRLF endings are stripped; a final
+    unterminated line still counts. Every loader entry point reads
+    through this, and it is the intended way to stream the [huge]
+    synthetic preset ({!Synthetic.write_preset_tsv}) without ever
+    holding ~10^6 rows at once. Raises [Sys_error] if the file is
+    unreadable, and re-raises whatever [f] raises. *)
+
+val iter_lines : string -> f:(string -> unit) -> unit
+(** {!fold_lines} for effects. *)
+
 val load :
   authors_path:string -> papers_path:string -> (Corpus.t, string) result
 (** Strict load. Any parse error, out-of-order id, or reference to an

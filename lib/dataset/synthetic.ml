@@ -299,7 +299,20 @@ let quick_preset =
     n_topics = 120;
   }
 
-let instance_presets = [ quick_preset; xl_preset ]
+let huge_preset =
+  {
+    preset_name = "huge";
+    n_reviewers = 1_000_000;
+    n_papers = 100_000;
+    n_topics = 1_000;
+    delta_p = 3;
+    delta_r = 3;
+    reviewer_nnz = 8;
+    paper_nnz = 6;
+    zipf_s = 1.1;
+  }
+
+let instance_presets = [ quick_preset; xl_preset; huge_preset ]
 
 let preset_of_name name =
   List.find_opt
@@ -310,14 +323,50 @@ let preset_of_name name =
 let zipf_weights ~s ~dim =
   Array.init dim (fun t -> float_of_int (t + 1) ** -.s)
 
+(* Prefix sums of [weights], accumulated left-to-right in exactly the
+   order {!Rng.categorical}'s scan accumulates them, so the
+   binary-search sampler below reproduces its draws bit for bit. *)
+let cumulative weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Synthetic.cumulative: empty weights";
+  let cum = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. weights.(i);
+    cum.(i) <- !acc
+  done;
+  if !acc <= 0. then
+    invalid_arg "Synthetic.cumulative: weights must have positive sum";
+  cum
+
+(* Bit-identical to [Rng.categorical rng weights] given
+   [cumulative weights]: one uniform draw scaled by the same total,
+   then the smallest index whose prefix sum exceeds the target, falling
+   back to the last index exactly as the linear scan does. O(log n) per
+   draw instead of O(n) — the difference that makes emitting the [huge]
+   preset's ~10^6 reviewer vectors tractable. *)
+let sample_cumulative rng cum =
+  let n = Array.length cum in
+  let target = Rng.uniform rng *. cum.(n - 1) in
+  if target < cum.(0) then 0
+  else begin
+    (* invariant: cum.(lo) <= target, and the answer is in (lo, hi] *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if target < cum.(mid) then hi := mid else lo := mid
+    done;
+    !hi
+  end
+
 (* A sparse mixture over [nnz] distinct Zipf-sampled topics. Rejection
    on collisions terminates fast: even the hottest topic holds well
    under half the total mass at the preset skews. *)
-let skewed_vector rng ~weights ~dim ~nnz =
+let skewed_vector rng ~cum ~dim ~nnz =
   let v = Array.make dim 0. in
   let picked = ref 0 in
   while !picked < nnz do
-    let t = Rng.categorical rng weights in
+    let t = sample_cumulative rng cum in
     if Float.equal v.(t) 0. then begin
       v.(t) <- 0.5 +. Rng.uniform rng;
       incr picked
@@ -328,17 +377,125 @@ let skewed_vector rng ~weights ~dim ~nnz =
 let instance_of_preset ?(scoring = Wgrap.Scoring.Weighted_coverage) ?(seed = 7)
     p =
   let rng = Rng.create seed in
-  let weights = zipf_weights ~s:p.zipf_s ~dim:p.n_topics in
+  let cum = cumulative (zipf_weights ~s:p.zipf_s ~dim:p.n_topics) in
   let nnz_cap = min p.n_topics in
   let papers =
     Array.init p.n_papers (fun _ ->
-        skewed_vector rng ~weights ~dim:p.n_topics ~nnz:(nnz_cap p.paper_nnz))
+        skewed_vector rng ~cum ~dim:p.n_topics ~nnz:(nnz_cap p.paper_nnz))
   in
   let reviewers =
     Array.init p.n_reviewers (fun _ ->
-        skewed_vector rng ~weights ~dim:p.n_topics
-          ~nnz:(nnz_cap p.reviewer_nnz))
+        skewed_vector rng ~cum ~dim:p.n_topics ~nnz:(nnz_cap p.reviewer_nnz))
   in
   Wgrap.Instance.create_exn ~scoring ~papers ~reviewers ~delta_p:p.delta_p
     ~delta_r:p.delta_r ()
+
+(* {2 Disk-streamed presets}
+
+   [huge] is deliberately too big to materialize: dense rows would be
+   ~9 GB of float arrays. Instead the preset is emitted straight to
+   sparse TSV — one row at a time, same RNG draw order as
+   {!instance_of_preset} (all papers, then all reviewers), so for any
+   preset that *does* fit in memory the streamed rows are bit-identical
+   to the in-memory vectors — and read back through {!Loader.fold_lines}
+   in constant memory. Row format: [id '\t' topic:weight(';'topic:weight)*]
+   with weights printed at full precision ("%.17g"). *)
+
+let write_sparse_row oc id v =
+  Printf.fprintf oc "%d\t" id;
+  let first = ref true in
+  Array.iteri
+    (fun t w ->
+      if not (Float.equal w 0.) then begin
+        if !first then first := false else output_char oc ';';
+        Printf.fprintf oc "%d:%.17g" t w
+      end)
+    v;
+  output_char oc '\n'
+
+let write_preset_tsv ?(seed = 7) ~dir p =
+  let rng = Rng.create seed in
+  let cum = cumulative (zipf_weights ~s:p.zipf_s ~dim:p.n_topics) in
+  let nnz_cap = min p.n_topics in
+  let papers_path = Filename.concat dir "papers.tsv" in
+  let reviewers_path = Filename.concat dir "reviewers.tsv" in
+  let emit path count nnz =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        for id = 0 to count - 1 do
+          write_sparse_row oc id (skewed_vector rng ~cum ~dim:p.n_topics ~nnz)
+        done)
+  in
+  emit papers_path p.n_papers (nnz_cap p.paper_nnz);
+  emit reviewers_path p.n_reviewers (nnz_cap p.reviewer_nnz);
+  (papers_path, reviewers_path)
+
+let parse_sparse_row ~dim line =
+  match String.split_on_char '\t' line with
+  | [ id; entries ] -> (
+      match int_of_string_opt id with
+      | None -> Error (Printf.sprintf "bad id %S" id)
+      | Some id ->
+          let v = Array.make dim 0. in
+          let rec fill = function
+            | [] -> Ok (id, v)
+            | entry :: rest -> (
+                match String.index_opt entry ':' with
+                | None -> Error (Printf.sprintf "bad entry %S" entry)
+                | Some k -> (
+                    let t = int_of_string_opt (String.sub entry 0 k) in
+                    let w =
+                      float_of_string_opt
+                        (String.sub entry (k + 1) (String.length entry - k - 1))
+                    in
+                    match (t, w) with
+                    | Some t, Some w when t >= 0 && t < dim ->
+                        if not (Float.equal v.(t) 0.) then
+                          Error (Printf.sprintf "duplicate topic %d" t)
+                        else begin
+                          v.(t) <- w;
+                          fill rest
+                        end
+                    | Some t, Some _ ->
+                        Error
+                          (Printf.sprintf "topic %d out of range [0,%d)" t dim)
+                    | _ -> Error (Printf.sprintf "bad entry %S" entry)))
+          in
+          fill
+            (List.filter
+               (fun s -> not (String.equal s ""))
+               (String.split_on_char ';' entries)))
+  | _ -> Error "expected 2 tab-separated fields"
+
+let fold_preset_tsv path ~dim ~init ~f =
+  match
+    Loader.fold_lines path
+      ~init:(Ok (1, 0, init))
+      ~f:(fun acc line ->
+        match acc with
+        | Error _ -> acc
+        | Ok (lineno, next_id, acc) ->
+            if String.equal line "" then Ok (lineno + 1, next_id, acc)
+            else (
+              match parse_sparse_row ~dim line with
+              | Error msg ->
+                  Error (Printf.sprintf "%s line %d: %s" path lineno msg)
+              | Ok (id, v) ->
+                  if id <> next_id then
+                    Error
+                      (Printf.sprintf
+                         "%s line %d: id %d out of order (expected %d)" path
+                         lineno id next_id)
+                  else Ok (lineno + 1, next_id + 1, f acc id v)))
+  with
+  | Ok (_, _, acc) -> Ok acc
+  | Error _ as e -> e
+  | exception Sys_error m -> Error m
+
+let load_preset_tsv path ~dim =
+  Result.map
+    (fun rows -> Array.of_list (List.rev rows))
+    (fold_preset_tsv path ~dim ~init:[] ~f:(fun acc _id v -> v :: acc))
 

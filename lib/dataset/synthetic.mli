@@ -72,11 +72,55 @@ val quick_preset : instance_preset
 (** 3k reviewers x 300 papers over 120 topics: same skew, small enough
     for the dense oracle to finish in CI smoke runs. *)
 
+val huge_preset : instance_preset
+(** ~10^6 reviewers x 10^5 papers over 1000 topics. Deliberately too
+    big to materialize — dense rows would be ~9 GB of float arrays — so
+    do not pass it to {!instance_of_preset}; emit it to disk with
+    {!write_preset_tsv} and stream it back with {!fold_preset_tsv}. *)
+
 val instance_presets : instance_preset list
 
 val preset_of_name : string -> instance_preset option
-(** Lookup by [preset_name] ("xl", "quick"). *)
+(** Lookup by [preset_name] ("quick", "xl", "huge"). *)
 
 val instance_of_preset :
   ?scoring:Wgrap.Scoring.kind -> ?seed:int -> instance_preset -> Wgrap.Instance.t
 (** Deterministic in [seed] (default 7). *)
+
+(** {2 Disk-streamed presets}
+
+    The [huge] preset's delivery path: rows are generated and written
+    one at a time, and read back through {!Loader.fold_lines}, so
+    memory stays constant in the number of rows on both sides. *)
+
+val cumulative : float array -> float array
+(** Prefix sums in exactly {!Wgrap_util.Rng.categorical}'s accumulation
+    order. Raises [Invalid_argument] on an empty or non-positive-sum
+    array. *)
+
+val sample_cumulative : Wgrap_util.Rng.t -> float array -> int
+(** Given [cumulative weights], draw-for-draw bit-identical to
+    [Rng.categorical rng weights] — same single uniform consumed, same
+    index returned — in O(log n) per draw instead of O(n). *)
+
+val write_preset_tsv :
+  ?seed:int -> dir:string -> instance_preset -> string * string
+(** Emit [dir/papers.tsv] then [dir/reviewers.tsv] as sparse rows
+    ([id '\t' topic:weight(';'topic:weight)*], full-precision weights),
+    generating each row on the fly — constant memory at any preset
+    size. The RNG draw order matches {!instance_of_preset} (all papers,
+    then all reviewers), so for presets small enough to materialize the
+    streamed rows equal the in-memory vectors bit for bit. Returns
+    [(papers_path, reviewers_path)]. Deterministic in [seed]
+    (default 7, same as {!instance_of_preset}). *)
+
+val fold_preset_tsv :
+  string -> dim:int -> init:'a -> f:('a -> int -> float array -> 'a) -> ('a, string) result
+(** Stream a sparse-row file back, calling [f acc id vector] per row in
+    id order through {!Loader.fold_lines} — constant memory in the row
+    count. [Error] names the file, line, and defect on malformed rows,
+    out-of-order ids, topics outside [0, dim), or an unreadable file. *)
+
+val load_preset_tsv : string -> dim:int -> (float array array, string) result
+(** {!fold_preset_tsv} materialized into an array — for presets (and
+    tests) small enough to hold. *)

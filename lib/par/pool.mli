@@ -18,7 +18,11 @@
     {b Sharing contract}: task functions must not mutate state reachable
     from another task. Read-only sharing (the instance, a score matrix,
     a {!Wgrap_util.Timer.deadline} every task polls) is safe; anything
-    mutable must be task-local or partitioned by task index. *)
+    mutable must be task-local or partitioned by task index.
+    [Shard.Supervisor] is the largest client: one task per shard, each
+    owning its sub-instance, RNG streams and checkpoint directory
+    outright, with all cross-shard state (provenance, reasons, merge
+    input) returned by value and combined on the calling domain. *)
 
 type t
 

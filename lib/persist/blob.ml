@@ -36,19 +36,29 @@ let with_trailer payload =
 let write ~path payload =
   let _, image = with_trailer payload in
   let tmp = path ^ ".tmp" in
-  let fd =
-    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
-  in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () ->
-      write_all fd image 0 (String.length image);
-      (* The fsync result is the write's verdict: if it raises, the
-         caller must treat the snapshot as not taken (serve mode turns
-         this into a degraded health report, never a silent success). *)
-      Unix.fsync fd);
-  Sys.rename tmp path;
-  fsync_dir path
+  Persist_error.wrap ~path ~op:"writing blob" @@ fun () ->
+  match
+    let fd =
+      Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        write_all fd image 0 (String.length image);
+        (* The fsync result is the write's verdict: if it raises, the
+           caller must treat the snapshot as not taken (serve mode turns
+           this into a degraded health report, never a silent success). *)
+        Unix.fsync fd);
+    Sys.rename tmp path;
+    fsync_dir path
+  with
+  | () -> ()
+  | exception e ->
+      (* Fail-stop: a blob that could not be completed (short write,
+         full disk) must not linger as a half-written temp file; the
+         live path was never touched. *)
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
 
 let read path =
   if not (Sys.file_exists path) then Error Missing

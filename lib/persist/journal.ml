@@ -6,10 +6,10 @@ module Checkpoint = Wgrap.Checkpoint
    the service event log (Wgrap_serve.Durable) are both thin payload
    codecs over this. *)
 module Raw = struct
-  type writer = { oc : out_channel }
+  type writer = { path : string; oc : out_channel }
 
   let open_writer path =
-    { oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path }
+    { path; oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path }
 
   let record_bytes payload =
     (* crc hex + '\t' + payload + '\n', exactly as [append] lays it out *)
@@ -18,6 +18,11 @@ module Raw = struct
   let append w payload =
     if String.contains payload '\n' then
       invalid_arg "Journal.Raw.append: payload contains a newline";
+    (* An out-of-space failure anywhere below surfaces as the typed
+       Persist_error.Disk_full: the record may be partially on disk,
+       but replay's CRC + terminator check refuses the torn tail, so
+       the journal's durable prefix is exactly the acked records. *)
+    Persist_error.wrap ~path:w.path ~op:"appending to journal" @@ fun () ->
     output_string w.oc (Crc32.hex payload);
     output_char w.oc '\t';
     output_string w.oc payload;
@@ -78,6 +83,7 @@ module Raw = struct
           go [] 0
 
   let truncate path bytes =
+    Persist_error.wrap ~path ~op:"truncating journal" @@ fun () ->
     let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
     Fun.protect
       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())

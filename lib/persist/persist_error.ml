@@ -1,0 +1,32 @@
+exception Disk_full of { path : string; op : string }
+
+let message ~path ~op =
+  Printf.sprintf
+    "disk full while %s %s; no partial checkpoint was committed — free space \
+     (or point the checkpoint directory at a roomier volume) and re-run"
+    op path
+
+let describe = function
+  | Disk_full { path; op } -> message ~path ~op
+  | e -> Printexc.to_string e
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Channel writes surface ENOSPC as Sys_error text, not as the errno;
+   match the strerror phrasings for out-of-space conditions. *)
+let out_of_space_text m =
+  let m = String.lowercase_ascii m in
+  contains m "no space left" || contains m "disk quota exceeded"
+
+let wrap ~path ~op f =
+  try f () with
+  | Unix.Unix_error (Unix.ENOSPC, _, _) -> raise (Disk_full { path; op })
+  (* EDQUOT has no constructor of its own (EUNKNOWNERR on this libc
+     binding); recognize it — and any other space-exhaustion errno —
+     by its strerror text. *)
+  | Unix.Unix_error (e, _, _) when out_of_space_text (Unix.error_message e) ->
+      raise (Disk_full { path; op })
+  | Sys_error m when out_of_space_text m -> raise (Disk_full { path; op })

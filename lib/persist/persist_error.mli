@@ -1,0 +1,24 @@
+(** Typed, actionable fail-stop errors for durable-state I/O.
+
+    A full disk is the one I/O failure an operator can always act on,
+    so it gets its own exception instead of drowning in [Sys_error]
+    text: every {!Journal}/{!Blob}/{!Snapshot} write path maps
+    [ENOSPC]/[EDQUOT] (and channel-level "no space left" failures) to
+    {!Disk_full} {e after} rolling back any partial artifact — a blob
+    or snapshot whose temp file could not be completed is deleted, a
+    torn journal record is cut off by the next replay — so the error is
+    fail-stop: nothing half-committed ever certifies. *)
+
+exception Disk_full of { path : string; op : string }
+(** The volume under [path] ran out of space (or quota) during [op].
+    No partial checkpoint was committed. *)
+
+val message : path:string -> op:string -> string
+(** The actionable one-liner stored with the error. *)
+
+val describe : exn -> string
+(** {!message} for {!Disk_full}, [Printexc.to_string] otherwise. *)
+
+val wrap : path:string -> op:string -> (unit -> 'a) -> 'a
+(** Run [f], re-raising out-of-space failures as {!Disk_full}. Every
+    other exception passes through untouched. *)

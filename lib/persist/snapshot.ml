@@ -14,15 +14,25 @@ let rec write_all fd s off len =
 let write ~path st =
   let data = Codec.encode_state st in
   let tmp = path ^ ".tmp" in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () ->
-      write_all fd data 0 (String.length data);
-      Unix.fsync fd);
-  Sys.rename tmp path;
-  (* the rename is durable only once the directory entry is on disk *)
-  Blob.fsync_dir path
+  Persist_error.wrap ~path ~op:"writing snapshot" @@ fun () ->
+  match
+    let fd =
+      Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        write_all fd data 0 (String.length data);
+        Unix.fsync fd);
+    Sys.rename tmp path;
+    (* the rename is durable only once the directory entry is on disk *)
+    Blob.fsync_dir path
+  with
+  | () -> ()
+  | exception e ->
+      (* fail-stop: never leave a half-written temp snapshot behind *)
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
 
 let read path =
   if not (Sys.file_exists path) then Error Missing

@@ -87,6 +87,7 @@ let on_event t e =
     | None -> ()
     | Some w -> (
         try Journal.append w e with
+        | Persist_error.Disk_full _ as e -> disable t (Persist_error.describe e)
         | Sys_error m -> disable t m
         | Unix.Unix_error (err, _, _) -> disable t (Unix.error_message err))
   end
@@ -112,6 +113,7 @@ let offer t mk =
         t.best_written <- st.Checkpoint.score;
         t.dirty <- false
       with
+      | Persist_error.Disk_full _ as e -> disable t (Persist_error.describe e)
       | Sys_error m -> disable t m
       | Unix.Unix_error (err, _, _) -> disable t (Unix.error_message err))
   end

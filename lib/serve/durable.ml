@@ -27,6 +27,8 @@ let rec mkdir_p dir =
   end
 
 let describe_io = function
+  | Wgrap_persist.Persist_error.Disk_full _ as e ->
+      Wgrap_persist.Persist_error.describe e
   | Sys_error m -> m
   | Unix.Unix_error (e, fn, arg) ->
       Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e)
@@ -85,7 +87,8 @@ let open_ ~dir =
         quarantine_oc = None;
         quarantine_drops = 0;
       }
-  with (Sys_error _ | Unix.Unix_error _) as e -> Error (describe_io e)
+  with (Sys_error _ | Unix.Unix_error _ | Wgrap_persist.Persist_error.Disk_full _) as e ->
+    Error (describe_io e)
 
 let close_writer t =
   match t.writer with
@@ -113,7 +116,10 @@ let append t payload =
           let w = Journal.Raw.open_writer path in
           t.writer <- Some w;
           Ok w
-        with (Sys_error _ | Unix.Unix_error _) as e -> Error (describe_io e))
+        with
+        | (Sys_error _ | Unix.Unix_error _ | Wgrap_persist.Persist_error.Disk_full _)
+          as e ->
+            Error (describe_io e))
   in
   match writer with
   | Error m ->
@@ -125,7 +131,9 @@ let append t payload =
         t.durable_bytes <- t.durable_bytes + Journal.Raw.record_bytes payload;
         t.journal_error <- None;
         Ok ()
-      with (Sys_error _ | Unix.Unix_error _ | Invalid_argument _) as e ->
+      with
+      | ( Sys_error _ | Unix.Unix_error _ | Invalid_argument _
+        | Wgrap_persist.Persist_error.Disk_full _ ) as e ->
         let m = describe_io e in
         t.journal_error <- Some m;
         close_writer t;
@@ -136,7 +144,9 @@ let snapshot t payload =
     Blob.write ~path:(snapshot_path t.dir) payload;
     t.snapshot_error <- None;
     Ok ()
-  with (Sys_error _ | Unix.Unix_error _) as e ->
+  with
+  | (Sys_error _ | Unix.Unix_error _ | Wgrap_persist.Persist_error.Disk_full _) as e
+  ->
     let m = describe_io e in
     t.snapshot_error <- Some m;
     Error m

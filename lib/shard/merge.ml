@@ -1,0 +1,76 @@
+module Instance = Wgrap.Instance
+module Assignment = Wgrap.Assignment
+
+let assemble inst part results =
+  let merged = Assignment.empty ~n_papers:(Instance.n_papers inst) in
+  Array.iteri
+    (fun s (a : Assignment.t) ->
+      let ps = part.Partition.papers.(s) in
+      Array.iteri
+        (fun lp gp -> merged.Assignment.groups.(gp) <- a.Assignment.groups.(lp))
+        ps)
+    results;
+  merged
+
+(* Shed [excess] pairs from reviewer [r], lowest pair score first (ties:
+   lower paper id). Groups shrink below delta_p here; Repair refills
+   them from reviewers with spare capacity. *)
+let trim inst (merged : Assignment.t) =
+  let n_r = Instance.n_reviewers inst in
+  let loads = Assignment.workloads merged ~n_reviewers:n_r in
+  let papers_of = Array.make n_r [] in
+  Array.iteri
+    (fun p group ->
+      List.iter (fun r -> papers_of.(r) <- p :: papers_of.(r)) group)
+    merged.Assignment.groups;
+  let trimmed = ref 0 in
+  for r = 0 to n_r - 1 do
+    let excess = loads.(r) - inst.Instance.delta_r in
+    if excess > 0 then begin
+      let by_score =
+        List.sort
+          (fun a b ->
+            match
+              Float.compare
+                (Instance.pair_score inst ~paper:a ~reviewer:r)
+                (Instance.pair_score inst ~paper:b ~reviewer:r)
+            with
+            | 0 -> Int.compare a b
+            | c -> c)
+          papers_of.(r)
+      in
+      List.iteri
+        (fun i p ->
+          if i < excess then begin
+            merged.Assignment.groups.(p) <-
+              List.filter (fun r' -> r' <> r) merged.Assignment.groups.(p);
+            incr trimmed
+          end)
+        by_score
+    end
+  done;
+  !trimmed
+
+let merge inst part results =
+  let merged = assemble inst part results in
+  let trimmed = trim inst merged in
+  let validated () =
+    match Assignment.validate inst merged with
+    | Ok () -> Ok (merged, trimmed)
+    | Error msg -> Error msg
+  in
+  match validated () with
+  | Ok _ as ok -> ok
+  | Error short -> (
+      (* Short groups from trimming (or from a shard that under-filled)
+         get one repair pass; anything repair cannot fix is an error the
+         supervisor surfaces, never silently returns. *)
+      match Wgrap.Repair.complete inst merged with
+      | () -> (
+          match validated () with
+          | Ok _ as ok -> ok
+          | Error msg -> Error ("merge invalid after repair: " ^ msg))
+      | exception e ->
+          Error
+            (Printf.sprintf "merge repair failed (%s) after: %s"
+               (Wgrap.Solver.describe_exn e) short))

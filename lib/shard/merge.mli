@@ -1,0 +1,29 @@
+(** Merging shard-local assignments back into one global assignment.
+
+    Shards solve disjoint paper sets against the whole reviewer pool, so
+    the only constraint a merge can break is a reviewer's global
+    workload cap: each shard respected its own proportional cap, but the
+    caps sum to slightly more than [delta_r] when the split rounds up.
+    {!merge} therefore trims overloaded reviewers (dropping their
+    lowest-scoring pairs first), lets {!Wgrap.Repair.complete} refill
+    the shortened groups, and re-validates — a constraint-violating
+    shard result can never leak into the merged answer. *)
+
+val assemble :
+  Wgrap.Instance.t -> Partition.t -> Wgrap.Assignment.t array -> Wgrap.Assignment.t
+(** Relabel each shard-local assignment (indexed as
+    [Partition.papers.(s)]) into global paper ids and union them. The
+    result is {e not} yet validated — use {!merge}. *)
+
+val merge :
+  Wgrap.Instance.t ->
+  Partition.t ->
+  Wgrap.Assignment.t array ->
+  (Wgrap.Assignment.t * int, string) result
+(** [assemble], then trim every overloaded reviewer down to [delta_r]
+    (shedding its lowest-scoring papers; ties on the lower paper id, so
+    the trim is deterministic), repair the resulting short groups, and
+    validate against the full instance. [Ok (assignment, trimmed)]
+    reports how many pairs the trim dropped; [Error] carries the
+    validation or repair failure — the caller treats it as a shard
+    fault, never as an answer. *)

@@ -1,0 +1,80 @@
+module Instance = Wgrap.Instance
+
+type t = {
+  shards : int;
+  of_paper : int array;
+  papers : int array array;
+  delta_r : int array;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+let make ~shards inst =
+  if shards < 1 then invalid_arg "Partition.make: shards must be >= 1";
+  let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
+  let bins = min shards n_p in
+  let bin_of_paper = Topics.Cluster.partition ~bins inst.Instance.papers in
+  (* Compact away bins the topic packing left empty so every shard is a
+     non-empty, solvable sub-instance. *)
+  let counts = Array.make bins 0 in
+  Array.iter (fun b -> counts.(b) <- counts.(b) + 1) bin_of_paper;
+  let remap = Array.make bins (-1) in
+  let used = ref 0 in
+  Array.iteri
+    (fun b c ->
+      if c > 0 then begin
+        remap.(b) <- !used;
+        incr used
+      end)
+    counts;
+  let shards = !used in
+  let of_paper = Array.map (fun b -> remap.(b)) bin_of_paper in
+  let members = Array.make shards [] in
+  for p = n_p - 1 downto 0 do
+    members.(of_paper.(p)) <- p :: members.(of_paper.(p))
+  done;
+  let papers = Array.map Array.of_list members in
+  let delta_r =
+    Array.map
+      (fun ps ->
+        let p_s = Array.length ps in
+        max
+          (ceil_div (p_s * inst.Instance.delta_p) n_r)
+          (ceil_div (inst.Instance.delta_r * p_s) n_p))
+      papers
+  in
+  { shards; of_paper; papers; delta_r }
+
+let sub_instance inst t s =
+  let ps = t.papers.(s) in
+  let local_of_global = Hashtbl.create (Array.length ps) in
+  Array.iteri (fun lp p -> Hashtbl.replace local_of_global p lp) ps;
+  let coi =
+    List.filter_map
+      (fun (p, r) ->
+        match Hashtbl.find_opt local_of_global p with
+        | Some lp -> Some (lp, r)
+        | None -> None)
+      (Instance.coi_pairs inst)
+  in
+  Instance.create_exn ~scoring:inst.Instance.scoring
+    ?coi:(match coi with [] -> None | l -> Some l)
+    ~papers:(Array.map (fun p -> inst.Instance.papers.(p)) ps)
+    ~reviewers:inst.Instance.reviewers ~delta_p:inst.Instance.delta_p
+    ~delta_r:t.delta_r.(s) ()
+
+let fingerprint t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (string_of_int t.shards);
+  Array.iteri
+    (fun s ps ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (string_of_int t.delta_r.(s));
+      Buffer.add_char buf ':';
+      Array.iter
+        (fun p ->
+          Buffer.add_string buf (string_of_int p);
+          Buffer.add_char buf ',')
+        ps)
+    t.papers;
+  Wgrap_persist.Crc32.hex (Buffer.contents buf)

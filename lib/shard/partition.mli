@@ -1,0 +1,40 @@
+(** Paper partitioning for sharded solving.
+
+    Papers are grouped by dominant topic ({!Topics.Cluster}) and the
+    topic groups are packed into balanced shards; each shard then solves
+    its papers against the {e full} reviewer pool with a proportional
+    share of every reviewer's workload cap. Partitioning is a pure
+    function of the instance and shard count — no randomness, no clock —
+    so a resumed run always reconstructs the identical partition (the
+    supervisor pins it with {!fingerprint}). *)
+
+type t = private {
+  shards : int;  (** shard count actually used (empty bins compacted) *)
+  of_paper : int array;  (** global paper id -> shard *)
+  papers : int array array;  (** shard -> global paper ids, ascending *)
+  delta_r : int array;  (** shard -> per-reviewer workload cap *)
+}
+
+val make : shards:int -> Wgrap.Instance.t -> t
+(** Partition into at most [shards] shards (clamped to the paper count;
+    bins left empty by the topic packing are dropped, so [t.shards] can
+    be smaller than requested). Raises [Invalid_argument] when
+    [shards < 1].
+
+    Per-shard workload caps split the global [delta_r] proportionally to
+    shard size while always keeping each sub-instance feasible:
+    [max (ceil (P_s * delta_p / R)) (ceil (delta_r * P_s / P))]. At
+    [shards = 1] this is exactly the instance's own [delta_r], and
+    summed over shards it never exceeds what boundary trimming
+    ({!Merge.merge}) can repair. *)
+
+val sub_instance : Wgrap.Instance.t -> t -> int -> Wgrap.Instance.t
+(** [sub_instance inst t s]: shard [s]'s papers (in [t.papers.(s)]
+    order) against all reviewers, with COI pairs remapped and the
+    shard's [delta_r] cap. Raises [Invalid_argument] only if the parent
+    instance was already malformed. *)
+
+val fingerprint : t -> string
+(** CRC-32 over a canonical rendering of the partition — the resume
+    manifest's guard against solving yesterday's shards with today's
+    flags. *)

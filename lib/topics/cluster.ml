@@ -1,0 +1,44 @@
+let dominant rows =
+  Array.map
+    (fun row ->
+      let best = ref 0 in
+      for t = 1 to Array.length row - 1 do
+        if row.(t) > row.(!best) then best := t
+      done;
+      !best)
+    rows
+
+let pack ~bins ~weights =
+  if bins < 1 then invalid_arg "Cluster.pack: bins must be >= 1";
+  let n = Array.length weights in
+  let order = Array.init n Fun.id in
+  (* Heaviest group first; ties on the lower group index so the order —
+     and therefore the whole partition — is independent of the sort's
+     stability guarantees. *)
+  Array.sort
+    (fun a b ->
+      match Float.compare weights.(b) weights.(a) with
+      | 0 -> Int.compare a b
+      | c -> c)
+    order;
+  let load = Array.make bins 0. in
+  let assignment = Array.make n 0 in
+  Array.iter
+    (fun g ->
+      let lightest = ref 0 in
+      for b = 1 to bins - 1 do
+        if load.(b) < load.(!lightest) then lightest := b
+      done;
+      assignment.(g) <- !lightest;
+      load.(!lightest) <- load.(!lightest) +. weights.(g))
+    order;
+  assignment
+
+let partition ~bins rows =
+  if bins < 1 then invalid_arg "Cluster.partition: bins must be >= 1";
+  let topic_of_row = dominant rows in
+  let n_topics = Array.fold_left (fun m t -> max m (t + 1)) 1 topic_of_row in
+  let counts = Array.make n_topics 0. in
+  Array.iter (fun t -> counts.(t) <- counts.(t) +. 1.) topic_of_row;
+  let bin_of_topic = pack ~bins ~weights:counts in
+  Array.map (fun t -> bin_of_topic.(t)) topic_of_row

@@ -1,0 +1,28 @@
+(** Topic-cluster partitioning for sharded solving.
+
+    Rows (papers described by topic mixtures) are grouped by dominant
+    topic, then the groups are packed into a requested number of bins
+    with a degree-balancing greedy heuristic (longest-processing-time
+    first).  Everything here is deterministic: ties break on the lowest
+    index, no randomness, no wall clock — the same mixtures always
+    yield the same partition, which the shard supervisor relies on for
+    bit-identical resume. *)
+
+val dominant : float array array -> int array
+(** [dominant rows] maps each row to the index of its largest
+    component (ties: lowest index).  Empty rows map to topic 0. *)
+
+val pack : bins:int -> weights:float array -> int array
+(** [pack ~bins ~weights] assigns each weighted group to one of
+    [bins] bins, balancing total bin weight: groups are considered
+    heaviest first (ties: lowest group index) and each goes to the
+    currently lightest bin (ties: lowest bin index).  Raises
+    [Invalid_argument] when [bins < 1]. *)
+
+val partition : bins:int -> float array array -> int array
+(** [partition ~bins rows] composes {!dominant} and {!pack}: rows are
+    grouped by dominant topic, topic groups are weighted by row count
+    and packed into [bins] balanced bins, and each row inherits its
+    group's bin.  The result maps row index to bin in [0, bins).  Bins
+    can come back empty when there are fewer populated topics than
+    bins. *)

@@ -399,6 +399,132 @@ let test_pipeline_signal () =
     true
     (ratio > 0.6)
 
+(* {1 Streaming loader and disk-streamed presets} *)
+
+let write_raw content =
+  let path = Filename.temp_file "wgrap_stream" ".txt" in
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc;
+  path
+
+let read_lines path =
+  List.rev (Loader.fold_lines path ~init:[] ~f:(fun acc l -> l :: acc))
+
+let test_fold_lines_chunk_boundaries () =
+  (* lines long enough that every one straddles the 64 KiB read chunk *)
+  let lines = List.init 5 (fun i -> String.make 30_000 (Char.chr (97 + i))) in
+  let path = write_raw (String.concat "\n" lines ^ "\n") in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Alcotest.(check (list string)) "chunk-straddling lines survive" lines
+    (read_lines path);
+  let n =
+    Loader.fold_lines path ~init:0 ~f:(fun acc line ->
+        acc + String.length line)
+  in
+  Alcotest.(check int) "byte count matches" 150_000 n
+
+let test_fold_lines_crlf_and_unterminated () =
+  let path = write_raw "alpha\r\nbeta\r\n\r\ngamma" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Alcotest.(check (list string))
+    "CRLF stripped, blank kept, unterminated final line counted"
+    [ "alpha"; "beta"; ""; "gamma" ]
+    (read_lines path)
+
+let test_fold_lines_empty_file () =
+  let path = write_raw "" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Alcotest.(check (list string)) "empty file, no lines" []
+    (read_lines path)
+
+let test_fold_lines_matches_input_line () =
+  (* the streamed reader agrees with stdlib input_line on mixed content *)
+  let rng = Rng.create 97 in
+  let lines =
+    List.init 200 (fun _ -> String.make (Rng.int rng 200) 'x')
+  in
+  let path = write_raw (String.concat "\n" lines ^ "\n") in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let by_stdlib =
+    let ic = open_in path in
+    let acc = ref [] in
+    (try
+       while true do
+         acc := input_line ic :: !acc
+       done
+     with End_of_file -> close_in ic);
+    List.rev !acc
+  in
+  Alcotest.(check (list string)) "fold_lines = input_line" by_stdlib
+    (read_lines path)
+
+let test_sample_cumulative_matches_categorical () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 50 do
+    let dim = 1 + Rng.int rng 300 in
+    let w = Array.init dim (fun _ -> Rng.uniform rng +. 1e-9) in
+    let cum = Synthetic.cumulative w in
+    let r1 = Rng.create 555 and r2 = Rng.create 555 in
+    for _ = 1 to 100 do
+      Alcotest.(check int) "same draw"
+        (Rng.categorical r1 w)
+        (Synthetic.sample_cumulative r2 cum)
+    done
+  done
+
+let test_preset_tsv_roundtrip () =
+  (* the quick preset is small enough to hold both ways: the streamed
+     TSV must reproduce instance_of_preset's vectors bit for bit *)
+  let p = Synthetic.quick_preset in
+  let inst = Synthetic.instance_of_preset ~seed:7 p in
+  let dir = Filename.temp_file "wgrap_preset" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let papers_path, reviewers_path = Synthetic.write_preset_tsv ~seed:7 ~dir p in
+  Fun.protect ~finally:(fun () ->
+      Sys.remove papers_path;
+      Sys.remove reviewers_path;
+      Unix.rmdir dir)
+  @@ fun () ->
+  let load path = Synthetic.load_preset_tsv path ~dim:p.Synthetic.n_topics in
+  match (load papers_path, load reviewers_path) with
+  | Ok papers, Ok reviewers ->
+      Alcotest.(check bool) "papers bit-identical" true
+        (papers = inst.Wgrap.Instance.papers);
+      Alcotest.(check bool) "reviewers bit-identical" true
+        (reviewers = inst.Wgrap.Instance.reviewers)
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
+let test_fold_preset_tsv_rejects () =
+  let check_error name content sub =
+    let path = write_raw content in
+    Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+    match Synthetic.load_preset_tsv path ~dim:4 with
+    | Ok _ -> Alcotest.failf "%s: malformed file accepted" name
+    | Error m ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: error mentions %S (got %S)" name sub m)
+          true (contains ~sub m)
+  in
+  check_error "no tab" "0 1:0.5\n" "line 1";
+  check_error "bad weight" "0\t1:zero\n" "line 1";
+  check_error "topic out of range" "0\t9:0.5\n" "line 1";
+  check_error "duplicate topic" "0\t1:0.5;1:0.5\n" "line 1";
+  check_error "out-of-order ids" "0\t1:0.5\n2\t1:0.5\n" "line 2"
+
+let test_huge_preset_registered () =
+  (match Synthetic.preset_of_name "huge" with
+  | Some p ->
+      Alcotest.(check string) "name" "huge" p.Synthetic.preset_name;
+      Alcotest.(check int) "a million reviewers" 1_000_000
+        p.Synthetic.n_reviewers
+  | None -> Alcotest.fail "huge preset not registered");
+  Alcotest.(check bool) "listed in instance_presets" true
+    (List.exists
+       (fun p -> p.Synthetic.preset_name = "huge")
+       Synthetic.instance_presets)
+
 let () =
   Alcotest.run "dataset"
     [
@@ -435,6 +561,24 @@ let () =
           Alcotest.test_case "trailing blank line" `Quick test_loader_trailing_blank_line;
           Alcotest.test_case "lenient salvage" `Quick test_loader_lenient_salvage;
           Alcotest.test_case "missing file" `Quick test_loader_missing_file;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "chunk-boundary lines" `Quick
+            test_fold_lines_chunk_boundaries;
+          Alcotest.test_case "crlf and unterminated tail" `Quick
+            test_fold_lines_crlf_and_unterminated;
+          Alcotest.test_case "empty file" `Quick test_fold_lines_empty_file;
+          Alcotest.test_case "agrees with input_line" `Quick
+            test_fold_lines_matches_input_line;
+          Alcotest.test_case "sample_cumulative = categorical" `Quick
+            test_sample_cumulative_matches_categorical;
+          Alcotest.test_case "preset tsv roundtrip bit-exact" `Quick
+            test_preset_tsv_roundtrip;
+          Alcotest.test_case "malformed preset tsv rejected" `Quick
+            test_fold_preset_tsv_rejects;
+          Alcotest.test_case "huge preset registered" `Quick
+            test_huge_preset_registered;
         ] );
       ( "pipeline",
         [

@@ -100,13 +100,15 @@ let test_deadline_cancellation () =
      propagate out of the pool, from any job count *)
   List.iter
     (fun pool ->
-      match
-        Pool.run pool ~n:32 (fun i ->
-            Timer.check d;
-            i)
-      with
+      (* catching Expired here IS the assertion: the pool propagated it *)
+      (match
+         Pool.run pool ~n:32 (fun i ->
+             Timer.check d;
+             i)
+       with
       | _ -> Alcotest.fail "expired deadline should cancel the batch"
       | exception Timer.Expired -> ())
+      [@wgrap.allow "swallowed-cancel"])
     [ Pool.sequential; par_pool ]
 
 let test_jobs_clamped () =

@@ -241,6 +241,114 @@ let test_journal_append_replay () =
       Alcotest.(check (option (float 0.))) "floor from prefix" (Some 0.8)
         (Journal.last_incumbent r.Journal.events))
 
+(* {1 Disk full} *)
+
+module Persist_error = Wgrap_persist.Persist_error
+module Chaos = Dataset.Chaos
+
+let test_disk_full_wrap_maps () =
+  let expect_disk_full name f =
+    match Persist_error.wrap ~path:"/x/journal.wal" ~op:"appending" f with
+    | _ -> Alcotest.failf "%s: expected Disk_full" name
+    | exception Persist_error.Disk_full { path; op } ->
+        Alcotest.(check string) (name ^ ": path kept") "/x/journal.wal" path;
+        Alcotest.(check string) (name ^ ": op kept") "appending" op
+  in
+  expect_disk_full "ENOSPC errno" (fun () ->
+      raise (Unix.Unix_error (Unix.ENOSPC, "write", "")));
+  expect_disk_full "channel Sys_error" (fun () ->
+      raise (Sys_error "j.wal: No space left on device"));
+  expect_disk_full "quota Sys_error" (fun () ->
+      raise (Sys_error "j.wal: Disk quota exceeded"));
+  (* anything else passes through untouched *)
+  (match Persist_error.wrap ~path:"p" ~op:"o" (fun () -> raise Exit) with
+  | _ -> Alcotest.fail "expected Exit"
+  | exception Exit -> ()
+  | exception _ -> Alcotest.fail "wrap rewrote an unrelated exception");
+  Alcotest.(check int) "passthrough result" 3
+    (Persist_error.wrap ~path:"p" ~op:"o" (fun () -> 3))
+
+let test_disk_full_chaos_on_journal () =
+  (* the ENOSPC file image: committed prefix byte-intact, last record
+     cut mid-line. Replay must keep every earlier record, flag the torn
+     tail, and after a physical truncate the journal accepts appends
+     again. *)
+  let events =
+    [
+      Checkpoint.Link_entered { link = "sdga+sra" };
+      Checkpoint.Stage_done { stage = 1; score = 0.25 };
+      Checkpoint.Stage_done { stage = 2; score = 0.5 };
+      Checkpoint.Round_improved { round = 1; score = 0.75 };
+      Checkpoint.Round_improved { round = 2; score = 0.9 };
+    ]
+  in
+  for seed = 0 to 9 do
+    with_dir (fun dir ->
+        let path = Filename.concat dir "j.wal" in
+        let w = Journal.open_writer path in
+        List.iter (Journal.append w) events;
+        Journal.close_writer w;
+        Chaos.corrupt_file ~rng:(Rng.create seed) Chaos.Disk_full path;
+        let r = Journal.replay path in
+        let n = List.length r.Journal.events in
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: committed prefix survives" seed)
+          true
+          (n >= 4
+          && r.Journal.events = List.filteri (fun i _ -> i < n) events);
+        if not r.Journal.torn then
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d: untorn only at a record boundary" seed)
+            4 n;
+        (* recover: cut the torn tail physically, then append *)
+        let raw = Journal.Raw.replay path in
+        Journal.Raw.truncate path raw.Journal.Raw.valid_bytes;
+        let w = Journal.open_writer path in
+        Journal.append w (Checkpoint.Round_improved { round = 3; score = 0.95 });
+        Journal.close_writer w;
+        let r2 = Journal.replay path in
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: post-truncate journal clean" seed)
+          false r2.Journal.torn;
+        Alcotest.(check int)
+          (Printf.sprintf "seed %d: recovered record count" seed)
+          (n + 1)
+          (List.length r2.Journal.events))
+  done
+
+(* /dev/full gives a real ENOSPC on flush without filling any disk;
+   skip quietly on systems that lack it *)
+let dev_full = "/dev/full"
+
+let test_disk_full_real_enospc () =
+  if Sys.file_exists dev_full then begin
+    let oc = open_out_bin dev_full in
+    Fun.protect ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
+    @@ fun () ->
+    match
+      Persist_error.wrap ~path:dev_full ~op:"appending" (fun () ->
+          output_string oc (String.make 65536 'x');
+          flush oc)
+    with
+    | () -> Alcotest.fail "write to /dev/full unexpectedly succeeded"
+    | exception Persist_error.Disk_full _ -> ()
+  end
+
+let test_disk_full_store_disables () =
+  if Sys.file_exists dev_full then
+    with_dir (fun dir ->
+        (* the journal lives on a full volume from the start *)
+        Unix.symlink dev_full (Store.journal_path dir);
+        let store = Store.open_ ~dir () in
+        Fun.protect ~finally:(fun () -> Store.close store) @@ fun () ->
+        let sink = Store.sink store in
+        (* must not raise — the store disables itself instead *)
+        sink.Checkpoint.on_event
+          (Checkpoint.Stage_done { stage = 1; score = 0.5 });
+        sink.Checkpoint.offer (fun () -> sample_state ());
+        Alcotest.(check bool) "store disabled, solve continues" true
+          (Store.is_disabled store))
+
 (* {1 Store certification} *)
 
 let test_instance = lazy (random_instance (Rng.create 5) ~n_p:10 ~n_r:8 ~dp:3)
@@ -528,6 +636,17 @@ let () =
             test_snapshot_missing_and_corrupt;
           Alcotest.test_case "journal append/replay/torn" `Quick
             test_journal_append_replay;
+        ] );
+      ( "disk-full",
+        [
+          Alcotest.test_case "wrap maps out-of-space failures" `Quick
+            test_disk_full_wrap_maps;
+          Alcotest.test_case "ENOSPC journal image replays" `Quick
+            test_disk_full_chaos_on_journal;
+          Alcotest.test_case "real ENOSPC raises Disk_full" `Quick
+            test_disk_full_real_enospc;
+          Alcotest.test_case "store disables on full disk" `Quick
+            test_disk_full_store_disables;
         ] );
       ( "certification",
         [

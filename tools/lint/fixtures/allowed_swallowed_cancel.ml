@@ -1,0 +1,18 @@
+(* Fixture: a handler that re-raises (directly or with its backtrace),
+   an [@wgrap.allow] scope, and a catch-all over a body that never
+   polls the Timer all keep the rule quiet. *)
+let finalize f release =
+  try f ()
+  with Timer.Expired as e ->
+    release ();
+    raise e
+
+let traced f =
+  try f ()
+  with Timer.Expired as e ->
+    Printexc.raise_with_backtrace e (Printexc.get_raw_backtrace ())
+
+let backstop f fallback =
+  (try f () with Timer.Expired -> fallback ()) [@wgrap.allow "swallowed-cancel"]
+
+let unrelated f = try f () with e -> log (Solver.describe_exn e)

@@ -1,0 +1,10 @@
+(* Fixture: handlers absorbing Timer.Expired (the cancel signal) must
+   fire — explicit patterns and catch-alls over Timer-polling bodies. *)
+let quiet f = try f () with Timer.Expired -> None
+let matched f = match f () with v -> v | exception Timer.Expired -> 0
+
+let blanket ~deadline f =
+  try
+    Timer.check deadline;
+    f ()
+  with e -> log (Solver.describe_exn e)

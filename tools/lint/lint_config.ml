@@ -23,6 +23,23 @@ let unsafe_owners = [ "lib/core/scoring.ml"; "lib/core/gain_matrix.ml" ]
 let dense_alloc_owners =
   [ "lib/core/gain_matrix.ml"; "bench/dense_baseline.ml" ]
 
+(* Rule swallowed-cancel: Timer.Expired is the cooperative cancel
+   signal — a handler that absorbs it turns a deadline overrun into a
+   silent normal return, and budgets stop binding. The only modules
+   allowed to catch it without re-raising are the solver backstop
+   ladder (each converts the overrun into the Degraded protocol), the
+   serve solve task, and the shard supervisor's retry loop. *)
+let cancel_owners =
+  [
+    "lib/core/solver.ml";
+    "lib/core/sdga.ml";
+    "lib/core/sra.ml";
+    "lib/core/greedy.ml";
+    "lib/core/exact.ml";
+    "lib/serve/state.ml";
+    "lib/shard/supervisor.ml";
+  ]
+
 (* Rule deadline: solver link modules. Every exported entry point (a val
    whose name is in [solver_entry_names]) must accept [?deadline], and the
    implementation must either poll [Timer.check*]/[Timer.expired*] or

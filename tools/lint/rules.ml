@@ -338,8 +338,116 @@ let dense_alloc =
   in
   { name = "dense-alloc"; check }
 
+(* 9. swallowed-cancel: Timer.Expired is the cooperative cancel signal.
+   A handler that catches it without re-raising converts a deadline
+   overrun into a normal return — the budget silently stops binding.
+   Only the designated backstop modules (Lint_config.cancel_owners: the
+   solver fallback ladder, the serve solve task, the shard supervisor)
+   may absorb it, because each re-enters the degradation protocol
+   instead. Two shapes fire: an explicit [Timer.Expired] pattern (in a
+   [try] or a [match ... with exception ...]) whose handler never
+   re-raises, and a catch-all [try] handler over a body that visibly
+   polls [Timer.check]/[Timer.check_opt] or raises [Expired]. Unlike
+   silent-catch, routing through Solver.describe_exn is NOT enough
+   here: a described-but-absorbed cancel still reports success. *)
+let swallowed_cancel =
+  let reraises body =
+    let found = ref false in
+    let it =
+      object
+        inherit Ast_traverse.iter as super
+
+        method! expression e =
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } -> (
+              match Longident.flatten_exn txt with
+              | [ ("raise" | "raise_notrace" | "reraise") ]
+              | [ "Printexc"; "raise_with_backtrace" ] ->
+                  found := true
+              | _ -> ())
+          | _ -> ());
+          super#expression e
+      end
+    in
+    it#expression body;
+    !found
+  in
+  let rec expired_pat p =
+    match p.ppat_desc with
+    | Ppat_construct ({ txt; _ }, _) -> (
+        match List.rev (Longident.flatten_exn txt) with
+        | "Expired" :: _ -> true
+        | _ -> false)
+    | Ppat_or (a, b) -> expired_pat a || expired_pat b
+    | Ppat_alias (p, _) | Ppat_exception p | Ppat_constraint (p, _) ->
+        expired_pat p
+    | _ -> false
+  in
+  let catch_all p =
+    match p.ppat_desc with
+    | Ppat_any | Ppat_var _ -> true
+    | Ppat_alias ({ ppat_desc = Ppat_any; _ }, _) -> true
+    | _ -> false
+  in
+  let body_cancels body =
+    let found = ref false in
+    let it =
+      object
+        inherit Ast_traverse.iter as super
+
+        method! expression e =
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } -> (
+              match List.rev (Longident.flatten_exn txt) with
+              | ("check" | "check_opt") :: "Timer" :: _ -> found := true
+              | _ -> ())
+          | Pexp_construct ({ txt; _ }, _) -> (
+              match List.rev (Longident.flatten_exn txt) with
+              | "Expired" :: _ -> found := true
+              | _ -> ())
+          | _ -> ());
+          super#expression e
+      end
+    in
+    it#expression body;
+    !found
+  in
+  let report ctx ~loc =
+    Ctx.report ctx ~loc ~rule:"swallowed-cancel"
+      "handler absorbs Timer.Expired (the cancel signal) without \
+       re-raising; outside the designated backstop modules a caught \
+       deadline must propagate"
+  in
+  let check ctx (e : expression) =
+    if
+      not
+        (Lint_path.matches_any ~suffixes:Lint_config.cancel_owners ctx.Ctx.file)
+    then
+      match e.pexp_desc with
+      | Pexp_try (body, cases) ->
+          List.iter
+            (fun c ->
+              if c.pc_guard = None && not (reraises c.pc_rhs) then
+                if expired_pat c.pc_lhs then report ctx ~loc:c.pc_lhs.ppat_loc
+                else if catch_all c.pc_lhs && body_cancels body then
+                  report ctx ~loc:c.pc_lhs.ppat_loc)
+            cases
+      | Pexp_match (_, cases) ->
+          List.iter
+            (fun c ->
+              match c.pc_lhs.ppat_desc with
+              | Ppat_exception p
+                when expired_pat p && c.pc_guard = None
+                     && not (reraises c.pc_rhs) ->
+                  report ctx ~loc:c.pc_lhs.ppat_loc
+              | _ -> ())
+            cases
+      | _ -> ()
+  in
+  { name = "swallowed-cancel"; check }
+
 let all =
   [
     wall_clock; raw_random; silent_catch; poly_compare; float_eq; unsafe_array;
-    unbounded_retry; dense_alloc;
+    unbounded_retry; dense_alloc; swallowed_cancel;
   ]

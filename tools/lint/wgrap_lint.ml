@@ -21,6 +21,9 @@
                    no raw blocking read in lib/serve outside Transport
      dense-alloc   no O(papers x reviewers) allocation outside the
                    Gain_matrix dense backing and the bench baseline
+     swallowed-cancel
+                   no handler that absorbs Timer.Expired without
+                   re-raising outside the designated backstop modules
      deadline      solver entry points accept ?deadline and reach a
                    Timer.check*/forwarded deadline
 
