@@ -157,10 +157,18 @@ let top_k ?use_bound ?deadline t ~k =
   last := counters;
   sols
 
+(* The domain-safe entry: returns the counters instead of writing the
+   shared [last] cell, so worker domains (Solver.jra_batch tasks) can
+   run the search without racing on the telemetry ref. *)
+let solve_counting ?use_bound ?deadline t =
+  match top_k_counted ?use_bound ?deadline t ~k:1 with
+  | s :: _, counters -> (s, counters)
+  | [], _ -> assert false
+
 let solve ?use_bound ?deadline t =
-  match top_k ?use_bound ?deadline t ~k:1 with
-  | s :: _ -> s
-  | [] -> assert false
+  let sol, counters = solve_counting ?use_bound ?deadline t in
+  last := counters;
+  sol
 
 let solve_many ?use_bound ?deadline ?pool problems =
   let module Pool = Wgrap_par.Pool in

@@ -32,6 +32,15 @@ val solve :
     behaviour); a greedy pick stands in if not even one leaf was
     reached. Never raises on expiry. *)
 
+val solve_counting :
+  ?use_bound:bool -> ?deadline:Wgrap_util.Timer.deadline -> Jra.problem ->
+  Jra.solution * stats
+(** {!solve}, returning the search counters instead of recording them in
+    the {!last_stats} cell. This is the variant safe to call from worker
+    domains: it touches no shared state, the caller owns the counters.
+    Anything running under a {!Wgrap_par.Pool} task (e.g. the Solver
+    batch chain) must use it instead of {!solve}/{!top_k}. *)
+
 val top_k :
   ?use_bound:bool -> ?deadline:Wgrap_util.Timer.deadline -> Jra.problem ->
   k:int -> Jra.solution list

@@ -129,8 +129,8 @@ let jra_chain ?deadline ~on_reason problem =
   let bba_exact =
     ilp_exact
     ||
-    match Jra_bba.solve ?deadline problem with
-    | sol ->
+    match Jra_bba.solve_counting ?deadline problem with
+    | sol, _ ->
         consider sol;
         if Timer.expired_opt deadline then begin
           push (Timeout { link = "jra-bba" });

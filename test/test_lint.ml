@@ -1,0 +1,283 @@
+(* End-to-end suite for the wgrap_lint analyzer, driving the built
+   executable over a synthetic temp tree: the interprocedural rules
+   catch seeded violations (and stay quiet on the allowed twins), the
+   digest-keyed summary cache goes fully warm on a second run and
+   invalidates exactly the edited module, and the SARIF / JSON /
+   baseline / explain surfaces behave. *)
+
+let lint_exe = "../tools/lint/wgrap_lint.exe"
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let temp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "wgrap_lint_%d_%d" (Unix.getpid ()) !counter)
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    dir
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let with_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* Run the linter; returns (exit code, combined stdout+stderr). *)
+let run_lint args =
+  let cmd =
+    String.concat " " (List.map Filename.quote (lint_exe :: args)) ^ " 2>&1"
+  in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  let code =
+    match status with
+    | Unix.WEXITED n -> n
+    | Unix.WSIGNALED n | Unix.WSTOPPED n -> 128 + n
+  in
+  (code, Buffer.contents buf)
+
+let contains ~sub s =
+  let ls = String.length s and lb = String.length sub in
+  let rec scan i = i + lb <= ls && (String.sub s i lb = sub || scan (i + 1)) in
+  scan 0
+
+let count_lines_with ~sub s =
+  List.length
+    (List.filter (contains ~sub) (String.split_on_char '\n' s))
+
+(* --- the seeded tree ---------------------------------------------- *)
+
+(* The acceptance case: a shared-ref write two calls below a Pool.map
+   closure. *)
+let race_bad =
+  "let tally = ref 0\n\
+   let bump () = tally := !tally + 1\n\
+   let record i = if i > 0 then bump ()\n\
+   let scan pool n = Pool.map pool ~n (fun i -> record i)\n"
+
+let race_ok =
+  "let tally = ref 0\n\
+   let bump () = tally := !tally + 1\n\
+   let record i = if i > 0 then bump ()\n\
+   let scan pool n =\n\
+  \  (Pool.map pool ~n (fun i -> record i)) [@wgrap.allow \"domain-race\"]\n"
+
+let nondet_bad =
+  "let visit tbl f = Hashtbl.iter f tbl\n\
+   let total tbl = let s = ref 0 in visit tbl (fun _ v -> s := !s + v); !s\n\
+   let solve ?deadline tbl = ignore (Timer.check deadline); total tbl\n"
+
+let nondet_ok =
+  "let visit tbl f = (Hashtbl.iter f tbl) [@wgrap.allow \"nondet-reach\"]\n\
+   let total tbl = let s = ref 0 in visit tbl (fun _ v -> s := !s + v); !s\n\
+   let solve ?deadline tbl = ignore (Timer.check deadline); total tbl\n"
+
+let nondet_mli =
+  "val solve : ?deadline:Wgrap_util.Timer.deadline -> (string, int) \
+   Hashtbl.t -> int\n"
+
+let trans_bad =
+  "let audit ?deadline () = ignore (Timer.check deadline)\n\
+   let churn x = x * 2\n\
+   let grind x = churn (churn x)\n\
+   let solve ?deadline:_ x = grind x\n"
+
+let trans_ok =
+  "let step ?deadline x = ignore (Timer.check deadline); x + 1\n\
+   let grind ?deadline x = step ?deadline (x * 2)\n\
+   let solve ?deadline x = grind ?deadline x\n"
+
+let trans_mli = "val solve : ?deadline:Wgrap_util.Timer.deadline -> int -> int\n"
+
+let seed_tree dir =
+  let p name = Filename.concat dir name in
+  write_file (p "race_bad.ml") race_bad;
+  write_file (p "race_ok.ml") race_ok;
+  write_file (p "nondet_bad.ml") nondet_bad;
+  write_file (p "nondet_bad.mli") nondet_mli;
+  write_file (p "nondet_ok.ml") nondet_ok;
+  write_file (p "nondet_ok.mli") nondet_mli;
+  write_file (p "trans_bad.ml") trans_bad;
+  write_file (p "trans_bad.mli") trans_mli;
+  write_file (p "trans_ok.ml") trans_ok;
+  write_file (p "trans_ok.mli") trans_mli
+
+let solver_flags dir =
+  List.concat_map
+    (fun m -> [ "--solver-module"; Filename.concat dir m ])
+    [ "nondet_bad.ml"; "nondet_ok.ml"; "trans_bad.ml"; "trans_ok.ml" ]
+
+let lint_tree ?(extra = []) dir =
+  run_lint (("--no-cache" :: solver_flags dir) @ extra @ [ dir ])
+
+(* --- tests -------------------------------------------------------- *)
+
+let test_interproc_findings () =
+  with_dir @@ fun dir ->
+  seed_tree dir;
+  let code, out = lint_tree dir in
+  Alcotest.(check int) "findings exit 1" 1 code;
+  Alcotest.(check int) "one domain-race" 1
+    (count_lines_with ~sub:"[domain-race]" out);
+  Alcotest.(check bool) "race anchored at the bad spawn" true
+    (contains ~sub:"race_bad.ml:4" out);
+  Alcotest.(check bool) "race witness names the chain" true
+    (contains ~sub:"record -> bump" out);
+  Alcotest.(check int) "one nondet-reach" 1
+    (count_lines_with ~sub:"[nondet-reach]" out);
+  Alcotest.(check bool) "nondet anchored at the bad entry" true
+    (contains ~sub:"nondet_bad.ml:3" out);
+  Alcotest.(check int) "one transitive deadline miss" 1
+    (count_lines_with ~sub:"[deadline]" out);
+  Alcotest.(check bool) "deadline anchored at the bad mli" true
+    (contains ~sub:"trans_bad.mli:1" out);
+  (* The allowed / transitively-satisfied twins stay quiet. *)
+  List.iter
+    (fun twin ->
+      Alcotest.(check int)
+        (twin ^ " clean") 0
+        (count_lines_with ~sub:twin out))
+    [ "race_ok.ml:"; "nondet_ok.ml:"; "trans_ok.ml:"; "trans_ok.mli:" ]
+
+let summary_stamps sums =
+  Sys.readdir sums |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".summary")
+  |> List.map (fun f ->
+         let path = Filename.concat sums f in
+         (f, (Unix.stat path).Unix.st_mtime))
+  |> List.sort compare
+
+let parse_stats out =
+  (* "summaries: %d cached, %d rebuilt" on its own line *)
+  let line =
+    List.find (contains ~sub:"summaries:") (String.split_on_char '\n' out)
+  in
+  Scanf.sscanf line " summaries: %d cached, %d rebuilt" (fun c r -> (c, r))
+
+let test_summary_cache () =
+  with_dir @@ fun dir ->
+  seed_tree dir;
+  let sums = Filename.concat dir "sums" in
+  let go () =
+    run_lint
+      (solver_flags dir
+      @ [ "--summaries"; sums; "--cache-stats"; dir ])
+  in
+  let _, out1 = go () in
+  let cached1, rebuilt1 = parse_stats out1 in
+  Alcotest.(check int) "cold run caches nothing" 0 cached1;
+  Alcotest.(check int) "cold run summarizes every module" 6 rebuilt1;
+  (* Stamp every summary file, then check a warm run rewrites none. *)
+  let stamps = summary_stamps sums in
+  let _, out2 = go () in
+  let cached2, rebuilt2 = parse_stats out2 in
+  Alcotest.(check int) "warm run re-summarizes zero modules" 0 rebuilt2;
+  Alcotest.(check int) "warm run serves all from cache" 6 cached2;
+  Alcotest.(check bool) "warm run leaves every stamp untouched" true
+    (stamps = summary_stamps sums);
+  (* Edit one module: exactly its summary is invalidated and rewritten. *)
+  write_file (Filename.concat dir "race_ok.ml") (race_ok ^ "(* edited *)\n");
+  let _, out3 = go () in
+  let cached3, rebuilt3 = parse_stats out3 in
+  Alcotest.(check int) "stale digest re-summarizes exactly one" 1 rebuilt3;
+  Alcotest.(check int) "the other summaries stay cached" 5 cached3;
+  let changed =
+    List.filter
+      (fun (f, m) ->
+        match List.assoc_opt f stamps with
+        | Some m0 -> m <> m0
+        | None -> true)
+      (summary_stamps sums)
+  in
+  Alcotest.(check (list string)) "only the edited module's entry changed"
+    [ "race_ok.ml.summary" ]
+    (List.map fst changed
+    |> List.map (fun f ->
+           (* strip the flattened directory prefix *)
+           match String.rindex_opt f '_' with
+           | Some _ when contains ~sub:"race_ok" f -> "race_ok.ml.summary"
+           | _ -> f))
+
+let test_sarif_json_baseline () =
+  with_dir @@ fun dir ->
+  seed_tree dir;
+  let sarif = Filename.concat dir "out.sarif" in
+  let code, _ = lint_tree ~extra:[ "--sarif"; sarif ] dir in
+  Alcotest.(check int) "sarif run still exits 1" 1 code;
+  let log = read_file sarif in
+  Alcotest.(check bool) "sarif declares 2.1.0" true
+    (contains ~sub:"\"version\":\"2.1.0\"" log);
+  Alcotest.(check bool) "sarif names the tool" true
+    (contains ~sub:"\"name\":\"wgrap_lint\"" log);
+  Alcotest.(check bool) "sarif carries the race result" true
+    (contains ~sub:"\"ruleId\":\"domain-race\"" log);
+  let _, json = lint_tree ~extra:[ "--json" ] dir in
+  Alcotest.(check bool) "json is an array of findings" true
+    (String.length json > 0 && json.[0] = '['
+    && contains ~sub:"\"rule\":\"nondet-reach\"" json);
+  (* Grandfather the current findings, then the tree lints clean. *)
+  let _, text = lint_tree dir in
+  let baseline = Filename.concat dir "baseline.txt" in
+  write_file baseline text;
+  let code, out = lint_tree ~extra:[ "--baseline"; baseline ] dir in
+  Alcotest.(check int) "baselined run exits 0" 0 code;
+  Alcotest.(check string) "baselined run prints nothing" "" out;
+  (* A missing baseline file is a usage error, not silence. *)
+  let code, _ =
+    lint_tree ~extra:[ "--baseline"; Filename.concat dir "nope.txt" ] dir
+  in
+  Alcotest.(check int) "missing baseline exits 2" 2 code
+
+let test_explain () =
+  let code, out = run_lint [ "--explain"; "domain-race" ] in
+  Alcotest.(check int) "explain exits 0" 0 code;
+  Alcotest.(check bool) "explain covers the rule" true
+    (contains ~sub:"Pool" out && contains ~sub:"Bad:" out
+   && contains ~sub:"Good:" out);
+  let code, _ = run_lint [ "--explain"; "no-such-rule" ] in
+  Alcotest.(check int) "unknown rule exits 2" 2 code
+
+let () =
+  if not (Sys.file_exists lint_exe) then
+    failwith ("test_lint: linter not built at " ^ lint_exe);
+  Alcotest.run "lint"
+    [
+      ( "interproc",
+        [ Alcotest.test_case "seeded violations" `Quick test_interproc_findings ]
+      );
+      ( "cache",
+        [ Alcotest.test_case "warm and invalidate" `Quick test_summary_cache ]
+      );
+      ( "output",
+        [
+          Alcotest.test_case "sarif json baseline" `Quick
+            test_sarif_json_baseline;
+        ] );
+      ("explain", [ Alcotest.test_case "rule catalog" `Quick test_explain ]);
+    ]

@@ -1,0 +1,50 @@
+(* Baseline suppression: a file of previously-accepted findings, one per
+   line in the exact format Finding.to_string prints. A current finding
+   is suppressed when the baseline holds an entry with the same file,
+   rule and message — line numbers are deliberately ignored so edits
+   above a grandfathered finding don't churn the baseline. Blank lines
+   and '#' comments are skipped. The repo ships an empty baseline
+   (lint-baseline.txt): new code lints clean, and CI fails if anyone
+   grows the file without review. *)
+
+type key = { bfile : string; brule : string; bmsg : string }
+
+let key_of_finding (f : Finding.t) =
+  { bfile = Lint_path.repo_relative f.file; brule = f.rule; bmsg = f.msg }
+
+(* Parse "file:line: [rule] message". *)
+let parse_line l =
+  let l = String.trim l in
+  if l = "" || l.[0] = '#' then None
+  else
+    match (String.index_opt l '[', String.index_opt l ']') with
+    | Some i, Some j when j > i ->
+        let rule = String.sub l (i + 1) (j - i - 1) in
+        let msg =
+          if j + 2 <= String.length l then
+            String.sub l (j + 2) (String.length l - j - 2)
+          else ""
+        in
+        (match String.index_opt l ':' with
+        | Some c when c < i ->
+            Some { bfile = String.sub l 0 c; brule = rule; bmsg = msg }
+        | _ -> None)
+    | _ -> None
+
+let load path : key list =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let keys = ref [] in
+      (try
+         while true do
+           match parse_line (input_line ic) with
+           | Some k -> keys := k :: !keys
+           | None -> ()
+         done
+       with End_of_file -> ());
+      List.rev !keys)
+
+let filter ~baseline findings =
+  List.filter (fun f -> not (List.mem (key_of_finding f) baseline)) findings

@@ -1,0 +1,72 @@
+(* Digest-keyed store for phase-1 summaries. One text file per source
+   module under the cache directory (default `.lint-summaries/`), named
+   after the repo-relative path with '/' flattened to "__". A cached
+   summary is reused iff its recorded digest matches the current file
+   digest and its format version matches {!Summary.version}; otherwise
+   the module is re-summarized and the entry rewritten. Entries are
+   only written on a miss, so an unchanged tree leaves every cache
+   file's mtime untouched — the property `test_lint` pins with a stamp
+   file. *)
+
+type stats = { mutable cached : int; mutable rebuilt : int }
+
+type t = { dir : string option; stats : stats }
+
+let create dir = { dir; stats = { cached = 0; rebuilt = 0 } }
+
+let entry_path dir key =
+  let flat =
+    String.concat "__" (String.split_on_char '/' (Lint_path.normalize key))
+  in
+  Filename.concat dir (flat ^ ".summary")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents);
+  Sys.rename tmp path
+
+let load t ~key ~digest : Summary.t option =
+  match t.dir with
+  | None -> None
+  | Some dir -> (
+      let path = entry_path dir key in
+      if not (Sys.file_exists path) then None
+      else
+        match Summary.decode (read_file path) with
+        | s when s.Summary.digest = digest -> Some s
+        | _ -> None
+        | exception Summary.Malformed _ -> None)
+
+let store t ~key (s : Summary.t) =
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      write_file (entry_path dir key) (Summary.encode s)
+
+(* Summarize [path], via the cache when possible. *)
+let summarize t ~path (str : Ppxlib.structure) : Summary.t =
+  let key = Lint_path.repo_relative path in
+  let digest = Digest.to_hex (Digest.file path) in
+  match load t ~key ~digest with
+  | Some s ->
+      t.stats.cached <- t.stats.cached + 1;
+      s
+  | None ->
+      let s = Summarize.structure ~path:key ~digest str in
+      t.stats.rebuilt <- t.stats.rebuilt + 1;
+      store t ~key s;
+      s
+
+let report t =
+  Printf.sprintf "summaries: %d cached, %d rebuilt" t.stats.cached
+    t.stats.rebuilt

@@ -7,8 +7,14 @@ let compare a b =
   match String.compare a.file b.file with
   | 0 -> (
       match Int.compare a.line b.line with
-      | 0 -> String.compare a.rule b.rule
+      | 0 -> (
+          match String.compare a.rule b.rule with
+          | 0 -> String.compare a.msg b.msg
+          | c -> c)
       | c -> c)
   | c -> c
 
-let to_string f = Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.msg
+let to_string f =
+  Printf.sprintf "%s:%d: [%s] %s"
+    (Lint_path.repo_relative f.file)
+    f.line f.rule f.msg

@@ -1,0 +1,6 @@
+(* Fixture: the same two-calls-deep shared write, blessed at the spawn
+   site — the annotation asserts the counter is synchronised elsewhere. *)
+let tally = ref 0
+let bump () = tally := !tally + 1
+let record i = if i > 0 then bump ()
+let run pool n = (Pool.map pool ~n (fun i -> record i)) [@wgrap.allow "domain-race"]

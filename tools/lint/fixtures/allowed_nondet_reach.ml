@@ -1,0 +1,12 @@
+(* Fixture: the same transitive Hashtbl.iter reach, blessed at the read
+   site — the annotation asserts the fold is order-insensitive. *)
+let visit tbl f = (Hashtbl.iter f tbl) [@wgrap.allow "nondet-reach"]
+
+let total tbl =
+  let s = ref 0 in
+  visit tbl (fun _ v -> s := !s + v);
+  !s
+
+let solve ?deadline tbl =
+  ignore (Timer.check deadline);
+  total tbl

@@ -1,0 +1,2 @@
+(* Fixture interface for the blessed twin. *)
+val solve : ?deadline:Wgrap_util.Timer.deadline -> (string, int) Hashtbl.t -> int

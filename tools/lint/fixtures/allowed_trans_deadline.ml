@@ -1,0 +1,9 @@
+(* Fixture: the poll sits two calls below the entry point — the
+   interprocedural walk must credit it (the entry itself neither polls
+   nor textually mentions the timer). *)
+let step ?deadline x =
+  ignore (Timer.check deadline);
+  x + 1
+
+let grind ?deadline x = step ?deadline (x * 2)
+let solve ?deadline x = grind ?deadline x

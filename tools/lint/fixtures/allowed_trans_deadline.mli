@@ -1,0 +1,2 @@
+(* Fixture interface for the transitively-polling twin. *)
+val solve : ?deadline:Wgrap_util.Timer.deadline -> int -> int

@@ -1,0 +1,7 @@
+(* Fixture: the closure handed to Pool.map increments a counter the
+   coordinator also owns — through a helper two calls deep, so only the
+   interprocedural effect propagation can see the write. *)
+let tally = ref 0
+let bump () = tally := !tally + 1
+let record i = if i > 0 then bump ()
+let run pool n = Pool.map pool ~n (fun i -> record i)

@@ -1,0 +1,3 @@
+(* Fixture interface: the entry accepts ?deadline, so only nondet-reach
+   should fire. *)
+val solve : ?deadline:Wgrap_util.Timer.deadline -> (string, int) Hashtbl.t -> int

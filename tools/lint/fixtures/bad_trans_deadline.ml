@@ -1,0 +1,8 @@
+(* Fixture: the module does poll the timer — but in a value the entry
+   point never reaches, and the entry drops its ?deadline. The old
+   whole-file scan passed this; the per-entry transitive check must
+   fire. *)
+let audit ?deadline () = ignore (Timer.check deadline)
+let churn x = x * 2
+let grind x = churn (churn x)
+let solve ?deadline:_ x = grind x

@@ -1,0 +1,3 @@
+(* Fixture interface: ?deadline is accepted, so only the transitive
+   reach half of the rule should fire. *)
+val solve : ?deadline:Wgrap_util.Timer.deadline -> int -> int

@@ -14,6 +14,23 @@ let matches_suffix ~suffix path =
 let matches_any ~suffixes path =
   List.exists (fun suffix -> matches_suffix ~suffix path) suffixes
 
+(* Repo-relative display form: strip the current working directory
+   prefix from absolute paths and leading "./" segments from relative
+   ones, so findings, summaries and SARIF artifacts are
+   machine-independent no matter how the scan roots were spelled. *)
+let repo_relative path =
+  let path = normalize path in
+  let rec strip_dot p =
+    if String.length p >= 2 && String.sub p 0 2 = "./" then
+      strip_dot (String.sub p 2 (String.length p - 2))
+    else p
+  in
+  let cwd = normalize (Sys.getcwd ()) in
+  let lp = String.length path and lc = String.length cwd in
+  if lp > lc + 1 && String.sub path 0 lc = cwd && path.[lc] = '/' then
+    String.sub path (lc + 1) (lp - lc - 1)
+  else strip_dot path
+
 (* Directory containment on component boundaries: "lib/serve" matches
    "lib/serve/server.ml" and "repo/lib/serve/x.ml" but never
    "lib/serves/x.ml" or "mylib/serve/x.ml". *)

@@ -2,10 +2,13 @@
    solver module: each exported entry point (a [val] in the .mli whose
    name is in {!Lint_config.solver_entry_names}) must accept [?deadline]
    or [?ctx] (a {!Ctx.t} carries the deadline among its fields), and
-   the implementation must either poll the monotonic timer
-   ([Timer.check*] / [Timer.expired*]) or forward a [~deadline]/[?deadline]
-   (or [~ctx]/[?ctx]) argument to a callee that does — otherwise a
-   budgeted solve can run unbounded.
+   the entry must reach the monotonic timer: poll [Timer.check*] /
+   [Timer.expired*] or forward a [~deadline]/[~ctx] argument — anywhere
+   down its transitive call chain, as judged by the interprocedural
+   call graph ([entry_ok], answered by {!Rule_interproc}). When an
+   entry is not in the graph (re-export, include), the check falls back
+   to the old syntactic whole-file scan — otherwise a budgeted solve
+   can run unbounded.
 
    Suppression: [@@wgrap.allow "deadline"] on the offending [val], or the
    floating [@@@wgrap.allow "deadline"] in either file. *)
@@ -76,7 +79,7 @@ let module_loc (str : structure) =
   match str with [] -> Location.none | item :: _ -> item.pstr_loc
 
 let check ~(ml_ctx : Ctx.t) ~(mli_ctx : Ctx.t option) ~(str : structure)
-    ~(sg : signature option) =
+    ~(sg : signature option) ~(entry_ok : string -> bool option) =
   match (sg, mli_ctx) with
   | None, _ | _, None ->
       Ctx.report ml_ctx ~loc:(module_loc str) ~rule
@@ -101,7 +104,21 @@ let check ~(ml_ctx : Ctx.t) ~(mli_ctx : Ctx.t option) ~(str : structure)
                   (anytime contract: every solve is budgetable)"
                  vd.pval_name.txt))
         unsuppressed;
-      if unsuppressed <> [] && not (polls_or_forwards str) then
+      let unknown = ref false in
+      List.iter
+        (fun vd ->
+          match entry_ok vd.pval_name.txt with
+          | Some true -> ()
+          | Some false ->
+              Ctx.report mli_ctx ~loc:vd.pval_loc ~rule
+                (Printf.sprintf
+                   "solver entry point %s never reaches \
+                    Timer.check*/Timer.expired* nor forwards ?deadline/?ctx \
+                    anywhere down its call chain; its loops cannot be cut off"
+                   vd.pval_name.txt)
+          | None -> unknown := true)
+        unsuppressed;
+      if !unknown && not (polls_or_forwards str) then
         Ctx.report ml_ctx ~loc:(module_loc str) ~rule
           "solver implementation never polls Timer.check*/Timer.expired* nor \
            forwards ?deadline/?ctx to a callee; its loops cannot be cut off"

@@ -1,0 +1,75 @@
+(* Machine-readable finding output: a plain JSON array for [--json] and
+   a SARIF 2.1 log for [--sarif FILE] (the schema GitHub code scanning
+   ingests). Hand-rolled emission — the linter deliberately depends on
+   nothing beyond ppxlib. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let str s = "\"" ^ escape s ^ "\""
+
+(* --- plain JSON --------------------------------------------------- *)
+
+let finding_json (f : Finding.t) =
+  Printf.sprintf {|{"file":%s,"line":%d,"rule":%s,"message":%s}|}
+    (str (Lint_path.repo_relative f.file))
+    f.line (str f.rule) (str f.msg)
+
+let to_json (findings : Finding.t list) =
+  "[" ^ String.concat ",\n " (List.map finding_json findings) ^ "]\n"
+
+(* --- SARIF 2.1 ---------------------------------------------------- *)
+
+let rule_descriptor rule =
+  let summary =
+    match Explain.find rule with
+    | Some e -> e.Explain.summary
+    | None -> rule
+  in
+  Printf.sprintf
+    {|{"id":%s,"shortDescription":{"text":%s},"defaultConfiguration":{"level":"error"}}|}
+    (str rule) (str summary)
+
+let result_json (f : Finding.t) =
+  Printf.sprintf
+    {|{"ruleId":%s,"level":"error","message":{"text":%s},"locations":[{"physicalLocation":{"artifactLocation":{"uri":%s,"uriBaseId":"SRCROOT"},"region":{"startLine":%d}}}]}|}
+    (str f.rule) (str f.msg)
+    (str (Lint_path.repo_relative f.file))
+    (max 1 f.line)
+
+let to_sarif (findings : Finding.t list) =
+  let rules =
+    List.sort_uniq String.compare (List.map (fun f -> f.Finding.rule) findings)
+  in
+  (* Rules referenced by results must appear in the driver; include the
+     full catalog so an empty run still documents the tool. *)
+  let rules =
+    List.sort_uniq String.compare (rules @ Explain.rule_names ())
+  in
+  String.concat ""
+    [
+      {|{"$schema":"https://json.schemastore.org/sarif-2.1.0.json","version":"2.1.0","runs":[{"tool":{"driver":{"name":"wgrap_lint","informationUri":"https://example.invalid/wgrap","rules":[|};
+      String.concat "," (List.map rule_descriptor rules);
+      {|]}},"originalUriBaseIds":{"SRCROOT":{"uri":"file:///"}},"results":[|};
+      String.concat "," (List.map result_json findings);
+      "]}]}\n";
+    ]
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)

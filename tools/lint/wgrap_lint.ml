@@ -1,14 +1,24 @@
 (* wgrap_lint — static analysis for the wgrap contracts.
 
-   Usage: wgrap_lint [--solver-module PATH]... [--serve-module PATH]... PATH...
+   Usage: wgrap_lint [options] PATH...
 
    Each PATH is an .ml/.mli file or a directory walked recursively.
    Findings print as "file:line: [rule] message"; the exit status is 0
    when clean, 1 when any finding (including a parse failure) is
    reported, 2 on usage errors.
 
-   Rules (suppress per-expression with [@wgrap.allow "rule"], per-val
-   with [@@wgrap.allow "rule"], per-file with [@@@wgrap.allow "rule"]):
+   The run has two phases. Phase 1 summarizes every implementation —
+   per top-level value: direct effects (mutates-global, mutates-argument
+   by parameter index, performs-IO, reads-nondeterministic-source,
+   polls-deadline, may-raise-Expired), call edges with argument roots,
+   and Pool spawn sites — caching summaries under --summaries keyed by
+   file digest. Phase 2 stitches the summaries into a call graph,
+   propagates effects to a fixpoint, and runs the interprocedural rules
+   on top of the per-expression ones.
+
+   Expression rules (suppress per-expression with [@wgrap.allow "rule"],
+   per-val with [@@wgrap.allow "rule"], per-file with
+   [@@@wgrap.allow "rule"]):
      wall-clock    no Unix.gettimeofday/Unix.time/Sys.time outside Timer
      raw-random    no stdlib Random outside Rng
      silent-catch  no catch-all handler that neither re-raises nor
@@ -24,20 +34,42 @@
      swallowed-cancel
                    no handler that absorbs Timer.Expired without
                    re-raising outside the designated backstop modules
-     deadline      solver entry points accept ?deadline and reach a
-                   Timer.check*/forwarded deadline
 
-   [--solver-module PATH] adds PATH to the deadline-rule targets and
-   [--serve-module PATH] to the unbounded-retry blocking-read targets,
-   on top of the built-in project configuration (used by fixtures). *)
+   Interprocedural rules (phase 2):
+     deadline      solver entry points accept ?deadline and reach a
+                   Timer.check*/forwarded deadline transitively
+     domain-race   no Pool closure whose transitive effects write
+                   coordinator-shared state
+     nondet-reach  no solver entry point transitively reading a
+                   nondeterministic source
+
+   Options:
+     --solver-module PATH  add PATH to the solver-module targets
+     --serve-module PATH   add PATH to the serve blocking-read targets
+     --exclude PATH        skip files under this directory
+     --summaries DIR       summary cache directory (.lint-summaries)
+     --no-cache            neither read nor write the summary cache
+     --cache-stats         print cached/rebuilt counts to stderr
+     --sarif FILE          also write a SARIF 2.1 log to FILE
+     --json                print findings as a JSON array, not text
+     --baseline FILE       suppress findings listed in FILE
+     --explain RULE        print the rule's rationale and examples *)
 
 let usage =
-  "usage: wgrap_lint [--solver-module PATH]... [--serve-module PATH]... PATH..."
+  "usage: wgrap_lint [--solver-module PATH] [--serve-module PATH]\n\
+  \                  [--exclude PATH] [--summaries DIR] [--no-cache]\n\
+  \                  [--cache-stats] [--sarif FILE] [--json]\n\
+  \                  [--baseline FILE] [--explain RULE] PATH..."
 
-let rec walk path acc =
-  if Sys.is_directory path then
+let rec walk ~excludes path acc =
+  if
+    List.exists
+      (fun dir -> Lint_path.contains_dir ~dir (Lint_path.repo_relative path))
+      excludes
+  then acc
+  else if Sys.is_directory path then
     Array.fold_left
-      (fun acc entry -> walk (Filename.concat path entry) acc)
+      (fun acc entry -> walk ~excludes (Filename.concat path entry) acc)
       acc
       (let entries = Sys.readdir path in
        Array.sort String.compare entries;
@@ -69,23 +101,49 @@ let parse_files files =
         (fun () ->
           let lexbuf = Lexing.from_channel ic in
           Lexing.set_filename lexbuf path;
-          try
-            if Filename.check_suffix path ".mli" then
-              let sg = Ppxlib.Parse.interface lexbuf in
-              { acc with signatures = (path, sg) :: acc.signatures }
-            else
-              let str = Ppxlib.Parse.implementation lexbuf in
-              { acc with structures = (path, str) :: acc.structures }
-          with exn ->
-            {
-              acc with
-              parse_failures = parse_failure path exn :: acc.parse_failures;
-            }))
+          (* Findings are how a lint surfaces faults; a file the
+             compiler would reject is itself the finding. *)
+          (try
+             if Filename.check_suffix path ".mli" then
+               let sg = Ppxlib.Parse.interface lexbuf in
+               { acc with signatures = (path, sg) :: acc.signatures }
+             else
+               let str = Ppxlib.Parse.implementation lexbuf in
+               { acc with structures = (path, str) :: acc.structures }
+           with exn ->
+             {
+               acc with
+               parse_failures = parse_failure path exn :: acc.parse_failures;
+             })
+          [@wgrap.allow "silent-catch"]))
     { structures = []; signatures = []; parse_failures = [] }
     files
 
+type opts = {
+  mutable paths : string list;
+  mutable excludes : string list;
+  mutable summaries_dir : string;
+  mutable use_cache : bool;
+  mutable cache_stats : bool;
+  mutable sarif : string option;
+  mutable json : bool;
+  mutable baseline : string option;
+}
+
 let () =
-  let paths = ref [] and extra_solver_modules = ref [] in
+  let o =
+    {
+      paths = [];
+      excludes = [];
+      summaries_dir = ".lint-summaries";
+      use_cache = true;
+      cache_stats = false;
+      sarif = None;
+      json = false;
+      baseline = None;
+    }
+  in
+  let extra_solver_modules = ref [] in
   let rec parse_args = function
     | [] -> ()
     | "--solver-module" :: m :: rest ->
@@ -94,29 +152,87 @@ let () =
     | "--serve-module" :: m :: rest ->
         Lint_config.extra_serve_modules := m :: !Lint_config.extra_serve_modules;
         parse_args rest
-    | ("--solver-module" | "--serve-module") :: [] ->
+    | "--exclude" :: d :: rest ->
+        o.excludes <- d :: o.excludes;
+        parse_args rest
+    | "--summaries" :: d :: rest ->
+        o.summaries_dir <- d;
+        parse_args rest
+    | "--no-cache" :: rest ->
+        o.use_cache <- false;
+        parse_args rest
+    | "--cache-stats" :: rest ->
+        o.cache_stats <- true;
+        parse_args rest
+    | "--sarif" :: f :: rest ->
+        o.sarif <- Some f;
+        parse_args rest
+    | "--json" :: rest ->
+        o.json <- true;
+        parse_args rest
+    | "--baseline" :: f :: rest ->
+        o.baseline <- Some f;
+        parse_args rest
+    | "--explain" :: rule :: rest -> (
+        parse_args rest;
+        match Explain.find rule with
+        | Some e ->
+            print_string (Explain.to_text e);
+            exit 0
+        | None ->
+            Printf.eprintf "wgrap_lint: unknown rule %s (rules: %s)\n" rule
+              (String.concat ", " (Explain.rule_names ()));
+            exit 2)
+    | ( "--solver-module" | "--serve-module" | "--exclude" | "--summaries"
+      | "--sarif" | "--baseline" | "--explain" )
+      :: [] ->
         prerr_endline usage;
         exit 2
     | ("--help" | "-help") :: _ ->
         print_endline usage;
         exit 0
     | p :: rest ->
-        paths := p :: !paths;
+        o.paths <- p :: o.paths;
         parse_args rest
   in
   parse_args (List.tl (Array.to_list Sys.argv));
-  if !paths = [] then begin
+  Lint_config.extra_solver_modules := !extra_solver_modules;
+  if o.paths = [] then begin
     prerr_endline usage;
     exit 2
   end;
+  let baseline =
+    match o.baseline with
+    | None -> []
+    | Some f ->
+        if Sys.file_exists f then Baseline.load f
+        else begin
+          Printf.eprintf "wgrap_lint: baseline file %s not found\n" f;
+          exit 2
+        end
+  in
   let files =
-    try List.fold_left (fun acc p -> walk p acc) [] (List.rev !paths)
+    try
+      List.fold_left
+        (fun acc p -> walk ~excludes:o.excludes p acc)
+        []
+        (List.rev o.paths)
     with Sys_error m ->
       prerr_endline ("wgrap_lint: " ^ m);
       exit 2
   in
   let parsed = parse_files files in
   let findings = ref parsed.parse_failures in
+  (* Phase 1: per-module effect summaries, digest-cached. *)
+  let cache =
+    Cache.create (if o.use_cache then Some o.summaries_dir else None)
+  in
+  let summaries =
+    List.map
+      (fun (path, str) -> Cache.summarize cache ~path str)
+      parsed.structures
+  in
+  if o.cache_stats then prerr_endline (Cache.report cache);
   (* Expression rules over every implementation. Keep each file's context
      so the deadline pass can reuse its file-level allows. *)
   let ml_ctxs =
@@ -128,8 +244,11 @@ let () =
         (path, ctx, str))
       parsed.structures
   in
+  (* Phase 2: call graph, effect fixpoint, interprocedural rules. *)
+  let cg = Callgraph.build summaries in
+  findings := Rule_interproc.check cg @ !findings;
   (* Deadline discipline over the configured solver modules. *)
-  let targets = Lint_config.solver_modules @ !extra_solver_modules in
+  let targets = Rule_interproc.solver_targets () in
   List.iter
     (fun (path, ml_ctx, str) ->
       if Lint_path.matches_any ~suffixes:targets path then begin
@@ -143,7 +262,8 @@ let () =
               c)
             sg
         in
-        Rule_deadline.check ~ml_ctx ~mli_ctx ~str ~sg;
+        Rule_deadline.check ~ml_ctx ~mli_ctx ~str ~sg
+          ~entry_ok:(Rule_interproc.entry_deadline_ok cg ~path);
         findings := ml_ctx.findings @ !findings;
         Option.iter (fun c -> findings := c.Ctx.findings @ !findings) mli_ctx
       end)
@@ -151,5 +271,10 @@ let () =
        (fun (path, ctx, str) -> (path, { ctx with Ctx.findings = [] }, str))
        ml_ctxs);
   let findings = List.sort_uniq Finding.compare !findings in
-  List.iter (fun f -> print_endline (Finding.to_string f)) findings;
+  let findings = Baseline.filter ~baseline findings in
+  Option.iter
+    (fun f -> Sarif.write_file f (Sarif.to_sarif findings))
+    o.sarif;
+  if o.json then print_string (Sarif.to_json findings)
+  else List.iter (fun f -> print_endline (Finding.to_string f)) findings;
   exit (if findings = [] then 0 else 1)
