@@ -1,0 +1,339 @@
+(* PR 10 objective bench: the pluggable scoring backends against the
+   weighted-coverage default. Emits machine-readable BENCH_PR10.json:
+
+     dune exec bench/objective_bench.exe -- --out BENCH_PR10.json
+     dune exec bench/objective_bench.exe -- --quick   (CI smoke profile)
+
+   For each preset (quick: 3k reviewers x 300 papers, dense; full mode
+   adds xl: 50k x 5k, candidate-pruned) the bench solves the same
+   instance under each --objective backend through Solver.cra — the
+   exact chain the CLI routes, so submodular backends run SDGA-led and
+   min/owa run the greedy-seeded SRA chain — and records wall-clock,
+   the objective's own value, and the fairness profile of the result
+   (min/mean coverage, Gini, per-topic balance).
+
+   Fairness legs run on a SCARCE COMMITTEE slice of each preset: the
+   reviewer pool cut to ~1.1x the slot demand (n_r' such that
+   n_r' * delta_r ~= 1.1 * n_p * delta_p). The full presets carry a
+   10-50x reviewer surplus, under which every objective parks each
+   paper at its intrinsic coverage ceiling and the fairness backends
+   have nothing to trade — objectives only differentiate when
+   reviewers are contested. The parity gate below still runs on the
+   unmodified quick preset.
+
+   Two in-process gates turn regressions into exit 1:
+
+   - parity: Solver.cra with the explicit Coverage spec must reproduce
+     the spec-less default run bit-identically (the Objective refactor
+     is scoring-neutral for the paper's objective);
+   - fairness: the min and owa legs must beat the coverage leg on both
+     min-coverage and Gini for every preset — the reason these
+     backends exist. *)
+
+module Rng = Wgrap_util.Rng
+module Timer = Wgrap_util.Timer
+module Synthetic = Dataset.Synthetic
+open Wgrap
+
+let proc_status_kb key =
+  let prefix = key ^ ":" in
+  let plen = String.length prefix in
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec scan () =
+            match input_line ic with
+            | exception End_of_file -> None
+            | line
+              when String.length line >= plen
+                   && String.equal (String.sub line 0 plen) prefix -> (
+                let body = String.sub line plen (String.length line - plen) in
+                match
+                  List.filter
+                    (fun s -> String.length s > 0)
+                    (String.split_on_char ' ' (String.trim body))
+                with
+                | n :: _ -> int_of_string_opt n
+                | [] -> None)
+            | _ -> scan ()
+          in
+          scan ())
+
+let vm_hwm_kb () = Option.value (proc_status_kb "VmHWM") ~default:(-1)
+
+(* The backends under comparison; owa weights 3,2,1 concentrate the
+   objective on each instance's three worst-served papers. *)
+let owa_weights = [| 3.; 2.; 1. |]
+
+let specs ~dim =
+  [
+    ("coverage", Objective.coverage);
+    ("min", Objective.min_coverage);
+    ("owa", Objective.owa owa_weights);
+    ("taxonomy", Objective.taxonomy ~decay:0.5 (Taxonomy.balanced ~dim ~arity:4));
+  ]
+
+type leg = {
+  name : string;
+  wall_s : float;
+  status : string;
+  objective_value : float;
+  coverage_mean : float;
+  coverage_min : float;
+  gini : float;
+  topic_balance : float;
+  vm_hwm_kb : int;
+}
+
+let run_leg ~inst ~seed ~candidates ~budget_s (name, spec) =
+  let ctx =
+    Ctx.make ~seed ~candidates ?budget:budget_s ~objective:spec ()
+  in
+  let outcome, wall_s = Timer.time (fun () -> Solver.cra ~ctx inst) in
+  let a =
+    match Solver.value outcome with
+    | Some a -> a
+    | None -> failwith (Printf.sprintf "leg %s: infeasible" name)
+  in
+  let s = Summary.compute ~objective:spec inst a in
+  let leg =
+    {
+      name;
+      wall_s;
+      status = Solver.status outcome;
+      objective_value = s.Summary.objective_value;
+      coverage_mean = s.Summary.coverage_mean;
+      coverage_min = s.Summary.coverage_min;
+      gini = s.Summary.coverage_gini;
+      topic_balance = s.Summary.topic_balance;
+      vm_hwm_kb = vm_hwm_kb ();
+    }
+  in
+  Printf.printf
+    "%-9s  %8.2fs  %-8s  value %12.4f  min %.4f  gini %.4f  balance %.4f\n%!"
+    leg.name leg.wall_s leg.status leg.objective_value leg.coverage_min
+    leg.gini leg.topic_balance;
+  leg
+
+type preset_run = {
+  preset : Synthetic.instance_preset;
+  committee_reviewers : int;
+  committee_delta_r : int;
+  candidates : int;
+  budget_s : float option;
+  legs : leg list;
+}
+
+(* The contended-committee slice: keep the preset's papers, cut the
+   reviewer pool to ~1.1x capacity slack, and retighten delta_r to the
+   minimum feasible workload for the smaller pool. *)
+let scarce_committee base =
+  let n_p = Instance.n_papers base in
+  let dp = base.Instance.delta_p and dr = base.Instance.delta_r in
+  let n_r = (n_p * dp * 11 / 10) / dr in
+  let dr = Instance.min_workload ~papers:n_p ~reviewers:n_r ~delta_p:dp in
+  Instance.create_exn ~papers:base.Instance.papers
+    ~reviewers:(Array.sub base.Instance.reviewers 0 n_r)
+    ~delta_p:dp ~delta_r:dr ()
+
+let leg_named runs name = List.find (fun l -> String.equal l.name name) runs
+
+(* The fairness gate: min and owa must beat plain coverage on both the
+   worst-off paper and the Gini spread. *)
+type gate = { fairer : string; better_min : bool; better_gini : bool }
+
+let gates run =
+  let cov = leg_named run.legs "coverage" in
+  List.map
+    (fun name ->
+      let l = leg_named run.legs name in
+      {
+        fairer = name;
+        better_min = l.coverage_min > cov.coverage_min;
+        better_gini = l.gini < cov.gini;
+      })
+    [ "min"; "owa" ]
+
+let run_preset ~seed ~candidates ~budget_s preset =
+  Printf.printf "preset %s: %d reviewers x %d papers, %d topics%s\n%!"
+    preset.Synthetic.preset_name preset.Synthetic.n_reviewers
+    preset.Synthetic.n_papers preset.Synthetic.n_topics
+    (if candidates > 0 then Printf.sprintf " (k=%d)" candidates else "");
+  let inst, build_s =
+    Timer.time (fun () ->
+        scarce_committee (Synthetic.instance_of_preset ~seed preset))
+  in
+  Printf.printf
+    "instance built in %.2fs; scarce committee %d reviewers, delta_r=%d \
+     (demand %d, capacity %d)\n%!"
+    build_s (Instance.n_reviewers inst) inst.Instance.delta_r
+    (Instance.n_papers inst * inst.Instance.delta_p)
+    (Instance.n_reviewers inst * inst.Instance.delta_r);
+  let legs =
+    List.map
+      (run_leg ~inst ~seed ~candidates ~budget_s)
+      (specs ~dim:(Instance.n_topics inst))
+  in
+  {
+    preset;
+    committee_reviewers = Instance.n_reviewers inst;
+    committee_delta_r = inst.Instance.delta_r;
+    candidates;
+    budget_s;
+    legs;
+  }
+
+(* Parity gate on the quick preset: an explicit Coverage spec through
+   the same ctx must be bit-identical to the spec-less default. *)
+let run_parity ~seed =
+  let inst = Synthetic.instance_of_preset ~seed Synthetic.quick_preset in
+  let solve ctx =
+    match Solver.value (Solver.cra ~ctx inst) with
+    | Some a -> a
+    | None -> failwith "parity: infeasible"
+  in
+  let plain = solve (Ctx.make ~seed ()) in
+  let explicit = solve (Ctx.make ~seed ~objective:Objective.coverage ()) in
+  let identical = Assignment.equal plain explicit in
+  Printf.printf "parity  explicit Coverage bit-identical to default: %b\n%!"
+    identical;
+  identical
+
+let emit ~out ~quick ~seed ~runs ~parity_identical =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"bench\": \"BENCH_PR10\",\n";
+  add "  \"mode\": \"%s\",\n" (if quick then "quick" else "full");
+  add "  \"seed\": %d,\n" seed;
+  add "  \"ocaml\": \"%s\",\n" Sys.ocaml_version;
+  add "  \"owa_weights\": [%s],\n"
+    (String.concat ", "
+       (List.map (Printf.sprintf "%.1f") (Array.to_list owa_weights)));
+  add "  \"presets\": [\n";
+  List.iteri
+    (fun i run ->
+      let p = run.preset in
+      add
+        "    {\"preset\": {\"name\": \"%s\", \"n_reviewers\": %d, \
+         \"n_papers\": %d, \"n_topics\": %d, \"delta_p\": %d, \"delta_r\": \
+         %d},\n"
+        p.Synthetic.preset_name p.Synthetic.n_reviewers p.Synthetic.n_papers
+        p.Synthetic.n_topics p.Synthetic.delta_p p.Synthetic.delta_r;
+      add
+        "     \"committee\": {\"n_reviewers\": %d, \"delta_r\": %d, \
+         \"capacity_slack\": %.3f},\n"
+        run.committee_reviewers run.committee_delta_r
+        (float_of_int (run.committee_reviewers * run.committee_delta_r)
+        /. float_of_int (p.Synthetic.n_papers * p.Synthetic.delta_p));
+      add "     \"candidates\": %d,\n" run.candidates;
+      (match run.budget_s with
+      | Some b -> add "     \"budget_s\": %.1f,\n" b
+      | None -> add "     \"budget_s\": null,\n");
+      add "     \"legs\": [\n";
+      List.iteri
+        (fun j l ->
+          add
+            "       {\"objective\": \"%s\", \"wall_s\": %.4f, \"status\": \
+             \"%s\", \"objective_value\": %.9f, \"coverage_mean\": %.9f, \
+             \"coverage_min\": %.9f, \"gini\": %.9f, \"topic_balance\": %.9f, \
+             \"vm_hwm_kb\": %d}%s\n"
+            l.name l.wall_s l.status l.objective_value l.coverage_mean
+            l.coverage_min l.gini l.topic_balance l.vm_hwm_kb
+            (if j = List.length run.legs - 1 then "" else ","))
+        run.legs;
+      add "     ],\n";
+      add "     \"fairness_gate\": [%s]}%s\n"
+        (String.concat ", "
+           (List.map
+              (fun g ->
+                Printf.sprintf
+                  "{\"objective\": \"%s\", \"better_min_coverage\": %b, \
+                   \"lower_gini\": %b}"
+                  g.fairer g.better_min g.better_gini)
+              (gates run)))
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  add "  ],\n";
+  add "  \"parity\": {\"workload\": \"quick preset, Solver.cra\",\n";
+  add "    \"explicit_coverage_identical\": %b}\n" parity_identical;
+  add "}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
+let run ~quick ~seed ~budget ~out =
+  let presets =
+    (* quick runs dense and unbudgeted; xl prunes to k=16 (the PR 7
+       sweet spot) and budgets each leg so the refinement tail is
+       bounded *)
+    (Synthetic.quick_preset, 0, None)
+    ::
+    (if quick then [] else [ (Synthetic.xl_preset, 16, Some budget) ])
+  in
+  let runs =
+    List.map
+      (fun (p, candidates, budget_s) ->
+        run_preset ~seed ~candidates ~budget_s p)
+      presets
+  in
+  let parity_identical = run_parity ~seed in
+  emit ~out ~quick ~seed ~runs ~parity_identical;
+  let failed = ref false in
+  if not parity_identical then begin
+    prerr_endline
+      "PARITY FAILURE: explicit Coverage is not bit-identical to the default";
+    failed := true
+  end;
+  List.iter
+    (fun run ->
+      List.iter
+        (fun g ->
+          if not (g.better_min && g.better_gini) then begin
+            Printf.eprintf
+              "FAIRNESS FAILURE: %s on %s (better min-coverage %b, lower \
+               gini %b)\n"
+              g.fairer run.preset.Synthetic.preset_name g.better_min
+              g.better_gini;
+            failed := true
+          end)
+        (gates run))
+    runs;
+  if !failed then exit 1
+
+open Cmdliner
+
+let quick_flag =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:"CI smoke profile: quick preset only, no per-leg budget.")
+
+let seed_arg =
+  Arg.(value & opt int 2015 & info [ "seed" ] ~docv:"SEED" ~doc:"Instance seed.")
+
+let budget_arg =
+  Arg.(
+    value & opt float 90.
+    & info [ "budget" ] ~docv:"SECONDS"
+        ~doc:"Per-leg wall-clock budget on the xl preset (full profile).")
+
+let out_arg =
+  Arg.(
+    value
+    & opt string "BENCH_PR10.json"
+    & info [ "out" ] ~docv:"PATH" ~doc:"Output JSON path.")
+
+let cmd =
+  let doc = "Objective-backend benchmark: fairness profile and parity (PR 10)" in
+  Cmd.v
+    (Cmd.info "objective_bench" ~doc)
+    Term.(
+      const (fun quick seed budget out -> run ~quick ~seed ~budget ~out)
+      $ quick_flag $ seed_arg $ budget_arg $ out_arg)
+
+let () = exit (Cmd.eval cmd)

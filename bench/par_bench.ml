@@ -110,12 +110,12 @@ let run ~quick ~seed ~out =
           match !baseline with
           | None ->
               baseline :=
-                Some (sra_a, key jra_sols, Gain_matrix.score_matrix gm);
+                Some (sra_a, key jra_sols, Gain_matrix.column_denominators gm);
               (true, true, true)
           | Some (a1, k1, m1) ->
               ( Assignment.equal sra_a a1,
                 key jra_sols = k1,
-                Gain_matrix.score_matrix gm = m1 )
+                Gain_matrix.column_denominators gm = m1 )
         in
         Printf.printf
           "jobs=%d  SRA %.3fs (cov %.6f, same=%b)  JRA %.3fs (same=%b)  \

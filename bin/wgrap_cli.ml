@@ -103,6 +103,59 @@ let pool_of_jobs jobs =
   end
   else Wgrap_par.Pool.create ~jobs:requested
 
+(* {2 objective selection}
+
+   --objective names the scoring backend (Objective.spec); owa weights
+   and the taxonomy tree are only parsed/loaded when their backend is
+   selected, and the taxonomy dimension is checked against the instance
+   it will be bound to. *)
+
+let parse_owa_weights csv =
+  let ws =
+    String.split_on_char ',' csv
+    |> List.filter (fun s -> not (String.equal (String.trim s) ""))
+    |> List.map (fun s ->
+           match float_of_string_opt (String.trim s) with
+           | Some w -> w
+           | None -> die exit_usage "invalid OWA weight %S in --owa-weights" s)
+  in
+  if ws = [] then die exit_usage "--owa-weights is empty";
+  Array.of_list ws
+
+let objective_spec ~objective ~owa_weights ~taxonomy_tsv ~taxonomy_decay ~dim =
+  let tree_spec () =
+    match taxonomy_tsv with
+    | None -> die exit_usage "--objective taxonomy requires --taxonomy-tsv"
+    | Some path -> (
+        match Dataset.Loader.load_taxonomy ~dim path with
+        | Ok tree -> (
+            try Objective.taxonomy ~decay:taxonomy_decay tree
+            with Invalid_argument m -> die exit_usage "%s" m)
+        | Error e -> die exit_data "error loading taxonomy %s: %s" path e)
+  in
+  match objective with
+  | "coverage" -> Objective.coverage
+  | "min" -> Objective.min_coverage
+  | "owa" -> (
+      match owa_weights with
+      | None -> die exit_usage "--objective owa requires --owa-weights"
+      | Some csv -> (
+          try Objective.owa (parse_owa_weights csv)
+          with Invalid_argument m -> die exit_usage "%s" m))
+  | "taxonomy" -> tree_spec ()
+  | other ->
+      die exit_usage
+        "unknown objective %S (one of coverage, min, owa, taxonomy)" other
+
+let report_summary ~json ?shards summary =
+  if json then print_string (Summary.to_json ?shards summary)
+  else begin
+    (match shards with
+    | None | Some [] -> ()
+    | Some ps -> Format.printf "%a@." Summary.pp_shard_provenances ps);
+    Format.printf "%a@." Summary.pp summary
+  end
+
 (* {2 sharded assign}
 
    --shards N routes the solve through the supervised sharded path
@@ -169,8 +222,9 @@ let shard_fault_injector ~seed ~shards spec =
     | Some Dataset.Chaos.Shard_hang -> Some Shard.Supervisor.Hang
     | Some Dataset.Chaos.Shard_invalid -> Some Shard.Supervisor.Invalid_result
 
-let assign_sharded ~seed ~shards ~chaos_shards ~refine ~budget ~jobs
-    ~candidates ~strict ~out ~checkpoint_dir ~checkpoint_every ~resume inst =
+let assign_sharded ~seed ~shards ~chaos_shards ~objective ~json ~refine ~budget
+    ~jobs ~candidates ~strict ~out ~checkpoint_dir ~checkpoint_every ~resume
+    inst =
   if resume && Option.is_none checkpoint_dir then
     die exit_usage "--resume requires --checkpoint-dir";
   let inject = Option.map (shard_fault_injector ~seed ~shards) chaos_shards in
@@ -185,7 +239,8 @@ let assign_sharded ~seed ~shards ~chaos_shards ~refine ~budget ~jobs
     }
   in
   let ctx =
-    Solver.Ctx.make ?budget ~seed ~candidates ~pool:(pool_of_jobs jobs) ()
+    Solver.Ctx.make ?budget ~seed ~objective ~candidates
+      ~pool:(pool_of_jobs jobs) ()
   in
   let (outcome, prov), dt =
     Timer.time (fun () -> Shard.Supervisor.solve ~config ~ctx ~shards inst)
@@ -194,28 +249,37 @@ let assign_sharded ~seed ~shards ~chaos_shards ~refine ~budget ~jobs
   let a =
     match Solver.value outcome with Some a -> a | None -> assert false
   in
-  Printf.printf "solved in %s (%s, %d shard(s))\n" (Report.seconds_cell dt)
-    (Solver.status outcome) shards;
-  Format.printf "%a@." Summary.pp_shard_provenances prov;
+  if not json then
+    Printf.printf "solved in %s (%s, %d shard(s))\n" (Report.seconds_cell dt)
+      (Solver.status outcome) shards;
   (match Assignment.validate inst a with
   | Ok () -> ()
   | Error e -> die exit_degraded "internal error: infeasible assignment (%s)" e);
-  Format.printf "%a@." Summary.pp (Summary.compute inst a);
-  write_assignment_lines ~out a
+  report_summary ~json ~shards:prov (Summary.compute ~objective inst a);
+  (* with --json on stdout, the JSON document is the stdout payload;
+     the assignment TSV then needs an explicit --out file *)
+  if not (json && String.equal out "-") then write_assignment_lines ~out a
 
-let assign ~seed ~authors_path ~papers_path ~dataset ~delta_p ~refine ~budget
-    ~jobs ~candidates ~lenient ~strict ~out ~checkpoint_dir ~checkpoint_every
-    ~resume ~shards ~preset ~chaos_shards =
+let assign ~seed ~authors_path ~papers_path ~dataset ~delta_p ~objective
+    ~owa_weights ~taxonomy_tsv ~taxonomy_decay ~json ~refine ~budget ~jobs
+    ~candidates ~lenient ~strict ~out ~checkpoint_dir ~checkpoint_every ~resume
+    ~shards ~preset ~chaos_shards =
   if Option.is_some chaos_shards && shards <= 0 then
     die exit_usage "--chaos-shards requires --shards N";
+  let spec_of inst =
+    objective_spec ~objective ~owa_weights ~taxonomy_tsv ~taxonomy_decay
+      ~dim:(Instance.n_topics inst)
+  in
   match preset with
   | Some name ->
       if shards <= 0 then die exit_usage "--preset requires --shards N";
       let inst = instance_of_preset_name ~seed name in
-      Printf.printf "preset %s: %d papers, %d reviewers\n" name
-        (Instance.n_papers inst) (Instance.n_reviewers inst);
-      assign_sharded ~seed ~shards ~chaos_shards ~refine ~budget ~jobs
-        ~candidates ~strict ~out ~checkpoint_dir ~checkpoint_every ~resume inst
+      if not json then
+        Printf.printf "preset %s: %d papers, %d reviewers\n" name
+          (Instance.n_papers inst) (Instance.n_reviewers inst);
+      assign_sharded ~seed ~shards ~chaos_shards ~objective:(spec_of inst) ~json
+        ~refine ~budget ~jobs ~candidates ~strict ~out ~checkpoint_dir
+        ~checkpoint_every ~resume inst
   | None ->
   let corpus = load_corpus ~lenient authors_path papers_path in
   let spec =
@@ -230,8 +294,9 @@ let assign ~seed ~authors_path ~papers_path ~dataset ~delta_p ~refine ~budget
   let committee = Dataset.Datasets.committee corpus spec in
   if submissions = [] || committee = [] then
     die exit_data "dataset %s is empty in this corpus" dataset;
-  Printf.printf "%s: %d submissions, %d committee members\n" dataset
-    (List.length submissions) (List.length committee);
+  if not json then
+    Printf.printf "%s: %d submissions, %d committee members\n" dataset
+      (List.length submissions) (List.length committee);
   let rng = Rng.create seed in
   let extracted =
     Dataset.Pipeline.extract ~rng ~corpus ~submissions ~committee ()
@@ -254,9 +319,11 @@ let assign ~seed ~authors_path ~papers_path ~dataset ~delta_p ~refine ~budget
         inst
   in
   if shards > 0 then
-    assign_sharded ~seed ~shards ~chaos_shards ~refine ~budget ~jobs
-      ~candidates ~strict ~out ~checkpoint_dir ~checkpoint_every ~resume inst
+    assign_sharded ~seed ~shards ~chaos_shards ~objective:(spec_of inst) ~json
+      ~refine ~budget ~jobs ~candidates ~strict ~out ~checkpoint_dir
+      ~checkpoint_every ~resume inst
   else begin
+  let objective = spec_of inst in
   (* Crash-safe mode: recover (and certify) any stored state before the
      store is opened, because opening fresh wipes the previous run's
      files. A rejected checkpoint degrades to a fresh run whose outcome
@@ -293,8 +360,8 @@ let assign ~seed ~authors_path ~papers_path ~dataset ~delta_p ~refine ~budget
   in
   let checkpoint = Option.map Wgrap_persist.Store.sink store in
   let ctx =
-    Solver.Ctx.make ?budget ~seed ?checkpoint ?resume_from ~candidates
-      ~pool:(pool_of_jobs jobs) ()
+    Solver.Ctx.make ?budget ~seed ~objective ?checkpoint ?resume_from
+      ~candidates ~pool:(pool_of_jobs jobs) ()
   in
   let outcome, dt = Timer.time (fun () -> Solver.cra ~refine ~ctx inst) in
   Option.iter Wgrap_persist.Store.close store;
@@ -302,13 +369,14 @@ let assign ~seed ~authors_path ~papers_path ~dataset ~delta_p ~refine ~budget
   let a =
     match Solver.value outcome with Some a -> a | None -> assert false
   in
-  Printf.printf "solved in %s (%s)\n" (Report.seconds_cell dt)
-    (Solver.status outcome);
+  if not json then
+    Printf.printf "solved in %s (%s)\n" (Report.seconds_cell dt)
+      (Solver.status outcome);
   (match Assignment.validate inst a with
   | Ok () -> ()
   | Error e -> die exit_degraded "internal error: infeasible assignment (%s)" e);
-  Format.printf "%a@." Summary.pp (Summary.compute inst a);
-  (match Summary.worst_papers inst a ~k:3 with
+  report_summary ~json (Summary.compute ~objective inst a);
+  (match if json then [] else Summary.worst_papers inst a ~k:3 with
   | [] -> ()
   | worst ->
       Printf.printf "weakest groups:\n";
@@ -318,6 +386,8 @@ let assign ~seed ~authors_path ~papers_path ~dataset ~delta_p ~refine ~budget
           Printf.printf "  %.4f  %s\n" s
             corpus.Dataset.Corpus.papers.(pid).Dataset.Corpus.title)
         worst);
+  if json && String.equal out "-" then ()
+  else begin
   let oc = match out with "-" -> stdout | path -> open_out path in
   Array.iteri
     (fun p group ->
@@ -337,6 +407,7 @@ let assign ~seed ~authors_path ~papers_path ~dataset ~delta_p ~refine ~budget
   if out <> "-" then begin
     close_out oc;
     Printf.printf "assignment written to %s\n" out
+  end
   end
   end
 
@@ -543,14 +614,18 @@ let resume_arg =
 
 (* {1 serve} *)
 
-let serve ~dim ~delta_p ~delta_r ~state_dir ~resume ~verify ~socket
-    ~event_budget_ms ~queue_limit ~p99_limit_ms ~snapshot_every ~max_clients =
+let serve ~dim ~delta_p ~delta_r ~objective ~owa_weights ~taxonomy_tsv
+    ~taxonomy_decay ~state_dir ~resume ~verify ~socket ~event_budget_ms
+    ~queue_limit ~p99_limit_ms ~snapshot_every ~max_clients =
   let module Server = Wgrap_serve.Server in
   let module State = Wgrap_serve.State in
   let module Durable = Wgrap_serve.Durable in
   let cfg =
     {
       (Server.default ~dim ~delta_p ~delta_r) with
+      objective =
+        objective_spec ~objective ~owa_weights ~taxonomy_tsv ~taxonomy_decay
+          ~dim;
       event_budget =
         (if event_budget_ms <= 0. then None else Some (event_budget_ms /. 1000.));
       queue_limit;
@@ -572,7 +647,7 @@ let serve ~dim ~delta_p ~delta_r ~state_dir ~resume ~verify ~socket
       | None ->
           warn "no --state-dir: running volatile (events are not durable)";
           ( None,
-            match State.create ~dim ~delta_p ~delta_r with
+            match State.create ~dim ~delta_p ~delta_r () with
             | Ok st -> st
             | Error m -> die exit_usage "%s" m )
       | Some dir ->
@@ -598,7 +673,7 @@ let serve ~dim ~delta_p ~delta_r ~state_dir ~resume ~verify ~socket
               dir
           else
             ( open_durable (),
-              match State.create ~dim ~delta_p ~delta_r with
+              match State.create ~dim ~delta_p ~delta_r () with
               | Ok st -> st
               | Error m -> die exit_usage "%s" m )
     in
@@ -628,6 +703,45 @@ let generate_cmd =
           generate ~seed ~scale ~authors_path ~papers_path)
       $ seed_arg $ scale $ authors_arg $ papers_arg)
 
+(* shared by assign and serve: the scoring-backend selection flags *)
+let objective_arg =
+  Arg.(
+    value & opt string "coverage"
+    & info [ "objective" ] ~docv:"NAME"
+        ~doc:
+          "Scoring backend: $(b,coverage) (Eq. 9 weighted coverage, the \
+           default), $(b,min) (maximize the worst-off paper), $(b,owa) \
+           (order-weighted average over ascending per-paper coverages, \
+           needs $(b,--owa-weights)) or $(b,taxonomy) (tree-smoothed \
+           expertise, needs $(b,--taxonomy-tsv)). Non-submodular backends \
+           route greedy-seeded refinement chains instead of SDGA-led ones.")
+
+let owa_weights_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "owa-weights" ] ~docv:"CSV"
+        ~doc:
+          "Comma-separated non-negative OWA weights applied to the \
+           ascending-sorted per-paper coverages (e.g. $(b,3,2,1) weights \
+           the three worst-served papers).")
+
+let taxonomy_tsv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "taxonomy-tsv" ] ~docv:"FILE"
+        ~doc:
+          "Topic-taxonomy edge list: one $(i,child)\\t$(i,parent) line per \
+           edge, $(b,-1) or $(b,-) for roots, $(b,#)-comments; unmentioned \
+           topics default to roots.")
+
+let taxonomy_decay_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "taxonomy-decay" ] ~docv:"D"
+        ~doc:"Per-hop expertise decay along taxonomy edges, in [0, 1].")
+
 let assign_cmd =
   let dataset =
     Arg.(
@@ -639,6 +753,16 @@ let assign_cmd =
   in
   let no_refine =
     Arg.(value & flag & info [ "no-refine" ] ~doc:"Skip stochastic refinement.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the run summary as one JSON document (coverage, fairness \
+             and workload stats, shard provenance) instead of the textual \
+             report; the assignment TSV is then only written with \
+             $(b,--out FILE).")
   in
   let jobs =
     Arg.(
@@ -705,16 +829,19 @@ let assign_cmd =
     (Cmd.info "assign" ~doc:"Conference assignment (SDGA + SRA anytime harness)")
     Term.(
       const
-        (fun seed authors_path papers_path dataset delta_p no_refine budget
-             jobs candidates lenient strict out checkpoint_dir checkpoint_every
-             resume shards preset chaos_shards ->
-          assign ~seed ~authors_path ~papers_path ~dataset ~delta_p
+        (fun seed authors_path papers_path dataset delta_p objective owa_weights
+             taxonomy_tsv taxonomy_decay json no_refine budget jobs candidates
+             lenient strict out checkpoint_dir checkpoint_every resume shards
+             preset chaos_shards ->
+          assign ~seed ~authors_path ~papers_path ~dataset ~delta_p ~objective
+            ~owa_weights ~taxonomy_tsv ~taxonomy_decay ~json
             ~refine:(not no_refine) ~budget ~jobs ~candidates ~lenient ~strict
             ~out ~checkpoint_dir ~checkpoint_every ~resume ~shards ~preset
             ~chaos_shards)
-      $ seed_arg $ authors_arg $ papers_arg $ dataset $ delta_p $ no_refine
-      $ budget_arg $ jobs $ candidates $ lenient_arg $ strict_arg $ out
-      $ checkpoint_dir_arg $ checkpoint_every_arg $ resume_arg $ shards
+      $ seed_arg $ authors_arg $ papers_arg $ dataset $ delta_p $ objective_arg
+      $ owa_weights_arg $ taxonomy_tsv_arg $ taxonomy_decay_arg $ json
+      $ no_refine $ budget_arg $ jobs $ candidates $ lenient_arg $ strict_arg
+      $ out $ checkpoint_dir_arg $ checkpoint_every_arg $ resume_arg $ shards
       $ preset $ chaos_shards)
 
 let checkpoint_cmd =
@@ -853,13 +980,16 @@ let serve_cmd =
        ~doc:"Kill-safe online assignment service (WAL-backed event loop)")
     Term.(
       const
-        (fun dim delta_p delta_r state_dir resume verify socket event_budget_ms
+        (fun dim delta_p delta_r objective owa_weights taxonomy_tsv
+             taxonomy_decay state_dir resume verify socket event_budget_ms
              queue_limit p99_limit_ms snapshot_every max_clients ->
-          serve ~dim ~delta_p ~delta_r ~state_dir ~resume ~verify ~socket
-            ~event_budget_ms ~queue_limit ~p99_limit_ms ~snapshot_every
-            ~max_clients)
-      $ dim $ delta_p $ delta_r $ state_dir $ resume $ verify $ socket
-      $ event_budget $ queue_limit $ p99_limit $ snapshot_every $ max_clients)
+          serve ~dim ~delta_p ~delta_r ~objective ~owa_weights ~taxonomy_tsv
+            ~taxonomy_decay ~state_dir ~resume ~verify ~socket ~event_budget_ms
+            ~queue_limit ~p99_limit_ms ~snapshot_every ~max_clients)
+      $ dim $ delta_p $ delta_r $ objective_arg $ owa_weights_arg
+      $ taxonomy_tsv_arg $ taxonomy_decay_arg $ state_dir $ resume $ verify
+      $ socket $ event_budget $ queue_limit $ p99_limit $ snapshot_every
+      $ max_clients)
 
 let () =
   (* Degraded runs report faults on stderr; with backtraces recorded the

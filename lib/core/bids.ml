@@ -35,8 +35,13 @@ let random ~rng ?(sparsity = 0.3) inst =
             then 0.
             else begin
               (* Bid level tracks topical fit, jittered: reviewers like
-                 papers they can actually review, but noisily. *)
-              let fit = Instance.pair_score inst ~paper:p ~reviewer:r in
+                 papers they can actually review, but noisily. Bid
+                 generation is input synthesis, not solving — the raw
+                 pair score is the right fit signal here. *)
+              let fit =
+                (Instance.pair_score inst ~paper:p ~reviewer:r
+                [@wgrap.allow "direct-scoring"])
+              in
               let noisy = fit +. (0.3 *. (Rng.uniform rng -. 0.5)) in
               Float.min 1. (Float.max 0. noisy)
             end))
@@ -69,125 +74,24 @@ let objective ?(lambda = 0.7) inst t assignment =
     assignment.Assignment.groups;
   !acc
 
-let pair_gain t ~lambda ~dp ~paper ~reviewer ~coverage_gain =
-  (lambda *. coverage_gain)
-  +. ((1. -. lambda) *. bid t ~paper ~reviewer /. float_of_int dp)
+let spec ?(lambda = 0.7) t = Objective.blend ~lambda t.preferences
 
-let sdga ?(lambda = 0.7) ?(candidates = 0) inst t =
-  let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
-  let dp = inst.Instance.delta_p in
-  let assignment = Assignment.empty ~n_papers:n_p in
-  let gm = Gain_matrix.create ~candidates inst in
-  let used = Array.make n_r 0 in
-  let per_stage = Instance.stage_capacity inst in
-  let gain = pair_gain t ~lambda ~dp in
-  for _stage = 1 to dp do
-    let confined =
-      Array.init n_r (fun r -> min per_stage (inst.Instance.delta_r - used.(r)))
-    in
-    let pairs =
-      try
-        Stage.solve ~pair_gain:gain ~gains:gm inst ~current:assignment
-          ~capacity:confined
-      with Failure _ ->
-        let relaxed = Array.init n_r (fun r -> inst.Instance.delta_r - used.(r)) in
-        Stage.solve ~pair_gain:gain ~gains:gm inst ~current:assignment
-          ~capacity:relaxed
-    in
-    List.iter
-      (fun (p, r) ->
-        Assignment.add assignment ~paper:p ~reviewer:r;
-        Gain_matrix.add gm ~paper:p ~reviewer:r;
-        used.(r) <- used.(r) + 1)
-      pairs
-  done;
-  assignment
-
-let refine ?(lambda = 0.7) ?(params = Sra.default_params) ?(candidates = 0)
-    ~rng inst t start =
-  let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
-  let dp = inst.Instance.delta_p in
-  let gain = pair_gain t ~lambda ~dp in
-  let gm = Gain_matrix.create ~candidates inst in
-  (* Same split as {!Sra.refine_impl}: the dense backing caches the
-     score matrix once; the pruned backing recomputes member scores on
-     demand (bit-identical sparse kernel) and streams the Eq. 9
-     denominators, so no O(n_p * n_r) cache exists. *)
-  let keep =
-    if Gain_matrix.pruned gm then begin
-      let denom = Gain_matrix.column_denominators gm in
-      fun ~round ~paper ~reviewer ->
-        let s =
-          if Instance.forbidden inst ~paper ~reviewer then
-            Lap.Hungarian.forbidden
-          else Instance.pair_score inst ~paper ~reviewer
-        in
-        let ratio =
-          if denom.(reviewer) > 0. && s <> Lap.Hungarian.forbidden then
-            s /. denom.(reviewer)
-          else 0.
-        in
-        Float.max
-          (1. /. float_of_int n_r)
-          (exp (-.params.Sra.lambda *. float_of_int round) *. ratio)
-    end
-    else begin
-      let score_matrix = Gain_matrix.score_matrix gm in
-      let denom = Gain_matrix.column_denominators gm in
-      fun ~round ~paper ~reviewer ->
-        Sra.keep_probability ~n_reviewers:n_r ~denom ~score_matrix ~round
-          ~lambda:params.Sra.lambda ~paper ~reviewer
-    end
+(* The solver entries are thin wrappers now: the λ-blend is
+   [Objective.Blend], and the generic Ctx-driven solvers carry the
+   blended stage gains / acceptance scores that used to be hand-rolled
+   here. Bit-identical to the old loops — same stage gains, same keep
+   probabilities (coverage component only), same acceptance
+   threshold. *)
+let sdga ?lambda ?(candidates = 0) inst t =
+  let ctx =
+    Ctx.(default |> with_candidates candidates |> with_objective (spec ?lambda t))
   in
-  let best = ref (Assignment.copy start) in
-  let best_score = ref (objective ~lambda inst t start) in
-  let current = ref (Assignment.copy start) in
-  let stall = ref 0 and round = ref 0 in
-  (try
-     while !stall < params.Sra.omega && !round < params.Sra.max_rounds do
-       incr round;
-       let trimmed = Assignment.empty ~n_papers:n_p in
-       let workload = Array.make n_r 0 in
-       for p = 0 to n_p - 1 do
-         let members = Array.of_list (Assignment.group !current p) in
-         let weights =
-           Array.map
-             (fun r -> 1. -. keep ~round:!round ~paper:p ~reviewer:r)
-             members
-         in
-         let victim =
-           if Array.fold_left ( +. ) 0. weights <= 0. then
-             Rng.int rng (Array.length members)
-           else Rng.categorical rng weights
-         in
-         Array.iteri
-           (fun i r ->
-             if i <> victim then begin
-               Assignment.add trimmed ~paper:p ~reviewer:r;
-               workload.(r) <- workload.(r) + 1
-             end)
-           members;
-         Gain_matrix.set_group gm ~paper:p (Assignment.group trimmed p)
-       done;
-       let capacity =
-         Array.init n_r (fun r -> inst.Instance.delta_r - workload.(r))
-       in
-       let pairs =
-         Stage.solve ~pair_gain:gain ~gains:gm inst ~current:trimmed ~capacity
-       in
-       List.iter
-         (fun (p, r) ->
-           Assignment.add trimmed ~paper:p ~reviewer:r;
-           Gain_matrix.add gm ~paper:p ~reviewer:r)
-         pairs;
-       current := trimmed;
-       let score = objective ~lambda inst t trimmed in
-       if score > !best_score +. 1e-12 then begin
-         best_score := score;
-         best := Assignment.copy trimmed;
-         stall := 0
-       end
-       else incr stall
-     done
-   with Failure _ -> ());
-  !best
+  Sdga.solve ~ctx inst
+
+let refine ?lambda ?params ?(candidates = 0) ~rng inst t start =
+  let ctx =
+    Ctx.(
+      default |> with_candidates candidates |> with_rng rng
+      |> with_objective (spec ?lambda t))
+  in
+  Sra.refine ?params ~ctx inst start

@@ -31,6 +31,13 @@ val random :
 
 val bid : t -> paper:int -> reviewer:int -> float
 
+val spec : ?lambda:float -> t -> Objective.spec
+(** The bid matrix as a first-class objective
+    ([Objective.Blend {preferences; lambda}]); [lambda] defaults to 0.7.
+    This is the composable form: put it in a {!Ctx.t} and any solver —
+    including {!Solver.cra}'s full fallback chain — optimizes the
+    blend. *)
+
 val objective : ?lambda:float -> Instance.t -> t -> Assignment.t -> float
 (** The blended objective; [lambda] defaults to 0.7. [lambda = 1] is
     exactly the WGRAP coverage objective. *)
@@ -43,7 +50,10 @@ val sdga : ?lambda:float -> ?candidates:int -> Instance.t -> t -> Assignment.t
     pair gain becomes [lambda * coverage_gain + (1-lambda) * bid/delta_p]).
     Feasibility constraints are unchanged. [candidates], when positive,
     selects the candidate-pruned {!Gain_matrix} backing (and with it the
-    pruned {!Stage.solve} backend); [0] (the default) is dense. *)
+    pruned {!Stage.solve} backend); [0] (the default) is dense. A thin
+    wrapper over {!Sdga.solve} with {!spec} in the context — kept for
+    the bench/ablation call sites; bit-identical to the pre-objective
+    hand-rolled loop. *)
 
 val refine :
   ?lambda:float ->
@@ -55,7 +65,8 @@ val refine :
   Assignment.t ->
   Assignment.t
 (** Stochastic refinement of the blended objective: identical removal
-    model, refill stages use the blended gain, best-so-far tracked under
+    model (keep-probabilities use the pure coverage component), refill
+    stages use the blended gain, best-so-far tracked under
     {!objective}. [candidates] selects the pruned matrix backing exactly
-    as in {!sdga}; the pruned path recomputes member keep-probabilities
-    on demand instead of caching an O(n_p * n_r) score matrix. *)
+    as in {!sdga}. A thin wrapper over {!Sra.refine} with {!spec} in
+    the context. *)

@@ -86,4 +86,3 @@ let solve_impl ?deadline inst =
   assignment
 
 let solve ?(ctx = Ctx.default) inst = solve_impl ?deadline:ctx.Ctx.deadline inst
-let solve_opts ?deadline inst = solve_impl ?deadline inst

@@ -17,7 +17,3 @@ val solve : ?ctx:Ctx.t -> Instance.t -> Assignment.t
     the closing {!Repair} pass completes them with best-pair fills; the
     per-paper BBA searches also honour the deadline, so a fired deadline
     degrades their groups to greedy picks rather than blocking. *)
-
-val solve_opts : ?deadline:Wgrap_util.Timer.deadline -> Instance.t -> Assignment.t
-[@@deprecated "use Brgg.solve ?ctx (see Ctx)"]
-(** Pre-[Ctx] entry point: [?deadline] is [ctx.deadline]. *)

@@ -13,6 +13,7 @@ type t = {
   resume_from : (Checkpoint.state, string) result option;
   pool : Pool.t option;
   on_degrade : (degrade -> unit) option;
+  objective : Objective.spec;
 }
 
 let default =
@@ -25,6 +26,7 @@ let default =
     resume_from = None;
     pool = None;
     on_degrade = None;
+    objective = Objective.coverage;
   }
 
 let with_deadline d t = { t with deadline = Some d }
@@ -41,9 +43,10 @@ let with_resume r t = { t with resume_from = Some r }
 let with_pool p t = { t with pool = Some p }
 let with_jobs jobs t = { t with pool = Some (Pool.create ~jobs) }
 let with_on_degrade f t = { t with on_degrade = Some f }
+let with_objective o t = { t with objective = o }
 
 let make ?deadline ?budget ?rng ?seed ?gains ?(candidates = 0) ?checkpoint
-    ?resume_from ?pool ?jobs ?on_degrade () =
+    ?resume_from ?pool ?jobs ?on_degrade ?(objective = Objective.coverage) () =
   if candidates < 0 then invalid_arg "Ctx.make: candidates must be >= 0";
   {
     deadline =
@@ -66,6 +69,7 @@ let make ?deadline ?budget ?rng ?seed ?gains ?(candidates = 0) ?checkpoint
       | None, Some j -> Some (Pool.create ~jobs:j)
       | None, None -> None);
     on_degrade;
+    objective;
   }
 
 let rng_or ~seed t = match t.rng with Some r -> r | None -> Rng.create seed

@@ -55,6 +55,13 @@ type t = {
       (** observer fired by {!Solver.jra}/{!Solver.cra} the moment a
           degradation reason is recorded — for live progress reporting,
           ahead of the outcome's aggregated reason list *)
+  objective : Objective.spec;
+      (** the objective every solver entered through this context binds
+          and scores against; defaults to {!Objective.coverage} (the
+          paper's Eq. 9, bit-identical to the pre-objective path). When
+          the spec {!Objective.transforms} the instance, a supplied
+          [gains] matrix must have been created over the bound
+          objective's {!Objective.view}. *)
 }
 
 val default : t
@@ -73,12 +80,14 @@ val make :
   ?pool:Wgrap_par.Pool.t ->
   ?jobs:int ->
   ?on_degrade:(degrade -> unit) ->
+  ?objective:Objective.spec ->
   unit ->
   t
 (** Labelled constructor. [budget] is shorthand for a fresh deadline of
     that many seconds ([deadline] wins when both are given); [seed] for
     [rng:(Rng.create seed)] ([rng] wins); [jobs] for
-    [pool:(Pool.create ~jobs)] ([pool] wins). *)
+    [pool:(Pool.create ~jobs)] ([pool] wins). [objective] defaults to
+    {!Objective.coverage}. *)
 
 (** {2 Pipe-style builders}
 
@@ -108,6 +117,7 @@ val with_jobs : int -> t -> t
 (** [with_pool (Pool.create ~jobs)]. *)
 
 val with_on_degrade : (degrade -> unit) -> t -> t
+val with_objective : Objective.spec -> t -> t
 
 (** {2 Accessors used by the solver implementations} *)
 

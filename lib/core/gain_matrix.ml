@@ -241,6 +241,16 @@ let iter_row t ~paper f =
       f ~reviewer:r ~gain:(Bigarray.Array1.get row r)
     done
 
+let fold_row t ~paper ~init f =
+  let acc = ref init in
+  iter_row t ~paper (fun ~reviewer ~gain -> acc := f !acc ~reviewer ~gain);
+  !acc
+
+(* Dense-only internal: the full single-reviewer score cache behind
+   {!column_denominators} and [adopt_static]. Not exported — the pruned
+   backing's whole point is never to materialize an [n_p * n_r] cache,
+   so consumers go through the backing-agnostic row accessors or
+   {!Instance.pair_score}. *)
 let score_matrix t =
   if t.k > 0 then
     invalid_arg "Gain_matrix.score_matrix: pruned matrix (O(n_p * n_r) cache)";

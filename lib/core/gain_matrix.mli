@@ -23,8 +23,8 @@
        only the paper's top-k candidates from {!Instance.candidates}
        (inverted topic index, exact pair-score ranking, COI filtered),
        retrieved lazily per paper. Total row storage is O(n_p * k);
-       nothing [n_p * n_r]-sized is ever allocated — {!score_matrix} is
-       refused and the Eq. 9 sums stream through one transient row.
+       nothing [n_p * n_r]-sized is ever allocated — no score-matrix
+       cache exists and the Eq. 9 sums stream through one transient row.
        Candidate cells hold the same floats as their dense
        counterparts; reviewers outside the candidate set simply have no
        cell, and consumers fall back to {!gain} for them.}}
@@ -100,16 +100,14 @@ val blit_row : t -> paper:int -> dst:float array -> unit
 val iter_row : t -> paper:int -> (reviewer:int -> gain:float -> unit) -> unit
 (** Visit the paper's row, recomputing it first if stale: every
     reviewer in ascending order on a dense matrix, the candidate set in
-    ascending order on a pruned one. The one row accessor consumers can
-    use without knowing the backing. *)
+    ascending order on a pruned one. A row accessor consumers can use
+    without knowing the backing. *)
 
-val score_matrix : t -> float array array
-(** The instance's single-reviewer score matrix (COI cells hold
-    [Lap.Hungarian.forbidden]), computed once and cached. Dense
-    matrices only — raises [Invalid_argument] on a pruned one, whose
-    whole point is never to materialize an [n_p * n_r] cache; pruned
-    consumers combine {!column_denominators} with
-    {!Instance.pair_score}. *)
+val fold_row :
+  t -> paper:int -> init:'a -> ('a -> reviewer:int -> gain:float -> 'a) -> 'a
+(** {!iter_row} as a fold, visiting the same cells in the same order —
+    for consumers accumulating a value over a row (sums, argmax) without
+    threading a ref through the callback. *)
 
 val column_denominators : t -> float array
 (** The Eq. 9 denominators [sum_p' c(r, p')] as maintained column sums

@@ -2,7 +2,20 @@ module Heap = Wgrap_util.Heap
 
 type entry = { gain : float; reviewer : int; paper : int; version : int }
 
-let solve_impl ?deadline ?gains ?(candidates = 0) ?pool inst =
+let solve_impl ?deadline ?gains ?(candidates = 0) ?pool
+    ?(objective = Objective.coverage) inst =
+  let obj = Objective.bind objective inst in
+  let inst = Objective.view obj in
+  (* Only a current-independent transform is sound here: a lazy heap
+     assumes a popped stale gain can only over-estimate, which holds for
+     coverage plus any modular term (Blend) but not for rank-dependent
+     reweighing (OWA returns None and runs on raw coverage gains —
+     greedy is its seed, SRA does the objective-aware work). *)
+  let transform =
+    match Objective.static_gain obj with
+    | Some f -> f
+    | None -> fun ~paper:_ ~reviewer:_ ~coverage_gain -> coverage_gain
+  in
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
   let dp = inst.Instance.delta_p and dr = inst.Instance.delta_r in
   let assignment = Assignment.empty ~n_papers:n_p in
@@ -57,6 +70,7 @@ let solve_impl ?deadline ?gains ?(candidates = 0) ?pool inst =
     for p = 0 to n_p - 1 do
       let v = Gain_matrix.version gm ~paper:p in
       Gain_matrix.iter_row gm ~paper:p (fun ~reviewer:r ~gain ->
+          let gain = transform ~paper:p ~reviewer:r ~coverage_gain:gain in
           if gain > 0. && not (Instance.forbidden inst ~paper:p ~reviewer:r)
           then Heap.push heap { gain; reviewer = r; paper = p; version = v })
     done
@@ -66,9 +80,9 @@ let solve_impl ?deadline ?gains ?(candidates = 0) ?pool inst =
       Gain_matrix.blit_row gm ~paper:p ~dst:row;
       let v = Gain_matrix.version gm ~paper:p in
       for r = 0 to n_r - 1 do
-        if row.(r) > 0. && not (Instance.forbidden inst ~paper:p ~reviewer:r)
-        then
-          Heap.push heap { gain = row.(r); reviewer = r; paper = p; version = v }
+        let gain = transform ~paper:p ~reviewer:r ~coverage_gain:row.(r) in
+        if gain > 0. && not (Instance.forbidden inst ~paper:p ~reviewer:r)
+        then Heap.push heap { gain; reviewer = r; paper = p; version = v }
       done
     done
   end;
@@ -104,7 +118,10 @@ let solve_impl ?deadline ?gains ?(candidates = 0) ?pool inst =
             Heap.push heap
               {
                 e with
-                gain = Gain_matrix.gain gm ~paper:e.paper ~reviewer:e.reviewer;
+                gain =
+                  transform ~paper:e.paper ~reviewer:e.reviewer
+                    ~coverage_gain:
+                      (Gain_matrix.gain gm ~paper:e.paper ~reviewer:e.reviewer);
                 version = Gain_matrix.version gm ~paper:e.paper;
               }
         end
@@ -116,11 +133,12 @@ let solve_impl ?deadline ?gains ?(candidates = 0) ?pool inst =
 
 let solve ?(ctx = Ctx.default) inst =
   solve_impl ?deadline:ctx.Ctx.deadline ?gains:ctx.Ctx.gains
-    ~candidates:ctx.Ctx.candidates ?pool:ctx.Ctx.pool inst
+    ~candidates:ctx.Ctx.candidates ?pool:ctx.Ctx.pool
+    ~objective:ctx.Ctx.objective inst
 
-let solve_opts ?deadline ?gains inst = solve_impl ?deadline ?gains inst
-
-let solve_rescan ?deadline inst =
+let solve_rescan ?deadline ?(objective = Objective.coverage) inst =
+  let obj = Objective.bind objective inst in
+  let inst = Objective.view obj in
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
   let dp = inst.Instance.delta_p and dr = inst.Instance.delta_r in
   let assignment = Assignment.empty ~n_papers:n_p in
@@ -141,10 +159,7 @@ let solve_rescan ?deadline inst =
             && (not (Instance.forbidden inst ~paper:p ~reviewer:r))
             && not (List.mem r (Assignment.group assignment p))
           then begin
-            let g =
-              Scoring.gain inst.Instance.scoring ~group:gvec.(p)
-                inst.Instance.reviewers.(r) inst.Instance.papers.(p)
-            in
+            let g = Objective.marginal_gain obj ~group:gvec.(p) ~paper:p ~reviewer:r in
             if g > !best_gain then begin
               best_gain := g;
               best := Some (r, p)

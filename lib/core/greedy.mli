@@ -27,20 +27,21 @@ val solve : ?ctx:Ctx.t -> Instance.t -> Assignment.t
     repair chains exist. [ctx.pool], when parallel, prefills the gain
     rows the heap seeding reads across domains
     ({!Gain_matrix.rebuild}); the pop-commit loop itself is inherently
-    sequential. Bit-identical at any job count. *)
+    sequential. Bit-identical at any job count.
+
+    [ctx.objective]'s {!Objective.static_gain} transform (when it has
+    one — Blend's modular bid term) is applied to every seeded and
+    refreshed heap gain; rank-dependent objectives (OWA) have no static
+    transform and run on raw coverage gains — greedy is their safe
+    seed, the objective-aware refinement happens in {!Sra}. *)
 
 val solve_rescan :
-  ?deadline:Wgrap_util.Timer.deadline -> Instance.t -> Assignment.t
-(** Ablation variant: full O(P*R) rescan per iteration instead of the
-    lazy heap. Every step picks a maximal-gain pair in both variants,
-    but gain ties may break differently and cascade, so totals agree
-    only approximately. *)
-
-val solve_opts :
   ?deadline:Wgrap_util.Timer.deadline ->
-  ?gains:Gain_matrix.t ->
+  ?objective:Objective.spec ->
   Instance.t ->
   Assignment.t
-[@@deprecated "use Greedy.solve ?ctx (see Ctx)"]
-(** Pre-[Ctx] entry point: [?deadline] is [ctx.deadline], [?gains] is
-    [ctx.gains]. *)
+(** Ablation variant: full O(P*R) rescan per iteration instead of the
+    lazy heap, with every gain taken from the bound objective's
+    {!Objective.marginal_gain}. Every step picks a maximal-gain pair in
+    both variants, but gain ties may break differently and cascade, so
+    totals agree only approximately. *)

@@ -1,0 +1,291 @@
+(* The first-class assignment objective every solver consults instead
+   of reaching for Scoring / Instance.pair_score directly (enforced by
+   the wgrap_lint "direct-scoring" rule). See the mli for the contract
+   and DESIGN.md "Objectives" for the chain-routing rules. *)
+
+type pair_gain = paper:int -> reviewer:int -> coverage_gain:float -> float
+
+type spec =
+  | Coverage
+  | Blend of { preferences : float array array; lambda : float }
+  | Owa of { weights : float array }
+  | Taxonomy of { tree : Taxonomy.t; decay : float }
+
+let coverage = Coverage
+
+let blend ?(lambda = 0.7) preferences =
+  if lambda < 0. || lambda > 1. || Float.is_nan lambda then
+    invalid_arg "Objective.blend: lambda must lie in [0, 1]";
+  if Array.length preferences = 0 then
+    invalid_arg "Objective.blend: empty preference matrix";
+  Blend { preferences; lambda }
+
+let owa weights =
+  if Array.length weights = 0 then
+    invalid_arg "Objective.owa: empty weight vector";
+  if Array.exists (fun w -> (not (Float.is_finite w)) || w < 0.) weights then
+    invalid_arg "Objective.owa: weights must be finite and >= 0";
+  if not (Array.exists (fun w -> w > 0.) weights) then
+    invalid_arg "Objective.owa: at least one weight must be positive";
+  Owa { weights = Array.copy weights }
+
+let min_coverage = Owa { weights = [| 1. |] }
+
+let taxonomy ?(decay = 0.5) tree =
+  if decay < 0. || decay > 1. || Float.is_nan decay then
+    invalid_arg "Objective.taxonomy: decay must lie in [0, 1]";
+  Taxonomy { tree; decay }
+
+let is_min = function Owa { weights = [| w |] } -> w > 0. | _ -> false
+
+let name = function
+  | Coverage -> "coverage"
+  | Blend _ -> "blend"
+  | Owa _ as s -> if is_min s then "min" else "owa"
+  | Taxonomy _ -> "taxonomy"
+
+(* One line, deterministic for a fixed spec — what shard manifests pin
+   so a resumed run fail-stops on an objective mismatch instead of
+   merging assignments optimized for different things. *)
+let describe = function
+  | Coverage -> "coverage"
+  | Blend { preferences; lambda } ->
+      Printf.sprintf "blend(lambda=%.6g,prefs=%d)"
+        lambda
+        (Hashtbl.hash preferences land 0xFFFFFF)
+  | Owa { weights } ->
+      Printf.sprintf "owa(w=%s)"
+        (String.concat ","
+           (List.map (Printf.sprintf "%.6g") (Array.to_list weights)))
+  | Taxonomy { tree; decay } ->
+      Printf.sprintf "taxonomy(decay=%.6g,tree=%d)"
+        decay
+        (Hashtbl.hash (Taxonomy.to_lines tree) land 0xFFFFFF)
+
+(* Submodularity: coverage satisfies Lemma 4; a blend adds a modular
+   (group-independent) bid term to it, and the taxonomy objective IS
+   coverage on a transformed instance. OWA aggregates per-paper scores
+   through a rank-dependent weight vector, which breaks the per-topic
+   additivity Lemma 4 needs — SDGA's stage-confinement guarantee does
+   not apply, so Solver.cra routes the greedy-seeded SRA chain. *)
+let submodular = function
+  | Coverage | Blend _ | Taxonomy _ -> true
+  | Owa _ -> false
+
+(* All four are monotone: adding a reviewer never lowers any paper's
+   coverage, bids are non-negative, and OWA weights are >= 0. *)
+let monotone = function Coverage | Blend _ | Owa _ | Taxonomy _ -> true
+
+let transforms = function
+  | Taxonomy _ -> true
+  | Coverage | Blend _ | Owa _ -> false
+
+type t = {
+  spec : spec;
+  view : Instance.t;
+      (* the instance solvers actually score against — [== inst] except
+         for transforming backends (Taxonomy smooths reviewer vectors) *)
+}
+
+let bind spec inst =
+  match spec with
+  | Coverage | Owa _ -> { spec; view = inst }
+  | Blend { preferences; _ } ->
+      if
+        Array.length preferences <> Instance.n_papers inst
+        || Array.exists
+             (fun row -> Array.length row <> Instance.n_reviewers inst)
+             preferences
+      then invalid_arg "Objective.bind: preference matrix shape mismatch";
+      { spec; view = inst }
+  | Taxonomy { tree; decay } ->
+      if Taxonomy.dim tree <> Instance.n_topics inst then
+        invalid_arg "Objective.bind: taxonomy dimension mismatch";
+      let smoothed =
+        Array.map (Taxonomy.smooth tree ~decay) inst.Instance.reviewers
+      in
+      { spec; view = Instance.with_reviewers inst smoothed }
+
+let spec t = t.spec
+let view t = t.view
+
+(* The per-pair coverage component under the objective's view — the
+   score Eq. 9/10 keep-probabilities are built from. Identical to
+   {!pair_score} except for Blend, whose pair score adds the modular
+   bid term the removal model deliberately ignores (removal targets
+   topical misfit; bids shape the refill through {!stage_gain}). *)
+let coverage_score t ~paper ~reviewer =
+  Instance.pair_score t.view ~paper ~reviewer
+
+let pair_score t ~paper ~reviewer =
+  let c = Instance.pair_score t.view ~paper ~reviewer in
+  match t.spec with
+  | Coverage | Owa _ | Taxonomy _ -> c
+  | Blend { preferences; lambda } ->
+      (lambda *. c)
+      +. (1. -. lambda)
+         *. preferences.(paper).(reviewer)
+         /. float_of_int t.view.Instance.delta_p
+
+let group_score t ~paper group =
+  let c =
+    match group with
+    | [] -> 0.
+    | _ ->
+        let vecs = List.map (fun r -> t.view.Instance.reviewers.(r)) group in
+        Scoring.group_score t.view.Instance.scoring vecs
+          t.view.Instance.papers.(paper)
+  in
+  match t.spec with
+  | Coverage | Owa _ | Taxonomy _ -> c
+  | Blend { preferences; lambda } ->
+      let bids =
+        List.fold_left (fun s r -> s +. preferences.(paper).(r)) 0. group
+      in
+      (lambda *. c)
+      +. ((1. -. lambda) *. bids /. float_of_int t.view.Instance.delta_p)
+
+let marginal_gain t ~group ~paper ~reviewer =
+  let g =
+    Scoring.gain t.view.Instance.scoring ~group
+      t.view.Instance.reviewers.(reviewer) t.view.Instance.papers.(paper)
+  in
+  match t.spec with
+  | Coverage | Owa _ | Taxonomy _ -> g
+  | Blend { preferences; lambda } ->
+      (lambda *. g)
+      +. (1. -. lambda)
+         *. preferences.(paper).(reviewer)
+         /. float_of_int t.view.Instance.delta_p
+
+let per_paper_scores t assignment =
+  Array.init (Instance.n_papers t.view) (fun p ->
+      Assignment.paper_score t.view assignment p)
+
+(* OWA aggregation: weights applied to the ascending-sorted per-paper
+   scores, positions past the weight vector contributing nothing. The
+   unit weight vector [|1.|] is exactly min-coverage; a full uniform
+   vector recovers the utilitarian sum. *)
+let owa_value ~weights scores =
+  let sorted = Array.copy scores in
+  Array.sort Float.compare sorted;
+  let n = min (Array.length weights) (Array.length sorted) in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. (weights.(i) *. sorted.(i))
+  done;
+  !acc
+
+(* Leximin geometric weights for the OWA family: rank weight
+   [ratio^rank] over the ascending sort of the per-paper coverages —
+   strictly decreasing, so the induced aggregate is inequality-averse
+   (between equal-sum distributions it always prefers the flatter one,
+   and raising a worse-off paper dominates raising a better-off one).
+   The ratio is pinned so the weight halves across a quarter of the
+   papers: steep enough that the coverage tail dominates, wide enough
+   that every paper keeps non-negligible weight (>= 1/16 of the worst
+   paper's) — a fixed ratio would ignore all but the first few dozen
+   positions on large instances. *)
+let leximin_ratio ~n_papers = 0.5 ** (4. /. float_of_int (max 1 n_papers))
+
+(* SRA consults this only on {!value} plateaus — an OWA value with a
+   short weight vector (min-coverage is [|1.|]) plateaus as soon as
+   its worst papers are stuck, and the surrogate keeps refinement
+   flattening the rest of the distribution instead of stalling. *)
+let round_tie_break t =
+  match t.spec with
+  | Owa _ ->
+      let ratio = leximin_ratio ~n_papers:(Instance.n_papers t.view) in
+      Some
+        (fun assignment ->
+          let sorted = per_paper_scores t assignment in
+          Array.sort Float.compare sorted;
+          let acc = ref 0. and w = ref 1. in
+          Array.iter
+            (fun s ->
+              acc := !acc +. (!w *. s);
+              w := !w *. ratio)
+            sorted;
+          !acc)
+  | Coverage | Blend _ | Taxonomy _ -> None
+
+let value t assignment =
+  match t.spec with
+  | Coverage | Taxonomy _ -> Assignment.coverage t.view assignment
+  | Owa { weights } -> owa_value ~weights (per_paper_scores t assignment)
+  | Blend { preferences; lambda } ->
+      let dp = float_of_int t.view.Instance.delta_p in
+      let acc = ref 0. in
+      Array.iteri
+        (fun p group ->
+          let c = Assignment.paper_score t.view assignment p in
+          let bids =
+            List.fold_left (fun s r -> s +. preferences.(p).(r)) 0. group
+          in
+          acc := !acc +. (lambda *. c) +. ((1. -. lambda) *. bids /. dp))
+        assignment.Assignment.groups;
+      !acc
+
+(* A current-independent per-pair gain transform — what the lazy greedy
+   heap can apply without invalidating on every commit. Only the blend
+   has one (its bid term is modular); rank-dependent OWA weights need
+   the per-round {!stage_gain} instead. *)
+let static_gain t : pair_gain option =
+  match t.spec with
+  | Coverage | Owa _ | Taxonomy _ -> None
+  | Blend { preferences; lambda } ->
+      let dp = float_of_int t.view.Instance.delta_p in
+      Some
+        (fun ~paper ~reviewer ~coverage_gain ->
+          (lambda *. coverage_gain)
+          +. ((1. -. lambda) *. preferences.(paper).(reviewer) /. dp))
+
+(* Per-paper refill boost = leximin geometric rank weight plus the
+   paper's normalized OWA weight. The geometric part makes every
+   refill stage inequality-averse across the whole distribution —
+   contested reviewers tilt toward worse-covered papers at every rank,
+   not only the explicitly weighted ones (with 3 weighted ranks out of
+   5000 papers a weight-only boost leaves the refill coverage-shaped
+   for 99.9% of papers) — while never zeroing a paper's gain, so the
+   stage still gives every paper its best available reviewers. The
+   OWA weight on top concentrates extra pull on the ranks the
+   objective value actually reads. *)
+let stage_gain t ~current : pair_gain option =
+  match t.spec with
+  | Coverage | Taxonomy _ -> None
+  | Blend _ -> static_gain t
+  | Owa { weights } ->
+      let scores = per_paper_scores t current in
+      let order = Array.init (Array.length scores) Fun.id in
+      Array.sort
+        (fun a b ->
+          match Float.compare scores.(a) scores.(b) with
+          | 0 -> Int.compare a b
+          | c -> c)
+        order;
+      let ratio = leximin_ratio ~n_papers:(Array.length scores) in
+      let wsum = Array.fold_left ( +. ) 0. weights in
+      let boost = Array.make (Array.length scores) 0. in
+      let w = ref 1. in
+      Array.iteri
+        (fun rank p ->
+          let owa_w =
+            if rank < Array.length weights && wsum > 0. then
+              weights.(rank) /. wsum
+            else 0.
+          in
+          boost.(p) <- !w +. owa_w;
+          w := !w *. ratio)
+        order;
+      Some (fun ~paper ~reviewer:_ ~coverage_gain -> boost.(paper) *. coverage_gain)
+
+(* The cache-priming hook: force the view's static gain-matrix state
+   (score caches / candidate lists / Eq. 9 column sums) ahead of a
+   solve. Backends with derived caches extend this; today the view
+   transformation happens at {!bind} and the matrix work is shared. *)
+let prime ?pool ?deadline _t gm = Gain_matrix.prime ?pool ?deadline gm
+
+(* JRA consultation point: the single-paper best-group subproblem under
+   this objective — the view's vectors and scoring, COIs as exclusions. *)
+let jra_problem ?candidates t ~paper =
+  Jra.of_instance ?candidates t.view ~paper

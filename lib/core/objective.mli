@@ -1,0 +1,183 @@
+(** The first-class assignment objective.
+
+    Solvers consult a bound objective ({!t}) for every score they need
+    — pair scores, group scores, marginal gains, whole-assignment
+    values — instead of reaching for {!Scoring} or
+    {!Instance.pair_score} directly (the wgrap_lint [direct-scoring]
+    rule enforces this in solver modules). A {!spec} names the backend
+    and its parameters; {!bind} attaches it to a concrete instance,
+    producing the {!view} the kernels and gain matrices actually score
+    against.
+
+    Backends:
+    - [Coverage] — the paper's weighted-coverage objective (Eq. 9),
+      the default and the bit-identical parity oracle.
+    - [Blend] — coverage λ-blended with a modular reviewer-preference
+      (bid) term; the generalization of the old [Bids] solver entry.
+    - [Owa] — order-weighted average of the ascending-sorted per-paper
+      coverages (Lian et al.); [weights = [|1.|]] is min-coverage /
+      egalitarian. {b Not} submodular: Lemma 4's per-topic additivity
+      fails, so {!Solver.cra} routes greedy-seeded SRA chains instead
+      of SDGA-led ones.
+    - [Taxonomy] — hierarchical keyword similarity (Kalmukov): reviewer
+      expertise bleeds along a topic-tree with per-hop [decay]; realized
+      as coverage over an instance view with tree-smoothed reviewer
+      vectors ({!Taxonomy.smooth}), so every coverage kernel applies
+      unchanged.
+
+    Chain-routing contract: a solver ladder may lead with SDGA only if
+    [submodular spec && monotone spec]; otherwise it must start from a
+    greedy (exchange-safe) seed. See DESIGN.md "Objectives". *)
+
+type pair_gain = paper:int -> reviewer:int -> coverage_gain:float -> float
+(** A per-pair gain transform: maps a raw coverage marginal gain to the
+    objective's stage gain for that (paper, reviewer) cell. The hook
+    {!Stage} and the greedy heap apply without knowing the backend. *)
+
+type spec =
+  | Coverage
+  | Blend of { preferences : float array array; lambda : float }
+      (** [lambda * coverage + (1 - lambda) * bid / delta_p], with
+          [preferences] a [P x R] non-negative bid matrix. *)
+  | Owa of { weights : float array }
+      (** Weights applied to the {e ascending}-sorted per-paper
+          coverages; positions beyond the vector contribute 0. *)
+  | Taxonomy of { tree : Taxonomy.t; decay : float }
+
+(** {1 Constructors} *)
+
+val coverage : spec
+
+val blend : ?lambda:float -> float array array -> spec
+(** Default [lambda = 0.7] (the paper's bid-blend default). Raises
+    [Invalid_argument] unless [lambda] lies in [0, 1] and the matrix is
+    non-empty; the shape is checked against the instance at {!bind}. *)
+
+val owa : float array -> spec
+(** Copies the vector. Raises [Invalid_argument] on an empty vector,
+    a negative/non-finite weight, or an all-zero vector. *)
+
+val min_coverage : spec
+(** [Owa {weights = [|1.|]}]: maximize the worst-off paper. *)
+
+val taxonomy : ?decay:float -> Taxonomy.t -> spec
+(** Default [decay = 0.5]. Raises [Invalid_argument] unless [decay]
+    lies in [0, 1]. *)
+
+(** {1 Spec inspection} *)
+
+val name : spec -> string
+(** ["coverage"], ["blend"], ["owa"], ["min"] (unit-weight OWA), or
+    ["taxonomy"] — the [--objective] vocabulary. *)
+
+val describe : spec -> string
+(** One deterministic line pinning the spec and its parameters — what
+    shard manifests record so a resume fail-stops on a mismatch. *)
+
+val is_min : spec -> bool
+
+val submodular : spec -> bool
+(** Whether the induced set function satisfies Lemma 4's conditions, so
+    the SDGA stage-confinement guarantee applies. False for [Owa]. *)
+
+val monotone : spec -> bool
+(** Whether adding a reviewer can never lower the objective. True for
+    all current backends. *)
+
+val transforms : spec -> bool
+(** Whether {!bind} rewrites the instance ([view t != inst]). When
+    true, any externally supplied {!Gain_matrix} (e.g. [ctx.gains])
+    must have been created over {!view}, not the raw instance — the
+    solver entry points that bind for you ({!Solver.cra},
+    {!Sdga.solve}, …) uphold this. True only for [Taxonomy]. *)
+
+(** {1 Binding} *)
+
+type t
+(** A spec bound to an instance: the thing solvers score against. *)
+
+val bind : spec -> Instance.t -> t
+(** Validates spec-vs-instance shape ([Blend] matrix dimensions,
+    [Taxonomy] tree dimension) and computes the scoring view. Raises
+    [Invalid_argument] on mismatch. *)
+
+val spec : t -> spec
+
+val view : t -> Instance.t
+(** The instance to build gain matrices, stages and JRA subproblems
+    over. Physically the bound instance except for transforming
+    backends. *)
+
+(** {1 Scoring} *)
+
+val pair_score : t -> paper:int -> reviewer:int -> float
+(** The objective's single-reviewer score c(r, p) — includes the bid
+    term for [Blend]. *)
+
+val coverage_score : t -> paper:int -> reviewer:int -> float
+(** The pure coverage component under the view — what SRA's Eq. 10
+    keep-probabilities are built from (removal models topical misfit;
+    modular terms steer the refill via {!stage_gain} instead). Equal to
+    {!pair_score} for every backend except [Blend]. *)
+
+val group_score : t -> paper:int -> int list -> float
+(** c(g, p) of a reviewer group for one paper. *)
+
+val marginal_gain :
+  t -> group:Topic_vector.t -> paper:int -> reviewer:int -> float
+(** Definition 8 marginal gain of adding [reviewer] to a group whose
+    current coordinatewise-max vector is [group], plus any modular
+    term. *)
+
+val per_paper_scores : t -> Assignment.t -> float array
+
+val owa_value : weights:float array -> float array -> float
+(** The OWA aggregation itself (exposed for tests and {!Summary}):
+    weights dotted with the ascending sort of the scores. *)
+
+val value : t -> Assignment.t -> float
+(** The objective value of a (possibly partial) assignment — what SRA
+    acceptance, checkpoint records and {!Summary} report. *)
+
+(** {1 Solver hooks} *)
+
+val static_gain : t -> pair_gain option
+(** A current-assignment-independent gain transform, if the backend has
+    one ([Blend]'s bid term is modular). [None] means raw coverage
+    gains are already correct ([Coverage], [Taxonomy]) or the transform
+    is rank-dependent and must be recomputed per round ([Owa]). Safe to
+    bake into a lazy greedy heap. *)
+
+val stage_gain : t -> current:Assignment.t -> pair_gain option
+(** The per-stage gain transform given the current partial assignment:
+    [static_gain] when that exists; for [Owa], a rank-boost built from
+    the current per-paper scores — the leximin geometric weight of the
+    paper's ascending rank (see {!round_tie_break}) plus its
+    normalized OWA weight — so every refill stage steers contested
+    reviewers toward worse-covered papers, with extra pull on the
+    ranks the OWA value reads. *)
+
+val round_tie_break : t -> (Assignment.t -> float) option
+(** A secondary score SRA may consult when {!value} plateaus within
+    epsilon: accepting tie-rounds that raise it keeps refinement
+    moving along the objective's level sets. [Some] only for the OWA
+    family — a leximin surrogate (geometric rank weights, ratio
+    pinned so the weight halves across a quarter of the papers, over
+    the ascending-sorted per-paper coverages) that flattens the
+    coverage tail while the worst papers are stuck. [None]
+    ([Coverage], [Blend], [Taxonomy]) leaves acceptance strictly
+    value-improving — the bit-parity contract of the default chain. *)
+
+val prime :
+  ?pool:Wgrap_par.Pool.t ->
+  ?deadline:Wgrap_util.Timer.deadline ->
+  t ->
+  Gain_matrix.t ->
+  unit
+(** Cache-priming hook: force the objective's derived caches and the
+    gain matrix's static state ahead of a solve (current backends keep
+    no mutable caches beyond the matrix's own). The matrix must be over
+    {!view}. *)
+
+val jra_problem : ?candidates:int -> t -> paper:int -> Jra.problem
+(** The single-paper best-group subproblem under this objective. *)

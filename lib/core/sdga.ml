@@ -6,7 +6,14 @@ let approximation_ratio ~delta_p ~integral =
   1. -. ((1. -. (1. /. dp)) ** exponent)
 
 let solve_with ?deadline ?gains ?(candidates = 0) ?checkpoint ?resume_from
-    ?pool stage inst =
+    ?pool ?(objective = Objective.coverage) stage inst =
+  (* Bind the objective once; every score below — stage gains, matrix
+     rows, checkpoint values — is taken against its view, so a
+     transforming backend (Taxonomy) is just coverage from here on. A
+     supplied [gains] matrix must already be over that view (the Ctx
+     entry points uphold this). *)
+  let obj = Objective.bind objective inst in
+  let inst = Objective.view obj in
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
   (* Resume only from a state captured in this phase; anything else
      (e.g. a mid-SRA state handed down by mistake) starts fresh. *)
@@ -59,8 +66,13 @@ let solve_with ?deadline ?gains ?(candidates = 0) ?checkpoint ?resume_from
          Array.init n_r (fun r ->
              min per_stage (inst.Instance.delta_r - used.(r)))
        in
+       (* Recomputed per stage: OWA's rank boost depends on the papers'
+          current scores; Coverage/Taxonomy return None (identity). *)
+       let pair_gain = Objective.stage_gain obj ~current:assignment in
        let pairs =
-         try stage ?deadline ?gains:(Some gm) inst ~current:assignment ~capacity:confined
+         try
+           stage ?deadline ?gains:(Some gm) ?pair_gain inst
+             ~current:assignment ~capacity:confined
          with Failure _ ->
            (* When delta_p does not divide delta_r, the per-stage confinement
               can starve a late stage (cumulative workloads eat the slack the
@@ -70,7 +82,8 @@ let solve_with ?deadline ?gains ?(candidates = 0) ?checkpoint ?resume_from
            let relaxed =
              Array.init n_r (fun r -> inst.Instance.delta_r - used.(r))
            in
-           stage ?deadline ?gains:(Some gm) inst ~current:assignment ~capacity:relaxed
+           stage ?deadline ?gains:(Some gm) ?pair_gain inst
+             ~current:assignment ~capacity:relaxed
        in
        List.iter
          (fun (p, r) ->
@@ -81,7 +94,7 @@ let solve_with ?deadline ?gains ?(candidates = 0) ?checkpoint ?resume_from
        match checkpoint with
        | None -> ()
        | Some sink ->
-           let score = Assignment.coverage inst assignment in
+           let score = Objective.value obj assignment in
            sink.Checkpoint.on_event
              (Checkpoint.Stage_done { stage = stage_no; score });
            sink.Checkpoint.offer (fun () ->
@@ -106,12 +119,11 @@ let solve_with ?deadline ?gains ?(candidates = 0) ?checkpoint ?resume_from
   end;
   assignment
 
-let hungarian_stage ?deadline ?gains inst ~current ~capacity =
-  Stage.solve ?papers:None ?pair_gain:None ?gains ?deadline inst ~current
-    ~capacity
+let hungarian_stage ?deadline ?gains ?pair_gain inst ~current ~capacity =
+  Stage.solve ?papers:None ?pair_gain ?gains ?deadline inst ~current ~capacity
 
-let flow_stage ?deadline ?gains inst ~current ~capacity =
-  Stage.solve_flow ?papers:None ?pair_gain:None ?gains ?deadline inst ~current
+let flow_stage ?deadline ?gains ?pair_gain inst ~current ~capacity =
+  Stage.solve_flow ?papers:None ?pair_gain ?gains ?deadline inst ~current
     ~capacity
 
 let run_with ctx stage inst =
@@ -120,13 +132,7 @@ let run_with ctx stage inst =
   in
   solve_with ?deadline:ctx.Ctx.deadline ?gains:ctx.Ctx.gains
     ~candidates:ctx.Ctx.candidates ?checkpoint:ctx.Ctx.checkpoint ?resume_from
-    ?pool:ctx.Ctx.pool stage inst
+    ?pool:ctx.Ctx.pool ~objective:ctx.Ctx.objective stage inst
 
 let solve ?(ctx = Ctx.default) inst = run_with ctx hungarian_stage inst
 let solve_flow ?(ctx = Ctx.default) inst = run_with ctx flow_stage inst
-
-let solve_opts ?deadline ?gains ?checkpoint ?resume_from inst =
-  solve_with ?deadline ?gains ?checkpoint ?resume_from hungarian_stage inst
-
-let solve_flow_opts ?deadline ?gains ?checkpoint ?resume_from inst =
-  solve_with ?deadline ?gains ?checkpoint ?resume_from flow_stage inst

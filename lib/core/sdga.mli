@@ -38,6 +38,13 @@ val solve : ?ctx:Ctx.t -> Instance.t -> Assignment.t
     - [ctx.pool], when parallel, prefills all stale gain rows across
       domains ({!Gain_matrix.rebuild}) before the stage loop; the stage
       LAPs themselves stay sequential. Bit-identical at any job count.
+    - [ctx.objective] is bound to the instance and consulted for every
+      stage gain ({!Objective.stage_gain}) and checkpoint score
+      ({!Objective.value}); the default coverage objective is
+      bit-identical to the pre-objective path. Note SDGA's guarantee
+      only holds when the objective is submodular and monotone —
+      {!Solver.cra} routes non-submodular specs (OWA) through a
+      greedy-led chain instead.
 
     Raises [Failure] only if the instance is infeasible under its COIs
     (capacity alone is validated at instance construction). Stages are
@@ -52,28 +59,3 @@ val solve_flow : ?ctx:Ctx.t -> Instance.t -> Assignment.t
 (** Ablation variant: stages solved by min-cost flow
     ({!Stage.solve_flow}). Same stage optima, different constants
     (compared in the ablation bench). *)
-
-(** {2 Deprecated pre-[Ctx] entry points}
-
-    The optional arguments map onto {!Ctx.t} fields one-for-one:
-    [?deadline] is [ctx.deadline], [?gains] is [ctx.gains],
-    [?checkpoint] is [ctx.checkpoint], and [?resume_from state] is
-    [ctx.resume_from = Some (Ok state)]. *)
-
-val solve_opts :
-  ?deadline:Wgrap_util.Timer.deadline ->
-  ?gains:Gain_matrix.t ->
-  ?checkpoint:Checkpoint.sink ->
-  ?resume_from:Checkpoint.state ->
-  Instance.t ->
-  Assignment.t
-[@@deprecated "use Sdga.solve ?ctx (see Ctx)"]
-
-val solve_flow_opts :
-  ?deadline:Wgrap_util.Timer.deadline ->
-  ?gains:Gain_matrix.t ->
-  ?checkpoint:Checkpoint.sink ->
-  ?resume_from:Checkpoint.state ->
-  Instance.t ->
-  Assignment.t
-[@@deprecated "use Sdga.solve_flow ?ctx (see Ctx)"]

@@ -155,8 +155,6 @@ let jra_chain ?deadline ~on_reason problem =
 let jra ?(ctx = Ctx.default) problem =
   jra_chain ?deadline:ctx.Ctx.deadline ~on_reason:(notify ctx) problem
 
-let jra_opts ?budget problem = jra ~ctx:(Ctx.make ?budget ()) problem
-
 let jra_batch ?(ctx = Ctx.default) problems =
   let module Pool = Wgrap_par.Pool in
   let pool = match ctx.Ctx.pool with Some p -> p | None -> Pool.sequential in
@@ -189,11 +187,15 @@ let sdga_sra ?(refine = true) ?(ctx = Ctx.default) inst =
     checkpoint;
   let sink = Option.map (Checkpoint.with_link "sdga+sra") checkpoint in
   (* One gain matrix serves SDGA and the refinement; callers running the
-     link repeatedly (retries) pass [ctx.gains] to reuse theirs. *)
+     link repeatedly (retries) pass [ctx.gains] to reuse theirs. It is
+     built over the bound objective's view so a transforming backend
+     (Taxonomy) shares rows between the links too. *)
   let gm =
     match ctx.Ctx.gains with
     | Some g -> g
-    | None -> Gain_matrix.create ~candidates:ctx.Ctx.candidates inst
+    | None ->
+        Gain_matrix.create ~candidates:ctx.Ctx.candidates
+          (Objective.view (Objective.bind ctx.Ctx.objective inst))
   in
   let link_ctx ?deadline ?resume ?rng () =
     {
@@ -205,6 +207,7 @@ let sdga_sra ?(refine = true) ?(ctx = Ctx.default) inst =
       checkpoint = sink;
       resume_from = Option.map Result.ok resume;
       pool = ctx.Ctx.pool;
+      objective = ctx.Ctx.objective;
     }
   in
   let fresh_rng () = Ctx.rng_or ~seed:0 ctx in
@@ -250,6 +253,73 @@ let sdga_sra ?(refine = true) ?(ctx = Ctx.default) inst =
          the rest. *)
       let sdga_slice = if refine then slice 0.5 deadline else deadline in
       let a = Sdga.solve ~ctx:(link_ctx ?deadline:sdga_slice ?resume ()) inst in
+      if (not refine) || Timer.expired_opt deadline then a
+      else refine_from ~rng:(fresh_rng ()) a
+
+(* The bare primary link for non-submodular objectives (OWA): SDGA's
+   stage-confinement guarantee rests on Lemma 4's submodularity, so the
+   seed comes from the lazy greedy (valid for any monotone objective —
+   it runs on raw coverage gains) and all objective-aware work happens
+   in the SRA refinement, which makes no structural assumption. Same
+   raise-on-failure contract as [sdga_sra]; link name "greedy+sra". *)
+let greedy_sra ?(refine = true) ?(ctx = Ctx.default) inst =
+  let deadline = ctx.Ctx.deadline in
+  let checkpoint = ctx.Ctx.checkpoint in
+  Option.iter
+    (fun s ->
+      s.Checkpoint.on_event (Checkpoint.Link_entered { link = "greedy+sra" }))
+    checkpoint;
+  let sink = Option.map (Checkpoint.with_link "greedy+sra") checkpoint in
+  let gm =
+    match ctx.Ctx.gains with
+    | Some g -> g
+    | None ->
+        Gain_matrix.create ~candidates:ctx.Ctx.candidates
+          (Objective.view (Objective.bind ctx.Ctx.objective inst))
+  in
+  let link_ctx ?deadline ?resume ?rng () =
+    {
+      Ctx.default with
+      Ctx.deadline;
+      rng;
+      gains = Some gm;
+      candidates = ctx.Ctx.candidates;
+      checkpoint = sink;
+      resume_from = Option.map Result.ok resume;
+      pool = ctx.Ctx.pool;
+      objective = ctx.Ctx.objective;
+    }
+  in
+  let fresh_rng () = Ctx.rng_or ~seed:0 ctx in
+  let resume_state =
+    match ctx.Ctx.resume_from with
+    | Some (Ok ({ Checkpoint.link = "greedy+sra"; _ } as st)) -> Some st
+    | _ -> None
+  in
+  let refine_from ?resume ~rng a =
+    let sctx = link_ctx ?deadline ?resume ~rng () in
+    match resume with
+    | None when Ctx.jobs sctx > 1 -> Sra.refine_parallel ~ctx:sctx inst a
+    | _ -> Sra.refine ~ctx:sctx inst a
+  in
+  match resume_state with
+  | Some ({ Checkpoint.phase = Checkpoint.Sra_round _; _ } as st) ->
+      (* The greedy seed leaves no checkpoint phases of its own, so any
+         resumable state is mid-refinement; restored RNG words replay
+         the remaining rounds exactly. *)
+      if not refine then st.Checkpoint.best
+      else
+        let rng =
+          match st.Checkpoint.rng with
+          | Some w -> Wgrap_util.Rng.of_words w
+          | None -> fresh_rng ()
+        in
+        refine_from ~resume:st ~rng st.Checkpoint.best
+  | _ ->
+      (* The greedy seed is cheap next to the refinement; give it a
+         smaller slice than SDGA gets in [sdga_sra]. *)
+      let seed_slice = if refine then slice 0.3 deadline else deadline in
+      let a = Greedy.solve ~ctx:(link_ctx ?deadline:seed_slice ()) inst in
       if (not refine) || Timer.expired_opt deadline then a
       else refine_from ~rng:(fresh_rng ()) a
 
@@ -315,18 +385,21 @@ let cra ?(refine = true) ?(ctx = Ctx.default) inst =
         push (Fault { link; error = exn_message e });
         None
   in
-  (* One gain matrix serves the whole chain: SDGA fills it stage by
-     stage, SRA reuses its cached score matrix, Eq. 9 column sums and
-     surviving rows, and the fallback links reset it on entry. *)
+  (* One gain matrix serves the whole chain: the primary link fills it,
+     SRA reuses its cached score matrix, Eq. 9 column sums and
+     surviving rows, and the fallback links reset it on entry. Built
+     over the bound objective's view (Taxonomy smooths reviewers). *)
   let gm =
     match ctx.Ctx.gains with
     | Some g -> g
-    | None -> Gain_matrix.create ~candidates:ctx.Ctx.candidates inst
+    | None ->
+        Gain_matrix.create ~candidates:ctx.Ctx.candidates
+          (Objective.view (Objective.bind ctx.Ctx.objective inst))
   in
-  (* A sub-context for one link: the chain's deadline/pool plus the
-     link's own sink and resume state. Never the chain's [on_degrade]
-     (the chain itself reports via [push]) and never its [rng] (each
-     path below decides the generator explicitly). *)
+  (* A sub-context for one link: the chain's deadline/pool/objective
+     plus the link's own sink and resume state. Never the chain's
+     [on_degrade] (the chain itself reports via [push]) and never its
+     [rng] (each path below decides the generator explicitly). *)
   let link_ctx ?deadline ?sink ?resume ?rng () =
     {
       Ctx.default with
@@ -340,13 +413,24 @@ let cra ?(refine = true) ?(ctx = Ctx.default) inst =
       checkpoint = sink;
       resume_from = Option.map Result.ok resume;
       pool = ctx.Ctx.pool;
+      objective = ctx.Ctx.objective;
     }
   in
-  (* The primary link is the shared [sdga_sra], handed the chain's gain
-     matrix, raw sink and (already Error-stripped) resume state; it
-     re-emits Link_entered and stamps its own sink link. *)
+  (* The ladder is routed by the objective's structure: SDGA may lead
+     only when the spec is submodular and monotone (Lemma 4 is what its
+     stage-confinement guarantee rests on); otherwise the primary is the
+     greedy-seeded refinement and SDGA is skipped entirely. *)
+  let sdga_safe =
+    Objective.submodular ctx.Ctx.objective
+    && Objective.monotone ctx.Ctx.objective
+  in
+  let primary_name = if sdga_safe then "sdga+sra" else "greedy+sra" in
+  (* The primary link is the shared [sdga_sra]/[greedy_sra], handed the
+     chain's gain matrix, raw sink and (already Error-stripped) resume
+     state; it re-emits Link_entered and stamps its own sink link. *)
   let primary () =
-    sdga_sra ~refine
+    (if sdga_safe then sdga_sra else greedy_sra)
+      ~refine
       ~ctx:
         {
           Ctx.default with
@@ -357,6 +441,7 @@ let cra ?(refine = true) ?(ctx = Ctx.default) inst =
           checkpoint;
           resume_from = Option.map Result.ok resume_state;
           pool = ctx.Ctx.pool;
+          objective = ctx.Ctx.objective;
         }
       inst
   in
@@ -379,15 +464,16 @@ let cra ?(refine = true) ?(ctx = Ctx.default) inst =
      instead of re-running (and possibly re-faulting on) earlier links. *)
   let result =
     let from_primary () =
-      match run "sdga+sra" primary with
+      match run primary_name primary with
       | Some a -> Some a
-      | None -> (
+      | None when sdga_safe -> (
           match run "sdga" sdga_alone with
           | Some a -> Some a
           | None -> run "greedy" greedy)
+      | None -> run "greedy" greedy
     in
     match resume_link with
-    | "sdga" -> (
+    | "sdga" when sdga_safe -> (
         match run "sdga" sdga_alone with
         | Some a -> Some a
         | None -> run "greedy" greedy)
@@ -406,6 +492,3 @@ let cra ?(refine = true) ?(ctx = Ctx.default) inst =
         | _ -> ""
       in
       Infeasible ("every CRA link failed to produce a valid assignment" ^ detail)
-
-let cra_opts ?budget ?seed ?(refine = true) ?checkpoint ?resume_from inst =
-  cra ~refine ~ctx:(Ctx.make ?budget ?seed ?checkpoint ?resume_from ()) inst

@@ -11,9 +11,13 @@
 
     - JRA: ILP ({!Jra_ilp}) -> branch-and-bound ({!Jra_bba}) -> greedy
       pick ({!Jra.greedy});
-    - CRA: SDGA + stochastic refinement ({!Sdga}, {!Sra}) -> SDGA alone
-      -> per-stage greedy ({!Greedy}), with {!Repair.complete} patching
-      any short groups left by a truncated run.
+    - CRA, submodular objectives (coverage, blend, taxonomy): SDGA +
+      stochastic refinement ({!Sdga}, {!Sra}) -> SDGA alone -> per-stage
+      greedy ({!Greedy}), with {!Repair.complete} patching any short
+      groups left by a truncated run;
+    - CRA, non-submodular objectives (OWA — [ctx.objective] routes the
+      ladder): greedy seed + stochastic refinement -> greedy alone.
+      SDGA is skipped because its guarantee rests on Lemma 4.
 
     A link that finishes exhaustively yields {!Complete}. A link that is
     cut off by the deadline, or that fails and is replaced by a weaker
@@ -108,7 +112,22 @@ val sdga_sra : ?refine:bool -> ?ctx:Ctx.t -> Instance.t -> Assignment.t
     sequentially) and is ignored otherwise. [ctx.gains] supplies the
     gain matrix (a private one is built when absent), [ctx.rng] seeds
     the refinement (fresh seed-0 generator by default), and a parallel
-    [ctx.pool] fans fresh refinement out via {!Sra.refine_parallel}. *)
+    [ctx.pool] fans fresh refinement out via {!Sra.refine_parallel}.
+    [ctx.objective] is consulted by every link; callers picking links by
+    hand are responsible for routing non-submodular specs to
+    {!greedy_sra} instead (as {!cra} does). *)
+
+val greedy_sra : ?refine:bool -> ?ctx:Ctx.t -> Instance.t -> Assignment.t
+(** The bare primary CRA link for non-submodular objectives: lazy greedy
+    seed on ~30% of the remaining budget (all of it with
+    [refine:false]), then stochastic refinement — which makes no
+    submodularity assumption and carries all the objective-aware
+    reweighing — on the rest. Same raise-on-failure, no-validation
+    contract as {!sdga_sra}; snapshots and the [Link_entered] event are
+    stamped ["greedy+sra"], and only mid-SRA states resume (the greedy
+    seed has no checkpoint phases). This is what {!cra} runs first when
+    [ctx.objective] is not submodular; exposed for supervisors with
+    their own retry/fallback policy. *)
 
 val cra : ?refine:bool -> ?ctx:Ctx.t -> Instance.t -> Assignment.t outcome
 (** Full conference assignment. The primary link runs SDGA on half the
@@ -144,24 +163,9 @@ val cra : ?refine:bool -> ?ctx:Ctx.t -> Instance.t -> Assignment.t outcome
 
     [ctx.gains], when set, is used as the chain's shared gain matrix
     instead of a private one; [ctx.on_degrade] observes each reason as
-    it is recorded. *)
+    it is recorded.
 
-(** {2 Deprecated pre-[Ctx] entry points}
-
-    The optional arguments map onto {!Ctx.t} fields one-for-one:
-    [?budget b] is [Ctx.with_budget b] (a fresh deadline), [?seed s] is
-    [Ctx.with_seed s] (a fresh generator), [?checkpoint] is
-    [ctx.checkpoint], and [?resume_from] is [ctx.resume_from]. *)
-
-val jra_opts : ?budget:float -> Jra.problem -> Jra.solution outcome
-[@@deprecated "use Solver.jra ?ctx (see Solver.Ctx)"]
-
-val cra_opts :
-  ?budget:float ->
-  ?seed:int ->
-  ?refine:bool ->
-  ?checkpoint:Checkpoint.sink ->
-  ?resume_from:(Checkpoint.state, string) result ->
-  Instance.t ->
-  Assignment.t outcome
-[@@deprecated "use Solver.cra ?ctx (see Solver.Ctx)"]
+    [ctx.objective] selects the ladder (see the module preamble) and is
+    threaded into every link; with the default coverage objective the
+    chain, its link names and its results are bit-identical to the
+    pre-objective API. *)

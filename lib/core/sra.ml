@@ -35,7 +35,13 @@ let removal_probability inst ~score_matrix ~round ~lambda ~paper ~reviewer =
     ~reviewer
 
 let refine_impl ?(params = default_params) ?deadline ?on_round ?gains
-    ?(candidates = 0) ?checkpoint ?resume_from ~rng inst start =
+    ?(candidates = 0) ?checkpoint ?resume_from
+    ?(objective = Objective.coverage) ~rng inst start =
+  (* Bind once; the view is what rows, stages and scores are taken
+     against (for a transforming backend a supplied [gains] must already
+     be over it — the Ctx entry points uphold this). *)
+  let obj = Objective.bind objective inst in
+  let inst = Objective.view obj in
   let n_p = Instance.n_papers inst and n_r = Instance.n_reviewers inst in
   (* The shared gain matrix carries the Eq. 9 column sums (static across
      rounds), and its per-paper rows survive between rounds: a removal
@@ -44,38 +50,32 @@ let refine_impl ?(params = default_params) ?deadline ?on_round ?gains
   let gm =
     match gains with Some g -> g | None -> Gain_matrix.create ~candidates inst
   in
+  (* One keep closure for both backings. Keep-probabilities are only
+     ever read for current group members — delta_p pairs per paper per
+     round — so each score is recomputed on demand with the same sparse
+     kernel (and the same COI sentinel) the dense cache was built from:
+     bit-identical keep values, no O(n_p * n_r) read path. The removal
+     model deliberately uses the pure coverage component
+     ({!Objective.coverage_score}): removal targets topical misfit,
+     modular terms (bids) steer the refill stage instead. The Eq. 9
+     denominators come from the matrix's cached (dense) or streamed
+     (pruned) column sums. *)
   let keep =
-    if Gain_matrix.pruned gm then begin
-      (* Pruned: no O(n_p * n_r) score cache. Keep-probabilities are
-         only ever read for current group members — delta_p pairs per
-         paper per round — so each score is recomputed on demand with
-         the same sparse kernel (and the same COI sentinel) the cached
-         matrix was built from: bit-identical keep values. The Eq. 9
-         denominators stream through one transient row inside
-         {!Gain_matrix.column_denominators}. *)
-      let denom = Gain_matrix.column_denominators gm in
-      fun ~round ~paper ~reviewer ->
-        let s =
-          if Instance.forbidden inst ~paper ~reviewer then
-            Lap.Hungarian.forbidden
-          else Instance.pair_score inst ~paper ~reviewer
-        in
-        let ratio =
-          if denom.(reviewer) > 0. && s <> Lap.Hungarian.forbidden then
-            s /. denom.(reviewer)
-          else 0.
-        in
-        Float.max
-          (1. /. float_of_int n_r)
-          (exp (-.params.lambda *. float_of_int round) *. ratio)
-    end
-    else begin
-      let score_matrix = Gain_matrix.score_matrix gm in
-      let denom = Gain_matrix.column_denominators gm in
-      fun ~round ~paper ~reviewer ->
-        keep_probability ~n_reviewers:n_r ~denom ~score_matrix ~round
-          ~lambda:params.lambda ~paper ~reviewer
-    end
+    let denom = Gain_matrix.column_denominators gm in
+    fun ~round ~paper ~reviewer ->
+      let s =
+        if Instance.forbidden inst ~paper ~reviewer then
+          Lap.Hungarian.forbidden
+        else Objective.coverage_score obj ~paper ~reviewer
+      in
+      let ratio =
+        if denom.(reviewer) > 0. && s <> Lap.Hungarian.forbidden then
+          s /. denom.(reviewer)
+        else 0.
+      in
+      Float.max
+        (1. /. float_of_int n_r)
+        (exp (-.params.lambda *. float_of_int round) *. ratio)
   in
   (* Resume only from a state captured in this phase. The snapshot's
      score is trusted over a recomputation so the improvement threshold
@@ -98,7 +98,15 @@ let refine_impl ?(params = default_params) ?deadline ?on_round ?gains
     ref
       (match resume with
       | Some (_, st) -> st.Checkpoint.score
-      | None -> Assignment.coverage inst start)
+      | None -> Objective.value obj start)
+  in
+  (* Plateau tie-breaking (OWA family only): [tie_break = None] keeps
+     acceptance strictly value-improving, the coverage parity
+     contract. The surrogate of the resumed best is recomputed — it is
+     a pure function of the assignment, so no codec change. *)
+  let tie_break = Objective.round_tie_break obj in
+  let best_tb =
+    ref (match tie_break with Some f -> f !best | None -> 0.)
   in
   let current =
     ref
@@ -145,8 +153,10 @@ let refine_impl ?(params = default_params) ?deadline ?on_round ?gains
        let capacity =
          Array.init n_r (fun r -> inst.Instance.delta_r - workload.(r))
        in
+       let pair_gain = Objective.stage_gain obj ~current:trimmed in
        let pairs =
-         Stage.solve ?gains:(Some gm) ?deadline inst ~current:trimmed ~capacity
+         Stage.solve ?gains:(Some gm) ?pair_gain ?deadline inst
+           ~current:trimmed ~capacity
        in
        List.iter
          (fun (p, r) ->
@@ -154,10 +164,21 @@ let refine_impl ?(params = default_params) ?deadline ?on_round ?gains
            Gain_matrix.add gm ~paper:p ~reviewer:r)
          pairs;
        current := trimmed;
-       let score = Assignment.coverage inst trimmed in
+       let score = Objective.value obj trimmed in
        let improved = score > !best_score +. 1e-12 in
-       if improved then begin
-         best_score := score;
+       let tb_candidate =
+         match tie_break with Some f -> Some (f trimmed) | None -> None
+       in
+       let plateau =
+         (not improved)
+         && score >= !best_score -. 1e-12
+         && (match tb_candidate with
+            | Some c -> c > !best_tb +. 1e-12
+            | None -> false)
+       in
+       if improved || plateau then begin
+         if improved then best_score := score;
+         (match tb_candidate with Some c -> best_tb := c | None -> ());
          best := Assignment.copy trimmed;
          stall := 0
        end
@@ -205,9 +226,7 @@ let refine ?params ?on_round ?(ctx = Ctx.default) inst start =
   in
   refine_impl ?params ?deadline:ctx.Ctx.deadline ?on_round ?gains:ctx.Ctx.gains
     ~candidates:ctx.Ctx.candidates ?checkpoint:ctx.Ctx.checkpoint ?resume_from
-    ~rng:(Ctx.rng_or ~seed:0 ctx) inst start
-
-let refine_opts = refine_impl
+    ~objective:ctx.Ctx.objective ~rng:(Ctx.rng_or ~seed:0 ctx) inst start
 
 (* Parallel SRA: [chains] completely independent refinement chains, one
    per task, each with its own split RNG stream and private gain matrix
@@ -227,6 +246,11 @@ let refine_parallel ?params ?chains ?(ctx = Ctx.default) inst start =
   let deadline = ctx.Ctx.deadline in
   let rng = Ctx.rng_or ~seed:0 ctx in
   let chain_rngs = Rng.split rng chains in
+  (* The coordinator binds once for matrix construction and winner
+     scoring; each chain re-binds the same spec inside refine_impl
+     (deterministic, so the views agree value-for-value with the
+     coordinator's matrix caches). *)
+  let obj = Objective.bind ctx.Ctx.objective inst in
   (* Coordinator-owned matrix: prime the score matrix and Eq. 9 sums
      once (row-parallel), then hand the immutable caches to every
      chain's private matrix. If the deadline cuts the priming short the
@@ -235,9 +259,10 @@ let refine_parallel ?params ?chains ?(ctx = Ctx.default) inst start =
   let base_gm =
     match ctx.Ctx.gains with
     | Some g -> g
-    | None -> Gain_matrix.create ~candidates:ctx.Ctx.candidates inst
+    | None ->
+        Gain_matrix.create ~candidates:ctx.Ctx.candidates (Objective.view obj)
   in
-  (try Gain_matrix.prime ~pool ?deadline base_gm with Timer.Expired -> ());
+  (try Objective.prime ~pool ?deadline obj base_gm with Timer.Expired -> ());
   let results =
     Pool.run pool ~n:chains (fun c ->
         (* A spawn, not a full-matrix copy: O(n_p) chain state sharing
@@ -250,10 +275,10 @@ let refine_parallel ?params ?chains ?(ctx = Ctx.default) inst start =
            single-domain). Workers poll the shared deadline through the
            round loop as usual. *)
         let a =
-          refine_impl ?params ?deadline ~gains:gm ~rng:chain_rngs.(c) inst
-            start
+          refine_impl ?params ?deadline ~gains:gm
+            ~objective:ctx.Ctx.objective ~rng:chain_rngs.(c) inst start
         in
-        (Assignment.coverage inst a, a))
+        (Objective.value obj a, a))
   in
   let best_c = ref 0 in
   for c = 1 to chains - 1 do

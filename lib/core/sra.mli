@@ -38,11 +38,20 @@ val refine :
     Eq. 9 column sums and carries gain rows across rounds (its group
     state is rebuilt from scratch each round, so any prior state is
     acceptable — e.g. the matrix {!Sdga.solve} just used); otherwise a
-    private matrix is created with [ctx.candidates] as its width. On a
-    candidate-pruned matrix no score cache is materialized: member
-    keep-probabilities recompute their scores on demand (bit-identical
-    values), the Eq. 9 denominators stream, and refill stages run the
-    pruned {!Stage.solve} backend.
+    private matrix is created with [ctx.candidates] as its width. Member
+    keep-probabilities recompute their scores on demand through the
+    bound objective's coverage component (bit-identical to the old
+    cached read path — delta_p pairs per paper per round); on a
+    candidate-pruned matrix the Eq. 9 denominators stream and refill
+    stages run the pruned {!Stage.solve} backend.
+
+    [ctx.objective] is bound and consulted throughout: removal
+    keep-probabilities use its pure coverage component
+    ({!Objective.coverage_score} — removal models topical misfit),
+    refill stages apply its {!Objective.stage_gain} transform, and
+    acceptance/best-so-far tracking uses {!Objective.value}. SRA makes
+    no submodularity assumption, so every backend (including OWA) may
+    use it.
 
     [ctx.checkpoint] receives a {!Checkpoint.Round_improved} event on
     every improving round and a snapshot offer at every round boundary
@@ -116,21 +125,3 @@ val removal_probability :
 (** Eq. 10, exposed for unit tests: {!keep_probability} with the
     denominators recomputed on the fly — hot loops should precompute
     them once via {!column_denominators} instead. *)
-
-val refine_opts :
-  ?params:params ->
-  ?deadline:Wgrap_util.Timer.deadline ->
-  ?on_round:(round:int -> elapsed:float -> best:float -> unit) ->
-  ?gains:Gain_matrix.t ->
-  ?candidates:int ->
-  ?checkpoint:Checkpoint.sink ->
-  ?resume_from:Checkpoint.state ->
-  rng:Wgrap_util.Rng.t ->
-  Instance.t ->
-  Assignment.t ->
-  Assignment.t
-[@@deprecated "use Sra.refine ?ctx (see Ctx)"]
-(** Pre-[Ctx] entry point. The optionals map onto {!Ctx.t} fields
-    one-for-one: [?deadline] is [ctx.deadline], [?gains] is [ctx.gains],
-    [?checkpoint] is [ctx.checkpoint], [?resume_from state] is
-    [ctx.resume_from = Some (Ok state)], and [~rng] is [ctx.rng]. *)

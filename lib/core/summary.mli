@@ -9,6 +9,14 @@ type t = {
   coverage_min : float;
   coverage_p10 : float;  (** 10th-percentile paper coverage *)
   coverage_max : float;
+  coverage_gini : float;
+      (** Gini coefficient of per-paper coverage: 0 = perfectly equal,
+          towards 1 = coverage concentrated on few papers *)
+  topic_balance : float;
+      (** min/max of mean coverage grouped by each paper's dominant
+          topic: 1 = every topic community equally served *)
+  objective_name : string;  (** {!Objective.name} of the scoring spec *)
+  objective_value : float;  (** {!Objective.value} of the assignment *)
   workload_min : int;
   workload_max : int;
   workload_mean : float;
@@ -16,7 +24,12 @@ type t = {
   coi_violations : int;  (** should be 0 for any library solver *)
 }
 
-val compute : Instance.t -> Assignment.t -> t
+val compute : ?objective:Objective.spec -> Instance.t -> Assignment.t -> t
+(** [objective] (default {!Objective.coverage}) selects the scoring
+    backend: coverage statistics and fairness metrics are computed over
+    the objective's {!Objective.view} (so a taxonomy objective credits
+    coverage through nearby topics), and [objective_value] is
+    {!Objective.value}. *)
 
 val pp : Format.formatter -> t -> unit
 (** Multi-line textual report. *)
@@ -62,3 +75,24 @@ val pp_shard_provenance : Format.formatter -> shard_provenance -> unit
 
 val pp_shard_provenances : Format.formatter -> shard_provenance list -> unit
 (** The whole table, one shard per line, in shard order. *)
+
+val to_json :
+  ?compact:bool ->
+  ?extra:(string * string) list ->
+  ?shards:shard_provenance list ->
+  t ->
+  string
+(** The one JSON rendering of a summary, shared by [wgrap assign
+    --json], [serve stats] and the sharded-run provenance report. Keys:
+    [papers], [reviewers], [objective {name, value}], [coverage {total,
+    mean, min, p10, max}], [fairness {gini, topic_balance}], [workload
+    {min, mean, max, idle}], [coi_violations], plus a [shards] array
+    when provenance is supplied. [extra] prepends caller fields — each
+    pair is a raw key and an already-rendered JSON value (the serve
+    stats endpoint adds its event counters this way). [compact] emits
+    one newline-free line for line-oriented protocols (default: a
+    pretty multi-line document). *)
+
+val json_string : string -> string
+(** JSON string literal with the usual escapes — exposed so callers
+    building [extra] values quote strings consistently. *)

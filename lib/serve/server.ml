@@ -5,6 +5,7 @@ type config = {
   dim : int;
   delta_p : int;
   delta_r : int;
+  objective : Wgrap.Objective.spec;
   event_budget : float option;
   improve_slice : float;
   queue_limit : int;
@@ -20,6 +21,7 @@ let default ~dim ~delta_p ~delta_r =
     dim;
     delta_p;
     delta_r;
+    objective = Wgrap.Objective.coverage;
     event_budget = Some 0.05;
     improve_slice = 0.02;
     queue_limit = 64;
@@ -59,6 +61,13 @@ type t = {
 exception Fatal of string
 
 let make ?durable cfg state =
+  (* the snapshot codec never records the objective (it is planner-only
+     config), so a decoded state always arrives with coverage; install
+     the configured one here. Dimension mismatches were caught when the
+     config was built, so failure here is a programming error. *)
+  (match State.set_objective state cfg.objective with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Server.make: " ^ m));
   {
     cfg;
     state;
@@ -78,7 +87,7 @@ let of_state ?durable cfg state = make ?durable cfg state
 
 let create ?durable cfg =
   Result.map (make ?durable cfg)
-    (State.create ~dim:cfg.dim ~delta_p:cfg.delta_p ~delta_r:cfg.delta_r)
+    (State.create ~dim:cfg.dim ~delta_p:cfg.delta_p ~delta_r:cfg.delta_r ())
 
 let state t = t.state
 
@@ -147,17 +156,35 @@ let answer_read t id (r : Event.read) =
         id overall journal snapshot
         (List.length (State.pending t.state))
         t.counters.restarts
-  | Event.Stats ->
-      Printf.sprintf
-        "ok %d stats accepted=%d rejected=%d shed=%d improved=%d degraded=%d \
-         seq=%d papers=%d reviewers=%d pending=%d p99-ms=%.1f"
-        id t.counters.accepted t.counters.rejected
-        (Admission.shed_count t.admission)
-        t.counters.improved t.counters.degraded (State.applied t.state)
-        (State.n_papers t.state)
-        (State.n_reviewers t.state)
-        (List.length (State.pending t.state))
-        (Admission.p99_ms t.admission)
+  | Event.Stats -> (
+      (* one compact JSON document per line: the service counters, then
+         the same summary rendering `wgrap assign --json` uses *)
+      let extra =
+        [
+          ("accepted", string_of_int t.counters.accepted);
+          ("rejected", string_of_int t.counters.rejected);
+          ("shed", string_of_int (Admission.shed_count t.admission));
+          ("improved", string_of_int t.counters.improved);
+          ("degraded", string_of_int t.counters.degraded);
+          ("seq", string_of_int (State.applied t.state));
+          ("pending", string_of_int (List.length (State.pending t.state)));
+          ("p99_ms", Printf.sprintf "%.1f" (Admission.p99_ms t.admission));
+        ]
+      in
+      match State.summary t.state with
+      | Some s ->
+          Printf.sprintf "ok %d stats %s" id
+            (Wgrap.Summary.to_json ~compact:true ~extra s)
+      | None ->
+          (* roster not dense yet (no papers or reviewers): counters only *)
+          Printf.sprintf "ok %d stats {%s, \"papers\": %d, \"reviewers\": %d}"
+            id
+            (String.concat ", "
+               (List.map
+                  (fun (k, v) -> Wgrap.Summary.json_string k ^ ": " ^ v)
+                  extra))
+            (State.n_papers t.state)
+            (State.n_reviewers t.state))
 
 let handle_mutation t id (req : Event.req) raw =
   let sid = string_of_int id in
@@ -443,7 +470,7 @@ let load_state cfg ~dir =
   | None -> ());
   let* base =
     match loaded.Durable.snapshot with
-    | None -> State.create ~dim:cfg.dim ~delta_p:cfg.delta_p ~delta_r:cfg.delta_r
+    | None -> State.create ~dim:cfg.dim ~delta_p:cfg.delta_p ~delta_r:cfg.delta_r ()
     | Some img -> (
         match State.decode img with
         | Ok st ->
@@ -460,7 +487,7 @@ let load_state cfg ~dir =
             else Ok st
         | Error m ->
             note "snapshot failed certification (%s); refolding journal" m;
-            State.create ~dim:cfg.dim ~delta_p:cfg.delta_p ~delta_r:cfg.delta_r)
+            State.create ~dim:cfg.dim ~delta_p:cfg.delta_p ~delta_r:cfg.delta_r ())
   in
   let snap_seq = State.applied base in
   let replayed, last_seq, stopped = fold_entries base loaded.Durable.records in
@@ -499,7 +526,7 @@ let verify cfg ~dir =
   let ( let* ) = Result.bind in
   let loaded = Durable.load ~dir in
   let* folded =
-    State.create ~dim:cfg.dim ~delta_p:cfg.delta_p ~delta_r:cfg.delta_r
+    State.create ~dim:cfg.dim ~delta_p:cfg.delta_p ~delta_r:cfg.delta_r ()
   in
   let _, _, fold_stop = fold_entries folded loaded.Durable.records in
   let* () =

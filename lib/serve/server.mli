@@ -37,15 +37,24 @@
     ok <id> seq=<n> status=complete|degraded|short [detail="..."]
     ok <id> paper=<p> group=<r1,r2,..|-> score=<s> short=<b> pending=<b>
     ok <id> health=ok|degraded journal=ok|failed|none snapshot=ok|failed|none pending=<n> restarts=<n>
-    ok <id> stats accepted=<n> rejected=<n> shed=<n> improved=<n> degraded=<n> seq=<n> papers=<n> reviewers=<n> pending=<n> p99-ms=<x>
+    ok <id> stats {"accepted": <n>, ..., "objective": ..., "coverage": ..., "fairness": ...}
     err <id|-> line=<n> <reason>
     busy <id|-> retry-after=<ms>
-    v} *)
+    v}
+
+    [stats] answers one compact JSON document (service counters
+    followed by the {!Wgrap.Summary.to_json} fields over the committed
+    groups, under [config.objective]) on a single line. *)
 
 type config = {
   dim : int;
   delta_p : int;
   delta_r : int;
+  objective : Wgrap.Objective.spec;
+      (** planner-only scoring backend (default coverage): installed
+          into the state at construction, it shapes planned groups and
+          the [stats] summary but never the journal format — replay is
+          objective-independent *)
   event_budget : float option;  (** seconds of re-solve per mutation *)
   improve_slice : float;  (** seconds per idle improvement slice *)
   queue_limit : int;  (** admission queue bound *)
@@ -65,7 +74,9 @@ val create : ?durable:Durable.t -> config -> (t, string) result
     (useful for tests and benchmarks; [health] reports [journal=none]). *)
 
 val of_state : ?durable:Durable.t -> config -> State.t -> t
-(** Server around a recovered state (see {!load_state}). *)
+(** Server around a recovered state (see {!load_state}); installs
+    [config.objective] into it. Raises [Invalid_argument] when the
+    objective does not fit the state's dimension. *)
 
 val state : t -> State.t
 

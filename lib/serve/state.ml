@@ -7,9 +7,16 @@ module Amend = Wgrap.Amend
 module Instance = Wgrap.Instance
 module Assignment = Wgrap.Assignment
 module Gain_matrix = Wgrap.Gain_matrix
+module Objective = Wgrap.Objective
+module Taxonomy = Wgrap.Taxonomy
+module Summary = Wgrap.Summary
 module Timer = Wgrap_util.Timer
 module Crc32 = Wgrap_persist.Crc32
 
+(* The base coverage kernel. The resident objective (below) decides how
+   reviewer expertise is viewed before this kernel scores it; modular
+   or rank-dependent objective terms do not reshape per-event planning
+   (each event re-solves one paper), they surface in [summary]. *)
 let scoring = Scoring.Weighted_coverage
 
 (* The resident dense view: the [Instance.t] (with its compiled supports
@@ -20,7 +27,11 @@ let scoring = Scoring.Weighted_coverage
    place (same shape, rows survive). Planner-only — nothing here is in
    {!encode}, so cache state can never leak into replay determinism. *)
 type dense_view = {
-  d_inst : Instance.t;
+  d_inst : Instance.t;  (** raw vectors — what {!summary} reports over *)
+  d_view : Instance.t;
+      (** the objective's scoring view ({!Objective.view}); physically
+          [d_inst] for non-transforming specs. Amend repairs and the
+          gain matrix work over this one. *)
   d_pids : int array;
   d_rids : int array;
   d_pidx : (int, int) Hashtbl.t;
@@ -41,19 +52,37 @@ type t = {
   pending : (int, unit) Hashtbl.t;
   mutable last_client : int;
   mutable applied : int;
+  mutable objective : Objective.spec;
+      (** planner-only runtime config, like the event budget: it shapes
+          the groups the planners propose (and what {!summary} values),
+          but committed ops are journaled as data, so replay is
+          objective-independent and the snapshot codec never records
+          it *)
   mutable dense : dense_view option;
 }
 
-let create ~dim ~delta_p ~delta_r =
+let validate_objective ~dim = function
+  | Objective.Taxonomy { tree; _ } when Taxonomy.dim tree <> dim ->
+      Error
+        (Printf.sprintf
+           "taxonomy is over %d topics but the instance dimension is %d"
+           (Taxonomy.dim tree) dim)
+  | _ -> Ok ()
+
+let create ?(objective = Objective.coverage) ~dim ~delta_p ~delta_r () =
   if dim < 1 then Error "dim must be >= 1"
   else if delta_p < 1 then Error "delta-p must be >= 1"
   else if delta_r < 1 then Error "delta-r must be >= 1"
   else
+    match validate_objective ~dim objective with
+    | Error m -> Error m
+    | Ok () ->
     Ok
       {
         dim;
         delta_p;
         delta_r;
+        objective;
         papers = Hashtbl.create 64;
         reviewers = Hashtbl.create 64;
         coi = Hashtbl.create 64;
@@ -69,6 +98,24 @@ let create ~dim ~delta_p ~delta_r =
 let dim t = t.dim
 let delta_p t = t.delta_p
 let delta_r t = t.delta_r
+let objective t = t.objective
+
+let set_objective t spec =
+  match validate_objective ~dim:t.dim spec with
+  | Error m -> Error m
+  | Ok () ->
+      t.objective <- spec;
+      (* the dense view's gain matrix was built over the old view *)
+      t.dense <- None;
+      Ok ()
+
+(* How the resident objective sees a reviewer's expertise: identity for
+   every backend except the taxonomy transform, which bleeds expertise
+   along the topic tree exactly as Objective.bind's view does. *)
+let expertise t vec =
+  match t.objective with
+  | Objective.Taxonomy { tree; decay } -> Taxonomy.smooth tree ~decay vec
+  | _ -> vec
 let applied t = t.applied
 let last_client t = t.last_client
 let n_papers t = Hashtbl.length t.papers
@@ -89,7 +136,7 @@ let query t p =
         | [] -> 0.
         | _ ->
             Scoring.group_score scoring
-              (List.map (fun r -> Hashtbl.find t.reviewers r) g)
+              (List.map (fun r -> expertise t (Hashtbl.find t.reviewers r)) g)
               pvec
       in
       Some
@@ -178,7 +225,7 @@ let candidates ?(adj = fun _ -> 0) ?(banned = []) ?(members = []) t ~paper =
       else if Hashtbl.mem t.coi (paper, r) then acc
       else
         let spare = t.delta_r - workload_of t r + adj r in
-        if spare > 0 then (r, vec) :: acc else acc)
+        if spare > 0 then (r, expertise t vec) :: acc else acc)
     t.reviewers []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
@@ -190,7 +237,8 @@ let weighted_group_score ?override t ~paper group =
       Scoring.group_score scoring
         (List.map
            (fun r ->
-             weighted ?override t ~paper ~reviewer:r (Hashtbl.find t.reviewers r))
+             weighted ?override t ~paper ~reviewer:r
+               (expertise t (Hashtbl.find t.reviewers r)))
            group)
         pvec
 
@@ -201,7 +249,10 @@ let greedy_fill ?deadline ?override t ~paper ~pvec ~have cands =
   let gvec = ref (Scoring.empty_group ~dim:t.dim) in
   List.iter
     (fun r ->
-      let v = weighted ?override t ~paper ~reviewer:r (Hashtbl.find t.reviewers r) in
+      let v =
+        weighted ?override t ~paper ~reviewer:r
+          (expertise t (Hashtbl.find t.reviewers r))
+      in
       TV.extend_max_into ~dst:!gvec v)
     have;
   let picked = ref (List.rev have) in
@@ -296,16 +347,24 @@ let build_dense_view t =
         ~delta_r:t.delta_r ()
     with
     | Error _ -> None
-    | Ok inst ->
-        Some
-          {
-            d_inst = inst;
-            d_pids = pids;
-            d_rids = rids;
-            d_pidx = pidx;
-            d_ridx = ridx;
-            d_gm = Gain_matrix.create inst;
-          }
+    | Ok inst -> (
+        match Objective.bind t.objective inst with
+        | exception Invalid_argument _ ->
+            (* spec parameters shaped to some other instance (a Blend
+               matrix); planning falls back to the manual paths *)
+            None
+        | obj ->
+            let view = Objective.view obj in
+            Some
+              {
+                d_inst = inst;
+                d_view = view;
+                d_pids = pids;
+                d_rids = rids;
+                d_pidx = pidx;
+                d_ridx = ridx;
+                d_gm = Gain_matrix.create view;
+              })
   end
 
 (* The assignment itself is rebuilt from [t.groups] on every call (it is
@@ -335,7 +394,21 @@ let to_dense t =
           a.Assignment.groups.(i) <- g;
           Gain_matrix.set_group d.d_gm ~paper:i g)
         d.d_pids;
-      Some (d.d_inst, d.d_pids, d.d_rids, a, d.d_gm)
+      Some (d.d_view, d.d_pids, d.d_rids, a, d.d_gm)
+
+(* The chair-facing report over the committed groups, under the
+   resident objective — the payload of the service's stats read. [None]
+   until the roster maps onto a dense instance. *)
+let summary t =
+  match to_dense t with
+  | None -> None
+  | Some (_view, _pids, _rids, a, _gm) -> (
+      match t.dense with
+      | None -> None
+      | Some d -> (
+          match Summary.compute ~objective:t.objective d.d_inst a with
+          | s -> Some s
+          | exception Invalid_argument _ -> None))
 
 let amendable t = Hashtbl.length t.pending = 0
 
@@ -569,9 +642,18 @@ let sync_dense t (req : Event.req) =
           with
           | Some pi, Some ri -> (
               match Instance.add_coi d.d_inst [ (pi, ri) ] with
-              | Ok inst' ->
-                  Gain_matrix.rebind d.d_gm inst';
-                  t.dense <- Some { d with d_inst = inst' }
+              | Ok inst' -> (
+                  (* keep the scoring view in step: same COI extension
+                     over the (possibly transformed) view instance *)
+                  let view' =
+                    if d.d_view == d.d_inst then Ok inst'
+                    else Instance.add_coi d.d_view [ (pi, ri) ]
+                  in
+                  match view' with
+                  | Ok view' ->
+                      Gain_matrix.rebind d.d_gm view';
+                      t.dense <- Some { d with d_inst = inst'; d_view = view' }
+                  | Error _ -> t.dense <- None)
               | Error _ -> t.dense <- None)
           | _ -> t.dense <- None))
 
@@ -762,7 +844,7 @@ let decode s =
       match header with
       | None -> fail "malformed config/cursor header"
       | Some (dim, dp, dr, applied, last_client) ->
-              let* t = create ~dim ~delta_p:dp ~delta_r:dr in
+              let* t = create ~dim ~delta_p:dp ~delta_r:dr () in
               if applied < 0 || last_client < -1 then fail "negative cursor"
               else begin
                 t.applied <- applied;

@@ -27,14 +27,35 @@
 
 type t
 
-val create : dim:int -> delta_p:int -> delta_r:int -> (t, string) result
-(** Empty state; validates [dim >= 1], [delta_p >= 1], [delta_r >= 1]. *)
+val create :
+  ?objective:Wgrap.Objective.spec ->
+  dim:int ->
+  delta_p:int ->
+  delta_r:int ->
+  unit ->
+  (t, string) result
+(** Empty state; validates [dim >= 1], [delta_p >= 1], [delta_r >= 1],
+    and the objective's dimension (taxonomy tree vs [dim]). The
+    objective (default coverage) is planner-only runtime config: it
+    shapes how planners view reviewer expertise (the taxonomy
+    transform) and what {!summary} values, but every committed op is
+    journaled as data — replay and the snapshot codec are
+    objective-independent, so the same journal folds to the same
+    {!encode} under any objective. *)
 
 (** {2 Accessors} *)
 
 val dim : t -> int
 val delta_p : t -> int
 val delta_r : t -> int
+
+val objective : t -> Wgrap.Objective.spec
+
+val set_objective : t -> Wgrap.Objective.spec -> (unit, string) result
+(** Swap the resident objective (e.g. after {!decode}, which always
+    restores coverage); drops the resident dense view so the next plan
+    rebuilds it over the new scoring view. Fails on a dimension
+    mismatch, leaving the state unchanged. *)
 
 val applied : t -> int
 (** Sequence number of the last committed journal entry (0 = none). *)
@@ -54,12 +75,21 @@ val group : t -> int -> int list option
 
 type answer = {
   group : int list;
-  score : float;  (** unweighted coverage of the group, for reporting *)
+  score : float;
+      (** bid-unweighted coverage of the group under the resident
+          objective's expertise view, for reporting *)
   short : bool;  (** the group is below [delta_p] *)
   is_pending : bool;
 }
 
 val query : t -> int -> answer option
+
+val summary : t -> Wgrap.Summary.t option
+(** Full summary (coverage, fairness, workload, objective value) of the
+    committed groups over the resident dense view, under the resident
+    objective — the payload of the service's [stats] read. [None] while
+    the roster cannot be mapped onto a dense instance (no papers or no
+    reviewers, or an objective whose parameters do not fit it). *)
 
 (** {2 Plan} *)
 

@@ -9,6 +9,7 @@ module Checkpoint = Wgrap.Checkpoint
 module Solver = Wgrap.Solver
 module Ctx = Wgrap.Solver.Ctx
 module Summary = Wgrap.Summary
+module Objective = Wgrap.Objective
 
 type fault = Crash | Hang | Invalid_result
 
@@ -79,13 +80,14 @@ let assignment_of_blob sub payload =
   | Ok a -> ( match Assignment.validate sub a with Ok () -> Some a | Error _ -> None)
   | Error _ -> None
 
-let manifest_text ~candidates cfg (part : Partition.t) =
+let manifest_text ~candidates ~objective cfg (part : Partition.t) =
   String.concat "\n"
     [
       "shards=" ^ string_of_int part.Partition.shards;
       "refine=" ^ string_of_bool cfg.refine;
       "boundary_rounds=" ^ string_of_int cfg.boundary_rounds;
       "candidates=" ^ string_of_int candidates;
+      "objective=" ^ Objective.describe objective;
       "partition=" ^ Partition.fingerprint part;
     ]
 
@@ -93,12 +95,12 @@ let manifest_text ~candidates cfg (part : Partition.t) =
    combination: resuming yesterday's shards with today's flags would
    silently change what the cached results mean, so mismatch is
    fail-stop. *)
-let manifest_gate ~candidates cfg part =
+let manifest_gate ~candidates ~objective cfg part =
   match cfg.store_dir with
   | None -> Ok ()
   | Some dir ->
       let path = Filename.concat dir "manifest.blob" in
-      let text = manifest_text ~candidates cfg part in
+      let text = manifest_text ~candidates ~objective cfg part in
       if cfg.resume && Sys.file_exists path then
         match Blob.read path with
         (* Blob.write newline-terminates the payload; read returns it
@@ -191,8 +193,23 @@ let run_shard ~cfg ~ctx ~inst ~(part : Partition.t) ~slice ~solve_streams
           let solve_words = Rng.words solve_streams.(s) in
           let backoffs = Rng.split backoff_streams.(s) (cfg.retries + 1) in
           (* The shard's gain matrix survives retries: values are pure,
-             so reuse is safe and warm rows make a retry cheap. *)
-          let gains = Wgrap.Gain_matrix.create ~candidates:ctx.Ctx.candidates sub in
+             so reuse is safe and warm rows make a retry cheap. Built
+             over the objective's view (the ctx.gains contract): a
+             transforming backend scores smoothed vectors, not raw
+             ones. *)
+          let gains =
+            Wgrap.Gain_matrix.create ~candidates:ctx.Ctx.candidates
+              (Objective.view (Objective.bind ctx.Ctx.objective sub))
+          in
+          (* Chain routing mirrors Solver.cra: SDGA may lead only when
+             the objective keeps its Lemma 4 guarantee. *)
+          let primary =
+            if
+              Objective.submodular ctx.Ctx.objective
+              && Objective.monotone ctx.Ctx.objective
+            then Solver.sdga_sra
+            else Solver.greedy_sra
+          in
           let backoff_before k =
             if k > 0 then begin
               let jitter = 0.5 +. Rng.uniform backoffs.(k) in
@@ -265,6 +282,7 @@ let run_shard ~cfg ~ctx ~inst ~(part : Partition.t) ~slice ~solve_streams
                 rng = Some (Rng.of_words solve_words);
                 gains = Some gains;
                 candidates = ctx.Ctx.candidates;
+                objective = ctx.Ctx.objective;
                 checkpoint = sink;
                 resume_from = Option.map Result.ok resume_state;
                 pool = None;
@@ -272,7 +290,7 @@ let run_shard ~cfg ~ctx ~inst ~(part : Partition.t) ~slice ~solve_streams
             in
             Fun.protect
               ~finally:(fun () -> Option.iter Store.close store)
-              (fun () -> Solver.sdga_sra ~refine:cfg.refine ~ctx:sctx sub)
+              (fun () -> primary ~refine:cfg.refine ~ctx:sctx sub)
           in
           let rec attempt k =
             if k > cfg.retries then None
@@ -322,7 +340,12 @@ let run_shard ~cfg ~ctx ~inst ~(part : Partition.t) ~slice ~solve_streams
               match
                 let a =
                   Wgrap.Greedy.solve
-                    ~ctx:{ Ctx.default with Ctx.candidates = ctx.Ctx.candidates }
+                    ~ctx:
+                      {
+                        Ctx.default with
+                        Ctx.candidates = ctx.Ctx.candidates;
+                        objective = ctx.Ctx.objective;
+                      }
                     sub
                 in
                 Wgrap.Repair.complete sub a;
@@ -344,7 +367,10 @@ let run_shard ~cfg ~ctx ~inst ~(part : Partition.t) ~slice ~solve_streams
 let solve ?(config = default_config) ?(ctx = Ctx.default) ~shards inst =
   let cfg = config in
   let part = Partition.make ~shards inst in
-  match manifest_gate ~candidates:ctx.Ctx.candidates cfg part with
+  match
+    manifest_gate ~candidates:ctx.Ctx.candidates
+      ~objective:ctx.Ctx.objective cfg part
+  with
   | Error msg -> (Solver.Infeasible msg, [])
   | Ok () ->
       (* Root the split streams in a copy: the caller's generator must
@@ -417,6 +443,7 @@ let solve ?(config = default_config) ?(ctx = Ctx.default) ~shards inst =
                         Ctx.default with
                         Ctx.rng = Some boundary_rng;
                         candidates = ctx.Ctx.candidates;
+                        objective = ctx.Ctx.objective;
                       }
                     inst merged
                 with

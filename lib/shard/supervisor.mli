@@ -81,10 +81,16 @@ val solve :
 (** Run the sharded solve. From [ctx]: [deadline] is the global budget
     that attempt slices are cut from, [rng] (or the seed-0 default)
     roots every split stream, [candidates] prunes each shard's gain
-    matrix, [pool] fans shards out across domains (sub-solves stay
-    sequential so any job count is bit-identical), and [on_degrade]
-    observes every recorded reason — on the calling domain, in shard
-    order, after the shards finish.
+    matrix, [objective] selects the scoring backend (recorded in the
+    resume manifest, and routing each shard's primary link like
+    {!Wgrap.Solver.cra}: SDGA-led only for submodular monotone specs,
+    greedy-seeded SRA otherwise), [pool] fans shards out across domains
+    (sub-solves stay sequential so any job count is bit-identical), and
+    [on_degrade] observes every recorded reason — on the calling
+    domain, in shard order, after the shards finish. Specs whose
+    parameters are shaped to the whole instance ([Blend]'s preference
+    matrix) cannot be re-bound to a paper shard and fail the bind
+    fast with [Invalid_argument].
 
     The outcome is [Complete] when every shard finished its primary
     link fault-free, [Degraded] with the collected reasons otherwise,

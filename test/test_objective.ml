@@ -1,0 +1,310 @@
+(* The objective-oracle suite: the pluggable Objective backends against
+   independent oracles.
+
+   - coverage parity: binding the explicit Coverage spec is
+     bit-identical to the default path on every solver entry (the
+     refactor moved scoring behind Objective without changing it);
+   - OWA: the aggregation against an independent sort-and-dot, the
+     min-coverage limit case, and weight monotonicity;
+   - taxonomy: the O(dim) up-then-down smoothing sweep against the
+     brute-force O(dim^2) similarity walk;
+   - fairness: Summary's Gini and topic-balance against direct
+     recomputations from the per-paper scores. *)
+
+module Rng = Wgrap_util.Rng
+open Wgrap
+
+let random_instance ?(dim = 6) ?coi rng ~n_p ~n_r ~dp =
+  let dr = Instance.min_workload ~papers:n_p ~reviewers:n_r ~delta_p:dp in
+  let vec () = Rng.dirichlet_sym rng ~alpha:0.4 ~dim in
+  Instance.create_exn ?coi
+    ~papers:(Array.init n_p (fun _ -> vec ()))
+    ~reviewers:(Array.init n_r (fun _ -> vec ()))
+    ~delta_p:dp ~delta_r:dr ()
+
+(* {1 Coverage parity} *)
+
+(* The default ctx and an explicit-coverage ctx must be bit-identical:
+   Objective.Coverage is the parity oracle of the whole refactor. The
+   rng is rebuilt from the seed on each side, so stochastic links (SRA)
+   see identical streams. *)
+let coverage_parity_test =
+  QCheck.Test.make ~name:"explicit Coverage spec is bit-identical" ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let fresh () =
+        let rng = Rng.create seed in
+        let n_r = 5 + Rng.int rng 8 in
+        let n_p = n_r + Rng.int rng 20 in
+        let dp = 2 + Rng.int rng 2 in
+        random_instance rng ~n_p ~n_r ~dp
+      in
+      let inst = fresh () in
+      let plain () = Ctx.make ~seed () in
+      let explicit () = Ctx.make ~seed ~objective:Objective.coverage () in
+      let pairs =
+        [
+          ( Sdga.solve ~ctx:(plain ()) inst,
+            Sdga.solve ~ctx:(explicit ()) inst );
+          ( Greedy.solve ~ctx:(plain ()) inst,
+            Greedy.solve ~ctx:(explicit ()) inst );
+          ( (let seeded = Sdga.solve ~ctx:(plain ()) inst in
+             Sra.refine ~ctx:(plain ()) inst seeded),
+            let seeded = Sdga.solve ~ctx:(explicit ()) inst in
+            Sra.refine ~ctx:(explicit ()) inst seeded );
+        ]
+      in
+      let cra_pair =
+        match
+          ( Solver.value (Solver.cra ~ctx:(plain ()) inst),
+            Solver.value (Solver.cra ~ctx:(explicit ()) inst) )
+        with
+        | Some a, Some b -> [ (a, b) ]
+        | _ -> []
+      in
+      List.for_all (fun (a, b) -> Assignment.equal a b) (pairs @ cra_pair))
+
+(* {1 OWA} *)
+
+let owa_oracle ~weights scores =
+  let sorted = Array.copy scores in
+  Array.sort Float.compare sorted;
+  let acc = ref 0. in
+  Array.iteri
+    (fun i s -> if i < Array.length weights then acc := !acc +. (weights.(i) *. s))
+    sorted;
+  !acc
+
+let owa_value_matches_oracle =
+  QCheck.Test.make ~name:"owa_value = sort-and-dot oracle" ~count:200
+    QCheck.(pair (int_range 1 8) (int_range 1 20))
+    (fun (n_w, n_s) ->
+      let rng = Rng.create ((n_w * 1000) + n_s) in
+      let weights = Array.init n_w (fun _ -> Rng.uniform rng *. 3.) in
+      (* all-zero weight vectors are rejected by the constructor *)
+      weights.(0) <- weights.(0) +. 0.1;
+      let scores = Array.init n_s (fun _ -> Rng.uniform rng) in
+      let got = Objective.owa_value ~weights scores in
+      let want = owa_oracle ~weights scores in
+      Float.abs (got -. want) <= 1e-9)
+
+let owa_weight_monotone =
+  (* non-negative weights: raising any single score never lowers the
+     aggregate (the backend's advertised monotonicity) *)
+  QCheck.Test.make ~name:"owa is monotone in every score" ~count:200
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let weights = Array.init (1 + Rng.int rng 5) (fun _ -> Rng.uniform rng) in
+      weights.(0) <- weights.(0) +. 0.1;
+      let n = 1 + Rng.int rng 12 in
+      let scores = Array.init n (fun _ -> Rng.uniform rng) in
+      let base = Objective.owa_value ~weights scores in
+      let k = Rng.int rng n in
+      let bumped = Array.copy scores in
+      bumped.(k) <- bumped.(k) +. Rng.uniform rng;
+      Objective.owa_value ~weights bumped >= base -. 1e-12)
+
+let test_min_coverage_is_unit_owa () =
+  let rng = Rng.create 41 in
+  let inst = random_instance rng ~n_p:14 ~n_r:7 ~dp:2 in
+  let a = Sdga.solve inst in
+  let obj = Objective.bind Objective.min_coverage inst in
+  let scores = Objective.per_paper_scores obj a in
+  let worst = Array.fold_left Float.min Float.infinity scores in
+  Alcotest.(check (float 1e-9))
+    "min objective value = worst per-paper coverage" worst
+    (Objective.value obj a);
+  Alcotest.(check bool) "min is OWA" true (Objective.is_min Objective.min_coverage)
+
+let test_routing_flags () =
+  Alcotest.(check bool) "coverage submodular" true
+    (Objective.submodular Objective.coverage);
+  Alcotest.(check bool) "owa not submodular" false
+    (Objective.submodular (Objective.owa [| 2.; 1. |]));
+  Alcotest.(check bool) "owa monotone" true
+    (Objective.monotone (Objective.owa [| 2.; 1. |]));
+  Alcotest.(check bool) "taxonomy transforms" true
+    (Objective.transforms
+       (Objective.taxonomy (Taxonomy.balanced ~dim:6 ~arity:2)));
+  Alcotest.(check bool) "coverage does not transform" false
+    (Objective.transforms Objective.coverage)
+
+(* Non-submodular backends must still come back feasible through the
+   greedy-seeded chain Solver.cra routes for them. *)
+let owa_chain_feasibility =
+  QCheck.Test.make ~name:"cra under min/owa returns feasible" ~count:20
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n_r = 5 + Rng.int rng 6 in
+      let n_p = n_r + Rng.int rng 12 in
+      let inst = random_instance rng ~n_p ~n_r ~dp:2 in
+      [ Objective.min_coverage; Objective.owa [| 3.; 2.; 1. |] ]
+      |> List.for_all (fun spec ->
+             let ctx = Ctx.make ~seed ~objective:spec () in
+             match Solver.value (Solver.cra ~ctx inst) with
+             | Some a -> Assignment.is_feasible inst a
+             | None -> false))
+
+(* {1 Taxonomy} *)
+
+(* A random forest: parent of v drawn from [-1, v), so acyclic by
+   construction. *)
+let random_tree rng ~dim =
+  Taxonomy.create_exn
+    (Array.init dim (fun v -> if v = 0 then -1 else Rng.int rng (v + 1) - 1))
+
+let smooth_oracle tree ~decay vec =
+  Array.init (Array.length vec) (fun u ->
+      let best = ref 0. in
+      Array.iteri
+        (fun v x ->
+          let s = x *. Taxonomy.similarity tree ~decay u v in
+          if s > !best then best := s)
+        vec;
+      !best)
+
+let taxonomy_smooth_matches_walk =
+  QCheck.Test.make ~name:"taxonomy smooth = brute-force tree walk" ~count:200
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let dim = 2 + Rng.int rng 12 in
+      let tree =
+        if Rng.uniform rng < 0.5 then random_tree rng ~dim
+        else Taxonomy.balanced ~dim ~arity:(2 + Rng.int rng 3)
+      in
+      let decay = Rng.uniform rng in
+      let vec =
+        Array.init dim (fun _ ->
+            if Rng.uniform rng < 0.3 then 0. else Rng.uniform rng)
+      in
+      let got = Taxonomy.smooth tree ~decay vec in
+      let want = smooth_oracle tree ~decay vec in
+      Array.for_all2 (fun a b -> Float.abs (a -. b) <= 1e-9) got want)
+
+let test_taxonomy_objective_scores_through_view () =
+  (* binding a taxonomy spec must equal coverage over the pre-smoothed
+     instance: the backend is exactly "coverage over the view" *)
+  let rng = Rng.create 43 in
+  let dim = 6 in
+  let inst = random_instance ~dim rng ~n_p:10 ~n_r:6 ~dp:2 in
+  let tree = Taxonomy.balanced ~dim ~arity:2 in
+  let decay = 0.5 in
+  let obj = Objective.bind (Objective.taxonomy ~decay tree) inst in
+  let smoothed =
+    Instance.create_exn
+      ~papers:(Array.init 10 (fun p -> Array.copy inst.Instance.papers.(p)))
+      ~reviewers:
+        (Array.init 6 (fun r ->
+             Taxonomy.smooth tree ~decay inst.Instance.reviewers.(r)))
+      ~delta_p:inst.Instance.delta_p ~delta_r:inst.Instance.delta_r ()
+  in
+  let a = Sdga.solve smoothed in
+  let cov = Objective.bind Objective.coverage smoothed in
+  Alcotest.(check (float 1e-9))
+    "taxonomy value = coverage value over smoothed view"
+    (Objective.value cov a) (Objective.value obj a)
+
+(* {1 Fairness metrics} *)
+
+let gini_oracle scores =
+  let n = Array.length scores in
+  let total = Array.fold_left ( +. ) 0. scores in
+  if n = 0 || total <= 0. then 0.
+  else begin
+    let acc = ref 0. in
+    Array.iter
+      (fun x -> Array.iter (fun y -> acc := !acc +. Float.abs (x -. y)) scores)
+      scores;
+    !acc /. (2. *. float_of_int n *. total)
+  end
+
+let dominant_topic vec =
+  let best = ref 0 in
+  Array.iteri (fun i x -> if x > vec.(!best) then best := i) vec;
+  !best
+
+let topic_balance_oracle inst scores =
+  let dim = Instance.n_topics inst in
+  let sum = Array.make dim 0. and count = Array.make dim 0 in
+  Array.iteri
+    (fun p s ->
+      let t = dominant_topic inst.Instance.papers.(p) in
+      sum.(t) <- sum.(t) +. s;
+      count.(t) <- count.(t) + 1)
+    scores;
+  let lo = ref Float.infinity and hi = ref 0. in
+  for t = 0 to dim - 1 do
+    if count.(t) > 0 then begin
+      let mean = sum.(t) /. float_of_int count.(t) in
+      if mean < !lo then lo := mean;
+      if mean > !hi then hi := mean
+    end
+  done;
+  if !hi <= 0. then 1. else !lo /. !hi
+
+let fairness_matches_oracles =
+  QCheck.Test.make ~name:"Summary fairness metrics match direct recomputation"
+    ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n_r = 5 + Rng.int rng 6 in
+      let n_p = n_r + Rng.int rng 15 in
+      let inst = random_instance rng ~n_p ~n_r ~dp:2 in
+      let a = Sdga.solve inst in
+      let s = Summary.compute inst a in
+      let scores =
+        Objective.per_paper_scores (Objective.bind Objective.coverage inst) a
+      in
+      Float.abs (s.Summary.coverage_gini -. gini_oracle scores) <= 1e-9
+      && Float.abs (s.Summary.topic_balance -. topic_balance_oracle inst scores)
+         <= 1e-9)
+
+let test_summary_json_shape () =
+  let rng = Rng.create 44 in
+  let inst = random_instance rng ~n_p:8 ~n_r:5 ~dp:2 in
+  let a = Sdga.solve inst in
+  let s = Summary.compute ~objective:Objective.min_coverage inst a in
+  let contains ~sub s =
+    let ls = String.length s and lb = String.length sub in
+    let rec scan i = i + lb <= ls && (String.sub s i lb = sub || scan (i + 1)) in
+    scan 0
+  in
+  let compact = Summary.to_json ~compact:true s in
+  Alcotest.(check bool) "compact is one line" false (String.contains compact '\n');
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (key ^ " present") true (contains ~sub:key compact))
+    [
+      {|"objective"|}; {|"name": "min"|}; {|"fairness"|}; {|"gini"|};
+      {|"topic_balance"|}; {|"workload"|}; {|"coi_violations"|};
+    ];
+  let extra = Summary.to_json ~compact:true ~extra:[ ("k", "1") ] s in
+  Alcotest.(check bool) "extra fields lead" true
+    (contains ~sub:{|{"k": 1|} extra)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "objective"
+    [
+      ( "parity",
+        qsuite [ coverage_parity_test ] );
+      ( "owa",
+        Alcotest.test_case "min = unit-weight OWA" `Quick
+          test_min_coverage_is_unit_owa
+        :: Alcotest.test_case "routing flags" `Quick test_routing_flags
+        :: qsuite
+             [ owa_value_matches_oracle; owa_weight_monotone;
+               owa_chain_feasibility ] );
+      ( "taxonomy",
+        Alcotest.test_case "objective = coverage over smoothed view" `Quick
+          test_taxonomy_objective_scores_through_view
+        :: qsuite [ taxonomy_smooth_matches_walk ] );
+      ( "fairness",
+        Alcotest.test_case "summary JSON shape" `Quick test_summary_json_shape
+        :: qsuite [ fairness_matches_oracles ] );
+    ]

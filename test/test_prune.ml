@@ -174,10 +174,22 @@ let pruned_cells_match_dense =
         Gain_matrix.column_denominators pruned
         <> Gain_matrix.column_denominators dense
       then QCheck.Test.fail_report "streamed column sums differ from dense";
-      (* the pruned backing must refuse the O(n_p * n_r) caches *)
-      (match Gain_matrix.score_matrix pruned with
-      | _ -> QCheck.Test.fail_report "score_matrix must raise on pruned"
-      | exception Invalid_argument _ -> ());
+      (* fold_row must visit exactly iter_row's cells, in order, on
+         both backings *)
+      for p = 0 to n_p - 1 do
+        List.iter
+          (fun gm ->
+            let via_iter = ref [] in
+            Gain_matrix.iter_row gm ~paper:p (fun ~reviewer ~gain ->
+                via_iter := (reviewer, gain) :: !via_iter);
+            let via_fold =
+              Gain_matrix.fold_row gm ~paper:p ~init:[]
+                (fun acc ~reviewer ~gain -> (reviewer, gain) :: acc)
+            in
+            if via_fold <> !via_iter then
+              QCheck.Test.fail_report "fold_row disagrees with iter_row")
+          [ pruned; dense ]
+      done;
       true)
 
 (* ------------------------------------------------ validity at every k *)

@@ -172,7 +172,7 @@ let fresh_vec rng ~dim =
 
 (* A small live conference: [n_r] reviewers then [n_p] papers. *)
 let populated rng ~dim ~delta_p ~delta_r ~n_r ~n_p =
-  let st = get_ok ~msg:"create" (State.create ~dim ~delta_p ~delta_r) in
+  let st = get_ok ~msg:"create" (State.create ~dim ~delta_p ~delta_r ()) in
   let id = ref 0 in
   for r = 0 to n_r - 1 do
     incr id;
@@ -335,7 +335,13 @@ let test_reads () =
   Alcotest.(check bool) "volatile journal" true (contains ~sub:"journal=none" h);
   let s = Server.handle_line t "6 stats" in
   Alcotest.(check bool) "stats ok" true (has_prefix ~prefix:"ok 6 stats" s);
-  Alcotest.(check bool) "stats accepted" true (contains ~sub:"accepted=3" s);
+  Alcotest.(check bool) "stats accepted" true
+    (contains ~sub:{|"accepted": 3|} s);
+  Alcotest.(check bool) "stats objective" true
+    (contains ~sub:{|"objective"|} s);
+  Alcotest.(check bool) "stats fairness" true (contains ~sub:{|"gini"|} s);
+  Alcotest.(check bool) "stats single line" true
+    (not (String.contains s '\n'));
   let miss = Server.handle_line t "7 query 42" in
   Alcotest.(check bool) "unknown paper is err" true (has_prefix ~prefix:"err " miss)
 
@@ -586,7 +592,7 @@ let test_socket_client_disconnect () =
           Alcotest.(check bool) "stats ok" true
             (has_prefix ~prefix:"ok 4 stats" stats);
           Alcotest.(check bool) "client 1's events survived" true
-            (contains ~sub:"seq=2" stats)
+            (contains ~sub:{|"seq": 2|} stats)
       | l -> Alcotest.failf "second client saw %d responses" (List.length l));
       (* both of client 1's events — including the never-acked one — are
          either journaled or dropped; whatever was journaled must verify *)
@@ -714,7 +720,7 @@ let test_lost_prefix_refused () =
    smuggled state (a stale conflict could spring back to life if its
    paper id were re-added). *)
 let test_decode_rejects_orphan_pairs () =
-  let st = get_ok ~msg:"create" (State.create ~dim:3 ~delta_p:2 ~delta_r:3) in
+  let st = get_ok ~msg:"create" (State.create ~dim:3 ~delta_p:2 ~delta_r:3 ()) in
   let commit e = get_ok ~msg:"commit" (State.commit st e) in
   commit
     (Event.Client
@@ -795,7 +801,7 @@ let gen_session rng ~dim ~n_events =
 (* Fold the acknowledged journal prefix from scratch — the oracle the
    recovered state must match byte for byte. *)
 let oracle_fold ~dim ~delta_p ~delta_r records =
-  let st = get_ok ~msg:"oracle create" (State.create ~dim ~delta_p ~delta_r) in
+  let st = get_ok ~msg:"oracle create" (State.create ~dim ~delta_p ~delta_r ()) in
   List.iter
     (fun payload ->
       let entry = get_ok ~msg:"oracle decode" (Event.decode_entry payload) in

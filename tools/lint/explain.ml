@@ -117,6 +117,24 @@ let entries =
       good = "try refine sol with Timer.Expired as e -> record (); raise e";
     };
     {
+      rule = "direct-scoring";
+      summary = "solver-chain scores flow through the bound Objective";
+      prose =
+        "The solver chain (SDGA, SRA, greedy, the CRA/JRA drivers, bid \
+         blending) is parameterized by a pluggable Objective backend — \
+         weighted coverage, OWA fairness, taxonomy-smoothed expertise. A \
+         raw Scoring.* kernel call or Instance.pair_score inside those \
+         modules hard-wires weighted-coverage semantics, so an --objective \
+         owa run would silently optimize the wrong function. Score through \
+         Objective.pair_score / marginal_gain / group_score, or the \
+         Gain_matrix the bound objective primed. Structural helpers \
+         (Scoring.empty_group) stay legal; input synthesis or reporting \
+         code opts out per-expression with [@wgrap.allow \
+         \"direct-scoring\"].";
+      bad = "let g = Scoring.gain inst.scoring ~group ~reviewer pvec";
+      good = "let g = Objective.marginal_gain obj ~group ~paper ~reviewer";
+    };
+    {
       rule = "deadline";
       summary = "solver entries accept ?deadline and transitively poll it";
       prose =

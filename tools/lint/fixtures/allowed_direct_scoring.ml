@@ -1,0 +1,13 @@
+(* Fixture: input synthesis inside a solver-chain module may opt out of
+   direct-scoring per-expression — bid generation wants the raw pair
+   fit, it is not solving. *)
+module Instance = struct
+  let pair_score _inst ~paper ~reviewer = float_of_int (paper + reviewer)
+end
+
+let synthesize_bid inst =
+  (Instance.pair_score inst ~paper:0 ~reviewer:1 [@wgrap.allow "direct-scoring"])
+
+(* outside the scoped module list the rule never fires, so the helper
+   below only exercises the in-scope allow path above *)
+let accumulator dim = Array.make dim 0.

@@ -1,0 +1,22 @@
+(* Fixture: raw scoring-kernel calls in a solver-chain module must
+   fire — they bypass the bound Objective, so a non-coverage backend
+   would silently optimize the wrong function. *)
+module Scoring = struct
+  let score _kind a _b = a
+  let gain _kind ~group:_ ~reviewer:_ _paper = 0.
+  let empty_group ~dim = Array.make dim 0.
+end
+
+module Instance = struct
+  let pair_score _inst ~paper ~reviewer = float_of_int (paper + reviewer)
+end
+
+let kind = ()
+
+let pick_direct inst pvec rvec =
+  ignore (Instance.pair_score inst ~paper:0 ~reviewer:1);
+  ignore (Scoring.gain kind ~group:rvec ~reviewer:1 pvec);
+  Scoring.score kind pvec rvec
+
+(* the structural helper is not a score; it must stay silent *)
+let accumulator () = Scoring.empty_group ~dim:4

@@ -40,6 +40,29 @@ let cancel_owners =
     "lib/shard/supervisor.ml";
   ]
 
+(* Rule direct-scoring: inside the solver chain every score must flow
+   through the bound Objective (or the Gain_matrix it primed) so a
+   pluggable backend — OWA, taxonomy — actually governs the solve. A
+   raw Scoring.* kernel call or Instance.pair_score in these modules
+   silently pins the weighted-coverage semantics no matter which
+   --objective was selected. Input synthesis and reporting code inside
+   them may opt out per-expression with [@wgrap.allow
+   "direct-scoring"]. *)
+let direct_scoring_modules =
+  [
+    "lib/core/sdga.ml";
+    "lib/core/sra.ml";
+    "lib/core/greedy.ml";
+    "lib/core/solver.ml";
+    "lib/core/bids.ml";
+    "lib/core/brgg.ml";
+  ]
+
+(* Extra files treated as solver-chain modules for the direct-scoring
+   check — set from the --scoring-module flag so fixtures outside
+   lib/core can exercise the rule. *)
+let extra_direct_scoring_modules : string list ref = ref []
+
 (* Rule deadline: solver link modules. Every exported entry point (a val
    whose name is in [solver_entry_names]) must accept [?deadline], and the
    implementation must either poll [Timer.check*]/[Timer.expired*] or

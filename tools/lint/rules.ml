@@ -446,8 +446,53 @@ let swallowed_cancel =
   in
   { name = "swallowed-cancel"; check }
 
+(* 10. direct-scoring: inside the solver chain, a raw scoring-kernel
+   call pins the weighted-coverage semantics regardless of which
+   Objective backend the caller selected — OWA and taxonomy runs would
+   silently optimize the wrong function. Scores there must come from
+   the bound Objective (pair_score / marginal_gain / group_score) or
+   the Gain_matrix it primed. The structural helpers
+   (Scoring.empty_group, Scoring.name, Scoring.all) stay legal: they
+   build accumulators, they do not score. Input synthesis and
+   reporting inside a scoped module can opt out per-expression with
+   [@wgrap.allow "direct-scoring"]. *)
+let direct_scoring =
+  let scoring_kernels =
+    [
+      "contribution"; "score"; "group_score"; "gain"; "score_sparse";
+      "gain_sparse"; "score_into"; "gain_into"; "group_score_sparse";
+    ]
+  in
+  let in_scope file =
+    Lint_path.matches_any ~suffixes:Lint_config.direct_scoring_modules file
+    || Lint_path.matches_any
+         ~suffixes:!Lint_config.extra_direct_scoring_modules file
+  in
+  let check ctx (e : expression) =
+    if in_scope ctx.Ctx.file then
+      match e.pexp_desc with
+      | Pexp_ident { txt; loc } -> (
+          match Longident.flatten_exn txt with
+          | [ "Scoring"; member ] when List.mem member scoring_kernels ->
+              Ctx.report ctx ~loc ~rule:"direct-scoring"
+                (Printf.sprintf
+                   "raw Scoring.%s in the solver chain bypasses the bound \
+                    Objective; score through Objective.pair_score / \
+                    marginal_gain / group_score (or the Gain_matrix it \
+                    primed) so --objective backends govern the solve"
+                   member)
+          | [ "Instance"; "pair_score" ] ->
+              Ctx.report ctx ~loc ~rule:"direct-scoring"
+                "Instance.pair_score in the solver chain bypasses the bound \
+                 Objective; use Objective.pair_score so --objective backends \
+                 govern the solve"
+          | _ -> ())
+      | _ -> ()
+  in
+  { name = "direct-scoring"; check }
+
 let all =
   [
     wall_clock; raw_random; silent_catch; poly_compare; float_eq; unsafe_array;
-    unbounded_retry; dense_alloc; swallowed_cancel;
+    unbounded_retry; dense_alloc; swallowed_cancel; direct_scoring;
   ]

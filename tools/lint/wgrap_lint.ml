@@ -34,6 +34,10 @@
      swallowed-cancel
                    no handler that absorbs Timer.Expired without
                    re-raising outside the designated backstop modules
+     direct-scoring
+                   no raw Scoring.* kernel call or Instance.pair_score
+                   in the solver-chain modules; scores flow through the
+                   bound Objective so --objective backends govern
 
    Interprocedural rules (phase 2):
      deadline      solver entry points accept ?deadline and reach a
@@ -46,6 +50,7 @@
    Options:
      --solver-module PATH  add PATH to the solver-module targets
      --serve-module PATH   add PATH to the serve blocking-read targets
+     --scoring-module PATH add PATH to the direct-scoring targets
      --exclude PATH        skip files under this directory
      --summaries DIR       summary cache directory (.lint-summaries)
      --no-cache            neither read nor write the summary cache
@@ -57,6 +62,7 @@
 
 let usage =
   "usage: wgrap_lint [--solver-module PATH] [--serve-module PATH]\n\
+  \                  [--scoring-module PATH]\n\
   \                  [--exclude PATH] [--summaries DIR] [--no-cache]\n\
   \                  [--cache-stats] [--sarif FILE] [--json]\n\
   \                  [--baseline FILE] [--explain RULE] PATH..."
@@ -152,6 +158,10 @@ let () =
     | "--serve-module" :: m :: rest ->
         Lint_config.extra_serve_modules := m :: !Lint_config.extra_serve_modules;
         parse_args rest
+    | "--scoring-module" :: m :: rest ->
+        Lint_config.extra_direct_scoring_modules :=
+          m :: !Lint_config.extra_direct_scoring_modules;
+        parse_args rest
     | "--exclude" :: d :: rest ->
         o.excludes <- d :: o.excludes;
         parse_args rest
@@ -183,8 +193,8 @@ let () =
             Printf.eprintf "wgrap_lint: unknown rule %s (rules: %s)\n" rule
               (String.concat ", " (Explain.rule_names ()));
             exit 2)
-    | ( "--solver-module" | "--serve-module" | "--exclude" | "--summaries"
-      | "--sarif" | "--baseline" | "--explain" )
+    | ( "--solver-module" | "--serve-module" | "--scoring-module"
+      | "--exclude" | "--summaries" | "--sarif" | "--baseline" | "--explain" )
       :: [] ->
         prerr_endline usage;
         exit 2
